@@ -1,0 +1,109 @@
+// Package repro is the public API of dtucker-go, a pure-Go implementation
+// of D-Tucker (Jang & Kang, ICDE 2020): fast and memory-efficient Tucker
+// decomposition for large dense tensors.
+//
+// The package re-exports the library's user-facing surface — dense tensors,
+// the D-Tucker decomposition with its three phases, the streaming and
+// time-range-query extensions, and the Tucker model type shared with every
+// baseline — so downstream modules depend only on this package while the
+// implementation lives in internal/ sub-packages.
+//
+// # Quickstart
+//
+//	x, _ := repro.LoadTensor("data.ten")             // or build one in memory
+//	dec, err := repro.Decompose(x, repro.Options{Ranks: []int{10, 10, 10}})
+//	if err != nil { ... }
+//	_ = dec.Core       // small dense core tensor
+//	_ = dec.Factors    // column-orthonormal factor matrices
+//	_ = dec.RelError(x) // exact relative reconstruction error
+//
+// # Streaming and range queries
+//
+//	st := repro.NewStream(repro.Options{Ranks: []int{10, 10, 10}})
+//	st.Append(chunk)                    // compresses only the new slices
+//	dec, _ := st.Decompose()            // warm-started model refresh
+//	sub, _ := st.DecomposeRange(40, 70) // model of time steps [40,70)
+//
+// Baselines (Tucker-ALS, HOSVD, MACH, RTD, Tucker-ts/ttmts), synthetic
+// workload generators, and the experiment harness live in the internal
+// packages and are exercised through cmd/experiments and the root
+// benchmarks.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Tensor is a dense N-order tensor with first-index-fastest layout.
+// See the methods on tensor.Dense for unfoldings, n-mode products, and
+// slicing.
+type Tensor = tensor.Dense
+
+// Matrix is a dense row-major matrix.
+type Matrix = mat.Dense
+
+// Model is a Tucker decomposition: a core tensor plus one factor matrix
+// per mode, with reconstruction and error metrics.
+type Model = tucker.Model
+
+// Options configures a D-Tucker decomposition; the zero value of every
+// field except Ranks selects the paper's defaults (tol 1e-4, ≤100 sweeps,
+// slice rank max of the two leading target ranks, single thread).
+type Options = core.Options
+
+// Decomposition is a D-Tucker result: the Model plus fit estimate and
+// per-phase timing statistics.
+type Decomposition = core.Decomposition
+
+// Approximation is the compressed-slice representation produced by the
+// approximation phase; reuse it to amortize the only pass over raw data
+// across repeated decompositions.
+type Approximation = core.Approximation
+
+// Stream maintains a D-Tucker compression of a tensor growing along its
+// last (temporal) mode, with warm-started refreshes and time-range queries.
+type Stream = core.Stream
+
+// NewTensor returns a zeroed tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromData wraps data (first-index-fastest, length ∏shape) without
+// copying.
+func TensorFromData(data []float64, shape ...int) *Tensor {
+	return tensor.NewFromData(data, shape...)
+}
+
+// LoadTensor reads a tensor in the .ten binary format from path.
+func LoadTensor(path string) (*Tensor, error) { return tensor.LoadFile(path) }
+
+// ReadTensor reads a .ten-format tensor from r.
+func ReadTensor(r io.Reader) (*Tensor, error) { return tensor.ReadFrom(r) }
+
+// Decompose runs the three D-Tucker phases (approximation, initialization,
+// iteration) on x and returns the Tucker model in x's mode order.
+func Decompose(x *Tensor, opts Options) (*Decomposition, error) {
+	return core.Decompose(x, opts)
+}
+
+// Approximate runs only the approximation phase — the single pass over the
+// raw tensor — returning a compressed representation whose Decompose method
+// runs the remaining phases.
+func Approximate(x *Tensor, opts Options) (*Approximation, error) {
+	return core.Approximate(x, opts)
+}
+
+// NewStream creates an empty temporal stream with the given options.
+func NewStream(opts Options) *Stream { return core.NewStream(opts) }
+
+// DecomposeAdaptive runs D-Tucker with data-driven ranks: per-mode target
+// ranks are chosen from the compressed slices so each mode retains a
+// (1 − eps²) fraction of its energy, capped at maxRank. It returns the
+// decomposition and the chosen ranks; opts.Ranks is ignored.
+func DecomposeAdaptive(x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	return core.DecomposeAdaptive(x, eps, maxRank, opts)
+}

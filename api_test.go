@@ -1,0 +1,133 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// buildLowRank constructs an approximately low-rank tensor through the
+// public API only.
+func buildLowRank(rng *rand.Rand, shape []int, r int, noise float64) *repro.Tensor {
+	ranks := make([]int, len(shape))
+	for i := range ranks {
+		ranks[i] = r
+	}
+	x := tensor.RandN(rng, ranks...)
+	for n, s := range shape {
+		x = x.ModeProduct(mat.RandOrthonormal(s, r, rng), n)
+	}
+	if noise > 0 {
+		e := tensor.RandN(rng, shape...)
+		e.ScaleInPlace(noise * x.Norm() / e.Norm())
+		x.AddInPlace(e)
+	}
+	return x
+}
+
+func TestPublicDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := buildLowRank(rng, []int{20, 16, 12}, 3, 0.05)
+	dec, err := repro.Decompose(x, repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Validate(x.Shape()); err != nil {
+		t.Fatal(err)
+	}
+	if rel := dec.RelError(x); rel > 0.1 {
+		t.Fatalf("relative error %g", rel)
+	}
+}
+
+func TestPublicApproximateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := buildLowRank(rng, []int{16, 14, 10}, 3, 0.1)
+	ap, err := repro.Approximate(x, repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.StorageFloats() >= x.Len() {
+		t.Fatal("approximation not smaller than input")
+	}
+	dec, err := ap.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fit <= 0 {
+		t.Fatalf("fit %g", dec.Fit)
+	}
+}
+
+func TestPublicTensorConstructionAndIO(t *testing.T) {
+	x := repro.NewTensor(3, 4, 2)
+	x.Set(5, 1, 2, 1)
+	y := repro.TensorFromData(make([]float64, 24), 3, 4, 2)
+	if y.Len() != x.Len() {
+		t.Fatal("length mismatch")
+	}
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualApprox(x, 0) {
+		t.Fatal("IO round trip failed")
+	}
+	path := t.TempDir() + "/x.ten"
+	if err := x.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.LoadTensor(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st := repro.NewStream(repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	for i := 0; i < 3; i++ {
+		if err := st.Append(buildLowRank(rng, []int{12, 10, 6}, 3, 0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Factors[2].Rows() != 18 {
+		t.Fatalf("temporal factor rows %d", dec.Factors[2].Rows())
+	}
+	sub, err := st.DecomposeRange(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Factors[2].Rows() != 6 {
+		t.Fatalf("range temporal factor rows %d", sub.Factors[2].Rows())
+	}
+}
+
+// Example demonstrates the minimal decompose-and-inspect workflow through
+// the public API.
+func Example() {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 3, 3, 3) // stand-in for real data
+
+	dec, err := repro.Decompose(x, repro.Options{Ranks: []int{2, 2, 2}, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("core shape:", dec.Core.Shape())
+	fmt.Println("factors:", len(dec.Factors))
+	// Output:
+	// core shape: [2 2 2]
+	// factors: 3
+}

@@ -1,0 +1,146 @@
+// Package repro's root benchmarks regenerate every evaluation artifact of
+// the reproduction (see DESIGN.md §4 for the experiment index): one
+// testing.B per table/figure, each printing the same rows the paper
+// reports. Run with
+//
+//	go test -bench=. -benchmem          # full evaluation scale
+//	go test -bench=. -benchmem -short   # reduced sizes for quick passes
+//
+// Each benchmark executes the full experiment per iteration; at evaluation
+// scale a single iteration exceeds the default benchtime, so every
+// experiment runs exactly once.
+package repro
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// out returns the experiment output writer: rows go to stdout on the first
+// iteration so the tables land in bench logs, and are discarded on any
+// additional iterations.
+func out(i int) io.Writer {
+	if i == 0 {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkE1RunningTime regenerates the running-time comparison across all
+// methods and all four dataset stand-ins (the paper's headline figure).
+func BenchmarkE1RunningTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE1(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Memory regenerates the space-cost comparison of stored
+// representations.
+func BenchmarkE2Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE2(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Error regenerates the reconstruction-error comparison.
+func BenchmarkE3Error(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE3(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4DataScalability regenerates the time-versus-tensor-size sweep.
+func BenchmarkE4DataScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE4(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5RankScalability regenerates the time/error-versus-rank sweep.
+func BenchmarkE5RankScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE5(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6PhaseBreakdown regenerates the D-Tucker phase timing and the
+// approximation-reuse ablation.
+func BenchmarkE6PhaseBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunE6(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Noise regenerates the accuracy-under-noise sweep.
+func BenchmarkE7Noise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE7(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8SliceRank regenerates the slice-rank sensitivity sweep (the
+// approximation-quality ablation).
+func BenchmarkE8SliceRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE8(out(i), testing.Short()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestExperimentSuiteShort is the integration test that drives the whole
+// experiment harness end to end at reduced scale, asserting the headline
+// claims' *shapes*: D-Tucker must be at least as accurate as the
+// approximate baselines and must store less than the raw tensor.
+func TestExperimentSuiteShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite integration test skipped in -short (it is itself the short suite)")
+	}
+	results, err := bench.RunE1(io.Discard, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]bench.Result{}
+	for _, r := range results {
+		byKey[r.Dataset+"/"+r.Method] = r
+	}
+	for _, ds := range []string{"video", "stock", "music", "climate"} {
+		d, ok := byKey[ds+"/"+bench.DTucker]
+		if !ok {
+			t.Fatalf("missing d-tucker result for %s", ds)
+		}
+		a, ok := byKey[ds+"/"+bench.TuckerALS]
+		if !ok {
+			t.Fatalf("missing tucker-als result for %s", ds)
+		}
+		// Accuracy: comparable to Tucker-ALS (within 2 percentage points).
+		if d.RelErr > a.RelErr+0.02 {
+			t.Errorf("%s: d-tucker error %.4f vs tucker-als %.4f", ds, d.RelErr, a.RelErr)
+		}
+		// Space: compressed slices strictly smaller than the raw tensor.
+		if d.StoredFloats >= a.StoredFloats {
+			t.Errorf("%s: d-tucker stored %d ≥ input %d", ds, d.StoredFloats, a.StoredFloats)
+		}
+		// MACH at default sampling must be less accurate than D-Tucker.
+		if m, ok := byKey[ds+"/"+bench.MACH]; ok && m.RelErr < d.RelErr-0.02 {
+			t.Errorf("%s: MACH error %.4f unexpectedly beats d-tucker %.4f", ds, m.RelErr, d.RelErr)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command datagen writes the synthetic workload tensors to .ten files so
+// they can be fed to the dtucker binary or external tools.
+//
+// Usage:
+//
+//	datagen -kind video  -out video.ten  [-dims 192,144,256] [-seed 11]
+//	datagen -kind stock  -out stock.ten  [-dims 400,40,512]
+//	datagen -kind music  -out music.ten  [-dims 512,256,64]
+//	datagen -kind climate -out climate.ten [-dims 72,48,12,96]
+//	datagen -kind lowrank -out lr.ten -dims 128,128,128 [-rank 10] [-noise 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "", "video | stock | music | climate | lowrank (required)")
+		out     = flag.String("out", "", "output .ten path (required)")
+		dimsArg = flag.String("dims", "", "comma-separated dimensions (defaults per kind)")
+		seed    = flag.Int64("seed", 11, "generator seed")
+		rank    = flag.Int("rank", 10, "rank for -kind lowrank")
+		noise   = flag.Float64("noise", 0.1, "relative noise for -kind lowrank")
+	)
+	flag.Parse()
+	if *kind == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := generate(*kind, *dimsArg, *seed, *rank, *noise)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ds.X.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s — %s (%.2f MF)\n", *out, ds.Dims(), ds.Description, float64(ds.X.Len())/1e6)
+}
+
+func generate(kind, dimsArg string, seed int64, rank int, noise float64) (workload.Dataset, error) {
+	dims, err := parseDims(dimsArg)
+	if err != nil {
+		return workload.Dataset{}, err
+	}
+	need := func(n int, def []int) ([]int, error) {
+		if dims == nil {
+			return def, nil
+		}
+		if len(dims) != n {
+			return nil, fmt.Errorf("kind %s needs %d dims, got %v", kind, n, dims)
+		}
+		return dims, nil
+	}
+	switch kind {
+	case "video":
+		d, err := need(3, []int{192, 144, 256})
+		if err != nil {
+			return workload.Dataset{}, err
+		}
+		return workload.VideoLike(d[0], d[1], d[2], seed), nil
+	case "stock":
+		d, err := need(3, []int{400, 40, 512})
+		if err != nil {
+			return workload.Dataset{}, err
+		}
+		return workload.StockLike(d[0], d[1], d[2], seed), nil
+	case "music":
+		d, err := need(3, []int{512, 256, 64})
+		if err != nil {
+			return workload.Dataset{}, err
+		}
+		return workload.MusicLike(d[0], d[1], d[2], seed), nil
+	case "climate":
+		d, err := need(4, []int{72, 48, 12, 96})
+		if err != nil {
+			return workload.Dataset{}, err
+		}
+		return workload.ClimateLike(d[0], d[1], d[2], d[3], seed), nil
+	case "lowrank":
+		if dims == nil {
+			return workload.Dataset{}, fmt.Errorf("kind lowrank requires -dims")
+		}
+		return workload.LowRankNoise(dims, rank, noise, seed), nil
+	default:
+		return workload.Dataset{}, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	got, err := parseDims("4, 5,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("parseDims = %v", got)
+	}
+	if d, err := parseDims(""); err != nil || d != nil {
+		t.Fatalf("empty dims: %v %v", d, err)
+	}
+	for _, bad := range []string{"3,0", "a,b", "-2,3"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Fatalf("bad dims %q accepted", bad)
+		}
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		dims string
+		want []int
+	}{
+		{"video", "16,12,8", []int{16, 12, 8}},
+		{"stock", "20,8,16", []int{20, 8, 16}},
+		{"music", "10,16,8", []int{10, 16, 8}},
+		{"climate", "8,6,4,8", []int{8, 6, 4, 8}},
+		{"lowrank", "9,9,9", []int{9, 9, 9}},
+	}
+	for _, c := range cases {
+		ds, err := generate(c.kind, c.dims, 1, 3, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		got := ds.X.Shape()
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: shape %v, want %v", c.kind, got, c.want)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("nope", "", 1, 3, 0.1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := generate("video", "3,3", 1, 3, 0.1); err == nil {
+		t.Fatal("wrong dim count accepted")
+	}
+	if _, err := generate("lowrank", "", 1, 3, 0.1); err == nil {
+		t.Fatal("lowrank without dims accepted")
+	}
+}
+
+func TestGenerateDefaultsExist(t *testing.T) {
+	// Defaults are evaluation-scale and too big for a unit test to
+	// materialize; just verify the dims validation path accepts empty dims
+	// for a small explicit case instead.
+	ds, err := generate("video", "8,6,4", 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "video" {
+		t.Fatalf("Name = %q", ds.Name)
+	}
+}

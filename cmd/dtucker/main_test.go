@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestParseRanks(t *testing.T) {
+	got, err := parseRanks("10, 8,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 8 || got[2] != 6 {
+		t.Fatalf("parseRanks = %v", got)
+	}
+	if _, err := parseRanks("3,x,2"); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+// TestEndToEnd builds the binary and decomposes a real .ten file — the
+// workflow a downstream user runs.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := dir + "/dtucker"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 12, 10, 8)
+	in := dir + "/x.ten"
+	if err := x.SaveFile(in); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-exact-error", "-out", dir+"/model").CombinedOutput()
+	if err != nil {
+		t.Fatalf("running: %v\n%s", err, out)
+	}
+	for _, want := range []string{"d-tucker:", "fit estimate", "exact relative error", "wrote"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The written core must load back with the requested shape.
+	core, err := tensor.LoadFile(dir + "/model.core.ten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := core.Shape(); s[0] != 3 || s[1] != 3 || s[2] != 3 {
+		t.Fatalf("core shape %v", s)
+	}
+	f0, err := tensor.LoadFile(dir + "/model.factor0.ten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f0.Shape(); s[0] != 12 || s[1] != 3 {
+		t.Fatalf("factor0 shape %v", s)
+	}
+
+	// Baseline path through the same binary.
+	out, err = exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-method", "hosvd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "hosvd:") {
+		t.Fatalf("baseline output:\n%s", out)
+	}
+}

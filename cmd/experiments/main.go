@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's evaluation artifacts (E1–E7,
+// see DESIGN.md §4) and the analytic complexity table.
+//
+// Usage:
+//
+//	experiments -exp e1            # one experiment
+//	experiments -exp all           # everything
+//	experiments -exp e4 -short     # reduced sizes for a quick pass
+//	experiments -exp table-complexity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(bench.Experiments, ", ")+", table-complexity, or all")
+	short := flag.Bool("short", false, "run at reduced dataset sizes")
+	csvDir := flag.String("csvdir", "", "also write each experiment's measurements as CSV into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		if err := runAllSuite(*short, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runOne(*exp, *short, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+}
+
+// runAllSuite runs every experiment, deriving E3 from E1's measurements so
+// the expensive comparison suite runs once.
+func runAllSuite(short bool, csvDir string) error {
+	w := os.Stdout
+	fmt.Fprintln(w, "==== experiment e1: running time, all methods × all datasets")
+	e1, err := bench.RunE1(w, short)
+	if err != nil {
+		return fmt.Errorf("e1: %w", err)
+	}
+	if err := maybeCSV(csvDir, "e1", e1); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n==== experiment e3: reconstruction error (derived from e1 runs)")
+	bench.FormatErrorView(w, e1)
+	for _, id := range []string{bench.ExpE2, bench.ExpE4, bench.ExpE5, bench.ExpE6, bench.ExpE7, bench.ExpE8, "table-complexity"} {
+		fmt.Fprintln(w)
+		if err := runOne(id, short, csvDir); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(id string, short bool, csvDir string) error {
+	w := os.Stdout
+	fmt.Fprintf(w, "==== experiment %s %s\n", id, time.Now().Format(time.RFC3339))
+	var (
+		err     error
+		results []bench.Result
+	)
+	switch id {
+	case bench.ExpE1:
+		fmt.Fprintln(w, "E1: running time and error, all methods × all datasets")
+		results, err = bench.RunE1(w, short)
+	case bench.ExpE2:
+		fmt.Fprintln(w, "E2: space cost of stored representations")
+		results, err = bench.RunE2(w, short)
+	case bench.ExpE3:
+		fmt.Fprintln(w, "E3: reconstruction error comparison")
+		results, err = bench.RunE3(w, short)
+	case bench.ExpE4:
+		fmt.Fprintln(w, "E4: data scalability (time vs tensor size)")
+		results, err = bench.RunE4(w, short)
+	case bench.ExpE5:
+		fmt.Fprintln(w, "E5: rank scalability (time/error vs rank)")
+		results, err = bench.RunE5(w, short)
+	case bench.ExpE6:
+		fmt.Fprintln(w, "E6: D-Tucker phase breakdown and approximation reuse")
+		err = bench.RunE6(w, short)
+	case bench.ExpE7:
+		fmt.Fprintln(w, "E7: accuracy under growing noise")
+		results, err = bench.RunE7(w, short)
+	case bench.ExpE8:
+		fmt.Fprintln(w, "E8: slice-rank sensitivity (approximation knob)")
+		results, err = bench.RunE8(w, short)
+	case "table-complexity":
+		fmt.Fprintln(w, "analytic time/space complexity per method")
+		fmt.Fprintln(w, bench.ComplexityTable())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	fmt.Fprintln(w)
+	if err != nil {
+		return err
+	}
+	return maybeCSV(csvDir, id, results)
+}
+
+// maybeCSV saves results to <dir>/<id>.csv when a CSV directory was given.
+func maybeCSV(dir, id string, results []bench.Result) error {
+	if dir == "" || len(results) == 0 {
+		return nil
+	}
+	return bench.SaveCSV(fmt.Sprintf("%s/%s.csv", dir, id), results)
+}

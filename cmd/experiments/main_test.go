@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunOneComplexityTable(t *testing.T) {
+	// The only experiment cheap enough for a unit test; the heavy ones are
+	// exercised by the root bench suite.
+	if err := runOne("table-complexity", true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", true, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Climate 4-order: decompose a lon×lat×alt×time aerosol-style tensor,
+// showing D-Tucker on a 4-order input — where slice-based compression pays
+// off most — and interpreting the altitude and seasonal factors.
+//
+// Run with: go run ./examples/climate4d
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/baselines/tuckerals"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	ds := workload.ClimateLike(72, 48, 16, 120, 9)
+	x := ds.X
+	fmt.Printf("climate tensor: %s (%s)\n", ds.Dims(), ds.Description)
+	fmt.Printf("raw size: %.1f MB as float64\n", float64(x.Len())*8/1e6)
+
+	ranks := []int{6, 6, 4, 6}
+	dec, err := core.Decompose(x, core.Options{Ranks: ranks, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nD-Tucker: %v total (approx %v / init %v / %d sweeps %v)\n",
+		dec.Stats.Total().Round(time.Millisecond),
+		dec.Stats.ApproxTime.Round(time.Millisecond),
+		dec.Stats.InitTime.Round(time.Millisecond),
+		dec.Stats.Iters, dec.Stats.IterTime.Round(time.Millisecond))
+	fmt.Printf("relative error %.4f, compression %.0f×\n",
+		dec.RelError(x), float64(x.Len())/float64(dec.StorageFloats()))
+
+	// Altitude profile of the leading component: how the dominant aerosol
+	// pattern distributes over height.
+	alt := dec.Factors[2]
+	fmt.Println("\naltitude loading of leading component:")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for a := 0; a < alt.Rows(); a++ {
+		v := alt.At(a, 0)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	for a := 0; a < alt.Rows(); a++ {
+		width := int(36 * (alt.At(a, 0) - lo) / (hi - lo + 1e-12))
+		fmt.Printf("  level %2d  %s\n", a, bar(width))
+	}
+
+	// Seasonality: autocorrelation of the leading temporal component at a
+	// one-cycle lag exposes the seasonal cycle in the data.
+	tf := dec.Factors[3]
+	col := make([]float64, tf.Rows())
+	for t := range col {
+		col[t] = tf.At(t, 0)
+	}
+	bestLag, bestAC := 0, -2.0
+	for lag := 4; lag <= tf.Rows()/2; lag++ {
+		if ac := autocorr(col, lag); ac > bestAC {
+			bestAC, bestLag = ac, lag
+		}
+	}
+	fmt.Printf("\nleading temporal component peaks in autocorrelation at lag %d steps (r=%.3f) — the seasonal cycle\n",
+		bestLag, bestAC)
+
+	// Baseline comparison on the full 4-order tensor.
+	t0 := time.Now()
+	als, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: ranks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTucker-ALS on the raw tensor: %v, error %.4f → D-Tucker is %.1f× faster at matching accuracy\n",
+		time.Since(t0).Round(time.Millisecond), als.RelError(x),
+		float64(time.Since(t0))/float64(dec.Stats.Total()))
+}
+
+func autocorr(x []float64, lag int) float64 {
+	n := len(x) - lag
+	if n <= 1 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		num += (x[i] - mean) * (x[i+lag] - mean)
+	}
+	for _, v := range x {
+		den += (v - mean) * (v - mean)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

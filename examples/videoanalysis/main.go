@@ -1,0 +1,113 @@
+// Video analysis: compress a video-like tensor with D-Tucker, separate the
+// static background from moving foreground via the temporal factor, and
+// measure per-frame reconstruction error to locate the frames the low-rank
+// model explains worst (where the moving objects are most active).
+//
+// Run with: go run ./examples/videoanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		h, w, frames = 160, 120, 192
+		rank         = 8
+	)
+	ds := workload.VideoLike(h, w, frames, 7)
+	x := ds.X
+	fmt.Printf("video: %s (%s)\n", ds.Dims(), ds.Description)
+
+	dec, err := core.Decompose(x, core.Options{Ranks: []int{rank, rank, rank}, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposed in %v, %.0f× compression, relative error %.4f\n",
+		dec.Stats.Total().Round(time.Millisecond),
+		float64(x.Len())/float64(dec.StorageFloats()),
+		dec.RelError(x))
+
+	// The temporal factor's leading column tracks global illumination; its
+	// variation across frames reveals the periodic lighting drift baked
+	// into the scene.
+	temporal := dec.Factors[2]
+	fmt.Println("\ntemporal component 1 (illumination), sampled every 24 frames:")
+	for t := 0; t < frames; t += 24 {
+		bar := int(40 * (temporal.At(t, 0) - colMin(temporal, 0)) / (colMax(temporal, 0) - colMin(temporal, 0) + 1e-12))
+		fmt.Printf("  frame %3d  %s\n", t, repeat('#', bar))
+	}
+
+	// Per-frame residual: reconstruct each frame from the model and
+	// compare. Frames dominated by fast-moving objects reconstruct worse.
+	type frameErr struct {
+		frame int
+		err   float64
+	}
+	errs := make([]frameErr, frames)
+	a1, a2 := dec.Factors[0], dec.Factors[1]
+	for t := 0; t < frames; t++ {
+		// Slab of the core weighted by the temporal row: J1×J2.
+		slab := mat.New(rank, rank)
+		for c := 0; c < rank; c++ {
+			wgt := temporal.At(t, c)
+			for j1 := 0; j1 < rank; j1++ {
+				for j2 := 0; j2 < rank; j2++ {
+					slab.Set(j1, j2, slab.At(j1, j2)+wgt*dec.Core.At(j1, j2, c))
+				}
+			}
+		}
+		approx := mat.Mul(mat.Mul(a1, slab), a2.T())
+		orig := x.FrontalSlice(t)
+		d := orig.Sub(approx).Norm()
+		errs[t] = frameErr{t, d / math.Max(orig.Norm(), 1e-12)}
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].err > errs[b].err })
+	fmt.Println("\nframes the rank-8 model explains worst (most foreground motion):")
+	for _, fe := range errs[:5] {
+		fmt.Printf("  frame %3d  residual %.4f\n", fe.frame, fe.err)
+	}
+	fmt.Println("\nframes it explains best (background only):")
+	for _, fe := range errs[frames-5:] {
+		fmt.Printf("  frame %3d  residual %.4f\n", fe.frame, fe.err)
+	}
+}
+
+func colMin(m *mat.Dense, c int) float64 {
+	v := math.Inf(1)
+	for i := 0; i < m.Rows(); i++ {
+		if m.At(i, c) < v {
+			v = m.At(i, c)
+		}
+	}
+	return v
+}
+
+func colMax(m *mat.Dense, c int) float64 {
+	v := math.Inf(-1)
+	for i := 0; i < m.Rows(); i++ {
+		if m.At(i, c) > v {
+			v = m.At(i, c)
+		}
+	}
+	return v
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

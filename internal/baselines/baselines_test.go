@@ -1,0 +1,328 @@
+// Package baselines_test exercises all baseline Tucker methods end to end
+// on shared synthetic inputs, checking both individual correctness and the
+// cross-method accuracy relationships the paper's evaluation relies on.
+package baselines_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines/hosvd"
+	"repro/internal/baselines/mach"
+	"repro/internal/baselines/rtd"
+	"repro/internal/baselines/tuckerals"
+	"repro/internal/baselines/tuckersketch"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func lowRankTensor(rng *rand.Rand, noise float64, r int, shape ...int) *tensor.Dense {
+	ranks := make([]int, len(shape))
+	for i := range ranks {
+		ranks[i] = r
+	}
+	x := tensor.RandN(rng, ranks...)
+	for n, s := range shape {
+		x = x.ModeProduct(mat.RandOrthonormal(s, r, rng), n)
+	}
+	if noise > 0 {
+		e := tensor.RandN(rng, shape...)
+		e.ScaleInPlace(noise * x.Norm() / e.Norm())
+		x.AddInPlace(e)
+	}
+	return x
+}
+
+func uniform(order, j int) []int {
+	r := make([]int, order)
+	for i := range r {
+		r[i] = j
+	}
+	return r
+}
+
+func TestHOSVDExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := lowRankTensor(rng, 0, 3, 12, 10, 8)
+	m, err := hosvd.Decompose(x, hosvd.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := m.RelError(x); rel > 1e-9 {
+		t.Fatalf("HOSVD relative error %g on exact low-rank input", rel)
+	}
+}
+
+func TestHOSVDFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 8, 7, 6)
+	m, err := hosvd.Decompose(x, hosvd.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, f := range m.Factors {
+		if !mat.Gram(f).EqualApprox(mat.Identity(3), 1e-9) {
+			t.Fatalf("HOSVD factor %d not orthonormal", n)
+		}
+	}
+}
+
+func TestHOSVDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 5, 5, 5)
+	if _, err := hosvd.Decompose(x, hosvd.Options{Ranks: []int{3, 3}}); err == nil {
+		t.Fatal("wrong rank count accepted")
+	}
+	if _, err := hosvd.Decompose(x, hosvd.Options{Ranks: []int{3, 6, 3}}); err == nil {
+		t.Fatal("rank above dimensionality accepted")
+	}
+}
+
+func TestTuckerALSExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := lowRankTensor(rng, 0, 4, 15, 12, 10)
+	res, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 1e-9 {
+		t.Fatalf("Tucker-ALS relative error %g", rel)
+	}
+	if res.Fit < 1-1e-9 {
+		t.Fatalf("Fit = %g", res.Fit)
+	}
+}
+
+func TestTuckerALSImprovesOnHOSVD(t *testing.T) {
+	// HOOI refines the HOSVD initialization; its error can never be worse.
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandN(rng, 14, 12, 10) // full-rank: room to improve
+	h, err := hosvd.Decompose(x, hosvd.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RelError(x) > h.RelError(x)+1e-9 {
+		t.Fatalf("HOOI (%g) worse than HOSVD (%g)", a.RelError(x), h.RelError(x))
+	}
+}
+
+func TestTuckerALSRandomInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := lowRankTensor(rng, 0.05, 3, 12, 10, 8)
+	res, err := tuckerals.Decompose(x, tuckerals.Options{
+		Ranks: uniform(3, 3), Init: tuckerals.InitRandom, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 0.15 {
+		t.Fatalf("random-init ALS relative error %g", rel)
+	}
+}
+
+func TestTuckerALSMaxIters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 10, 10, 10)
+	res, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 2), MaxIters: 3, Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 3 {
+		t.Fatalf("Iters = %d", res.Iters)
+	}
+}
+
+func TestTuckerALSFitMatchesExactError(t *testing.T) {
+	// For HOOI the core-norm fit identity is exact.
+	rng := rand.New(rand.NewSource(8))
+	x := lowRankTensor(rng, 0.2, 3, 12, 11, 10)
+	res, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := res.RelError(x)
+	if d := exact - (1 - res.Fit); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("fit identity violated: exact %g, estimate %g", exact, 1-res.Fit)
+	}
+}
+
+func TestRTDExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := lowRankTensor(rng, 0, 3, 14, 12, 10)
+	res, err := rtd.Decompose(x, rtd.Options{Ranks: uniform(3, 3), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 1e-8 {
+		t.Fatalf("RTD relative error %g on exact low-rank input", rel)
+	}
+}
+
+func TestRTDNoWorseThanALSByMuch(t *testing.T) {
+	// One-pass RTD should be in the same error ballpark on benign noisy
+	// low-rank input (it has no refinement, so allow generous slack).
+	rng := rand.New(rand.NewSource(10))
+	x := lowRankTensor(rng, 0.1, 3, 16, 14, 12)
+	r, err := rtd.Decompose(x, rtd.Options{Ranks: uniform(3, 3), Seed: 3, PowerIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RelError(x) > 2*a.RelError(x)+0.05 {
+		t.Fatalf("RTD error %g vs ALS %g", r.RelError(x), a.RelError(x))
+	}
+}
+
+func TestRTDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.RandN(rng, 5, 5)
+	if _, err := rtd.Decompose(x, rtd.Options{Ranks: []int{9, 2}}); err == nil {
+		t.Fatal("rank above dimensionality accepted")
+	}
+}
+
+func TestMACHFullRateMatchesALS(t *testing.T) {
+	// Sampling at rate 1 keeps everything: MACH degenerates to sparse ALS
+	// on the exact tensor and must reach the same error as dense ALS.
+	rng := rand.New(rand.NewSource(12))
+	x := lowRankTensor(rng, 0.05, 3, 10, 9, 8)
+	m, err := mach.Decompose(x, mach.Options{Ranks: uniform(3, 3), SampleRate: 1.0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tuckerals.Decompose(x, tuckerals.Options{Ranks: uniform(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelError(x) > a.RelError(x)+1e-6 {
+		t.Fatalf("rate-1 MACH error %g vs ALS %g", m.RelError(x), a.RelError(x))
+	}
+	if m.NNZ != x.Len() {
+		t.Fatalf("rate-1 NNZ = %d, want %d", m.NNZ, x.Len())
+	}
+}
+
+func TestMACHSampledStillRecoversStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := lowRankTensor(rng, 0.02, 3, 20, 18, 16)
+	m, err := mach.Decompose(x, mach.Options{Ranks: uniform(3, 3), SampleRate: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 40% sampling the rescaled sample carries elementwise noise of
+	// magnitude √((1−p)/p) ≈ 1.2× the signal, so recovery is coarse on a
+	// tensor this small; it must still clearly beat the trivial zero model
+	// (error 1.0).
+	if rel := m.RelError(x); rel > 0.7 {
+		t.Fatalf("MACH at 40%% sampling has error %g", rel)
+	}
+}
+
+func TestMACHSamplingDegradesAccuracy(t *testing.T) {
+	// The accuracy gap at low sampling rates is the paper's argument
+	// against MACH: error at 5% sampling must exceed error at 100%.
+	rng := rand.New(rand.NewSource(14))
+	x := lowRankTensor(rng, 0.05, 3, 18, 16, 14)
+	lo, err := mach.Decompose(x, mach.Options{Ranks: uniform(3, 3), SampleRate: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := mach.Decompose(x, mach.Options{Ranks: uniform(3, 3), SampleRate: 1.0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.RelError(x) <= hi.RelError(x) {
+		t.Fatalf("5%% sampling (%g) not worse than 100%% (%g)", lo.RelError(x), hi.RelError(x))
+	}
+}
+
+func TestMACHValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := tensor.RandN(rng, 5, 5, 5)
+	if _, err := mach.Decompose(x, mach.Options{Ranks: uniform(3, 3), SampleRate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestTuckerTSRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := lowRankTensor(rng, 0.01, 2, 14, 12, 10)
+	res, err := tuckersketch.Decompose(x, tuckersketch.TS, tuckersketch.Options{
+		Ranks: uniform(3, 2), Seed: 6, MaxIters: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 0.25 {
+		t.Fatalf("Tucker-ts relative error %g", rel)
+	}
+}
+
+func TestTuckerTTMTSRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := lowRankTensor(rng, 0.01, 2, 14, 12, 10)
+	res, err := tuckersketch.Decompose(x, tuckersketch.TTMTS, tuckersketch.Options{
+		Ranks: uniform(3, 2), Seed: 6, MaxIters: 15, K1: 256, K2: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 0.3 {
+		t.Fatalf("Tucker-ttmts relative error %g", rel)
+	}
+}
+
+func TestTuckerSketchLargerSketchHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	x := lowRankTensor(rng, 0.05, 2, 16, 14, 12)
+	small, err := tuckersketch.Decompose(x, tuckersketch.TS, tuckersketch.Options{
+		Ranks: uniform(3, 2), Seed: 7, K1: 8, K2: 16, MaxIters: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := tuckersketch.Decompose(x, tuckersketch.TS, tuckersketch.Options{
+		Ranks: uniform(3, 2), Seed: 7, K1: 512, K2: 1024, MaxIters: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.RelError(x) > small.RelError(x)+0.02 {
+		t.Fatalf("bigger sketch (%g) worse than tiny sketch (%g)", big.RelError(x), small.RelError(x))
+	}
+}
+
+func TestTuckerSketchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x := tensor.RandN(rng, 5, 5, 5)
+	if _, err := tuckersketch.Decompose(x, tuckersketch.TS, tuckersketch.Options{Ranks: []int{3}}); err == nil {
+		t.Fatal("wrong rank count accepted")
+	}
+}
+
+func TestTuckerSketchAlgorithmString(t *testing.T) {
+	if tuckersketch.TS.String() != "tucker-ts" || tuckersketch.TTMTS.String() != "tucker-ttmts" {
+		t.Fatal("Algorithm String() wrong")
+	}
+}
+
+func TestTuckerSketchOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := lowRankTensor(rng, 0.02, 2, 8, 7, 6, 5)
+	res, err := tuckersketch.Decompose(x, tuckersketch.TTMTS, tuckersketch.Options{
+		Ranks: uniform(4, 2), Seed: 8, MaxIters: 12, K1: 256, K2: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RelError(x); rel > 0.35 {
+		t.Fatalf("order-4 ttmts relative error %g", rel)
+	}
+}

@@ -1,0 +1,251 @@
+// Package bench is the experiment harness: it runs every Tucker method on a
+// workload under the paper's protocol (single thread, rank 10, tol 1e-4),
+// and reports wall time split into preprocessing/solve, exact relative
+// reconstruction error, and two deterministic space metrics — the size of
+// the stored (preprocessed) representation and of the output model, both in
+// float64 units so results are machine-independent.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baselines/hosvd"
+	"repro/internal/baselines/mach"
+	"repro/internal/baselines/rtd"
+	"repro/internal/baselines/tuckerals"
+	"repro/internal/baselines/tuckersketch"
+	"repro/internal/core"
+	"repro/internal/tucker"
+	"repro/internal/workload"
+)
+
+// Method names accepted by Run, in canonical presentation order
+// (the proposed method first, then baselines as in the paper).
+const (
+	DTucker     = "d-tucker"
+	TuckerALS   = "tucker-als"
+	HOSVD       = "hosvd"
+	MACH        = "mach"
+	RTD         = "rtd"
+	TuckerTS    = "tucker-ts"
+	TuckerTTMTS = "tucker-ttmts"
+)
+
+// Methods lists every runnable method in presentation order.
+var Methods = []string{DTucker, TuckerALS, HOSVD, MACH, RTD, TuckerTS, TuckerTTMTS}
+
+// Spec describes one experimental configuration.
+type Spec struct {
+	Dataset  workload.Dataset
+	Ranks    []int
+	Seed     int64
+	Tol      float64 // 0 → 1e-4 (paper protocol)
+	MaxIters int     // 0 → method default
+	// SampleRate is MACH's keep probability (0 → 0.1).
+	SampleRate float64
+	// SketchK1/K2 override the TensorSketch dimensions (0 → defaults).
+	SketchK1, SketchK2 int
+	// SkipError skips the exact reconstruction-error pass (used by pure
+	// timing sweeps where the extra full-tensor pass would distort
+	// nothing but costs time).
+	SkipError bool
+}
+
+// Result is one (method, dataset) measurement.
+type Result struct {
+	Method  string
+	Dataset string
+	// Prep is preprocessing time (D-Tucker approximation, MACH sampling,
+	// TensorSketch pass); zero for from-scratch methods.
+	Prep time.Duration
+	// Solve is everything after preprocessing (init + iterations).
+	Solve time.Duration
+	// RelErr is ‖X−X̂‖_F/‖X‖_F against the raw tensor (NaN if skipped).
+	RelErr float64
+	// StoredFloats is the size of the representation the method keeps
+	// around to answer decompositions: compressed slices for D-Tucker,
+	// the sample for MACH, the sketches for tucker-ts/ttmts, and the raw
+	// tensor itself for from-scratch methods.
+	StoredFloats int
+	// ModelFloats is the size of the output (core + factors).
+	ModelFloats int
+	Iters       int
+}
+
+// Total returns end-to-end wall time.
+func (r Result) Total() time.Duration { return r.Prep + r.Solve }
+
+// Run executes one method under the spec.
+func Run(method string, spec Spec) (Result, error) {
+	x := spec.Dataset.X
+	res := Result{Method: method, Dataset: spec.Dataset.Name}
+	var model tucker.Model
+
+	switch method {
+	case DTucker:
+		dec, err := core.Decompose(x, core.Options{
+			Ranks:    spec.Ranks,
+			Tol:      spec.Tol,
+			MaxIters: spec.MaxIters,
+			Seed:     spec.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		model = dec.Model
+		res.Prep = dec.Stats.ApproxTime
+		res.Solve = dec.Stats.InitTime + dec.Stats.IterTime
+		res.Iters = dec.Stats.Iters
+		// Recompute the stored size from the model-independent formula:
+		// the approximation object is not retained by Decompose, so size
+		// it analytically (identical to Approximation.StorageFloats).
+		res.StoredFloats = dtuckerStoredFloats(x.Shape(), spec.Ranks)
+
+	case TuckerALS:
+		r, err := tuckerals.Decompose(x, tuckerals.Options{
+			Ranks:    spec.Ranks,
+			Tol:      spec.Tol,
+			MaxIters: spec.MaxIters,
+			Seed:     spec.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		model = r.Model
+		res.Solve = r.InitTime + r.IterTime
+		res.Iters = r.Iters
+		res.StoredFloats = x.Len()
+
+	case HOSVD:
+		t0 := time.Now()
+		m, err := hosvd.Decompose(x, hosvd.Options{Ranks: spec.Ranks})
+		if err != nil {
+			return res, err
+		}
+		model = *m
+		res.Solve = time.Since(t0)
+		res.Iters = 1
+		res.StoredFloats = x.Len()
+
+	case MACH:
+		r, err := mach.Decompose(x, mach.Options{
+			Ranks:      spec.Ranks,
+			SampleRate: spec.SampleRate,
+			Tol:        spec.Tol,
+			MaxIters:   spec.MaxIters,
+			Seed:       spec.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		model = r.Model
+		res.Prep = r.SampleTime
+		res.Solve = r.IterTime
+		res.Iters = r.Iters
+		// values + indices at half a float each.
+		res.StoredFloats = r.NNZ + (r.NNZ*x.Order()+1)/2
+
+	case RTD:
+		r, err := rtd.Decompose(x, rtd.Options{Ranks: spec.Ranks, Seed: spec.Seed})
+		if err != nil {
+			return res, err
+		}
+		model = r.Model
+		res.Solve = r.Time
+		res.Iters = 1
+		res.StoredFloats = x.Len()
+
+	case TuckerTS, TuckerTTMTS:
+		alg := tuckersketch.TS
+		if method == TuckerTTMTS {
+			alg = tuckersketch.TTMTS
+		}
+		r, err := tuckersketch.Decompose(x, alg, tuckersketch.Options{
+			Ranks:    spec.Ranks,
+			K1:       spec.SketchK1,
+			K2:       spec.SketchK2,
+			Tol:      spec.Tol,
+			MaxIters: spec.MaxIters,
+			Seed:     spec.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		model = r.Model
+		res.Prep = r.SketchTime
+		res.Solve = r.IterTime
+		res.Iters = r.Iters
+		stored := r.K2
+		for _, d := range x.Shape() {
+			stored += r.K1 * d
+		}
+		res.StoredFloats = stored
+
+	default:
+		return res, fmt.Errorf("bench: unknown method %q (known: %s)", method, strings.Join(Methods, ", "))
+	}
+
+	res.ModelFloats = model.StorageFloats()
+	if spec.SkipError {
+		res.RelErr = -1
+	} else {
+		res.RelErr = model.RelError(x)
+	}
+	return res, nil
+}
+
+// dtuckerStoredFloats computes L·(I1·r + r + I2·r) after the descending
+// mode reorder, mirroring core.Approximation.StorageFloats.
+func dtuckerStoredFloats(shape, ranks []int) int {
+	order := len(shape)
+	perm := make([]int, order)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return shape[perm[a]] > shape[perm[b]] })
+	i1, i2 := shape[perm[0]], shape[perm[1]]
+	r := ranks[perm[0]]
+	if ranks[perm[1]] > r {
+		r = ranks[perm[1]]
+	}
+	if m := min(i1, i2); r > m {
+		r = m
+	}
+	l := 1
+	for _, p := range perm[2:] {
+		l *= shape[p]
+	}
+	return l * (i1*r + r + i2*r)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunAll runs every method in Methods on the spec, returning results in
+// presentation order. Methods listed in skip are omitted (e.g. known
+// out-of-time configurations, mirroring the paper's o.o.t. entries).
+func RunAll(spec Spec, skip ...string) ([]Result, error) {
+	skipSet := map[string]bool{}
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	var out []Result
+	for _, m := range Methods {
+		if skipSet[m] {
+			continue
+		}
+		r, err := Run(m, spec)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s on %s: %w", m, spec.Dataset.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

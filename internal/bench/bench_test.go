@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallSpec(t *testing.T) Spec {
+	t.Helper()
+	ds := workload.LowRankNoise([]int{20, 16, 12}, 3, 0.05, 1)
+	return Spec{Dataset: ds, Ranks: []int{3, 3, 3}, Seed: 1, MaxIters: 10}
+}
+
+func TestRunEveryMethod(t *testing.T) {
+	spec := smallSpec(t)
+	for _, m := range Methods {
+		r, err := Run(m, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.Method != m || r.Dataset != spec.Dataset.Name {
+			t.Fatalf("%s: result identity wrong: %+v", m, r)
+		}
+		if r.Total() <= 0 {
+			t.Fatalf("%s: non-positive total time", m)
+		}
+		// MACH at 10% sampling on a tensor this small fits mostly
+		// rescaled sampling noise and can exceed 1; only reject values
+		// signalling NaN propagation or sign bugs.
+		if r.RelErr < 0 || r.RelErr > 5 || r.RelErr != r.RelErr {
+			t.Fatalf("%s: implausible relative error %g", m, r.RelErr)
+		}
+		if r.ModelFloats <= 0 || r.StoredFloats <= 0 {
+			t.Fatalf("%s: space metrics missing: %+v", m, r)
+		}
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	if _, err := Run("nope", smallSpec(t)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunAllAndSkip(t *testing.T) {
+	spec := smallSpec(t)
+	rs, err := RunAll(spec, TuckerTS, TuckerTTMTS, MACH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(Methods)-3 {
+		t.Fatalf("RunAll returned %d results", len(rs))
+	}
+	if rs[0].Method != DTucker {
+		t.Fatalf("first method %s, want %s", rs[0].Method, DTucker)
+	}
+}
+
+func TestSkipError(t *testing.T) {
+	spec := smallSpec(t)
+	spec.SkipError = true
+	r, err := Run(DTucker, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RelErr != -1 {
+		t.Fatalf("RelErr = %g with SkipError", r.RelErr)
+	}
+}
+
+func TestDTuckerStoredSmallerThanInput(t *testing.T) {
+	// The headline space claim at small scale: compressed slices beat the
+	// raw tensor.
+	spec := smallSpec(t)
+	d, err := Run(DTucker, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(TuckerALS, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StoredFloats >= a.StoredFloats {
+		t.Fatalf("D-Tucker stored %d ≥ raw tensor %d", d.StoredFloats, a.StoredFloats)
+	}
+}
+
+func TestDTuckerStoredFloatsFormula(t *testing.T) {
+	// 20×16×12 reordered is already descending; r = 3, L = 12.
+	want := 12 * (20*3 + 3 + 16*3)
+	if got := dtuckerStoredFloats([]int{20, 16, 12}, []int{3, 3, 3}); got != want {
+		t.Fatalf("dtuckerStoredFloats = %d, want %d", got, want)
+	}
+	// Reordering: 12×16×20 must give the same value.
+	if got := dtuckerStoredFloats([]int{12, 16, 20}, []int{3, 3, 3}); got != want {
+		t.Fatalf("reordered dtuckerStoredFloats = %d, want %d", got, want)
+	}
+}
+
+func TestAccuracyOrderingOnBenignInput(t *testing.T) {
+	// On benign low-rank data the paper's accuracy story must hold at
+	// small scale: D-Tucker is comparable to Tucker-ALS, and MACH at its
+	// default 10% sampling is clearly worse.
+	spec := smallSpec(t)
+	d, err := Run(DTucker, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(TuckerALS, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(MACH, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RelErr > a.RelErr+0.02 {
+		t.Fatalf("D-Tucker err %g not comparable to ALS %g", d.RelErr, a.RelErr)
+	}
+	if m.RelErr < a.RelErr {
+		t.Fatalf("MACH err %g unexpectedly beats ALS %g", m.RelErr, a.RelErr)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	spec := smallSpec(t)
+	rs, err := RunAll(spec, TuckerTS, TuckerTTMTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatTable(rs)
+	for _, want := range []string{"dataset", "d-tucker", "tucker-als", "rel.err"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != len(rs)+2 { // header + rule + rows
+		t.Fatalf("table has %d lines, want %d", len(lines), len(rs)+2)
+	}
+}
+
+func TestFormatSpeedups(t *testing.T) {
+	spec := smallSpec(t)
+	rs, err := RunAll(spec, TuckerTS, TuckerTTMTS, MACH, HOSVD, RTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSpeedups(rs)
+	if !strings.Contains(out, "vs d-tucker") || !strings.Contains(out, "×") {
+		t.Fatalf("speedup table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV emits results as CSV with a fixed header, the machine-readable
+// companion to the text tables (times in seconds, space in float64 counts;
+// rel_err is empty when the error pass was skipped).
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"dataset", "method", "prep_s", "solve_s", "total_s", "rel_err", "stored_floats", "model_floats", "iters"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: writing CSV header: %w", err)
+	}
+	for _, r := range results {
+		errStr := ""
+		if r.RelErr >= 0 {
+			errStr = strconv.FormatFloat(r.RelErr, 'g', 8, 64)
+		}
+		rec := []string{
+			r.Dataset,
+			r.Method,
+			strconv.FormatFloat(r.Prep.Seconds(), 'g', 8, 64),
+			strconv.FormatFloat(r.Solve.Seconds(), 'g', 8, 64),
+			strconv.FormatFloat(r.Total().Seconds(), 'g', 8, 64),
+			errStr,
+			strconv.Itoa(r.StoredFloats),
+			strconv.Itoa(r.ModelFloats),
+			strconv.Itoa(r.Iters),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing CSV record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes results to path, creating or truncating it.
+func SaveCSV(path string, results []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: creating %s: %w", path, err)
+	}
+	if err := WriteCSV(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResults() []Result {
+	return []Result{
+		{Dataset: "d1", Method: DTucker, Prep: 100 * time.Millisecond, Solve: 200 * time.Millisecond, RelErr: 0.05, StoredFloats: 1000, ModelFloats: 50, Iters: 3},
+		{Dataset: "d1", Method: TuckerALS, Solve: 2 * time.Second, RelErr: -1, StoredFloats: 9000, ModelFloats: 50, Iters: 5},
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[0][5] != "rel_err" {
+		t.Fatalf("header %v", recs[0])
+	}
+	if recs[1][1] != DTucker || recs[1][4] != "0.3" {
+		t.Fatalf("row 1: %v", recs[1])
+	}
+	if recs[2][5] != "" {
+		t.Fatalf("skipped error not empty: %q", recs[2][5])
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	path := t.TempDir() + "/out.csv"
+	if err := SaveCSV(path, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "d-tucker") {
+		t.Fatalf("file content:\n%s", data)
+	}
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

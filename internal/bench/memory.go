@@ -1,0 +1,30 @@
+package bench
+
+import "runtime"
+
+// MeasureAlloc runs fn and returns the total bytes allocated on the Go heap
+// during the call (cumulative allocations, not peak residency — the
+// machine-independent space metrics in Result are the primary space
+// numbers; this is supporting evidence that the implementations allocate
+// in proportion to them).
+func MeasureAlloc(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// MeasureHeapDelta runs fn and returns the change in live heap bytes across
+// the call (after a GC on both sides), approximating the retained footprint
+// of whatever fn left reachable.
+func MeasureHeapDelta(fn func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return int64(after.HeapAlloc) - int64(before.HeapAlloc)
+}

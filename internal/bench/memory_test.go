@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestMeasureAllocSeesAllocations(t *testing.T) {
+	const want = 8 << 20
+	var sink []byte
+	got := MeasureAlloc(func() {
+		sink = make([]byte, want)
+	})
+	if got < want {
+		t.Fatalf("MeasureAlloc = %d, want ≥ %d", got, want)
+	}
+	_ = sink
+}
+
+func TestMeasureHeapDeltaRetained(t *testing.T) {
+	var sink []byte
+	delta := MeasureHeapDelta(func() {
+		sink = make([]byte, 8<<20)
+	})
+	if delta < 7<<20 {
+		t.Fatalf("retained delta %d for an 8 MiB allocation", delta)
+	}
+	runtimeKeepAlive(sink)
+}
+
+// runtimeKeepAlive prevents the compiler from proving sink dead before the
+// measurement completes.
+//
+//go:noinline
+func runtimeKeepAlive(b []byte) { _ = b }
+
+func TestDTuckerAllocatesLessThanALS(t *testing.T) {
+	// Allocation volume is a machine-independent proxy for working-set
+	// pressure: D-Tucker's solve phases must allocate less than raw-tensor
+	// ALS at the same spec.
+	ds := workload.LowRankNoise([]int{48, 40, 64}, 5, 0.1, 3)
+	spec := Spec{Dataset: ds, Ranks: []int{5, 5, 5}, Seed: 1, MaxIters: 8, SkipError: true}
+
+	dt := MeasureAlloc(func() {
+		if _, err := Run(DTucker, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	als := MeasureAlloc(func() {
+		if _, err := Run(TuckerALS, spec); err != nil {
+			t.Error(err)
+		}
+	})
+	if dt >= als {
+		t.Fatalf("D-Tucker allocated %d ≥ ALS %d", dt, als)
+	}
+}
+
+func TestApproximationRetainsCompressedSize(t *testing.T) {
+	// The retained footprint of an Approximation should be of the same
+	// order as its analytic StorageFloats (within slack for slice headers
+	// and allocator rounding), far below the raw tensor.
+	ds := workload.LowRankNoise([]int{64, 48, 64}, 5, 0.1, 4)
+	var ap *core.Approximation
+	delta := MeasureHeapDelta(func() {
+		var err error
+		ap, err = core.Approximate(ds.X, core.Options{Ranks: []int{5, 5, 5}, Seed: 1})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	analytic := int64(ap.StorageFloats() * 8)
+	if delta > 4*analytic {
+		t.Fatalf("retained %d bytes, analytic %d", delta, analytic)
+	}
+	raw := int64(ds.X.Len() * 8)
+	if delta > raw/2 {
+		t.Fatalf("approximation retains %d bytes, more than half the raw tensor %d", delta, raw)
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatTable renders results as an aligned text table with one row per
+// (dataset, method) pair — the format every experiment prints.
+func FormatTable(results []Result) string {
+	header := []string{"dataset", "method", "prep", "solve", "total", "rel.err", "stored(MF)", "model(kF)", "iters"}
+	rows := [][]string{header}
+	for _, r := range results {
+		errStr := "—"
+		if r.RelErr >= 0 {
+			errStr = fmt.Sprintf("%.4f", r.RelErr)
+		}
+		rows = append(rows, []string{
+			r.Dataset,
+			r.Method,
+			fmtDur(r.Prep),
+			fmtDur(r.Solve),
+			fmtDur(r.Total()),
+			errStr,
+			fmt.Sprintf("%.3f", float64(r.StoredFloats)/1e6),
+			fmt.Sprintf("%.1f", float64(r.ModelFloats)/1e3),
+			fmt.Sprint(r.Iters),
+		})
+	}
+	return alignRows(rows)
+}
+
+// FormatSpeedups renders, per dataset, each method's total time as a
+// multiple of the first method's (the proposed method) — the "K× faster"
+// presentation of the paper's headline claims.
+func FormatSpeedups(results []Result) string {
+	byDataset := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if _, seen := byDataset[r.Dataset]; !seen {
+			order = append(order, r.Dataset)
+		}
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	rows := [][]string{{"dataset", "method", "total", "vs " + Methods[0]}}
+	for _, ds := range order {
+		rs := byDataset[ds]
+		var base time.Duration
+		for _, r := range rs {
+			if r.Method == Methods[0] {
+				base = r.Total()
+			}
+		}
+		for _, r := range rs {
+			ratio := "—"
+			if base > 0 {
+				ratio = fmt.Sprintf("%.1f×", float64(r.Total())/float64(base))
+			}
+			rows = append(rows, []string{ds, r.Method, fmtDur(r.Total()), ratio})
+		}
+	}
+	return alignRows(rows)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.0fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func alignRows(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for c, cell := range row {
+			if w := displayWidth(cell); w > widths[c] {
+				widths[c] = w
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, row := range rows {
+		for c, cell := range row {
+			sb.WriteString(cell)
+			if c < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[c]-displayWidth(cell)+2))
+			}
+		}
+		sb.WriteByte('\n')
+		if i == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total-2))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// displayWidth counts runes, not bytes, so the × and — glyphs align.
+func displayWidth(s string) int { return len([]rune(s)) }

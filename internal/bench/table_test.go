@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		350 * time.Microsecond:  "0.35ms",
+		42 * time.Millisecond:   "42ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for in, want := range cases {
+		if got := fmtDur(in); got != want {
+			t.Fatalf("fmtDur(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAlignRowsColumnsLineUp(t *testing.T) {
+	rows := [][]string{
+		{"a", "bb", "c"},
+		{"long", "x", "yy"},
+		{"m", "middle", "z"},
+	}
+	out := alignRows(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Column 2 must start at the same offset in every non-rule line.
+	off := strings.Index(lines[0], "bb")
+	for _, l := range []string{lines[2], lines[3]} {
+		if len(l) <= off {
+			t.Fatalf("line too short: %q", l)
+		}
+	}
+	if strings.Index(lines[2], "x") != off || strings.Index(lines[3], "middle") != off {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAlignRowsUnicodeWidths(t *testing.T) {
+	// The × and — glyphs are multi-byte; alignment must count runes.
+	rows := [][]string{
+		{"h1", "h2"},
+		{"1.0×", "a"},
+		{"——", "b"},
+	}
+	out := alignRows(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	col2 := []int{
+		strings.Index(lines[0], "h2"),
+		strings.IndexRune(lines[2], 'a'),
+		strings.IndexRune(lines[3], 'b'),
+	}
+	// Rune-based offsets must agree.
+	r0 := len([]rune(lines[0][:col2[0]]))
+	r2 := len([]rune(lines[2][:col2[1]]))
+	r3 := len([]rune(lines[3][:col2[2]]))
+	if r0 != r2 || r0 != r3 {
+		t.Fatalf("unicode columns misaligned: %d %d %d\n%s", r0, r2, r3, out)
+	}
+}
+
+func TestComplexityTableMentionsEveryMethod(t *testing.T) {
+	table := ComplexityTable()
+	for _, m := range Methods {
+		if !strings.Contains(table, m) {
+			t.Fatalf("complexity table missing %s:\n%s", m, table)
+		}
+	}
+}
+
+func TestSketchInfeasible(t *testing.T) {
+	// 3-order rank 10: K2 = 4096, product 1000 → 4M floats: feasible.
+	if SketchInfeasible([]int{10, 10, 10}, 0) {
+		t.Fatal("3-order rank-10 config flagged infeasible")
+	}
+	// 4-order rank 10: K2 = 65536, product 10000 → 655M floats: infeasible.
+	if !SketchInfeasible([]int{10, 10, 10, 10}, 0) {
+		t.Fatal("4-order rank-10 config not flagged infeasible")
+	}
+	// Explicit small K2 keeps the 4-order config feasible.
+	if SketchInfeasible([]int{10, 10, 10, 10}, 1024) {
+		t.Fatal("explicit small K2 flagged infeasible")
+	}
+}
+
+func TestFormatErrorViewSkipsMissingError(t *testing.T) {
+	var sb strings.Builder
+	FormatErrorView(&sb, []Result{
+		{Dataset: "d", Method: "m1", RelErr: 0.5},
+		{Dataset: "d", Method: "m2", RelErr: -1},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "0.5000") || !strings.Contains(out, "—") {
+		t.Fatalf("error view wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/randsvd"
+	"repro/internal/tensor"
+)
+
+// RanksForEnergy suggests per-mode target ranks, in the INPUT's original
+// mode order, such that each mode's factor subspace retains at least a
+// (1 − eps²) fraction of that mode's unfolding energy, capped at maxRank
+// per mode. It is computed entirely from the compressed slices — no pass
+// over raw data — making rank exploration nearly free once the
+// approximation phase has run.
+//
+// This answers the practical question the paper's fixed-rank protocol
+// leaves open ("which J do I pick?") and is labelled an extension in
+// DESIGN.md.
+func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: energy tolerance %g outside (0,1)", eps)
+	}
+	if maxRank <= 0 {
+		return nil, fmt.Errorf("core: non-positive maxRank %d", maxRank)
+	}
+	order := len(ap.Shape)
+	// Truncation errors accumulate across modes (the HOSVD bound:
+	// ‖X−X̂‖² ≤ Σ_n tail_n²), so each mode gets an eps²/N share of the
+	// squared error budget.
+	keep := 1 - eps*eps/float64(order)
+	rng := rand.New(rand.NewSource(ap.opts.Seed ^ 0x7a9e))
+
+	permRanks := make([]int, order)
+
+	// Modes 1 and 2: spectra of the stacked slice factors. The stack's
+	// total energy is Σ S² exactly (orthonormal slice factors), so the
+	// retained fraction needs only the leading singular values.
+	total := 0.0
+	for _, s := range ap.Slices {
+		for _, v := range s.S {
+			total += v * v
+		}
+	}
+	for mode := 0; mode < 2; mode++ {
+		dim := ap.Shape[mode]
+		cap := min(min(maxRank, dim), len(ap.Slices)*ap.SliceRank)
+		y := ap.stackedFactors(mode)
+		sv, err := leadingValuesOfStack(y, cap, rng, ap.opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: mode-%d spectrum: %w", mode+1, err)
+		}
+		permRanks[mode] = ranksForFraction(sv, total, keep, cap)
+	}
+
+	// Trailing modes: spectra of the projected tensor W built with
+	// provisional mode-1/2 bases at the capped rank.
+	if order > 2 {
+		a1, err := leadingOfStack(ap.stackedFactors(0), min(maxRank, ap.Shape[0]), rng, ap.opts)
+		if err != nil {
+			return nil, err
+		}
+		a2, err := leadingOfStack(ap.stackedFactors(1), min(maxRank, ap.Shape[1]), rng, ap.opts)
+		if err != nil {
+			return nil, err
+		}
+		w := ap.projectedTensor(a1, a2)
+		wNorm := w.Norm()
+		wTotal := wNorm * wNorm
+		for n := 2; n < order; n++ {
+			cap := min(maxRank, ap.Shape[n])
+			sv, err := unfoldingSpectrum(w, n, cap)
+			if err != nil {
+				return nil, fmt.Errorf("core: mode-%d spectrum: %w", n+1, err)
+			}
+			permRanks[n] = ranksForFraction(sv, wTotal, keep, cap)
+		}
+	}
+
+	// Map back to the original mode order.
+	ranks := make([]int, order)
+	for k, p := range ap.Perm {
+		ranks[p] = permRanks[k]
+	}
+	return ranks, nil
+}
+
+// stackedFactors materializes [F_1·S_1 … F_L·S_L] where F is U (mode 0) or
+// V (mode 1).
+func (ap *Approximation) stackedFactors(mode int) *mat.Dense {
+	r := ap.SliceRank
+	dim := ap.Shape[mode]
+	y := mat.New(dim, len(ap.Slices)*r)
+	for l, s := range ap.Slices {
+		f := s.U
+		if mode == 1 {
+			f = s.V
+		}
+		writeScaledBlock(y, f, s.S, l*r)
+	}
+	return y
+}
+
+// leadingValuesOfStack returns the k leading singular values of the stack,
+// exactly for small stacks and via randomized SVD for large ones.
+func leadingValuesOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) ([]float64, error) {
+	rows, cols := y.Dims()
+	if cols <= 3*k+8 || rows*cols < 1<<14 {
+		res, err := mat.SVD(y)
+		if err != nil {
+			return nil, err
+		}
+		if k < len(res.S) {
+			return res.S[:k], nil
+		}
+		return res.S, nil
+	}
+	res, err := randsvd.SVD(y, k, randsvd.Options{
+		Oversampling: opts.Oversampling,
+		PowerIters:   opts.PowerIters,
+		Rng:          rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.S, nil
+}
+
+// ranksForFraction returns the smallest count of leading squared singular
+// values reaching keep·total, capped.
+func ranksForFraction(sv []float64, total, keep float64, cap int) int {
+	if total <= 0 {
+		return 1
+	}
+	acc := 0.0
+	for i, v := range sv {
+		acc += v * v
+		if acc >= keep*total {
+			return min(i+1, cap)
+		}
+	}
+	return cap
+}
+
+// unfoldingSpectrum returns the k leading singular values of the mode-n
+// unfolding of w.
+func unfoldingSpectrum(w *tensor.Dense, n, k int) ([]float64, error) {
+	res, err := mat.SVD(w.Unfold(n))
+	if err != nil {
+		return nil, err
+	}
+	sv := res.S
+	if k < len(sv) {
+		sv = sv[:k]
+	}
+	return sv, nil
+}
+
+// DecomposeAdaptive runs D-Tucker with data-driven ranks: the tensor is
+// compressed once at slice rank maxRank, per-mode ranks are chosen so each
+// retains (1 − eps²) of its energy (capped at maxRank), and the remaining
+// phases run at those ranks. opts.Ranks is ignored.
+func DecomposeAdaptive(x *tensor.Dense, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	if maxRank <= 0 {
+		return nil, nil, fmt.Errorf("core: non-positive maxRank %d", maxRank)
+	}
+	provisional := make([]int, x.Order())
+	for n := range provisional {
+		provisional[n] = min(maxRank, x.Dim(n))
+	}
+	opts.Ranks = provisional
+	if opts.SliceRank <= 0 {
+		opts.SliceRank = maxRank
+	}
+	ap, err := Approximate(x, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks, err := ap.RanksForEnergy(eps, maxRank)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, p := range ap.Perm {
+		ap.Ranks[k] = ranks[p]
+	}
+	ap.opts.Ranks = ranks
+	dec, err := ap.Decompose()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dec, ranks, nil
+}

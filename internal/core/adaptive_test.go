@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRanksForEnergyRecoversTrueRank(t *testing.T) {
+	// Exactly rank-(4,4,4) tensor: a tight energy threshold must select
+	// exactly 4 per mode.
+	rng := rand.New(rand.NewSource(1))
+	x := lowRankTensor(rng, 0, 4, 24, 20, 16)
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 12), SliceRank: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := ap.RanksForEnergy(1e-4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, r := range ranks {
+		if r != 4 {
+			t.Fatalf("mode %d rank %d, want 4 (all: %v)", n, r, ranks)
+		}
+	}
+}
+
+func TestRanksForEnergyMonotoneInTolerance(t *testing.T) {
+	// Looser tolerance must never demand more rank.
+	rng := rand.New(rand.NewSource(2))
+	x := lowRankTensor(rng, 0.3, 5, 24, 20, 16)
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 14), SliceRank: 14, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := ap.RanksForEnergy(0.05, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := ap.RanksForEnergy(0.5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range tight {
+		if loose[n] > tight[n] {
+			t.Fatalf("mode %d: loose rank %d > tight rank %d", n, loose[n], tight[n])
+		}
+	}
+}
+
+func TestRanksForEnergyRespectsCapAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Ascending dims force an internal reorder: output must still be in
+	// the original mode order (rank ≤ dim per mode).
+	x := tensor.RandN(rng, 6, 14, 30)
+	ap, err := Approximate(x, Options{Ranks: []int{5, 5, 5}, SliceRank: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := ap.RanksForEnergy(0.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, r := range ranks {
+		if r < 1 || r > x.Dim(n) {
+			t.Fatalf("mode %d rank %d outside [1,%d]", n, r, x.Dim(n))
+		}
+	}
+}
+
+func TestRanksForEnergyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandN(rng, 8, 8, 8)
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 4), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct {
+		eps float64
+		max int
+	}{{0, 4}, {1, 4}, {-0.1, 4}, {0.1, 0}} {
+		if _, err := ap.RanksForEnergy(bad.eps, bad.max); err == nil {
+			t.Fatalf("invalid args (%g,%d) accepted", bad.eps, bad.max)
+		}
+	}
+}
+
+func TestDecomposeAdaptiveMeetsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := lowRankTensor(rng, 0.05, 4, 28, 24, 20)
+	dec, ranks, err := DecomposeAdaptive(x, 0.10, 12, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Validate(x.Shape()); err != nil {
+		t.Fatal(err)
+	}
+	for n, r := range ranks {
+		if dec.Core.Dim(n) != r {
+			t.Fatalf("core mode %d is %d, ranks say %d", n, dec.Core.Dim(n), r)
+		}
+	}
+	// The achieved error should be near the requested 10% (noise floor 5%).
+	if rel := dec.RelError(x); rel > 0.2 {
+		t.Fatalf("adaptive error %g for 0.10 target", rel)
+	}
+}
+
+func TestDecomposeAdaptiveOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := lowRankTensor(rng, 0.05, 2, 12, 10, 8, 6)
+	dec, ranks, err := DecomposeAdaptive(x, 0.15, 6, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("ranks %v", ranks)
+	}
+	if rel := dec.RelError(x); rel > 0.25 {
+		t.Fatalf("order-4 adaptive error %g", rel)
+	}
+}
+
+func TestDecomposeAdaptiveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 8, 8, 8)
+	if _, _, err := DecomposeAdaptive(x, 0.1, 0, Options{}); err == nil {
+		t.Fatal("maxRank 0 accepted")
+	}
+	if _, _, err := DecomposeAdaptive(x, 0, 4, Options{}); err == nil {
+		t.Fatal("eps 0 accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/randsvd"
+	"repro/internal/tensor"
+)
+
+// SliceSVD is the rank-r compression of one I1×I2 frontal slice:
+// X_l ≈ U·diag(S)·Vᵀ.
+type SliceSVD struct {
+	U *mat.Dense // I1×r
+	S []float64  // r, descending
+	V *mat.Dense // I2×r
+}
+
+// Approximation is the output of D-Tucker's approximation phase: the
+// compressed slices plus the bookkeeping needed to run the remaining phases
+// and to map results back to the input's mode order. It replaces the raw
+// tensor for all subsequent computation.
+type Approximation struct {
+	// Slices holds the per-slice rank-r SVDs, enumerated with mode 3
+	// fastest (the tensor's frontal-slice order), in reordered mode space.
+	Slices []SliceSVD
+	// Shape is the tensor shape in reordered mode space.
+	Shape []int
+	// Perm maps reordered positions to original modes: reordered mode k is
+	// original mode Perm[k].
+	Perm []int
+	// Ranks are the target core dimensionalities in reordered mode space.
+	Ranks []int
+	// NormX is the Frobenius norm of the input tensor, captured here so
+	// the iteration phase can estimate fits without the raw data.
+	NormX float64
+	// SliceRank is the compression rank r.
+	SliceRank int
+
+	opts Options
+}
+
+// modeOrder returns the permutation sorting modes by decreasing
+// dimensionality (stable, so equal modes keep their relative order).
+func modeOrder(shape []int) []int {
+	perm := make([]int, len(shape))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return shape[perm[a]] > shape[perm[b]] })
+	return perm
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func isIdentityPerm(p []int) bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Approximate runs the approximation phase: it reorders modes so the two
+// largest lead (unless opts.NoReorder), splits the tensor into frontal
+// slices, and compresses each slice with a rank-r randomized SVD.
+//
+// This is the only phase that reads the raw tensor; its output is the
+// compressed representation every later phase works from.
+func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("core: D-Tucker requires an order ≥ 2 tensor, got order %d", x.Order())
+	}
+	opts, err := opts.withDefaults(x.Order())
+	if err != nil {
+		return nil, err
+	}
+
+	perm := identityPerm(x.Order())
+	if !opts.NoReorder {
+		perm = modeOrder(x.Shape())
+	}
+	shape := make([]int, len(perm))
+	ranks := make([]int, len(perm))
+	for k, p := range perm {
+		shape[k] = x.Dim(p)
+		ranks[k] = opts.Ranks[p]
+		if ranks[k] > shape[k] {
+			return nil, fmt.Errorf("core: rank %d exceeds dimensionality %d of mode %d", ranks[k], shape[k], p)
+		}
+	}
+	r := opts.SliceRank
+	if r <= 0 {
+		r = ranks[0]
+		if ranks[1] > r {
+			r = ranks[1]
+		}
+	}
+	if max := min(shape[0], shape[1]); r > max {
+		r = max
+	}
+
+	ap := &Approximation{
+		Shape:     shape,
+		Perm:      perm,
+		Ranks:     ranks,
+		NormX:     x.Norm(),
+		SliceRank: r,
+		opts:      opts,
+	}
+	// Slices are gathered straight from x's storage (no materialized
+	// permutation) and compressed.
+	ap.Slices, err = compressSlices(x, perm, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ap, nil
+}
+
+// compressSlices runs the per-slice randomized SVDs in the mode order
+// given by perm, optionally in parallel. Slice l always draws from a
+// generator seeded Seed+l so the result is identical regardless of Workers.
+func compressSlices(x *tensor.Dense, perm []int, r int, opts Options) ([]SliceSVD, error) {
+	ns := 1
+	for _, p := range perm[2:] {
+		ns *= x.Dim(p)
+	}
+	slices := make([]SliceSVD, ns)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			res, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: compressing slice %d: %w", l, err)
+				}
+				mu.Unlock()
+				return
+			}
+			slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
+		}
+	}
+	w := opts.Workers
+	if w > ns {
+		w = ns
+	}
+	if w <= 1 {
+		work(0, ns)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (ns + w - 1) / w
+		for lo := 0; lo < ns; lo += chunk {
+			hi := min(lo+chunk, ns)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				work(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return slices, nil
+}
+
+// sliceSVD compresses one slice to rank r, with either the randomized
+// (default) or exact path, drawing randomness from a per-slice seed so the
+// result is independent of worker scheduling.
+func sliceSVD(slice *mat.Dense, r, l int, opts Options) (mat.SVDResult, error) {
+	if opts.ExactSliceSVD {
+		res, err := mat.SVD(slice)
+		if err != nil {
+			return mat.SVDResult{}, err
+		}
+		return res.Truncate(r), nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(l)))
+	return randsvd.SVD(slice, r, randsvd.Options{
+		Oversampling: opts.Oversampling,
+		PowerIters:   opts.PowerIters,
+		Rng:          rng,
+	})
+}
+
+// NumSlices returns the number of compressed slices L.
+func (ap *Approximation) NumSlices() int { return len(ap.Slices) }
+
+// StorageFloats returns the number of float64 values the compressed
+// representation stores: L·(I1·r + r + I2·r). This is the preprocessing
+// space cost reported in the experiments.
+func (ap *Approximation) StorageFloats() int {
+	total := 0
+	for _, s := range ap.Slices {
+		total += s.U.Rows()*s.U.Cols() + len(s.S) + s.V.Rows()*s.V.Cols()
+	}
+	return total
+}
+
+// sliceIndex decodes flat slice index l into the multi-index over modes
+// 3..N (mode 3 fastest), mirroring tensor.Dense.SliceIndex.
+func (ap *Approximation) sliceIndex(l int, idx []int) []int {
+	rest := ap.Shape[2:]
+	if cap(idx) < len(rest) {
+		idx = make([]int, len(rest))
+	}
+	idx = idx[:len(rest)]
+	for k, s := range rest {
+		idx[k] = l % s
+		l /= s
+	}
+	return idx
+}
+
+// ApproxRelError returns the relative Frobenius error of the slice-SVD
+// approximation itself — the floor below which the Tucker fit cannot go.
+func (ap *Approximation) ApproxRelError() float64 {
+	if ap.NormX == 0 {
+		return 0
+	}
+	var kept float64
+	for _, s := range ap.Slices {
+		for _, v := range s.S {
+			kept += v * v
+		}
+	}
+	resid2 := ap.NormX*ap.NormX - kept
+	if resid2 < 0 {
+		resid2 = 0
+	}
+	return math.Sqrt(resid2) / ap.NormX
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

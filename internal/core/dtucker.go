@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Stats records per-phase wall times and the iteration count of a run.
+type Stats struct {
+	ApproxTime time.Duration
+	InitTime   time.Duration
+	IterTime   time.Duration
+	Iters      int
+}
+
+// Total returns the end-to-end wall time.
+func (s Stats) Total() time.Duration { return s.ApproxTime + s.InitTime + s.IterTime }
+
+// Decomposition is the result of a D-Tucker run: the Tucker model in the
+// input's original mode order, plus the fit estimate and phase statistics.
+type Decomposition struct {
+	tucker.Model
+	// Fit is the ALS fit estimate 1 − ‖X−X̂‖/‖X‖ computed from the
+	// compressed representation (see tucker.FitFromCore). For the exact
+	// error against the raw tensor use Model.RelError.
+	Fit   float64
+	Stats Stats
+}
+
+// Decompose runs all three D-Tucker phases on x.
+func Decompose(x *tensor.Dense, opts Options) (*Decomposition, error) {
+	t0 := time.Now()
+	ap, err := Approximate(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	approxTime := time.Since(t0)
+	dec, err := ap.Decompose()
+	if err != nil {
+		return nil, err
+	}
+	dec.Stats.ApproxTime = approxTime
+	return dec, nil
+}
+
+// Decompose runs the initialization and iteration phases on an existing
+// approximation. Reusing one Approximation across calls amortizes the only
+// phase that reads the raw tensor — the pattern the ablation experiments
+// measure.
+func (ap *Approximation) Decompose() (*Decomposition, error) {
+	t0 := time.Now()
+	factors, err := ap.initFactors()
+	if err != nil {
+		return nil, err
+	}
+	initTime := time.Since(t0)
+
+	t1 := time.Now()
+	core, fit, iters, err := ap.iterate(factors)
+	if err != nil {
+		return nil, err
+	}
+	iterTime := time.Since(t1)
+
+	model := ap.toOriginalOrder(core, factors)
+	if err := model.Validate(nil); err != nil {
+		return nil, fmt.Errorf("core: internal inconsistency: %w", err)
+	}
+	return &Decomposition{
+		Model: model,
+		Fit:   fit,
+		Stats: Stats{InitTime: initTime, IterTime: iterTime, Iters: iters},
+	}, nil
+}
+
+// toOriginalOrder maps the reordered-space core and factors back to the
+// input's original mode order.
+func (ap *Approximation) toOriginalOrder(core *tensor.Dense, factors []*mat.Dense) tucker.Model {
+	order := len(ap.Perm)
+	if isIdentityPerm(ap.Perm) {
+		return tucker.Model{Core: core, Factors: factors}
+	}
+	origFactors := make([]*mat.Dense, order)
+	// pos[m] is the reordered position of original mode m.
+	pos := make([]int, order)
+	for k, p := range ap.Perm {
+		origFactors[p] = factors[k]
+		pos[p] = k
+	}
+	return tucker.Model{Core: core.Permute(pos), Factors: origFactors}
+}

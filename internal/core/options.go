@@ -1,0 +1,115 @@
+// Package core implements D-Tucker (Jang & Kang, ICDE 2020): a fast and
+// memory-efficient Tucker decomposition for large dense tensors.
+//
+// D-Tucker runs in three phases.
+//
+//  1. Approximation: the tensor is viewed as L = ∏_{n≥3} I_n frontal slices
+//     of size I1×I2 (after reordering modes so the two largest come first),
+//     and each slice is compressed once with a rank-r randomized SVD,
+//     X_l ≈ U_l·diag(S_l)·V_lᵀ. Every later phase touches only these
+//     compressed slices — the raw tensor is never revisited.
+//  2. Initialization: the factor matrix of mode 1 is initialized from the
+//     SVD of the stacked [U_1S_1 … U_LS_L], mode 2 from [V_1S_1 … V_LS_L],
+//     and the remaining modes plus the core from the small projected tensor
+//     W with slices W_l = (A(1)ᵀU_l)·diag(S_l)·(V_lᵀA(2)).
+//  3. Iteration: ALS (HOOI) updates evaluated through the slice SVDs, so a
+//     full sweep costs O(L·(I1+I2)·(J² + J^{N-1})) instead of the
+//     O(J·∏I_k) a raw-tensor sweep costs.
+//
+// Complexity (I1 ≥ I2 ≥ … , L slices, slice rank r ≈ J, M iterations):
+//
+//	approximation: O(L·I1·I2·r) time, O(L·(I1+I2+1)·r) space
+//	initialization: O(L·(I1+I2)·r·J) time
+//	iteration:      O(M·N·L·(I1+I2)·(J·r + J^{N-1})) time,
+//	                O(L·(I1+I2)·r + I1·J^{N-1}) space
+//
+// matching the figures attributed to D-Tucker in follow-up work (time
+// O(I^{N-2}·M·N·J²·I), space O(I^{N-2}·J·I) for an I-cube).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Options configures a D-Tucker decomposition.
+type Options struct {
+	// Ranks holds the target core dimensionalities J_n, one per mode of
+	// the input tensor, in the input's original mode order. Required.
+	Ranks []int
+
+	// SliceRank r is the rank of the per-slice randomized SVDs in the
+	// approximation phase. Zero selects max(J of the two slice modes),
+	// the paper's choice of matching the slice rank to the target rank.
+	SliceRank int
+
+	// Tol stops the iteration phase when the fit change drops below it.
+	// Zero selects 1e-4, the tolerance used in the paper's experiments.
+	Tol float64
+
+	// MaxIters bounds the iteration phase. Zero selects 100, the paper's
+	// cap.
+	MaxIters int
+
+	// Oversampling and PowerIters are passed to the randomized SVD
+	// (defaults 5 and 1; PowerIters = -1 disables power iterations).
+	Oversampling int
+	PowerIters   int
+
+	// Seed makes the randomized sketches reproducible. Slice l draws from
+	// a generator seeded with Seed+l, so results are independent of
+	// Workers.
+	Seed int64
+
+	// Leading selects how dominant singular vectors are extracted during
+	// the iteration phase (see mat.LeadingMethod). The default LeadingAuto
+	// picks the Gram path for very rectangular matrices.
+	Leading mat.LeadingMethod
+
+	// Workers is the number of goroutines compressing slices in the
+	// approximation phase. Zero selects 1, matching the paper's
+	// single-thread protocol.
+	Workers int
+
+	// NoReorder keeps the input's mode order instead of sorting modes by
+	// decreasing dimensionality. Mostly useful in tests and when the
+	// caller knows the first two modes are already the largest.
+	NoReorder bool
+
+	// ExactSliceSVD replaces the randomized slice SVDs of the
+	// approximation phase with exact ones — the accuracy-versus-speed
+	// ablation of the paper's choice of randomized SVD. Exact slice SVDs
+	// cost O(I1·I2·min(I1,I2)) per slice instead of O(I1·I2·r).
+	ExactSliceSVD bool
+}
+
+func (o Options) withDefaults(order int) (Options, error) {
+	if len(o.Ranks) != order {
+		return o, fmt.Errorf("core: %d ranks for an order-%d tensor", len(o.Ranks), order)
+	}
+	for n, j := range o.Ranks {
+		if j <= 0 {
+			return o, fmt.Errorf("core: non-positive rank %d for mode %d", j, n)
+		}
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.MaxIters < 0 {
+		return o, fmt.Errorf("core: negative MaxIters %d", o.MaxIters)
+	}
+	if o.Oversampling == 0 {
+		o.Oversampling = 5
+	}
+	if o.PowerIters == 0 {
+		o.PowerIters = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	return o, nil
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/randsvd"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// initFactors runs the initialization phase in reordered mode space:
+// A(1) from the stacked [U_l·S_l], A(2) from the stacked [V_l·S_l], and
+// the remaining modes from a truncated HOSVD of the projected tensor W.
+func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
+	order := len(ap.Shape)
+	i1, i2 := ap.Shape[0], ap.Shape[1]
+	r := ap.SliceRank
+	L := len(ap.Slices)
+	rng := rand.New(rand.NewSource(ap.opts.Seed ^ 0x5eed1217))
+
+	factors := make([]*mat.Dense, order)
+
+	// A(1) ← leading J1 left singular vectors of [U_1S_1 … U_LS_L].
+	y1 := mat.New(i1, L*r)
+	for l, s := range ap.Slices {
+		writeScaledBlock(y1, s.U, s.S, l*r)
+	}
+	a1, err := leadingOfStack(y1, ap.Ranks[0], rng, ap.opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: initializing mode-1 factor: %w", err)
+	}
+	factors[0] = a1
+
+	// A(2) ← leading J2 left singular vectors of [V_1S_1 … V_LS_L].
+	y2 := mat.New(i2, L*r)
+	for l, s := range ap.Slices {
+		writeScaledBlock(y2, s.V, s.S, l*r)
+	}
+	a2, err := leadingOfStack(y2, ap.Ranks[1], rng, ap.opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: initializing mode-2 factor: %w", err)
+	}
+	factors[1] = a2
+
+	// Remaining modes from the small projected tensor W (truncated HOSVD).
+	if order > 2 {
+		w := ap.projectedTensor(a1, a2)
+		for n := 2; n < order; n++ {
+			f, err := mat.LeadingLeft(w.Unfold(n), ap.Ranks[n], ap.opts.Leading)
+			if err != nil {
+				return nil, fmt.Errorf("core: initializing mode-%d factor: %w", n+1, err)
+			}
+			factors[n] = f
+		}
+	}
+	return factors, nil
+}
+
+// writeScaledBlock writes u·diag(s) into dst starting at column col0.
+func writeScaledBlock(dst, u *mat.Dense, s []float64, col0 int) {
+	rows, r := u.Dims()
+	for i := 0; i < rows; i++ {
+		urow := u.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < r; j++ {
+			drow[col0+j] = urow[j] * s[j]
+		}
+	}
+}
+
+// leadingOfStack extracts k leading left singular vectors of the (typically
+// very wide) stacked matrix. A randomized SVD keeps this O(rows·cols·k)
+// instead of the O(rows²·cols) an exact factorization would cost; for small
+// stacks the exact path is used directly.
+func leadingOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) (*mat.Dense, error) {
+	rows, cols := y.Dims()
+	if cols <= 3*k+8 || rows*cols < 1<<14 {
+		return mat.LeadingLeft(y, k, opts.Leading)
+	}
+	res, err := randsvd.SVD(y, k, randsvd.Options{
+		Oversampling: opts.Oversampling,
+		PowerIters:   opts.PowerIters,
+		Rng:          rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.U.Cols() < k {
+		// Degenerate stack; fall back to the exact path, which pads with
+		// an orthonormal completion.
+		return mat.LeadingLeft(y, k, mat.LeadingJacobi)
+	}
+	return res.U, nil
+}
+
+// projectedTensor builds W ∈ R^{J1×J2×I3×…} with frontal slices
+// W_l = (A(1)ᵀU_l)·diag(S_l)·(V_lᵀA(2)) — the whole input projected into
+// the current mode-1/2 subspaces, computed purely from the compressed
+// slices.
+func (ap *Approximation) projectedTensor(a1, a2 *mat.Dense) *tensor.Dense {
+	shape := append([]int{a1.Cols(), a2.Cols()}, ap.Shape[2:]...)
+	w := tensor.New(shape...)
+	for l, s := range ap.Slices {
+		left := mat.MulTA(a1, s.U) // J1×r
+		scaleCols(left, s.S)
+		right := mat.MulTA(s.V, a2) // r×J2
+		w.SetFrontalSlice(l, mat.Mul(left, right))
+	}
+	return w
+}
+
+func scaleCols(m *mat.Dense, s []float64) {
+	rows, cols := m.Dims()
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := 0; j < cols; j++ {
+			row[j] *= s[j]
+		}
+	}
+	_ = rows
+}
+
+// accumulateSliceMode computes the mode-1 (mode = 0) or mode-2 (mode = 1)
+// ALS matrix Y_(n) = X ×_{k≠n} A(k)ᵀ unfolded along mode n, evaluated
+// through the compressed slices:
+//
+//	mode 0: Y += Σ_l [U_l·diag(S)·(V_lᵀA(2))] ⊗ kronrow_l  (I1 × J2·C)
+//	mode 1: Y += Σ_l [V_l·diag(S)·(U_lᵀA(1))] ⊗ kronrow_l  (I2 × J1·C)
+//
+// where kronrow_l is the Kronecker product of the rows of A(3..N) selected
+// by slice l's multi-index and C = ∏_{k≥3} J_k.
+//
+// With opts.Workers > 1 the slice range is split across goroutines, each
+// accumulating into a private matrix; the partials are reduced in a fixed
+// order so the result is deterministic for a given worker count.
+func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) *mat.Dense {
+	order := len(ap.Shape)
+	c := 1
+	for k := 2; k < order; k++ {
+		c *= factors[k].Cols()
+	}
+	var rows, blk int
+	if mode == 0 {
+		rows, blk = ap.Shape[0], factors[1].Cols()
+	} else {
+		rows, blk = ap.Shape[1], factors[0].Cols()
+	}
+
+	accumulate := func(y *mat.Dense, lo, hi int) {
+		w := make([]float64, c)
+		kronRows := make([][]float64, order-2)
+		idx := make([]int, order-2)
+		for l := lo; l < hi; l++ {
+			s := ap.Slices[l]
+			var p *mat.Dense
+			if mode == 0 {
+				t := mat.MulTA(s.V, factors[1]) // r×J2
+				scaleRows(t, s.S)
+				p = mat.Mul(s.U, t) // I1×J2
+			} else {
+				t := mat.MulTA(s.U, factors[0]) // r×J1
+				scaleRows(t, s.S)
+				p = mat.Mul(s.V, t) // I2×J1
+			}
+			// Kronecker row over the trailing factors with mode 3
+			// fastest: KronRow makes its *last* argument fastest, so feed
+			// rows in reverse mode order.
+			idx = ap.sliceIndex(l, idx)
+			for k := range kronRows {
+				kronRows[len(kronRows)-1-k] = factors[2+k].Row(idx[k])
+			}
+			mat.KronRow(w, kronRows...)
+
+			for i := 0; i < rows; i++ {
+				prow := p.Row(i)
+				yrow := y.Row(i)
+				for cc, wc := range w {
+					if wc == 0 {
+						continue
+					}
+					dst := yrow[cc*blk : (cc+1)*blk]
+					for j, pv := range prow {
+						dst[j] += wc * pv
+					}
+				}
+			}
+		}
+	}
+
+	nw := ap.opts.Workers
+	if nw > len(ap.Slices) {
+		nw = len(ap.Slices)
+	}
+	if nw <= 1 {
+		y := mat.New(rows, blk*c)
+		accumulate(y, 0, len(ap.Slices))
+		return y
+	}
+	partials := make([]*mat.Dense, nw)
+	var wg sync.WaitGroup
+	chunk := (len(ap.Slices) + nw - 1) / nw
+	for wk := 0; wk < nw; wk++ {
+		lo := wk * chunk
+		hi := min(lo+chunk, len(ap.Slices))
+		partials[wk] = mat.New(rows, blk*c)
+		wg.Add(1)
+		go func(y *mat.Dense, lo, hi int) {
+			defer wg.Done()
+			accumulate(y, lo, hi)
+		}(partials[wk], lo, hi)
+	}
+	wg.Wait()
+	y := partials[0]
+	for _, p := range partials[1:] {
+		y.AddInPlace(p)
+	}
+	return y
+}
+
+func scaleRows(m *mat.Dense, s []float64) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s[i]
+		}
+	}
+}
+
+// iterate runs the iteration phase: ALS sweeps over all modes evaluated on
+// the compressed slices, stopping when the fit change drops below Tol or
+// MaxIters is reached. It returns the core, the fit estimate, and the
+// number of sweeps executed.
+func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, int, error) {
+	order := len(ap.Shape)
+	var (
+		core    *tensor.Dense
+		fit     float64
+		prevFit float64
+		iters   int
+	)
+	for iters = 1; iters <= ap.opts.MaxIters; iters++ {
+		// Modes 1 and 2: leading left singular vectors of the slice-based
+		// accumulation.
+		for mode := 0; mode < 2; mode++ {
+			y := ap.accumulateSliceMode(mode, factors)
+			f, err := mat.LeadingLeft(y, ap.Ranks[mode], ap.opts.Leading)
+			if err != nil {
+				return nil, 0, iters, fmt.Errorf("core: updating mode-%d factor: %w", mode+1, err)
+			}
+			factors[mode] = f
+		}
+		// Remaining modes and the core from the small projected tensor.
+		w := ap.projectedTensor(factors[0], factors[1])
+		for n := 2; n < order; n++ {
+			y := w
+			for k := 2; k < order; k++ {
+				if k == n {
+					continue
+				}
+				y = y.ModeProduct(factors[k].T(), k)
+			}
+			f, err := mat.LeadingLeft(y.Unfold(n), ap.Ranks[n], ap.opts.Leading)
+			if err != nil {
+				return nil, 0, iters, fmt.Errorf("core: updating mode-%d factor: %w", n+1, err)
+			}
+			factors[n] = f
+		}
+		core = w
+		for k := 2; k < order; k++ {
+			core = core.ModeProduct(factors[k].T(), k)
+		}
+
+		fit = tucker.FitFromCore(ap.NormX, core.Norm())
+		if iters > 1 && abs(fit-prevFit) < ap.opts.Tol {
+			break
+		}
+		prevFit = fit
+	}
+	if iters > ap.opts.MaxIters {
+		iters = ap.opts.MaxIters
+	}
+	return core, fit, iters, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

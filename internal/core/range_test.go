@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// subRange extracts x[:,:,t0:t1] (last mode) as a fresh tensor.
+func subRange(x *tensor.Dense, t0, t1 int) *tensor.Dense {
+	order := x.Order()
+	shape := x.Shape()
+	area := 1
+	for _, d := range shape[:order-1] {
+		area *= d
+	}
+	cs := append([]int(nil), shape[:order-1]...)
+	cs = append(cs, t1-t0)
+	return tensor.NewFromData(append([]float64(nil), x.Data()[t0*area:t1*area]...), cs...)
+}
+
+func rangeStream(t *testing.T, x *tensor.Dense, opts Options) *Stream {
+	t.Helper()
+	st := NewStream(opts)
+	if err := st.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDecomposeRangeMatchesDirectDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := lowRankTensor(rng, 0.1, 3, 16, 14, 40)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := rangeStream(t, x, opts)
+
+	for _, r := range [][2]int{{0, 40}, {10, 30}, {0, 8}, {32, 40}, {17, 23}} {
+		t0, t1 := r[0], r[1]
+		dec, err := st.DecomposeRange(t0, t1)
+		if err != nil {
+			t.Fatalf("range [%d,%d): %v", t0, t1, err)
+		}
+		sub := subRange(x, t0, t1)
+		if got := dec.Factors[2].Rows(); got != t1-t0 {
+			t.Fatalf("range [%d,%d): temporal factor has %d rows", t0, t1, got)
+		}
+		relRange := dec.RelError(sub)
+
+		direct, err := Decompose(sub, Options{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relDirect := direct.RelError(sub)
+		if relRange > relDirect+0.05 {
+			t.Fatalf("range [%d,%d): query error %g vs direct %g", t0, t1, relRange, relDirect)
+		}
+	}
+}
+
+func TestDecomposeRangeLocalPattern(t *testing.T) {
+	// A local burst confined to steps 20..24 must be captured much better
+	// by a narrow range query over it than by the model of the whole
+	// stream — the zoom-in motivation.
+	rng := rand.New(rand.NewSource(2))
+	x := lowRankTensor(rng, 0.05, 2, 14, 12, 40)
+	// Inject a strong rank-1 burst in steps 20..24.
+	u := make([]float64, 14)
+	v := make([]float64, 12)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	for tt := 20; tt < 25; tt++ {
+		for j := 0; j < 12; j++ {
+			for i := 0; i < 14; i++ {
+				x.Set(x.At(i, j, tt)+3*u[i]*v[j], i, j, tt)
+			}
+		}
+	}
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := rangeStream(t, x, opts)
+
+	whole, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := st.DecomposeRange(20, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := subRange(x, 20, 25)
+	wholeErr := whole.RelError(x) // global model on global data, for context
+	narrowErr := narrow.RelError(sub)
+	if narrowErr > wholeErr {
+		t.Fatalf("narrow query error %g not better than global %g on burst range", narrowErr, wholeErr)
+	}
+}
+
+func TestDecomposeRangeAfterMultipleAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := lowRankTensor(rng, 0.1, 3, 12, 10, 30)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := NewStream(opts)
+	for _, c := range chunked(x, 10, 10, 10) {
+		if err := st.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A range crossing chunk boundaries.
+	dec, err := st.DecomposeRange(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := dec.RelError(subRange(x, 5, 25)); rel > 0.15 {
+		t.Fatalf("cross-chunk range error %g", rel)
+	}
+}
+
+func TestDecomposeRangeOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := lowRankTensor(rng, 0.05, 2, 10, 9, 4, 20)
+	opts := Options{Ranks: uniformRanks(4, 2), Seed: 5}
+	st := rangeStream(t, x, opts)
+	dec, err := st.DecomposeRange(6, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := subRange(x, 6, 14)
+	if rel := dec.RelError(sub); rel > 0.15 {
+		t.Fatalf("order-4 range error %g", rel)
+	}
+}
+
+func TestDecomposeRangeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	empty := NewStream(opts)
+	if _, err := empty.DecomposeRange(0, 1); err == nil {
+		t.Fatal("range query on empty stream accepted")
+	}
+	st := rangeStream(t, tensor.RandN(rng, 8, 8, 20), opts)
+	for _, r := range [][2]int{{-1, 5}, {5, 5}, {6, 4}, {0, 21}} {
+		if _, err := st.DecomposeRange(r[0], r[1]); err == nil {
+			t.Fatalf("invalid range %v accepted", r)
+		}
+	}
+	// Range shorter than the temporal rank must be rejected.
+	if _, err := st.DecomposeRange(0, 2); err == nil {
+		t.Fatal("range shorter than temporal rank accepted")
+	}
+}
+
+func TestDecomposeRangeDoesNotDisturbStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := lowRankTensor(rng, 0.1, 3, 12, 10, 24)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := rangeStream(t, x, opts)
+	before, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlices, nSq := len(st.slices), len(st.sliceSq)
+	if _, err := st.DecomposeRange(4, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.slices) != nSlices || len(st.sliceSq) != nSq || st.Len() != 24 {
+		t.Fatal("range query mutated stream bookkeeping")
+	}
+	// A subsequent full decomposition must stay equally accurate (it
+	// warm-starts, so the factors need not be bit-identical).
+	after, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ae := before.RelError(x), after.RelError(x)
+	if ae > be+0.02 {
+		t.Fatalf("accuracy degraded after range query: %g vs %g", ae, be)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// chunked splits x into pieces along its last mode.
+func chunked(x *tensor.Dense, sizes ...int) []*tensor.Dense {
+	order := x.Order()
+	shape := x.Shape()
+	area := 1
+	for _, d := range shape[:order-1] {
+		area *= d
+	}
+	var out []*tensor.Dense
+	off := 0
+	for _, sz := range sizes {
+		cs := append([]int(nil), shape[:order-1]...)
+		cs = append(cs, sz)
+		chunk := tensor.NewFromData(append([]float64(nil), x.Data()[off*area:(off+sz)*area]...), cs...)
+		out = append(out, chunk)
+		off += sz
+	}
+	return out
+}
+
+func TestStreamMatchesBatchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := lowRankTensor(rng, 0.1, 3, 16, 14, 24)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true}
+
+	batch, err := Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewStream(opts)
+	for _, c := range chunked(x, 8, 8, 8) {
+		if err := st.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 24 {
+		t.Fatalf("stream Len = %d", st.Len())
+	}
+	dec, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, se := batch.RelError(x), dec.RelError(x)
+	if se > be+0.03 {
+		t.Fatalf("stream error %g vs batch %g", se, be)
+	}
+}
+
+func TestStreamIncrementalDecompose(t *testing.T) {
+	// Decompose after each chunk; errors must stay small throughout and
+	// warm starts must not break anything.
+	rng := rand.New(rand.NewSource(2))
+	x := lowRankTensor(rng, 0.05, 3, 14, 12, 30)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := NewStream(opts)
+	chunks := chunked(x, 10, 10, 10)
+	seen := 0
+	for _, c := range chunks {
+		if err := st.Append(c); err != nil {
+			t.Fatal(err)
+		}
+		seen += c.Dim(2)
+		dec, err := st.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare against the prefix of x observed so far.
+		prefix := tensor.NewFromData(append([]float64(nil), x.Data()[:14*12*seen]...), 14, 12, seen)
+		if rel := dec.RelError(prefix); rel > 0.15 {
+			t.Fatalf("after %d steps: relative error %g", seen, rel)
+		}
+	}
+}
+
+func TestStreamWarmStartConvergesFaster(t *testing.T) {
+	// After appending a small new chunk, the warm-started solve should
+	// need no more sweeps than a cold solve of the same data.
+	rng := rand.New(rand.NewSource(3))
+	x := lowRankTensor(rng, 0.1, 3, 16, 14, 40)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5, Tol: 1e-5}
+
+	st := NewStream(opts)
+	cs := chunked(x, 32, 8)
+	if err := st.Append(cs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Decompose(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(cs[1]); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewStream(opts)
+	if err := cold.Append(cs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Append(cs[1]); err != nil {
+		t.Fatal(err)
+	}
+	coldDec, err := cold.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Iters > coldDec.Stats.Iters+1 {
+		t.Fatalf("warm start took %d sweeps vs cold %d", warm.Stats.Iters, coldDec.Stats.Iters)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := NewStream(opts)
+	if _, err := st.Decompose(); err == nil {
+		t.Fatal("Decompose on empty stream accepted")
+	}
+	if err := st.Append(tensor.RandN(rng, 5, 6)); err == nil {
+		t.Fatal("order-2 chunk accepted")
+	}
+	if err := st.Append(tensor.RandN(rng, 8, 8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(tensor.RandN(rng, 9, 8, 4)); err == nil {
+		t.Fatal("mismatched chunk shape accepted")
+	}
+	if err := st.Append(tensor.RandN(rng, 8, 8, 4, 2)); err == nil {
+		t.Fatal("mismatched chunk order accepted")
+	}
+	// Temporal rank 3 > current length 2 after a short stream must error.
+	st2 := NewStream(Options{Ranks: []int{3, 3, 3}, Seed: 5})
+	if err := st2.Append(tensor.RandN(rng, 8, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Decompose(); err == nil {
+		t.Fatal("temporal rank above stream length accepted")
+	}
+}
+
+func TestStreamStorageGrowsLinearly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	st := NewStream(opts)
+	if err := st.Append(tensor.RandN(rng, 10, 9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s1 := st.StorageFloats()
+	if err := st.Append(tensor.RandN(rng, 10, 9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if st.StorageFloats() != 2*s1 {
+		t.Fatalf("storage %d after doubling, want %d", st.StorageFloats(), 2*s1)
+	}
+	if got := st.Shape(); got[2] != 8 {
+		t.Fatalf("Shape = %v", got)
+	}
+}
+
+func TestStreamOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := lowRankTensor(rng, 0.05, 2, 10, 9, 4, 12)
+	opts := Options{Ranks: uniformRanks(4, 2), Seed: 5}
+	st := NewStream(opts)
+	area := 10 * 9 * 4
+	for off := 0; off < 12; off += 4 {
+		chunk := tensor.NewFromData(append([]float64(nil), x.Data()[off*area:(off+4)*area]...), 10, 9, 4, 4)
+		if err := st.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := st.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := dec.RelError(x); rel > 0.15 {
+		t.Fatalf("order-4 stream error %g", rel)
+	}
+}

@@ -1,0 +1,262 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d, want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("new matrix not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromData with wrong length did not panic")
+		}
+	}()
+	NewFromData(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %g, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %g, want 0", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range m.Data() {
+		if v != want[i] {
+			t.Fatalf("Data()[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(3).At(%d,%d) = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if r, c := mt.Dims(); r != 3 || c != 2 {
+		t.Fatalf("transpose dims %d×%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandN(5, 7, rng)
+	if !m.T().T().EqualApprox(m, 0) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	sum := a.Add(b)
+	diff := sum.Sub(b)
+	if !diff.EqualApprox(a, 1e-15) {
+		t.Fatal("(a+b)-b != a")
+	}
+	if sum.At(1, 1) != 44 {
+		t.Fatalf("sum(1,1) = %g, want 44", sum.At(1, 1))
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched shapes did not panic")
+		}
+	}()
+	New(2, 2).Add(New(2, 3))
+}
+
+func TestScale(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, 4}})
+	s := a.Scale(-2)
+	want := FromRows([][]float64{{-2, 4}, {-6, -8}})
+	if !s.EqualApprox(want, 0) {
+		t.Fatalf("Scale result wrong: %v", s)
+	}
+}
+
+func TestAddScaledInPlace(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.AddScaledInPlace(0.5, b)
+	want := FromRows([][]float64{{1.5, 2}, {2.5, 3}})
+	if !a.EqualApprox(want, 1e-15) {
+		t.Fatalf("AddScaledInPlace wrong: %v", a)
+	}
+}
+
+func TestNormFrobenius(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := a.Norm(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm = %g, want 5", got)
+	}
+}
+
+func TestNormExtremeValuesNoOverflow(t *testing.T) {
+	a := FromRows([][]float64{{1e200, 1e200}})
+	got := a.Norm()
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || !almostEqual(got/want, 1, 1e-12) {
+		t.Fatalf("Norm overflowed: %g", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a := FromRows([][]float64{{1, 9}, {9, 2}})
+	if got := a.Trace(); got != 3 {
+		t.Fatalf("Trace = %g, want 3", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := a.Slice(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.EqualApprox(want, 0) {
+		t.Fatalf("Slice wrong: %v", s)
+	}
+	// Slice must copy.
+	s.Set(0, 0, 99)
+	if a.At(1, 0) != 4 {
+		t.Fatal("Slice shares storage")
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r := a.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	if c := a.Col(1); c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+	a.SetRow(0, []float64{9, 8})
+	a.SetCol(0, []float64{7, 6})
+	want := FromRows([][]float64{{7, 8}, {6, 4}})
+	if !a.EqualApprox(want, 0) {
+		t.Fatalf("SetRow/SetCol wrong: %v", a)
+	}
+}
+
+func TestDotAxpyNrm2(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	z := []float64{1, 1, 1}
+	Axpy(2, x, z)
+	if z[2] != 7 {
+		t.Fatalf("Axpy wrong: %v", z)
+	}
+	if got := Nrm2([]float64{3, 4}); !almostEqual(got, 5, 1e-14) {
+		t.Fatalf("Nrm2 = %g", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromRows([][]float64{{1, -7}, {3, 4}})
+	if got := a.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %g, want 7", got)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if small.String() == "" {
+		t.Fatal("empty String for small matrix")
+	}
+	big := New(100, 100)
+	if big.String() == "" {
+		t.Fatal("empty String for big matrix")
+	}
+}

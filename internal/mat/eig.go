@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigResult holds the eigendecomposition of a symmetric matrix:
+// A = V·diag(Values)·Vᵀ with orthonormal V and eigenvalues sorted in
+// descending order.
+type EigResult struct {
+	Values  []float64
+	Vectors *Dense // column k is the eigenvector for Values[k]
+}
+
+// SymEig computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi rotation method. Only the upper triangle of a is read.
+//
+// Jacobi is quadratically convergent once off-diagonal mass is small and is
+// unconditionally stable, which suits the small Gram matrices (rank-sized)
+// this repository produces; an error is returned only if the sweep limit is
+// exceeded, which indicates non-symmetric or non-finite input.
+func SymEig(a *Dense) (EigResult, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: SymEig of non-square %d×%d matrix", a.rows, a.cols))
+	}
+	// Work on a symmetric copy built from the upper triangle.
+	w := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := a.data[i*n+j]
+			w.data[i*n+j] = v
+			w.data[j*n+i] = v
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.data[i*n+j] * w.data[i*n+j]
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-14*(1+w.Norm()) {
+			return sortedEig(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				// Skip negligible rotations to preserve convergence speed.
+				if math.Abs(apq) <= 1e-16*(math.Abs(app)+math.Abs(aqq)) {
+					w.data[p*n+q] = 0
+					w.data[q*n+p] = 0
+					continue
+				}
+				// Stable rotation angle computation.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation A ← JᵀAJ on rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp := w.data[k*n+p]
+					akq := w.data[k*n+q]
+					w.data[k*n+p] = c*akp - s*akq
+					w.data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := w.data[p*n+k]
+					aqk := w.data[q*n+k]
+					w.data[p*n+k] = c*apk - s*aqk
+					w.data[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return EigResult{}, fmt.Errorf("mat: SymEig did not converge in %d sweeps (non-finite or non-symmetric input?)", 64)
+}
+
+func sortedEig(w, v *Dense) EigResult {
+	n := w.rows
+	vals := make([]float64, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.data[i*n+i]
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	sortedVals := make([]float64, n)
+	vec := New(n, n)
+	for k, src := range idx {
+		sortedVals[k] = vals[src]
+		for i := 0; i < n; i++ {
+			vec.data[i*n+k] = v.data[i*n+src]
+		}
+	}
+	return EigResult{Values: sortedVals, Vectors: vec}
+}

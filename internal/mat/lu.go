@@ -1,0 +1,205 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUResult holds an LU factorization with partial pivoting: P·A = L·U,
+// packed into a single matrix (unit lower triangle implicit).
+type LUResult struct {
+	lu    *Dense
+	pivot []int
+	sign  int // determinant sign from row swaps
+}
+
+// LU factors the square matrix a with partial pivoting. It returns an error
+// when a pivot is exactly zero (structurally singular); near-singular
+// systems are reported by Solve.
+func LU(a *Dense) (*LUResult, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: LU of non-square %d×%d matrix", a.rows, a.cols))
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot selection.
+		p, maxv := k, math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.data[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("mat: LU: matrix is singular at column %d", k)
+		}
+		if p != k {
+			rowK := lu.data[k*n : (k+1)*n]
+			rowP := lu.data[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu.data[i*n+k] / pivVal
+			lu.data[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			rowI := lu.data[i*n+k+1 : (i+1)*n]
+			rowK := lu.data[k*n+k+1 : (k+1)*n]
+			for j, v := range rowK {
+				rowI[j] -= l * v
+			}
+		}
+	}
+	return &LUResult{lu: lu, pivot: piv, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b for a single right-hand side.
+func (f *LUResult) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: LU SolveVec rhs length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.data[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.data[i*n+j] * x[j]
+		}
+		d := f.lu.data[i*n+i]
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("mat: LU solve: negligible pivot %g at %d", d, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B column by column.
+func (f *LUResult) Solve(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: LU Solve rhs has %d rows, want %d", b.rows, n))
+	}
+	x := New(n, b.cols)
+	col := make([]float64, n)
+	for c := 0; c < b.cols; c++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+c]
+		}
+		sol, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			x.data[i*b.cols+c] = sol[i]
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUResult) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ for a square matrix a, or an error if a is singular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows))
+}
+
+// SolveSPD solves A·X = B for a symmetric positive-definite A using
+// Cholesky factorization. It returns an error if a is not numerically
+// positive definite.
+func SolveSPD(a, b *Dense) (*Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	x := New(n, b.cols)
+	col := make([]float64, n)
+	for c := 0; c < b.cols; c++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+c]
+		}
+		// Forward: L·y = b.
+		for i := 0; i < n; i++ {
+			s := col[i]
+			for j := 0; j < i; j++ {
+				s -= l.data[i*n+j] * col[j]
+			}
+			col[i] = s / l.data[i*n+i]
+		}
+		// Backward: Lᵀ·x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := col[i]
+			for j := i + 1; j < n; j++ {
+				s -= l.data[j*n+i] * col[j]
+			}
+			col[i] = s / l.data[i*n+i]
+		}
+		for i := 0; i < n; i++ {
+			x.data[i*b.cols+c] = col[i]
+		}
+	}
+	return x, nil
+}
+
+// Cholesky returns the lower-triangular factor L with A = L·Lᵀ, or an error
+// if a is not numerically positive definite.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d matrix", a.rows, a.cols))
+	}
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("mat: Cholesky: matrix not positive definite (pivot %d is %g)", i, s)
+				}
+				l.data[i*n+i] = math.Sqrt(s)
+			} else {
+				l.data[i*n+j] = s / l.data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}

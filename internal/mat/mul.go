@@ -1,0 +1,267 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// workers controls how many goroutines matrix multiplication may use.
+// The default of 1 matches the single-thread evaluation protocol of the
+// paper; SetWorkers raises it for callers that want parallel kernels.
+var (
+	workersMu sync.RWMutex
+	workers   = 1
+)
+
+// SetWorkers sets the number of goroutines used by large multiplications.
+// n < 1 is treated as 1. It returns the previous setting.
+func SetWorkers(n int) int {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	prev := workers
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+	return prev
+}
+
+// Workers returns the current multiplication parallelism.
+func Workers() int {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return workers
+}
+
+// parallelRows runs fn over row ranges [lo,hi) split across the configured
+// workers when the estimated work is large enough to amortize goroutines.
+func parallelRows(rows int, flopsPerRow int, fn func(lo, hi int)) {
+	w := Workers()
+	const minFlopsPerWorker = 1 << 16
+	if w > 1 && rows > 1 && flopsPerRow > 0 {
+		maxUseful := rows * flopsPerRow / minFlopsPerWorker
+		if maxUseful < w {
+			w = maxUseful
+		}
+	}
+	if w <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	if w > rows {
+		w = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + w - 1) / w
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Mul returns a·b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a·b, overwriting dst. dst must not alias a or b.
+func MulInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	dst.Zero()
+	MulAddInto(dst, a, b)
+}
+
+// MulAddInto computes dst += a·b. dst must not alias a or b.
+//
+// The kernel uses i-k-j loop ordering so the inner loop is a contiguous
+// axpy over rows of b, which the compiler vectorizes well; rows of the
+// output are optionally split across workers.
+func MulAddInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulAddInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulAddInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	n, inner := b.cols, a.cols
+	parallelRows(a.rows, 2*inner*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*inner : (i+1)*inner]
+			drow := dst.data[i*n : (i+1)*n]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulTA returns aᵀ·b without materializing the transpose.
+func MulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulTA dimension mismatch (%d×%d)ᵀ · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	// outᵀ accumulation: out[k,j] += a[i,k]*b[i,j]; iterate i outer so both
+	// reads are contiguous.
+	n := b.cols
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		brow := b.data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTB returns a·bᵀ without materializing the transpose.
+func MulTB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTB dimension mismatch %d×%d · (%d×%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	inner := a.cols
+	parallelRows(a.rows, 2*inner*b.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*inner : (i+1)*inner]
+			orow := out.data[i*b.rows : (i+1)*b.rows]
+			for j := 0; j < b.rows; j++ {
+				orow[j] = Dot(arow, b.data[j*inner:(j+1)*inner])
+			}
+		}
+	})
+	return out
+}
+
+// Gram returns aᵀ·a, exploiting symmetry.
+func Gram(a *Dense) *Dense {
+	n := a.cols
+	out := New(n, n)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for k, v := range row {
+			if v == 0 {
+				continue
+			}
+			orow := out.data[k*n : (k+1)*n]
+			for j := k; j < n; j++ {
+				orow[j] += v * row[j]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			out.data[j*n+k] = out.data[k*n+j]
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x for a vector x of length a.Cols().
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d×%d · %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.data[i*a.cols:(i+1)*a.cols], x)
+	}
+	return out
+}
+
+// MulVecT returns aᵀ·x for a vector x of length a.Rows().
+func MulVecT(a *Dense, x []float64) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecT dimension mismatch (%d×%d)ᵀ · %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		Axpy(xv, a.data[i*a.cols:(i+1)*a.cols], out)
+	}
+	return out
+}
+
+// Kronecker returns the Kronecker product a ⊗ b.
+func Kronecker(a, b *Dense) *Dense {
+	out := New(a.rows*b.rows, a.cols*b.cols)
+	for ia := 0; ia < a.rows; ia++ {
+		for ja := 0; ja < a.cols; ja++ {
+			av := a.data[ia*a.cols+ja]
+			if av == 0 {
+				continue
+			}
+			for ib := 0; ib < b.rows; ib++ {
+				dst := out.data[(ia*b.rows+ib)*out.cols+ja*b.cols : (ia*b.rows+ib)*out.cols+(ja+1)*b.cols]
+				src := b.data[ib*b.cols : (ib+1)*b.cols]
+				for k, bv := range src {
+					dst[k] = av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronRow writes the Kronecker product of the given row vectors into dst
+// (dst length must equal the product of the row lengths) and returns dst.
+// Rows are combined left-to-right: dst = rows[0] ⊗ rows[1] ⊗ … .
+func KronRow(dst []float64, rows ...[]float64) []float64 {
+	size := 1
+	for _, r := range rows {
+		size *= len(r)
+	}
+	if len(dst) != size {
+		panic(fmt.Sprintf("mat: KronRow destination length %d, need %d", len(dst), size))
+	}
+	if size == 0 {
+		return dst
+	}
+	dst[0] = 1
+	cur := 1
+	for _, r := range rows {
+		// Expand the current prefix of length cur by factor len(r),
+		// building from the back so in-place expansion is safe.
+		for i := cur - 1; i >= 0; i-- {
+			v := dst[i]
+			base := i * len(r)
+			for j := len(r) - 1; j >= 0; j-- {
+				dst[base+j] = v * r[j]
+			}
+		}
+		cur *= len(r)
+	}
+	return dst
+}

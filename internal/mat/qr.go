@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRResult holds a thin QR factorization A = Q·R with Q ∈ R^{m×n}
+// column-orthonormal and R ∈ R^{n×n} upper triangular (m ≥ n is not
+// required; for m < n, Q is m×m and R is m×n).
+type QRResult struct {
+	Q *Dense
+	R *Dense
+}
+
+// QR computes a thin Householder QR factorization of a.
+//
+// The input is not modified. For an m×n input with k = min(m,n), Q is m×k
+// with orthonormal columns and R is k×n upper triangular such that
+// a = Q·R to working precision.
+func QR(a *Dense) QRResult {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	w := a.Clone() // working copy holding Householder vectors below diagonal
+	betas := make([]float64, k)
+
+	for j := 0; j < k; j++ {
+		// Build the Householder reflector for column j, rows j..m-1.
+		norm := 0.0
+		for i := j; i < m; i++ {
+			v := w.data[i*n+j]
+			norm = math.Hypot(norm, v)
+		}
+		if norm == 0 {
+			betas[j] = 0
+			continue
+		}
+		alpha := w.data[j*n+j]
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, normalized so v[0] = 1.
+		v0 := alpha - norm
+		w.data[j*n+j] = norm // R diagonal
+		for i := j + 1; i < m; i++ {
+			w.data[i*n+j] /= v0
+		}
+		betas[j] = -v0 / norm // beta = 2/(vᵀv) with v[0]=1 scaling
+
+		// Apply H = I - beta v vᵀ to the trailing columns.
+		for c := j + 1; c < n; c++ {
+			s := w.data[j*n+c]
+			for i := j + 1; i < m; i++ {
+				s += w.data[i*n+j] * w.data[i*n+c]
+			}
+			s *= betas[j]
+			w.data[j*n+c] -= s
+			for i := j + 1; i < m; i++ {
+				w.data[i*n+c] -= s * w.data[i*n+j]
+			}
+		}
+	}
+
+	// Extract R (k×n upper triangular).
+	r := New(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.data[i*n+j] = w.data[i*n+j]
+		}
+	}
+
+	// Accumulate thin Q by applying reflectors to the first k columns of I,
+	// back to front.
+	q := New(m, k)
+	for j := 0; j < k; j++ {
+		q.data[j*k+j] = 1
+	}
+	for j := k - 1; j >= 0; j-- {
+		if betas[j] == 0 {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			s := q.data[j*k+c]
+			for i := j + 1; i < m; i++ {
+				s += w.data[i*n+j] * q.data[i*k+c]
+			}
+			s *= betas[j]
+			q.data[j*k+c] -= s
+			for i := j + 1; i < m; i++ {
+				q.data[i*k+c] -= s * w.data[i*n+j]
+			}
+		}
+	}
+	return QRResult{Q: q, R: r}
+}
+
+// Orthonormalize returns a matrix with orthonormal columns spanning the
+// column space of a (the Q factor of its thin QR).
+func Orthonormalize(a *Dense) *Dense {
+	return QR(a).Q
+}
+
+// SolveUpperTriangular solves R·x = b for upper triangular R (n×n) and
+// b of length n by back substitution. It returns an error if R has a zero
+// (or numerically negligible) diagonal entry.
+func SolveUpperTriangular(r *Dense, b []float64) ([]float64, error) {
+	n := r.rows
+	if r.cols != n {
+		panic(fmt.Sprintf("mat: SolveUpperTriangular with non-square %d×%d matrix", r.rows, r.cols))
+	}
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveUpperTriangular rhs length %d for %d×%d matrix", len(b), n, n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := n - 1; i >= 0; i-- {
+		d := r.data[i*n+i]
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("mat: singular triangular system (diagonal %d is %g)", i, d)
+		}
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.data[i*n+j] * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖a·x − b‖₂ for each column of b via QR, returning
+// the n×p solution matrix for an m×n a and m×p b. It requires a to have
+// full column rank and m ≥ n.
+func LeastSquares(a, b *Dense) (*Dense, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("mat: LeastSquares underdetermined system %d×%d", m, n)
+	}
+	if b.rows != m {
+		panic(fmt.Sprintf("mat: LeastSquares rhs has %d rows, want %d", b.rows, m))
+	}
+	qr := QR(a)
+	qtb := MulTA(qr.Q, b) // n×p
+	x := New(n, b.cols)
+	col := make([]float64, n)
+	for c := 0; c < b.cols; c++ {
+		for i := 0; i < n; i++ {
+			col[i] = qtb.data[i*b.cols+c]
+		}
+		sol, err := SolveUpperTriangular(qr.R, col)
+		if err != nil {
+			return nil, fmt.Errorf("mat: rank-deficient least squares: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			x.data[i*b.cols+c] = sol[i]
+		}
+	}
+	return x, nil
+}

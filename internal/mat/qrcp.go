@@ -1,0 +1,190 @@
+package mat
+
+import (
+	"math"
+)
+
+// QRCPResult holds a column-pivoted (rank-revealing) QR factorization
+// A·P = Q·R, with Q m×k column-orthonormal, R k×n upper triangular with
+// non-increasing |diagonal|, and Perm the column permutation
+// (A's column Perm[j] maps to position j).
+type QRCPResult struct {
+	Q    *Dense
+	R    *Dense
+	Perm []int
+}
+
+// QRCP computes the Businger–Golub column-pivoted QR factorization of a.
+// At every step the remaining column of largest norm is eliminated next, so
+// the magnitude of R's diagonal is non-increasing and the numerical rank of
+// a is revealed by where it collapses (see Rank).
+func QRCP(a *Dense) QRCPResult {
+	m, n := a.Dims()
+	k := m
+	if n < k {
+		k = n
+	}
+	w := a.Clone()
+	betas := make([]float64, k)
+	perm := make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	// Running squared norms of the trailing part of each column, downdated
+	// after every reflection (with recomputation when cancellation bites).
+	colNorm := make([]float64, n)
+	colNormRef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			v := w.data[i*n+j]
+			s += v * v
+		}
+		colNorm[j] = s
+		colNormRef[j] = s
+	}
+
+	for j := 0; j < k; j++ {
+		// Pivot: remaining column of largest norm.
+		p := j
+		for c := j + 1; c < n; c++ {
+			if colNorm[c] > colNorm[p] {
+				p = c
+			}
+		}
+		if p != j {
+			for i := 0; i < m; i++ {
+				w.data[i*n+j], w.data[i*n+p] = w.data[i*n+p], w.data[i*n+j]
+			}
+			perm[j], perm[p] = perm[p], perm[j]
+			colNorm[j], colNorm[p] = colNorm[p], colNorm[j]
+			colNormRef[j], colNormRef[p] = colNormRef[p], colNormRef[j]
+		}
+
+		// Householder reflector on column j, rows j..m-1.
+		norm := 0.0
+		for i := j; i < m; i++ {
+			norm = math.Hypot(norm, w.data[i*n+j])
+		}
+		if norm == 0 {
+			betas[j] = 0
+			continue
+		}
+		alpha := w.data[j*n+j]
+		if alpha > 0 {
+			norm = -norm
+		}
+		v0 := alpha - norm
+		w.data[j*n+j] = norm
+		for i := j + 1; i < m; i++ {
+			w.data[i*n+j] /= v0
+		}
+		betas[j] = -v0 / norm
+
+		for c := j + 1; c < n; c++ {
+			s := w.data[j*n+c]
+			for i := j + 1; i < m; i++ {
+				s += w.data[i*n+j] * w.data[i*n+c]
+			}
+			s *= betas[j]
+			w.data[j*n+c] -= s
+			for i := j + 1; i < m; i++ {
+				w.data[i*n+c] -= s * w.data[i*n+j]
+			}
+			// Downdate the running norm; recompute when it loses half its
+			// digits to cancellation.
+			r := w.data[j*n+c]
+			colNorm[c] -= r * r
+			if colNorm[c] < 0 {
+				colNorm[c] = 0
+			}
+			if colNorm[c] <= 1e-12*colNormRef[c] {
+				s := 0.0
+				for i := j + 1; i < m; i++ {
+					v := w.data[i*n+c]
+					s += v * v
+				}
+				colNorm[c] = s
+				colNormRef[c] = s
+			}
+		}
+	}
+
+	r := New(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.data[i*n+j] = w.data[i*n+j]
+		}
+	}
+	q := New(m, k)
+	for j := 0; j < k; j++ {
+		q.data[j*k+j] = 1
+	}
+	for j := k - 1; j >= 0; j-- {
+		if betas[j] == 0 {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			s := q.data[j*k+c]
+			for i := j + 1; i < m; i++ {
+				s += w.data[i*n+j] * q.data[i*k+c]
+			}
+			s *= betas[j]
+			q.data[j*k+c] -= s
+			for i := j + 1; i < m; i++ {
+				q.data[i*k+c] -= s * w.data[i*n+j]
+			}
+		}
+	}
+	return QRCPResult{Q: q, R: r, Perm: perm}
+}
+
+// Rank returns the numerical rank revealed by the factorization: the number
+// of diagonal entries of R with |r_jj| > tol·|r_00|. tol ≤ 0 selects
+// max(m,n)·machine-epsilon, the conventional threshold.
+func (f QRCPResult) Rank(tol float64) int {
+	k := f.R.Rows()
+	if k == 0 {
+		return 0
+	}
+	n := f.R.Cols()
+	lead := math.Abs(f.R.data[0])
+	if lead == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		dim := f.Q.Rows()
+		if n > dim {
+			dim = n
+		}
+		tol = float64(dim) * 2.220446049250313e-16
+	}
+	r := 0
+	for j := 0; j < k; j++ {
+		if math.Abs(f.R.data[j*n+j]) > tol*lead {
+			r++
+		} else {
+			break
+		}
+	}
+	return r
+}
+
+// PermutationMatrix materializes P (n×n) such that A·P = Q·R.
+func (f QRCPResult) PermutationMatrix() *Dense {
+	n := len(f.Perm)
+	p := New(n, n)
+	for j, src := range f.Perm {
+		p.data[src*n+j] = 1
+	}
+	return p
+}
+
+// NumericalRank is a convenience wrapper: the rank of a revealed by QRCP at
+// the default threshold.
+func NumericalRank(a *Dense) int {
+	if a.rows == 0 || a.cols == 0 {
+		return 0
+	}
+	return QRCP(a).Rank(0)
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRCPReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{6, 6}, {10, 4}, {4, 10}, {1, 1}, {8, 1}, {1, 8}, {30, 12}} {
+		a := RandN(dims[0], dims[1], rng)
+		f := QRCP(a)
+		// A·P = Q·R  ⇔  A = Q·R·Pᵀ.
+		rebuilt := Mul(Mul(f.Q, f.R), f.PermutationMatrix().T())
+		if !rebuilt.EqualApprox(a, 1e-11) {
+			t.Fatalf("QRCP reconstruction failed for %dx%d", dims[0], dims[1])
+		}
+		if !isOrthonormalCols(f.Q, 1e-11) {
+			t.Fatalf("Q not orthonormal for %dx%d", dims[0], dims[1])
+		}
+	}
+}
+
+func TestQRCPDiagonalNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(20, 15, rng)
+	f := QRCP(a)
+	n := f.R.Cols()
+	for j := 1; j < f.R.Rows(); j++ {
+		if math.Abs(f.R.Data()[j*n+j]) > math.Abs(f.R.Data()[(j-1)*n+j-1])+1e-10 {
+			t.Fatalf("|r_%d,%d| increases", j, j)
+		}
+	}
+}
+
+func TestQRCPRevealsExactRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range []int{1, 3, 7} {
+		u := RandN(20, r, rng)
+		v := RandN(r, 12, rng)
+		a := Mul(u, v)
+		f := QRCP(a)
+		if got := f.Rank(0); got != r {
+			t.Fatalf("Rank = %d for exact rank-%d matrix", got, r)
+		}
+	}
+}
+
+func TestQRCPRankWithNoiseThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := RandN(25, 4, rng)
+	v := RandN(4, 18, rng)
+	a := Mul(u, v)
+	e := RandN(25, 18, rng)
+	a.AddScaledInPlace(1e-10*a.Norm()/e.Norm(), e)
+	f := QRCP(a)
+	if got := f.Rank(1e-6); got != 4 {
+		t.Fatalf("Rank(1e-6) = %d with tiny noise, want 4", got)
+	}
+}
+
+func TestQRCPZeroMatrix(t *testing.T) {
+	f := QRCP(New(5, 3))
+	if f.Rank(0) != 0 {
+		t.Fatalf("Rank of zero matrix = %d", f.Rank(0))
+	}
+	if !Mul(Mul(f.Q, f.R), f.PermutationMatrix().T()).EqualApprox(New(5, 3), 1e-14) {
+		t.Fatal("zero-matrix QRCP does not reconstruct")
+	}
+}
+
+func TestNumericalRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if NumericalRank(New(0, 4)) != 0 {
+		t.Fatal("empty matrix rank")
+	}
+	if got := NumericalRank(Identity(6)); got != 6 {
+		t.Fatalf("rank(I6) = %d", got)
+	}
+	q := RandOrthonormal(10, 3, rng)
+	if got := NumericalRank(MulTB(q, q)); got != 3 {
+		t.Fatalf("rank of rank-3 projector = %d", got)
+	}
+}
+
+func TestQRCPPropertyPermutationValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(10)
+		n := 1 + rng.Intn(10)
+		fac := QRCP(RandN(m, n, rng))
+		seen := make([]bool, n)
+		for _, p := range fac.Perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQRCP100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(100, 100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QRCP(a)
+	}
+}

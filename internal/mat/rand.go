@@ -1,0 +1,32 @@
+package mat
+
+import "math/rand"
+
+// RandN returns an r×c matrix of i.i.d. standard normal entries drawn from
+// rng. A non-nil rng keeps experiments reproducible; pass a fresh
+// rand.New(rand.NewSource(seed)).
+func RandN(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandUniform returns an r×c matrix with entries uniform in [0,1).
+func RandUniform(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.Float64()
+	}
+	return m
+}
+
+// RandOrthonormal returns an r×c (r ≥ c) matrix with orthonormal columns,
+// drawn from the Haar-like distribution induced by QR of a Gaussian matrix.
+func RandOrthonormal(r, c int, rng *rand.Rand) *Dense {
+	if r < c {
+		panic("mat: RandOrthonormal requires rows ≥ cols")
+	}
+	return Orthonormalize(RandN(r, c, rng))
+}

@@ -1,0 +1,167 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkSVD(t *testing.T, a *Dense, res SVDResult, tol float64, label string) {
+	t.Helper()
+	k := len(res.S)
+	sig := New(k, k)
+	for i, v := range res.S {
+		sig.Set(i, i, v)
+	}
+	rebuilt := Mul(Mul(res.U, sig), res.V.T())
+	if !rebuilt.EqualApprox(a, tol*(1+a.Norm())) {
+		t.Fatalf("%s: reconstruction failed", label)
+	}
+	if !isOrthonormalCols(res.U, tol) || !isOrthonormalCols(res.V, tol) {
+		t.Fatalf("%s: factors not orthonormal", label)
+	}
+	for i := 1; i < k; i++ {
+		if res.S[i] > res.S[i-1]+tol {
+			t.Fatalf("%s: singular values not sorted: %v", label, res.S)
+		}
+	}
+	for _, v := range res.S {
+		if v < 0 {
+			t.Fatalf("%s: negative singular value %g", label, v)
+		}
+	}
+}
+
+func TestGKReconstructionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{5, 5}, {12, 4}, {4, 12}, {1, 1}, {9, 1}, {1, 9}, {40, 15}, {15, 40}, {60, 60}} {
+		a := RandN(dims[0], dims[1], rng)
+		res, err := SVDGolubKahan(a)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		checkSVD(t, a, res, 1e-10, "GK")
+	}
+}
+
+func TestGKMatchesJacobiSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(20)
+		a := RandN(m, n, rng)
+		gk, err := SVDGolubKahan(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gk.S {
+			if math.Abs(gk.S[i]-ja.S[i]) > 1e-9*(1+ja.S[0]) {
+				t.Fatalf("trial %d: σ%d GK %g vs Jacobi %g", trial, i, gk.S[i], ja.S[i])
+			}
+		}
+	}
+}
+
+func TestGKRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	res, err := SVDGolubKahan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S[1] > 1e-12 {
+		t.Fatalf("σ₂ = %g for rank-1 input", res.S[1])
+	}
+	checkSVD(t, a, res, 1e-10, "GK rank-deficient")
+}
+
+func TestGKZeroMatrix(t *testing.T) {
+	res, err := SVDGolubKahan(New(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.S {
+		if v != 0 {
+			t.Fatalf("σ = %v", res.S)
+		}
+	}
+	checkSVD(t, New(5, 3), res, 1e-12, "GK zero")
+}
+
+func TestGKHilbert(t *testing.T) {
+	h := hilbert(10)
+	res, err := SVDGolubKahan(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSVD(t, h, res, 1e-12, "GK Hilbert")
+	if math.Abs(res.S[0]-1.7519) > 1e-3 {
+		t.Fatalf("σ₁ = %g", res.S[0])
+	}
+}
+
+func TestGKDiagonal(t *testing.T) {
+	a := New(4, 4)
+	for i, v := range []float64{3, -7, 0.5, 2} {
+		a.Set(i, i, v)
+	}
+	res, err := SVDGolubKahan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 3, 2, 0.5}
+	for i := range want {
+		if math.Abs(res.S[i]-want[i]) > 1e-12 {
+			t.Fatalf("S = %v, want %v", res.S, want)
+		}
+	}
+}
+
+func TestGKPropertyFrobenius(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(12)
+		a := RandN(m, n, rng)
+		res, err := SVDGolubKahan(a)
+		if err != nil {
+			return false
+		}
+		ss := 0.0
+		for _, v := range res.S {
+			ss += v * v
+		}
+		na := a.Norm()
+		return math.Abs(ss-na*na) <= 1e-9*(1+na*na)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGKEmpty(t *testing.T) {
+	res, err := SVDGolubKahan(New(0, 0))
+	if err != nil || len(res.S) != 0 {
+		t.Fatalf("empty SVD: %v %v", res, err)
+	}
+}
+
+func BenchmarkSVDJacobi200(b *testing.B) { benchSVDMethod(b, 200, SVD) }
+func BenchmarkSVDGK200(b *testing.B) {
+	benchSVDMethod(b, 200, SVDGolubKahan)
+}
+
+func benchSVDMethod(b *testing.B, n int, f func(*Dense) (SVDResult, error)) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(n, n, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

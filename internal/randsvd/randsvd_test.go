@@ -1,0 +1,166 @@
+package randsvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// lowRankPlusNoise builds an m×n matrix with exact rank r plus Gaussian
+// noise of the given magnitude.
+func lowRankPlusNoise(m, n, r int, noise float64, rng *rand.Rand) *mat.Dense {
+	u := mat.RandN(m, r, rng)
+	v := mat.RandN(r, n, rng)
+	a := mat.Mul(u, v)
+	if noise > 0 {
+		e := mat.RandN(m, n, rng)
+		a.AddScaledInPlace(noise, e)
+	}
+	return a
+}
+
+func reconstruct(res mat.SVDResult) *mat.Dense {
+	k := len(res.S)
+	sig := mat.New(k, k)
+	for i, v := range res.S {
+		sig.Set(i, i, v)
+	}
+	return mat.Mul(mat.Mul(res.U, sig), res.V.T())
+}
+
+func TestExactRecoveryOfLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := lowRankPlusNoise(60, 40, 5, 0, rng)
+	res, err := SVD(a, 5, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := a.Sub(reconstruct(res)).Norm() / a.Norm()
+	if rel > 1e-9 {
+		t.Fatalf("relative error %g for exactly rank-5 input", rel)
+	}
+}
+
+func TestFactorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := lowRankPlusNoise(30, 50, 8, 0.1, rng)
+	res, err := SVD(a, 8, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Gram(res.U).EqualApprox(mat.Identity(8), 1e-9) {
+		t.Fatal("U not orthonormal")
+	}
+	if !mat.Gram(res.V).EqualApprox(mat.Identity(8), 1e-9) {
+		t.Fatal("V not orthonormal")
+	}
+}
+
+func TestNearOptimalError(t *testing.T) {
+	// Randomized SVD error should be within a modest factor of the exact
+	// rank-k truncation error.
+	rng := rand.New(rand.NewSource(3))
+	a := lowRankPlusNoise(50, 50, 10, 0.3, rng)
+	exact, err := mat.SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	tail := 0.0
+	for _, s := range exact.S[k:] {
+		tail += s * s
+	}
+	optimal := math.Sqrt(tail)
+
+	res, err := SVD(a, k, Options{Rng: rng, PowerIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Sub(reconstruct(res)).Norm()
+	if got > 1.5*optimal+1e-12 {
+		t.Fatalf("randomized error %g vs optimal %g", got, optimal)
+	}
+}
+
+func TestPowerIterationsImproveAccuracy(t *testing.T) {
+	// With slowly decaying spectrum, q=3 should beat q=0 (in expectation;
+	// seeds fixed so the test is deterministic).
+	rng := rand.New(rand.NewSource(4))
+	a := lowRankPlusNoise(80, 80, 10, 1.0, rng)
+	res0, err := SVD(a, 10, Options{Rng: rand.New(rand.NewSource(7)), PowerIters: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := SVD(a, 10, Options{Rng: rand.New(rand.NewSource(7)), PowerIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err0 := a.Sub(reconstruct(res0)).Norm()
+	err3 := a.Sub(reconstruct(res3)).Norm()
+	if err3 > err0 {
+		t.Fatalf("power iterations made things worse: %g vs %g", err3, err0)
+	}
+}
+
+func TestRankClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := mat.RandN(6, 4, rng)
+	res, err := SVD(a, 100, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.S) != 4 {
+		t.Fatalf("rank not clamped: got %d singular values", len(res.S))
+	}
+}
+
+func TestWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := lowRankPlusNoise(10, 200, 4, 0, rng)
+	res, err := SVD(a, 4, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := a.Sub(reconstruct(res)).Norm() / a.Norm()
+	if rel > 1e-9 {
+		t.Fatalf("relative error %g on wide low-rank input", rel)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := mat.RandN(5, 5, rng)
+	if _, err := SVD(a, 3, Options{}); err == nil {
+		t.Fatal("missing Rng accepted")
+	}
+	if _, err := SVD(a, 0, Options{Rng: rng}); err == nil {
+		t.Fatal("zero rank accepted")
+	}
+}
+
+func TestSingularValuesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := lowRankPlusNoise(40, 30, 6, 0.2, rng)
+	res, err := SVD(a, 6, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", res.S)
+		}
+	}
+}
+
+func BenchmarkRandSVD512x512Rank10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := lowRankPlusNoise(512, 512, 10, 0.1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(a, 10, Options{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// CountSketch is a random sparse projection R^dim → R^M defined by a hash
+// bucket h(i) and a sign s(i) per coordinate (Charikar et al. 2004). It
+// satisfies E[SᵀS] = I, which makes sketched inner products unbiased.
+type CountSketch struct {
+	M    int
+	H    []int32
+	Sign []float64
+}
+
+// NewCountSketch draws a CountSketch for dimension dim into m buckets.
+func NewCountSketch(dim, m int, rng *rand.Rand) CountSketch {
+	if dim <= 0 || m <= 0 {
+		panic(fmt.Sprintf("sketch: invalid CountSketch dims %d→%d", dim, m))
+	}
+	cs := CountSketch{M: m, H: make([]int32, dim), Sign: make([]float64, dim)}
+	for i := range cs.H {
+		cs.H[i] = int32(rng.Intn(m))
+		if rng.Intn(2) == 0 {
+			cs.Sign[i] = 1
+		} else {
+			cs.Sign[i] = -1
+		}
+	}
+	return cs
+}
+
+// ApplyMatrix sketches the rows of a: the result is the M×c matrix S·a,
+// where row h(i) accumulates Sign(i)·a[i,:].
+func (cs CountSketch) ApplyMatrix(a *mat.Dense) *mat.Dense {
+	if len(cs.H) != a.Rows() {
+		panic(fmt.Sprintf("sketch: CountSketch over dimension %d applied to %d rows", len(cs.H), a.Rows()))
+	}
+	out := mat.New(cs.M, a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		mat.Axpy(cs.Sign[i], a.Row(i), out.Row(int(cs.H[i])))
+	}
+	return out
+}
+
+// KroneckerSketch computes the TensorSketch of the Kronecker product of the
+// given factor matrices: TS(⊗ factors) ∈ R^{m × ∏J_k}, where the combined
+// hash is the sum of per-factor hashes mod m and the combined sign is the
+// product — evaluated via the FFT convolution identity
+// CS_combined(a⊗b) = IFFT(FFT(CS₁a) ⊙ FFT(CS₂b)).
+//
+// Factors are listed in ascending tensor-mode order and output columns
+// enumerate rank combinations with the FIRST listed factor fastest,
+// matching the unfolding convention used throughout the repository. m must
+// be a power of two (use NextPow2).
+func KroneckerSketch(sketches []CountSketch, factors []*mat.Dense, m int) *mat.Dense {
+	if len(sketches) != len(factors) {
+		panic(fmt.Sprintf("sketch: %d sketches for %d factors", len(sketches), len(factors)))
+	}
+	if m&(m-1) != 0 {
+		panic(fmt.Sprintf("sketch: KroneckerSketch m=%d not a power of two", m))
+	}
+	// FFT of the CountSketch of every factor column.
+	ffts := make([][][]complex128, len(factors))
+	cols := 1
+	for k, f := range factors {
+		if sketches[k].M != m {
+			panic(fmt.Sprintf("sketch: sketch %d has M=%d, want %d", k, sketches[k].M, m))
+		}
+		sk := sketches[k].ApplyMatrix(f) // m×J_k
+		ffts[k] = make([][]complex128, f.Cols())
+		for j := 0; j < f.Cols(); j++ {
+			col := make([]complex128, m)
+			for i := 0; i < m; i++ {
+				col[i] = complex(sk.At(i, j), 0)
+			}
+			FFT(col)
+			ffts[k][j] = col
+		}
+		cols *= f.Cols()
+	}
+
+	out := mat.New(m, cols)
+	combo := make([]int, len(factors))
+	buf := make([]complex128, m)
+	for c := 0; c < cols; c++ {
+		copy(buf, ffts[0][combo[0]])
+		for k := 1; k < len(factors); k++ {
+			col := ffts[k][combo[k]]
+			for i := range buf {
+				buf[i] *= col[i]
+			}
+		}
+		IFFT(buf)
+		for i := 0; i < m; i++ {
+			out.Set(i, c, real(buf[i]))
+		}
+		// Advance the combination, first factor fastest.
+		for k := 0; k < len(factors); k++ {
+			combo[k]++
+			if combo[k] < factors[k].Cols() {
+				break
+			}
+			combo[k] = 0
+		}
+	}
+	return out
+}
+
+// TensorSketches holds the one-pass sketches of a dense tensor used by the
+// Tucker-ts/ttmts baselines:
+//
+//	Z[n] = TS_{k≠n}(X_(n)ᵀ) ∈ R^{m1×I_n} — the mode-n unfolding sketched
+//	       along its long dimension, for every mode n;
+//	Z2   = TS_all(vec X) ∈ R^{m2}.
+type TensorSketches struct {
+	Z  []*mat.Dense
+	Z2 []float64
+	// CS1 and CS2 are the per-mode CountSketches defining the combined
+	// hashes (shared across the Z[n], per Malik & Becker's one-pass
+	// construction).
+	CS1 []CountSketch
+	CS2 []CountSketch
+	M1  int
+	M2  int
+}
+
+// SketchTensor computes all unfolding sketches and the vectorization sketch
+// in a single pass over the tensor. m1 and m2 must be powers of two.
+func SketchTensor(x *tensor.Dense, m1, m2 int, rng *rand.Rand) *TensorSketches {
+	order := x.Order()
+	shape := x.Shape()
+	ts := &TensorSketches{
+		Z:   make([]*mat.Dense, order),
+		Z2:  make([]float64, m2),
+		CS1: make([]CountSketch, order),
+		CS2: make([]CountSketch, order),
+		M1:  m1,
+		M2:  m2,
+	}
+	for k := 0; k < order; k++ {
+		ts.CS1[k] = NewCountSketch(shape[k], m1, rng)
+		ts.CS2[k] = NewCountSketch(shape[k], m2, rng)
+		ts.Z[k] = mat.New(m1, shape[k])
+	}
+
+	idx := make([]int, order)
+	// Running combined hash/sign; updated incrementally as the multi-index
+	// advances (first index fastest).
+	h1 := make([]int, order) // per-mode current hash contribution
+	h2 := make([]int, order)
+	sumH1, sumH2 := 0, 0
+	sign1, sign2 := 1.0, 1.0
+	for k := 0; k < order; k++ {
+		h1[k] = int(ts.CS1[k].H[0])
+		h2[k] = int(ts.CS2[k].H[0])
+		sumH1 += h1[k]
+		sumH2 += h2[k]
+		sign1 *= ts.CS1[k].Sign[0]
+		sign2 *= ts.CS2[k].Sign[0]
+	}
+
+	for _, v := range x.Data() {
+		if v != 0 {
+			// Mode-n sketch excludes mode n's own hash and sign.
+			for n := 0; n < order; n++ {
+				row := (sumH1 - h1[n]) % m1
+				s := sign1 * ts.CS1[n].Sign[idx[n]] // divide out = multiply (±1)
+				ts.Z[n].Set(row, idx[n], ts.Z[n].At(row, idx[n])+s*v)
+			}
+			ts.Z2[sumH2%m2] += sign2 * v
+		}
+		// Advance the multi-index and the running hashes.
+		for k := 0; k < order; k++ {
+			oldI := idx[k]
+			idx[k]++
+			if idx[k] < shape[k] {
+				sumH1 += int(ts.CS1[k].H[idx[k]]) - h1[k]
+				h1[k] = int(ts.CS1[k].H[idx[k]])
+				sumH2 += int(ts.CS2[k].H[idx[k]]) - h2[k]
+				h2[k] = int(ts.CS2[k].H[idx[k]])
+				sign1 *= ts.CS1[k].Sign[oldI] * ts.CS1[k].Sign[idx[k]]
+				sign2 *= ts.CS2[k].Sign[oldI] * ts.CS2[k].Sign[idx[k]]
+				break
+			}
+			idx[k] = 0
+			sumH1 += int(ts.CS1[k].H[0]) - h1[k]
+			h1[k] = int(ts.CS1[k].H[0])
+			sumH2 += int(ts.CS2[k].H[0]) - h2[k]
+			h2[k] = int(ts.CS2[k].H[0])
+			sign1 *= ts.CS1[k].Sign[oldI] * ts.CS1[k].Sign[0]
+			sign2 *= ts.CS2[k].Sign[oldI] * ts.CS2[k].Sign[0]
+		}
+	}
+	return ts
+}

@@ -1,0 +1,73 @@
+// Package sketch implements the randomized sketching substrate used by the
+// TensorSketch-based Tucker baselines (Malik & Becker, NeurIPS 2018):
+// a radix-2 FFT, CountSketch, and the FFT-based TensorSketch of Kronecker
+// products of factor matrices, plus a one-pass TensorSketch of a dense
+// tensor's unfoldings.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the in-place radix-2 Cooley-Tukey FFT of a. len(a) must be a
+// power of two.
+func FFT(a []complex128) {
+	fft(a, false)
+}
+
+// IFFT computes the in-place inverse FFT of a (including the 1/n scaling).
+// len(a) must be a power of two.
+func IFFT(a []complex128) {
+	fft(a, true)
+	n := complex(float64(len(a)), 0)
+	for i := range a {
+		a[i] /= n
+	}
+}
+
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("sketch: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Rect(1, ang)
+		half := size / 2
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wStep
+			}
+		}
+	}
+}

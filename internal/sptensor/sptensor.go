@@ -1,0 +1,192 @@
+// Package sptensor provides a coordinate-format (COO) sparse tensor and the
+// sparse kernels required by the MACH baseline: sampling a dense tensor
+// into sparse form, the Frobenius norm, and the chained tensor-times-matrix
+// (TTMc) kernel that evaluates X ×_{k≠n} A(k)ᵀ one nonzero at a time.
+package sptensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// COO is a sparse tensor in coordinate format. Indices for entry e occupy
+// Indices[e*order : (e+1)*order].
+type COO struct {
+	Shape   []int
+	Indices []int32
+	Values  []float64
+}
+
+// New returns an empty sparse tensor with the given shape.
+func New(shape ...int) *COO {
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("sptensor: non-positive dimension in shape %v", shape))
+		}
+	}
+	return &COO{Shape: append([]int(nil), shape...)}
+}
+
+// Order returns the number of modes.
+func (s *COO) Order() int { return len(s.Shape) }
+
+// NNZ returns the number of stored entries.
+func (s *COO) NNZ() int { return len(s.Values) }
+
+// Append adds one entry. Duplicate coordinates are summed implicitly by
+// every downstream kernel, so callers need not deduplicate.
+func (s *COO) Append(v float64, idx ...int) {
+	if len(idx) != len(s.Shape) {
+		panic(fmt.Sprintf("sptensor: index %v for order-%d tensor", idx, len(s.Shape)))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= s.Shape[k] {
+			panic(fmt.Sprintf("sptensor: index %v out of range for shape %v", idx, s.Shape))
+		}
+		s.Indices = append(s.Indices, int32(i))
+	}
+	s.Values = append(s.Values, v)
+}
+
+// Norm returns the Frobenius norm of the stored entries.
+func (s *COO) Norm() float64 {
+	ss := 0.0
+	for _, v := range s.Values {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// StorageFloats returns the space cost in float64 units, counting each
+// int32 index as half a float64.
+func (s *COO) StorageFloats() int {
+	return len(s.Values) + (len(s.Indices)+1)/2
+}
+
+// Sample keeps each entry of x independently with probability rate and
+// rescales kept entries by 1/rate, so the sample is an unbiased estimator
+// of x — the MACH sparsification scheme (Tsourakakis 2010, after
+// Achlioptas & McSherry).
+func Sample(x *tensor.Dense, rate float64, rng *rand.Rand) *COO {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("sptensor: sampling rate %g outside (0,1]", rate))
+	}
+	s := New(x.Shape()...)
+	order := x.Order()
+	shape := x.Shape()
+	inv := 1 / rate
+	idx := make([]int, order)
+	for _, v := range x.Data() {
+		if v != 0 && rng.Float64() < rate {
+			for _, i := range idx {
+				s.Indices = append(s.Indices, int32(i))
+			}
+			s.Values = append(s.Values, v*inv)
+		}
+		for k := 0; k < order; k++ {
+			idx[k]++
+			if idx[k] < shape[k] {
+				break
+			}
+			idx[k] = 0
+		}
+	}
+	return s
+}
+
+// TTMcUnfolded computes the mode-n unfolding of X ×_{k≠n} A(k)ᵀ directly
+// from the nonzeros: an I_n × ∏_{k≠n} J_k dense matrix where each nonzero
+// x(i₁..i_N) adds x · ⊗_{k≠n} A(k)[i_k,:] (lower modes fastest) to row i_n.
+//
+// Cost is O(nnz · ∏_{k≠n} J_k) — the reason sampling pays off for MACH.
+func (s *COO) TTMcUnfolded(factors []*mat.Dense, n int) *mat.Dense {
+	order := len(s.Shape)
+	if len(factors) != order {
+		panic(fmt.Sprintf("sptensor: %d factors for order-%d tensor", len(factors), order))
+	}
+	cols := 1
+	for k := 0; k < order; k++ {
+		if k != n {
+			cols *= factors[k].Cols()
+		}
+	}
+	out := mat.New(s.Shape[n], cols)
+	if len(s.Values) == 0 {
+		return out
+	}
+	krow := make([]float64, cols)
+	rows := make([][]float64, 0, order-1)
+	for e, v := range s.Values {
+		base := e * order
+		// Kronecker of the selected factor rows with LOWER modes fastest:
+		// mat.KronRow makes its last argument fastest, so feed rows in
+		// descending mode order.
+		rows = rows[:0]
+		for k := order - 1; k >= 0; k-- {
+			if k == n {
+				continue
+			}
+			rows = append(rows, factors[k].Row(int(s.Indices[base+k])))
+		}
+		mat.KronRow(krow, rows...)
+		dst := out.Row(int(s.Indices[base+n]))
+		for c, w := range krow {
+			dst[c] += v * w
+		}
+	}
+	return out
+}
+
+// CoreProject computes G = X ×₁ A(1)ᵀ … ×_N A(N)ᵀ from the nonzeros,
+// returning the J1×…×JN core.
+func (s *COO) CoreProject(factors []*mat.Dense) *tensor.Dense {
+	order := len(s.Shape)
+	ranks := make([]int, order)
+	total := 1
+	for k, f := range factors {
+		ranks[k] = f.Cols()
+		total *= f.Cols()
+	}
+	g := tensor.New(ranks...)
+	gd := g.Data()
+	krow := make([]float64, total)
+	rows := make([][]float64, order)
+	for e, v := range s.Values {
+		base := e * order
+		// Core layout is first-index-fastest, so the flattened core index
+		// must have mode 1 fastest: feed KronRow in descending mode order.
+		for k := 0; k < order; k++ {
+			rows[k] = factors[order-1-k].Row(int(s.Indices[base+order-1-k]))
+		}
+		mat.KronRow(krow, rows...)
+		for c, w := range krow {
+			gd[c] += v * w
+		}
+	}
+	return g
+}
+
+// Dense materializes the sparse tensor (summing duplicates).
+func (s *COO) Dense() *tensor.Dense {
+	t := tensor.New(s.Shape...)
+	order := len(s.Shape)
+	strides := make([]int, order)
+	acc := 1
+	for k, dim := range s.Shape {
+		strides[k] = acc
+		acc *= dim
+	}
+	d := t.Data()
+	for e, v := range s.Values {
+		off := 0
+		for k := 0; k < order; k++ {
+			off += int(s.Indices[e*order+k]) * strides[k]
+		}
+		d[off] += v
+	}
+	return t
+}

@@ -1,0 +1,168 @@
+package sptensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func TestAppendAndNNZ(t *testing.T) {
+	s := New(3, 4, 5)
+	s.Append(1.5, 0, 1, 2)
+	s.Append(-2, 2, 3, 4)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	if got := s.Norm(); math.Abs(got-math.Sqrt(1.5*1.5+4)) > 1e-12 {
+		t.Fatalf("Norm = %g", got)
+	}
+}
+
+func TestAppendOutOfRangePanics(t *testing.T) {
+	s := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Append did not panic")
+		}
+	}()
+	s.Append(1, 2, 0)
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	s := New(2, 3)
+	s.Append(5, 1, 2)
+	s.Append(3, 0, 0)
+	s.Append(2, 1, 2) // duplicate coordinate sums
+	d := s.Dense()
+	if d.At(1, 2) != 7 || d.At(0, 0) != 3 || d.At(0, 1) != 0 {
+		t.Fatalf("Dense() wrong: %v", d.Data())
+	}
+}
+
+func TestSampleFullRateIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 4, 5, 3)
+	s := Sample(x, 1.0, rng)
+	if s.NNZ() != x.Len() {
+		t.Fatalf("rate-1 sample kept %d of %d", s.NNZ(), x.Len())
+	}
+	if !s.Dense().EqualApprox(x, 1e-12) {
+		t.Fatal("rate-1 sample differs from input")
+	}
+}
+
+func TestSampleUnbiasedNorm(t *testing.T) {
+	// E[sampled entry] = entry; the mean over entries of many samples
+	// should track the original.
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 6, 6, 6)
+	sum := tensor.New(6, 6, 6)
+	trials := 200
+	for i := 0; i < trials; i++ {
+		sum.AddInPlace(Sample(x, 0.3, rng).Dense())
+	}
+	sum.ScaleInPlace(1 / float64(trials))
+	rel := sum.Sub(x).Norm() / x.Norm()
+	if rel > 0.15 {
+		t.Fatalf("sample mean deviates by %g", rel)
+	}
+}
+
+func TestSampleRateRoughlyRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 10, 10, 10)
+	s := Sample(x, 0.25, rng)
+	frac := float64(s.NNZ()) / float64(x.Len())
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("kept fraction %g for rate 0.25", frac)
+	}
+}
+
+func TestSampleInvalidRatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandN(rng, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 0 accepted")
+		}
+	}()
+	Sample(x, 0, rng)
+}
+
+func TestTTMcMatchesDense(t *testing.T) {
+	// Sparse TTMc on a rate-1 sample must equal the dense computation.
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandN(rng, 4, 5, 3)
+	s := Sample(x, 1.0, rng)
+	factors := []*mat.Dense{
+		mat.RandN(4, 2, rng),
+		mat.RandN(5, 3, rng),
+		mat.RandN(3, 2, rng),
+	}
+	for n := 0; n < 3; n++ {
+		got := s.TTMcUnfolded(factors, n)
+		want := x.TTMAllTransposed(factors, n).Unfold(n)
+		if !got.EqualApprox(want, 1e-10) {
+			t.Fatalf("TTMc mode %d disagrees with dense", n)
+		}
+	}
+}
+
+func TestCoreProjectMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandN(rng, 3, 4, 5)
+	s := Sample(x, 1.0, rng)
+	factors := []*mat.Dense{
+		mat.RandN(3, 2, rng),
+		mat.RandN(4, 2, rng),
+		mat.RandN(5, 2, rng),
+	}
+	got := s.CoreProject(factors)
+	want := x.TTMAllTransposed(factors, -1)
+	if !got.EqualApprox(want, 1e-10) {
+		t.Fatal("CoreProject disagrees with dense projection")
+	}
+}
+
+func TestTTMcOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 3, 4, 2, 3)
+	s := Sample(x, 1.0, rng)
+	factors := []*mat.Dense{
+		mat.RandN(3, 2, rng),
+		mat.RandN(4, 2, rng),
+		mat.RandN(2, 2, rng),
+		mat.RandN(3, 2, rng),
+	}
+	got := s.TTMcUnfolded(factors, 2)
+	want := x.TTMAllTransposed(factors, 2).Unfold(2)
+	if !got.EqualApprox(want, 1e-10) {
+		t.Fatal("order-4 TTMc mismatch")
+	}
+}
+
+func TestStorageFloats(t *testing.T) {
+	s := New(3, 3, 3)
+	s.Append(1, 0, 0, 0)
+	s.Append(2, 1, 1, 1)
+	// 2 values + 6 int32 indices = 2 + 3 float-equivalents.
+	if got := s.StorageFloats(); got != 5 {
+		t.Fatalf("StorageFloats = %d, want 5", got)
+	}
+}
+
+func TestEmptyTensorKernels(t *testing.T) {
+	s := New(3, 4)
+	factors := []*mat.Dense{mat.New(3, 2), mat.New(4, 2)}
+	y := s.TTMcUnfolded(factors, 0)
+	if y.Norm() != 0 {
+		t.Fatal("empty TTMc nonzero")
+	}
+	g := s.CoreProject(factors)
+	if g.Norm() != 0 {
+		t.Fatal("empty CoreProject nonzero")
+	}
+}

@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The .ten binary format:
+//
+//	magic   [4]byte  "TEN1"
+//	order   uint32   number of modes (little endian)
+//	shape   [order]uint64
+//	data    [∏shape]float64, first-index-fastest, little endian
+var tenMagic = [4]byte{'T', 'E', 'N', '1'}
+
+// maxSerializedElems bounds the element count accepted when reading, to
+// fail fast on corrupt headers instead of attempting a huge allocation.
+const maxSerializedElems = 1 << 31
+
+// Write serializes the tensor in .ten format.
+func (t *Dense) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(tenMagic[:]); err != nil {
+		return fmt.Errorf("tensor: writing magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.shape))); err != nil {
+		return fmt.Errorf("tensor: writing order: %w", err)
+	}
+	for _, s := range t.shape {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(s)); err != nil {
+			return fmt.Errorf("tensor: writing shape: %w", err)
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range t.data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("tensor: writing data: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a tensor in .ten format.
+func ReadFrom(r io.Reader) (*Dense, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading magic: %w", err)
+	}
+	if magic != tenMagic {
+		return nil, fmt.Errorf("tensor: bad magic %q (not a .ten file)", magic[:])
+	}
+	var order uint32
+	if err := binary.Read(br, binary.LittleEndian, &order); err != nil {
+		return nil, fmt.Errorf("tensor: reading order: %w", err)
+	}
+	if order == 0 || order > 16 {
+		return nil, fmt.Errorf("tensor: implausible order %d", order)
+	}
+	shape := make([]int, order)
+	total := 1
+	for k := range shape {
+		var s uint64
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("tensor: reading shape: %w", err)
+		}
+		if s == 0 || s > maxSerializedElems {
+			return nil, fmt.Errorf("tensor: implausible dimensionality %d", s)
+		}
+		shape[k] = int(s)
+		total *= int(s)
+		if total > maxSerializedElems {
+			return nil, fmt.Errorf("tensor: shape %v exceeds element limit", shape[:k+1])
+		}
+	}
+	t := New(shape...)
+	buf := make([]byte, 8)
+	for i := range t.data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("tensor: reading data element %d of %d: %w", i, total, err)
+		}
+		t.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return t, nil
+}
+
+// SaveFile writes the tensor to path in .ten format.
+func (t *Dense) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tensor: creating %s: %w", path, err)
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tensor: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a .ten tensor from path.
+func LoadFile(path string) (*Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutedFrontalSliceMatchesPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		shape []int
+		perm  []int
+	}{
+		{[]int{4, 5, 6}, []int{0, 1, 2}},
+		{[]int{4, 5, 6}, []int{2, 0, 1}},
+		{[]int{4, 5, 6}, []int{1, 2, 0}},
+		{[]int{3, 4, 5, 2}, []int{3, 1, 0, 2}},
+		{[]int{7, 6}, []int{1, 0}},
+		{[]int{2, 3, 4, 2, 2}, []int{4, 2, 0, 1, 3}},
+	} {
+		x := RandN(rng, tc.shape...)
+		xp := x.Permute(tc.perm)
+		for l := 0; l < xp.NumSlices(); l++ {
+			got := x.PermutedFrontalSlice(tc.perm, l)
+			want := xp.FrontalSlice(l)
+			if !got.EqualApprox(want, 0) {
+				t.Fatalf("shape %v perm %v slice %d mismatch", tc.shape, tc.perm, l)
+			}
+		}
+	}
+}
+
+func TestPermutedFrontalSlicePropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 2 + rng.Intn(3)
+		shape := make([]int, order)
+		for i := range shape {
+			shape[i] = 1 + rng.Intn(5)
+		}
+		perm := rng.Perm(order)
+		x := RandN(rng, shape...)
+		xp := x.Permute(perm)
+		l := rng.Intn(xp.NumSlices())
+		return x.PermutedFrontalSlice(perm, l).EqualApprox(xp.FrontalSlice(l), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutedFrontalSliceLargeTiled(t *testing.T) {
+	// Exercise the tiled strided-strided path with dimensions beyond one
+	// tile.
+	rng := rand.New(rand.NewSource(2))
+	x := RandN(rng, 70, 90, 3)
+	perm := []int{1, 2, 0} // rows stride ≠ 1 and cols stride ≠ 1 w.r.t. memory
+	xp := x.Permute(perm)
+	for l := 0; l < xp.NumSlices(); l++ {
+		if !x.PermutedFrontalSlice(perm, l).EqualApprox(xp.FrontalSlice(l), 0) {
+			t.Fatalf("tiled path mismatch at slice %d", l)
+		}
+	}
+}
+
+func TestPermutedFrontalSliceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandN(rng, 3, 4, 5)
+	for _, fn := range []func(){
+		func() { x.PermutedFrontalSlice([]int{0, 1}, 0) },
+		func() { x.PermutedFrontalSlice([]int{0, 1, 2}, -1) },
+		func() { x.PermutedFrontalSlice([]int{0, 1, 2}, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid PermutedFrontalSlice call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkFrontalSliceLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, 256, 192, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < 8; l++ {
+			x.FrontalSlice(l)
+		}
+	}
+}
+
+func BenchmarkPermutedFrontalSlice(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, 192, 144, 16)
+	perm := []int{2, 0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < 16; l++ {
+			x.PermutedFrontalSlice(perm, l)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package tensor implements dense N-order tensor algebra: mode-n
+// matricization (unfolding) and its inverse, n-mode (tensor × matrix)
+// products, frontal-slice access, mode permutation, and a compact binary
+// serialization format.
+//
+// Storage follows the convention of Kolda & Bader ("Tensor Decompositions
+// and Applications", SIAM Rev. 2009): the first index varies fastest, the
+// generalization of column-major order. Consequently mode-1 fibers are
+// contiguous and the I1×I2 frontal slices used by D-Tucker's approximation
+// phase occupy contiguous blocks of the backing array.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Dense is a dense tensor of float64 values with first-index-fastest
+// (column-major style) layout.
+type Dense struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New returns a zeroed tensor with the given shape.
+func New(shape ...int) *Dense {
+	total := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		total *= s
+	}
+	return &Dense{
+		shape:  append([]int(nil), shape...),
+		stride: strides(shape),
+		data:   make([]float64, total),
+	}
+}
+
+// NewFromData wraps data (first-index-fastest, length ∏shape) without
+// copying.
+func NewFromData(data []float64, shape ...int) *Dense {
+	total := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		total *= s
+	}
+	if len(data) != total {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Dense{
+		shape:  append([]int(nil), shape...),
+		stride: strides(shape),
+		data:   data,
+	}
+}
+
+func strides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for k, s := range shape {
+		st[k] = acc
+		acc *= s
+	}
+	return st
+}
+
+// Order returns the number of modes.
+func (t *Dense) Order() int { return len(t.shape) }
+
+// Shape returns a copy of the dimensionalities.
+func (t *Dense) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the dimensionality of mode n (0-based).
+func (t *Dense) Dim(n int) int {
+	t.checkMode(n)
+	return t.shape[n]
+}
+
+// Len returns the total number of elements.
+func (t *Dense) Len() int { return len(t.data) }
+
+// Data returns the backing slice; mutating it mutates the tensor.
+func (t *Dense) Data() []float64 { return t.data }
+
+func (t *Dense) checkMode(n int) {
+	if n < 0 || n >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: mode %d out of range for order-%d tensor", n, len(t.shape)))
+	}
+}
+
+// offset converts a multi-index to a linear offset.
+func (t *Dense) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v for order-%d tensor", idx, len(t.shape)))
+	}
+	off := 0
+	for k, i := range idx {
+		if i < 0 || i >= t.shape[k] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += i * t.stride[k]
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Dense) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Dense) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Dense) Clone() *Dense {
+	out := New(t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Zero sets every element to zero.
+func (t *Dense) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// ScaleInPlace multiplies every element by alpha.
+func (t *Dense) ScaleInPlace(alpha float64) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// AddInPlace accumulates b into t; shapes must match.
+func (t *Dense) AddInPlace(b *Dense) {
+	t.checkSameShape(b, "AddInPlace")
+	for i, v := range b.data {
+		t.data[i] += v
+	}
+}
+
+// Sub returns t − b as a new tensor.
+func (t *Dense) Sub(b *Dense) *Dense {
+	t.checkSameShape(b, "Sub")
+	out := t.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+func (t *Dense) checkSameShape(b *Dense, op string) {
+	if !sameShape(t.shape, b.shape) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, b.shape))
+	}
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm returns the Frobenius norm.
+func (t *Dense) Norm() float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range t.data {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns the largest absolute element.
+func (t *Dense) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// EqualApprox reports element-wise equality within tol, requiring equal
+// shapes.
+func (t *Dense) EqualApprox(b *Dense, tol float64) bool {
+	if !sameShape(t.shape, b.shape) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RandN fills a new tensor of the given shape with i.i.d. standard normals.
+func RandN(rng *rand.Rand, shape ...int) *Dense {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// NumSlices returns the number of I1×I2 frontal slices, i.e. the product of
+// the dimensionalities of modes 3..N. Order-2 tensors have exactly one
+// slice.
+func (t *Dense) NumSlices() int {
+	if len(t.shape) < 2 {
+		panic("tensor: NumSlices requires order ≥ 2")
+	}
+	n := 1
+	for _, s := range t.shape[2:] {
+		n *= s
+	}
+	return n
+}
+
+// FrontalSlice extracts slice l (0 ≤ l < NumSlices) as an I1×I2 matrix.
+// Slice l corresponds to fixing modes 3..N at the multi-index returned by
+// SliceIndex(l). The data is copied into row-major order.
+func (t *Dense) FrontalSlice(l int) *mat.Dense {
+	i1, i2 := t.shape[0], t.shape[1]
+	block := t.sliceBlock(l)
+	out := mat.New(i1, i2)
+	// block is column-major I1×I2 (first index fastest): a tiled
+	// transpose-copy keeps both operands cache-resident.
+	gatherTiled(out.Data(), block, 0, i1, i2, 1, i1)
+	return out
+}
+
+// SetFrontalSlice overwrites slice l with the contents of m (I1×I2).
+func (t *Dense) SetFrontalSlice(l int, m *mat.Dense) {
+	i1, i2 := t.shape[0], t.shape[1]
+	if m.Rows() != i1 || m.Cols() != i2 {
+		panic(fmt.Sprintf("tensor: SetFrontalSlice with %d×%d matrix, want %d×%d", m.Rows(), m.Cols(), i1, i2))
+	}
+	block := t.sliceBlock(l)
+	md := m.Data()
+	for j := 0; j < i2; j++ {
+		col := block[j*i1 : (j+1)*i1]
+		for i := range col {
+			col[i] = md[i*i2+j]
+		}
+	}
+}
+
+func (t *Dense) sliceBlock(l int) []float64 {
+	if len(t.shape) < 2 {
+		panic("tensor: frontal slices require order ≥ 2")
+	}
+	ns := t.NumSlices()
+	if l < 0 || l >= ns {
+		panic(fmt.Sprintf("tensor: slice %d out of range (have %d)", l, ns))
+	}
+	area := t.shape[0] * t.shape[1]
+	return t.data[l*area : (l+1)*area]
+}
+
+// SliceIndex decodes flat slice index l into the multi-index of modes 3..N
+// (first of those modes fastest), matching FrontalSlice's enumeration.
+func (t *Dense) SliceIndex(l int) []int {
+	rest := t.shape[2:]
+	idx := make([]int, len(rest))
+	for k, s := range rest {
+		idx[k] = l % s
+		l /= s
+	}
+	return idx
+}
+
+// Permute returns a new tensor with modes reordered so that output mode k
+// is input mode perm[k]. perm must be a permutation of 0..order-1.
+func (t *Dense) Permute(perm []int) *Dense {
+	n := len(t.shape)
+	if len(perm) != n {
+		panic(fmt.Sprintf("tensor: Permute with %d entries for order-%d tensor", len(perm), n))
+	}
+	seen := make([]bool, n)
+	newShape := make([]int, n)
+	for k, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		newShape[k] = t.shape[p]
+	}
+	out := New(newShape...)
+	// Walk the output linearly, tracking its multi-index incrementally and
+	// maintaining the corresponding input offset.
+	idx := make([]int, n)
+	inOff := 0
+	for p := range out.data {
+		out.data[p] = t.data[inOff]
+		for k := 0; k < n; k++ {
+			idx[k]++
+			inOff += t.stride[perm[k]]
+			if idx[k] < newShape[k] {
+				break
+			}
+			inOff -= idx[k] * t.stride[perm[k]]
+			idx[k] = 0
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets the tensor's data with a new shape of equal total
+// size, sharing storage.
+func (t *Dense) Reshape(shape ...int) *Dense {
+	total := 1
+	for _, s := range shape {
+		total *= s
+	}
+	if total != len(t.data) {
+		panic(fmt.Sprintf("tensor: Reshape %v incompatible with %d elements", shape, len(t.data)))
+	}
+	return NewFromData(t.data, shape...)
+}

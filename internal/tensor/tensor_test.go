@@ -1,0 +1,471 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(3, 4, 5)
+	if x.Order() != 3 {
+		t.Fatalf("Order = %d", x.Order())
+	}
+	if x.Len() != 60 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if x.Dim(1) != 4 {
+		t.Fatalf("Dim(1) = %d", x.Dim(1))
+	}
+	sh := x.Shape()
+	sh[0] = 99
+	if x.Dim(0) != 3 {
+		t.Fatal("Shape() returned aliased slice")
+	}
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero dim did not panic")
+		}
+	}()
+	New(3, 0, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(42, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 42 {
+		t.Fatalf("At = %g", got)
+	}
+	if got := x.At(0, 0, 0); got != 0 {
+		t.Fatalf("At(0,0,0) = %g", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	x.At(0, 2)
+}
+
+func TestLayoutFirstIndexFastest(t *testing.T) {
+	x := New(2, 3)
+	x.Set(1, 1, 0) // second element in memory
+	if x.Data()[1] != 1 {
+		t.Fatalf("layout is not first-index-fastest: %v", x.Data())
+	}
+	x.Set(2, 0, 1)
+	if x.Data()[2] != 2 {
+		t.Fatalf("layout is not first-index-fastest: %v", x.Data())
+	}
+}
+
+func TestCloneSubAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, 3, 4, 2)
+	y := x.Clone()
+	diff := x.Sub(y)
+	if diff.Norm() != 0 {
+		t.Fatal("x - clone(x) != 0")
+	}
+	y.AddInPlace(x)
+	want := x.Clone()
+	want.ScaleInPlace(2)
+	if !y.EqualApprox(want, 1e-14) {
+		t.Fatal("AddInPlace/ScaleInPlace mismatch")
+	}
+}
+
+func TestNormMatchesManual(t *testing.T) {
+	x := New(2, 2)
+	x.Set(3, 0, 0)
+	x.Set(4, 1, 1)
+	if got := x.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %g, want 5", got)
+	}
+}
+
+func TestUnfoldMode0Known(t *testing.T) {
+	// X(i,j) over 2×3 with first-index-fastest data [1 2 3 4 5 6]:
+	// X = [[1,3,5],[2,4,6]]; mode-0 unfolding equals X itself.
+	x := NewFromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	u := x.Unfold(0)
+	want := mat.FromRows([][]float64{{1, 3, 5}, {2, 4, 6}})
+	if !u.EqualApprox(want, 0) {
+		t.Fatalf("Unfold(0) = %v", u)
+	}
+}
+
+func TestUnfoldMode1Known(t *testing.T) {
+	x := NewFromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	u := x.Unfold(1)
+	// Mode-1 unfolding: rows index j, columns index i.
+	want := mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !u.EqualApprox(want, 0) {
+		t.Fatalf("Unfold(1) = %v", u)
+	}
+}
+
+func TestUnfoldKolda3Way(t *testing.T) {
+	// The canonical example from Kolda & Bader: X ∈ R^{3×4×2} with
+	// X(:,:,1) = [1 4 7 10; 2 5 8 11; 3 6 9 12],
+	// X(:,:,2) = [13 16 19 22; 14 17 20 23; 15 18 21 24].
+	data := make([]float64, 24)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	x := NewFromData(data, 3, 4, 2)
+	u0 := x.Unfold(0)
+	if u0.Rows() != 3 || u0.Cols() != 8 {
+		t.Fatalf("U0 dims %d×%d", u0.Rows(), u0.Cols())
+	}
+	if u0.At(0, 0) != 1 || u0.At(0, 3) != 10 || u0.At(0, 4) != 13 || u0.At(2, 7) != 24 {
+		t.Fatalf("U0 wrong: %v", u0)
+	}
+	u1 := x.Unfold(1)
+	// Kolda: X_(2) row j enumerates (i,k) with i fastest:
+	// first row: 1 2 3 13 14 15.
+	wantRow := []float64{1, 2, 3, 13, 14, 15}
+	for c, w := range wantRow {
+		if u1.At(0, c) != w {
+			t.Fatalf("U1 row 0 = %v", u1.Row(0))
+		}
+	}
+	u2 := x.Unfold(2)
+	// X_(3) row k enumerates (i,j) with i fastest: row 0 = 1..12.
+	for c := 0; c < 12; c++ {
+		if u2.At(0, c) != float64(c+1) {
+			t.Fatalf("U2 row 0 = %v", u2.Row(0))
+		}
+	}
+}
+
+func TestFoldInvertsUnfold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, shape := range [][]int{{4, 5}, {3, 4, 5}, {2, 3, 4, 5}, {6, 1, 3}} {
+		x := RandN(rng, shape...)
+		for n := 0; n < len(shape); n++ {
+			back := Fold(x.Unfold(n), n, shape)
+			if !back.EqualApprox(x, 0) {
+				t.Fatalf("Fold(Unfold(%d)) != X for shape %v", n, shape)
+			}
+		}
+	}
+}
+
+func TestFoldUnfoldProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}
+		x := RandN(rng, shape...)
+		n := rng.Intn(3)
+		return Fold(x.Unfold(n), n, shape).EqualApprox(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnfoldNormInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandN(rng, 3, 4, 5)
+	for n := 0; n < 3; n++ {
+		if math.Abs(x.Unfold(n).Norm()-x.Norm()) > 1e-12 {
+			t.Fatalf("unfolding changed the norm for mode %d", n)
+		}
+	}
+}
+
+func TestModeProductIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := RandN(rng, 3, 4, 5)
+	for n := 0; n < 3; n++ {
+		y := x.ModeProduct(mat.Identity(x.Dim(n)), n)
+		if !y.EqualApprox(x, 0) {
+			t.Fatalf("X ×_%d I != X", n)
+		}
+	}
+}
+
+func TestModeProductAgainstDirectSum(t *testing.T) {
+	// Y(j, i2, i3) = Σ_i M(j,i) X(i,i2,i3), checked element-wise.
+	rng := rand.New(rand.NewSource(5))
+	x := RandN(rng, 3, 4, 2)
+	m := mat.RandN(5, 3, rng)
+	y := x.ModeProduct(m, 0)
+	if got := y.Shape(); got[0] != 5 || got[1] != 4 || got[2] != 2 {
+		t.Fatalf("shape = %v", got)
+	}
+	for j := 0; j < 5; j++ {
+		for i2 := 0; i2 < 4; i2++ {
+			for i3 := 0; i3 < 2; i3++ {
+				want := 0.0
+				for i := 0; i < 3; i++ {
+					want += m.At(j, i) * x.At(i, i2, i3)
+				}
+				if math.Abs(y.At(j, i2, i3)-want) > 1e-12 {
+					t.Fatalf("ModeProduct mismatch at (%d,%d,%d)", j, i2, i3)
+				}
+			}
+		}
+	}
+}
+
+func TestModeProductCommutesAcrossModes(t *testing.T) {
+	// (X ×_1 A) ×_2 B == (X ×_2 B) ×_1 A for distinct modes.
+	rng := rand.New(rand.NewSource(6))
+	x := RandN(rng, 3, 4, 5)
+	a := mat.RandN(2, 3, rng)
+	b := mat.RandN(6, 4, rng)
+	lhs := x.ModeProduct(a, 0).ModeProduct(b, 1)
+	rhs := x.ModeProduct(b, 1).ModeProduct(a, 0)
+	if !lhs.EqualApprox(rhs, 1e-11) {
+		t.Fatal("mode products across distinct modes do not commute")
+	}
+}
+
+func TestModeProductSameModeComposes(t *testing.T) {
+	// (X ×_n A) ×_n B == X ×_n (B·A).
+	rng := rand.New(rand.NewSource(7))
+	x := RandN(rng, 3, 4, 2)
+	a := mat.RandN(5, 3, rng)
+	b := mat.RandN(2, 5, rng)
+	lhs := x.ModeProduct(a, 0).ModeProduct(b, 0)
+	rhs := x.ModeProduct(mat.Mul(b, a), 0)
+	if !lhs.EqualApprox(rhs, 1e-11) {
+		t.Fatal("same-mode product composition violated")
+	}
+}
+
+func TestModeProductMatchesKroneckerIdentity(t *testing.T) {
+	// Y = X ×_1 A ⇒ Y_(1) = A·X_(1); and for the full Tucker identity,
+	// (G ×_1 A ×_2 B ×_3 C)_(1) = A·G_(1)·(C⊗B)ᵀ.
+	rng := rand.New(rand.NewSource(8))
+	g := RandN(rng, 2, 3, 4)
+	a := mat.RandN(5, 2, rng)
+	b := mat.RandN(6, 3, rng)
+	c := mat.RandN(7, 4, rng)
+	full := g.ModeProduct(a, 0).ModeProduct(b, 1).ModeProduct(c, 2)
+	lhs := full.Unfold(0)
+	rhs := mat.Mul(mat.Mul(a, g.Unfold(0)), mat.Kronecker(c, b).T())
+	if !lhs.EqualApprox(rhs, 1e-10) {
+		t.Fatal("Tucker unfolding identity violated")
+	}
+}
+
+func TestMultiModeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := RandN(rng, 3, 4, 5)
+	a := mat.RandN(2, 3, rng)
+	c := mat.RandN(2, 5, rng)
+	got := x.MultiModeProduct(a, nil, c)
+	want := x.ModeProduct(a, 0).ModeProduct(c, 2)
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("MultiModeProduct mismatch")
+	}
+}
+
+func TestTTMAllTransposedSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := RandN(rng, 4, 5, 6)
+	fs := []*mat.Dense{
+		mat.RandN(4, 2, rng),
+		mat.RandN(5, 2, rng),
+		mat.RandN(6, 2, rng),
+	}
+	got := x.TTMAllTransposed(fs, 1)
+	want := x.ModeProduct(fs[0].T(), 0).ModeProduct(fs[2].T(), 2)
+	if !got.EqualApprox(want, 1e-11) {
+		t.Fatal("TTMAllTransposed skip mismatch")
+	}
+}
+
+func TestFrontalSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := RandN(rng, 3, 4, 5, 2)
+	if x.NumSlices() != 10 {
+		t.Fatalf("NumSlices = %d", x.NumSlices())
+	}
+	for l := 0; l < x.NumSlices(); l++ {
+		s := x.FrontalSlice(l)
+		idx := x.SliceIndex(l)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				if s.At(i, j) != x.At(i, j, idx[0], idx[1]) {
+					t.Fatalf("slice %d mismatch at (%d,%d)", l, i, j)
+				}
+			}
+		}
+	}
+	// Round-trip through SetFrontalSlice.
+	y := New(3, 4, 5, 2)
+	for l := 0; l < x.NumSlices(); l++ {
+		y.SetFrontalSlice(l, x.FrontalSlice(l))
+	}
+	if !y.EqualApprox(x, 0) {
+		t.Fatal("SetFrontalSlice round-trip failed")
+	}
+}
+
+func TestSliceIndexEnumeration(t *testing.T) {
+	x := New(2, 2, 3, 2)
+	wants := [][]int{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	for l, want := range wants {
+		got := x.SliceIndex(l)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("SliceIndex(%d) = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestFrontalSliceMatrixCase(t *testing.T) {
+	x := NewFromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.NumSlices() != 1 {
+		t.Fatalf("matrix NumSlices = %d", x.NumSlices())
+	}
+	s := x.FrontalSlice(0)
+	if !s.EqualApprox(x.Unfold(0), 0) {
+		t.Fatal("matrix frontal slice != itself")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := RandN(rng, 3, 4, 5)
+	perm := []int{2, 0, 1}
+	y := x.Permute(perm)
+	if sh := y.Shape(); sh[0] != 5 || sh[1] != 3 || sh[2] != 4 {
+		t.Fatalf("permuted shape %v", sh)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				if y.At(k, i, j) != x.At(i, j, k) {
+					t.Fatalf("Permute value mismatch at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	// Inverse permutation restores the original.
+	inv := []int{1, 2, 0}
+	if !y.Permute(inv).EqualApprox(x, 0) {
+		t.Fatal("inverse permutation does not restore")
+	}
+}
+
+func TestPermuteInvalidPanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid permutation did not panic")
+		}
+	}()
+	x.Permute([]int{0, 0})
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(5, 0, 0)
+	if x.Data()[0] != 5 {
+		t.Fatal("Reshape copied data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incompatible Reshape did not panic")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := RandN(rng, 3, 4, 5)
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.EqualApprox(x, 0) {
+		t.Fatal("serialize round-trip changed values")
+	}
+}
+
+func TestSerializeFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := RandN(rng, 4, 3, 2)
+	path := t.TempDir() + "/x.ten"
+	if err := x.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.EqualApprox(x, 0) {
+		t.Fatal("file round-trip changed values")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("NOPE and more bytes"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := RandN(rng, 3, 3)
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReadRejectsHugeShape(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("TEN1"))
+	buf.Write([]byte{2, 0, 0, 0}) // order 2
+	// 2^40 × 2^40 shape.
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("implausible shape accepted")
+	}
+}
+
+func BenchmarkUnfoldMode2(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, 64, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Unfold(2)
+	}
+}
+
+func BenchmarkModeProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, 64, 64, 64)
+	m := mat.RandN(10, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ModeProduct(m, 1)
+	}
+}

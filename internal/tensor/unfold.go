@@ -1,0 +1,192 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Unfold returns the mode-n matricization X_(n) of the tensor: an
+// I_n × ∏_{k≠n} I_k matrix whose columns enumerate the remaining modes with
+// lower modes varying fastest (Kolda & Bader's convention).
+func (t *Dense) Unfold(n int) *mat.Dense {
+	t.checkMode(n)
+	rows := t.shape[n]
+	cols := len(t.data) / rows
+	out := mat.New(rows, cols)
+	od := out.Data()
+
+	if n == 0 {
+		// Mode-1 fibers are contiguous: column c of the unfolding is the
+		// contiguous block data[c*rows:(c+1)*rows].
+		for c := 0; c < cols; c++ {
+			block := t.data[c*rows : (c+1)*rows]
+			for i, v := range block {
+				od[i*cols+c] = v
+			}
+		}
+		return out
+	}
+	if n == len(t.shape)-1 {
+		// The last mode is the slowest-varying index, so row i of the
+		// unfolding is the contiguous block data[i*cols:(i+1)*cols].
+		copy(od, t.data)
+		return out
+	}
+
+	// General case: walk the tensor linearly (first index fastest),
+	// tracking the column index of the unfolding incrementally.
+	order := len(t.shape)
+	idx := make([]int, order)
+	// colStride[k] is the contribution of idx[k] to the unfolding column,
+	// for k ≠ n, with lower ks fastest.
+	colStride := make([]int, order)
+	acc := 1
+	for k := 0; k < order; k++ {
+		if k == n {
+			continue
+		}
+		colStride[k] = acc
+		acc *= t.shape[k]
+	}
+	col := 0
+	row := 0
+	for _, v := range t.data {
+		od[row*cols+col] = v
+		for k := 0; k < order; k++ {
+			idx[k]++
+			if k == n {
+				row++
+			} else {
+				col += colStride[k]
+			}
+			if idx[k] < t.shape[k] {
+				break
+			}
+			if k == n {
+				row = 0
+			} else {
+				col -= idx[k] * colStride[k]
+			}
+			idx[k] = 0
+		}
+	}
+	return out
+}
+
+// Fold is the inverse of Unfold: it rebuilds a tensor of the given shape
+// from its mode-n matricization.
+func Fold(m *mat.Dense, n int, shape []int) *Dense {
+	if n < 0 || n >= len(shape) {
+		panic(fmt.Sprintf("tensor: Fold mode %d for shape %v", n, shape))
+	}
+	t := New(shape...)
+	rows := shape[n]
+	cols := len(t.data) / rows
+	if m.Rows() != rows || m.Cols() != cols {
+		panic(fmt.Sprintf("tensor: Fold with %d×%d matrix, want %d×%d for mode %d of %v",
+			m.Rows(), m.Cols(), rows, cols, n, shape))
+	}
+	md := m.Data()
+
+	if n == 0 {
+		for c := 0; c < cols; c++ {
+			block := t.data[c*rows : (c+1)*rows]
+			for i := range block {
+				block[i] = md[i*cols+c]
+			}
+		}
+		return t
+	}
+	if n == len(shape)-1 {
+		copy(t.data, md)
+		return t
+	}
+
+	order := len(shape)
+	idx := make([]int, order)
+	colStride := make([]int, order)
+	acc := 1
+	for k := 0; k < order; k++ {
+		if k == n {
+			continue
+		}
+		colStride[k] = acc
+		acc *= shape[k]
+	}
+	col, row := 0, 0
+	for p := range t.data {
+		t.data[p] = md[row*cols+col]
+		for k := 0; k < order; k++ {
+			idx[k]++
+			if k == n {
+				row++
+			} else {
+				col += colStride[k]
+			}
+			if idx[k] < shape[k] {
+				break
+			}
+			if k == n {
+				row = 0
+			} else {
+				col -= idx[k] * colStride[k]
+			}
+			idx[k] = 0
+		}
+	}
+	return t
+}
+
+// ModeProduct returns the n-mode product X ×_n M for an r×I_n matrix M:
+// the result has shape equal to X's with mode n replaced by r, and
+// Y_(n) = M · X_(n).
+func (t *Dense) ModeProduct(m *mat.Dense, n int) *Dense {
+	t.checkMode(n)
+	if m.Cols() != t.shape[n] {
+		panic(fmt.Sprintf("tensor: ModeProduct mode-%d dimensionality %d, matrix is %d×%d",
+			n, t.shape[n], m.Rows(), m.Cols()))
+	}
+	unf := t.Unfold(n)
+	prod := mat.Mul(m, unf)
+	outShape := t.Shape()
+	outShape[n] = m.Rows()
+	return Fold(prod, n, outShape)
+}
+
+// MultiModeProduct applies ms[k] via n-mode product on every mode k where
+// ms[k] is non-nil, in ascending mode order. Each ms[k] must have
+// ms[k].Cols() == I_k at application time.
+func (t *Dense) MultiModeProduct(ms ...*mat.Dense) *Dense {
+	if len(ms) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: MultiModeProduct with %d matrices for order-%d tensor", len(ms), len(t.shape)))
+	}
+	out := t
+	for k, m := range ms {
+		if m == nil {
+			continue
+		}
+		out = out.ModeProduct(m, k)
+	}
+	return out
+}
+
+// TTMAllTransposed computes X ×_1 A(1)ᵀ … ×_N A(N)ᵀ skipping mode `skip`
+// (pass skip = -1 to project every mode). This is the workhorse of HOOI:
+// projecting the tensor into the factor subspaces. Modes are applied in
+// increasing size-reduction order is unnecessary here because every factor
+// shrinks its mode to the small rank; ascending order keeps intermediates
+// minimal after the first product.
+func (t *Dense) TTMAllTransposed(factors []*mat.Dense, skip int) *Dense {
+	if len(factors) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: TTMAllTransposed with %d factors for order-%d tensor", len(factors), len(t.shape)))
+	}
+	out := t
+	for k, f := range factors {
+		if k == skip || f == nil {
+			continue
+		}
+		out = out.ModeProduct(f.T(), k)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package tucker defines the Tucker decomposition model shared by the core
+// D-Tucker algorithm and every baseline: a small dense core tensor plus one
+// column-orthonormal factor matrix per mode, together with reconstruction
+// and error metrics.
+package tucker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Model is a Tucker decomposition X ≈ Core ×₁ Factors[0] … ×_N Factors[N-1].
+type Model struct {
+	Core    *tensor.Dense // J1×…×JN
+	Factors []*mat.Dense  // Factors[n] is I_n×J_n
+}
+
+// Validate checks the internal consistency of the model against an input
+// shape (pass nil to skip the shape check).
+func (m *Model) Validate(inputShape []int) error {
+	if m.Core == nil {
+		return fmt.Errorf("tucker: model has nil core")
+	}
+	if m.Core.Order() != len(m.Factors) {
+		return fmt.Errorf("tucker: core order %d but %d factors", m.Core.Order(), len(m.Factors))
+	}
+	for n, f := range m.Factors {
+		if f == nil {
+			return fmt.Errorf("tucker: factor %d is nil", n)
+		}
+		if f.Cols() != m.Core.Dim(n) {
+			return fmt.Errorf("tucker: factor %d has %d columns, core mode is %d", n, f.Cols(), m.Core.Dim(n))
+		}
+		if inputShape != nil && f.Rows() != inputShape[n] {
+			return fmt.Errorf("tucker: factor %d has %d rows, input mode is %d", n, f.Rows(), inputShape[n])
+		}
+	}
+	return nil
+}
+
+// Ranks returns the core dimensionalities.
+func (m *Model) Ranks() []int { return m.Core.Shape() }
+
+// Reconstruct materializes the full approximation
+// Core ×₁ A(1) … ×_N A(N). Use only when the result fits in memory.
+func (m *Model) Reconstruct() *tensor.Dense {
+	out := m.Core
+	for n, f := range m.Factors {
+		out = out.ModeProduct(f, n)
+	}
+	return out
+}
+
+// StorageFloats returns the number of float64 values the model stores —
+// the space-cost unit used throughout the experiments.
+func (m *Model) StorageFloats() int {
+	total := m.Core.Len()
+	for _, f := range m.Factors {
+		total += f.Rows() * f.Cols()
+	}
+	return total
+}
+
+// RelError returns the relative reconstruction error
+// ‖X − X̂‖_F / ‖X‖_F against the original tensor.
+//
+// The reconstruction is evaluated slice by slice so peak memory stays at
+// one I1×I2 slice rather than a full second copy of X.
+func (m *Model) RelError(x *tensor.Dense) float64 {
+	if x.Order() != len(m.Factors) {
+		panic(fmt.Sprintf("tucker: RelError input order %d vs model order %d", x.Order(), len(m.Factors)))
+	}
+	if x.Order() < 2 {
+		panic("tucker: RelError requires order ≥ 2")
+	}
+	for n, f := range m.Factors {
+		if f.Rows() != x.Dim(n) {
+			panic(fmt.Sprintf("tucker: RelError input mode %d has dimensionality %d but factor has %d rows", n, x.Dim(n), f.Rows()))
+		}
+	}
+	normX := x.Norm()
+	if normX == 0 {
+		return 0
+	}
+
+	a1, a2 := m.Factors[0], m.Factors[1]
+	j1, j2 := a1.Cols(), a2.Cols()
+	restRanks := 1
+	for _, f := range m.Factors[2:] {
+		restRanks *= f.Cols()
+	}
+	// coreMat[c] is the J1×J2 core slab for flattened trailing index c
+	// (mode-3 fastest, matching tensor slice enumeration).
+	coreMats := coreSlabs(m.Core, j1, j2, restRanks)
+
+	var resid2 float64
+	ns := x.NumSlices()
+	w := make([]float64, restRanks)
+	rows := make([][]float64, len(m.Factors)-2)
+	for l := 0; l < ns; l++ {
+		idx := x.SliceIndex(l)
+		// Kronecker row over trailing factors, mode-3 fastest.
+		for k := range rows {
+			rows[len(rows)-1-k] = m.Factors[2+k].Row(idx[k])
+		}
+		mat.KronRow(w, rows...)
+		// M = Σ_c w[c]·coreMats[c], the J1×J2 projected slab.
+		slab := mat.New(j1, j2)
+		for c, wc := range w {
+			if wc != 0 {
+				slab.AddScaledInPlace(wc, coreMats[c])
+			}
+		}
+		approx := mat.Mul(mat.Mul(a1, slab), a2.T())
+		orig := x.FrontalSlice(l)
+		d := orig.Sub(approx).Norm()
+		resid2 += d * d
+	}
+	return math.Sqrt(resid2) / normX
+}
+
+// Fit returns 1 − RelError(x), the fraction of the input explained.
+func (m *Model) Fit(x *tensor.Dense) float64 { return 1 - m.RelError(x) }
+
+// coreSlabs splits the core into its restRanks J1×J2 frontal slabs.
+func coreSlabs(core *tensor.Dense, j1, j2, restRanks int) []*mat.Dense {
+	out := make([]*mat.Dense, restRanks)
+	for c := 0; c < restRanks; c++ {
+		out[c] = core.FrontalSlice(c)
+	}
+	_ = j1
+	_ = j2
+	return out
+}
+
+// CoreNorm returns ‖Core‖_F, used for the cheap fit proxy
+// ‖X−X̂‖² ≈ ‖X‖² − ‖G‖² valid when the factors are orthonormal and the
+// core is the projection of X.
+func (m *Model) CoreNorm() float64 { return m.Core.Norm() }
+
+// FitFromCore computes the standard ALS fit estimate
+// 1 − sqrt(max(0, ‖X‖² − ‖G‖²))/‖X‖ from precomputed norms, avoiding any
+// pass over the raw tensor.
+func FitFromCore(normX, normCore float64) float64 {
+	if normX == 0 {
+		return 1
+	}
+	resid2 := normX*normX - normCore*normCore
+	if resid2 < 0 {
+		resid2 = 0
+	}
+	return 1 - math.Sqrt(resid2)/normX
+}

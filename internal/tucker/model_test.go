@@ -1,0 +1,152 @@
+package tucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// randomModel builds a Tucker model with orthonormal factors for the given
+// input shape and uniform rank.
+func randomModel(rng *rand.Rand, shape []int, j int) *Model {
+	ranks := make([]int, len(shape))
+	factors := make([]*mat.Dense, len(shape))
+	for n, s := range shape {
+		ranks[n] = j
+		factors[n] = mat.RandOrthonormal(s, j, rng)
+	}
+	return &Model{Core: tensor.RandN(rng, ranks...), Factors: factors}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomModel(rng, []int{6, 5, 4}, 2)
+	if err := m.Validate([]int{6, 5, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomModel(rng, []int{6, 5, 4}, 2)
+	if err := m.Validate([]int{6, 5, 9}); err == nil {
+		t.Fatal("wrong input shape accepted")
+	}
+	bad := &Model{Core: m.Core, Factors: m.Factors[:2]}
+	if err := bad.Validate(nil); err == nil {
+		t.Fatal("missing factor accepted")
+	}
+	if err := (&Model{}).Validate(nil); err == nil {
+		t.Fatal("nil core accepted")
+	}
+}
+
+func TestReconstructMatchesModeProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomModel(rng, []int{5, 4, 3}, 2)
+	want := m.Core.ModeProduct(m.Factors[0], 0).ModeProduct(m.Factors[1], 1).ModeProduct(m.Factors[2], 2)
+	if !m.Reconstruct().EqualApprox(want, 1e-12) {
+		t.Fatal("Reconstruct mismatch")
+	}
+}
+
+func TestRelErrorZeroForExactModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomModel(rng, []int{6, 5, 4}, 3)
+	x := m.Reconstruct()
+	if rel := m.RelError(x); rel > 1e-10 {
+		t.Fatalf("RelError = %g for exact model", rel)
+	}
+	if fit := m.Fit(x); fit < 1-1e-10 {
+		t.Fatalf("Fit = %g for exact model", fit)
+	}
+}
+
+func TestRelErrorMatchesDenseResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomModel(rng, []int{6, 5, 4}, 2)
+	x := tensor.RandN(rng, 6, 5, 4)
+	want := x.Sub(m.Reconstruct()).Norm() / x.Norm()
+	got := m.RelError(x)
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("RelError = %g, dense residual = %g", got, want)
+	}
+}
+
+func TestRelErrorOrder4(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomModel(rng, []int{4, 3, 3, 2}, 2)
+	x := tensor.RandN(rng, 4, 3, 3, 2)
+	want := x.Sub(m.Reconstruct()).Norm() / x.Norm()
+	got := m.RelError(x)
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("order-4 RelError = %g, want %g", got, want)
+	}
+}
+
+func TestRelErrorMatrixModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomModel(rng, []int{8, 6}, 2)
+	x := tensor.RandN(rng, 8, 6)
+	want := x.Sub(m.Reconstruct()).Norm() / x.Norm()
+	if got := m.RelError(x); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("matrix RelError = %g, want %g", got, want)
+	}
+}
+
+func TestStorageFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomModel(rng, []int{10, 8, 6}, 2)
+	want := 2*2*2 + 10*2 + 8*2 + 6*2
+	if got := m.StorageFloats(); got != want {
+		t.Fatalf("StorageFloats = %d, want %d", got, want)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomModel(rng, []int{5, 5, 5}, 3)
+	for _, r := range m.Ranks() {
+		if r != 3 {
+			t.Fatalf("Ranks = %v", m.Ranks())
+		}
+	}
+}
+
+func TestFitFromCore(t *testing.T) {
+	if got := FitFromCore(0, 0); got != 1 {
+		t.Fatalf("FitFromCore(0,0) = %g", got)
+	}
+	// ‖X‖=5, ‖G‖=4 → residual 3, fit 1-3/5.
+	if got := FitFromCore(5, 4); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("FitFromCore(5,4) = %g", got)
+	}
+	// Core norm slightly above X norm from roundoff must clamp to fit 1.
+	if got := FitFromCore(5, 5.0000001); got != 1 {
+		t.Fatalf("FitFromCore clamp = %g", got)
+	}
+}
+
+func TestFitFromCoreMatchesExactForProjection(t *testing.T) {
+	// When G = X ×ₙ Aᵀ with orthonormal A, the identity is exact.
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.RandN(rng, 6, 5, 4)
+	factors := []*mat.Dense{
+		mat.RandOrthonormal(6, 2, rng),
+		mat.RandOrthonormal(5, 2, rng),
+		mat.RandOrthonormal(4, 2, rng),
+	}
+	core := x.TTMAllTransposed(factors, -1)
+	m := &Model{Core: core, Factors: factors}
+	exact := m.RelError(x)
+	estimate := 1 - FitFromCore(x.Norm(), core.Norm())
+	if math.Abs(exact-estimate) > 1e-10 {
+		t.Fatalf("projection identity violated: %g vs %g", exact, estimate)
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines/hosvd"
+	"repro/internal/core"
+)
+
+func TestVideoLikeShapeAndDeterminism(t *testing.T) {
+	a := VideoLike(32, 24, 16, 7)
+	if s := a.X.Shape(); s[0] != 32 || s[1] != 24 || s[2] != 16 {
+		t.Fatalf("shape %v", s)
+	}
+	b := VideoLike(32, 24, 16, 7)
+	if !a.X.EqualApprox(b.X, 0) {
+		t.Fatal("same seed produced different video tensors")
+	}
+	c := VideoLike(32, 24, 16, 8)
+	if a.X.EqualApprox(c.X, 1e-9) {
+		t.Fatal("different seeds produced identical video tensors")
+	}
+}
+
+func TestVideoLikeIsCompressible(t *testing.T) {
+	// The whole point of the generator: a rank-10 Tucker model must
+	// explain most of the variance (video-like structure), unlike white
+	// noise where it would explain almost nothing.
+	ds := VideoLike(48, 36, 32, 7)
+	m, err := hosvd.Decompose(ds.X, hosvd.Options{Ranks: []int{10, 10, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := m.RelError(ds.X); rel > 0.2 {
+		t.Fatalf("video-like tensor not low-rank: rank-10 error %g", rel)
+	}
+}
+
+func TestStockLikeCompressible(t *testing.T) {
+	ds := StockLike(60, 12, 80, 7)
+	m, err := hosvd.Decompose(ds.X, hosvd.Options{Ranks: []int{8, 8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator uses 8 latent factors, so rank 8 captures the signal;
+	// only the 10% observation noise should remain.
+	if rel := m.RelError(ds.X); rel > 0.3 {
+		t.Fatalf("stock-like tensor not rank-8 compressible: error %g", rel)
+	}
+}
+
+func TestMusicLikeNonNegativeBeforeNoise(t *testing.T) {
+	ds := MusicLike(20, 40, 16, 7)
+	// log1p of a non-negative mixture plus tiny noise: values must sit
+	// mostly above a small negative bound.
+	neg := 0
+	for _, v := range ds.X.Data() {
+		if v < -0.2 {
+			neg++
+		}
+	}
+	if frac := float64(neg) / float64(ds.X.Len()); frac > 0.01 {
+		t.Fatalf("%f%% of spectrogram strongly negative", 100*frac)
+	}
+}
+
+func TestClimateLikeOrder4Compressible(t *testing.T) {
+	ds := ClimateLike(18, 12, 6, 24, 7)
+	if ds.X.Order() != 4 {
+		t.Fatalf("order %d", ds.X.Order())
+	}
+	m, err := hosvd.Decompose(ds.X, hosvd.Options{Ranks: []int{4, 4, 4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := m.RelError(ds.X); rel > 0.2 {
+		t.Fatalf("climate-like tensor not rank-4 compressible: error %g", rel)
+	}
+}
+
+func TestLowRankNoiseErrorFloor(t *testing.T) {
+	// With noise σ, the best rank-r model's error should land near
+	// σ/√(1+σ²); D-Tucker at the true rank must reach that floor.
+	ds := LowRankNoise([]int{24, 20, 16}, 4, 0.2, 7)
+	dec, err := core.Decompose(ds.X, core.Options{Ranks: []int{4, 4, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := dec.RelError(ds.X)
+	floor := 0.2 / math.Sqrt(1+0.04)
+	if rel > floor*1.3 {
+		t.Fatalf("error %g far above noise floor %g", rel, floor)
+	}
+}
+
+func TestLowRankNoiseZeroNoiseExact(t *testing.T) {
+	ds := LowRankNoise([]int{15, 12, 10}, 3, 0, 7)
+	dec, err := core.Decompose(ds.X, core.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := dec.RelError(ds.X); rel > 1e-7 {
+		t.Fatalf("noiseless low-rank tensor error %g", rel)
+	}
+}
+
+func TestDimsString(t *testing.T) {
+	ds := LowRankNoise([]int{3, 4, 5}, 2, 0, 1)
+	if got := ds.Dims(); got != "3×4×5" {
+		t.Fatalf("Dims = %q", got)
+	}
+}
+
+func TestReflectBounds(t *testing.T) {
+	for _, p := range []float64{-17.3, -1, 0, 0.5, 9.99, 10, 23.7, 119} {
+		got := reflect(p, 10)
+		if got < 0 || got >= 10 {
+			t.Fatalf("reflect(%g, 10) = %g out of bounds", p, got)
+		}
+	}
+	if reflect(3, 0) != 0 {
+		t.Fatal("reflect with zero limit")
+	}
+}
+
+func TestGeneratorsFiniteValues(t *testing.T) {
+	for _, ds := range []Dataset{
+		VideoLike(16, 12, 8, 1),
+		StockLike(20, 8, 16, 2),
+		MusicLike(10, 16, 8, 3),
+		ClimateLike(8, 6, 4, 8, 4),
+		LowRankNoise([]int{8, 8, 8}, 3, 0.5, 5),
+	} {
+		for i, v := range ds.X.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite value at %d", ds.Name, i)
+			}
+		}
+		if ds.X.Norm() == 0 {
+			t.Fatalf("%s: all-zero tensor", ds.Name)
+		}
+	}
+}
