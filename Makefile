@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test verify bench overhead
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: vet + build + full test suite, then the
+# race detector over the packages with shared mutable state (the global
+# kernel counters in internal/metrics used by internal/mat and the
+# parallel phases in internal/core).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/mat/... ./internal/metrics/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# overhead measures metrics-enabled vs -disabled cost on the quickstart
+# workload (see EXPERIMENTS.md "Measurement methodology"; must stay <2%).
+overhead:
+	$(GO) test ./internal/core/ -run XXX -bench Quickstart -benchtime 10x -count 3

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -69,6 +70,12 @@ type Approximation = core.Approximation
 // last (temporal) mode, with warm-started refreshes and time-range queries.
 type Stream = core.Stream
 
+// Collector gathers per-phase wall times, kernel counters, memory samples,
+// and the per-sweep fit trajectory of a decomposition when passed in
+// Options.Metrics. The zero Collector and a nil *Collector are both valid;
+// see NewCollector for the common path.
+type Collector = metrics.Collector
+
 // NewTensor returns a zeroed tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
@@ -99,6 +106,12 @@ func Approximate(x *Tensor, opts Options) (*Approximation, error) {
 
 // NewStream creates an empty temporal stream with the given options.
 func NewStream(opts Options) *Stream { return core.NewStream(opts) }
+
+// NewCollector enables the process-wide kernel counters and returns a fresh
+// metrics collector to pass as Options.Metrics. When no collector is in
+// use the counters stay disabled and the instrumentation is free — one
+// atomic load per kernel call, zero allocations.
+func NewCollector() *Collector { return metrics.New() }
 
 // DecomposeAdaptive runs D-Tucker with data-driven ranks: per-mode target
 // ranks are chosen from the compressed slices so each mode retains a

@@ -6,16 +6,28 @@
 // Usage:
 //
 //	dtucker -in x.ten -ranks 10,10,10 [-out prefix] [-tol 1e-4]
-//	        [-maxiters 100] [-slicerank 0] [-workers 1] [-seed 0]
-//	        [-exact-error] [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
+//	        [-maxiters 100] [-slicerank 0] [-workers 1] [-mat-workers 0]
+//	        [-seed 0] [-exact-error]
+//	        [-metrics] [-metrics-json file] [-trace] [-debug-addr host:port]
+//	        [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
 //
 // With -method other than d-tucker the same tensor is decomposed by the
 // selected baseline, making the binary a one-stop comparison tool.
+//
+// Observability: -metrics prints a per-phase table (wall time, SVD/QR/matmul
+// counts, flop estimate, allocation); -metrics-json dumps the same report
+// plus the fit trajectory as JSON; -trace streams phase transitions and
+// per-sweep fits to stderr as they happen; -debug-addr serves live
+// net/http/pprof profiles and expvar counters for long runs. See the
+// README's "Observability" section.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +35,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/workload"
 )
@@ -36,9 +50,15 @@ func main() {
 		maxIters   = flag.Int("maxiters", 100, "maximum ALS sweeps")
 		sliceRank  = flag.Int("slicerank", 0, "slice SVD rank (0 = max of the two leading ranks)")
 		workers    = flag.Int("workers", 1, "parallel slice compressions in the approximation phase")
+		matWorkers = flag.Int("mat-workers", 0, "goroutines for the dense matmul kernels (0 = leave at the single-thread default)")
 		seed       = flag.Int64("seed", 0, "random seed for the sketches")
 		exactError = flag.Bool("exact-error", false, "also compute the exact relative error (extra pass over the tensor)")
 		method     = flag.String("method", bench.DTucker, "method: "+strings.Join(bench.Methods, ", "))
+
+		showMetrics = flag.Bool("metrics", false, "print a per-phase metrics table (wall time, SVD/flop counts, allocation)")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics report (phases + fit trajectory) as JSON to this file (\"-\" for stdout)")
+		traceFlag   = flag.Bool("trace", false, "stream progress (phase transitions, per-sweep fits) to stderr")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
 	if *in == "" || *ranksArg == "" {
@@ -49,6 +69,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *matWorkers > 0 {
+		mat.SetWorkers(*matWorkers)
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+	var col *metrics.Collector
+	if *showMetrics || *metricsJSON != "" || *traceFlag || *debugAddr != "" {
+		col = metrics.New()
+	}
+	if *traceFlag {
+		start := time.Now()
+		col.SetTrace(func(msg string) {
+			fmt.Fprintf(os.Stderr, "[%8.3fs] %s\n", time.Since(start).Seconds(), msg)
+		})
+	}
+
 	x, err := tensor.LoadFile(*in)
 	if err != nil {
 		fatal(err)
@@ -59,17 +96,36 @@ func main() {
 	fmt.Printf("loaded %s: shape %v (%.2f MF)\n", *in, x.Shape(), float64(x.Len())/1e6)
 
 	if *method != bench.DTucker {
-		runBaseline(x, *method, ranks, *tol, *maxIters, *seed)
-		return
+		runBaseline(x, *method, ranks, *tol, *maxIters, *seed, col != nil)
+	} else {
+		runDTucker(x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
 	}
 
+	// The per-phase breakdown only exists for D-Tucker itself; baselines
+	// report their aggregate kernel counters on the line printed above.
+	if *method == bench.DTucker {
+		if *showMetrics {
+			fmt.Printf("\nper-phase metrics:\n%s", col.Table())
+		}
+		if *metricsJSON != "" {
+			if err := writeMetricsJSON(col, *metricsJSON); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *showMetrics || *metricsJSON != "" {
+		fmt.Fprintln(os.Stderr, "dtucker: note: per-phase table/JSON applies to -method d-tucker only; kernel totals are shown above")
+	}
+}
+
+func runDTucker(x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) {
 	dec, err := core.Decompose(x, core.Options{
 		Ranks:     ranks,
-		SliceRank: *sliceRank,
-		Tol:       *tol,
-		MaxIters:  *maxIters,
-		Workers:   *workers,
-		Seed:      *seed,
+		SliceRank: sliceRank,
+		Tol:       tol,
+		MaxIters:  maxIters,
+		Workers:   workers,
+		Seed:      seed,
+		Metrics:   col,
 	})
 	if err != nil {
 		fatal(err)
@@ -79,24 +135,25 @@ func main() {
 		s.ApproxTime.Round(time.Millisecond), s.InitTime.Round(time.Millisecond),
 		s.IterTime.Round(time.Millisecond), s.Iters, s.Total().Round(time.Millisecond))
 	fmt.Printf("fit estimate %.6f, model size %.1f kF\n", dec.Fit, float64(dec.StorageFloats())/1e3)
-	if *exactError {
+	if exactError {
 		fmt.Printf("exact relative error %.6f\n", dec.RelError(x))
 	}
-	if *out != "" {
-		if err := saveModel(dec, *out); err != nil {
+	if out != "" {
+		if err := saveModel(dec, out); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s.core.ten and %d factor files\n", *out, len(dec.Factors))
+		fmt.Printf("wrote %s.core.ten and %d factor files\n", out, len(dec.Factors))
 	}
 }
 
-func runBaseline(x *tensor.Dense, method string, ranks []int, tol float64, maxIters int, seed int64) {
+func runBaseline(x *tensor.Dense, method string, ranks []int, tol float64, maxIters int, seed int64, collect bool) {
 	spec := bench.Spec{
 		Dataset:  workload.Dataset{Name: "input", X: x},
 		Ranks:    ranks,
 		Seed:     seed,
 		Tol:      tol,
 		MaxIters: maxIters,
+		Metrics:  collect,
 	}
 	r, err := bench.Run(method, spec)
 	if err != nil {
@@ -105,6 +162,42 @@ func runBaseline(x *tensor.Dense, method string, ranks []int, tol float64, maxIt
 	fmt.Printf("%s: prep %v, solve %v, total %v, rel.err %.6f, %d iters\n",
 		r.Method, r.Prep.Round(time.Millisecond), r.Solve.Round(time.Millisecond),
 		r.Total().Round(time.Millisecond), r.RelErr, r.Iters)
+	if collect {
+		fmt.Printf("%s kernels: %d SVD, %d randomized SVD, %d QR, %.3g flops\n",
+			r.Method, r.SVDCalls, r.RandSVDCalls, r.QRCalls, float64(r.Flops))
+	}
+}
+
+// startDebugServer exposes /debug/pprof/ (imported net/http/pprof handlers)
+// and /debug/vars (expvar, including the live dtucker_metrics counters) on
+// addr for profiling long-running decompositions.
+func startDebugServer(addr string) {
+	metrics.PublishExpvar()
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "dtucker: debug server: %v\n", err)
+		}
+	}()
+	fmt.Printf("debug server on http://%s (/debug/pprof/, /debug/vars)\n", addr)
+}
+
+// writeMetricsJSON dumps the collector's report as indented JSON to path
+// ("-" writes to stdout).
+func writeMetricsJSON(col *metrics.Collector, path string) error {
+	b, err := json.MarshalIndent(col.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics report to %s\n", path)
+	return nil
 }
 
 func saveModel(dec *core.Decomposition, prefix string) error {

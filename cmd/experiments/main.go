@@ -6,6 +6,7 @@
 //	experiments -exp e1            # one experiment
 //	experiments -exp all           # everything
 //	experiments -exp e4 -short     # reduced sizes for a quick pass
+//	experiments -exp e1 -metrics -csvdir out   # CSVs with per-phase columns
 //	experiments -exp table-complexity
 package main
 
@@ -23,7 +24,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(bench.Experiments, ", ")+", table-complexity, or all")
 	short := flag.Bool("short", false, "run at reduced dataset sizes")
 	csvDir := flag.String("csvdir", "", "also write each experiment's measurements as CSV into this directory")
+	withMetrics := flag.Bool("metrics", false, "collect per-phase timings and kernel counters (populates the trailing CSV columns; <2% overhead)")
 	flag.Parse()
+	if *withMetrics {
+		bench.SetCollectMetrics(true)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

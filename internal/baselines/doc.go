@@ -1,0 +1,16 @@
+// Package baselines groups the Tucker decomposition methods the paper's
+// evaluation compares D-Tucker against, each reimplemented from its source
+// publication in a subpackage:
+//
+//   - tuckerals: standard Tucker-ALS / HOOI on the raw tensor
+//   - hosvd: truncated higher-order SVD
+//   - mach: MACH entry-sampling randomized Tucker
+//   - rtd: randomized Tucker in the style of Che & Wei
+//   - tuckersketch: Tucker-ts and Tucker-ttmts (TensorSketch-based)
+//
+// The package itself holds no code — the cross-method integration tests in
+// baselines_test.go exercise every subpackage on shared synthetic inputs.
+// All methods are driven uniformly through internal/bench, which also
+// attributes per-method kernel counters (internal/metrics) so comparisons
+// against D-Tucker are apples to apples.
+package baselines

@@ -18,6 +18,7 @@ import (
 	"repro/internal/baselines/tuckerals"
 	"repro/internal/baselines/tuckersketch"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/tucker"
 	"repro/internal/workload"
 )
@@ -52,6 +53,26 @@ type Spec struct {
 	// timing sweeps where the extra full-tensor pass would distort
 	// nothing but costs time).
 	SkipError bool
+	// Metrics enables per-phase and kernel-level instrumentation for this
+	// run (see Result's phase/counter fields). Collection costs < 2% on
+	// the quickstart workload (EXPERIMENTS.md, "Measurement methodology");
+	// it is off by default so timing sweeps match the paper protocol
+	// exactly. SetCollectMetrics turns it on harness-wide.
+	Metrics bool
+}
+
+// collectMetrics is the harness-wide metrics switch, set by the
+// cmd/experiments -metrics flag so every Spec built internally by the
+// experiment definitions is instrumented without plumbing a flag through
+// each of them.
+var collectMetrics bool
+
+// SetCollectMetrics enables or disables instrumentation for every
+// subsequent Run, returning the previous setting.
+func SetCollectMetrics(on bool) bool {
+	prev := collectMetrics
+	collectMetrics = on
+	return prev
 }
 
 // Result is one (method, dataset) measurement.
@@ -73,6 +94,22 @@ type Result struct {
 	// ModelFloats is the size of the output (core + factors).
 	ModelFloats int
 	Iters       int
+
+	// Per-phase wall times, populated when metrics collection is on.
+	// For D-Tucker and Tucker-ALS the split is native; methods without an
+	// initialization phase report their whole solve as IterTime.
+	ApproxTime time.Duration
+	InitTime   time.Duration
+	IterTime   time.Duration
+	// Kernel-level counters for the whole run (excluding the exact-error
+	// pass), from the process-global metrics counters — the same
+	// instrumentation for every method, so flop and SVD-call comparisons
+	// are apples-to-apples. Flops combines the matmul and QR estimates.
+	SliceSVDs    int64
+	SVDCalls     int64
+	RandSVDCalls int64
+	QRCalls      int64
+	Flops        int64
 }
 
 // Total returns end-to-end wall time.
@@ -83,6 +120,14 @@ func Run(method string, spec Spec) (Result, error) {
 	x := spec.Dataset.X
 	res := Result{Method: method, Dataset: spec.Dataset.Name}
 	var model tucker.Model
+
+	collect := spec.Metrics || collectMetrics
+	var before metrics.Counters
+	if collect {
+		prev := metrics.SetEnabled(true)
+		defer metrics.SetEnabled(prev)
+		before = metrics.Snapshot()
+	}
 
 	switch method {
 	case DTucker:
@@ -99,6 +144,9 @@ func Run(method string, spec Spec) (Result, error) {
 		res.Prep = dec.Stats.ApproxTime
 		res.Solve = dec.Stats.InitTime + dec.Stats.IterTime
 		res.Iters = dec.Stats.Iters
+		res.ApproxTime = dec.Stats.ApproxTime
+		res.InitTime = dec.Stats.InitTime
+		res.IterTime = dec.Stats.IterTime
 		// Recompute the stored size from the model-independent formula:
 		// the approximation object is not retained by Decompose, so size
 		// it analytically (identical to Approximation.StorageFloats).
@@ -118,6 +166,8 @@ func Run(method string, spec Spec) (Result, error) {
 		res.Solve = r.InitTime + r.IterTime
 		res.Iters = r.Iters
 		res.StoredFloats = x.Len()
+		res.InitTime = r.InitTime
+		res.IterTime = r.IterTime
 
 	case HOSVD:
 		t0 := time.Now()
@@ -188,6 +238,18 @@ func Run(method string, spec Spec) (Result, error) {
 		return res, fmt.Errorf("bench: unknown method %q (known: %s)", method, strings.Join(Methods, ", "))
 	}
 
+	if collect {
+		// Snapshot before the exact-error pass so its large multiplies are
+		// not charged to the method.
+		fillCounters(&res, metrics.Snapshot().Sub(before))
+	}
+	// Methods without a native phase split report prep/solve as
+	// approximation/iteration.
+	if res.ApproxTime == 0 && res.InitTime == 0 && res.IterTime == 0 {
+		res.ApproxTime = res.Prep
+		res.IterTime = res.Solve
+	}
+
 	res.ModelFloats = model.StorageFloats()
 	if spec.SkipError {
 		res.RelErr = -1
@@ -195,6 +257,15 @@ func Run(method string, spec Spec) (Result, error) {
 		res.RelErr = model.RelError(x)
 	}
 	return res, nil
+}
+
+// fillCounters copies a kernel-counter delta into a Result's CSV columns.
+func fillCounters(res *Result, d metrics.Counters) {
+	res.SliceSVDs = d.SliceSVDs
+	res.SVDCalls = d.SVDCalls
+	res.RandSVDCalls = d.RandSVDCalls
+	res.QRCalls = d.QRCalls
+	res.Flops = d.MatmulFlops + d.QRFlops
 }
 
 // dtuckerStoredFloats computes L·(I1·r + r + I2·r) after the descending

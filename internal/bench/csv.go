@@ -10,10 +10,17 @@ import (
 
 // WriteCSV emits results as CSV with a fixed header, the machine-readable
 // companion to the text tables (times in seconds, space in float64 counts;
-// rel_err is empty when the error pass was skipped).
+// rel_err is empty when the error pass was skipped). The trailing per-phase
+// and kernel-counter columns are zero unless the run collected metrics
+// (Spec.Metrics or SetCollectMetrics).
 func WriteCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
-	header := []string{"dataset", "method", "prep_s", "solve_s", "total_s", "rel_err", "stored_floats", "model_floats", "iters"}
+	header := []string{
+		"dataset", "method", "prep_s", "solve_s", "total_s", "rel_err",
+		"stored_floats", "model_floats", "iters",
+		"approx_s", "init_s", "iter_s",
+		"slice_svds", "svd_calls", "randsvd_calls", "qr_calls", "flops",
+	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("bench: writing CSV header: %w", err)
 	}
@@ -32,6 +39,14 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.Itoa(r.StoredFloats),
 			strconv.Itoa(r.ModelFloats),
 			strconv.Itoa(r.Iters),
+			strconv.FormatFloat(r.ApproxTime.Seconds(), 'g', 8, 64),
+			strconv.FormatFloat(r.InitTime.Seconds(), 'g', 8, 64),
+			strconv.FormatFloat(r.IterTime.Seconds(), 'g', 8, 64),
+			strconv.FormatInt(r.SliceSVDs, 10),
+			strconv.FormatInt(r.SVDCalls, 10),
+			strconv.FormatInt(r.RandSVDCalls, 10),
+			strconv.FormatInt(r.QRCalls, 10),
+			strconv.FormatInt(r.Flops, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("bench: writing CSV record: %w", err)

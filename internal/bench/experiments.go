@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -388,8 +389,16 @@ func RunE8(w io.Writer, short bool) ([]Result, error) {
 	}
 	fmt.Fprintf(w, "dataset %s (%s), target ranks J=%d\n", ds.Name, ds.Dims(), j)
 	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "sliceRank", "prep", "solve", "rel.err", "stored(MF)")
+	// This sweep calls core.Decompose directly (it varies SliceRank, which
+	// Spec does not carry), so it collects kernel counters itself the same
+	// way Run does.
+	if collectMetrics {
+		prev := metrics.SetEnabled(true)
+		defer metrics.SetEnabled(prev)
+	}
 	var all []Result
 	for _, r := range []int{4, 8, 12, 16, 24, 32} {
+		before := metrics.Snapshot()
 		dec, err := core.Decompose(ds.X, core.Options{
 			Ranks:     uniformRanks(3, j),
 			SliceRank: r,
@@ -399,6 +408,8 @@ func RunE8(w io.Writer, short bool) ([]Result, error) {
 		if err != nil {
 			return all, err
 		}
+		// Delta before RelError so the exact-error pass is not charged.
+		delta := metrics.Snapshot().Sub(before)
 		// L·(I1+I2+1)·r in reordered space, computed analytically.
 		stored := dtuckerStoredFloatsAtRank(ds.X.Shape(), r)
 		res := Result{
@@ -410,6 +421,12 @@ func RunE8(w io.Writer, short bool) ([]Result, error) {
 			StoredFloats: stored,
 			ModelFloats:  dec.StorageFloats(),
 			Iters:        dec.Stats.Iters,
+			ApproxTime:   dec.Stats.ApproxTime,
+			InitTime:     dec.Stats.InitTime,
+			IterTime:     dec.Stats.IterTime,
+		}
+		if collectMetrics {
+			fillCounters(&res, delta)
 		}
 		all = append(all, res)
 		fmt.Fprintf(w, "r=%-8d %12s %12s %12.4f %12.3f\n",

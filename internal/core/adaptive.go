@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/randsvd"
 	"repro/internal/tensor"
 )
@@ -26,6 +27,11 @@ func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error)
 	if maxRank <= 0 {
 		return nil, fmt.Errorf("core: non-positive maxRank %d", maxRank)
 	}
+	// Rank exploration is initialization-phase work: it runs on the
+	// compressed slices to pick the subspace dimensions.
+	col := ap.opts.Metrics
+	col.StartPhase(metrics.PhaseInit)
+	defer col.EndPhase(metrics.PhaseInit)
 	order := len(ap.Shape)
 	// Truncation errors accumulate across modes (the HOSVD bound:
 	// ‖X−X̂‖² ≤ Σ_n tail_n²), so each mode gets an eps²/N share of the
@@ -181,6 +187,9 @@ func DecomposeAdaptive(x *tensor.Dense, eps float64, maxRank int, opts Options) 
 	ranks, err := ap.RanksForEnergy(eps, maxRank)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.Metrics.Tracing() {
+		opts.Metrics.Tracef("adaptive ranks selected: %v (eps %g, max %d)", ranks, eps, maxRank)
 	}
 	for k, p := range ap.Perm {
 		ap.Ranks[k] = ranks[p]

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/randsvd"
 	"repro/internal/tensor"
 )
@@ -111,6 +112,8 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 		r = max
 	}
 
+	col := opts.Metrics
+	col.StartPhase(metrics.PhaseApprox)
 	ap := &Approximation{
 		Shape:     shape,
 		Perm:      perm,
@@ -119,9 +122,18 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 		SliceRank: r,
 		opts:      opts,
 	}
+	if col.Tracing() {
+		l := 1
+		for _, d := range shape[2:] {
+			l *= d
+		}
+		col.Tracef("approximation: compressing %d slices of %d×%d to rank %d (%d workers)",
+			l, shape[0], shape[1], r, opts.Workers)
+	}
 	// Slices are gathered straight from x's storage (no materialized
 	// permutation) and compressed.
 	ap.Slices, err = compressSlices(x, perm, r, opts)
+	col.EndPhase(metrics.PhaseApprox)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +165,7 @@ func compressSlices(x *tensor.Dense, perm []int, r int, opts Options) ([]SliceSV
 				return
 			}
 			slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
+			metrics.CountSliceSVD()
 		}
 	}
 	w := opts.Workers

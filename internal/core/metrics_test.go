@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// decomposeCounters runs one instrumented decomposition and returns the
+// total kernel counters attributed to it by the collector.
+func decomposeCounters(t *testing.T, x *tensor.Dense, workers int) (metrics.Counters, *Decomposition) {
+	t.Helper()
+	col := &metrics.Collector{}
+	dec, err := Decompose(x, Options{
+		Ranks:   []int{6, 6, 6},
+		Seed:    11,
+		Workers: workers,
+		Metrics: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col.Report().Total.Counters, dec
+}
+
+// TestCountersDeterministicAcrossWorkers asserts the measurement contract
+// the EXPERIMENTS.md methodology section documents: the kernel-call and
+// flop counts of a decomposition are a function of the input and options,
+// not of the parallelism — Workers only changes wall time.
+func TestCountersDeterministicAcrossWorkers(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	x := workload.LowRankNoise([]int{40, 32, 12}, 4, 0.05, 3).X
+	c1, d1 := decomposeCounters(t, x, 1)
+	c4, d4 := decomposeCounters(t, x, 4)
+
+	if c1 != c4 {
+		t.Errorf("counters differ across worker counts:\n  workers=1: %+v\n  workers=4: %+v", c1, c4)
+	}
+	if c1.SliceSVDs != 12 {
+		t.Errorf("slice SVD count = %d, want 12 (one per frontal slice)", c1.SliceSVDs)
+	}
+	if c1.MatmulFlops == 0 || c1.SVDCalls == 0 {
+		t.Errorf("instrumented run recorded no kernel activity: %+v", c1)
+	}
+	if d1.Fit != d4.Fit {
+		t.Errorf("fit differs across worker counts: %v vs %v", d1.Fit, d4.Fit)
+	}
+}
+
+// TestDisabledMetricsPhaseBreakdownStillReported checks that the plain
+// Stats timings keep working with no collector attached (the default path).
+func TestDisabledMetricsPhaseBreakdownStillReported(t *testing.T) {
+	x := workload.LowRankNoise([]int{24, 20, 8}, 3, 0.05, 5).X
+	dec, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stats.Total() <= 0 || dec.Stats.Iters < 1 {
+		t.Fatalf("stats not populated: %+v", dec.Stats)
+	}
+}
+
+// TestCollectorFitTrajectoryMatchesIters asserts one fit sample per sweep.
+func TestCollectorFitTrajectoryMatchesIters(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	x := workload.LowRankNoise([]int{24, 20, 8}, 3, 0.05, 5).X
+	col := &metrics.Collector{}
+	dec, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Seed: 1, Metrics: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := col.FitTrajectory()
+	if len(traj) != dec.Stats.Iters {
+		t.Fatalf("%d fit samples for %d sweeps", len(traj), dec.Stats.Iters)
+	}
+	last := traj[len(traj)-1]
+	if last.Fit != dec.Fit {
+		t.Errorf("last trajectory fit %v != decomposition fit %v", last.Fit, dec.Fit)
+	}
+	if last.Sweep != dec.Stats.Iters {
+		t.Errorf("last sweep %d, want %d", last.Sweep, dec.Stats.Iters)
+	}
+}
+
+// TestStreamPhaseAttribution checks that streaming Appends land in the
+// approximation phase and Decompose in initialization/iteration.
+func TestStreamPhaseAttribution(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	col := &metrics.Collector{}
+	st := NewStream(Options{Ranks: []int{4, 4, 3}, Seed: 2, Metrics: col})
+	chunk := workload.LowRankNoise([]int{20, 16, 5}, 3, 0.05, 9).X
+	if err := st.Append(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.PhaseStats(metrics.PhaseApprox).Counters.SliceSVDs; got != 5 {
+		t.Fatalf("approx phase slice SVDs = %d, want 5", got)
+	}
+	if _, err := st.Decompose(); err != nil {
+		t.Fatal(err)
+	}
+	if col.PhaseStats(metrics.PhaseInit).Wall <= 0 {
+		t.Error("no initialization wall time recorded")
+	}
+	if col.PhaseStats(metrics.PhaseIter).Wall <= 0 {
+		t.Error("no iteration wall time recorded")
+	}
+}
+
+// TestNilCollectorHookAllocsFree verifies the acceptance criterion that
+// disabled metrics add zero allocations on the hot path: the hooks the
+// iteration phase executes per sweep (phase brackets, fit recording) are
+// allocation-free on a nil collector with counters off.
+func TestNilCollectorHookAllocsFree(t *testing.T) {
+	prev := metrics.SetEnabled(false)
+	defer metrics.SetEnabled(prev)
+
+	var col *metrics.Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		col.StartPhase(metrics.PhaseIter)
+		col.RecordFit(1, 0.5)
+		metrics.CountSliceSVD()
+		metrics.CountMatmul(64, 64, 64)
+		col.EndPhase(metrics.PhaseIter)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics hooks allocated %v times per run", allocs)
+	}
+}

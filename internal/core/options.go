@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 )
 
 // Options configures a D-Tucker decomposition.
@@ -82,6 +83,14 @@ type Options struct {
 	// ablation of the paper's choice of randomized SVD. Exact slice SVDs
 	// cost O(I1·I2·min(I1,I2)) per slice instead of O(I1·I2·r).
 	ExactSliceSVD bool
+
+	// Metrics, when non-nil, receives per-phase wall times, kernel counter
+	// deltas (SVD/QR/matmul calls and flop estimates), memory samples, and
+	// the iteration-level fit trajectory, and carries the optional progress
+	// trace sink. A nil Metrics — the default — adds no allocations and no
+	// measurable overhead to the decomposition (every hook is a nil-safe
+	// no-op). Counters are shared process-wide; see package metrics.
+	Metrics *metrics.Collector
 }
 
 func (o Options) withDefaults(order int) (Options, error) {

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func benchDecompose(b *testing.B, col *metrics.Collector) {
+	x := workload.LowRankNoise([]int{128, 96, 200}, 8, 0.10, 42).X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(x, Options{Ranks: []int{8, 8, 8}, Seed: 42, Metrics: col}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuickstartMetricsOff(b *testing.B) {
+	metrics.SetEnabled(false)
+	benchDecompose(b, nil)
+}
+
+func BenchmarkQuickstartMetricsOn(b *testing.B) {
+	metrics.SetEnabled(true)
+	defer metrics.SetEnabled(false)
+	benchDecompose(b, &metrics.Collector{})
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/randsvd"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
@@ -15,6 +16,9 @@ import (
 // A(1) from the stacked [U_l·S_l], A(2) from the stacked [V_l·S_l], and
 // the remaining modes from a truncated HOSVD of the projected tensor W.
 func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
+	col := ap.opts.Metrics
+	col.StartPhase(metrics.PhaseInit)
+	defer col.EndPhase(metrics.PhaseInit)
 	order := len(ap.Shape)
 	i1, i2 := ap.Shape[0], ap.Shape[1]
 	r := ap.SliceRank
@@ -234,6 +238,9 @@ func scaleRows(m *mat.Dense, s []float64) {
 // MaxIters is reached. It returns the core, the fit estimate, and the
 // number of sweeps executed.
 func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, int, error) {
+	col := ap.opts.Metrics
+	col.StartPhase(metrics.PhaseIter)
+	defer col.EndPhase(metrics.PhaseIter)
 	order := len(ap.Shape)
 	var (
 		core    *tensor.Dense
@@ -274,6 +281,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 		}
 
 		fit = tucker.FitFromCore(ap.NormX, core.Norm())
+		col.RecordFit(iters, fit)
 		if iters > 1 && abs(fit-prevFit) < ap.opts.Tol {
 			break
 		}

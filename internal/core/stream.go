@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -103,11 +104,18 @@ func (s *Stream) Append(chunk *tensor.Dense) error {
 	// Compress the chunk's slices. Because the temporal mode is the
 	// slowest-varying in the slice enumeration, new slices append cleanly
 	// at the end of the existing list.
+	col := s.opts.Metrics
+	col.StartPhase(metrics.PhaseApprox)
+	defer col.EndPhase(metrics.PhaseApprox)
 	chunkOpts := s.opts
 	chunkOpts.Seed = s.opts.Seed + int64(len(s.slices))
 	newSlices, err := compressSlices(chunk, identityPerm(chunk.Order()), s.rank, chunkOpts)
 	if err != nil {
 		return err
+	}
+	if col.Tracing() {
+		col.Tracef("stream append: %d new slices (stream now %d long)",
+			len(newSlices), s.Len()+chunk.Dim(chunk.Order()-1))
 	}
 	s.slices = append(s.slices, newSlices...)
 	s.shape[len(s.shape)-1] += chunk.Dim(chunk.Order() - 1)
@@ -182,6 +190,9 @@ func (s *Stream) Decompose() (*Decomposition, error) {
 // warmFactors reuses the previous non-temporal factors and rebuilds only
 // the temporal factor (whose row count grew) from the projected tensor.
 func (s *Stream) warmFactors(ap *Approximation) ([]*mat.Dense, error) {
+	col := ap.opts.Metrics
+	col.StartPhase(metrics.PhaseInit)
+	defer col.EndPhase(metrics.PhaseInit)
 	order := len(ap.Shape)
 	factors := make([]*mat.Dense, order)
 	copy(factors, s.prevFactors)

@@ -1,0 +1,80 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestKernelsZeroAllocWithMetricsDisabled asserts the instrumented multiply
+// kernel stays allocation-free on the hot path when the counters are off
+// (the default): the counting hook must cost one atomic load and nothing
+// else.
+func TestKernelsZeroAllocWithMetricsDisabled(t *testing.T) {
+	prev := metrics.SetEnabled(false)
+	defer metrics.SetEnabled(prev)
+
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(32, 32, rng)
+	b := RandN(32, 32, rng)
+	dst := New(32, 32)
+	allocs := testing.AllocsPerRun(200, func() {
+		MulAddInto(dst, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("MulAddInto allocated %v times per run with metrics disabled", allocs)
+	}
+}
+
+// TestKernelCountersRecord checks each instrumented kernel records exactly
+// one call with the documented flop estimate.
+func TestKernelCountersRecord(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(12, 8, rng)
+	b := RandN(8, 6, rng)
+
+	before := metrics.Snapshot()
+	Mul(a, b)
+	d := metrics.Snapshot().Sub(before)
+	if d.MatmulCalls != 1 || d.MatmulFlops != 2*12*8*6 {
+		t.Errorf("Mul delta: %+v", d)
+	}
+
+	before = metrics.Snapshot()
+	Gram(a)
+	d = metrics.Snapshot().Sub(before)
+	if d.MatmulCalls != 1 || d.MatmulFlops != 12*8*8 {
+		t.Errorf("Gram delta: %+v", d)
+	}
+
+	before = metrics.Snapshot()
+	QR(a)
+	d = metrics.Snapshot().Sub(before)
+	if d.QRCalls != 1 || d.QRFlops == 0 {
+		t.Errorf("QR delta: %+v", d)
+	}
+
+	before = metrics.Snapshot()
+	if _, err := SVD(a); err != nil {
+		t.Fatal(err)
+	}
+	d = metrics.Snapshot().Sub(before)
+	if d.SVDCalls != 1 {
+		t.Errorf("SVD delta: %+v", d)
+	}
+
+	// A wide input routes through the transposed recursion; it must still
+	// count as a single SVD.
+	before = metrics.Snapshot()
+	if _, err := SVD(b.T()); err != nil {
+		t.Fatal(err)
+	}
+	d = metrics.Snapshot().Sub(before)
+	if d.SVDCalls != 1 {
+		t.Errorf("wide SVD counted %d calls", d.SVDCalls)
+	}
+}

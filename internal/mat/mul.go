@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // workers controls how many goroutines matrix multiplication may use.
@@ -33,9 +35,11 @@ func Workers() int {
 	return workers
 }
 
-// parallelRows runs fn over row ranges [lo,hi) split across the configured
-// workers when the estimated work is large enough to amortize goroutines.
-func parallelRows(rows int, flopsPerRow int, fn func(lo, hi int)) {
+// effectiveWorkers returns the number of goroutines a row-parallel kernel
+// over the given work would actually use: the configured Workers, capped so
+// each goroutine gets enough flops to amortize its startup and never more
+// than one row's worth of workers.
+func effectiveWorkers(rows, flopsPerRow int) int {
 	w := Workers()
 	const minFlopsPerWorker = 1 << 16
 	if w > 1 && rows > 1 && flopsPerRow > 0 {
@@ -45,11 +49,21 @@ func parallelRows(rows int, flopsPerRow int, fn func(lo, hi int)) {
 		}
 	}
 	if w <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
+		return 1
 	}
 	if w > rows {
 		w = rows
+	}
+	return w
+}
+
+// parallelRows runs fn over row ranges [lo,hi) split across the configured
+// workers when the estimated work is large enough to amortize goroutines.
+func parallelRows(rows int, flopsPerRow int, fn func(lo, hi int)) {
+	w := effectiveWorkers(rows, flopsPerRow)
+	if w <= 1 {
+		fn(0, rows)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (rows + w - 1) / w
@@ -101,22 +115,36 @@ func MulAddInto(dst, a, b *Dense) {
 	if dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulAddInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.rows, b.cols))
 	}
+	metrics.CountMatmul(a.rows, a.cols, b.cols)
 	n, inner := b.cols, a.cols
+	// The single-worker path calls the range kernel directly: no closure is
+	// created, keeping repeated accumulation into a preallocated dst
+	// allocation-free (asserted by TestKernelsZeroAllocWithMetricsDisabled).
+	if effectiveWorkers(a.rows, 2*inner*n) <= 1 {
+		mulAddRows(dst, a, b, 0, a.rows)
+		return
+	}
 	parallelRows(a.rows, 2*inner*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*inner : (i+1)*inner]
-			drow := dst.data[i*n : (i+1)*n]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.data[k*n : (k+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+		mulAddRows(dst, a, b, lo, hi)
+	})
+}
+
+// mulAddRows accumulates rows [lo,hi) of a·b into dst using i-k-j ordering.
+func mulAddRows(dst, a, b *Dense, lo, hi int) {
+	n, inner := b.cols, a.cols
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*inner : (i+1)*inner]
+		drow := dst.data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MulTA returns aᵀ·b without materializing the transpose.
@@ -124,6 +152,7 @@ func MulTA(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulTA dimension mismatch (%d×%d)ᵀ · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
+	metrics.CountMatmul(a.cols, a.rows, b.cols)
 	out := New(a.cols, b.cols)
 	// outᵀ accumulation: out[k,j] += a[i,k]*b[i,j]; iterate i outer so both
 	// reads are contiguous.
@@ -149,6 +178,7 @@ func MulTB(a, b *Dense) *Dense {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTB dimension mismatch %d×%d · (%d×%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
+	metrics.CountMatmul(a.rows, a.cols, b.rows)
 	out := New(a.rows, b.rows)
 	inner := a.cols
 	parallelRows(a.rows, 2*inner*b.rows, func(lo, hi int) {
@@ -165,6 +195,7 @@ func MulTB(a, b *Dense) *Dense {
 
 // Gram returns aᵀ·a, exploiting symmetry.
 func Gram(a *Dense) *Dense {
+	metrics.CountGram(a.rows, a.cols)
 	n := a.cols
 	out := New(n, n)
 	for i := 0; i < a.rows; i++ {

@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/metrics"
 )
 
 // QRResult holds a thin QR factorization A = Q·R with Q ∈ R^{m×n}
@@ -20,6 +22,7 @@ type QRResult struct {
 // a = Q·R to working precision.
 func QR(a *Dense) QRResult {
 	m, n := a.Dims()
+	metrics.CountQR(m, n)
 	k := m
 	if n < k {
 		k = n

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/metrics"
 )
 
 // SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
@@ -25,6 +27,13 @@ type SVDResult struct {
 // ~3× faster at n≈200. An error is returned only if an iteration limit is
 // exceeded (non-finite input).
 func SVD(a *Dense) (SVDResult, error) {
+	metrics.CountSVD()
+	return svd(a)
+}
+
+// svd is SVD without the metrics count, so the wide-input transpose
+// recursion records one call per user-level factorization.
+func svd(a *Dense) (SVDResult, error) {
 	m, n := a.Dims()
 	if m == 0 || n == 0 {
 		return SVDResult{U: New(m, 0), S: nil, V: New(n, 0)}, nil
@@ -38,7 +47,7 @@ func SVD(a *Dense) (SVDResult, error) {
 	}
 	if m < n {
 		// SVD(Aᵀ) = V·S·Uᵀ.
-		res, err := SVD(a.T())
+		res, err := svd(a.T())
 		if err != nil {
 			return SVDResult{}, err
 		}

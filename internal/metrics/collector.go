@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies one of D-Tucker's three algorithm phases.
+type Phase int
+
+const (
+	// PhaseApprox is the approximation phase (slice compression — the only
+	// phase that reads raw tensor data).
+	PhaseApprox Phase = iota
+	// PhaseInit is the initialization phase (factors from stacked slice
+	// factors and the projected tensor).
+	PhaseInit
+	// PhaseIter is the iteration phase (ALS sweeps on the compressed
+	// representation). Baselines bracketed as a whole also land here.
+	PhaseIter
+	numPhases
+)
+
+// String returns the phase's presentation name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseApprox:
+		return "approximation"
+	case PhaseInit:
+		return "initialization"
+	case PhaseIter:
+		return "iteration"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// PhaseStats aggregates one phase's activity across every bracket recorded
+// into the collector (a streaming run brackets the same phase repeatedly).
+type PhaseStats struct {
+	Phase string        `json:"phase"`
+	Wall  time.Duration `json:"wall_ns"`
+	// Counters is the kernel activity attributed to the phase: the delta of
+	// the global counters across its brackets.
+	Counters Counters `json:"counters"`
+	// AllocBytes is the cumulative heap allocation during the phase
+	// (runtime TotalAlloc delta — churn, not residency).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// HeapBytes is the live heap sampled at the end of the last bracket,
+	// the peak-memory proxy the ROADMAP's perf work tracks.
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+// FitSample is one point of the iteration phase's fit trajectory.
+type FitSample struct {
+	Sweep int     `json:"sweep"`
+	Fit   float64 `json:"fit"`
+}
+
+// Report is the JSON-serializable summary of a collected run.
+type Report struct {
+	Phases []PhaseStats `json:"phases"`
+	Total  PhaseStats   `json:"total"`
+	Fit    []FitSample  `json:"fit_trajectory,omitempty"`
+}
+
+// Collector accumulates per-phase metrics for one logical run. The zero
+// value is ready to use; a nil *Collector is also valid — every method is a
+// nil-safe no-op, which is how the hot paths stay allocation-free when
+// metrics are off. Methods are safe for concurrent use, though phase
+// brackets are expected from the single goroutine driving the run.
+type Collector struct {
+	mu    sync.Mutex
+	open  [numPhases]phaseOpen
+	wall  [numPhases]time.Duration
+	delta [numPhases]Counters
+	alloc [numPhases]uint64
+	heap  [numPhases]uint64
+	fits  []FitSample
+	trace func(string)
+}
+
+type phaseOpen struct {
+	active   bool
+	start    time.Time
+	counters Counters
+	totalAlc uint64
+}
+
+// New returns a fresh Collector and enables the process-global kernel
+// counters (they stay enabled afterwards; use SetEnabled(false) to turn
+// instrumentation back off).
+func New() *Collector {
+	SetEnabled(true)
+	return &Collector{}
+}
+
+// SetTrace installs a progress-trace sink; core emits phase transitions and
+// per-sweep fits through it. A nil fn disables tracing.
+func (c *Collector) SetTrace(fn func(msg string)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.trace = fn
+	c.mu.Unlock()
+}
+
+// Tracing reports whether a trace sink is installed. Callers formatting
+// expensive messages should gate on it so disabled tracing costs nothing.
+func (c *Collector) Tracing() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trace != nil
+}
+
+// Tracef formats and emits one trace message if a sink is installed.
+func (c *Collector) Tracef(format string, args ...any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	fn := c.trace
+	c.mu.Unlock()
+	if fn != nil {
+		fn(fmt.Sprintf(format, args...))
+	}
+}
+
+// StartPhase opens a bracket for p: it samples the wall clock, the global
+// counters, and the allocator. Brackets of distinct phases may nest (a
+// streaming Append inside an outer bracket), but a phase does not nest with
+// itself; re-opening an open phase restarts its bracket.
+func (c *Collector) StartPhase(p Phase) {
+	if c == nil || p < 0 || p >= numPhases {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mu.Lock()
+	c.open[p] = phaseOpen{active: true, start: time.Now(), counters: Snapshot(), totalAlc: ms.TotalAlloc}
+	c.mu.Unlock()
+}
+
+// EndPhase closes the bracket for p, folding its wall time, counter delta,
+// and allocation delta into the phase's aggregate, and emits a trace line.
+// EndPhase without a matching StartPhase is a no-op.
+func (c *Collector) EndPhase(p Phase) {
+	if c == nil || p < 0 || p >= numPhases {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now()
+	snap := Snapshot()
+	c.mu.Lock()
+	o := c.open[p]
+	if !o.active {
+		c.mu.Unlock()
+		return
+	}
+	c.open[p] = phaseOpen{}
+	wall := now.Sub(o.start)
+	c.wall[p] += wall
+	c.delta[p] = c.delta[p].Add(snap.Sub(o.counters))
+	c.alloc[p] += ms.TotalAlloc - o.totalAlc
+	c.heap[p] = ms.HeapAlloc
+	fn := c.trace
+	c.mu.Unlock()
+	if fn != nil {
+		fn(fmt.Sprintf("%s done in %v", p, wall.Round(time.Microsecond)))
+	}
+}
+
+// RecordFit appends one point to the fit trajectory and traces it.
+func (c *Collector) RecordFit(sweep int, fit float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.fits = append(c.fits, FitSample{Sweep: sweep, Fit: fit})
+	fn := c.trace
+	c.mu.Unlock()
+	if fn != nil {
+		fn(fmt.Sprintf("sweep %d fit %.6f", sweep, fit))
+	}
+}
+
+// PhaseStats returns the aggregate for one phase.
+func (c *Collector) PhaseStats(p Phase) PhaseStats {
+	if c == nil || p < 0 || p >= numPhases {
+		return PhaseStats{Phase: p.String()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PhaseStats{
+		Phase:      p.String(),
+		Wall:       c.wall[p],
+		Counters:   c.delta[p],
+		AllocBytes: c.alloc[p],
+		HeapBytes:  c.heap[p],
+	}
+}
+
+// FitTrajectory returns a copy of the recorded fit trajectory.
+func (c *Collector) FitTrajectory() []FitSample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]FitSample(nil), c.fits...)
+}
+
+// Report assembles the per-phase stats, their total, and the fit trajectory.
+func (c *Collector) Report() Report {
+	var rep Report
+	if c == nil {
+		return rep
+	}
+	total := PhaseStats{Phase: "total"}
+	for p := Phase(0); p < numPhases; p++ {
+		st := c.PhaseStats(p)
+		rep.Phases = append(rep.Phases, st)
+		total.Wall += st.Wall
+		total.Counters = total.Counters.Add(st.Counters)
+		total.AllocBytes += st.AllocBytes
+		if st.HeapBytes > total.HeapBytes {
+			total.HeapBytes = st.HeapBytes
+		}
+	}
+	rep.Total = total
+	rep.Fit = c.FitTrajectory()
+	return rep
+}
+
+// Table renders the report as an aligned per-phase text table — the output
+// of `cmd/dtucker -metrics`.
+func (c *Collector) Table() string {
+	rep := c.Report()
+	rows := [][]string{{"phase", "wall", "slice-svd", "svd", "randsvd", "qr", "matmul", "flops", "alloc"}}
+	for _, st := range append(rep.Phases, rep.Total) {
+		rows = append(rows, []string{
+			st.Phase,
+			fmtWall(st.Wall),
+			fmt.Sprint(st.Counters.SliceSVDs),
+			fmt.Sprint(st.Counters.SVDCalls),
+			fmt.Sprint(st.Counters.RandSVDCalls),
+			fmt.Sprint(st.Counters.QRCalls),
+			fmt.Sprint(st.Counters.MatmulCalls),
+			fmtFlops(st.Counters.MatmulFlops + st.Counters.QRFlops),
+			fmtBytes(st.AllocBytes),
+		})
+	}
+	return alignRows(rows)
+}
+
+func fmtWall(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtFlops(f int64) string {
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.2f GF", float64(f)/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2f MF", float64(f)/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.1f kF", float64(f)/1e3)
+	default:
+		return fmt.Sprint(f)
+	}
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f kB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprint(b)
+	}
+}
+
+func alignRows(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, row := range rows {
+		for c, cell := range row {
+			sb.WriteString(cell)
+			if c < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[c]-len(cell)+2))
+			}
+		}
+		sb.WriteByte('\n')
+		if i == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total-2))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,18 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the global counters as the expvar variable
+// "dtucker_metrics", so a debug HTTP server (cmd/dtucker -debug-addr)
+// exposes live kernel activity at /debug/vars alongside the pprof
+// endpoints. Safe to call more than once; only the first call registers.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("dtucker_metrics", expvar.Func(func() any { return Snapshot() }))
+	})
+}

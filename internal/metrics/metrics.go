@@ -1,0 +1,175 @@
+// Package metrics is the observability substrate for the D-Tucker
+// reproduction: process-global, allocation-free kernel counters (matmul
+// flops, QR/SVD/randomized-SVD calls, slice compressions) plus a per-run
+// Collector that brackets the algorithm's phases and records wall time,
+// counter deltas, memory samples, and the iteration-level fit trajectory.
+//
+// The package splits responsibility in two:
+//
+//   - Global counters (Count*, Snapshot, Reset) live behind a single
+//     atomic.Bool. When disabled — the default — every Count* call is one
+//     atomic load and an early return: no allocation, no lock, no
+//     observable cost on the kernel hot paths. The low-level packages
+//     (internal/mat, internal/randsvd) call these unconditionally.
+//   - Collector attributes counter activity to algorithm phases
+//     (approximation / initialization / iteration) by snapshotting the
+//     global counters at phase boundaries. Core algorithms receive an
+//     optional *Collector through core.Options; a nil Collector is valid
+//     everywhere and every method on it is a nil-safe no-op.
+//
+// Because the counters are process-global, concurrent decompositions share
+// them; per-phase deltas are only meaningful when one instrumented run is
+// active at a time, which is the CLI and benchmark-harness usage pattern.
+package metrics
+
+import "sync/atomic"
+
+// Counters is a snapshot of the kernel-level activity counters. All fields
+// are totals since the last Reset (or process start).
+type Counters struct {
+	// MatmulCalls and MatmulFlops count dense multiply kernels
+	// (Mul/MulInto/MulAddInto, MulTA, MulTB, Gram) and their floating-point
+	// operation estimate (2·m·k·n per general multiply, m·n² for Gram).
+	MatmulCalls int64 `json:"matmul_calls"`
+	MatmulFlops int64 `json:"matmul_flops"`
+	// QRCalls and QRFlops count Householder QR factorizations and the
+	// standard 2·n²·(m − n/3) flop estimate.
+	QRCalls int64 `json:"qr_calls"`
+	QRFlops int64 `json:"qr_flops"`
+	// SVDCalls counts exact (dense) SVDs, whichever internal path they take.
+	SVDCalls int64 `json:"svd_calls"`
+	// RandSVDCalls counts randomized (Halko et al.) SVD invocations.
+	RandSVDCalls int64 `json:"randsvd_calls"`
+	// SliceSVDs counts frontal-slice compressions in D-Tucker's
+	// approximation phase (each is one randomized or exact SVD of an
+	// I1×I2 slice).
+	SliceSVDs int64 `json:"slice_svds"`
+}
+
+// Sub returns the component-wise difference c − o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		MatmulCalls:  c.MatmulCalls - o.MatmulCalls,
+		MatmulFlops:  c.MatmulFlops - o.MatmulFlops,
+		QRCalls:      c.QRCalls - o.QRCalls,
+		QRFlops:      c.QRFlops - o.QRFlops,
+		SVDCalls:     c.SVDCalls - o.SVDCalls,
+		RandSVDCalls: c.RandSVDCalls - o.RandSVDCalls,
+		SliceSVDs:    c.SliceSVDs - o.SliceSVDs,
+	}
+}
+
+// Add returns the component-wise sum c + o.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		MatmulCalls:  c.MatmulCalls + o.MatmulCalls,
+		MatmulFlops:  c.MatmulFlops + o.MatmulFlops,
+		QRCalls:      c.QRCalls + o.QRCalls,
+		QRFlops:      c.QRFlops + o.QRFlops,
+		SVDCalls:     c.SVDCalls + o.SVDCalls,
+		RandSVDCalls: c.RandSVDCalls + o.RandSVDCalls,
+		SliceSVDs:    c.SliceSVDs + o.SliceSVDs,
+	}
+}
+
+var enabled atomic.Bool
+
+var global struct {
+	matmulCalls  atomic.Int64
+	matmulFlops  atomic.Int64
+	qrCalls      atomic.Int64
+	qrFlops      atomic.Int64
+	svdCalls     atomic.Int64
+	randSVDCalls atomic.Int64
+	sliceSVDs    atomic.Int64
+}
+
+// SetEnabled turns the global counters on or off and returns the previous
+// setting, so callers can restore it (the pattern bench.Run uses).
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether the global counters are recording.
+func Enabled() bool { return enabled.Load() }
+
+// Reset zeroes all global counters.
+func Reset() {
+	global.matmulCalls.Store(0)
+	global.matmulFlops.Store(0)
+	global.qrCalls.Store(0)
+	global.qrFlops.Store(0)
+	global.svdCalls.Store(0)
+	global.randSVDCalls.Store(0)
+	global.sliceSVDs.Store(0)
+}
+
+// Snapshot returns the current counter totals. When counting is disabled it
+// returns whatever was accumulated while it was last enabled.
+func Snapshot() Counters {
+	return Counters{
+		MatmulCalls:  global.matmulCalls.Load(),
+		MatmulFlops:  global.matmulFlops.Load(),
+		QRCalls:      global.qrCalls.Load(),
+		QRFlops:      global.qrFlops.Load(),
+		SVDCalls:     global.svdCalls.Load(),
+		RandSVDCalls: global.randSVDCalls.Load(),
+		SliceSVDs:    global.sliceSVDs.Load(),
+	}
+}
+
+// CountMatmul records one dense multiply with inner dimension k producing an
+// m×n result (2·m·k·n flops).
+func CountMatmul(m, k, n int) {
+	if !enabled.Load() {
+		return
+	}
+	global.matmulCalls.Add(1)
+	global.matmulFlops.Add(2 * int64(m) * int64(k) * int64(n))
+}
+
+// CountGram records one symmetric Gram product AᵀA for an m×n input
+// (m·n² flops, exploiting symmetry).
+func CountGram(m, n int) {
+	if !enabled.Load() {
+		return
+	}
+	global.matmulCalls.Add(1)
+	global.matmulFlops.Add(int64(m) * int64(n) * int64(n))
+}
+
+// CountQR records one Householder QR of an m×n matrix.
+func CountQR(m, n int) {
+	if !enabled.Load() {
+		return
+	}
+	k := int64(n)
+	if int64(m) < k {
+		k = int64(m)
+	}
+	global.qrCalls.Add(1)
+	// 2·n²·(m − n/3) for m ≥ n, with k = min(m,n) guarding the wide case.
+	global.qrFlops.Add(2 * k * k * (int64(m) - k/3))
+}
+
+// CountSVD records one exact dense SVD.
+func CountSVD() {
+	if !enabled.Load() {
+		return
+	}
+	global.svdCalls.Add(1)
+}
+
+// CountRandSVD records one randomized SVD.
+func CountRandSVD() {
+	if !enabled.Load() {
+		return
+	}
+	global.randSVDCalls.Add(1)
+}
+
+// CountSliceSVD records one frontal-slice compression.
+func CountSliceSVD() {
+	if !enabled.Load() {
+		return
+	}
+	global.sliceSVDs.Add(1)
+}

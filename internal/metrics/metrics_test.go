@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withCounters runs fn with the global counters enabled and reset, restoring
+// the previous enabled state afterwards.
+func withCounters(t *testing.T, fn func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	Reset()
+	defer func() {
+		SetEnabled(prev)
+		Reset()
+	}()
+	fn()
+}
+
+func TestCountersDisabledByDefaultAndZeroAlloc(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	Reset()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		CountMatmul(64, 64, 64)
+		CountGram(64, 8)
+		CountQR(64, 8)
+		CountSVD()
+		CountRandSVD()
+		CountSliceSVD()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled counters allocated %v times per run", allocs)
+	}
+	if s := Snapshot(); s != (Counters{}) {
+		t.Fatalf("disabled counters recorded activity: %+v", s)
+	}
+}
+
+func TestCountersEnabledZeroAlloc(t *testing.T) {
+	withCounters(t, func() {
+		allocs := testing.AllocsPerRun(1000, func() {
+			CountMatmul(64, 64, 64)
+			CountSVD()
+		})
+		if allocs != 0 {
+			t.Fatalf("enabled counters allocated %v times per run", allocs)
+		}
+	})
+}
+
+func TestCounterArithmetic(t *testing.T) {
+	withCounters(t, func() {
+		CountMatmul(2, 3, 4)
+		CountMatmul(2, 3, 4)
+		CountGram(10, 4)
+		CountQR(10, 4)
+		CountSVD()
+		CountRandSVD()
+		CountSliceSVD()
+		s := Snapshot()
+		if s.MatmulCalls != 3 { // 2 matmuls + 1 gram
+			t.Errorf("MatmulCalls = %d", s.MatmulCalls)
+		}
+		if want := int64(2*(2*2*3*4) + 10*4*4); s.MatmulFlops != want {
+			t.Errorf("MatmulFlops = %d, want %d", s.MatmulFlops, want)
+		}
+		if s.QRCalls != 1 || s.SVDCalls != 1 || s.RandSVDCalls != 1 || s.SliceSVDs != 1 {
+			t.Errorf("call counters: %+v", s)
+		}
+		if want := int64(2 * 4 * 4 * (10 - 4/3)); s.QRFlops != want {
+			t.Errorf("QRFlops = %d, want %d", s.QRFlops, want)
+		}
+		d := s.Sub(Counters{MatmulCalls: 1, SVDCalls: 1})
+		if d.MatmulCalls != 2 || d.SVDCalls != 0 {
+			t.Errorf("Sub: %+v", d)
+		}
+		if a := d.Add(Counters{SVDCalls: 5}); a.SVDCalls != 5 {
+			t.Errorf("Add: %+v", a)
+		}
+	})
+}
+
+func TestNilCollectorIsSafeAndFree(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.StartPhase(PhaseApprox)
+		c.EndPhase(PhaseApprox)
+		c.RecordFit(1, 0.5)
+		if c.Tracing() {
+			t.Fatal("nil collector reports tracing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil collector allocated %v times per run", allocs)
+	}
+	if got := c.PhaseStats(PhaseIter); got.Phase != "iteration" {
+		t.Fatalf("nil PhaseStats: %+v", got)
+	}
+	if rep := c.Report(); len(rep.Phases) != 0 {
+		t.Fatalf("nil Report: %+v", rep)
+	}
+	if c.FitTrajectory() != nil {
+		t.Fatal("nil FitTrajectory not nil")
+	}
+	c.SetTrace(func(string) {})
+	c.Tracef("ignored %d", 1)
+}
+
+func TestCollectorPhaseBrackets(t *testing.T) {
+	withCounters(t, func() {
+		c := &Collector{}
+		c.StartPhase(PhaseApprox)
+		CountSliceSVD()
+		CountRandSVD()
+		time.Sleep(time.Millisecond)
+		c.EndPhase(PhaseApprox)
+
+		c.StartPhase(PhaseIter)
+		CountSVD()
+		c.EndPhase(PhaseIter)
+		c.RecordFit(1, 0.9)
+		c.RecordFit(2, 0.95)
+
+		ap := c.PhaseStats(PhaseApprox)
+		if ap.Counters.SliceSVDs != 1 || ap.Counters.RandSVDCalls != 1 {
+			t.Errorf("approx counters: %+v", ap.Counters)
+		}
+		if ap.Wall <= 0 {
+			t.Errorf("approx wall = %v", ap.Wall)
+		}
+		it := c.PhaseStats(PhaseIter)
+		if it.Counters.SVDCalls != 1 || it.Counters.SliceSVDs != 0 {
+			t.Errorf("iter counters: %+v", it.Counters)
+		}
+		if got := c.FitTrajectory(); len(got) != 2 || got[1].Fit != 0.95 {
+			t.Errorf("fit trajectory: %+v", got)
+		}
+
+		rep := c.Report()
+		if rep.Total.Counters.SVDCalls != 1 || rep.Total.Counters.SliceSVDs != 1 {
+			t.Errorf("total counters: %+v", rep.Total.Counters)
+		}
+		if rep.Total.Wall < ap.Wall {
+			t.Errorf("total wall %v < approx wall %v", rep.Total.Wall, ap.Wall)
+		}
+	})
+}
+
+func TestCollectorAccumulatesRepeatedBrackets(t *testing.T) {
+	withCounters(t, func() {
+		c := &Collector{}
+		for i := 0; i < 3; i++ {
+			c.StartPhase(PhaseApprox)
+			CountSliceSVD()
+			c.EndPhase(PhaseApprox)
+		}
+		if got := c.PhaseStats(PhaseApprox).Counters.SliceSVDs; got != 3 {
+			t.Fatalf("accumulated slice SVDs = %d, want 3", got)
+		}
+	})
+}
+
+func TestEndPhaseWithoutStartIsNoop(t *testing.T) {
+	c := &Collector{}
+	c.EndPhase(PhaseInit)
+	if st := c.PhaseStats(PhaseInit); st.Wall != 0 {
+		t.Fatalf("unmatched EndPhase recorded wall %v", st.Wall)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	c := &Collector{}
+	var msgs []string
+	c.SetTrace(func(m string) { msgs = append(msgs, m) })
+	if !c.Tracing() {
+		t.Fatal("Tracing() false after SetTrace")
+	}
+	c.StartPhase(PhaseInit)
+	c.EndPhase(PhaseInit)
+	c.RecordFit(3, 0.875)
+	c.Tracef("custom %d", 7)
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"initialization done in", "sweep 3 fit 0.875", "custom 7"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestTableAndJSON(t *testing.T) {
+	withCounters(t, func() {
+		c := &Collector{}
+		c.StartPhase(PhaseApprox)
+		CountSliceSVD()
+		CountMatmul(100, 100, 100)
+		c.EndPhase(PhaseApprox)
+
+		tab := c.Table()
+		for _, want := range []string{"phase", "approximation", "initialization", "iteration", "total", "flops"} {
+			if !strings.Contains(tab, want) {
+				t.Errorf("table missing %q:\n%s", want, tab)
+			}
+		}
+
+		b, err := json.Marshal(c.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Phases) != 3 || rep.Total.Counters.SliceSVDs != 1 {
+			t.Fatalf("round-tripped report: %+v", rep)
+		}
+	})
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseApprox.String() != "approximation" || Phase(99).String() != "phase(99)" {
+		t.Fatal("Phase.String mismatch")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mat"
+	"repro/internal/metrics"
 )
 
 // Options configures the randomized SVD.
@@ -50,6 +51,7 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 	if opts.Rng == nil {
 		return mat.SVDResult{}, fmt.Errorf("randsvd: Options.Rng must be set")
 	}
+	metrics.CountRandSVD()
 	m, n := a.Dims()
 	if k <= 0 {
 		return mat.SVDResult{}, fmt.Errorf("randsvd: non-positive rank %d", k)
