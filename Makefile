@@ -9,17 +9,17 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate: vet + build + full test suite, then the
-# race detector over the packages with shared mutable state (the global
-# kernel counters in internal/metrics used by internal/mat and the
-# parallel phases in internal/core).
+# race detector over EVERY package — the worker pool threads parallelism
+# through core, mat, and tensor, so no package is exempt from race checking.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/mat/... ./internal/metrics/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) test -bench 'BenchmarkIterateWorkers' -benchmem ./internal/core/
 
 # overhead measures metrics-enabled vs -disabled cost on the quickstart
 # workload (see EXPERIMENTS.md "Measurement methodology"; must stay <2%).

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -76,6 +77,13 @@ type Stream = core.Stream
 // see NewCollector for the common path.
 type Collector = metrics.Collector
 
+// WorkerPool is a per-decomposition worker pool plus scratch-buffer arena.
+// Options.Workers sizes one implicitly; pass an explicit pool via
+// Options.Pool to share workers and scratch memory across decompositions.
+// Every parallel site follows an owner-computes split, so results are
+// bit-identical for every pool size.
+type WorkerPool = pool.Pool
+
 // NewTensor returns a zeroed tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
@@ -112,6 +120,11 @@ func NewStream(opts Options) *Stream { return core.NewStream(opts) }
 // use the counters stay disabled and the instrumentation is free — one
 // atomic load per kernel call, zero allocations.
 func NewCollector() *Collector { return metrics.New() }
+
+// NewWorkerPool returns a pool running at most size concurrent workers, to
+// pass as Options.Pool when several decompositions should share workers and
+// scratch memory. size < 1 is treated as 1. A pool needs no Close.
+func NewWorkerPool(size int) *WorkerPool { return pool.New(size) }
 
 // DecomposeAdaptive runs D-Tucker with data-driven ranks: per-mode target
 // ranks are chosen from the compressed slices so each mode retains a

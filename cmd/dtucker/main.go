@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dtucker -in x.ten -ranks 10,10,10 [-out prefix] [-tol 1e-4]
-//	        [-maxiters 100] [-slicerank 0] [-workers 1] [-mat-workers 0]
+//	        [-maxiters 100] [-slicerank 0] [-workers 1]
 //	        [-seed 0] [-exact-error]
 //	        [-metrics] [-metrics-json file] [-trace] [-debug-addr host:port]
 //	        [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
@@ -49,8 +49,8 @@ func main() {
 		tol        = flag.Float64("tol", 1e-4, "convergence tolerance on fit change")
 		maxIters   = flag.Int("maxiters", 100, "maximum ALS sweeps")
 		sliceRank  = flag.Int("slicerank", 0, "slice SVD rank (0 = max of the two leading ranks)")
-		workers    = flag.Int("workers", 1, "parallel slice compressions in the approximation phase")
-		matWorkers = flag.Int("mat-workers", 0, "goroutines for the dense matmul kernels (0 = leave at the single-thread default)")
+		workers    = flag.Int("workers", 1, "size of the per-decomposition worker pool (parallelizes all three phases; results are bit-identical for any value)")
+		matWorkers = flag.Int("mat-workers", 0, "deprecated alias for -workers; for baseline methods it sizes the process-default kernel pool")
 		seed       = flag.Int64("seed", 0, "random seed for the sketches")
 		exactError = flag.Bool("exact-error", false, "also compute the exact relative error (extra pass over the tensor)")
 		method     = flag.String("method", bench.DTucker, "method: "+strings.Join(bench.Methods, ", "))
@@ -70,7 +70,18 @@ func main() {
 		fatal(err)
 	}
 	if *matWorkers > 0 {
-		mat.SetWorkers(*matWorkers)
+		fmt.Fprintln(os.Stderr, "dtucker: -mat-workers is deprecated; use -workers (parallelism is per-decomposition now)")
+		if *method == bench.DTucker {
+			// Route through the decomposition's own pool instead of
+			// mutating process-global state.
+			if *workers <= 1 {
+				*workers = *matWorkers
+			}
+		} else {
+			// Baselines have no pool-aware entry points; they still read
+			// the process-default kernel pool.
+			mat.SetWorkers(*matWorkers)
+		}
 	}
 	if *debugAddr != "" {
 		startDebugServer(*debugAddr)
@@ -131,9 +142,13 @@ func runDTucker(x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank 
 		fatal(err)
 	}
 	s := dec.Stats
-	fmt.Printf("d-tucker: approximation %v, initialization %v, iteration %v (%d sweeps), total %v\n",
+	conv := "converged"
+	if !dec.Converged {
+		conv = "tolerance NOT reached"
+	}
+	fmt.Printf("d-tucker: approximation %v, initialization %v, iteration %v (%d sweeps, %s), total %v\n",
 		s.ApproxTime.Round(time.Millisecond), s.InitTime.Round(time.Millisecond),
-		s.IterTime.Round(time.Millisecond), s.Iters, s.Total().Round(time.Millisecond))
+		s.IterTime.Round(time.Millisecond), s.Iters, conv, s.Total().Round(time.Millisecond))
 	fmt.Printf("fit estimate %.6f, model size %.1f kF\n", dec.Fit, float64(dec.StorageFloats())/1e3)
 	if exactError {
 		fmt.Printf("exact relative error %.6f\n", dec.RelError(x))

@@ -53,6 +53,10 @@ type Spec struct {
 	// timing sweeps where the extra full-tensor pass would distort
 	// nothing but costs time).
 	SkipError bool
+	// Workers sizes D-Tucker's per-decomposition worker pool (0 → 1, the
+	// paper's single-thread protocol). Baselines ignore it: they have no
+	// pool-aware entry points, which keeps method comparisons honest.
+	Workers int
 	// Metrics enables per-phase and kernel-level instrumentation for this
 	// run (see Result's phase/counter fields). Collection costs < 2% on
 	// the quickstart workload (EXPERIMENTS.md, "Measurement methodology");
@@ -94,6 +98,10 @@ type Result struct {
 	// ModelFloats is the size of the output (core + factors).
 	ModelFloats int
 	Iters       int
+	// Converged reports whether the iteration reached its tolerance rather
+	// than exhausting MaxIters. Only d-tucker surfaces this; for other
+	// methods it stays false and the CSV column is left empty.
+	Converged bool
 
 	// Per-phase wall times, populated when metrics collection is on.
 	// For D-Tucker and Tucker-ALS the split is native; methods without an
@@ -136,6 +144,7 @@ func Run(method string, spec Spec) (Result, error) {
 			Tol:      spec.Tol,
 			MaxIters: spec.MaxIters,
 			Seed:     spec.Seed,
+			Workers:  spec.Workers,
 		})
 		if err != nil {
 			return res, err
@@ -144,6 +153,7 @@ func Run(method string, spec Spec) (Result, error) {
 		res.Prep = dec.Stats.ApproxTime
 		res.Solve = dec.Stats.InitTime + dec.Stats.IterTime
 		res.Iters = dec.Stats.Iters
+		res.Converged = dec.Converged
 		res.ApproxTime = dec.Stats.ApproxTime
 		res.InitTime = dec.Stats.InitTime
 		res.IterTime = dec.Stats.IterTime
@@ -290,13 +300,6 @@ func dtuckerStoredFloats(shape, ranks []int) int {
 		l *= shape[p]
 	}
 	return l * (i1*r + r + i2*r)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // RunAll runs every method in Methods on the spec, returning results in

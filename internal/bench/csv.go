@@ -20,6 +20,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 		"stored_floats", "model_floats", "iters",
 		"approx_s", "init_s", "iter_s",
 		"slice_svds", "svd_calls", "randsvd_calls", "qr_calls", "flops",
+		"converged",
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("bench: writing CSV header: %w", err)
@@ -28,6 +29,12 @@ func WriteCSV(w io.Writer, results []Result) error {
 		errStr := ""
 		if r.RelErr >= 0 {
 			errStr = strconv.FormatFloat(r.RelErr, 'g', 8, 64)
+		}
+		// Only d-tucker reports convergence; other methods leave the
+		// column empty rather than claiming a false negative.
+		convStr := ""
+		if r.Method == DTucker {
+			convStr = strconv.FormatBool(r.Converged)
 		}
 		rec := []string{
 			r.Dataset,
@@ -47,6 +54,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.FormatInt(r.RandSVDCalls, 10),
 			strconv.FormatInt(r.QRCalls, 10),
 			strconv.FormatInt(r.Flops, 10),
+			convStr,
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("bench: writing CSV record: %w", err)

@@ -11,7 +11,7 @@ import (
 
 func sampleResults() []Result {
 	return []Result{
-		{Dataset: "d1", Method: DTucker, Prep: 100 * time.Millisecond, Solve: 200 * time.Millisecond, RelErr: 0.05, StoredFloats: 1000, ModelFloats: 50, Iters: 3},
+		{Dataset: "d1", Method: DTucker, Prep: 100 * time.Millisecond, Solve: 200 * time.Millisecond, RelErr: 0.05, StoredFloats: 1000, ModelFloats: 50, Iters: 3, Converged: true},
 		{Dataset: "d1", Method: TuckerALS, Solve: 2 * time.Second, RelErr: -1, StoredFloats: 9000, ModelFloats: 50, Iters: 5},
 	}
 }
@@ -36,6 +36,16 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 	}
 	if recs[2][5] != "" {
 		t.Fatalf("skipped error not empty: %q", recs[2][5])
+	}
+	last := len(recs[0]) - 1
+	if recs[0][last] != "converged" {
+		t.Fatalf("last header column %q, want converged", recs[0][last])
+	}
+	if recs[1][last] != "true" {
+		t.Fatalf("d-tucker converged column %q, want true", recs[1][last])
+	}
+	if recs[2][last] != "" {
+		t.Fatalf("non-d-tucker converged column %q, want empty", recs[2][last])
 	}
 }
 

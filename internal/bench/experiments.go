@@ -421,6 +421,7 @@ func RunE8(w io.Writer, short bool) ([]Result, error) {
 			StoredFloats: stored,
 			ModelFloats:  dec.StorageFloats(),
 			Iters:        dec.Stats.Iters,
+			Converged:    dec.Converged,
 			ApproxTime:   dec.Stats.ApproxTime,
 			InitTime:     dec.Stats.InitTime,
 			IterTime:     dec.Stats.IterTime,

@@ -52,13 +52,13 @@ func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error)
 	}
 	for mode := 0; mode < 2; mode++ {
 		dim := ap.Shape[mode]
-		cap := min(min(maxRank, dim), len(ap.Slices)*ap.SliceRank)
+		rankCap := min(min(maxRank, dim), len(ap.Slices)*ap.SliceRank)
 		y := ap.stackedFactors(mode)
-		sv, err := leadingValuesOfStack(y, cap, rng, ap.opts)
+		sv, err := leadingValuesOfStack(y, rankCap, rng, ap.opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: mode-%d spectrum: %w", mode+1, err)
 		}
-		permRanks[mode] = ranksForFraction(sv, total, keep, cap)
+		permRanks[mode] = ranksForFraction(sv, total, keep, rankCap)
 	}
 
 	// Trailing modes: spectra of the projected tensor W built with
@@ -76,12 +76,12 @@ func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error)
 		wNorm := w.Norm()
 		wTotal := wNorm * wNorm
 		for n := 2; n < order; n++ {
-			cap := min(maxRank, ap.Shape[n])
-			sv, err := unfoldingSpectrum(w, n, cap)
+			rankCap := min(maxRank, ap.Shape[n])
+			sv, err := unfoldingSpectrum(w, n, rankCap)
 			if err != nil {
 				return nil, fmt.Errorf("core: mode-%d spectrum: %w", n+1, err)
 			}
-			permRanks[n] = ranksForFraction(sv, wTotal, keep, cap)
+			permRanks[n] = ranksForFraction(sv, wTotal, keep, rankCap)
 		}
 	}
 
@@ -135,8 +135,8 @@ func leadingValuesOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) ([]
 }
 
 // ranksForFraction returns the smallest count of leading squared singular
-// values reaching keep·total, capped.
-func ranksForFraction(sv []float64, total, keep float64, cap int) int {
+// values reaching keep·total, capped at rankCap.
+func ranksForFraction(sv []float64, total, keep float64, rankCap int) int {
 	if total <= 0 {
 		return 1
 	}
@@ -144,10 +144,10 @@ func ranksForFraction(sv []float64, total, keep float64, cap int) int {
 	for i, v := range sv {
 		acc += v * v
 		if acc >= keep*total {
-			return min(i+1, cap)
+			return min(i+1, rankCap)
 		}
 	}
-	return cap
+	return rankCap
 }
 
 // unfoldingSpectrum returns the k leading singular values of the mode-n

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/randsvd"
 	"repro/internal/tensor"
 )
@@ -43,6 +44,38 @@ type Approximation struct {
 	SliceRank int
 
 	opts Options
+	// pl is the decomposition's worker pool (see internal/pool); created by
+	// Approximate, or lazily for literal-built Approximations.
+	pl *pool.Pool
+	// scratch caches the per-mode iteration buffers (see accScratch);
+	// iterate releases them back to the pool arena when it returns.
+	scratch [2]*accScratch
+}
+
+// workerPool returns the Approximation's pool, creating it from the
+// options on first use. It is called from the single goroutine driving the
+// decomposition, never from pool workers.
+func (ap *Approximation) workerPool() *pool.Pool {
+	if ap.pl == nil {
+		ap.pl = ap.opts.newPool()
+	}
+	return ap.pl
+}
+
+// recordPoolStats snapshots the pool's utilization counters into the run's
+// metrics collector (a nil collector makes this a no-op).
+func (ap *Approximation) recordPoolStats() {
+	col := ap.opts.Metrics
+	if col == nil || ap.pl == nil {
+		return
+	}
+	st := ap.pl.Stats()
+	col.RecordPool(metrics.PoolStats{
+		Workers:   st.Workers,
+		Regions:   st.Regions,
+		Tasks:     st.Tasks,
+		BusyNanos: int64(st.Busy),
+	})
 }
 
 // modeOrder returns the permutation sorting modes by decreasing
@@ -108,8 +141,8 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 			r = ranks[1]
 		}
 	}
-	if max := min(shape[0], shape[1]); r > max {
-		r = max
+	if lim := min(shape[0], shape[1]); r > lim {
+		r = lim
 	}
 
 	col := opts.Metrics
@@ -121,6 +154,7 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 		NormX:     x.Norm(),
 		SliceRank: r,
 		opts:      opts,
+		pl:        opts.newPool(),
 	}
 	if col.Tracing() {
 		l := 1
@@ -132,7 +166,7 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 	}
 	// Slices are gathered straight from x's storage (no materialized
 	// permutation) and compressed.
-	ap.Slices, err = compressSlices(x, perm, r, opts)
+	ap.Slices, err = compressSlices(x, perm, r, opts, ap.pl)
 	col.EndPhase(metrics.PhaseApprox)
 	if err != nil {
 		return nil, err
@@ -141,9 +175,10 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 }
 
 // compressSlices runs the per-slice randomized SVDs in the mode order
-// given by perm, optionally in parallel. Slice l always draws from a
-// generator seeded Seed+l so the result is identical regardless of Workers.
-func compressSlices(x *tensor.Dense, perm []int, r int, opts Options) ([]SliceSVD, error) {
+// given by perm, one pool task per slice. Slice l always draws from a
+// generator seeded Seed+l and writes only its own entry, so the result is
+// identical regardless of Workers.
+func compressSlices(x *tensor.Dense, perm []int, r int, opts Options, pl *pool.Pool) ([]SliceSVD, error) {
 	ns := 1
 	for _, p := range perm[2:] {
 		ns *= x.Dim(p)
@@ -153,40 +188,19 @@ func compressSlices(x *tensor.Dense, perm []int, r int, opts Options) ([]SliceSV
 		mu       sync.Mutex
 		firstErr error
 	)
-	work := func(lo, hi int) {
-		for l := lo; l < hi; l++ {
-			res, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, opts)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: compressing slice %d: %w", l, err)
-				}
-				mu.Unlock()
-				return
+	pl.Run(ns, func(_, l int) {
+		res, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, opts)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: compressing slice %d: %w", l, err)
 			}
-			slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
-			metrics.CountSliceSVD()
+			mu.Unlock()
+			return
 		}
-	}
-	w := opts.Workers
-	if w > ns {
-		w = ns
-	}
-	if w <= 1 {
-		work(0, ns)
-	} else {
-		var wg sync.WaitGroup
-		chunk := (ns + w - 1) / w
-		for lo := 0; lo < ns; lo += chunk {
-			hi := min(lo+chunk, ns)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				work(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
+		slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
+		metrics.CountSliceSVD()
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -258,11 +272,4 @@ func (ap *Approximation) ApproxRelError() float64 {
 		resid2 = 0
 	}
 	return math.Sqrt(resid2) / ap.NormX
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -27,8 +27,12 @@ type Decomposition struct {
 	// Fit is the ALS fit estimate 1 − ‖X−X̂‖/‖X‖ computed from the
 	// compressed representation (see tucker.FitFromCore). For the exact
 	// error against the raw tensor use Model.RelError.
-	Fit   float64
-	Stats Stats
+	Fit float64
+	// Converged reports whether the iteration phase actually reached
+	// Options.Tol. False means all MaxIters sweeps ran with the fit still
+	// moving, so Stats.Iters is the exhausted budget, not a settling point.
+	Converged bool
+	Stats     Stats
 }
 
 // Decompose runs all three D-Tucker phases on x.
@@ -60,20 +64,22 @@ func (ap *Approximation) Decompose() (*Decomposition, error) {
 	initTime := time.Since(t0)
 
 	t1 := time.Now()
-	core, fit, iters, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors)
 	if err != nil {
 		return nil, err
 	}
 	iterTime := time.Since(t1)
+	ap.recordPoolStats()
 
 	model := ap.toOriginalOrder(core, factors)
 	if err := model.Validate(nil); err != nil {
 		return nil, fmt.Errorf("core: internal inconsistency: %w", err)
 	}
 	return &Decomposition{
-		Model: model,
-		Fit:   fit,
-		Stats: Stats{InitTime: initTime, IterTime: iterTime, Iters: iters},
+		Model:     model,
+		Fit:       fit,
+		Converged: converged,
+		Stats:     Stats{InitTime: initTime, IterTime: iterTime, Iters: iters},
 	}, nil
 }
 

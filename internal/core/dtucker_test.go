@@ -157,6 +157,8 @@ func TestNoReorderMatchesReorderAccuracy(t *testing.T) {
 }
 
 func TestDeterministicAcrossWorkers(t *testing.T) {
+	// The Seed contract: every parallel site is owner-computes, so results
+	// are BIT-identical — not merely close — for every Workers value.
 	rng := rand.New(rand.NewSource(8))
 	x := lowRankTensor(rng, 0.1, 3, 12, 12, 16)
 	opts := Options{Ranks: uniformRanks(3, 3), Seed: 42}
@@ -170,11 +172,11 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for n := range a.Factors {
-		if !a.Factors[n].EqualApprox(b.Factors[n], 1e-12) {
+		if !bitIdentical(a.Factors[n].Data(), b.Factors[n].Data()) {
 			t.Fatalf("factor %d differs across worker counts", n)
 		}
 	}
-	if !a.Core.EqualApprox(b.Core, 1e-10) {
+	if !bitIdentical(a.Core.Data(), b.Core.Data()) {
 		t.Fatal("core differs across worker counts")
 	}
 }
@@ -381,41 +383,55 @@ func benchApproxExact(b *testing.B, exact bool) {
 }
 
 func TestParallelIterationMatchesSequential(t *testing.T) {
-	// Worker-parallel slice accumulation uses per-worker partials reduced
-	// in order; the result must match the sequential path within roundoff.
+	// The two-phase slice accumulation is owner-computes in both phases, so
+	// the parallel path must reproduce the sequential one bit for bit.
+	// Two Approximations are built (the accumulation reuses pool-owned
+	// scratch, so one Approximation's result would be overwritten).
 	rng := rand.New(rand.NewSource(19))
 	x := lowRankTensor(rng, 0.1, 3, 14, 12, 20)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 9})
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 9}
+	seqAp, err := Approximate(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	parAp, err := Approximate(x, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fs := make([]*mat.Dense, 3)
 	r := rand.New(rand.NewSource(1))
 	for n := 0; n < 3; n++ {
-		fs[n] = mat.RandOrthonormal(ap.Shape[n], 3, r)
+		fs[n] = mat.RandOrthonormal(seqAp.Shape[n], 3, r)
 	}
-	seq := ap.accumulateSliceMode(0, fs)
-	ap.opts.Workers = 4
-	par := ap.accumulateSliceMode(0, fs)
-	if !par.EqualApprox(seq, 1e-10*(1+seq.Norm())) {
-		t.Fatal("parallel accumulation disagrees with sequential")
+	for mode := 0; mode < 2; mode++ {
+		seq := seqAp.accumulateSliceMode(mode, fs)
+		par := parAp.accumulateSliceMode(mode, fs)
+		if !bitIdentical(seq.Data(), par.Data()) {
+			t.Fatalf("mode %d: parallel accumulation disagrees with sequential", mode)
+		}
 	}
 }
 
 func BenchmarkIterateWorkers1(b *testing.B) { benchIterWorkers(b, 1) }
 func BenchmarkIterateWorkers4(b *testing.B) { benchIterWorkers(b, 4) }
+func BenchmarkIterateWorkers8(b *testing.B) { benchIterWorkers(b, 8) }
 
 func benchIterWorkers(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 10, 96, 96, 64)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 5})
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 5, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
-	ap.opts.Workers = workers
+	init, err := ap.initFactors()
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ap.Decompose(); err != nil {
+		fs := append([]*mat.Dense(nil), init...)
+		if _, _, _, _, err := ap.iterate(fs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 )
 
 // Options configures a D-Tucker decomposition.
@@ -68,10 +69,23 @@ type Options struct {
 	// picks the Gram path for very rectangular matrices.
 	Leading mat.LeadingMethod
 
-	// Workers is the number of goroutines compressing slices in the
-	// approximation phase. Zero selects 1, matching the paper's
-	// single-thread protocol.
+	// Workers sizes this decomposition's worker pool, which parallelizes
+	// all three phases: slice compression in the approximation phase, and
+	// the slice/row-parallel iteration kernels plus the projected-tensor
+	// mode products in the later phases. Zero selects 1, matching the
+	// paper's single-thread protocol. Every parallel site follows an
+	// owner-computes split, so results are bit-identical for every value
+	// (see Seed).
 	Workers int
+
+	// Pool optionally supplies an externally owned worker pool, sharing
+	// workers and the scratch-buffer arena across decompositions (a Stream
+	// does this internally for its refreshes). Nil — the default — creates
+	// a fresh pool of Workers size per decomposition. When set, it takes
+	// precedence over Workers. Unlike the deprecated process-global
+	// mat.SetWorkers, a pool is explicit context: concurrent decompositions
+	// with different settings cannot stomp each other.
+	Pool *pool.Pool
 
 	// NoReorder keeps the input's mode order instead of sorting modes by
 	// decreasing dimensionality. Mostly useful in tests and when the
@@ -120,5 +134,17 @@ func (o Options) withDefaults(order int) (Options, error) {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
+	if o.Pool != nil {
+		o.Workers = o.Pool.Size()
+	}
 	return o, nil
+}
+
+// newPool returns the decomposition's execution pool: the caller-supplied
+// one when set, otherwise a fresh pool of Workers size.
+func (o Options) newPool() *pool.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return pool.New(o.Workers)
 }

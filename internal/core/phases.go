@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/metrics"
@@ -107,13 +106,28 @@ func leadingOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) (*mat.Den
 func (ap *Approximation) projectedTensor(a1, a2 *mat.Dense) *tensor.Dense {
 	shape := append([]int{a1.Cols(), a2.Cols()}, ap.Shape[2:]...)
 	w := tensor.New(shape...)
-	for l, s := range ap.Slices {
-		left := mat.MulTA(a1, s.U) // J1×r
-		scaleCols(left, s.S)
-		right := mat.MulTA(s.V, a2) // r×J2
-		w.SetFrontalSlice(l, mat.Mul(left, right))
+	// One pool task per slice; slice l writes only its own frontal block of
+	// w, so the result is identical for every pool size.
+	pl := ap.workerPool()
+	if pl.Size() <= 1 {
+		for l := range ap.Slices {
+			ap.projectSlice(w, l, a1, a2)
+		}
+		return w
 	}
+	pl.Run(len(ap.Slices), func(_, l int) { ap.projectSlice(w, l, a1, a2) })
 	return w
+}
+
+// projectSlice computes W_l = (A(1)ᵀU_l)·diag(S_l)·(V_lᵀA(2)) and stores it
+// as frontal slice l. The inner product runs single-threaded (nil pool):
+// projectSlice already executes inside a slice-parallel region.
+func (ap *Approximation) projectSlice(w *tensor.Dense, l int, a1, a2 *mat.Dense) {
+	s := &ap.Slices[l]
+	left := mat.MulTA(a1, s.U) // J1×r
+	scaleCols(left, s.S)
+	right := mat.MulTA(s.V, a2) // r×J2
+	w.SetFrontalSlice(l, mat.MulP(left, right, nil))
 }
 
 func scaleCols(m *mat.Dense, s []float64) {
@@ -124,23 +138,34 @@ func scaleCols(m *mat.Dense, s []float64) {
 			row[j] *= s[j]
 		}
 	}
-	_ = rows
 }
 
-// accumulateSliceMode computes the mode-1 (mode = 0) or mode-2 (mode = 1)
-// ALS matrix Y_(n) = X ×_{k≠n} A(k)ᵀ unfolded along mode n, evaluated
-// through the compressed slices:
-//
-//	mode 0: Y += Σ_l [U_l·diag(S)·(V_lᵀA(2))] ⊗ kronrow_l  (I1 × J2·C)
-//	mode 1: Y += Σ_l [V_l·diag(S)·(U_lᵀA(1))] ⊗ kronrow_l  (I2 × J1·C)
-//
-// where kronrow_l is the Kronecker product of the rows of A(3..N) selected
-// by slice l's multi-index and C = ∏_{k≥3} J_k.
-//
-// With opts.Workers > 1 the slice range is split across goroutines, each
-// accumulating into a private matrix; the partials are reduced in a fixed
-// order so the result is deterministic for a given worker count.
-func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) *mat.Dense {
+// accScratch holds the reusable buffers of one accumulateSliceMode target
+// (mode 1 or mode 2). All float64 storage comes from the pool arena, so
+// steady-state sweeps allocate nothing; iterate releases it when it returns.
+type accScratch struct {
+	rows, blk, c int
+
+	y *mat.Dense // rows × blk·c accumulation output, reused every sweep
+
+	// Phase A outputs, one owner per slice: t[l] is the r_l×blk projection
+	// diag(S_l)·(V_lᵀA(2)) (resp. diag(S_l)·(U_lᵀA(1))), and w[l·c:(l+1)·c]
+	// is slice l's Kronecker weight row over the trailing factors.
+	t []*mat.Dense
+	w []float64
+
+	// Per-worker scratch, indexed by the dense worker ids the pool hands
+	// out: a blk-length product row for phase B, and the multi-index plus
+	// Kronecker row pointers for phase A.
+	prow [][]float64
+	idx  [][]int
+	kron [][][]float64
+}
+
+// accScratchFor returns the cached scratch for mode, rebuilding it from the
+// pool arena when the problem dimensions changed since the last sweep.
+func (ap *Approximation) accScratchFor(mode int, factors []*mat.Dense) *accScratch {
+	pl := ap.workerPool()
 	order := len(ap.Shape)
 	c := 1
 	for k := 2; k < order; k++ {
@@ -152,76 +177,174 @@ func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) *ma
 	} else {
 		rows, blk = ap.Shape[1], factors[0].Cols()
 	}
+	L := len(ap.Slices)
+	if sc := ap.scratch[mode]; sc != nil {
+		if sc.rows == rows && sc.blk == blk && sc.c == c && len(sc.t) == L && len(sc.prow) >= pl.Size() {
+			return sc
+		}
+		ap.releaseScratchMode(mode)
+	}
+	sc := &accScratch{rows: rows, blk: blk, c: c}
+	sc.y = mat.NewFromData(rows, blk*c, pl.Get(rows*blk*c))
+	sc.t = make([]*mat.Dense, L)
+	for l := range sc.t {
+		// Slice SVDs of degenerate slices can carry fewer than SliceRank
+		// columns, so each projection is sized from its own slice.
+		r := ap.Slices[l].V.Cols()
+		if mode == 1 {
+			r = ap.Slices[l].U.Cols()
+		}
+		sc.t[l] = mat.NewFromData(r, blk, pl.Get(r*blk))
+	}
+	sc.w = pl.Get(L * c)
+	nw := pl.Size()
+	sc.prow = make([][]float64, nw)
+	sc.idx = make([][]int, nw)
+	sc.kron = make([][][]float64, nw)
+	for k := 0; k < nw; k++ {
+		sc.prow[k] = pl.Get(blk)
+		sc.idx[k] = make([]int, order-2)
+		sc.kron[k] = make([][]float64, order-2)
+	}
+	ap.scratch[mode] = sc
+	return sc
+}
 
-	accumulate := func(y *mat.Dense, lo, hi int) {
-		w := make([]float64, c)
-		kronRows := make([][]float64, order-2)
-		idx := make([]int, order-2)
-		for l := lo; l < hi; l++ {
-			s := ap.Slices[l]
-			var p *mat.Dense
-			if mode == 0 {
-				t := mat.MulTA(s.V, factors[1]) // r×J2
-				scaleRows(t, s.S)
-				p = mat.Mul(s.U, t) // I1×J2
-			} else {
-				t := mat.MulTA(s.U, factors[0]) // r×J1
-				scaleRows(t, s.S)
-				p = mat.Mul(s.V, t) // I2×J1
-			}
-			// Kronecker row over the trailing factors with mode 3
-			// fastest: KronRow makes its *last* argument fastest, so feed
-			// rows in reverse mode order.
-			idx = ap.sliceIndex(l, idx)
-			for k := range kronRows {
-				kronRows[len(kronRows)-1-k] = factors[2+k].Row(idx[k])
-			}
-			mat.KronRow(w, kronRows...)
+// releaseScratchMode returns one mode's scratch buffers to the pool arena.
+func (ap *Approximation) releaseScratchMode(mode int) {
+	sc := ap.scratch[mode]
+	if sc == nil {
+		return
+	}
+	pl := ap.workerPool()
+	pl.Put(sc.y.Data())
+	for _, t := range sc.t {
+		pl.Put(t.Data())
+	}
+	pl.Put(sc.w)
+	for _, b := range sc.prow {
+		pl.Put(b)
+	}
+	ap.scratch[mode] = nil
+}
 
-			for i := 0; i < rows; i++ {
-				prow := p.Row(i)
-				yrow := y.Row(i)
-				for cc, wc := range w {
-					if wc == 0 {
-						continue
-					}
-					dst := yrow[cc*blk : (cc+1)*blk]
-					for j, pv := range prow {
-						dst[j] += wc * pv
-					}
+// releaseScratch returns all iteration scratch to the pool arena, so a
+// shared pool can recycle it into the next decomposition or sweep shape.
+func (ap *Approximation) releaseScratch() {
+	for mode := range ap.scratch {
+		ap.releaseScratchMode(mode)
+	}
+}
+
+// accProjectSlice runs phase A of the accumulation for slice l: the small
+// projection t_l and the Kronecker weight row. It writes only slice l's
+// scratch entries, so phase A tasks are independent of worker scheduling.
+func (ap *Approximation) accProjectSlice(sc *accScratch, mode int, factors []*mat.Dense, worker, l int) {
+	s := &ap.Slices[l]
+	t := sc.t[l]
+	if mode == 0 {
+		mat.MulTAInto(t, s.V, factors[1]) // r×J2
+	} else {
+		mat.MulTAInto(t, s.U, factors[0]) // r×J1
+	}
+	scaleRows(t, s.S)
+	// Phase B applies U_l·t_l (resp. V_l·t_l) row by row; account for it
+	// here, once per slice, so counters stay independent of Workers.
+	metrics.CountMatmul(sc.rows, t.Rows(), sc.blk)
+	// Kronecker row over the trailing factors with mode 3 fastest: KronRow
+	// makes its *last* argument fastest, so feed rows in reverse mode order.
+	idx := ap.sliceIndex(l, sc.idx[worker])
+	kron := sc.kron[worker]
+	for k := range kron {
+		kron[len(kron)-1-k] = factors[2+k].Row(idx[k])
+	}
+	mat.KronRow(sc.w[l*sc.c:(l+1)*sc.c], kron...)
+}
+
+// accRowRange runs phase B for output rows [lo, hi): row i accumulates, over
+// slices in ascending order, the slice's projected row scaled by its
+// Kronecker weights. Each output row is owned by exactly one worker and the
+// per-row arithmetic never depends on the range split, so the result is
+// bit-identical for every pool size — and to the serial evaluation.
+func (ap *Approximation) accRowRange(sc *accScratch, mode, worker, lo, hi int) {
+	blk, c := sc.blk, sc.c
+	prow := sc.prow[worker]
+	for i := lo; i < hi; i++ {
+		yrow := sc.y.Row(i)
+		for j := range yrow {
+			yrow[j] = 0
+		}
+		for l := range ap.Slices {
+			s := &ap.Slices[l]
+			f := s.U
+			if mode == 1 {
+				f = s.V
+			}
+			frow := f.Row(i)
+			t := sc.t[l]
+			// prow = frow·t_l with the same i-k-j ordering and zero
+			// skipping as the mat kernels.
+			for j := range prow {
+				prow[j] = 0
+			}
+			for k, av := range frow {
+				if av == 0 {
+					continue
+				}
+				trow := t.Row(k)
+				for j, tv := range trow {
+					prow[j] += av * tv
+				}
+			}
+			wl := sc.w[l*c : (l+1)*c]
+			for cc, wc := range wl {
+				if wc == 0 {
+					continue
+				}
+				dst := yrow[cc*blk : (cc+1)*blk]
+				for j, pv := range prow {
+					dst[j] += wc * pv
 				}
 			}
 		}
 	}
+}
 
-	nw := ap.opts.Workers
-	if nw > len(ap.Slices) {
-		nw = len(ap.Slices)
+// accumulateSliceMode computes the mode-1 (mode = 0) or mode-2 (mode = 1)
+// ALS matrix Y_(n) = X ×_{k≠n} A(k)ᵀ unfolded along mode n, evaluated
+// through the compressed slices:
+//
+//	mode 0: Y = Σ_l [U_l·diag(S)·(V_lᵀA(2))] ⊗ kronrow_l  (I1 × J2·C)
+//	mode 1: Y = Σ_l [V_l·diag(S)·(U_lᵀA(1))] ⊗ kronrow_l  (I2 × J1·C)
+//
+// where kronrow_l is the Kronecker product of the rows of A(3..N) selected
+// by slice l's multi-index and C = ∏_{k≥3} J_k.
+//
+// The work is split in two pool phases. Phase A computes each slice's small
+// projection and weight row, one task per slice, each writing only its own
+// scratch entries. Phase B accumulates the output, one owner per row, with
+// slices visited in ascending order inside every row. No cross-worker
+// reduction exists in either phase, so the result is bit-identical for every
+// pool size (the Options.Seed contract) — including the serial path, which
+// runs the same loops inline without spawning goroutines or closures.
+//
+// The returned matrix is pool-owned scratch: it is valid until the next
+// accumulateSliceMode call for the same mode (callers consume it
+// immediately via mat.LeadingLeft).
+func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) *mat.Dense {
+	sc := ap.accScratchFor(mode, factors)
+	pl := ap.workerPool()
+	L := len(ap.Slices)
+	if pl.Size() <= 1 {
+		for l := 0; l < L; l++ {
+			ap.accProjectSlice(sc, mode, factors, 0, l)
+		}
+		ap.accRowRange(sc, mode, 0, 0, sc.rows)
+		return sc.y
 	}
-	if nw <= 1 {
-		y := mat.New(rows, blk*c)
-		accumulate(y, 0, len(ap.Slices))
-		return y
-	}
-	partials := make([]*mat.Dense, nw)
-	var wg sync.WaitGroup
-	chunk := (len(ap.Slices) + nw - 1) / nw
-	for wk := 0; wk < nw; wk++ {
-		lo := wk * chunk
-		hi := min(lo+chunk, len(ap.Slices))
-		partials[wk] = mat.New(rows, blk*c)
-		wg.Add(1)
-		go func(y *mat.Dense, lo, hi int) {
-			defer wg.Done()
-			accumulate(y, lo, hi)
-		}(partials[wk], lo, hi)
-	}
-	wg.Wait()
-	y := partials[0]
-	for _, p := range partials[1:] {
-		y.AddInPlace(p)
-	}
-	return y
+	pl.Run(L, func(worker, l int) { ap.accProjectSlice(sc, mode, factors, worker, l) })
+	pl.RunRanges(sc.rows, pl.Size(), func(worker, lo, hi int) { ap.accRowRange(sc, mode, worker, lo, hi) })
+	return sc.y
 }
 
 func scaleRows(m *mat.Dense, s []float64) {
@@ -235,18 +358,24 @@ func scaleRows(m *mat.Dense, s []float64) {
 
 // iterate runs the iteration phase: ALS sweeps over all modes evaluated on
 // the compressed slices, stopping when the fit change drops below Tol or
-// MaxIters is reached. It returns the core, the fit estimate, and the
-// number of sweeps executed.
-func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, int, error) {
+// MaxIters is reached. It returns the core, the fit estimate, the number of
+// sweeps executed, and whether the tolerance was actually reached —
+// converged == false means the sweep budget ran out with the fit still
+// moving (callers surface this instead of silently reporting MaxIters
+// sweeps as if the run had settled).
+func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, int, bool, error) {
 	col := ap.opts.Metrics
 	col.StartPhase(metrics.PhaseIter)
 	defer col.EndPhase(metrics.PhaseIter)
+	defer ap.releaseScratch()
+	pl := ap.workerPool()
 	order := len(ap.Shape)
 	var (
-		core    *tensor.Dense
-		fit     float64
-		prevFit float64
-		iters   int
+		core      *tensor.Dense
+		fit       float64
+		prevFit   float64
+		iters     int
+		converged bool
 	)
 	for iters = 1; iters <= ap.opts.MaxIters; iters++ {
 		// Modes 1 and 2: leading left singular vectors of the slice-based
@@ -255,7 +384,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 			y := ap.accumulateSliceMode(mode, factors)
 			f, err := mat.LeadingLeft(y, ap.Ranks[mode], ap.opts.Leading)
 			if err != nil {
-				return nil, 0, iters, fmt.Errorf("core: updating mode-%d factor: %w", mode+1, err)
+				return nil, 0, iters, false, fmt.Errorf("core: updating mode-%d factor: %w", mode+1, err)
 			}
 			factors[mode] = f
 		}
@@ -267,30 +396,32 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 				if k == n {
 					continue
 				}
-				y = y.ModeProduct(factors[k].T(), k)
+				y = y.ModeProductP(factors[k].T(), k, pl)
 			}
 			f, err := mat.LeadingLeft(y.Unfold(n), ap.Ranks[n], ap.opts.Leading)
 			if err != nil {
-				return nil, 0, iters, fmt.Errorf("core: updating mode-%d factor: %w", n+1, err)
+				return nil, 0, iters, false, fmt.Errorf("core: updating mode-%d factor: %w", n+1, err)
 			}
 			factors[n] = f
 		}
 		core = w
 		for k := 2; k < order; k++ {
-			core = core.ModeProduct(factors[k].T(), k)
+			core = core.ModeProductP(factors[k].T(), k, pl)
 		}
 
 		fit = tucker.FitFromCore(ap.NormX, core.Norm())
 		col.RecordFit(iters, fit)
 		if iters > 1 && abs(fit-prevFit) < ap.opts.Tol {
+			converged = true
 			break
 		}
 		prevFit = fit
 	}
-	if iters > ap.opts.MaxIters {
+	if !converged {
+		// The loop fell off the end: every budgeted sweep ran.
 		iters = ap.opts.MaxIters
 	}
-	return core, fit, iters, nil
+	return core, fit, iters, converged, nil
 }
 
 func abs(v float64) float64 {

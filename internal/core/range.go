@@ -56,6 +56,7 @@ func (s *Stream) DecomposeRange(t0, t1 int) (*Decomposition, error) {
 		NormX:     math.Sqrt(sumSq),
 		SliceRank: s.rank,
 		opts:      s.opts,
+		pl:        s.pool(),
 	}
 
 	t0w := time.Now()
@@ -65,13 +66,15 @@ func (s *Stream) DecomposeRange(t0, t1 int) (*Decomposition, error) {
 	}
 	initTime := time.Since(t0w)
 	t1w := time.Now()
-	core, fit, iters, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors)
 	if err != nil {
 		return nil, err
 	}
+	ap.recordPoolStats()
 	return &Decomposition{
-		Model: ap.toOriginalOrder(core, factors),
-		Fit:   fit,
-		Stats: Stats{InitTime: initTime, IterTime: time.Since(t1w), Iters: iters},
+		Model:     ap.toOriginalOrder(core, factors),
+		Fit:       fit,
+		Converged: converged,
+		Stats:     Stats{InitTime: initTime, IterTime: time.Since(t1w), Iters: iters},
 	}, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +29,18 @@ type Stream struct {
 	rank    int       // slice rank, fixed by the first chunk
 
 	prevFactors []*mat.Dense // warm-start state from the last Decompose
+
+	// pl is shared across every Append and Decompose of the stream, so
+	// refreshes recycle scratch memory from earlier phases via its arena.
+	pl *pool.Pool
+}
+
+// pool returns the stream's worker pool, creating it on first use.
+func (s *Stream) pool() *pool.Pool {
+	if s.pl == nil {
+		s.pl = s.opts.newPool()
+	}
+	return s.pl
 }
 
 // NewStream creates an empty stream. opts.Ranks must match the order of the
@@ -109,7 +122,7 @@ func (s *Stream) Append(chunk *tensor.Dense) error {
 	defer col.EndPhase(metrics.PhaseApprox)
 	chunkOpts := s.opts
 	chunkOpts.Seed = s.opts.Seed + int64(len(s.slices))
-	newSlices, err := compressSlices(chunk, identityPerm(chunk.Order()), s.rank, chunkOpts)
+	newSlices, err := compressSlices(chunk, identityPerm(chunk.Order()), s.rank, chunkOpts, s.pool())
 	if err != nil {
 		return err
 	}
@@ -156,6 +169,7 @@ func (s *Stream) Decompose() (*Decomposition, error) {
 		NormX:     math.Sqrt(s.sumSq),
 		SliceRank: s.rank,
 		opts:      s.opts,
+		pl:        s.pool(),
 	}
 
 	t0 := time.Now()
@@ -174,16 +188,18 @@ func (s *Stream) Decompose() (*Decomposition, error) {
 	initTime := time.Since(t0)
 
 	t1 := time.Now()
-	core, fit, iters, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors)
 	if err != nil {
 		return nil, err
 	}
+	ap.recordPoolStats()
 	s.prevFactors = append([]*mat.Dense(nil), factors...)
 
 	return &Decomposition{
-		Model: ap.toOriginalOrder(core, factors),
-		Fit:   fit,
-		Stats: Stats{InitTime: initTime, IterTime: time.Since(t1), Iters: iters},
+		Model:     ap.toOriginalOrder(core, factors),
+		Fit:       fit,
+		Converged: converged,
+		Stats:     Stats{InitTime: initTime, IterTime: time.Since(t1), Iters: iters},
 	}, nil
 }
 

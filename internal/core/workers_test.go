@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/tensor"
+)
+
+// bitIdentical reports whether two float slices are equal bit for bit —
+// no tolerance, the Options.Seed contract.
+func bitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestApproximateBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := lowRankTensor(rng, 0.1, 3, 13, 11, 18)
+	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	a, err := Approximate(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	b, err := Approximate(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Slices) != len(b.Slices) {
+		t.Fatalf("slice counts differ: %d vs %d", len(a.Slices), len(b.Slices))
+	}
+	for l := range a.Slices {
+		if !bitIdentical(a.Slices[l].U.Data(), b.Slices[l].U.Data()) ||
+			!bitIdentical(a.Slices[l].S, b.Slices[l].S) ||
+			!bitIdentical(a.Slices[l].V.Data(), b.Slices[l].V.Data()) {
+			t.Fatalf("slice %d SVD differs across worker counts", l)
+		}
+	}
+}
+
+func TestDecomposeBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Full pipeline, several worker counts (including more workers than
+	// slices): every run must produce the exact bits of the serial run.
+	rng := rand.New(rand.NewSource(21))
+	x := lowRankTensor(rng, 0.1, 3, 12, 10, 4, 3)
+	base := Options{Ranks: uniformRanks(4, 3), Seed: 33}
+	ref, err := Decompose(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		opts := base
+		opts.Workers = workers
+		dec, err := Decompose(x, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Fit != ref.Fit || dec.Stats.Iters != ref.Stats.Iters || dec.Converged != ref.Converged {
+			t.Fatalf("workers=%d: fit/iters/converged %v/%d/%v differ from serial %v/%d/%v",
+				workers, dec.Fit, dec.Stats.Iters, dec.Converged, ref.Fit, ref.Stats.Iters, ref.Converged)
+		}
+		for n := range ref.Factors {
+			if !bitIdentical(dec.Factors[n].Data(), ref.Factors[n].Data()) {
+				t.Fatalf("workers=%d: factor %d differs from serial run", workers, n)
+			}
+		}
+		if !bitIdentical(dec.Core.Data(), ref.Core.Data()) {
+			t.Fatalf("workers=%d: core differs from serial run", workers)
+		}
+	}
+}
+
+func TestConcurrentDecomposeDifferentWorkers(t *testing.T) {
+	// Concurrent decompositions with DIFFERENT Workers settings must not
+	// interfere: parallelism is per-decomposition pool state, not a process
+	// global. Run under -race this also proves the pools share nothing.
+	rng := rand.New(rand.NewSource(22))
+	x := lowRankTensor(rng, 0.1, 3, 12, 12, 12)
+	base := Options{Ranks: uniformRanks(3, 3), Seed: 17}
+	ref, err := Decompose(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	decs := make([]*Decomposition, 8)
+	for i := range decs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := base
+			opts.Workers = 1 + i%4
+			decs[i], errs[i] = Decompose(x, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+		if !bitIdentical(decs[i].Core.Data(), ref.Core.Data()) {
+			t.Fatalf("concurrent run %d (workers=%d) differs from serial reference", i, 1+i%4)
+		}
+	}
+}
+
+func TestSharedPoolAcrossDecompositions(t *testing.T) {
+	// An externally owned pool can be reused across decompositions; results
+	// still match a per-run pool, and the pool's size wins over Workers.
+	rng := rand.New(rand.NewSource(23))
+	x := lowRankTensor(rng, 0.1, 3, 12, 12, 12)
+	base := Options{Ranks: uniformRanks(3, 3), Seed: 17}
+	ref, err := Decompose(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pool.New(3)
+	for round := 0; round < 2; round++ {
+		opts := base
+		opts.Pool = pl
+		dec, err := Decompose(x, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(dec.Core.Data(), ref.Core.Data()) {
+			t.Fatalf("round %d: shared-pool run differs from serial reference", round)
+		}
+	}
+	if st := pl.Stats(); st.Regions == 0 || st.Tasks == 0 {
+		t.Fatalf("shared pool saw no work: %+v", st)
+	}
+}
+
+func TestIterateReportsNonConvergence(t *testing.T) {
+	// With Tol = 0 the stopping test |Δfit| < 0 can never pass, so iterate
+	// must run all MaxIters sweeps and report converged = false — not clamp
+	// the count and pretend the run settled (the pre-fix behavior).
+	rng := rand.New(rand.NewSource(24))
+	x := tensor.RandN(rng, 10, 9, 8) // full rank: fit keeps moving
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 2), Seed: 3, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap.opts.Tol = 0 // withDefaults maps 0 to 1e-4, so set it after the fact
+	fs, err := ap.initFactors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, iters, converged, err := ap.iterate(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if converged {
+		t.Fatal("iterate reported convergence with Tol = 0")
+	}
+	if iters != 3 {
+		t.Fatalf("iters = %d, want the full MaxIters = 3 budget", iters)
+	}
+}
+
+func TestDecomposeSurfacesConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+
+	// Exactly low-rank data settles within the default budget.
+	easy := lowRankTensor(rng, 0, 3, 14, 12, 10)
+	dec, err := Decompose(easy, Options{Ranks: uniformRanks(3, 3), Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Converged {
+		t.Fatal("easy decomposition did not report convergence")
+	}
+
+	// A 1-sweep budget cannot converge (the stopping test needs two fits).
+	hard := tensor.RandN(rng, 12, 11, 10)
+	dec, err = Decompose(hard, Options{Ranks: uniformRanks(3, 2), Seed: 6, MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Converged {
+		t.Fatal("1-sweep run reported convergence")
+	}
+	if dec.Stats.Iters != 1 {
+		t.Fatalf("Iters = %d, want 1", dec.Stats.Iters)
+	}
+}
+
+func TestAccumulateSliceModeSteadyStateAllocFree(t *testing.T) {
+	// After the first sweep warms the arena-backed scratch, the serial
+	// accumulation path must not allocate at all.
+	rng := rand.New(rand.NewSource(26))
+	x := lowRankTensor(rng, 0.1, 3, 12, 10, 8)
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := randomFactors(rand.New(rand.NewSource(1)), ap.Shape, ap.Ranks)
+	for mode := 0; mode < 2; mode++ {
+		ap.accumulateSliceMode(mode, fs) // warm the scratch
+		allocs := testing.AllocsPerRun(10, func() {
+			ap.accumulateSliceMode(mode, fs)
+		})
+		if allocs > 0 {
+			t.Errorf("mode %d: %v allocs per steady-state accumulation, want 0", mode, allocs)
+		}
+	}
+	ap.releaseScratch()
+}
+
+func TestIterateReleasesScratchToArena(t *testing.T) {
+	// iterate must hand its scratch back: a second Decompose on the same
+	// Approximation reuses the arena instead of leaking per-sweep buffers.
+	rng := rand.New(rand.NewSource(27))
+	x := lowRankTensor(rng, 0.1, 3, 12, 10, 8)
+	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Decompose(); err != nil {
+		t.Fatal(err)
+	}
+	if ap.scratch[0] != nil || ap.scratch[1] != nil {
+		t.Fatal("iterate returned with scratch still held")
+	}
+	// The arena now holds the released buffers; the next accumulation's
+	// scratch rebuild must come from it without fresh large allocations.
+	fs := randomFactors(rand.New(rand.NewSource(1)), ap.Shape, ap.Ranks)
+	ap.accumulateSliceMode(0, fs)
+	got := ap.scratch[0].y.Data()
+	ap.releaseScratchMode(0)
+	reused := ap.pl.Get(len(got))
+	if &reused[0] != &got[0] {
+		t.Error("released accumulation buffer was not recycled by the arena")
+	}
+	ap.pl.Put(reused)
+}
+
+func TestPoolPrecedenceOverWorkers(t *testing.T) {
+	opts, err := Options{Ranks: []int{2, 2}, Workers: 7, Pool: pool.New(2)}.withDefaults(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 2 {
+		t.Fatalf("Workers = %d after withDefaults, want the pool's size 2", opts.Workers)
+	}
+	if opts.newPool() != opts.Pool {
+		t.Fatal("newPool did not return the supplied pool")
+	}
+}

@@ -268,13 +268,13 @@ func (m *Dense) Norm() float64 {
 
 // MaxAbs returns the largest absolute element value.
 func (m *Dense) MaxAbs() float64 {
-	max := 0.0
+	best := 0.0
 	for _, v := range m.data {
-		if a := math.Abs(v); a > max {
-			max = a
+		if a := math.Abs(v); a > best {
+			best = a
 		}
 	}
-	return max
+	return best
 }
 
 // Trace returns the sum of diagonal elements of a square matrix.

@@ -2,45 +2,52 @@ package mat
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 )
 
-// workers controls how many goroutines matrix multiplication may use.
-// The default of 1 matches the single-thread evaluation protocol of the
-// paper; SetWorkers raises it for callers that want parallel kernels.
-var (
-	workersMu sync.RWMutex
-	workers   = 1
-)
+// defaultPool backs the kernels when no explicit pool is passed (the plain
+// Mul/MulInto/... entry points). It starts at size 1, matching the paper's
+// single-thread evaluation protocol; the deprecated SetWorkers resizes it.
+// Decompositions do not read it — they carry their own pool through
+// core.Options and call the ...P variants.
+var defaultPool atomic.Pointer[pool.Pool]
 
-// SetWorkers sets the number of goroutines used by large multiplications.
-// n < 1 is treated as 1. It returns the previous setting.
+func init() { defaultPool.Store(pool.New(1)) }
+
+// SetWorkers resizes the process-default pool used by kernels called
+// without an explicit pool. n < 1 is treated as 1. It returns the previous
+// setting.
+//
+// Deprecated: parallelism is per-decomposition now — pass Workers (or a
+// shared *pool.Pool) in core.Options instead, so concurrent callers cannot
+// stomp each other's setting. SetWorkers remains as a shim for standalone
+// kernel users and the baseline methods.
 func SetWorkers(n int) int {
-	workersMu.Lock()
-	defer workersMu.Unlock()
-	prev := workers
 	if n < 1 {
 		n = 1
 	}
-	workers = n
-	return prev
+	for {
+		old := defaultPool.Load()
+		if defaultPool.CompareAndSwap(old, pool.New(n)) {
+			return old.Size()
+		}
+	}
 }
 
-// Workers returns the current multiplication parallelism.
-func Workers() int {
-	workersMu.RLock()
-	defer workersMu.RUnlock()
-	return workers
-}
+// Workers returns the size of the process-default pool.
+//
+// Deprecated: see SetWorkers.
+func Workers() int { return defaultPool.Load().Size() }
 
 // effectiveWorkers returns the number of goroutines a row-parallel kernel
-// over the given work would actually use: the configured Workers, capped so
-// each goroutine gets enough flops to amortize its startup and never more
-// than one row's worth of workers.
-func effectiveWorkers(rows, flopsPerRow int) int {
-	w := Workers()
+// over the given work would actually use: the pool size, capped so each
+// goroutine gets enough flops to amortize its startup and never more than
+// one row's worth of workers.
+func effectiveWorkers(size, rows, flopsPerRow int) int {
+	w := size
 	const minFlopsPerWorker = 1 << 16
 	if w > 1 && rows > 1 && flopsPerRow > 0 {
 		maxUseful := rows * flopsPerRow / minFlopsPerWorker
@@ -57,42 +64,37 @@ func effectiveWorkers(rows, flopsPerRow int) int {
 	return w
 }
 
-// parallelRows runs fn over row ranges [lo,hi) split across the configured
+// parallelRows runs fn over row ranges [lo,hi) split across the pool's
 // workers when the estimated work is large enough to amortize goroutines.
-func parallelRows(rows int, flopsPerRow int, fn func(lo, hi int)) {
-	w := effectiveWorkers(rows, flopsPerRow)
+// Each row is computed by exactly one worker with identical arithmetic, so
+// results are bit-identical for every pool size.
+func parallelRows(p *pool.Pool, rows int, flopsPerRow int, fn func(lo, hi int)) {
+	w := effectiveWorkers(p.Size(), rows, flopsPerRow)
 	if w <= 1 {
 		fn(0, rows)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (rows + w - 1) / w
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	p.RunRanges(rows, w, func(_, lo, hi int) { fn(lo, hi) })
 }
 
-// Mul returns a·b.
-func Mul(a, b *Dense) *Dense {
+// Mul returns a·b, parallelized on the process-default pool.
+func Mul(a, b *Dense) *Dense { return MulP(a, b, defaultPool.Load()) }
+
+// MulP returns a·b, parallelized on p (nil p runs single-threaded).
+func MulP(a, b *Dense, p *pool.Pool) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.cols)
-	MulInto(out, a, b)
+	MulAddIntoP(out, a, b, p)
 	return out
 }
 
 // MulInto computes dst = a·b, overwriting dst. dst must not alias a or b.
-func MulInto(dst, a, b *Dense) {
+func MulInto(dst, a, b *Dense) { MulIntoP(dst, a, b, defaultPool.Load()) }
+
+// MulIntoP is MulInto parallelized on p (nil p runs single-threaded).
+func MulIntoP(dst, a, b *Dense, p *pool.Pool) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: MulInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
@@ -100,15 +102,19 @@ func MulInto(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.rows, b.cols))
 	}
 	dst.Zero()
-	MulAddInto(dst, a, b)
+	MulAddIntoP(dst, a, b, p)
 }
 
 // MulAddInto computes dst += a·b. dst must not alias a or b.
+func MulAddInto(dst, a, b *Dense) { MulAddIntoP(dst, a, b, defaultPool.Load()) }
+
+// MulAddIntoP computes dst += a·b with rows of the output split across p's
+// workers. dst must not alias a or b.
 //
 // The kernel uses i-k-j loop ordering so the inner loop is a contiguous
-// axpy over rows of b, which the compiler vectorizes well; rows of the
-// output are optionally split across workers.
-func MulAddInto(dst, a, b *Dense) {
+// axpy over rows of b, which the compiler vectorizes well. Each output row
+// is owned by one worker, so the result is bit-identical for any pool size.
+func MulAddIntoP(dst, a, b *Dense, p *pool.Pool) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: MulAddInto dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
@@ -120,11 +126,11 @@ func MulAddInto(dst, a, b *Dense) {
 	// The single-worker path calls the range kernel directly: no closure is
 	// created, keeping repeated accumulation into a preallocated dst
 	// allocation-free (asserted by TestKernelsZeroAllocWithMetricsDisabled).
-	if effectiveWorkers(a.rows, 2*inner*n) <= 1 {
+	if effectiveWorkers(p.Size(), a.rows, 2*inner*n) <= 1 {
 		mulAddRows(dst, a, b, 0, a.rows)
 		return
 	}
-	parallelRows(a.rows, 2*inner*n, func(lo, hi int) {
+	parallelRows(p, a.rows, 2*inner*n, func(lo, hi int) {
 		mulAddRows(dst, a, b, lo, hi)
 	})
 }
@@ -152,9 +158,25 @@ func MulTA(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulTA dimension mismatch (%d×%d)ᵀ · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	metrics.CountMatmul(a.cols, a.rows, b.cols)
 	out := New(a.cols, b.cols)
-	// outᵀ accumulation: out[k,j] += a[i,k]*b[i,j]; iterate i outer so both
+	MulTAInto(out, a, b)
+	return out
+}
+
+// MulTAInto computes dst = aᵀ·b, overwriting dst, without materializing the
+// transpose or allocating. dst must be a.Cols()×b.Cols() and must not alias
+// a or b. The kernel is deliberately serial: its output rows are written by
+// accumulation over a's rows, so row-splitting would need a reduction.
+func MulTAInto(dst, a, b *Dense) {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulTAInto dimension mismatch (%d×%d)ᵀ · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTAInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.cols, b.cols))
+	}
+	metrics.CountMatmul(a.cols, a.rows, b.cols)
+	dst.Zero()
+	// dstᵀ accumulation: dst[k,j] += a[i,k]*b[i,j]; iterate i outer so both
 	// reads are contiguous.
 	n := b.cols
 	for i := 0; i < a.rows; i++ {
@@ -164,24 +186,27 @@ func MulTA(a, b *Dense) *Dense {
 			if av == 0 {
 				continue
 			}
-			orow := out.data[k*n : (k+1)*n]
+			orow := dst.data[k*n : (k+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
-// MulTB returns a·bᵀ without materializing the transpose.
-func MulTB(a, b *Dense) *Dense {
+// MulTB returns a·bᵀ without materializing the transpose, parallelized on
+// the process-default pool.
+func MulTB(a, b *Dense) *Dense { return MulTBP(a, b, defaultPool.Load()) }
+
+// MulTBP is MulTB parallelized on p (nil p runs single-threaded).
+func MulTBP(a, b *Dense, p *pool.Pool) *Dense {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTB dimension mismatch %d×%d · (%d×%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
 	metrics.CountMatmul(a.rows, a.cols, b.rows)
 	out := New(a.rows, b.rows)
 	inner := a.cols
-	parallelRows(a.rows, 2*inner*b.rows, func(lo, hi int) {
+	parallelRows(p, a.rows, 2*inner*b.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*inner : (i+1)*inner]
 			orow := out.data[i*b.rows : (i+1)*b.rows]

@@ -59,11 +59,23 @@ type FitSample struct {
 	Fit   float64 `json:"fit"`
 }
 
+// PoolStats summarizes the utilization of a decomposition's worker pool
+// (see internal/pool): how many parallel regions ran, how many tasks they
+// dispatched, and the summed busy time of the workers. BusyNanos divided by
+// a run's iteration wall time approximates the achieved parallel speedup.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	Regions   int64 `json:"regions"`
+	Tasks     int64 `json:"tasks"`
+	BusyNanos int64 `json:"busy_ns"`
+}
+
 // Report is the JSON-serializable summary of a collected run.
 type Report struct {
 	Phases []PhaseStats `json:"phases"`
 	Total  PhaseStats   `json:"total"`
 	Fit    []FitSample  `json:"fit_trajectory,omitempty"`
+	Pool   *PoolStats   `json:"pool,omitempty"`
 }
 
 // Collector accumulates per-phase metrics for one logical run. The zero
@@ -79,6 +91,7 @@ type Collector struct {
 	alloc [numPhases]uint64
 	heap  [numPhases]uint64
 	fits  []FitSample
+	pool  *PoolStats
 	trace func(string)
 }
 
@@ -191,6 +204,33 @@ func (c *Collector) RecordFit(sweep int, fit float64) {
 	}
 }
 
+// RecordPool stores a snapshot of the run's worker-pool utilization
+// counters; the latest snapshot wins (core records once, at the end of a
+// decomposition).
+func (c *Collector) RecordPool(ps PoolStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.pool = &ps
+	c.mu.Unlock()
+}
+
+// PoolStats returns the recorded pool snapshot, or nil if none was recorded
+// (e.g. a run driven without a pool-aware entry point).
+func (c *Collector) PoolStats() *PoolStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool == nil {
+		return nil
+	}
+	ps := *c.pool
+	return &ps
+}
+
 // PhaseStats returns the aggregate for one phase.
 func (c *Collector) PhaseStats(p Phase) PhaseStats {
 	if c == nil || p < 0 || p >= numPhases {
@@ -236,6 +276,7 @@ func (c *Collector) Report() Report {
 	}
 	rep.Total = total
 	rep.Fit = c.FitTrajectory()
+	rep.Pool = c.PoolStats()
 	return rep
 }
 
@@ -257,7 +298,13 @@ func (c *Collector) Table() string {
 			fmtBytes(st.AllocBytes),
 		})
 	}
-	return alignRows(rows)
+	out := alignRows(rows)
+	if rep.Pool != nil {
+		p := rep.Pool
+		out += fmt.Sprintf("pool: %d workers, %d parallel regions, %d tasks, busy %v\n",
+			p.Workers, p.Regions, p.Tasks, time.Duration(p.BusyNanos).Round(time.Microsecond))
+	}
+	return out
 }
 
 func fmtWall(d time.Duration) string {

@@ -1,0 +1,220 @@
+// Package pool is the shared execution layer of a decomposition: a worker
+// pool that bounds parallelism, a scratch-buffer arena that recycles large
+// float64 buffers across phases and sweeps, and utilization counters for
+// the metrics report.
+//
+// A *Pool is per-decomposition state. It replaces the process-global
+// parallelism knob (mat.SetWorkers) so two concurrent decompositions with
+// different Workers settings cannot stomp each other: each carries its own
+// pool through core.Options and the mat kernels accept it explicitly.
+//
+// # Determinism
+//
+// The pool itself never decides how work is split — callers choose task
+// boundaries, and the helpers guarantee only scheduling, not arithmetic
+// order. Callers achieve bit-identical results for every pool size by
+// making each task own its output (e.g. one output row or one slice per
+// task) so no cross-task reduction order exists. Every parallel site in
+// internal/core and internal/mat follows this owner-computes rule, which is
+// what upholds the core.Options.Seed contract ("results are independent of
+// Workers").
+//
+// # Lifecycle
+//
+// A Pool has no background goroutines and needs no Close. Parallel regions
+// spawn goroutines on demand (goroutine startup is far cheaper than the
+// kernel work a region amortizes it over) and join before returning, so a
+// Pool is trivially safe to share across sequential decompositions — the
+// arena then recycles their scratch memory too.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool bounds the parallelism of one decomposition and owns its reusable
+// scratch memory. A nil *Pool is valid and behaves as a single-threaded
+// pool whose arena always allocates. Pools are safe for concurrent use;
+// when one pool is shared by concurrent regions each region independently
+// respects Size, so total goroutines can transiently exceed it.
+type Pool struct {
+	size int
+
+	mu   sync.Mutex
+	free map[int][][]float64
+
+	regions atomic.Int64
+	tasks   atomic.Int64
+	busy    atomic.Int64 // summed worker-goroutine nanoseconds
+}
+
+// New returns a pool running at most size concurrent workers per parallel
+// region. size < 1 is treated as 1.
+func New(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{size: size, free: make(map[int][][]float64)}
+}
+
+// Size returns the worker bound; 1 for a nil pool.
+func (p *Pool) Size() int {
+	if p == nil || p.size < 1 {
+		return 1
+	}
+	return p.size
+}
+
+// Run invokes fn(worker, task) exactly once for every task in [0, n),
+// spreading tasks across up to Size goroutines by work stealing. Worker ids
+// are dense in [0, min(Size, n)) and each id is held by exactly one
+// goroutine for the region's duration, so fn may index per-worker scratch
+// by worker. Which worker runs which task is scheduling-dependent; callers
+// needing determinism must make each task's result independent of its
+// worker (see the package comment).
+func (p *Pool) Run(n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Size()
+	if w > n {
+		w = n
+	}
+	if p != nil {
+		p.regions.Add(1)
+		p.tasks.Add(int64(n))
+	}
+	if w <= 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		if p != nil {
+			p.busy.Add(int64(time.Since(start)))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(wk, i)
+			}
+			p.busy.Add(int64(time.Since(start)))
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// RunRanges splits [0, n) into w contiguous ranges of near-equal length and
+// invokes fn(worker, lo, hi) for each, one goroutine per range (w is capped
+// at both Size and n). Range boundaries depend only on n and w, never on
+// scheduling. Row-parallel kernels use this so each output row is written
+// by exactly one worker.
+func (p *Pool) RunRanges(n, w int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if lim := p.Size(); w > lim {
+		w = lim
+	}
+	if w > n {
+		w = n
+	}
+	if p != nil {
+		p.regions.Add(1)
+		p.tasks.Add(int64(n))
+	}
+	if w <= 1 {
+		start := time.Now()
+		fn(0, 0, n)
+		if p != nil {
+			p.busy.Add(int64(time.Since(start)))
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for wk := 0; wk*chunk < n; wk++ {
+		lo, hi := wk*chunk, (wk+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(wk, lo, hi)
+			p.busy.Add(int64(time.Since(start)))
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Get returns a float64 buffer of exactly length n from the arena,
+// allocating a fresh one when none is free. Contents are unspecified — the
+// caller must overwrite or zero it. A nil pool always allocates.
+func (p *Pool) Get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if p != nil {
+		p.mu.Lock()
+		if list := p.free[n]; len(list) > 0 {
+			b := list[len(list)-1]
+			p.free[n] = list[:len(list)-1]
+			p.mu.Unlock()
+			return b
+		}
+		p.mu.Unlock()
+	}
+	return make([]float64, n)
+}
+
+// Put returns a buffer obtained from Get to the arena for reuse. Putting a
+// buffer the caller still references is a use-after-free hazard, exactly as
+// with any free list. A nil pool drops the buffer.
+func (p *Pool) Put(b []float64) {
+	if p == nil || len(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.free[len(b)] = append(p.free[len(b)], b)
+	p.mu.Unlock()
+}
+
+// Stats is a snapshot of a pool's lifetime utilization counters.
+type Stats struct {
+	// Workers is the pool's size.
+	Workers int
+	// Regions counts parallel regions executed (Run/RunRanges calls).
+	Regions int64
+	// Tasks counts tasks dispatched across all regions.
+	Tasks int64
+	// Busy is the summed wall time of all worker goroutines — divided by
+	// region wall time it gives the effective parallel speedup.
+	Busy time.Duration
+}
+
+// Stats returns a snapshot of the utilization counters; zero for nil pools.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{Workers: 1}
+	}
+	return Stats{
+		Workers: p.Size(),
+		Regions: p.regions.Load(),
+		Tasks:   p.tasks.Load(),
+		Busy:    time.Duration(p.busy.Load()),
+	}
+}

@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolIsSingleThreaded(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool Size = %d", p.Size())
+	}
+	ran := 0
+	p.Run(5, func(worker, task int) {
+		if worker != 0 {
+			t.Errorf("nil pool used worker %d", worker)
+		}
+		ran++
+	})
+	if ran != 5 {
+		t.Fatalf("ran %d of 5 tasks", ran)
+	}
+	if b := p.Get(16); len(b) != 16 {
+		t.Fatalf("nil pool Get length %d", len(b))
+	}
+	p.Put(make([]float64, 8)) // must not panic
+	if s := p.Stats(); s.Workers != 1 || s.Regions != 0 {
+		t.Fatalf("nil pool stats %+v", s)
+	}
+}
+
+func TestRunCoversAllTasksOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 9} {
+		p := New(size)
+		const n = 137
+		var hits [n]atomic.Int32
+		p.Run(n, func(worker, task int) {
+			if worker < 0 || worker >= size {
+				t.Errorf("worker id %d outside [0,%d)", worker, size)
+			}
+			hits[task].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("size %d: task %d ran %d times", size, i, got)
+			}
+		}
+	}
+}
+
+func TestRunWorkerIdsExclusive(t *testing.T) {
+	// Each worker id must be held by one goroutine at a time, so per-worker
+	// scratch indexing is safe. Non-atomic counters per worker would trip
+	// the race detector if ids were shared.
+	p := New(4)
+	counts := make([]int, 4)
+	p.Run(1000, func(worker, task int) {
+		counts[worker]++
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("per-worker counts sum to %d, want 1000", total)
+	}
+}
+
+func TestRunRangesPartition(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{10, 3}, {7, 7}, {5, 16}, {1, 4}, {100, 1}} {
+		p := New(tc.w)
+		covered := make([]atomic.Int32, tc.n)
+		p.RunRanges(tc.n, tc.w, func(worker, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty range [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if got := covered[i].Load(); got != 1 {
+				t.Fatalf("n=%d w=%d: index %d covered %d times", tc.n, tc.w, i, got)
+			}
+		}
+	}
+}
+
+func TestArenaReusesBuffers(t *testing.T) {
+	p := New(2)
+	b := p.Get(64)
+	b[0] = 42
+	p.Put(b)
+	c := p.Get(64)
+	if &b[0] != &c[0] {
+		t.Fatal("arena did not reuse the returned buffer")
+	}
+	if d := p.Get(64); &d[0] == &c[0] {
+		t.Fatal("arena handed out an in-use buffer")
+	}
+	if p.Get(0) != nil {
+		t.Fatal("Get(0) should return nil")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(3)
+	p.Run(10, func(worker, task int) {})
+	p.RunRanges(8, 2, func(worker, lo, hi int) {})
+	s := p.Stats()
+	if s.Workers != 3 || s.Regions != 2 || s.Tasks != 18 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestZeroAndNegativeSizes(t *testing.T) {
+	if New(0).Size() != 1 || New(-5).Size() != 1 {
+		t.Fatal("non-positive sizes not clamped to 1")
+	}
+	New(2).Run(0, func(worker, task int) { t.Fatal("ran a task for n=0") })
+}

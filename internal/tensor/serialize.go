@@ -63,7 +63,13 @@ func ReadFrom(r io.Reader) (*Dense, error) {
 		return nil, fmt.Errorf("tensor: implausible order %d", order)
 	}
 	shape := make([]int, order)
-	total := 1
+	// The shape entries are untrusted input: accumulate the element count in
+	// uint64 with an overflow check BEFORE each multiply (total stays ≤
+	// maxSerializedElems, so total·s cannot wrap when the division-based
+	// guard passes). Converting an unchecked product to int would overflow —
+	// on 32-bit ints even a single dimension near 2³¹ would — and a wrapped
+	// count could slip past the element limit into a bogus allocation.
+	total := uint64(1)
 	for k := range shape {
 		var s uint64
 		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
@@ -72,11 +78,11 @@ func ReadFrom(r io.Reader) (*Dense, error) {
 		if s == 0 || s > maxSerializedElems {
 			return nil, fmt.Errorf("tensor: implausible dimensionality %d", s)
 		}
-		shape[k] = int(s)
-		total *= int(s)
-		if total > maxSerializedElems {
-			return nil, fmt.Errorf("tensor: shape %v exceeds element limit", shape[:k+1])
+		if total > maxSerializedElems/s {
+			return nil, fmt.Errorf("tensor: shape %v·%d exceeds element limit", shape[:k], s)
 		}
+		total *= s
+		shape[k] = int(s)
 	}
 	t := New(shape...)
 	buf := make([]byte, 8)

@@ -196,13 +196,13 @@ func (t *Dense) Norm() float64 {
 
 // MaxAbs returns the largest absolute element.
 func (t *Dense) MaxAbs() float64 {
-	max := 0.0
+	best := 0.0
 	for _, v := range t.data {
-		if a := math.Abs(v); a > max {
-			max = a
+		if a := math.Abs(v); a > best {
+			best = a
 		}
 	}
-	return max
+	return best
 }
 
 // EqualApprox reports element-wise equality within tol, requiring equal

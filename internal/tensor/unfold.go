@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/pool"
 )
 
 // Unfold returns the mode-n matricization X_(n) of the tensor: an
@@ -149,6 +150,22 @@ func (t *Dense) ModeProduct(m *mat.Dense, n int) *Dense {
 	}
 	unf := t.Unfold(n)
 	prod := mat.Mul(m, unf)
+	outShape := t.Shape()
+	outShape[n] = m.Rows()
+	return Fold(prod, n, outShape)
+}
+
+// ModeProductP is ModeProduct with the multiply parallelized on p (nil p
+// runs single-threaded). Each output row of the unfolded product is owned
+// by one worker, so the result is bit-identical for every pool size.
+func (t *Dense) ModeProductP(m *mat.Dense, n int, p *pool.Pool) *Dense {
+	t.checkMode(n)
+	if m.Cols() != t.shape[n] {
+		panic(fmt.Sprintf("tensor: ModeProduct mode-%d dimensionality %d, matrix is %d×%d",
+			n, t.shape[n], m.Rows(), m.Cols()))
+	}
+	unf := t.Unfold(n)
+	prod := mat.MulP(m, unf, p)
 	outShape := t.Shape()
 	outShape[n] = m.Rows()
 	return Fold(prod, n, outShape)
