@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead
+.PHONY: build test verify bench overhead faults
 
 build:
 	$(GO) build ./...
@@ -10,12 +10,24 @@ test:
 
 # verify is the tier-1 gate: vet + build + full test suite, then the
 # race detector over EVERY package — the worker pool threads parallelism
-# through core, mat, and tensor, so no package is exempt from race checking.
+# through core, mat, and tensor, so no package is exempt from race checking —
+# and the fault-injection suite under -race, since injected failures exercise
+# the drain/containment paths that only misbehave under contention.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(GO) test -race ./internal/core/ -run 'TestFaultSweep|TestKeyedFaultFallbackBitIdentical|TestCancelMidRun' -count 1
+
+# faults sweeps every registered fault-injection hook point (internal/faults
+# sites) in error and panic mode, through both the plain and streaming
+# pipelines. The sweep fails if any injected fault escapes as a panic, comes
+# back without naming its site, produces non-finite output, or if a
+# registered site is missing from the sweep table.
+faults:
+	$(GO) test ./internal/faults/ ./internal/pool/ ./internal/randsvd/ -count 1
+	$(GO) test -race ./internal/core/ -run 'TestFaultSweep' -v -count 1
 
 bench:
 	$(GO) test -bench=. -benchmem

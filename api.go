@@ -31,6 +31,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -105,10 +106,28 @@ func Decompose(x *Tensor, opts Options) (*Decomposition, error) {
 	return core.Decompose(x, opts)
 }
 
+// DecomposeContext is Decompose under a cancellation context: a done ctx
+// stops the run at the next slice, factor, or sweep boundary, joins every
+// worker goroutine, and returns a *CancelledError naming the interrupted
+// phase (errors.Is context.Canceled / DeadlineExceeded both hold). It is
+// equivalent to setting Options.Context.
+func DecomposeContext(ctx context.Context, x *Tensor, opts Options) (*Decomposition, error) {
+	opts.Context = ctx
+	return core.Decompose(x, opts)
+}
+
 // Approximate runs only the approximation phase — the single pass over the
 // raw tensor — returning a compressed representation whose Decompose method
 // runs the remaining phases.
 func Approximate(x *Tensor, opts Options) (*Approximation, error) {
+	return core.Approximate(x, opts)
+}
+
+// ApproximateContext is Approximate under a cancellation context, observed
+// at every slice-compression boundary. The context is retained in the
+// returned Approximation's options, so its Decompose honours it too.
+func ApproximateContext(ctx context.Context, x *Tensor, opts Options) (*Approximation, error) {
+	opts.Context = ctx
 	return core.Approximate(x, opts)
 }
 
@@ -131,5 +150,12 @@ func NewWorkerPool(size int) *WorkerPool { return pool.New(size) }
 // (1 − eps²) fraction of its energy, capped at maxRank. It returns the
 // decomposition and the chosen ranks; opts.Ranks is ignored.
 func DecomposeAdaptive(x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	return core.DecomposeAdaptive(x, eps, maxRank, opts)
+}
+
+// DecomposeAdaptiveContext is DecomposeAdaptive under a cancellation
+// context; see DecomposeContext for the cancellation contract.
+func DecomposeAdaptiveContext(ctx context.Context, x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	opts.Context = ctx
 	return core.DecomposeAdaptive(x, eps, maxRank, opts)
 }

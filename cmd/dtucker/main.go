@@ -7,12 +7,18 @@
 //
 //	dtucker -in x.ten -ranks 10,10,10 [-out prefix] [-tol 1e-4]
 //	        [-maxiters 100] [-slicerank 0] [-workers 1]
-//	        [-seed 0] [-exact-error]
+//	        [-seed 0] [-exact-error] [-timeout 0]
 //	        [-metrics] [-metrics-json file] [-trace] [-debug-addr host:port]
 //	        [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
 //
 // With -method other than d-tucker the same tensor is decomposed by the
 // selected baseline, making the binary a one-stop comparison tool.
+//
+// Cancellation: Ctrl-C (SIGINT), SIGTERM, or an expired -timeout stop a
+// d-tucker run cooperatively at the next slice or sweep boundary, with all
+// worker goroutines joined. An interrupted run prints the phase it was in
+// and exits with code 3 (0 success, 1 error, 2 usage). Baseline methods have
+// no cancellation hooks and run to completion.
 //
 // Observability: -metrics prints a per-phase table (wall time, SVD/QR/matmul
 // counts, flop estimate, allocation); -metrics-json dumps the same report
@@ -23,23 +29,32 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dterr"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/workload"
 )
+
+// exitInterrupted is the exit code of a run stopped by SIGINT/SIGTERM or
+// -timeout, distinct from usage errors (2) and other failures (1).
+const exitInterrupted = 3
 
 func main() {
 	var (
@@ -53,6 +68,7 @@ func main() {
 		matWorkers = flag.Int("mat-workers", 0, "deprecated alias for -workers; for baseline methods it sizes the process-default kernel pool")
 		seed       = flag.Int64("seed", 0, "random seed for the sketches")
 		exactError = flag.Bool("exact-error", false, "also compute the exact relative error (extra pass over the tensor)")
+		timeout    = flag.Duration("timeout", 0, "abort the decomposition after this duration (0 = no limit); exits with code 3 like Ctrl-C")
 		method     = flag.String("method", bench.DTucker, "method: "+strings.Join(bench.Methods, ", "))
 
 		showMetrics = flag.Bool("metrics", false, "print a per-phase metrics table (wall time, SVD/flop counts, allocation)")
@@ -106,10 +122,20 @@ func main() {
 	}
 	fmt.Printf("loaded %s: shape %v (%.2f MF)\n", *in, x.Shape(), float64(x.Len())/1e6)
 
+	// Ctrl-C / SIGTERM (and -timeout, when set) cancel the decomposition
+	// cooperatively through Options.Context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *method != bench.DTucker {
 		runBaseline(x, *method, ranks, *tol, *maxIters, *seed, col != nil)
 	} else {
-		runDTucker(x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
+		runDTucker(ctx, x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
 	}
 
 	// The per-phase breakdown only exists for D-Tucker itself; baselines
@@ -128,9 +154,10 @@ func main() {
 	}
 }
 
-func runDTucker(x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) {
+func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) {
 	dec, err := core.Decompose(x, core.Options{
 		Ranks:     ranks,
+		Context:   ctx,
 		SliceRank: sliceRank,
 		Tol:       tol,
 		MaxIters:  maxIters,
@@ -247,6 +274,11 @@ func parseRanks(s string) ([]int, error) {
 }
 
 func fatal(err error) {
+	var c *dterr.CancelledError
+	if errors.As(err, &c) {
+		fmt.Fprintf(os.Stderr, "dtucker: interrupted during %s phase: %v\n", c.Phase, c.Err)
+		os.Exit(exitInterrupted)
+	}
 	fmt.Fprintf(os.Stderr, "dtucker: %v\n", err)
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -76,5 +77,20 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "hosvd:") {
 		t.Fatalf("baseline output:\n%s", out)
+	}
+
+	// A timed-out run must exit with the distinct interrupted code (3) and
+	// name the phase it was in. 1ns expires before the first slice, so the
+	// approximation phase is always the one reported.
+	out, err = exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-timeout", "1ns").CombinedOutput()
+	var xerr *exec.ExitError
+	if !errors.As(err, &xerr) {
+		t.Fatalf("timed-out run: err = %v (want exit error)\n%s", err, out)
+	}
+	if code := xerr.ExitCode(); code != 3 {
+		t.Fatalf("timed-out run exit code %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "interrupted during approximation phase") {
+		t.Fatalf("timed-out output missing phase report:\n%s", out)
 	}
 }

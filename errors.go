@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"repro/internal/dterr"
+)
+
+// The error taxonomy of the library, re-exported from the internal leaf
+// package so downstream errors.Is / errors.As checks work against the exact
+// values every layer wraps.
+//
+// Every exported entry point rejects malformed input with an error wrapping
+// ErrInvalidInput and data containing NaN/±Inf with one wrapping
+// ErrNonFiniteInput, instead of panicking. A run cancelled through
+// Options.Context (or the *Context entry points) returns a *CancelledError
+// naming the interrupted phase, which also satisfies
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded. A panic
+// contained in a worker goroutine or at an entry point surfaces as a
+// *PanicError wrapping ErrPanic, carrying the original panic value and
+// stack — never a process crash.
+var (
+	// ErrInvalidInput marks a malformed argument rejected up front:
+	// mismatched Ranks length, non-positive ranks, nil tensors, stream
+	// chunk shape mismatches, invalid query ranges.
+	ErrInvalidInput = dterr.ErrInvalidInput
+	// ErrNonFiniteInput marks input data containing NaN or ±Inf, rejected
+	// at every boundary that admits raw data (Decompose, Approximate,
+	// Stream.Append, ReadTensor/LoadTensor).
+	ErrNonFiniteInput = dterr.ErrNonFiniteInput
+	// ErrNumericalBreakdown marks a numerical kernel failure (non-finite
+	// randomized sketch, zero-norm sketch column, non-converging SVD). The
+	// randomized SVD layer recovers from it with a deterministic dense-SVD
+	// fallback; an escaping ErrNumericalBreakdown means the fallback failed
+	// too.
+	ErrNumericalBreakdown = dterr.ErrNumericalBreakdown
+	// ErrPanic is wrapped by every contained panic (*PanicError).
+	ErrPanic = dterr.ErrPanic
+)
+
+// CancelledError reports that a run observed context cancellation at a
+// slice, factor, or sweep boundary; Phase names the interrupted phase
+// ("approximation", "initialization", "iteration").
+type CancelledError = dterr.CancelledError
+
+// PanicError is a panic converted to an error at a containment boundary (a
+// worker-pool goroutine or an exported entry point), carrying the panic
+// value and the goroutine stack captured at recovery time.
+type PanicError = dterr.PanicError

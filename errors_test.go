@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/tensor"
+)
+
+// TestPublicErrorTaxonomy proves the re-exported sentinels are the ones the
+// pipeline actually wraps, so downstream errors.Is / errors.As checks work
+// through the public surface alone.
+func TestPublicErrorTaxonomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandN(rng, 8, 7, 6)
+
+	t.Run("invalid input", func(t *testing.T) {
+		_, err := repro.Decompose(x, repro.Options{Ranks: []int{3, 3}})
+		if !errors.Is(err, repro.ErrInvalidInput) {
+			t.Fatalf("err = %v, want ErrInvalidInput", err)
+		}
+		if err := repro.NewStream(repro.Options{Ranks: []int{3, 3, 3}}).Append(nil); !errors.Is(err, repro.ErrInvalidInput) {
+			t.Fatalf("err = %v, want ErrInvalidInput", err)
+		}
+	})
+
+	t.Run("non-finite input", func(t *testing.T) {
+		bad := tensor.RandN(rng, 8, 7, 6)
+		bad.Set(math.NaN(), 0, 0, 0)
+		_, err := repro.Decompose(bad, repro.Options{Ranks: []int{3, 3, 3}})
+		if !errors.Is(err, repro.ErrNonFiniteInput) {
+			t.Fatalf("err = %v, want ErrNonFiniteInput", err)
+		}
+	})
+
+	t.Run("non-finite serialized data", func(t *testing.T) {
+		bad := repro.NewTensor(2, 2)
+		bad.Set(math.Inf(1), 1, 1)
+		var buf bytes.Buffer
+		if err := bad.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err := repro.ReadTensor(&buf)
+		if !errors.Is(err, repro.ErrNonFiniteInput) {
+			t.Fatalf("err = %v, want ErrNonFiniteInput", err)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := repro.DecomposeContext(ctx, x, repro.Options{Ranks: []int{3, 3, 3}})
+		var c *repro.CancelledError
+		if !errors.As(err, &c) {
+			t.Fatalf("err = %v (%T), want *CancelledError", err, err)
+		}
+		if c.Phase != "approximation" {
+			t.Fatalf("interrupted phase %q, want approximation", c.Phase)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v does not satisfy errors.Is(context.Canceled)", err)
+		}
+		if _, err := repro.ApproximateContext(ctx, x, repro.Options{Ranks: []int{3, 3, 3}}); !errors.As(err, &c) {
+			t.Fatalf("ApproximateContext err = %v, want *CancelledError", err)
+		}
+		if _, _, err := repro.DecomposeAdaptiveContext(ctx, x, 0.1, 4, repro.Options{}); !errors.As(err, &c) {
+			t.Fatalf("DecomposeAdaptiveContext err = %v, want *CancelledError", err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/dterr"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/randsvd"
@@ -20,12 +21,13 @@ import (
 // This answers the practical question the paper's fixed-rank protocol
 // leaves open ("which J do I pick?") and is labelled an extension in
 // DESIGN.md.
-func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error) {
+func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) (_ []int, err error) {
+	defer dterr.RecoverTo(&err, "core.Approximation.RanksForEnergy")
 	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("core: energy tolerance %g outside (0,1)", eps)
+		return nil, fmt.Errorf("core: energy tolerance %g outside (0,1): %w", eps, dterr.ErrInvalidInput)
 	}
 	if maxRank <= 0 {
-		return nil, fmt.Errorf("core: non-positive maxRank %d", maxRank)
+		return nil, fmt.Errorf("core: non-positive maxRank %d: %w", maxRank, dterr.ErrInvalidInput)
 	}
 	// Rank exploration is initialization-phase work: it runs on the
 	// compressed slices to pick the subspace dimensions.
@@ -72,7 +74,10 @@ func (ap *Approximation) RanksForEnergy(eps float64, maxRank int) ([]int, error)
 		if err != nil {
 			return nil, err
 		}
-		w := ap.projectedTensor(a1, a2)
+		w, err := ap.projectedTensor("initialization", a1, a2)
+		if err != nil {
+			return nil, err
+		}
 		wNorm := w.Norm()
 		wTotal := wNorm * wNorm
 		for n := 2; n < order; n++ {
@@ -123,10 +128,13 @@ func leadingValuesOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) ([]
 		}
 		return res.S, nil
 	}
-	res, err := randsvd.SVD(y, k, randsvd.Options{
+	// Negative fault key: keyed plans target slice indices (≥ 0), not the
+	// spectrum estimates.
+	res, _, err := randsvd.SVDWithFallback(y, k, randsvd.Options{
 		Oversampling: opts.Oversampling,
 		PowerIters:   opts.PowerIters,
 		Rng:          rng,
+		FaultKey:     -1,
 	})
 	if err != nil {
 		return nil, err
@@ -169,8 +177,11 @@ func unfoldingSpectrum(w *tensor.Dense, n, k int) ([]float64, error) {
 // retains (1 − eps²) of its energy (capped at maxRank), and the remaining
 // phases run at those ranks. opts.Ranks is ignored.
 func DecomposeAdaptive(x *tensor.Dense, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	if x == nil {
+		return nil, nil, fmt.Errorf("core: nil tensor: %w", dterr.ErrInvalidInput)
+	}
 	if maxRank <= 0 {
-		return nil, nil, fmt.Errorf("core: non-positive maxRank %d", maxRank)
+		return nil, nil, fmt.Errorf("core: non-positive maxRank %d: %w", maxRank, dterr.ErrInvalidInput)
 	}
 	provisional := make([]int, x.Order())
 	for n := range provisional {

@@ -5,14 +5,19 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
+	"repro/internal/dterr"
+	"repro/internal/faults"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/pool"
 	"repro/internal/randsvd"
 	"repro/internal/tensor"
 )
+
+// siteApproxSlice is the fault-injection hook covering each slice
+// compression of the approximation phase (no-op unless a test arms it).
+var siteApproxSlice = faults.NewSite("core.approx.slice")
 
 // SliceSVD is the rank-r compression of one I1×I2 frontal slice:
 // X_l ≈ U·diag(S)·Vᵀ.
@@ -112,12 +117,23 @@ func isIdentityPerm(p []int) bool {
 //
 // This is the only phase that reads the raw tensor; its output is the
 // compressed representation every later phase works from.
-func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
-	if x.Order() < 2 {
-		return nil, fmt.Errorf("core: D-Tucker requires an order ≥ 2 tensor, got order %d", x.Order())
+func Approximate(x *tensor.Dense, opts Options) (_ *Approximation, err error) {
+	defer dterr.RecoverTo(&err, "core.Approximate")
+	if x == nil {
+		return nil, fmt.Errorf("core: nil tensor: %w", dterr.ErrInvalidInput)
 	}
-	opts, err := opts.withDefaults(x.Order())
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("core: D-Tucker requires an order ≥ 2 tensor, got order %d: %w",
+			x.Order(), dterr.ErrInvalidInput)
+	}
+	if !x.IsFinite() {
+		return nil, fmt.Errorf("core: input tensor contains NaN or Inf: %w", dterr.ErrNonFiniteInput)
+	}
+	opts, err = opts.withDefaults(x.Order())
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.cancelled("approximation"); err != nil {
 		return nil, err
 	}
 
@@ -166,7 +182,7 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 	}
 	// Slices are gathered straight from x's storage (no materialized
 	// permutation) and compressed.
-	ap.Slices, err = compressSlices(x, perm, r, opts, ap.pl)
+	ap.Slices, err = compressSlices(x, perm, r, 0, opts, ap.pl)
 	col.EndPhase(metrics.PhaseApprox)
 	if err != nil {
 		return nil, err
@@ -177,52 +193,55 @@ func Approximate(x *tensor.Dense, opts Options) (*Approximation, error) {
 // compressSlices runs the per-slice randomized SVDs in the mode order
 // given by perm, one pool task per slice. Slice l always draws from a
 // generator seeded Seed+l and writes only its own entry, so the result is
-// identical regardless of Workers.
-func compressSlices(x *tensor.Dense, perm []int, r int, opts Options, pl *pool.Pool) ([]SliceSVD, error) {
+// identical regardless of Workers. keyBase offsets the fault-injection keys
+// (streams pass their running slice count so keys stay absolute). A failed
+// or cancelled region drains before returning — no slice is half-written.
+func compressSlices(x *tensor.Dense, perm []int, r int, keyBase int64, opts Options, pl *pool.Pool) ([]SliceSVD, error) {
 	ns := 1
 	for _, p := range perm[2:] {
 		ns *= x.Dim(p)
 	}
 	slices := make([]SliceSVD, ns)
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	pl.Run(ns, func(_, l int) {
-		res, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, opts)
+	err := pl.Run(opts.Context, ns, func(_, l int) error {
+		if err := siteApproxSlice.Inject(); err != nil {
+			return fmt.Errorf("core: compressing slice %d: %w", l, err)
+		}
+		res, fell, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, keyBase, opts)
 		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: compressing slice %d: %w", l, err)
-			}
-			mu.Unlock()
-			return
+			return fmt.Errorf("core: compressing slice %d: %w", l, err)
+		}
+		if fell {
+			opts.Metrics.Tracef("slice %d: randomized SVD broke down, dense fallback used", l)
 		}
 		slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
 		metrics.CountSliceSVD()
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, wrapCancel("approximation", err)
 	}
 	return slices, nil
 }
 
 // sliceSVD compresses one slice to rank r, with either the randomized
 // (default) or exact path, drawing randomness from a per-slice seed so the
-// result is independent of worker scheduling.
-func sliceSVD(slice *mat.Dense, r, l int, opts Options) (mat.SVDResult, error) {
+// result is independent of worker scheduling. The randomized path runs
+// behind the retry-then-dense-SVD recovery chain; the second return reports
+// whether the dense fallback produced the result.
+func sliceSVD(slice *mat.Dense, r, l int, keyBase int64, opts Options) (mat.SVDResult, bool, error) {
 	if opts.ExactSliceSVD {
 		res, err := mat.SVD(slice)
 		if err != nil {
-			return mat.SVDResult{}, err
+			return mat.SVDResult{}, false, err
 		}
-		return res.Truncate(r), nil
+		return res.Truncate(r), false, nil
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + int64(l)))
-	return randsvd.SVD(slice, r, randsvd.Options{
+	return randsvd.SVDWithFallback(slice, r, randsvd.Options{
 		Oversampling: opts.Oversampling,
 		PowerIters:   opts.PowerIters,
 		Rng:          rng,
+		FaultKey:     keyBase + int64(l),
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dterr"
 	"repro/internal/mat"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
@@ -55,7 +56,8 @@ func Decompose(x *tensor.Dense, opts Options) (*Decomposition, error) {
 // approximation. Reusing one Approximation across calls amortizes the only
 // phase that reads the raw tensor — the pattern the ablation experiments
 // measure.
-func (ap *Approximation) Decompose() (*Decomposition, error) {
+func (ap *Approximation) Decompose() (_ *Decomposition, err error) {
+	defer dterr.RecoverTo(&err, "core.Approximation.Decompose")
 	t0 := time.Now()
 	factors, err := ap.initFactors()
 	if err != nil {

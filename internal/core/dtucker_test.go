@@ -405,8 +405,14 @@ func TestParallelIterationMatchesSequential(t *testing.T) {
 		fs[n] = mat.RandOrthonormal(seqAp.Shape[n], 3, r)
 	}
 	for mode := 0; mode < 2; mode++ {
-		seq := seqAp.accumulateSliceMode(mode, fs)
-		par := parAp.accumulateSliceMode(mode, fs)
+		seq, err := seqAp.accumulateSliceMode(mode, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parAp.accumulateSliceMode(mode, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !bitIdentical(seq.Data(), par.Data()) {
 			t.Fatalf("mode %d: parallel accumulation disagrees with sequential", mode)
 		}

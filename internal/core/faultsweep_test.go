@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/dterr"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// sweepPlan describes how the fault sweep arms one registered hook site.
+type sweepPlan struct {
+	plan  faults.Plan
+	modes []faults.Mode
+	// surface marks Inject sites, whose fault must come back as an error;
+	// Fire/FireKey sites corrupt state instead and the randsvd recovery
+	// chain (retry, then dense fallback) absorbs them, so their runs must
+	// complete with finite output.
+	surface bool
+}
+
+// sweepPlans maps every registered site to its sweep configuration. The
+// sweep fails on any site missing here, so adding a hook point forces a
+// decision about how it is covered.
+func sweepPlans() map[string]sweepPlan {
+	both := []faults.Mode{faults.ModeError, faults.ModePanic}
+	one := faults.Plan{Count: 1}
+	return map[string]sweepPlan{
+		"pool.task":         {plan: one, modes: both, surface: true},
+		"core.approx.slice": {plan: one, modes: both, surface: true},
+		"core.init.factor":  {plan: one, modes: both, surface: true},
+		"core.iter.sweep":   {plan: one, modes: both, surface: true},
+		// The sketch site is keyed (slice identity), the SVD site
+		// hit-ordered; both ignore Mode.
+		"randsvd.sketch": {plan: faults.Plan{Keys: []int64{0}, Count: -1}, modes: []faults.Mode{faults.ModeError}},
+		"randsvd.svd":    {plan: faults.Plan{Count: 1}, modes: []faults.Mode{faults.ModeError}},
+	}
+}
+
+// wantInjected asserts err is the fault we planted: errors.Is-able against
+// ErrInjected, naming the site, and — for panic-mode injections — also
+// class-checkable as a contained panic.
+func wantInjected(t *testing.T, err error, site string, mode faults.Mode) {
+	t.Helper()
+	if !errors.Is(err, dterr.ErrInjected) {
+		t.Fatalf("err = %v, want a fault injected at %q", err, site)
+	}
+	if !strings.Contains(err.Error(), site) {
+		t.Fatalf("error %q does not name the hook site %q", err, site)
+	}
+	if mode == faults.ModePanic && !errors.Is(err, dterr.ErrPanic) {
+		t.Fatalf("panic-mode fault surfaced without ErrPanic in its chain: %v", err)
+	}
+}
+
+// checkModel asserts a decomposition that completed despite an armed fault
+// produced only finite numbers.
+func checkModel(t *testing.T, dec *Decomposition) {
+	t.Helper()
+	if dec == nil {
+		t.Fatal("nil decomposition without error")
+	}
+	if !dec.Core.IsFinite() {
+		t.Fatal("core contains NaN/Inf after absorbed fault")
+	}
+	for n, f := range dec.Factors {
+		if !f.IsFinite() {
+			t.Fatalf("factor %d contains NaN/Inf after absorbed fault", n)
+		}
+	}
+}
+
+// TestFaultSweep arms every registered hook point in turn — in error mode
+// and, for Inject sites, panic mode — and drives both a plain decomposition
+// and a streaming Append+Decompose through it. Whatever the site, the
+// outcome must be one of exactly two things: a clean error naming the site,
+// or a completed run with finite output. An escaped panic fails the test
+// (and a worker-goroutine panic escaping containment would crash the test
+// binary, which is the point of the sweep).
+func TestFaultSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := lowRankTensor(rng, 0.05, 3, 12, 10, 6)
+	chunk := lowRankTensor(rng, 0.05, 3, 12, 10, 4)
+	plans := sweepPlans()
+
+	prevEnabled := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prevEnabled)
+	defer faults.Reset()
+	before := runtime.NumGoroutine()
+
+	for _, site := range faults.Sites() {
+		sp, ok := plans[site]
+		if !ok {
+			t.Fatalf("site %q is registered but not covered by the sweep; add it to sweepPlans", site)
+		}
+		for _, mode := range sp.modes {
+			plan := sp.plan
+			plan.Mode = mode
+
+			t.Run(fmt.Sprintf("%s/%s/decompose", site, mode), func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("injected fault escaped as a panic: %v", r)
+					}
+				}()
+				faults.Reset()
+				if err := faults.Activate(site, plan); err != nil {
+					t.Fatal(err)
+				}
+				defer faults.Reset()
+				base := metrics.Snapshot()
+				dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 4, Workers: 2, MaxIters: 8})
+				if err != nil {
+					wantInjected(t, err, site, mode)
+					return
+				}
+				if sp.surface {
+					t.Fatalf("fault at %q never surfaced", site)
+				}
+				checkModel(t, dec)
+				// Recovery must actually have happened, proving the site is
+				// on the executed path and not silently skipped.
+				if d := metrics.Snapshot().Sub(base); d.RandSVDRetries+d.RandSVDFallbacks == 0 {
+					t.Fatalf("fault at %q absorbed without any retry/fallback recorded", site)
+				}
+			})
+
+			t.Run(fmt.Sprintf("%s/%s/stream", site, mode), func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("injected fault escaped as a panic: %v", r)
+					}
+				}()
+				faults.Reset()
+				if err := faults.Activate(site, plan); err != nil {
+					t.Fatal(err)
+				}
+				defer faults.Reset()
+				s := NewStream(Options{Ranks: []int{3, 3, 2}, Seed: 4, Workers: 2, MaxIters: 8})
+				if err := s.Append(chunk); err != nil {
+					wantInjected(t, err, site, mode)
+					if s.Len() != 0 {
+						t.Fatalf("failed Append left %d slices behind", s.Len())
+					}
+					return
+				}
+				dec, err := s.Decompose()
+				if err != nil {
+					wantInjected(t, err, site, mode)
+					return
+				}
+				if sp.surface {
+					t.Fatalf("fault at %q never surfaced from the stream", site)
+				}
+				checkModel(t, dec)
+			})
+		}
+	}
+
+	settleGoroutines(t, before)
+}

@@ -28,8 +28,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/dterr"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -40,6 +43,15 @@ type Options struct {
 	// Ranks holds the target core dimensionalities J_n, one per mode of
 	// the input tensor, in the input's original mode order. Required.
 	Ranks []int
+
+	// Context, when non-nil, cancels the decomposition cooperatively: it is
+	// checked at every per-slice boundary of the approximation phase, every
+	// per-factor boundary of the initialization phase, and every sweep
+	// boundary of the iteration phase. A cancelled run returns a
+	// dterr.CancelledError naming the interrupted phase and wrapping the
+	// context's error (errors.Is context.Canceled / DeadlineExceeded), with
+	// all worker goroutines joined before the call returns.
+	Context context.Context
 
 	// SliceRank r is the rank of the per-slice randomized SVDs in the
 	// approximation phase. Zero selects max(J of the two slice modes),
@@ -109,11 +121,12 @@ type Options struct {
 
 func (o Options) withDefaults(order int) (Options, error) {
 	if len(o.Ranks) != order {
-		return o, fmt.Errorf("core: %d ranks for an order-%d tensor", len(o.Ranks), order)
+		return o, fmt.Errorf("core: %d ranks for an order-%d tensor: %w",
+			len(o.Ranks), order, dterr.ErrInvalidInput)
 	}
 	for n, j := range o.Ranks {
 		if j <= 0 {
-			return o, fmt.Errorf("core: non-positive rank %d for mode %d", j, n)
+			return o, fmt.Errorf("core: non-positive rank %d for mode %d: %w", j, n, dterr.ErrInvalidInput)
 		}
 	}
 	if o.Tol == 0 {
@@ -123,10 +136,13 @@ func (o Options) withDefaults(order int) (Options, error) {
 		o.MaxIters = 100
 	}
 	if o.MaxIters < 0 {
-		return o, fmt.Errorf("core: negative MaxIters %d", o.MaxIters)
+		return o, fmt.Errorf("core: negative MaxIters %d: %w", o.MaxIters, dterr.ErrInvalidInput)
 	}
 	if o.Oversampling == 0 {
 		o.Oversampling = 5
+	}
+	if o.Oversampling < 0 {
+		o.Oversampling = 0
 	}
 	if o.PowerIters == 0 {
 		o.PowerIters = 1
@@ -138,6 +154,33 @@ func (o Options) withDefaults(order int) (Options, error) {
 		o.Workers = o.Pool.Size()
 	}
 	return o, nil
+}
+
+// cancelled returns the phase-tagged cancellation error when the options'
+// context is done, nil otherwise. Phase boundaries call it so a cancelled
+// run stops within one slice/sweep of the signal.
+func (o Options) cancelled(phase string) error {
+	if o.Context != nil && o.Context.Err() != nil {
+		return dterr.Cancelled(phase, o.Context.Err())
+	}
+	return nil
+}
+
+// wrapCancel tags a context error surfaced by a parallel region with the
+// phase it interrupted; errors already phase-tagged, and all non-context
+// errors, pass through unchanged.
+func wrapCancel(phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var tagged *dterr.CancelledError
+	if errors.As(err, &tagged) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return dterr.Cancelled(phase, err)
+	}
+	return err
 }
 
 // newPool returns the decomposition's execution pool: the caller-supplied

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/randsvd"
@@ -11,9 +12,18 @@ import (
 	"repro/internal/tucker"
 )
 
+// Fault-injection hooks at the remaining phase boundaries (no-ops unless a
+// test arms them): one per factor computed during initialization, one per
+// ALS sweep.
+var (
+	siteInitFactor = faults.NewSite("core.init.factor")
+	siteIterSweep  = faults.NewSite("core.iter.sweep")
+)
+
 // initFactors runs the initialization phase in reordered mode space:
 // A(1) from the stacked [U_l·S_l], A(2) from the stacked [V_l·S_l], and
 // the remaining modes from a truncated HOSVD of the projected tensor W.
+// Cancellation is observed between factors.
 func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 	col := ap.opts.Metrics
 	col.StartPhase(metrics.PhaseInit)
@@ -27,6 +37,9 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 	factors := make([]*mat.Dense, order)
 
 	// A(1) ← leading J1 left singular vectors of [U_1S_1 … U_LS_L].
+	if err := ap.initBoundary(); err != nil {
+		return nil, err
+	}
 	y1 := mat.New(i1, L*r)
 	for l, s := range ap.Slices {
 		writeScaledBlock(y1, s.U, s.S, l*r)
@@ -38,6 +51,9 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 	factors[0] = a1
 
 	// A(2) ← leading J2 left singular vectors of [V_1S_1 … V_LS_L].
+	if err := ap.initBoundary(); err != nil {
+		return nil, err
+	}
 	y2 := mat.New(i2, L*r)
 	for l, s := range ap.Slices {
 		writeScaledBlock(y2, s.V, s.S, l*r)
@@ -50,8 +66,14 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 
 	// Remaining modes from the small projected tensor W (truncated HOSVD).
 	if order > 2 {
-		w := ap.projectedTensor(a1, a2)
+		w, err := ap.projectedTensor("initialization", a1, a2)
+		if err != nil {
+			return nil, err
+		}
 		for n := 2; n < order; n++ {
+			if err := ap.initBoundary(); err != nil {
+				return nil, err
+			}
 			f, err := mat.LeadingLeft(w.Unfold(n), ap.Ranks[n], ap.opts.Leading)
 			if err != nil {
 				return nil, fmt.Errorf("core: initializing mode-%d factor: %w", n+1, err)
@@ -60,6 +82,18 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 		}
 	}
 	return factors, nil
+}
+
+// initBoundary is the per-factor boundary of the initialization phase:
+// cancellation check plus the core.init.factor fault hook.
+func (ap *Approximation) initBoundary() error {
+	if err := ap.opts.cancelled("initialization"); err != nil {
+		return err
+	}
+	if err := siteInitFactor.Inject(); err != nil {
+		return fmt.Errorf("core: initialization: %w", err)
+	}
+	return nil
 }
 
 // writeScaledBlock writes u·diag(s) into dst starting at column col0.
@@ -83,10 +117,13 @@ func leadingOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) (*mat.Den
 	if cols <= 3*k+8 || rows*cols < 1<<14 {
 		return mat.LeadingLeft(y, k, opts.Leading)
 	}
-	res, err := randsvd.SVD(y, k, randsvd.Options{
+	// Stack keys are negative so keyed fault plans aimed at slice indices
+	// (which are ≥ 0) never hit the initialization stacks.
+	res, _, err := randsvd.SVDWithFallback(y, k, randsvd.Options{
 		Oversampling: opts.Oversampling,
 		PowerIters:   opts.PowerIters,
 		Rng:          rng,
+		FaultKey:     -1,
 	})
 	if err != nil {
 		return nil, err
@@ -103,20 +140,22 @@ func leadingOfStack(y *mat.Dense, k int, rng *rand.Rand, opts Options) (*mat.Den
 // W_l = (A(1)ᵀU_l)·diag(S_l)·(V_lᵀA(2)) — the whole input projected into
 // the current mode-1/2 subspaces, computed purely from the compressed
 // slices.
-func (ap *Approximation) projectedTensor(a1, a2 *mat.Dense) *tensor.Dense {
+func (ap *Approximation) projectedTensor(phase string, a1, a2 *mat.Dense) (*tensor.Dense, error) {
 	shape := append([]int{a1.Cols(), a2.Cols()}, ap.Shape[2:]...)
 	w := tensor.New(shape...)
 	// One pool task per slice; slice l writes only its own frontal block of
-	// w, so the result is identical for every pool size.
+	// w, so the result is identical for every pool size. phase tags a
+	// cancellation observed inside the region (initialization and iteration
+	// both build projected tensors).
 	pl := ap.workerPool()
-	if pl.Size() <= 1 {
-		for l := range ap.Slices {
-			ap.projectSlice(w, l, a1, a2)
-		}
-		return w
+	err := pl.Run(ap.opts.Context, len(ap.Slices), func(_, l int) error {
+		ap.projectSlice(w, l, a1, a2)
+		return nil
+	})
+	if err != nil {
+		return nil, wrapCancel(phase, err)
 	}
-	pl.Run(len(ap.Slices), func(_, l int) { ap.projectSlice(w, l, a1, a2) })
-	return w
+	return w, nil
 }
 
 // projectSlice computes W_l = (A(1)ᵀU_l)·diag(S_l)·(V_lᵀA(2)) and stores it
@@ -331,20 +370,41 @@ func (ap *Approximation) accRowRange(sc *accScratch, mode, worker, lo, hi int) {
 // The returned matrix is pool-owned scratch: it is valid until the next
 // accumulateSliceMode call for the same mode (callers consume it
 // immediately via mat.LeadingLeft).
-func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) *mat.Dense {
+func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) (*mat.Dense, error) {
 	sc := ap.accScratchFor(mode, factors)
 	pl := ap.workerPool()
+	ctx := ap.opts.Context
 	L := len(ap.Slices)
 	if pl.Size() <= 1 {
+		// Inline serial path: same loops, no closures, so steady-state
+		// sweeps stay allocation-free. Cancellation is still observed at
+		// every slice boundary.
 		for l := 0; l < L; l++ {
+			if err := ap.opts.cancelled("iteration"); err != nil {
+				return nil, err
+			}
 			ap.accProjectSlice(sc, mode, factors, 0, l)
 		}
+		if err := ap.opts.cancelled("iteration"); err != nil {
+			return nil, err
+		}
 		ap.accRowRange(sc, mode, 0, 0, sc.rows)
-		return sc.y
+		return sc.y, nil
 	}
-	pl.Run(L, func(worker, l int) { ap.accProjectSlice(sc, mode, factors, worker, l) })
-	pl.RunRanges(sc.rows, pl.Size(), func(worker, lo, hi int) { ap.accRowRange(sc, mode, worker, lo, hi) })
-	return sc.y
+	err := pl.Run(ctx, L, func(worker, l int) error {
+		ap.accProjectSlice(sc, mode, factors, worker, l)
+		return nil
+	})
+	if err == nil {
+		err = pl.RunRanges(ctx, sc.rows, pl.Size(), func(worker, lo, hi int) error {
+			ap.accRowRange(sc, mode, worker, lo, hi)
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, wrapCancel("iteration", err)
+	}
+	return sc.y, nil
 }
 
 func scaleRows(m *mat.Dense, s []float64) {
@@ -378,10 +438,21 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 		converged bool
 	)
 	for iters = 1; iters <= ap.opts.MaxIters; iters++ {
+		// Sweep boundary: a cancelled run stops here, before the next sweep
+		// touches any scratch, and the core.iter.sweep fault hook fires.
+		if err := ap.opts.cancelled("iteration"); err != nil {
+			return nil, 0, iters, false, err
+		}
+		if err := siteIterSweep.Inject(); err != nil {
+			return nil, 0, iters, false, fmt.Errorf("core: sweep %d: %w", iters, err)
+		}
 		// Modes 1 and 2: leading left singular vectors of the slice-based
 		// accumulation.
 		for mode := 0; mode < 2; mode++ {
-			y := ap.accumulateSliceMode(mode, factors)
+			y, err := ap.accumulateSliceMode(mode, factors)
+			if err != nil {
+				return nil, 0, iters, false, err
+			}
 			f, err := mat.LeadingLeft(y, ap.Ranks[mode], ap.opts.Leading)
 			if err != nil {
 				return nil, 0, iters, false, fmt.Errorf("core: updating mode-%d factor: %w", mode+1, err)
@@ -389,7 +460,10 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 			factors[mode] = f
 		}
 		// Remaining modes and the core from the small projected tensor.
-		w := ap.projectedTensor(factors[0], factors[1])
+		w, err := ap.projectedTensor("iteration", factors[0], factors[1])
+		if err != nil {
+			return nil, 0, iters, false, err
+		}
 		for n := 2; n < order; n++ {
 			y := w
 			for k := 2; k < order; k++ {

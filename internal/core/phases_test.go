@@ -53,7 +53,10 @@ func TestProjectedTensorMatchesDense(t *testing.T) {
 	ap := exactApproximation(t, x, ranks)
 	fs := randomFactors(rng, x.Shape(), ranks)
 
-	got := ap.projectedTensor(fs[0], fs[1])
+	got, err := ap.projectedTensor("initialization", fs[0], fs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := x.ModeProduct(fs[0].T(), 0).ModeProduct(fs[1].T(), 1)
 	if !got.EqualApprox(want, 1e-9) {
 		t.Fatal("projectedTensor disagrees with dense projection")
@@ -73,7 +76,10 @@ func TestAccumulateSliceModeMatchesDense(t *testing.T) {
 		ap := exactApproximation(t, x, ranks)
 		fs := randomFactors(rng, shape, ranks)
 		for mode := 0; mode < 2; mode++ {
-			got := ap.accumulateSliceMode(mode, fs)
+			got, err := ap.accumulateSliceMode(mode, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := x.TTMAllTransposed(fs, mode).Unfold(mode)
 			if !got.EqualApprox(want, 1e-9) {
 				t.Fatalf("shape %v mode %d: slice accumulation disagrees with dense", shape, mode)

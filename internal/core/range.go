@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/dterr"
 )
 
 // DecomposeRange produces the Tucker model of the sub-tensor covering time
@@ -17,18 +19,21 @@ import (
 // contiguous run of compressed slices, and the initialization + iteration
 // phases run on that subset directly. The query cost is proportional to the
 // range length, not the stream length. Labelled an extension in DESIGN.md.
-func (s *Stream) DecomposeRange(t0, t1 int) (*Decomposition, error) {
+func (s *Stream) DecomposeRange(t0, t1 int) (_ *Decomposition, err error) {
+	defer dterr.RecoverTo(&err, "core.Stream.DecomposeRange")
 	if s.shape == nil {
-		return nil, fmt.Errorf("core: DecomposeRange on an empty stream")
+		return nil, fmt.Errorf("core: DecomposeRange on an empty stream: %w", dterr.ErrInvalidInput)
 	}
 	order := len(s.shape)
 	length := s.shape[order-1]
 	if t0 < 0 || t1 > length || t0 >= t1 {
-		return nil, fmt.Errorf("core: range [%d,%d) invalid for stream of length %d", t0, t1, length)
+		return nil, fmt.Errorf("core: range [%d,%d) invalid for stream of length %d: %w",
+			t0, t1, length, dterr.ErrInvalidInput)
 	}
 	span := t1 - t0
 	if s.opts.Ranks[order-1] > span {
-		return nil, fmt.Errorf("core: temporal rank %d exceeds range length %d", s.opts.Ranks[order-1], span)
+		return nil, fmt.Errorf("core: temporal rank %d exceeds range length %d: %w",
+			s.opts.Ranks[order-1], span, dterr.ErrInvalidInput)
 	}
 
 	// Slices enumerate modes 3..N with mode 3 fastest and time slowest, so

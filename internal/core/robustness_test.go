@@ -1,0 +1,397 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dterr"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/tensor"
+)
+
+// wantInvalid asserts err wraps dterr.ErrInvalidInput with a descriptive
+// message.
+func wantInvalid(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	if !errors.Is(err, dterr.ErrInvalidInput) {
+		t.Fatalf("err = %v, want ErrInvalidInput", err)
+	}
+	if !strings.Contains(err.Error(), "core:") {
+		t.Fatalf("error message %q does not name the violation", err)
+	}
+}
+
+// TestMalformedInputRejected audits every exported entry point of the
+// package against malformed arguments: each must return an error wrapping
+// dterr.ErrInvalidInput — never panic, never proceed.
+func TestMalformedInputRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.RandN(rng, 6, 5, 4)
+	chunk := tensor.RandN(rng, 6, 5, 2)
+
+	filled := func() *Stream {
+		s := NewStream(Options{Ranks: []int{2, 2, 2}})
+		if err := s.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"Decompose nil tensor", func() error {
+			_, err := Decompose(nil, Options{Ranks: []int{2, 2, 2}})
+			return err
+		}},
+		{"Decompose ranks length mismatch", func() error {
+			_, err := Decompose(x, Options{Ranks: []int{2, 2}})
+			return err
+		}},
+		{"Decompose zero rank", func() error {
+			_, err := Decompose(x, Options{Ranks: []int{2, 0, 2}})
+			return err
+		}},
+		{"Decompose negative rank", func() error {
+			_, err := Decompose(x, Options{Ranks: []int{2, -3, 2}})
+			return err
+		}},
+		{"Decompose negative MaxIters", func() error {
+			_, err := Decompose(x, Options{Ranks: []int{2, 2, 2}, MaxIters: -1})
+			return err
+		}},
+		{"Approximate nil tensor", func() error {
+			_, err := Approximate(nil, Options{Ranks: []int{2, 2, 2}})
+			return err
+		}},
+		{"Approximate order-1 tensor", func() error {
+			_, err := Approximate(tensor.RandN(rng, 5), Options{Ranks: []int{2}})
+			return err
+		}},
+		{"Stream nil chunk", func() error {
+			return NewStream(Options{Ranks: []int{2, 2, 2}}).Append(nil)
+		}},
+		{"Stream order-2 chunk", func() error {
+			return NewStream(Options{Ranks: []int{2, 2}}).Append(tensor.RandN(rng, 5, 4))
+		}},
+		{"Stream rank exceeds dimensionality", func() error {
+			return NewStream(Options{Ranks: []int{9, 2, 2}}).Append(chunk)
+		}},
+		{"Stream empty Decompose", func() error {
+			_, err := NewStream(Options{Ranks: []int{2, 2, 2}}).Decompose()
+			return err
+		}},
+		{"Stream empty DecomposeRange", func() error {
+			_, err := NewStream(Options{Ranks: []int{2, 2, 2}}).DecomposeRange(0, 1)
+			return err
+		}},
+		{"Stream inverted range", func() error {
+			_, err := filled().DecomposeRange(2, 1)
+			return err
+		}},
+		{"Stream range out of bounds", func() error {
+			_, err := filled().DecomposeRange(0, 99)
+			return err
+		}},
+		{"RanksForEnergy eps out of range", func() error {
+			ap, err := Approximate(x, Options{Ranks: []int{2, 2, 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ap.RanksForEnergy(1.5, 3)
+			return err
+		}},
+		{"RanksForEnergy non-positive maxRank", func() error {
+			ap, err := Approximate(x, Options{Ranks: []int{2, 2, 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ap.RanksForEnergy(0.1, 0)
+			return err
+		}},
+		{"DecomposeAdaptive nil tensor", func() error {
+			_, _, err := DecomposeAdaptive(nil, 0.1, 3, Options{})
+			return err
+		}},
+		{"DecomposeAdaptive non-positive maxRank", func() error {
+			_, _, err := DecomposeAdaptive(x, 0.1, -2, Options{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantInvalid(t, tc.run())
+		})
+	}
+}
+
+// TestNonFiniteInputRejected proves corrupt data is stopped at the boundary:
+// NaN/Inf in the input yields ErrNonFiniteInput before any phase runs.
+func TestNonFiniteInputRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	poison := func(v float64) *tensor.Dense {
+		x := tensor.RandN(rng, 6, 5, 4)
+		x.Set(v, 3, 2, 1)
+		return x
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"Decompose NaN", func() error {
+			_, err := Decompose(poison(math.NaN()), Options{Ranks: []int{2, 2, 2}})
+			return err
+		}},
+		{"Decompose +Inf", func() error {
+			_, err := Decompose(poison(math.Inf(1)), Options{Ranks: []int{2, 2, 2}})
+			return err
+		}},
+		{"Approximate -Inf", func() error {
+			_, err := Approximate(poison(math.Inf(-1)), Options{Ranks: []int{2, 2, 2}})
+			return err
+		}},
+		{"Stream Append NaN", func() error {
+			return NewStream(Options{Ranks: []int{2, 2, 2}}).Append(poison(math.NaN()))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("non-finite input accepted")
+			}
+			if !errors.Is(err, dterr.ErrNonFiniteInput) {
+				t.Fatalf("err = %v, want ErrNonFiniteInput", err)
+			}
+		})
+	}
+}
+
+// wantCancelled asserts err is a *dterr.CancelledError tagged with phase
+// whose chain still satisfies errors.Is against the context sentinel.
+func wantCancelled(t *testing.T, err error, phase string, sentinel error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	var c *dterr.CancelledError
+	if !errors.As(err, &c) {
+		t.Fatalf("err = %v (%T), want *CancelledError", err, err)
+	}
+	if c.Phase != phase {
+		t.Fatalf("interrupted phase %q, want %q (err: %v)", c.Phase, phase, err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v does not satisfy errors.Is(%v)", err, sentinel)
+	}
+}
+
+// TestPreCancelledContext runs each entry point under an already-cancelled
+// context: every one must refuse to start and name the phase it would have
+// entered.
+func TestPreCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.RandN(rng, 8, 7, 6)
+	chunk := tensor.RandN(rng, 8, 7, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	t.Run("Decompose", func(t *testing.T) {
+		_, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Context: ctx})
+		wantCancelled(t, err, "approximation", context.Canceled)
+	})
+	t.Run("ApproximationDecompose", func(t *testing.T) {
+		ap, err := Approximate(x, Options{Ranks: []int{3, 3, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap.opts.Context = ctx
+		_, err = ap.Decompose()
+		wantCancelled(t, err, "initialization", context.Canceled)
+	})
+	t.Run("StreamAppend", func(t *testing.T) {
+		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		err := s.AppendContext(ctx, chunk)
+		wantCancelled(t, err, "approximation", context.Canceled)
+		if s.Len() != 0 {
+			t.Fatalf("cancelled Append mutated the stream: Len = %d", s.Len())
+		}
+		// The stream must remain fully usable afterwards.
+		if err := s.Append(chunk); err != nil {
+			t.Fatalf("stream unusable after cancelled Append: %v", err)
+		}
+	})
+	t.Run("StreamDecompose", func(t *testing.T) {
+		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		if err := s.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.DecomposeContext(ctx)
+		wantCancelled(t, err, "initialization", context.Canceled)
+	})
+	t.Run("StreamDecomposeRange", func(t *testing.T) {
+		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		if err := s.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.DecomposeRangeContext(ctx, 0, 3)
+		wantCancelled(t, err, "initialization", context.Canceled)
+	})
+}
+
+// TestDeadlineExceededTagged proves a timed-out run reports
+// context.DeadlineExceeded through the same CancelledError shape.
+func TestDeadlineExceededTagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := tensor.RandN(rng, 8, 7, 6)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Context: ctx})
+	wantCancelled(t, err, "approximation", context.DeadlineExceeded)
+}
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline (parallel regions join before returning, so any excess beyond a
+// small runtime-internal slack is a leak).
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<17)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelMidRun cancels a live parallel decomposition from inside its own
+// progress trace — first during the approximation phase, then between
+// initialization and iteration — and asserts the reported phase, that all
+// worker goroutines are joined, and that the pool survives for a clean rerun.
+func TestCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := lowRankTensor(rng, 0.1, 4, 24, 20, 10)
+	opts := Options{Ranks: uniformRanks(3, 4), Seed: 9, Workers: 4}
+
+	cancelOn := func(prefix string) (*metrics.Collector, context.Context) {
+		ctx, cancel := context.WithCancel(context.Background())
+		col := metrics.New()
+		col.SetTrace(func(msg string) {
+			if strings.HasPrefix(msg, prefix) {
+				cancel()
+			}
+		})
+		return col, ctx
+	}
+
+	before := runtime.NumGoroutine()
+
+	t.Run("approximation", func(t *testing.T) {
+		o := opts
+		o.Metrics, o.Context = cancelOn("approximation: compressing")
+		_, err := Decompose(x, o)
+		wantCancelled(t, err, "approximation", context.Canceled)
+	})
+	t.Run("iteration", func(t *testing.T) {
+		// The "initialization done" trace fires as initFactors returns, so
+		// the very next boundary the run reaches is the first sweep.
+		o := opts
+		o.Metrics, o.Context = cancelOn("initialization done")
+		_, err := Decompose(x, o)
+		wantCancelled(t, err, "iteration", context.Canceled)
+	})
+	t.Run("stream iteration", func(t *testing.T) {
+		col, ctx := cancelOn("initialization done")
+		s := NewStream(Options{Ranks: []int{4, 4, 3}, Seed: 9, Workers: 4, Metrics: col})
+		if err := s.Append(lowRankTensor(rng, 0.1, 4, 24, 20, 6)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.DecomposeContext(ctx)
+		wantCancelled(t, err, "iteration", context.Canceled)
+	})
+
+	settleGoroutines(t, before)
+
+	t.Run("pool reusable after cancellation", func(t *testing.T) {
+		pl := pool.New(4)
+		o := opts
+		o.Pool = pl
+		o.Metrics, o.Context = cancelOn("initialization done")
+		if _, err := Decompose(x, o); err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+		o = opts
+		o.Pool = pl
+		dec, err := Decompose(x, o)
+		if err != nil {
+			t.Fatalf("pool unusable after cancelled run: %v", err)
+		}
+		if rel := dec.RelError(x); rel > 0.2 {
+			t.Fatalf("rerun on reused pool: relative error %g", rel)
+		}
+	})
+}
+
+// TestKeyedFaultFallbackBitIdentical forces the randomized SVD of two
+// specific slices to break down (retry included) via a keyed fault plan, so
+// those slices take the dense-SVD fallback, and asserts the decomposition is
+// bit-identical for Workers=1 and Workers=4: keyed triggering plus the
+// deterministic fallback keep the owner-computes guarantee intact even under
+// injected numerical failures.
+func TestKeyedFaultFallbackBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := lowRankTensor(rng, 0.05, 3, 16, 14, 8)
+
+	defer faults.Reset()
+	if err := faults.Activate("randsvd.sketch", faults.Plan{Keys: []int64{1, 3}, Count: -1}); err != nil {
+		t.Fatal(err)
+	}
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+
+	run := func(workers int) *Decomposition {
+		t.Helper()
+		base := metrics.Snapshot()
+		dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 21, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		d := metrics.Snapshot().Sub(base)
+		// Both targeted slices break down twice (initial + retry) and then
+		// complete through the dense fallback.
+		if d.RandSVDRetries != 2 || d.RandSVDFallbacks != 2 {
+			t.Fatalf("workers=%d: %d retries / %d fallbacks, want 2 / 2",
+				workers, d.RandSVDRetries, d.RandSVDFallbacks)
+		}
+		return dec
+	}
+
+	a, b := run(1), run(4)
+	if !bitIdentical(a.Core.Data(), b.Core.Data()) {
+		t.Fatal("cores differ between Workers=1 and Workers=4 under injected fallback")
+	}
+	for n := range a.Factors {
+		if !bitIdentical(a.Factors[n].Data(), b.Factors[n].Data()) {
+			t.Fatalf("factor %d differs between Workers=1 and Workers=4 under injected fallback", n)
+		}
+	}
+	if rel := a.RelError(x); rel > 0.2 || math.IsNaN(rel) {
+		t.Fatalf("fallback decomposition relative error %g", rel)
+	}
+}

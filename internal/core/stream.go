@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"repro/internal/dterr"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -74,34 +76,49 @@ func (s *Stream) StorageFloats() int {
 
 // Append compresses a new chunk and extends the stream. The chunk must have
 // the same shape as previous chunks in every mode except the last, and
-// order ≥ 3 (order-2 streams have no slice structure to extend).
-func (s *Stream) Append(chunk *tensor.Dense) error {
-	if chunk.Order() < 3 {
-		return fmt.Errorf("core: stream chunks must have order ≥ 3, got %d", chunk.Order())
+// order ≥ 3 (order-2 streams have no slice structure to extend). A failed or
+// cancelled Append leaves the stream exactly as it was — no partial slices
+// are retained.
+func (s *Stream) Append(chunk *tensor.Dense) (err error) {
+	defer dterr.RecoverTo(&err, "core.Stream.Append")
+	if chunk == nil {
+		return fmt.Errorf("core: nil chunk: %w", dterr.ErrInvalidInput)
 	}
+	if chunk.Order() < 3 {
+		return fmt.Errorf("core: stream chunks must have order ≥ 3, got %d: %w",
+			chunk.Order(), dterr.ErrInvalidInput)
+	}
+	if !chunk.IsFinite() {
+		return fmt.Errorf("core: chunk contains NaN or Inf: %w", dterr.ErrNonFiniteInput)
+	}
+	if err := s.opts.cancelled("approximation"); err != nil {
+		return err
+	}
+	// First-chunk setup runs on locals and commits only after the chunk
+	// compresses successfully, so a failed Append leaves the stream empty.
+	firstOpts, firstRank := s.opts, s.rank
 	if s.shape == nil {
 		opts, err := s.opts.withDefaults(chunk.Order())
 		if err != nil {
 			return err
 		}
-		s.opts = opts
 		for n, j := range opts.Ranks[:chunk.Order()-1] {
 			if j > chunk.Dim(n) {
-				return fmt.Errorf("core: rank %d exceeds dimensionality %d of mode %d", j, chunk.Dim(n), n)
+				return fmt.Errorf("core: rank %d exceeds dimensionality %d of mode %d: %w",
+					j, chunk.Dim(n), n, dterr.ErrInvalidInput)
 			}
 		}
-		s.rank = opts.SliceRank
-		if s.rank <= 0 {
-			s.rank = opts.Ranks[0]
-			if opts.Ranks[1] > s.rank {
-				s.rank = opts.Ranks[1]
+		firstOpts = opts
+		firstRank = opts.SliceRank
+		if firstRank <= 0 {
+			firstRank = opts.Ranks[0]
+			if opts.Ranks[1] > firstRank {
+				firstRank = opts.Ranks[1]
 			}
 		}
-		if m := min(chunk.Dim(0), chunk.Dim(1)); s.rank > m {
-			s.rank = m
+		if m := min(chunk.Dim(0), chunk.Dim(1)); firstRank > m {
+			firstRank = m
 		}
-		s.shape = chunk.Shape()
-		s.shape[len(s.shape)-1] = 0
 	} else {
 		cs := chunk.Shape()
 		if len(cs) != len(s.shape) {
@@ -117,14 +134,24 @@ func (s *Stream) Append(chunk *tensor.Dense) error {
 	// Compress the chunk's slices. Because the temporal mode is the
 	// slowest-varying in the slice enumeration, new slices append cleanly
 	// at the end of the existing list.
-	col := s.opts.Metrics
+	col := firstOpts.Metrics
 	col.StartPhase(metrics.PhaseApprox)
 	defer col.EndPhase(metrics.PhaseApprox)
-	chunkOpts := s.opts
-	chunkOpts.Seed = s.opts.Seed + int64(len(s.slices))
-	newSlices, err := compressSlices(chunk, identityPerm(chunk.Order()), s.rank, chunkOpts, s.pool())
+	chunkOpts := firstOpts
+	chunkOpts.Seed = firstOpts.Seed + int64(len(s.slices))
+	if s.pl == nil {
+		// Built from the normalized options, so Workers is already ≥ 1.
+		s.pl = firstOpts.newPool()
+	}
+	newSlices, err := compressSlices(chunk, identityPerm(chunk.Order()), firstRank,
+		int64(len(s.slices)), chunkOpts, s.pl)
 	if err != nil {
 		return err
+	}
+	if s.shape == nil {
+		s.opts, s.rank = firstOpts, firstRank
+		s.shape = chunk.Shape()
+		s.shape[len(s.shape)-1] = 0
 	}
 	if col.Tracing() {
 		col.Tracef("stream append: %d new slices (stream now %d long)",
@@ -152,14 +179,15 @@ func (s *Stream) Append(chunk *tensor.Dense) error {
 // Decompose produces the Tucker model of everything appended so far. The
 // first call runs the full initialization; later calls warm-start from the
 // previous factors, refreshing only the temporal factor before iterating.
-func (s *Stream) Decompose() (*Decomposition, error) {
+func (s *Stream) Decompose() (_ *Decomposition, err error) {
+	defer dterr.RecoverTo(&err, "core.Stream.Decompose")
 	if s.shape == nil {
-		return nil, fmt.Errorf("core: Decompose on an empty stream")
+		return nil, fmt.Errorf("core: Decompose on an empty stream: %w", dterr.ErrInvalidInput)
 	}
 	order := len(s.shape)
 	if s.opts.Ranks[order-1] > s.shape[order-1] {
-		return nil, fmt.Errorf("core: temporal rank %d exceeds current stream length %d",
-			s.opts.Ranks[order-1], s.shape[order-1])
+		return nil, fmt.Errorf("core: temporal rank %d exceeds current stream length %d: %w",
+			s.opts.Ranks[order-1], s.shape[order-1], dterr.ErrInvalidInput)
 	}
 	ap := &Approximation{
 		Slices:    s.slices,
@@ -173,10 +201,7 @@ func (s *Stream) Decompose() (*Decomposition, error) {
 	}
 
 	t0 := time.Now()
-	var (
-		factors []*mat.Dense
-		err     error
-	)
+	var factors []*mat.Dense
 	if s.prevFactors == nil {
 		factors, err = ap.initFactors()
 	} else {
@@ -212,7 +237,10 @@ func (s *Stream) warmFactors(ap *Approximation) ([]*mat.Dense, error) {
 	order := len(ap.Shape)
 	factors := make([]*mat.Dense, order)
 	copy(factors, s.prevFactors)
-	w := ap.projectedTensor(factors[0], factors[1])
+	w, err := ap.projectedTensor("initialization", factors[0], factors[1])
+	if err != nil {
+		return nil, err
+	}
 	y := w
 	for k := 2; k < order-1; k++ {
 		y = y.ModeProduct(factors[k].T(), k)
@@ -223,4 +251,44 @@ func (s *Stream) warmFactors(ap *Approximation) ([]*mat.Dense, error) {
 	}
 	factors[order-1] = f
 	return factors, nil
+}
+
+// withContext runs fn with ctx temporarily installed as the stream's
+// cancellation context, restoring the previous one afterwards (the stream's
+// phases read Options.Context at every boundary).
+func (s *Stream) withContext(ctx context.Context, fn func() error) error {
+	prev := s.opts.Context
+	s.opts.Context = ctx
+	defer func() { s.opts.Context = prev }()
+	return fn()
+}
+
+// AppendContext is Append under a cancellation context: a done ctx stops the
+// chunk compression at the next slice boundary, returning a
+// dterr.CancelledError, and leaves the stream unchanged.
+func (s *Stream) AppendContext(ctx context.Context, chunk *tensor.Dense) error {
+	return s.withContext(ctx, func() error { return s.Append(chunk) })
+}
+
+// DecomposeContext is Decompose under a cancellation context, observed at
+// every initialization-factor and iteration-sweep boundary.
+func (s *Stream) DecomposeContext(ctx context.Context) (*Decomposition, error) {
+	var dec *Decomposition
+	err := s.withContext(ctx, func() error {
+		var err error
+		dec, err = s.Decompose()
+		return err
+	})
+	return dec, err
+}
+
+// DecomposeRangeContext is DecomposeRange under a cancellation context.
+func (s *Stream) DecomposeRangeContext(ctx context.Context, t0, t1 int) (*Decomposition, error) {
+	var dec *Decomposition
+	err := s.withContext(ctx, func() error {
+		var err error
+		dec, err = s.DecomposeRange(t0, t1)
+		return err
+	})
+	return dec, err
 }

@@ -1,0 +1,129 @@
+// Package dterr is the error taxonomy of the D-Tucker reproduction: the
+// sentinel values and typed errors every layer of the pipeline agrees on.
+//
+// It is a leaf package — imported by internal/pool, internal/randsvd,
+// internal/tensor, and internal/core — so one error vocabulary can flow from
+// the kernels up through the exported API without import cycles. The root
+// repro package re-exports the sentinels (repro.ErrNonFiniteInput and
+// friends) for downstream errors.Is / errors.As checks.
+//
+// Taxonomy:
+//
+//   - ErrInvalidInput: a malformed argument an exported entry point rejected
+//     up front (mismatched rank counts, non-positive ranks, nil tensors,
+//     shape mismatches). The wrapping message names the exact violation.
+//   - ErrNonFiniteInput: the input data contains NaN or ±Inf. Rejected at
+//     every boundary that admits raw data (Decompose, Approximate,
+//     Stream.Append, tensor.ReadFrom) so corruption cannot propagate into
+//     silently broken factors.
+//   - ErrNumericalBreakdown: a numerical kernel could not complete (a
+//     non-finite randomized sketch, a zero-norm sketch column, a
+//     non-converging SVD). internal/randsvd recovers from it with a
+//     deterministic dense-SVD fallback; if the error escapes to a caller the
+//     fallback failed too.
+//   - CancelledError: the run observed Options.Context cancellation at a
+//     slice or sweep boundary. It wraps the context's error, so
+//     errors.Is(err, context.Canceled) and context.DeadlineExceeded both
+//     keep working, and names the phase that was interrupted.
+//   - PanicError: a panic captured at a containment boundary (a pool worker
+//     or an exported entry point), carrying the panic value and stack. It
+//     wraps ErrPanic.
+package dterr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel values; see the package comment for when each applies.
+var (
+	ErrInvalidInput       = errors.New("invalid input")
+	ErrNonFiniteInput     = errors.New("non-finite input")
+	ErrNumericalBreakdown = errors.New("numerical breakdown")
+	// ErrPanic is wrapped by every PanicError, so callers can class-check
+	// contained panics without naming the concrete type.
+	ErrPanic = errors.New("contained panic")
+	// ErrInjected is wrapped by every fault the internal/faults harness
+	// injects, letting tests distinguish injected failures from organic ones.
+	ErrInjected = errors.New("injected fault")
+)
+
+// CancelledError reports that a decomposition observed context cancellation
+// at a phase boundary. Phase is the metrics-style phase name
+// ("approximation", "initialization", "iteration").
+type CancelledError struct {
+	Phase string
+	Err   error // the context's error: context.Canceled or DeadlineExceeded
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("%s phase interrupted: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the context error, so errors.Is(err, context.Canceled)
+// holds for a cancelled run and context.DeadlineExceeded for a timed-out one.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// Cancelled wraps ctx's error (which must be non-nil) with the phase it
+// interrupted.
+func Cancelled(phase string, err error) *CancelledError {
+	return &CancelledError{Phase: phase, Err: err}
+}
+
+// PanicError is a panic converted to an error at a containment boundary: a
+// pool worker goroutine, or the deferred recover of an exported entry point.
+// Value is the original panic value and Stack the goroutine stack captured
+// at recovery time.
+type PanicError struct {
+	// Op names the containment boundary ("pool worker", "core.Decompose").
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap makes every contained panic errors.Is-able against ErrPanic, and —
+// when the panic value was itself an error (as injected faults are) —
+// against that error's chain too.
+func (e *PanicError) Unwrap() []error {
+	if err, ok := e.Value.(error); ok {
+		return []error{ErrPanic, err}
+	}
+	return []error{ErrPanic}
+}
+
+// NewPanic captures the current stack and wraps a recovered panic value.
+func NewPanic(op string, value any) *PanicError {
+	return &PanicError{Op: op, Value: value, Stack: debug.Stack()}
+}
+
+// RecoverTo converts a panic on the current goroutine into a *PanicError
+// stored in *errp, preserving an already-contained PanicError rather than
+// re-wrapping it. It must be invoked directly as a deferred call:
+//
+//	defer dterr.RecoverTo(&err, "core.Decompose")
+//
+// A goroutine exiting via runtime.Goexit (e.g. t.Fatal) is not intercepted:
+// recover returns nil for it.
+func RecoverTo(errp *error, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		*errp = pe
+		return
+	}
+	if err, ok := r.(error); ok {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			*errp = err
+			return
+		}
+	}
+	*errp = NewPanic(op, r)
+}

@@ -1,0 +1,296 @@
+// Package faults is a deterministic fault-injection harness for the
+// execution layer. Packages declare named hook points (sites) at package
+// init; tests arm a site with a Plan describing exactly which hits should
+// trigger, run the code under test, and assert that the injected failure
+// ends in a clean error, a completed fallback, or a prompt cancellation —
+// never a process crash or silently corrupt output.
+//
+// # Cost when disabled
+//
+// The harness is disarmed by default and in production: every Fire/FireKey/
+// Inject call is then a single atomic load followed by an immediate return —
+// no locks, no allocation, no branch the compiler cannot predict. Arming
+// happens only when a test calls Activate.
+//
+// # Determinism
+//
+// Two trigger mechanisms exist:
+//
+//   - Hit-ordered plans (Skip/Count, optionally Prob+Seed): the site's global
+//     hit counter decides. Deterministic for serial execution; under a
+//     parallel pool the hit order is scheduling-dependent, so tests that
+//     need exact reproducibility across worker counts should either run with
+//     Workers=1 or use a keyed site.
+//   - Keyed plans (Keys): the call site passes a stable identity — a slice
+//     index, a task id — and the plan triggers iff that key is listed,
+//     independent of scheduling. This is how the randsvd fallback test
+//     injects a breakdown into the same slices for every Workers value.
+//
+// Sites are process-global (registered once, from package init), matching
+// how the instrumented packages are linked; Reset restores the fully
+// disarmed state between tests.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dterr"
+)
+
+// Mode selects what an Inject call does when its site triggers.
+type Mode int
+
+const (
+	// ModeError makes Inject return an *InjectedError.
+	ModeError Mode = iota
+	// ModePanic makes Inject panic with an *InjectedError — simulating a
+	// worker panic, to prove containment boundaries hold.
+	ModePanic
+)
+
+// String returns the mode's presentation name.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Plan describes which hits of a site trigger the fault.
+type Plan struct {
+	// Skip suppresses the first Skip hits.
+	Skip int64
+	// Count bounds how many hits trigger after Skip: n > 0 triggers exactly
+	// n times, 0 triggers once, and a negative Count triggers on every hit.
+	Count int64
+	// Keys, when non-empty, switches the site to keyed triggering: a
+	// FireKey(k) call triggers iff k is listed, and Skip/Count/Prob are
+	// ignored (hit-ordered Fire calls never trigger a keyed plan).
+	Keys []int64
+	// Prob, when in (0,1), triggers each eligible hit with this probability,
+	// drawn from a generator seeded with Seed — a deterministic sequence for
+	// a fixed hit order.
+	Prob float64
+	// Seed seeds the Prob generator.
+	Seed int64
+	// Mode selects error versus panic injection at Inject sites. Fire/
+	// FireKey sites implement their own corruption and ignore it.
+	Mode Mode
+}
+
+// InjectedError is the failure Inject sites produce. It wraps
+// dterr.ErrInjected and names the site, so a contained injected panic
+// surfaces as an error naming the hook site.
+type InjectedError struct {
+	Site string
+	Mode Mode
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected %s at site %q", e.Mode, e.Site)
+}
+
+// Unwrap makes every injected failure errors.Is-able against
+// dterr.ErrInjected.
+func (e *InjectedError) Unwrap() error { return dterr.ErrInjected }
+
+// Site is one named hook point. Declare it as a package-level variable so
+// registration happens exactly once, at init:
+//
+//	var siteSweep = faults.NewSite("core.iter.sweep")
+type Site struct {
+	name string
+
+	mu    sync.Mutex
+	plan  *Plan
+	hits  int64
+	fired int64
+	keys  map[int64]bool
+	rng   *rand.Rand
+}
+
+// armed gates every hook's fast path: while false (the default), hooks cost
+// one atomic load.
+var armed atomic.Bool
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Site{}
+)
+
+// NewSite registers a named hook point. Registering the same name twice
+// panics: sites are package-level singletons and a duplicate is a
+// programming error caught at init.
+func NewSite(name string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		panic(fmt.Sprintf("faults: duplicate site %q", name))
+	}
+	s := &Site{name: name}
+	registry[name] = s
+	return s
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Sites returns the sorted names of every registered hook point — the
+// surface the `make faults` sweep iterates.
+func Sites() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Activate arms a site with a plan (and the harness globally). It returns an
+// error for unknown site names so sweeps fail loudly on typos.
+func Activate(name string, p Plan) error {
+	regMu.Lock()
+	s, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return fmt.Errorf("faults: unknown site %q (registered: %v)", name, Sites())
+	}
+	s.mu.Lock()
+	plan := p
+	s.plan = &plan
+	s.hits, s.fired = 0, 0
+	s.keys = nil
+	if len(p.Keys) > 0 {
+		s.keys = make(map[int64]bool, len(p.Keys))
+		for _, k := range p.Keys {
+			s.keys[k] = true
+		}
+	}
+	s.rng = nil
+	if p.Prob > 0 && p.Prob < 1 {
+		s.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	s.mu.Unlock()
+	armed.Store(true)
+	return nil
+}
+
+// Reset clears every plan and hit counter and disarms the harness, restoring
+// the zero-cost state. Tests must defer it after Activate.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, s := range registry {
+		s.mu.Lock()
+		s.plan = nil
+		s.hits, s.fired = 0, 0
+		s.keys = nil
+		s.rng = nil
+		s.mu.Unlock()
+	}
+	armed.Store(false)
+}
+
+// Hits returns how many times the site was reached while armed (triggered or
+// not) — the observability hook sweep tests use to prove a site is actually
+// on the executed path.
+func (s *Site) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Fired returns how many hits triggered.
+func (s *Site) Fired() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Fire reports whether a hit-ordered fault triggers at this call. The call
+// site implements the corruption itself (poisoning a value, skipping a
+// write), which keeps the simulated failure realistic. Disarmed cost: one
+// atomic load.
+func (s *Site) Fire() bool {
+	if !armed.Load() {
+		return false
+	}
+	fired, _ := s.fire(false, 0)
+	return fired
+}
+
+// FireKey reports whether a keyed fault triggers for key — scheduling-
+// independent, because triggering depends only on the key's membership in
+// the plan. A site called with FireKey never triggers from hit-ordered
+// plans and vice versa.
+func (s *Site) FireKey(key int64) bool {
+	if !armed.Load() {
+		return false
+	}
+	fired, _ := s.fire(true, key)
+	return fired
+}
+
+func (s *Site) fire(keyed bool, key int64) (bool, Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.plan
+	if p == nil {
+		return false, ModeError
+	}
+	s.hits++
+	if keyed != (s.keys != nil) {
+		return false, p.Mode
+	}
+	if keyed {
+		if !s.keys[key] {
+			return false, p.Mode
+		}
+		s.fired++
+		return true, p.Mode
+	}
+	if s.hits <= p.Skip {
+		return false, p.Mode
+	}
+	if p.Count >= 0 {
+		limit := p.Count
+		if limit == 0 {
+			limit = 1
+		}
+		if s.fired >= limit {
+			return false, p.Mode
+		}
+	}
+	if s.rng != nil && s.rng.Float64() >= p.Prob {
+		return false, p.Mode
+	}
+	s.fired++
+	return true, p.Mode
+}
+
+// Inject triggers a generic failure when the site fires: ModeError returns
+// an *InjectedError, ModePanic panics with one (for containment-boundary
+// tests). It returns nil when the site does not trigger.
+func (s *Site) Inject() error {
+	if !armed.Load() {
+		return nil
+	}
+	fired, mode := s.fire(false, 0)
+	if !fired {
+		return nil
+	}
+	err := &InjectedError{Site: s.name, Mode: mode}
+	if mode == ModePanic {
+		panic(err)
+	}
+	return err
+}

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dterr"
+)
+
+// Test sites are registered once for the whole test binary.
+var (
+	siteA = NewSite("test.a")
+	siteB = NewSite("test.b")
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Reset()
+	if siteA.Fire() || siteA.FireKey(0) {
+		t.Fatal("disarmed site fired")
+	}
+	if err := siteA.Inject(); err != nil {
+		t.Fatalf("disarmed Inject = %v", err)
+	}
+	if siteA.Hits() != 0 {
+		t.Fatalf("disarmed site recorded %d hits", siteA.Hits())
+	}
+}
+
+func TestSkipAndCount(t *testing.T) {
+	defer Reset()
+	if err := Activate("test.a", Plan{Skip: 2, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, siteA.Fire())
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if siteA.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", siteA.Fired())
+	}
+	// A plan on one site must not leak into another.
+	if siteB.Fire() {
+		t.Fatal("unplanned site fired")
+	}
+}
+
+func TestCountZeroTriggersOnce(t *testing.T) {
+	defer Reset()
+	if err := Activate("test.a", Plan{}); err != nil {
+		t.Fatal(err)
+	}
+	if !siteA.Fire() || siteA.Fire() {
+		t.Fatal("Plan{} should trigger exactly once")
+	}
+}
+
+func TestNegativeCountAlwaysTriggers(t *testing.T) {
+	defer Reset()
+	if err := Activate("test.a", Plan{Count: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !siteA.Fire() {
+			t.Fatalf("hit %d did not trigger under Count=-1", i)
+		}
+	}
+}
+
+func TestKeyedPlan(t *testing.T) {
+	defer Reset()
+	if err := Activate("test.a", Plan{Keys: []int64{1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[int64]bool{0: false, 1: true, 2: false, 3: true, 4: false} {
+		if got := siteA.FireKey(key); got != want {
+			t.Fatalf("FireKey(%d) = %v, want %v", key, got, want)
+		}
+	}
+	// Hit-ordered Fire never triggers a keyed plan.
+	if siteA.Fire() {
+		t.Fatal("Fire triggered a keyed plan")
+	}
+}
+
+func TestSeededProbIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		defer Reset()
+		if err := Activate("test.a", Plan{Count: -1, Prob: 0.5, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		var seq []bool
+		for i := 0; i < 32; i++ {
+			seq = append(seq, siteA.Fire())
+		}
+		return seq
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; generator looks broken", fired, len(a))
+	}
+}
+
+func TestInjectModes(t *testing.T) {
+	defer Reset()
+	if err := Activate("test.a", Plan{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	err := siteA.Inject()
+	if err == nil {
+		t.Fatal("ModeError Inject returned nil")
+	}
+	if !errors.Is(err, dterr.ErrInjected) {
+		t.Fatalf("injected error %v is not errors.Is(ErrInjected)", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "test.a" {
+		t.Fatalf("injected error %v does not name the site", err)
+	}
+
+	Reset()
+	if err := Activate("test.a", Plan{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	didPanic := func() (v any) {
+		defer func() { v = recover() }()
+		siteA.Inject()
+		return nil
+	}()
+	pe, ok := didPanic.(*InjectedError)
+	if !ok || pe.Site != "test.a" {
+		t.Fatalf("ModePanic panicked with %v, want *InjectedError naming test.a", didPanic)
+	}
+}
+
+func TestActivateUnknownSite(t *testing.T) {
+	defer Reset()
+	if err := Activate("no.such.site", Plan{}); err == nil {
+		t.Fatal("Activate accepted an unknown site")
+	}
+}
+
+func TestSitesListsRegistered(t *testing.T) {
+	found := map[string]bool{}
+	for _, n := range Sites() {
+		found[n] = true
+	}
+	if !found["test.a"] || !found["test.b"] {
+		t.Fatalf("Sites() = %v missing test sites", Sites())
+	}
+}
+
+func TestResetRestoresDisarmed(t *testing.T) {
+	if err := Activate("test.a", Plan{Count: -1}); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if siteA.Fire() {
+		t.Fatal("site fired after Reset")
+	}
+}
+
+// BenchmarkDisarmedFire documents the cost of a disabled hook: one atomic
+// load, no allocation.
+func BenchmarkDisarmedFire(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if siteA.Fire() {
+			b.Fatal("fired")
+		}
+	}
+}

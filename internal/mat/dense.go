@@ -277,6 +277,17 @@ func (m *Dense) MaxAbs() float64 {
 	return best
 }
 
+// IsFinite reports whether every element is finite (no NaN, no ±Inf).
+func (m *Dense) IsFinite() bool {
+	for _, v := range m.data {
+		// v != v catches NaN; IsInf catches both infinities.
+		if v != v || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Trace returns the sum of diagonal elements of a square matrix.
 func (m *Dense) Trace() float64 {
 	if m.rows != m.cols {

@@ -68,13 +68,20 @@ func effectiveWorkers(size, rows, flopsPerRow int) int {
 // workers when the estimated work is large enough to amortize goroutines.
 // Each row is computed by exactly one worker with identical arithmetic, so
 // results are bit-identical for every pool size.
+//
+// The kernels have no error channel, so a panic contained in a pool worker
+// is re-raised here on the caller's goroutine — same visible behavior as a
+// serial kernel panicking, but without an unrecoverable crash on a detached
+// worker; the exported core entry points convert it to a returned error.
 func parallelRows(p *pool.Pool, rows int, flopsPerRow int, fn func(lo, hi int)) {
 	w := effectiveWorkers(p.Size(), rows, flopsPerRow)
 	if w <= 1 {
 		fn(0, rows)
 		return
 	}
-	p.RunRanges(rows, w, func(_, lo, hi int) { fn(lo, hi) })
+	if err := p.RunRanges(nil, rows, w, func(_, lo, hi int) error { fn(lo, hi); return nil }); err != nil {
+		panic(err)
+	}
 }
 
 // Mul returns a·b, parallelized on the process-default pool.

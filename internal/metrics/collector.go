@@ -284,7 +284,7 @@ func (c *Collector) Report() Report {
 // of `cmd/dtucker -metrics`.
 func (c *Collector) Table() string {
 	rep := c.Report()
-	rows := [][]string{{"phase", "wall", "slice-svd", "svd", "randsvd", "qr", "matmul", "flops", "alloc"}}
+	rows := [][]string{{"phase", "wall", "slice-svd", "svd", "randsvd", "fallback", "qr", "matmul", "flops", "alloc"}}
 	for _, st := range append(rep.Phases, rep.Total) {
 		rows = append(rows, []string{
 			st.Phase,
@@ -292,6 +292,7 @@ func (c *Collector) Table() string {
 			fmt.Sprint(st.Counters.SliceSVDs),
 			fmt.Sprint(st.Counters.SVDCalls),
 			fmt.Sprint(st.Counters.RandSVDCalls),
+			fmt.Sprint(st.Counters.RandSVDFallbacks),
 			fmt.Sprint(st.Counters.QRCalls),
 			fmt.Sprint(st.Counters.MatmulCalls),
 			fmtFlops(st.Counters.MatmulFlops + st.Counters.QRFlops),

@@ -40,6 +40,13 @@ type Counters struct {
 	SVDCalls int64 `json:"svd_calls"`
 	// RandSVDCalls counts randomized (Halko et al.) SVD invocations.
 	RandSVDCalls int64 `json:"randsvd_calls"`
+	// RandSVDRetries counts randomized SVDs re-run with fresh random draws
+	// after a numerical breakdown (non-finite sketch, zero-norm sketch
+	// column, non-converging projected SVD).
+	RandSVDRetries int64 `json:"randsvd_retries"`
+	// RandSVDFallbacks counts randomized SVDs that, after the retry also
+	// broke down, completed via the deterministic dense-SVD fallback.
+	RandSVDFallbacks int64 `json:"randsvd_fallbacks"`
 	// SliceSVDs counts frontal-slice compressions in D-Tucker's
 	// approximation phase (each is one randomized or exact SVD of an
 	// I1×I2 slice).
@@ -49,39 +56,45 @@ type Counters struct {
 // Sub returns the component-wise difference c − o.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		MatmulCalls:  c.MatmulCalls - o.MatmulCalls,
-		MatmulFlops:  c.MatmulFlops - o.MatmulFlops,
-		QRCalls:      c.QRCalls - o.QRCalls,
-		QRFlops:      c.QRFlops - o.QRFlops,
-		SVDCalls:     c.SVDCalls - o.SVDCalls,
-		RandSVDCalls: c.RandSVDCalls - o.RandSVDCalls,
-		SliceSVDs:    c.SliceSVDs - o.SliceSVDs,
+		MatmulCalls:      c.MatmulCalls - o.MatmulCalls,
+		MatmulFlops:      c.MatmulFlops - o.MatmulFlops,
+		QRCalls:          c.QRCalls - o.QRCalls,
+		QRFlops:          c.QRFlops - o.QRFlops,
+		SVDCalls:         c.SVDCalls - o.SVDCalls,
+		RandSVDCalls:     c.RandSVDCalls - o.RandSVDCalls,
+		RandSVDRetries:   c.RandSVDRetries - o.RandSVDRetries,
+		RandSVDFallbacks: c.RandSVDFallbacks - o.RandSVDFallbacks,
+		SliceSVDs:        c.SliceSVDs - o.SliceSVDs,
 	}
 }
 
 // Add returns the component-wise sum c + o.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
-		MatmulCalls:  c.MatmulCalls + o.MatmulCalls,
-		MatmulFlops:  c.MatmulFlops + o.MatmulFlops,
-		QRCalls:      c.QRCalls + o.QRCalls,
-		QRFlops:      c.QRFlops + o.QRFlops,
-		SVDCalls:     c.SVDCalls + o.SVDCalls,
-		RandSVDCalls: c.RandSVDCalls + o.RandSVDCalls,
-		SliceSVDs:    c.SliceSVDs + o.SliceSVDs,
+		MatmulCalls:      c.MatmulCalls + o.MatmulCalls,
+		MatmulFlops:      c.MatmulFlops + o.MatmulFlops,
+		QRCalls:          c.QRCalls + o.QRCalls,
+		QRFlops:          c.QRFlops + o.QRFlops,
+		SVDCalls:         c.SVDCalls + o.SVDCalls,
+		RandSVDCalls:     c.RandSVDCalls + o.RandSVDCalls,
+		RandSVDRetries:   c.RandSVDRetries + o.RandSVDRetries,
+		RandSVDFallbacks: c.RandSVDFallbacks + o.RandSVDFallbacks,
+		SliceSVDs:        c.SliceSVDs + o.SliceSVDs,
 	}
 }
 
 var enabled atomic.Bool
 
 var global struct {
-	matmulCalls  atomic.Int64
-	matmulFlops  atomic.Int64
-	qrCalls      atomic.Int64
-	qrFlops      atomic.Int64
-	svdCalls     atomic.Int64
-	randSVDCalls atomic.Int64
-	sliceSVDs    atomic.Int64
+	matmulCalls      atomic.Int64
+	matmulFlops      atomic.Int64
+	qrCalls          atomic.Int64
+	qrFlops          atomic.Int64
+	svdCalls         atomic.Int64
+	randSVDCalls     atomic.Int64
+	randSVDRetries   atomic.Int64
+	randSVDFallbacks atomic.Int64
+	sliceSVDs        atomic.Int64
 }
 
 // SetEnabled turns the global counters on or off and returns the previous
@@ -99,6 +112,8 @@ func Reset() {
 	global.qrFlops.Store(0)
 	global.svdCalls.Store(0)
 	global.randSVDCalls.Store(0)
+	global.randSVDRetries.Store(0)
+	global.randSVDFallbacks.Store(0)
 	global.sliceSVDs.Store(0)
 }
 
@@ -106,13 +121,15 @@ func Reset() {
 // returns whatever was accumulated while it was last enabled.
 func Snapshot() Counters {
 	return Counters{
-		MatmulCalls:  global.matmulCalls.Load(),
-		MatmulFlops:  global.matmulFlops.Load(),
-		QRCalls:      global.qrCalls.Load(),
-		QRFlops:      global.qrFlops.Load(),
-		SVDCalls:     global.svdCalls.Load(),
-		RandSVDCalls: global.randSVDCalls.Load(),
-		SliceSVDs:    global.sliceSVDs.Load(),
+		MatmulCalls:      global.matmulCalls.Load(),
+		MatmulFlops:      global.matmulFlops.Load(),
+		QRCalls:          global.qrCalls.Load(),
+		QRFlops:          global.qrFlops.Load(),
+		SVDCalls:         global.svdCalls.Load(),
+		RandSVDCalls:     global.randSVDCalls.Load(),
+		RandSVDRetries:   global.randSVDRetries.Load(),
+		RandSVDFallbacks: global.randSVDFallbacks.Load(),
+		SliceSVDs:        global.sliceSVDs.Load(),
 	}
 }
 
@@ -164,6 +181,23 @@ func CountRandSVD() {
 		return
 	}
 	global.randSVDCalls.Add(1)
+}
+
+// CountRandSVDRetry records one randomized-SVD retry after a breakdown.
+func CountRandSVDRetry() {
+	if !enabled.Load() {
+		return
+	}
+	global.randSVDRetries.Add(1)
+}
+
+// CountRandSVDFallback records one completed dense-SVD fallback after a
+// randomized SVD (and its retry) broke down.
+func CountRandSVDFallback() {
+	if !enabled.Load() {
+		return
+	}
+	global.randSVDFallbacks.Add(1)
 }
 
 // CountSliceSVD records one frontal-slice compression.

@@ -19,6 +19,19 @@
 // what upholds the core.Options.Seed contract ("results are independent of
 // Workers").
 //
+// # Failure containment and cancellation
+//
+// Run and RunRanges are cancellable task groups. A task that returns an
+// error — or panics — stops the group: the panic is recovered into a
+// dterr.PanicError carrying the panic value and stack, remaining tasks are
+// abandoned, in-flight tasks finish, and every worker goroutine is joined
+// before the call returns, so a failed region never leaks goroutines or
+// keeps writing into shared scratch after its caller has seen the error.
+// When several tasks fail, the error of the lowest task index wins, keeping
+// the reported failure deterministic under scheduling. A done context stops
+// workers at the next task boundary and surfaces ctx.Err(). After any
+// failure the pool itself remains fully reusable: group state is per-call.
+//
 // # Lifecycle
 //
 // A Pool has no background goroutines and needs no Close. Parallel regions
@@ -29,10 +42,18 @@
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/dterr"
+	"repro/internal/faults"
 )
+
+// siteTask is the harness hook covering every task the pool dispatches; a
+// ModePanic plan on it proves worker-panic containment end to end.
+var siteTask = faults.NewSite("pool.task")
 
 // Pool bounds the parallelism of one decomposition and owns its reusable
 // scratch memory. A nil *Pool is valid and behaves as a single-threaded
@@ -67,16 +88,71 @@ func (p *Pool) Size() int {
 	return p.size
 }
 
-// Run invokes fn(worker, task) exactly once for every task in [0, n),
-// spreading tasks across up to Size goroutines by work stealing. Worker ids
-// are dense in [0, min(Size, n)) and each id is held by exactly one
-// goroutine for the region's duration, so fn may index per-worker scratch
-// by worker. Which worker runs which task is scheduling-dependent; callers
-// needing determinism must make each task's result independent of its
-// worker (see the package comment).
-func (p *Pool) Run(n int, fn func(worker, task int)) {
+// group is the per-call failure state of one parallel region.
+type group struct {
+	stop atomic.Bool
+
+	mu      sync.Mutex
+	err     error
+	errTask int
+}
+
+// fail records a task failure, keeping the error of the lowest task index,
+// and stops the group.
+func (g *group) fail(task int, err error) {
+	g.mu.Lock()
+	if g.err == nil || task < g.errTask {
+		g.err, g.errTask = err, task
+	}
+	g.mu.Unlock()
+	g.stop.Store(true)
+}
+
+// ctxDone reports whether ctx is cancelled; a nil ctx never is.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// safeCall runs one task with panic containment: a panic becomes a
+// dterr.PanicError carrying the panic value and stack.
+func safeCall(fn func(worker, task int) error, worker, task int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = dterr.NewPanic("pool worker", r)
+		}
+	}()
+	if err := siteTask.Inject(); err != nil {
+		return err
+	}
+	return fn(worker, task)
+}
+
+// safeCallRange is safeCall for contiguous-range tasks.
+func safeCallRange(fn func(worker, lo, hi int) error, worker, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = dterr.NewPanic("pool worker", r)
+		}
+	}()
+	if err := siteTask.Inject(); err != nil {
+		return err
+	}
+	return fn(worker, lo, hi)
+}
+
+// Run invokes fn(worker, task) for every task in [0, n), spreading tasks
+// across up to Size goroutines by work stealing, as a cancellable group: the
+// first task error (or contained panic) stops dispatch, the group drains,
+// and the error is returned — lowest task index winning when several tasks
+// fail. A done ctx (nil means none) stops dispatch at the next task boundary
+// and returns ctx.Err(). Worker ids are dense in [0, min(Size, n)) and each
+// id is held by exactly one goroutine for the region's duration, so fn may
+// index per-worker scratch by worker. Which worker runs which task is
+// scheduling-dependent; callers needing determinism must make each task's
+// result independent of its worker (see the package comment).
+func (p *Pool) Run(ctx context.Context, n int, fn func(worker, task int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := p.Size()
 	if w > n {
@@ -86,15 +162,23 @@ func (p *Pool) Run(n int, fn func(worker, task int)) {
 		p.regions.Add(1)
 		p.tasks.Add(int64(n))
 	}
+	var g group
 	if w <= 1 {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			if ctxDone(ctx) {
+				g.fail(i, ctx.Err())
+				break
+			}
+			if err := safeCall(fn, 0, i); err != nil {
+				g.fail(i, err)
+				break
+			}
 		}
 		if p != nil {
 			p.busy.Add(int64(time.Since(start)))
 		}
-		return
+		return g.err
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -103,27 +187,39 @@ func (p *Pool) Run(n int, fn func(worker, task int)) {
 		go func(wk int) {
 			defer wg.Done()
 			start := time.Now()
-			for {
+			for !g.stop.Load() {
+				if ctxDone(ctx) {
+					// n is past every real task index, so a real task
+					// failure always outranks the cancellation error.
+					g.fail(n, ctx.Err())
+					break
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					break
 				}
-				fn(wk, i)
+				if err := safeCall(fn, wk, i); err != nil {
+					g.fail(i, err)
+					break
+				}
 			}
 			p.busy.Add(int64(time.Since(start)))
 		}(wk)
 	}
 	wg.Wait()
+	return g.err
 }
 
 // RunRanges splits [0, n) into w contiguous ranges of near-equal length and
 // invokes fn(worker, lo, hi) for each, one goroutine per range (w is capped
-// at both Size and n). Range boundaries depend only on n and w, never on
-// scheduling. Row-parallel kernels use this so each output row is written
-// by exactly one worker.
-func (p *Pool) RunRanges(n, w int, fn func(worker, lo, hi int)) {
+// at both Size and n), with the same containment and cancellation semantics
+// as Run (each range is one task; cancellation is observed before a range
+// starts, not inside it). Range boundaries depend only on n and w, never on
+// scheduling. Row-parallel kernels use this so each output row is written by
+// exactly one worker.
+func (p *Pool) RunRanges(ctx context.Context, n, w int, fn func(worker, lo, hi int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if lim := p.Size(); w > lim {
 		w = lim
@@ -135,13 +231,18 @@ func (p *Pool) RunRanges(n, w int, fn func(worker, lo, hi int)) {
 		p.regions.Add(1)
 		p.tasks.Add(int64(n))
 	}
+	var g group
 	if w <= 1 {
 		start := time.Now()
-		fn(0, 0, n)
+		if ctxDone(ctx) {
+			g.fail(0, ctx.Err())
+		} else if err := safeCallRange(fn, 0, 0, n); err != nil {
+			g.fail(0, err)
+		}
 		if p != nil {
 			p.busy.Add(int64(time.Since(start)))
 		}
-		return
+		return g.err
 	}
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
@@ -154,11 +255,20 @@ func (p *Pool) RunRanges(n, w int, fn func(worker, lo, hi int)) {
 		go func(wk, lo, hi int) {
 			defer wg.Done()
 			start := time.Now()
-			fn(wk, lo, hi)
+			switch {
+			case g.stop.Load():
+			case ctxDone(ctx):
+				g.fail(wk, ctx.Err())
+			default:
+				if err := safeCallRange(fn, wk, lo, hi); err != nil {
+					g.fail(wk, err)
+				}
+			}
 			p.busy.Add(int64(time.Since(start)))
 		}(wk, lo, hi)
 	}
 	wg.Wait()
+	return g.err
 }
 
 // Get returns a float64 buffer of exactly length n from the arena,

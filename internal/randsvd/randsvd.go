@@ -4,20 +4,45 @@
 // an exact SVD of the projected matrix. It is the kernel of D-Tucker's
 // approximation phase, which compresses every I1×I2 slice of the input
 // tensor to rank J in O(I1·I2·J) time.
+//
+// # Breakdown detection and recovery
+//
+// A randomized sketch can break down: overflow in the power iteration
+// produces a non-finite sketch, a pathological spectrum can zero out sketch
+// columns, and the projected SVD's iteration can fail to converge. SVD
+// detects all three and reports them as an error wrapping
+// dterr.ErrNumericalBreakdown. SVDWithFallback is the recovery chain core
+// uses: it retries once with fresh random draws, then falls back to a
+// deterministic dense SVD of the full input — same result for every seed and
+// worker count — counting retries and fallbacks in internal/metrics.
 package randsvd
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"repro/internal/dterr"
+	"repro/internal/faults"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+)
+
+// Fault-injection hook points (no-ops unless a test arms them):
+// randsvd.sketch poisons the Gaussian sketch with a NaN — keyed by
+// Options.FaultKey so tests can break the same slices for every worker
+// count — and randsvd.svd fails the projected SVD.
+var (
+	siteSketch = faults.NewSite("randsvd.sketch")
+	siteSVD    = faults.NewSite("randsvd.svd")
 )
 
 // Options configures the randomized SVD.
 type Options struct {
 	// Oversampling is the number of extra random directions beyond the
-	// target rank (Halko et al. recommend 5–10). Defaults to 5 when zero.
+	// target rank (Halko et al. recommend 5–10). Defaults to 5 when zero;
+	// negative values are treated as 0.
 	Oversampling int
 	// PowerIters is the number of subspace (power) iterations, which
 	// sharpen the spectrum when singular values decay slowly. Defaults to
@@ -25,11 +50,19 @@ type Options struct {
 	PowerIters int
 	// Rng drives the Gaussian sketch. Required.
 	Rng *rand.Rand
+	// FaultKey is a stable identity for this call — core passes the slice
+	// index — used only by the fault-injection harness so injected
+	// breakdowns are deterministic per call site, independent of worker
+	// scheduling. Zero is a valid key.
+	FaultKey int64
 }
 
 func (o Options) normalized() Options {
 	if o.Oversampling == 0 {
 		o.Oversampling = 5
+	}
+	if o.Oversampling < 0 {
+		o.Oversampling = 0
 	}
 	if o.PowerIters == 0 {
 		o.PowerIters = 1
@@ -40,12 +73,47 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// breakdown wraps a detected numerical failure so callers can errors.Is it
+// against dterr.ErrNumericalBreakdown.
+func breakdown(format string, args ...any) error {
+	return fmt.Errorf("randsvd: "+format+": %w", append(args, dterr.ErrNumericalBreakdown)...)
+}
+
+// checkSketch validates a sketch stage: every entry finite and, unless the
+// input itself is zero, no zero-norm column (a Gaussian sketch of a nonzero
+// matrix has almost surely full column norms — a zero column means the
+// arithmetic collapsed).
+func checkSketch(stage string, y *mat.Dense, inputNonzero bool) error {
+	if !y.IsFinite() {
+		return breakdown("non-finite %s", stage)
+	}
+	if !inputNonzero {
+		return nil
+	}
+	rows, cols := y.Dims()
+	for j := 0; j < cols; j++ {
+		norm := 0.0
+		for i := 0; i < rows; i++ {
+			v := y.At(i, j)
+			norm += v * v
+		}
+		if norm == 0 {
+			return breakdown("zero-norm column %d in %s", j, stage)
+		}
+	}
+	return nil
+}
+
 // SVD returns a rank-k approximate SVD of a: U (m×k, orthonormal columns),
 // S (k, descending), V (n×k, orthonormal columns) with A ≈ U·diag(S)·Vᵀ.
 //
 // k is clamped to min(m, n). The error, in expectation, is within a small
 // polynomial factor of the optimal rank-k error σ_{k+1} (Halko et al.,
 // Thm. 10.6), improving geometrically with each power iteration.
+//
+// A numerical breakdown (non-finite sketch, zero-norm sketch column, failed
+// projected SVD) returns an error wrapping dterr.ErrNumericalBreakdown; see
+// SVDWithFallback for the recovery chain.
 func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 	opts = opts.normalized()
 	if opts.Rng == nil {
@@ -69,10 +137,20 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 	if p > n {
 		p = n
 	}
+	if p < 1 {
+		p = 1
+	}
+	nonzero := a.MaxAbs() > 0
 
 	// Stage A: find an orthonormal basis Q for the approximate range of a.
 	omega := mat.RandN(n, p, opts.Rng)
 	y := mat.Mul(a, omega) // m×p
+	if siteSketch.FireKey(opts.FaultKey) {
+		y.Set(0, 0, math.NaN())
+	}
+	if err := checkSketch("range sketch", y, nonzero); err != nil {
+		return mat.SVDResult{}, err
+	}
 	q := mat.Orthonormalize(y)
 	for it := 0; it < opts.PowerIters; it++ {
 		// Orthonormalize between applications for numerical stability
@@ -80,15 +158,56 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 		z := mat.MulTA(a, q) // n×p
 		qz := mat.Orthonormalize(z)
 		y = mat.Mul(a, qz)
+		if err := checkSketch(fmt.Sprintf("power-iteration %d sketch", it+1), y, nonzero); err != nil {
+			return mat.SVDResult{}, err
+		}
 		q = mat.Orthonormalize(y)
 	}
 
 	// Stage B: exact SVD of the small projection B = Qᵀ·A (p×n).
 	b := mat.MulTA(q, a)
+	if siteSVD.Fire() {
+		return mat.SVDResult{}, breakdown("injected projected-SVD failure at site %q", siteSVD.Name())
+	}
 	res, err := mat.SVD(b)
 	if err != nil {
-		return mat.SVDResult{}, fmt.Errorf("randsvd: projected SVD: %w", err)
+		// The projected SVD's iteration limit is the "failed convergence"
+		// breakdown signal.
+		return mat.SVDResult{}, breakdown("projected SVD: %v", err)
 	}
 	res = res.Truncate(k)
 	return mat.SVDResult{U: mat.Mul(q, res.U), S: res.S, V: res.V}, nil
+}
+
+// SVDWithFallback is the numerical-failure recovery chain around SVD: on a
+// breakdown it retries once with fresh draws from the same generator, and if
+// the retry breaks down too it completes with an exact dense SVD of a,
+// truncated to rank k — a deterministic path with no randomness, so the
+// result is identical for every seed and worker count. Retries and completed
+// fallbacks are counted in internal/metrics (RandSVDRetries,
+// RandSVDFallbacks). The second return value reports whether the dense
+// fallback produced the result.
+//
+// Non-breakdown errors (a missing Rng, a non-positive rank) are returned
+// unchanged: the chain recovers numerical failures, not caller mistakes.
+func SVDWithFallback(a *mat.Dense, k int, opts Options) (mat.SVDResult, bool, error) {
+	res, err := SVD(a, k, opts)
+	if err == nil || !errors.Is(err, dterr.ErrNumericalBreakdown) {
+		return res, false, err
+	}
+	metrics.CountRandSVDRetry()
+	res, retryErr := SVD(a, k, opts)
+	if retryErr == nil {
+		return res, false, nil
+	}
+	if !errors.Is(retryErr, dterr.ErrNumericalBreakdown) {
+		return mat.SVDResult{}, false, retryErr
+	}
+	exact, exactErr := mat.SVD(a)
+	if exactErr != nil {
+		return mat.SVDResult{}, false, fmt.Errorf(
+			"randsvd: dense fallback after breakdown (%v): %w", err, exactErr)
+	}
+	metrics.CountRandSVDFallback()
+	return exact.Truncate(k), true, nil
 }

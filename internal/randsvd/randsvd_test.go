@@ -1,11 +1,15 @@
 package randsvd
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/dterr"
+	"repro/internal/faults"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 )
 
 // lowRankPlusNoise builds an m×n matrix with exact rank r plus Gaussian
@@ -151,6 +155,112 @@ func TestSingularValuesDescending(t *testing.T) {
 		if res.S[i] > res.S[i-1]+1e-12 {
 			t.Fatalf("singular values not descending: %v", res.S)
 		}
+	}
+}
+
+func TestNonFiniteInputIsBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := mat.RandN(20, 20, rng)
+	a.Set(3, 4, math.NaN())
+	_, err := SVD(a, 5, Options{Rng: rng})
+	if !errors.Is(err, dterr.ErrNumericalBreakdown) {
+		t.Fatalf("NaN input: got %v, want ErrNumericalBreakdown", err)
+	}
+	a.Set(3, 4, math.Inf(1))
+	_, err = SVD(a, 5, Options{Rng: rand.New(rand.NewSource(9))})
+	if !errors.Is(err, dterr.ErrNumericalBreakdown) {
+		t.Fatalf("Inf input: got %v, want ErrNumericalBreakdown", err)
+	}
+}
+
+func TestZeroMatrixIsNotBreakdown(t *testing.T) {
+	// The all-zero matrix legitimately produces a zero sketch; that is not a
+	// numerical failure.
+	rng := rand.New(rand.NewSource(10))
+	res, err := SVD(mat.New(12, 9), 3, Options{Rng: rng})
+	if err != nil {
+		t.Fatalf("zero matrix: %v", err)
+	}
+	for _, s := range res.S {
+		if s != 0 {
+			t.Fatalf("zero matrix produced nonzero singular value %g", s)
+		}
+	}
+}
+
+func TestFallbackOnInjectedSketchFault(t *testing.T) {
+	defer faults.Reset()
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+	metrics.Reset()
+
+	rng := rand.New(rand.NewSource(11))
+	a := lowRankPlusNoise(40, 30, 5, 0.1, rng)
+
+	// Break every sketch for key 7: both the first attempt and the retry
+	// fail, forcing the dense fallback.
+	if err := faults.Activate("randsvd.sketch", faults.Plan{Keys: []int64{7}, Count: -1}); err != nil {
+		t.Fatal(err)
+	}
+	res, fell, err := SVDWithFallback(a, 5, Options{Rng: rand.New(rand.NewSource(12)), FaultKey: 7})
+	if err != nil {
+		t.Fatalf("fallback chain failed: %v", err)
+	}
+	if !fell {
+		t.Fatal("expected the dense fallback to produce the result")
+	}
+	rel := a.Sub(reconstruct(res)).Norm() / a.Norm()
+	exact, _ := mat.SVD(a)
+	want := reconstruct(exact.Truncate(5))
+	if !reconstruct(res).EqualApprox(want, 1e-9) {
+		t.Fatalf("fallback result differs from exact truncated SVD (rel err %g)", rel)
+	}
+	snap := metrics.Snapshot()
+	if snap.RandSVDRetries != 1 || snap.RandSVDFallbacks != 1 {
+		t.Fatalf("counters: retries=%d fallbacks=%d, want 1 and 1",
+			snap.RandSVDRetries, snap.RandSVDFallbacks)
+	}
+}
+
+func TestRetryRecoversFromSingleFault(t *testing.T) {
+	defer faults.Reset()
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+	metrics.Reset()
+
+	rng := rand.New(rand.NewSource(13))
+	a := lowRankPlusNoise(30, 30, 4, 0, rng)
+
+	// One hit only: the first attempt breaks down, the retry succeeds.
+	if err := faults.Activate("randsvd.svd", faults.Plan{Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, fell, err := SVDWithFallback(a, 4, Options{Rng: rand.New(rand.NewSource(14))})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if fell {
+		t.Fatal("retry should have recovered without the dense fallback")
+	}
+	rel := a.Sub(reconstruct(res)).Norm() / a.Norm()
+	if rel > 1e-9 {
+		t.Fatalf("retry result inaccurate: rel err %g", rel)
+	}
+	snap := metrics.Snapshot()
+	if snap.RandSVDRetries != 1 || snap.RandSVDFallbacks != 0 {
+		t.Fatalf("counters: retries=%d fallbacks=%d, want 1 and 0",
+			snap.RandSVDRetries, snap.RandSVDFallbacks)
+	}
+}
+
+func TestFallbackPassesThroughCallerErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := mat.RandN(8, 8, rng)
+	if _, _, err := SVDWithFallback(a, 0, Options{Rng: rng}); err == nil {
+		t.Fatal("zero rank should not be recovered by the fallback chain")
+	}
+	if _, _, err := SVDWithFallback(a, 3, Options{}); err == nil {
+		t.Fatal("missing Rng should not be recovered by the fallback chain")
 	}
 }
 

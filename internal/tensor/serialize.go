@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"repro/internal/dterr"
 )
 
 // The .ten binary format:
@@ -90,7 +92,13 @@ func ReadFrom(r io.Reader) (*Dense, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("tensor: reading data element %d of %d: %w", i, total, err)
 		}
-		t.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		// Reject corrupted data at the boundary (v != v catches NaN) so it
+		// cannot propagate into silently broken decompositions.
+		if v != v || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("tensor: data element %d is %v: %w", i, v, dterr.ErrNonFiniteInput)
+		}
+		t.data[i] = v
 	}
 	return t, nil
 }

@@ -3,9 +3,13 @@ package tensor
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/dterr"
 )
 
 // tenHeader serializes a .ten header with arbitrary (possibly corrupt)
@@ -73,6 +77,24 @@ func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	for _, tc := range cases {
 		if _, err := ReadFrom(bytes.NewReader(tc.raw)); err == nil {
 			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadFromRejectsNonFiniteData(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		payload := make([]byte, 4*8)
+		binary.LittleEndian.PutUint64(payload[2*8:], math.Float64bits(v))
+		raw := tenHeader(2, []uint64{2, 2}, payload)
+		_, err := ReadFrom(bytes.NewReader(raw))
+		if err == nil {
+			t.Fatalf("data containing %v accepted", v)
+		}
+		if !errors.Is(err, dterr.ErrNonFiniteInput) {
+			t.Fatalf("%v rejected with %v, want ErrNonFiniteInput", v, err)
+		}
+		if !strings.Contains(err.Error(), "element 2") {
+			t.Fatalf("error %q does not locate the bad element", err)
 		}
 	}
 }

@@ -194,6 +194,17 @@ func (t *Dense) Norm() float64 {
 	return scale * math.Sqrt(ssq)
 }
 
+// IsFinite reports whether every element is finite (no NaN, no ±Inf).
+func (t *Dense) IsFinite() bool {
+	for _, v := range t.data {
+		// v != v catches NaN; IsInf catches both infinities.
+		if v != v || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxAbs returns the largest absolute element.
 func (t *Dense) MaxAbs() float64 {
 	best := 0.0
