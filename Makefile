@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults
+.PHONY: build test verify bench overhead faults bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,8 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/core/ -run 'TestFaultSweep|TestKeyedFaultFallbackBitIdentical|TestCancelMidRun' -count 1
+	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
+	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
 
 # faults sweeps every registered fault-injection hook point (internal/faults
 # sites) in error and panic mode, through both the plain and streaming
@@ -37,3 +39,21 @@ bench:
 # workload (see EXPERIMENTS.md "Measurement methodology"; must stay <2%).
 overhead:
 	$(GO) test ./internal/core/ -run XXX -bench Quickstart -benchtime 10x -count 3
+
+# bench-json emits today's machine-readable benchmark trajectory
+# (BENCH_<UTC-date>.json, schema in EXPERIMENTS.md "Benchmark trajectories")
+# on the standard baseline workload. Commit the file to extend the repo's
+# performance record.
+bench-json:
+	$(GO) run ./cmd/benchreport
+
+# bench-compare re-measures the baseline workload and gates it against the
+# most recent committed BENCH_*.json, failing (exit 4) on any metric more
+# than 25% worse — wide enough for shared-runner noise, narrow enough to
+# catch a real slowdown. Override with BENCH_BASELINE=<file>.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline found; run make bench-json first"; exit 2; }
+	$(GO) run ./cmd/benchreport -out .bench-head.json
+	$(GO) run ./cmd/benchreport -compare -max-regress 25 $(BENCH_BASELINE) .bench-head.json; \
+	  status=$$?; rm -f .bench-head.json; exit $$status

@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pool"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/tucker"
 )
 
@@ -84,6 +85,22 @@ type Collector = metrics.Collector
 // Every parallel site follows an owner-computes split, so results are
 // bit-identical for every pool size.
 type WorkerPool = pool.Pool
+
+// Tracer records a hierarchical span trace of a decomposition — phases,
+// sweeps, modes, and per-worker pool tasks on their own lanes — when
+// attached to a Collector via SetTracer. Export the recording with
+// WriteJSONL or WriteChrome (Perfetto / chrome://tracing), or Export with
+// a TraceFormat parsed from a CLI flag.
+type Tracer = trace.Tracer
+
+// TraceFormat names a span-trace encoding: TraceJSONL or TraceChrome.
+type TraceFormat = trace.Format
+
+// Span-trace encodings accepted by Tracer.Export.
+const (
+	TraceJSONL  = trace.FormatJSONL
+	TraceChrome = trace.FormatChrome
+)
 
 // NewTensor returns a zeroed tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
@@ -133,6 +150,15 @@ func ApproximateContext(ctx context.Context, x *Tensor, opts Options) (*Approxim
 
 // NewStream creates an empty temporal stream with the given options.
 func NewStream(opts Options) *Stream { return core.NewStream(opts) }
+
+// NewTracer returns an empty span tracer ready to attach to a Collector:
+//
+//	col := repro.NewCollector()
+//	tr := repro.NewTracer()
+//	col.SetTracer(tr)
+//	dec, _ := repro.Decompose(x, repro.Options{Ranks: ranks, Metrics: col})
+//	tr.Export(w, repro.TraceChrome)
+func NewTracer() *Tracer { return trace.New() }
 
 // NewCollector enables the process-wide kernel counters and returns a fresh
 // metrics collector to pass as Options.Metrics. When no collector is in

@@ -1,0 +1,152 @@
+// Command benchreport emits and compares machine-readable benchmark
+// trajectories (schema-versioned BENCH_<UTC-date>.json files recording
+// configuration, per-phase wall times, kernel counters, latency-histogram
+// quantiles, fit, and peak heap).
+//
+// Emit a trajectory of the standard baseline workload:
+//
+//	benchreport [-out BENCH_2026-08-05.json] [-workers 1] [-shape 128,96,96]
+//	            [-rank 8] [-ranks 8,8,8] [-seed 42] [-maxiters 30]
+//
+// Compare two trajectories, failing if the new one regressed:
+//
+//	benchreport -compare old.json new.json [-max-regress 10]
+//
+// Exit codes: 0 success / no regression, 1 runtime error, 2 usage,
+// 4 regression past -max-regress percent. CI runs the compare form against
+// the committed baseline (make bench-compare); the emit form refreshes it
+// (make bench-json). See EXPERIMENTS.md, "Benchmark trajectories".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// exitRegression distinguishes "new is measurably worse" from runtime (1)
+// and usage (2) failures so CI can report it as a performance gate.
+const exitRegression = 4
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", "", "output path (default BENCH_<UTC-date>.json)")
+		workers    = fs.Int("workers", 1, "worker-pool size for the measured run")
+		shapeArg   = fs.String("shape", "", "tensor shape, e.g. 64,64,32 (default: standard baseline)")
+		genRank    = fs.Int("rank", 8, "latent rank of the generated low-rank tensor")
+		ranksArg   = fs.String("ranks", "", "target ranks, e.g. 8,8,8 (default: standard baseline)")
+		seed       = fs.Int64("seed", 42, "random seed for generator and sketches")
+		maxIters   = fs.Int("maxiters", 30, "maximum ALS sweeps")
+		compare    = fs.Bool("compare", false, "compare two trajectory files: benchreport -compare old.json new.json")
+		maxRegress = fs.Float64("max-regress", 10, "with -compare, fail (exit 4) if any metric regressed by more than this percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchreport: -compare needs exactly two files: old.json new.json")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *maxRegress, stdout, stderr)
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "benchreport: unexpected arguments %q (did you mean -compare?)\n", fs.Args())
+		return 2
+	}
+
+	spec := bench.DefaultTrajectorySpec(*workers)
+	spec.Seed = *seed
+	spec.MaxIters = *maxIters
+	if *shapeArg != "" || *ranksArg != "" {
+		shape, err := parseInts(*shapeArg, "shape")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 2
+		}
+		ranks, err := parseInts(*ranksArg, "ranks")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 2
+		}
+		if len(shape) != len(ranks) {
+			fmt.Fprintf(stderr, "benchreport: %d shape dims but %d ranks\n", len(shape), len(ranks))
+			return 2
+		}
+		spec.Dataset = workload.LowRankNoise(shape, *genRank, 0.10, *seed)
+		spec.Ranks = ranks
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+
+	fmt.Fprintf(stderr, "benchreport: running d-tucker on %s ranks %v, workers %d\n",
+		spec.Dataset.Dims(), spec.Ranks, spec.Workers)
+	tr, err := bench.CollectTrajectory(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	if err := bench.SaveTrajectory(path, tr); err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s: total %.3fs, fit %.4f, %d iters, peak heap %.1f MiB\n",
+		path, tr.TotalSeconds, tr.Fit, tr.Iters, float64(tr.PeakHeapBytes)/(1<<20))
+	return 0
+}
+
+func runCompare(oldPath, newPath string, maxPct float64, stdout, stderr *os.File) int {
+	old, err := bench.LoadTrajectory(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	cur, err := bench.LoadTrajectory(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	regs := bench.CompareTrajectories(old, cur, maxPct)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "no regression past %.1f%% (%s → %s)\n", maxPct, oldPath, newPath)
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchreport: %d metric(s) regressed past %.1f%%:\n", len(regs), maxPct)
+	for _, r := range regs {
+		fmt.Fprintf(stderr, "  %s\n", r)
+	}
+	return exitRegression
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s, what string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shape and -ranks must be given together")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s entry %q", what, p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("64, 64,32", "shape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 64 || got[2] != 32 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for _, bad := range []string{"", "8,x", "8,-1"} {
+		if _, err := parseInts(bad, "shape"); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEndToEnd builds the binary, emits a trajectory on a deliberately tiny
+// workload, validates the file, then exercises the compare gate in both the
+// passing and the failing direction.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchreport")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+
+	small := []string{"-shape", "16,14,6", "-rank", "3", "-ranks", "3,3,3", "-maxiters", "5"}
+	emit := func(path string) {
+		t.Helper()
+		args := append([]string{"-out", path}, small...)
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("emit: %v\n%s", err, out)
+		}
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	emit(oldPath)
+	tr, err := bench.LoadTrajectory(oldPath)
+	if err != nil {
+		t.Fatalf("emitted file does not load: %v", err)
+	}
+	if tr.Schema != bench.TrajectorySchema || tr.TotalSeconds <= 0 || len(tr.Histograms) == 0 {
+		t.Fatalf("emitted trajectory incomplete: %+v", tr)
+	}
+
+	newPath := filepath.Join(dir, "new.json")
+	emit(newPath)
+	// Same workload twice on the same machine: generous threshold passes.
+	out, err := exec.Command(bin, "-compare", "-max-regress", "10000", oldPath, newPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("compare of twin runs failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no regression") {
+		t.Fatalf("compare output: %s", out)
+	}
+
+	// Forge a 3× slowdown; the gate must fail with the dedicated exit code.
+	worse := tr
+	worse.TotalSeconds *= 3
+	for i := range worse.Phases {
+		worse.Phases[i].Seconds *= 3
+	}
+	worsePath := filepath.Join(dir, "worse.json")
+	if err := bench.SaveTrajectory(worsePath, worse); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-compare", "-max-regress", "10", oldPath, worsePath).CombinedOutput()
+	var exit *exec.ExitError
+	if err == nil || !strings.Contains(string(out), "regressed past") {
+		t.Fatalf("forged regression not flagged: err=%v\n%s", err, out)
+	}
+	if !errors.As(err, &exit) || exit.ExitCode() != exitRegression {
+		t.Fatalf("exit = %v, want code %d\n%s", err, exitRegression, out)
+	}
+
+	// Usage errors: -compare with one file, and a schema-less input.
+	if out, err := exec.Command(bin, "-compare", oldPath).CombinedOutput(); err == nil {
+		t.Fatalf("-compare with one file accepted:\n%s", out)
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"schema": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-compare", oldPath, badPath).CombinedOutput(); err == nil {
+		t.Fatalf("wrong-schema file accepted:\n%s", out)
+	}
+
+	// The default output name is date-stamped; verify the shape of the name
+	// without committing to today's date.
+	var doc map[string]any
+	data, _ := os.ReadFile(oldPath)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted file is not JSON: %v", err)
+	}
+	if doc["schema"] != float64(bench.TrajectorySchema) {
+		t.Fatalf("schema field = %v, want %d", doc["schema"], bench.TrajectorySchema)
+	}
+}

@@ -9,6 +9,7 @@
 //	        [-maxiters 100] [-slicerank 0] [-workers 1]
 //	        [-seed 0] [-exact-error] [-timeout 0]
 //	        [-metrics] [-metrics-json file] [-trace] [-debug-addr host:port]
+//	        [-trace-out spans.json] [-trace-format chrome|jsonl]
 //	        [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
 //
 // With -method other than d-tucker the same tensor is decomposed by the
@@ -21,11 +22,13 @@
 // no cancellation hooks and run to completion.
 //
 // Observability: -metrics prints a per-phase table (wall time, SVD/QR/matmul
-// counts, flop estimate, allocation); -metrics-json dumps the same report
-// plus the fit trajectory as JSON; -trace streams phase transitions and
-// per-sweep fits to stderr as they happen; -debug-addr serves live
-// net/http/pprof profiles and expvar counters for long runs. See the
-// README's "Observability" section.
+// counts, flop estimate, latency quantiles, allocation); -metrics-json dumps
+// the same report plus the fit trajectory as JSON; -trace streams phase
+// transitions and per-sweep fits to stderr as they happen; -trace-out records
+// a hierarchical span trace of the whole run (decompose → phases → sweeps →
+// per-slice worker spans) as a Perfetto-loadable Chrome trace or JSONL;
+// -debug-addr serves live net/http/pprof profiles and expvar counters for
+// long runs. See the README's "Observability" section.
 package main
 
 import (
@@ -49,6 +52,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -74,6 +78,8 @@ func main() {
 		showMetrics = flag.Bool("metrics", false, "print a per-phase metrics table (wall time, SVD/flop counts, allocation)")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics report (phases + fit trajectory) as JSON to this file (\"-\" for stdout)")
 		traceFlag   = flag.Bool("trace", false, "stream progress (phase transitions, per-sweep fits) to stderr")
+		traceOut    = flag.String("trace-out", "", "write a span trace of the run (phases, sweeps, per-slice worker lanes) to this file")
+		traceFormat = flag.String("trace-format", "chrome", "span trace encoding: chrome (Perfetto / chrome://tracing) or jsonl (one span per line)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
@@ -103,14 +109,33 @@ func main() {
 		startDebugServer(*debugAddr)
 	}
 	var col *metrics.Collector
-	if *showMetrics || *metricsJSON != "" || *traceFlag || *debugAddr != "" {
+	if *showMetrics || *metricsJSON != "" || *traceFlag || *traceOut != "" || *debugAddr != "" {
 		col = metrics.New()
 	}
 	if *traceFlag {
-		start := time.Now()
+		// The collector stamps each message with a monotonic timestamp
+		// before it reaches the sink; print it as-is.
 		col.SetTrace(func(msg string) {
-			fmt.Fprintf(os.Stderr, "[%8.3fs] %s\n", time.Since(start).Seconds(), msg)
+			fmt.Fprintln(os.Stderr, msg)
 		})
+	}
+	// Fail fast on an unwritable span-trace destination: create the file
+	// before spending minutes decomposing.
+	var (
+		traceFile *os.File
+		traceFmt  trace.Format
+	)
+	if *traceOut != "" {
+		traceFmt, err = trace.ParseFormat(*traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtucker:", err)
+			os.Exit(2)
+		}
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatal(fmt.Errorf("creating span trace file: %w", err))
+		}
+		col.SetTracer(trace.New())
 	}
 
 	x, err := tensor.LoadFile(*in)
@@ -132,10 +157,25 @@ func main() {
 		defer cancel()
 	}
 
+	var runErr error
 	if *method != bench.DTucker {
+		if traceFile != nil {
+			fmt.Fprintln(os.Stderr, "dtucker: note: -trace-out records d-tucker spans only; baseline methods are not traced")
+		}
 		runBaseline(x, *method, ranks, *tol, *maxIters, *seed, col != nil)
 	} else {
-		runDTucker(ctx, x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
+		runErr = runDTucker(ctx, x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
+	}
+
+	// Export the span trace even when the run failed or was interrupted —
+	// a trace of the unwind is exactly what a post-mortem needs.
+	if traceFile != nil {
+		if err := exportTrace(col, traceFmt, traceFile, *traceOut); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 
 	// The per-phase breakdown only exists for D-Tucker itself; baselines
@@ -154,7 +194,7 @@ func main() {
 	}
 }
 
-func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) {
+func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) error {
 	dec, err := core.Decompose(x, core.Options{
 		Ranks:     ranks,
 		Context:   ctx,
@@ -166,7 +206,7 @@ func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.
 		Metrics:   col,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	s := dec.Stats
 	conv := "converged"
@@ -182,10 +222,26 @@ func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.
 	}
 	if out != "" {
 		if err := saveModel(dec, out); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s.core.ten and %d factor files\n", out, len(dec.Factors))
 	}
+	return nil
+}
+
+// exportTrace writes the collector's recorded spans to the already-open
+// destination file and closes it.
+func exportTrace(col *metrics.Collector, f trace.Format, file *os.File, path string) error {
+	tr := col.Tracer()
+	if err := tr.Export(file, f); err != nil {
+		file.Close()
+		return fmt.Errorf("writing span trace: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("writing span trace: %w", err)
+	}
+	fmt.Printf("wrote span trace (%d spans, %s) to %s\n", tr.Len(), f, path)
+	return nil
 }
 
 func runBaseline(x *tensor.Dense, method string, ranks []int, tol float64, maxIters int, seed int64, collect bool) {

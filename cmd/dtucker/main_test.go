@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"os"
 	"os/exec"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -92,5 +94,122 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "interrupted during approximation phase") {
 		t.Fatalf("timed-out output missing phase report:\n%s", out)
+	}
+}
+
+// TestTraceOutFlag builds the binary and exercises -trace-out end to end:
+// both encodings produce a well-formed file, the stderr progress stream
+// carries exactly one timestamp prefix per line, and an unwritable
+// destination or unknown format fails before the decomposition starts.
+func TestTraceOutFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := dir + "/dtucker"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 12, 10, 8)
+	in := dir + "/x.ten"
+	if err := x.SaveFile(in); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chrome encoding (the default): one JSON document Perfetto can load,
+	// with complete events and named lanes.
+	chromePath := dir + "/spans.json"
+	out, err := exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-workers", "2", "-trace-out", chromePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chrome trace run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote span trace") {
+		t.Fatalf("no span-trace confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete == 0 || meta == 0 {
+		t.Fatalf("chrome trace has %d complete and %d metadata events:\n%s", complete, meta, data)
+	}
+
+	// JSONL encoding: one span object per line, including the root.
+	jsonlPath := dir + "/spans.jsonl"
+	if out, err := exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-trace-out", jsonlPath, "-trace-format", "jsonl").CombinedOutput(); err != nil {
+		t.Fatalf("jsonl trace run: %v\n%s", err, out)
+	}
+	data, err = os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRoot := false
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var span struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if span.Name == "decompose" {
+			sawRoot = true
+		}
+	}
+	if !sawRoot {
+		t.Fatalf("no root decompose span in JSONL output:\n%s", data)
+	}
+
+	// The -trace stderr stream: every progress line carries exactly one
+	// monotonic timestamp prefix (the collector's), never a doubled one.
+	out, err = exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-trace").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-trace run: %v\n%s", err, out)
+	}
+	stamp := regexp.MustCompile(`^\[ *\d+\.\d{6}s\] [^\[]`)
+	stamped := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		if !strings.HasPrefix(line, "[") {
+			continue
+		}
+		if !stamp.MatchString(line) {
+			t.Fatalf("progress line %q lacks a single timestamp prefix", line)
+		}
+		stamped++
+	}
+	if stamped == 0 {
+		t.Fatalf("-trace produced no timestamped progress lines:\n%s", out)
+	}
+
+	// Failure modes: unwritable destination and unknown format must exit
+	// non-zero with a clear message, before any decomposition output.
+	out, err = exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-trace-out", dir+"/no/such/dir/spans.json").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unwritable -trace-out accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "creating span trace file") {
+		t.Fatalf("unwritable -trace-out error unclear:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-in", in, "-ranks", "3,3,3", "-trace-out", dir+"/s.json", "-trace-format", "xml").CombinedOutput()
+	var xerr2 *exec.ExitError
+	if !errors.As(err, &xerr2) || xerr2.ExitCode() != 2 {
+		t.Fatalf("unknown -trace-format: err = %v, want usage exit 2\n%s", err, out)
 	}
 }

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TrajectorySchema is the version stamp written into every trajectory file.
+// Readers reject files with a different schema instead of guessing, so the
+// format can evolve without silently mis-comparing old baselines.
+const TrajectorySchema = 1
+
+// PhaseSeconds is one named phase's wall time in a trajectory.
+type PhaseSeconds struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Trajectory is one machine-readable benchmark measurement: the full
+// configuration that produced it, per-phase wall times, kernel counters,
+// latency-histogram quantiles, solution quality, and peak heap. Committed
+// as BENCH_<UTC-date>.json files, these form the repo's performance record;
+// CompareTrajectories turns two of them into a regression verdict.
+type Trajectory struct {
+	Schema     int    `json:"schema"`
+	CreatedUTC string `json:"created_utc"`
+
+	// Environment — recorded so a regression can be told apart from a
+	// machine change.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// Configuration.
+	Dataset  string  `json:"dataset"`
+	Shape    []int   `json:"shape"`
+	Ranks    []int   `json:"ranks"`
+	Workers  int     `json:"workers"`
+	Seed     int64   `json:"seed"`
+	Tol      float64 `json:"tol"`
+	MaxIters int     `json:"max_iters"`
+
+	// Measurements.
+	Phases       []PhaseSeconds         `json:"phases"`
+	TotalSeconds float64                `json:"total_seconds"`
+	Fit          float64                `json:"fit"` // 1 − ‖X−X̂‖_F/‖X‖_F
+	Converged    bool                   `json:"converged"`
+	Iters        int                    `json:"iters"`
+	Counters     metrics.Counters       `json:"counters"`
+	Histograms   []metrics.HistSnapshot `json:"histograms,omitempty"`
+	// PeakHeapBytes is the maximum live-heap size (runtime HeapAlloc)
+	// sampled during the run — residency, not cumulative allocation.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// CollectTrajectory runs D-Tucker once under full instrumentation (counters,
+// histograms, heap sampling) and returns the measurement. The process-global
+// metrics state is reset first and restored to its previous enablement after,
+// so the call composes with an otherwise uninstrumented process.
+func CollectTrajectory(spec Spec) (Trajectory, error) {
+	prev := metrics.SetEnabled(true)
+	defer metrics.SetEnabled(prev)
+	metrics.Reset()
+	metrics.ResetHists()
+
+	spec.Metrics = true
+	var res Result
+	var runErr error
+	peak := sampleHeapPeak(func() {
+		res, runErr = Run(DTucker, spec)
+	})
+	if runErr != nil {
+		return Trajectory{}, runErr
+	}
+
+	tr := Trajectory{
+		Schema:     TrajectorySchema,
+		CreatedUTC: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    spec.Dataset.Name,
+		Shape:      spec.Dataset.X.Shape(),
+		Ranks:      spec.Ranks,
+		Workers:    spec.Workers,
+		Seed:       spec.Seed,
+		Tol:        spec.Tol,
+		MaxIters:   spec.MaxIters,
+		Phases: []PhaseSeconds{
+			{Name: "approximation", Seconds: res.ApproxTime.Seconds()},
+			{Name: "initialization", Seconds: res.InitTime.Seconds()},
+			{Name: "iteration", Seconds: res.IterTime.Seconds()},
+		},
+		TotalSeconds:  res.Total().Seconds(),
+		Fit:           1 - res.RelErr,
+		Converged:     res.Converged,
+		Iters:         res.Iters,
+		Counters:      metrics.Snapshot(),
+		Histograms:    metrics.Histograms(),
+		PeakHeapBytes: peak,
+	}
+	if spec.SkipError {
+		tr.Fit = math.NaN()
+	}
+	return tr, nil
+}
+
+// sampleHeapPeak runs fn while polling the live-heap size on a short period,
+// returning the maximum observed HeapAlloc. A sampler misses short spikes
+// between polls; it is a lower bound on the true peak, which is what a
+// committed trajectory needs — stable to read, cheap to collect.
+func sampleHeapPeak(fn func()) uint64 {
+	var (
+		peak uint64
+		ms   runtime.MemStats
+	)
+	read := func() {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	runtime.GC()
+	read()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				read()
+			}
+		}
+	}()
+	fn()
+	close(done)
+	wg.Wait()
+	read()
+	return peak
+}
+
+// DefaultTrajectorySpec is the committed-baseline configuration: a low-rank
+// video-class tensor small enough to run in seconds on one core, but large
+// enough that the three phases all register. cmd/benchreport emits it by
+// default so every BENCH_*.json in the repo history measures the same thing.
+func DefaultTrajectorySpec(workers int) Spec {
+	return Spec{
+		Dataset:  workload.LowRankNoise([]int{128, 96, 96}, 8, 0.10, 42),
+		Ranks:    []int{8, 8, 8},
+		Seed:     42,
+		Tol:      1e-4,
+		MaxIters: 30,
+		Workers:  workers,
+	}
+}
+
+// SaveTrajectory writes the trajectory as indented JSON, atomically enough
+// for a build tool: a partial write fails loudly at the next Load rather
+// than parsing as a truncated measurement.
+func SaveTrajectory(path string, tr Trajectory) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding trajectory: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing trajectory: %w", err)
+	}
+	return nil
+}
+
+// LoadTrajectory reads a trajectory file, rejecting unknown schemas.
+func LoadTrajectory(path string) (Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Trajectory{}, fmt.Errorf("bench: reading trajectory: %w", err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return Trajectory{}, fmt.Errorf("bench: parsing trajectory %s: %w", path, err)
+	}
+	if tr.Schema != TrajectorySchema {
+		return Trajectory{}, fmt.Errorf("bench: trajectory %s has schema %d, want %d",
+			path, tr.Schema, TrajectorySchema)
+	}
+	return tr, nil
+}
+
+// Regression is one metric that got worse from old to new by more than the
+// allowed percentage.
+type Regression struct {
+	Metric string  // e.g. "total_seconds", "phase:iteration", "flops"
+	Old    float64
+	New    float64
+	Pct    float64 // percent change, positive = worse
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g → %.4g (%+.1f%%)", r.Metric, r.Old, r.New, r.Pct)
+}
+
+// CompareTrajectories reports every metric in new that regressed past maxPct
+// percent relative to old. Wall-clock metrics (total and per-phase seconds)
+// and the deterministic work metrics (flop estimate, iteration count) may
+// grow by at most maxPct; fit may drop by at most maxPct percent of its old
+// distance-from-zero. Phases present in only one trajectory are skipped —
+// schema evolution, not regression. A nil result means new is acceptable.
+func CompareTrajectories(old, new Trajectory, maxPct float64) []Regression {
+	var regs []Regression
+	check := func(metric string, oldV, newV float64) {
+		if oldV <= 0 || math.IsNaN(oldV) || math.IsNaN(newV) {
+			return // nothing meaningful to compare against
+		}
+		pct := (newV - oldV) / oldV * 100
+		if pct > maxPct {
+			regs = append(regs, Regression{Metric: metric, Old: oldV, New: newV, Pct: pct})
+		}
+	}
+
+	check("total_seconds", old.TotalSeconds, new.TotalSeconds)
+	newPhases := map[string]float64{}
+	for _, p := range new.Phases {
+		newPhases[p.Name] = p.Seconds
+	}
+	for _, p := range old.Phases {
+		if s, ok := newPhases[p.Name]; ok {
+			check("phase:"+p.Name, p.Seconds, s)
+		}
+	}
+	check("flops", float64(old.Counters.MatmulFlops+old.Counters.QRFlops),
+		float64(new.Counters.MatmulFlops+new.Counters.QRFlops))
+	check("iters", float64(old.Iters), float64(new.Iters))
+	// Fit regression: a drop, measured in percent of the old fit.
+	if !math.IsNaN(old.Fit) && !math.IsNaN(new.Fit) && old.Fit > 0 {
+		pct := (old.Fit - new.Fit) / old.Fit * 100
+		if pct > maxPct {
+			regs = append(regs, Regression{Metric: "fit", Old: old.Fit, New: new.Fit, Pct: pct})
+		}
+	}
+	return regs
+}

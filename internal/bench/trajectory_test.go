@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func tinySpec() Spec {
+	return Spec{
+		Dataset:  workload.LowRankNoise([]int{16, 14, 6}, 3, 0.05, 11),
+		Ranks:    []int{3, 3, 3},
+		Seed:     11,
+		MaxIters: 5,
+	}
+}
+
+func TestCollectTrajectory(t *testing.T) {
+	tr, err := CollectTrajectory(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != TrajectorySchema {
+		t.Fatalf("schema = %d, want %d", tr.Schema, TrajectorySchema)
+	}
+	if tr.CreatedUTC == "" || !strings.HasSuffix(tr.CreatedUTC, "Z") {
+		t.Fatalf("CreatedUTC = %q, want RFC3339 UTC", tr.CreatedUTC)
+	}
+	if len(tr.Shape) != 3 || tr.Shape[0] != 16 {
+		t.Fatalf("shape = %v", tr.Shape)
+	}
+	if len(tr.Phases) != 3 {
+		t.Fatalf("phases = %v", tr.Phases)
+	}
+	if tr.TotalSeconds <= 0 {
+		t.Fatalf("TotalSeconds = %v", tr.TotalSeconds)
+	}
+	if tr.Fit <= 0.5 || tr.Fit > 1 {
+		t.Fatalf("fit = %v on a low-rank tensor", tr.Fit)
+	}
+	if tr.Counters.MatmulFlops == 0 || tr.Counters.SliceSVDs == 0 {
+		t.Fatalf("kernel counters empty: %+v", tr.Counters)
+	}
+	if len(tr.Histograms) == 0 {
+		t.Fatal("no histogram quantiles collected")
+	}
+	if tr.PeakHeapBytes == 0 {
+		t.Fatal("peak heap not sampled")
+	}
+}
+
+func TestTrajectorySaveLoadRoundTrip(t *testing.T) {
+	tr, err := CollectTrajectory(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := SaveTrajectory(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CreatedUTC != tr.CreatedUTC || got.TotalSeconds != tr.TotalSeconds ||
+		got.Counters != tr.Counters || len(got.Histograms) != len(tr.Histograms) {
+		t.Fatalf("round trip mismatch:\nsaved  %+v\nloaded %+v", tr, got)
+	}
+}
+
+func TestLoadTrajectoryRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(path); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema": 1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(path); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestTrajectoryJSONFieldNames(t *testing.T) {
+	// The on-disk field names are the schema; renaming one is a breaking
+	// change that must bump TrajectorySchema.
+	data, err := json.Marshal(Trajectory{Schema: TrajectorySchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema"`, `"created_utc"`, `"go_version"`, `"shape"`, `"ranks"`,
+		`"phases"`, `"total_seconds"`, `"fit"`, `"counters"`, `"peak_heap_bytes"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("serialized trajectory missing %s:\n%s", key, data)
+		}
+	}
+}
+
+func TestCompareTrajectories(t *testing.T) {
+	base := Trajectory{
+		Schema:       TrajectorySchema,
+		TotalSeconds: 10,
+		Phases: []PhaseSeconds{
+			{Name: "approximation", Seconds: 2},
+			{Name: "iteration", Seconds: 8},
+		},
+		Fit:   0.95,
+		Iters: 10,
+	}
+	base.Counters.MatmulFlops = 1000
+
+	if regs := CompareTrajectories(base, base, 5); regs != nil {
+		t.Fatalf("identical trajectories regressed: %v", regs)
+	}
+
+	worse := base
+	worse.TotalSeconds = 12 // +20%
+	worse.Phases = []PhaseSeconds{
+		{Name: "approximation", Seconds: 2},
+		{Name: "iteration", Seconds: 10.4}, // +30%
+	}
+	worse.Fit = 0.80 // −15.8%
+	regs := CompareTrajectories(base, worse, 5)
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric] = true
+		if r.Pct <= 5 {
+			t.Errorf("reported regression under threshold: %v", r)
+		}
+	}
+	for _, want := range []string{"total_seconds", "phase:iteration", "fit"} {
+		if !got[want] {
+			t.Errorf("regression in %s not reported; got %v", want, regs)
+		}
+	}
+	if got["phase:approximation"] {
+		t.Error("unchanged phase reported as regressed")
+	}
+
+	// Within threshold → clean.
+	mild := base
+	mild.TotalSeconds = 10.3
+	if regs := CompareTrajectories(base, mild, 5); regs != nil {
+		t.Fatalf("+3%% flagged at 5%% threshold: %v", regs)
+	}
+
+	// A phase that disappeared (schema evolution) is not a regression.
+	renamed := worse
+	renamed.TotalSeconds = base.TotalSeconds
+	renamed.Fit = base.Fit
+	renamed.Phases = []PhaseSeconds{{Name: "solve", Seconds: 100}}
+	if regs := CompareTrajectories(base, renamed, 5); regs != nil {
+		t.Fatalf("missing phases compared anyway: %v", regs)
+	}
+}

@@ -183,6 +183,8 @@ func DecomposeAdaptive(x *tensor.Dense, eps float64, maxRank int, opts Options) 
 	if maxRank <= 0 {
 		return nil, nil, fmt.Errorf("core: non-positive maxRank %d: %w", maxRank, dterr.ErrInvalidInput)
 	}
+	root := opts.Metrics.Tracer().Begin("decompose-adaptive")
+	defer root.End()
 	provisional := make([]int, x.Order())
 	for n := range provisional {
 		provisional[n] = min(maxRank, x.Dim(n))

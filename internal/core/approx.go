@@ -202,11 +202,13 @@ func compressSlices(x *tensor.Dense, perm []int, r int, keyBase int64, opts Opti
 		ns *= x.Dim(p)
 	}
 	slices := make([]SliceSVD, ns)
-	err := pl.Run(opts.Context, ns, func(_, l int) error {
+	err := pl.RunLabeled(opts.Context, "slice", ns, func(_, l int) error {
 		if err := siteApproxSlice.Inject(); err != nil {
 			return fmt.Errorf("core: compressing slice %d: %w", l, err)
 		}
+		t0 := metrics.HistStart()
 		res, fell, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, keyBase, opts)
+		metrics.ObserveSince(metrics.HistSliceSVD, t0)
 		if err != nil {
 			return fmt.Errorf("core: compressing slice %d: %w", l, err)
 		}

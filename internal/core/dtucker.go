@@ -38,6 +38,8 @@ type Decomposition struct {
 
 // Decompose runs all three D-Tucker phases on x.
 func Decompose(x *tensor.Dense, opts Options) (*Decomposition, error) {
+	root := opts.Metrics.Tracer().Begin("decompose")
+	defer root.End()
 	t0 := time.Now()
 	ap, err := Approximate(x, opts)
 	if err != nil {
@@ -58,6 +60,8 @@ func Decompose(x *tensor.Dense, opts Options) (*Decomposition, error) {
 // measure.
 func (ap *Approximation) Decompose() (_ *Decomposition, err error) {
 	defer dterr.RecoverTo(&err, "core.Approximation.Decompose")
+	root := ap.opts.Metrics.Tracer().Begin("solve")
+	defer root.End()
 	t0 := time.Now()
 	factors, err := ap.initFactors()
 	if err != nil {

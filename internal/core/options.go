@@ -184,10 +184,15 @@ func wrapCancel(phase string, err error) error {
 }
 
 // newPool returns the decomposition's execution pool: the caller-supplied
-// one when set, otherwise a fresh pool of Workers size.
+// one when set, otherwise a fresh pool of Workers size carrying the
+// collector's span tracer so labeled parallel regions record per-task spans
+// on worker lanes. A caller-supplied pool is externally owned, so its tracer
+// (or lack of one) is left alone.
 func (o Options) newPool() *pool.Pool {
 	if o.Pool != nil {
 		return o.Pool
 	}
-	return pool.New(o.Workers)
+	p := pool.New(o.Workers)
+	p.SetTracer(o.Metrics.Tracer())
+	return p
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -26,4 +27,22 @@ func BenchmarkQuickstartMetricsOn(b *testing.B) {
 	metrics.SetEnabled(true)
 	defer metrics.SetEnabled(false)
 	benchDecompose(b, &metrics.Collector{})
+}
+
+// BenchmarkQuickstartTraceOn measures the fully instrumented path: counters,
+// histograms, and a live span tracer recording the whole run. Compare
+// against MetricsOff (nothing on — the tracer-off baseline, whose hooks are
+// nil no-ops) and MetricsOn (counters + histograms, no spans).
+func BenchmarkQuickstartTraceOn(b *testing.B) {
+	metrics.SetEnabled(true)
+	defer metrics.SetEnabled(false)
+	x := workload.LowRankNoise([]int{128, 96, 200}, 8, 0.10, 42).X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := &metrics.Collector{}
+		col.SetTracer(trace.New())
+		if _, err := Decompose(x, Options{Ranks: []int{8, 8, 8}, Seed: 42, Metrics: col}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -28,6 +28,7 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 	col := ap.opts.Metrics
 	col.StartPhase(metrics.PhaseInit)
 	defer col.EndPhase(metrics.PhaseInit)
+	tr := col.Tracer()
 	order := len(ap.Shape)
 	i1, i2 := ap.Shape[0], ap.Shape[1]
 	r := ap.SliceRank
@@ -36,7 +37,11 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 
 	factors := make([]*mat.Dense, order)
 
+	// Per-factor spans end on the happy path; error returns leave them to be
+	// force-closed by the phase span the deferred EndPhase ends.
+
 	// A(1) ← leading J1 left singular vectors of [U_1S_1 … U_LS_L].
+	sp := tr.BeginIdx("factor", 1)
 	if err := ap.initBoundary(); err != nil {
 		return nil, err
 	}
@@ -49,8 +54,10 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 		return nil, fmt.Errorf("core: initializing mode-1 factor: %w", err)
 	}
 	factors[0] = a1
+	sp.End()
 
 	// A(2) ← leading J2 left singular vectors of [V_1S_1 … V_LS_L].
+	sp = tr.BeginIdx("factor", 2)
 	if err := ap.initBoundary(); err != nil {
 		return nil, err
 	}
@@ -63,6 +70,7 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 		return nil, fmt.Errorf("core: initializing mode-2 factor: %w", err)
 	}
 	factors[1] = a2
+	sp.End()
 
 	// Remaining modes from the small projected tensor W (truncated HOSVD).
 	if order > 2 {
@@ -71,6 +79,7 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 			return nil, err
 		}
 		for n := 2; n < order; n++ {
+			sp = tr.BeginIdx("factor", int64(n+1))
 			if err := ap.initBoundary(); err != nil {
 				return nil, err
 			}
@@ -79,6 +88,7 @@ func (ap *Approximation) initFactors() ([]*mat.Dense, error) {
 				return nil, fmt.Errorf("core: initializing mode-%d factor: %w", n+1, err)
 			}
 			factors[n] = f
+			sp.End()
 		}
 	}
 	return factors, nil
@@ -148,7 +158,9 @@ func (ap *Approximation) projectedTensor(phase string, a1, a2 *mat.Dense) (*tens
 	// cancellation observed inside the region (initialization and iteration
 	// both build projected tensors).
 	pl := ap.workerPool()
-	err := pl.Run(ap.opts.Context, len(ap.Slices), func(_, l int) error {
+	sp := ap.opts.Metrics.Tracer().Begin("project")
+	defer sp.End()
+	err := pl.RunLabeled(ap.opts.Context, "project-slice", len(ap.Slices), func(_, l int) error {
 		ap.projectSlice(w, l, a1, a2)
 		return nil
 	})
@@ -391,12 +403,12 @@ func (ap *Approximation) accumulateSliceMode(mode int, factors []*mat.Dense) (*m
 		ap.accRowRange(sc, mode, 0, 0, sc.rows)
 		return sc.y, nil
 	}
-	err := pl.Run(ctx, L, func(worker, l int) error {
+	err := pl.RunLabeled(ctx, "acc-slice", L, func(worker, l int) error {
 		ap.accProjectSlice(sc, mode, factors, worker, l)
 		return nil
 	})
 	if err == nil {
-		err = pl.RunRanges(ctx, sc.rows, pl.Size(), func(worker, lo, hi int) error {
+		err = pl.RunRangesLabeled(ctx, "acc-rows", sc.rows, pl.Size(), func(worker, lo, hi int) error {
 			ap.accRowRange(sc, mode, worker, lo, hi)
 			return nil
 		})
@@ -428,6 +440,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 	col.StartPhase(metrics.PhaseIter)
 	defer col.EndPhase(metrics.PhaseIter)
 	defer ap.releaseScratch()
+	tr := col.Tracer()
 	pl := ap.workerPool()
 	order := len(ap.Shape)
 	var (
@@ -437,7 +450,11 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 		iters     int
 		converged bool
 	)
+	// Sweep and mode spans end on the happy path; any error return leaves
+	// them to be force-closed by the phase span the deferred EndPhase ends,
+	// so the trace stays balanced on every exit.
 	for iters = 1; iters <= ap.opts.MaxIters; iters++ {
+		sweep := tr.BeginIdx("sweep", int64(iters))
 		// Sweep boundary: a cancelled run stops here, before the next sweep
 		// touches any scratch, and the core.iter.sweep fault hook fires.
 		if err := ap.opts.cancelled("iteration"); err != nil {
@@ -449,6 +466,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 		// Modes 1 and 2: leading left singular vectors of the slice-based
 		// accumulation.
 		for mode := 0; mode < 2; mode++ {
+			msp := tr.BeginIdx("mode", int64(mode+1))
 			y, err := ap.accumulateSliceMode(mode, factors)
 			if err != nil {
 				return nil, 0, iters, false, err
@@ -458,6 +476,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 				return nil, 0, iters, false, fmt.Errorf("core: updating mode-%d factor: %w", mode+1, err)
 			}
 			factors[mode] = f
+			msp.End()
 		}
 		// Remaining modes and the core from the small projected tensor.
 		w, err := ap.projectedTensor("iteration", factors[0], factors[1])
@@ -465,6 +484,7 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 			return nil, 0, iters, false, err
 		}
 		for n := 2; n < order; n++ {
+			msp := tr.BeginIdx("mode", int64(n+1))
 			y := w
 			for k := 2; k < order; k++ {
 				if k == n {
@@ -477,14 +497,18 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 				return nil, 0, iters, false, fmt.Errorf("core: updating mode-%d factor: %w", n+1, err)
 			}
 			factors[n] = f
+			msp.End()
 		}
+		csp := tr.Begin("core-update")
 		core = w
 		for k := 2; k < order; k++ {
 			core = core.ModeProductP(factors[k].T(), k, pl)
 		}
 
 		fit = tucker.FitFromCore(ap.NormX, core.Norm())
+		csp.End()
 		col.RecordFit(iters, fit)
+		sweep.End()
 		if iters > 1 && abs(fit-prevFit) < ap.opts.Tol {
 			converged = true
 			break

@@ -21,6 +21,8 @@ import (
 // range length, not the stream length. Labelled an extension in DESIGN.md.
 func (s *Stream) DecomposeRange(t0, t1 int) (_ *Decomposition, err error) {
 	defer dterr.RecoverTo(&err, "core.Stream.DecomposeRange")
+	root := s.opts.Metrics.Tracer().Begin("solve-range")
+	defer root.End()
 	if s.shape == nil {
 		return nil, fmt.Errorf("core: DecomposeRange on an empty stream: %w", dterr.ErrInvalidInput)
 	}

@@ -289,11 +289,13 @@ func TestCancelMidRun(t *testing.T) {
 	x := lowRankTensor(rng, 0.1, 4, 24, 20, 10)
 	opts := Options{Ranks: uniformRanks(3, 4), Seed: 9, Workers: 4}
 
-	cancelOn := func(prefix string) (*metrics.Collector, context.Context) {
+	// Sink messages arrive prefixed with a monotonic timestamp, so matching
+	// is on content, not prefix.
+	cancelOn := func(marker string) (*metrics.Collector, context.Context) {
 		ctx, cancel := context.WithCancel(context.Background())
 		col := metrics.New()
 		col.SetTrace(func(msg string) {
-			if strings.HasPrefix(msg, prefix) {
+			if strings.Contains(msg, marker) {
 				cancel()
 			}
 		})

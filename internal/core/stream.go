@@ -81,6 +81,8 @@ func (s *Stream) StorageFloats() int {
 // are retained.
 func (s *Stream) Append(chunk *tensor.Dense) (err error) {
 	defer dterr.RecoverTo(&err, "core.Stream.Append")
+	root := s.opts.Metrics.Tracer().Begin("append")
+	defer root.End()
 	if chunk == nil {
 		return fmt.Errorf("core: nil chunk: %w", dterr.ErrInvalidInput)
 	}
@@ -181,6 +183,8 @@ func (s *Stream) Append(chunk *tensor.Dense) (err error) {
 // previous factors, refreshing only the temporal factor before iterating.
 func (s *Stream) Decompose() (_ *Decomposition, err error) {
 	defer dterr.RecoverTo(&err, "core.Stream.Decompose")
+	root := s.opts.Metrics.Tracer().Begin("solve")
+	defer root.End()
 	if s.shape == nil {
 		return nil, fmt.Errorf("core: Decompose on an empty stream: %w", dterr.ErrInvalidInput)
 	}

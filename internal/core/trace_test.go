@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// tracedCollector returns a collector carrying a fresh tracer, with the
+// global instrumentation enabled for the test's duration.
+func tracedCollector(t *testing.T) (*metrics.Collector, *trace.Tracer) {
+	t.Helper()
+	prev := metrics.SetEnabled(true)
+	t.Cleanup(func() { metrics.SetEnabled(prev) })
+	col := &metrics.Collector{}
+	tr := trace.New()
+	col.SetTracer(tr)
+	return col, tr
+}
+
+func spanNames(tr *trace.Tracer) map[string]int {
+	names := map[string]int{}
+	for _, sp := range tr.Spans() {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestDecomposeTraceShape runs a full parallel decomposition under the
+// tracer and checks the span tree has the documented shape: one root, the
+// three phase spans beneath it, sweeps under the iteration phase, and
+// per-slice worker spans on worker lanes — all balanced.
+func TestDecomposeTraceShape(t *testing.T) {
+	col, tr := tracedCollector(t)
+	rng := rand.New(rand.NewSource(21))
+	x := lowRankTensor(rng, 0.1, 4, 24, 20, 8)
+	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans = %d after clean run", open)
+	}
+	names := spanNames(tr)
+	for _, want := range []string{"decompose", "approximation", "initialization", "iteration", "factor", "sweep", "mode", "project", "slice", "core-update"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span recorded; got %v", want, names)
+		}
+	}
+	if names["sweep"] != dec.Stats.Iters {
+		t.Errorf("%d sweep spans for %d sweeps", names["sweep"], dec.Stats.Iters)
+	}
+	if names["slice"] != 8 {
+		t.Errorf("%d slice spans for 8 slices", names["slice"])
+	}
+
+	spans := tr.Spans()
+	var root, solve trace.Span
+	for _, sp := range spans {
+		switch sp.Name {
+		case "decompose":
+			root = sp
+		case "solve":
+			solve = sp
+		}
+	}
+	if root.ID == 0 || root.Parent != 0 || root.Lane != 0 {
+		t.Fatalf("bad root span %+v", root)
+	}
+	if solve.ID == 0 || solve.Parent != root.ID {
+		t.Fatalf("solve span %+v not a child of the root", solve)
+	}
+	workerLanes := map[int]bool{}
+	for _, sp := range spans {
+		if sp.Forced {
+			t.Errorf("clean run recorded forced span %+v", sp)
+		}
+		switch sp.Name {
+		case "approximation":
+			if sp.Parent != root.ID {
+				t.Errorf("phase %q parent %d, want root %d", sp.Name, sp.Parent, root.ID)
+			}
+		case "initialization", "iteration":
+			// The solve stage owns the post-approximation phases.
+			if sp.Parent != solve.ID {
+				t.Errorf("phase %q parent %d, want solve %d", sp.Name, sp.Parent, solve.ID)
+			}
+		case "slice", "project-slice", "acc-slice", "acc-rows":
+			if sp.Lane < 1 {
+				t.Errorf("task span %q on control lane: %+v", sp.Name, sp)
+			}
+			workerLanes[sp.Lane] = true
+		}
+	}
+	if len(workerLanes) == 0 {
+		t.Fatal("no worker-lane spans recorded")
+	}
+
+	// The Chrome export of a real decomposition must be one valid JSON
+	// document with one complete event per span and a control lane.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export invalid: %v", err)
+	}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			complete++
+		}
+	}
+	if complete != tr.Len() {
+		t.Fatalf("%d complete events for %d spans", complete, tr.Len())
+	}
+}
+
+// TestTraceBalancedUnderCancellation drives a run cancelled before it starts
+// and one cancelled mid-iteration; both must leave zero open spans, the
+// mid-run one by force-closing whatever the unwind skipped.
+func TestTraceBalancedUnderCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := lowRankTensor(rng, 0.1, 4, 24, 20, 8)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		col, tr := tracedCollector(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col, Context: ctx})
+		if err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+		if open := tr.OpenSpans(); open != 0 {
+			t.Fatalf("OpenSpans = %d", open)
+		}
+	})
+
+	t.Run("mid-run", func(t *testing.T) {
+		col, tr := tracedCollector(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		// Cancel from inside the run's own trace stream, right as the
+		// initialization phase completes — the next boundary is a sweep.
+		col.SetTrace(func(msg string) {
+			if strings.Contains(msg, "initialization done") {
+				cancel()
+			}
+		})
+		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col, Context: ctx})
+		if err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+		if open := tr.OpenSpans(); open != 0 {
+			t.Fatalf("OpenSpans = %d after mid-run cancellation", open)
+		}
+		forced := 0
+		for _, sp := range tr.Spans() {
+			if sp.Forced {
+				forced++
+			}
+		}
+		if forced == 0 {
+			t.Fatal("mid-run cancellation force-closed nothing — unwind path not exercised")
+		}
+	})
+}
+
+// TestTraceBalancedUnderFaults arms every registered fault site in panic
+// mode (error mode for the sites that ignore Mode) and checks the trace is
+// balanced whatever path the contained failure unwound through.
+func TestTraceBalancedUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := lowRankTensor(rng, 0.05, 3, 12, 10, 6)
+	plans := sweepPlans()
+	defer faults.Reset()
+
+	for _, site := range faults.Sites() {
+		sp, ok := plans[site]
+		if !ok {
+			t.Fatalf("site %q not covered by sweepPlans", site)
+		}
+		// The harshest covered mode: panic where supported.
+		mode := sp.modes[len(sp.modes)-1]
+		plan := sp.plan
+		plan.Mode = mode
+		t.Run(fmt.Sprintf("%s/%s", site, mode), func(t *testing.T) {
+			col, tr := tracedCollector(t)
+			faults.Reset()
+			if err := faults.Activate(site, plan); err != nil {
+				t.Fatal(err)
+			}
+			defer faults.Reset()
+			_, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 4, Workers: 2, MaxIters: 8, Metrics: col})
+			if err != nil && sp.surface {
+				wantInjected(t, err, site, mode)
+			}
+			if open := tr.OpenSpans(); open != 0 {
+				t.Fatalf("OpenSpans = %d after fault at %q", open, site)
+			}
+		})
+	}
+}
+
+// TestHistogramCountsDeterministicAcrossWorkers pins the owner-computes
+// determinism contract at the histogram level: the same decomposition run
+// with 1 and 4 workers must observe exactly the same number of slice SVDs,
+// matmuls, and randomized-SVD stages. Latency values differ run to run;
+// observation counts must not. The pool-wait histogram is excluded — a
+// single-worker run takes the inline serial path that never queues tasks.
+func TestHistogramCountsDeterministicAcrossWorkers(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	t.Cleanup(func() {
+		metrics.SetEnabled(prev)
+		metrics.ResetHists()
+	})
+	rng := rand.New(rand.NewSource(24))
+	x := lowRankTensor(rng, 0.1, 4, 24, 20, 8)
+
+	countsFor := func(workers int) map[string]int64 {
+		metrics.ResetHists()
+		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: workers, MaxIters: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for _, h := range metrics.Histograms() {
+			if h.Name == "pool-wait" {
+				continue
+			}
+			out[h.Name] = h.Count
+		}
+		return out
+	}
+
+	serial := countsFor(1)
+	parallel := countsFor(4)
+	if len(serial) == 0 {
+		t.Fatal("no histogram observations recorded")
+	}
+	for _, name := range []string{"slice-svd", "matmul", "randsvd-sketch", "randsvd-project"} {
+		if serial[name] == 0 {
+			t.Errorf("histogram %q empty after an instrumented run", name)
+		}
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("histogram sets differ: %v vs %v", serial, parallel)
+	}
+	for name, n := range serial {
+		if parallel[name] != n {
+			t.Errorf("histogram %q: %d observations with 1 worker, %d with 4", name, n, parallel[name])
+		}
+	}
+}

@@ -129,17 +129,20 @@ func MulAddIntoP(dst, a, b *Dense, p *pool.Pool) {
 		panic(fmt.Sprintf("mat: MulAddInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.rows, b.cols))
 	}
 	metrics.CountMatmul(a.rows, a.cols, b.cols)
+	t0 := metrics.HistStart()
 	n, inner := b.cols, a.cols
 	// The single-worker path calls the range kernel directly: no closure is
 	// created, keeping repeated accumulation into a preallocated dst
 	// allocation-free (asserted by TestKernelsZeroAllocWithMetricsDisabled).
 	if effectiveWorkers(p.Size(), a.rows, 2*inner*n) <= 1 {
 		mulAddRows(dst, a, b, 0, a.rows)
+		metrics.ObserveSince(metrics.HistMatmul, t0)
 		return
 	}
 	parallelRows(p, a.rows, 2*inner*n, func(lo, hi int) {
 		mulAddRows(dst, a, b, lo, hi)
 	})
+	metrics.ObserveSince(metrics.HistMatmul, t0)
 }
 
 // mulAddRows accumulates rows [lo,hi) of a·b into dst using i-k-j ordering.
@@ -182,6 +185,7 @@ func MulTAInto(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulTAInto destination %d×%d for %d×%d product", dst.rows, dst.cols, a.cols, b.cols))
 	}
 	metrics.CountMatmul(a.cols, a.rows, b.cols)
+	t0 := metrics.HistStart()
 	dst.Zero()
 	// dstᵀ accumulation: dst[k,j] += a[i,k]*b[i,j]; iterate i outer so both
 	// reads are contiguous.
@@ -199,6 +203,7 @@ func MulTAInto(dst, a, b *Dense) {
 			}
 		}
 	}
+	metrics.ObserveSince(metrics.HistMatmul, t0)
 }
 
 // MulTB returns a·bᵀ without materializing the transpose, parallelized on
@@ -211,6 +216,7 @@ func MulTBP(a, b *Dense, p *pool.Pool) *Dense {
 		panic(fmt.Sprintf("mat: MulTB dimension mismatch %d×%d · (%d×%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
 	metrics.CountMatmul(a.rows, a.cols, b.rows)
+	t0 := metrics.HistStart()
 	out := New(a.rows, b.rows)
 	inner := a.cols
 	parallelRows(p, a.rows, 2*inner*b.rows, func(lo, hi int) {
@@ -222,12 +228,15 @@ func MulTBP(a, b *Dense, p *pool.Pool) *Dense {
 			}
 		}
 	})
+	metrics.ObserveSince(metrics.HistMatmul, t0)
 	return out
 }
 
 // Gram returns aᵀ·a, exploiting symmetry.
 func Gram(a *Dense) *Dense {
 	metrics.CountGram(a.rows, a.cols)
+	t0 := metrics.HistStart()
+	defer metrics.ObserveSince(metrics.HistMatmul, t0)
 	n := a.cols
 	out := New(n, n)
 	for i := 0; i < a.rows; i++ {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Phase identifies one of D-Tucker's three algorithm phases.
@@ -70,12 +72,27 @@ type PoolStats struct {
 	BusyNanos int64 `json:"busy_ns"`
 }
 
-// Report is the JSON-serializable summary of a collected run.
+// ReportSchema is the version stamped into every Report as its "schema"
+// field. Downstream parsers must check it and reject versions they do not
+// know: columns may be added within a version, but renames or semantic
+// changes bump it. Version history: 1 — initial versioned schema (phases,
+// total, fit trajectory, pool, histograms).
+const ReportSchema = 1
+
+// Report is the JSON-serializable summary of a collected run — the payload
+// of `cmd/dtucker -metrics-json`.
 type Report struct {
+	// Schema is the report format version (see ReportSchema).
+	Schema int          `json:"schema"`
 	Phases []PhaseStats `json:"phases"`
 	Total  PhaseStats   `json:"total"`
 	Fit    []FitSample  `json:"fit_trajectory,omitempty"`
 	Pool   *PoolStats   `json:"pool,omitempty"`
+	// Hists summarizes the kernel-latency histograms (p50/p95/p99) with at
+	// least one observation. Like the counters they are process-global, so
+	// they are attributable to this run only when it was the sole
+	// instrumented run in the process.
+	Hists []HistSnapshot `json:"histograms,omitempty"`
 }
 
 // Collector accumulates per-phase metrics for one logical run. The zero
@@ -84,15 +101,24 @@ type Report struct {
 // metrics are off. Methods are safe for concurrent use, though phase
 // brackets are expected from the single goroutine driving the run.
 type Collector struct {
-	mu    sync.Mutex
-	open  [numPhases]phaseOpen
-	wall  [numPhases]time.Duration
-	delta [numPhases]Counters
-	alloc [numPhases]uint64
-	heap  [numPhases]uint64
-	fits  []FitSample
-	pool  *PoolStats
-	trace func(string)
+	mu     sync.Mutex
+	open   [numPhases]phaseOpen
+	wall   [numPhases]time.Duration
+	delta  [numPhases]Counters
+	alloc  [numPhases]uint64
+	heap   [numPhases]uint64
+	fits   []FitSample
+	pool   *PoolStats
+	trace  func(string)
+	tracer *trace.Tracer
+
+	// sinkMu serializes trace-sink invocations: Tracef is called from pool
+	// workers, and without this lock concurrent messages could interleave
+	// inside the sink. It also orders the monotonic timestamps prefixed to
+	// each line. Separate from mu so a slow sink never blocks phase
+	// bookkeeping.
+	sinkMu    sync.Mutex
+	sinkStart time.Time
 }
 
 type phaseOpen struct {
@@ -100,6 +126,7 @@ type phaseOpen struct {
 	start    time.Time
 	counters Counters
 	totalAlc uint64
+	span     trace.Ctx
 }
 
 // New returns a fresh Collector and enables the process-global kernel
@@ -112,13 +139,56 @@ func New() *Collector {
 
 // SetTrace installs a progress-trace sink; core emits phase transitions and
 // per-sweep fits through it. A nil fn disables tracing.
+//
+// The sink is invoked serially (never concurrently, even when pool workers
+// trace) and each message arrives prefixed with a monotonic timestamp
+// "[  12.345678s]" measured from the moment the sink was installed, so the
+// sink itself needs no locking and no clock.
 func (c *Collector) SetTrace(fn func(msg string)) {
 	if c == nil {
 		return
 	}
+	c.sinkMu.Lock()
+	if fn != nil && c.sinkStart.IsZero() {
+		c.sinkStart = time.Now()
+	}
+	c.sinkMu.Unlock()
 	c.mu.Lock()
 	c.trace = fn
 	c.mu.Unlock()
+}
+
+// SetTracer attaches a span tracer; core brackets decompositions, phases,
+// sweeps, modes, and pool tasks with spans on it (see internal/trace). A
+// nil tracer — the default — disables span recording at zero cost.
+func (c *Collector) SetTracer(t *trace.Tracer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
+}
+
+// Tracer returns the attached span tracer, nil when none (including on a
+// nil Collector, so call sites need no guards).
+func (c *Collector) Tracer() *trace.Tracer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
+
+// emit pushes one formatted message through the sink, serialized under
+// sinkMu and prefixed with the monotonic elapsed time — the lock both
+// prevents interleaving and makes the prefixed timestamps non-decreasing in
+// sink-call order.
+func (c *Collector) emit(fn func(string), msg string) {
+	c.sinkMu.Lock()
+	defer c.sinkMu.Unlock()
+	fn(fmt.Sprintf("[%10.6fs] %s", time.Since(c.sinkStart).Seconds(), msg))
 }
 
 // Tracing reports whether a trace sink is installed. Callers formatting
@@ -132,7 +202,9 @@ func (c *Collector) Tracing() bool {
 	return c.trace != nil
 }
 
-// Tracef formats and emits one trace message if a sink is installed.
+// Tracef formats and emits one trace message if a sink is installed. Safe
+// to call from any goroutine: messages are delivered to the sink one at a
+// time, timestamped in delivery order.
 func (c *Collector) Tracef(format string, args ...any) {
 	if c == nil {
 		return
@@ -141,7 +213,7 @@ func (c *Collector) Tracef(format string, args ...any) {
 	fn := c.trace
 	c.mu.Unlock()
 	if fn != nil {
-		fn(fmt.Sprintf(format, args...))
+		c.emit(fn, fmt.Sprintf(format, args...))
 	}
 }
 
@@ -156,7 +228,15 @@ func (c *Collector) StartPhase(p Phase) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	c.mu.Lock()
-	c.open[p] = phaseOpen{active: true, start: time.Now(), counters: Snapshot(), totalAlc: ms.TotalAlloc}
+	tr := c.tracer
+	prev := c.open[p].span
+	c.mu.Unlock()
+	// Restarting an open phase replaces its bracket; close the superseded
+	// span first so the trace stays balanced.
+	prev.End()
+	span := tr.Begin(p.String())
+	c.mu.Lock()
+	c.open[p] = phaseOpen{active: true, start: time.Now(), counters: Snapshot(), totalAlc: ms.TotalAlloc, span: span}
 	c.mu.Unlock()
 }
 
@@ -185,8 +265,9 @@ func (c *Collector) EndPhase(p Phase) {
 	c.heap[p] = ms.HeapAlloc
 	fn := c.trace
 	c.mu.Unlock()
+	o.span.End()
 	if fn != nil {
-		fn(fmt.Sprintf("%s done in %v", p, wall.Round(time.Microsecond)))
+		c.emit(fn, fmt.Sprintf("%s done in %v", p, wall.Round(time.Microsecond)))
 	}
 }
 
@@ -200,7 +281,7 @@ func (c *Collector) RecordFit(sweep int, fit float64) {
 	fn := c.trace
 	c.mu.Unlock()
 	if fn != nil {
-		fn(fmt.Sprintf("sweep %d fit %.6f", sweep, fit))
+		c.emit(fn, fmt.Sprintf("sweep %d fit %.6f", sweep, fit))
 	}
 }
 
@@ -263,6 +344,7 @@ func (c *Collector) Report() Report {
 	if c == nil {
 		return rep
 	}
+	rep.Schema = ReportSchema
 	total := PhaseStats{Phase: "total"}
 	for p := Phase(0); p < numPhases; p++ {
 		st := c.PhaseStats(p)
@@ -277,6 +359,7 @@ func (c *Collector) Report() Report {
 	rep.Total = total
 	rep.Fit = c.FitTrajectory()
 	rep.Pool = c.PoolStats()
+	rep.Hists = Histograms()
 	return rep
 }
 
@@ -304,6 +387,20 @@ func (c *Collector) Table() string {
 		p := rep.Pool
 		out += fmt.Sprintf("pool: %d workers, %d parallel regions, %d tasks, busy %v\n",
 			p.Workers, p.Regions, p.Tasks, time.Duration(p.BusyNanos).Round(time.Microsecond))
+	}
+	if len(rep.Hists) > 0 {
+		hrows := [][]string{{"histogram", "count", "mean", "p50", "p95", "p99"}}
+		for _, h := range rep.Hists {
+			hrows = append(hrows, []string{
+				h.Name,
+				fmt.Sprint(h.Count),
+				fmtWall(h.Mean()),
+				fmtWall(h.P50),
+				fmtWall(h.P95),
+				fmtWall(h.P99),
+			})
+		}
+		out += alignRows(hrows)
 	}
 	return out
 }

@@ -8,11 +8,13 @@ import (
 var publishOnce sync.Once
 
 // PublishExpvar publishes the global counters as the expvar variable
-// "dtucker_metrics", so a debug HTTP server (cmd/dtucker -debug-addr)
+// "dtucker_metrics" and the kernel-latency histogram summaries as
+// "dtucker_hists", so a debug HTTP server (cmd/dtucker -debug-addr)
 // exposes live kernel activity at /debug/vars alongside the pprof
 // endpoints. Safe to call more than once; only the first call registers.
 func PublishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("dtucker_metrics", expvar.Func(func() any { return Snapshot() }))
+		expvar.Publish("dtucker_hists", expvar.Func(func() any { return Histograms() }))
 	})
 }

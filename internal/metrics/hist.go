@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistID names one of the fixed kernel-latency histograms. The set is fixed
+// at compile time so observation is a direct array index — no registry
+// lookup, no lock.
+type HistID int
+
+const (
+	// HistSliceSVD is the end-to-end latency of one frontal-slice
+	// compression in the approximation phase (randomized or exact).
+	HistSliceSVD HistID = iota
+	// HistMatmul is the latency of one dense multiply kernel
+	// (Mul/MulInto/MulAddInto, MulTA, MulTB, Gram).
+	HistMatmul
+	// HistRandSVDSketch is the latency of a randomized SVD's stage A: the
+	// Gaussian range finder including power iterations.
+	HistRandSVDSketch
+	// HistRandSVDProject is the latency of a randomized SVD's stage B: the
+	// projected dense SVD.
+	HistRandSVDProject
+	// HistPoolWait is the time a pool task spent queued — from region
+	// submission until the task began executing. The tail of this
+	// distribution is the scheduling gap the iteration phase pays per
+	// parallel region.
+	HistPoolWait
+	numHistIDs
+)
+
+// String returns the histogram's presentation name.
+func (h HistID) String() string {
+	switch h {
+	case HistSliceSVD:
+		return "slice-svd"
+	case HistMatmul:
+		return "matmul"
+	case HistRandSVDSketch:
+		return "randsvd-sketch"
+	case HistRandSVDProject:
+		return "randsvd-project"
+	case HistPoolWait:
+		return "pool-wait"
+	}
+	return "hist(?)"
+}
+
+// histBuckets is the number of power-of-two latency buckets: bucket 0 holds
+// observations below 1ns (and exact zeros), bucket i ≥ 1 holds
+// [2^(i-1), 2^i) nanoseconds, so 63 buckets span past 290 years — every
+// possible time.Duration lands somewhere without clamping error.
+const histBuckets = 64
+
+// hist is one fixed-bucket log₂-scale latency histogram. All fields are
+// atomics, so Observe is lock-free and safe from any goroutine (pool
+// workers observe concurrently).
+type hist struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // total observed nanoseconds
+}
+
+var histograms [numHistIDs]hist
+
+// histBucket maps a duration to its bucket index.
+func histBucket(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) // 1 + floor(log2 ns)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency into the histogram. Disabled instrumentation
+// (the default) costs one atomic load.
+func Observe(id HistID, d time.Duration) {
+	if !enabled.Load() || id < 0 || id >= numHistIDs {
+		return
+	}
+	h := &histograms[id]
+	h.counts[histBucket(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistStart returns the current time when instrumentation is enabled and
+// the zero time otherwise — the bracket opener of the two-call observation
+// pattern the kernels use:
+//
+//	t0 := metrics.HistStart()
+//	… work …
+//	metrics.ObserveSince(metrics.HistMatmul, t0)
+//
+// Both calls are allocation-free on the disabled path.
+func HistStart() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed time since t0, unless t0 is the zero
+// time (instrumentation was off when the bracket opened).
+func ObserveSince(id HistID, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	Observe(id, time.Since(t0))
+}
+
+// ResetHists zeroes every histogram.
+func ResetHists() {
+	for i := range histograms {
+		h := &histograms[i]
+		for b := range h.counts {
+			h.counts[b].Store(0)
+		}
+		h.sum.Store(0)
+	}
+}
+
+// HistSnapshot is the summary of one histogram: observation count, total
+// time, and interpolated quantiles. Quantile computation is a pure function
+// of the bucket counts, so identical counts — which the owner-computes
+// parallel sites guarantee across worker settings — give identical
+// quantile values even though the underlying latencies vary run to run.
+type HistSnapshot struct {
+	Name     string        `json:"name"`
+	Count    int64         `json:"count"`
+	Sum      time.Duration `json:"sum_ns"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	MaxUpper time.Duration `json:"max_upper_ns"` // upper bound of the highest non-empty bucket
+}
+
+// Mean returns the average observed latency (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// SnapshotHist summarizes one histogram.
+func SnapshotHist(id HistID) HistSnapshot {
+	snap := HistSnapshot{Name: id.String()}
+	if id < 0 || id >= numHistIDs {
+		return snap
+	}
+	h := &histograms[id]
+	var counts [histBuckets]int64
+	for b := range counts {
+		counts[b] = h.counts[b].Load()
+		snap.Count += counts[b]
+		if counts[b] > 0 {
+			snap.MaxUpper = bucketUpper(b)
+		}
+	}
+	snap.Sum = time.Duration(h.sum.Load())
+	snap.P50 = quantileFromCounts(counts[:], 0.50)
+	snap.P95 = quantileFromCounts(counts[:], 0.95)
+	snap.P99 = quantileFromCounts(counts[:], 0.99)
+	return snap
+}
+
+// Histograms returns a snapshot of every histogram that has at least one
+// observation, in HistID order.
+func Histograms() []HistSnapshot {
+	var out []HistSnapshot
+	for id := HistID(0); id < numHistIDs; id++ {
+		if s := SnapshotHist(id); s.Count > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// bucketLower and bucketUpper are bucket b's latency bounds [lower, upper).
+func bucketLower(b int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(int64(1) << (b - 1))
+}
+
+func bucketUpper(b int) time.Duration {
+	if b <= 0 {
+		return 1
+	}
+	if b >= 63 {
+		return time.Duration(int64(1)<<62 + (int64(1)<<62 - 1)) // max int64
+	}
+	return time.Duration(int64(1) << b)
+}
+
+// quantileFromCounts returns the q-quantile estimated by linear
+// interpolation inside the bucket holding the q·count-th observation — a
+// deterministic pure function of the counts.
+func quantileFromCounts(counts []int64, q float64) time.Duration {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo, hi := bucketLower(b), bucketUpper(b)
+			frac := (target - float64(cum)) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	// Rounding pushed the target past the last bucket; report its upper edge.
+	for b := len(counts) - 1; b >= 0; b-- {
+		if counts[b] > 0 {
+			return bucketUpper(b)
+		}
+	}
+	return 0
+}

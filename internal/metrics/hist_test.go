@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withHists runs fn with instrumentation enabled and the histograms reset,
+// restoring both afterwards.
+func withHists(t *testing.T, fn func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	ResetHists()
+	defer func() {
+		SetEnabled(prev)
+		ResetHists()
+	}()
+	fn()
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {-time.Second, 0},
+		{1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1023, 10}, {1024, 11},
+		{1 << 62, 63},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.d); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bounds nest: lower < upper, upper(b) == lower(b+1).
+	for b := 0; b < histBuckets-1; b++ {
+		if bucketLower(b) >= bucketUpper(b) {
+			t.Fatalf("bucket %d: lower %d >= upper %d", b, bucketLower(b), bucketUpper(b))
+		}
+		if bucketUpper(b) != bucketLower(b+1) {
+			t.Fatalf("bucket %d: upper %d != next lower %d", b, bucketUpper(b), bucketLower(b+1))
+		}
+	}
+}
+
+func TestObserveAndSnapshot(t *testing.T) {
+	withHists(t, func() {
+		for i := 0; i < 90; i++ {
+			Observe(HistMatmul, time.Microsecond) // bucket of 1000ns
+		}
+		for i := 0; i < 10; i++ {
+			Observe(HistMatmul, time.Millisecond)
+		}
+		s := SnapshotHist(HistMatmul)
+		if s.Count != 100 {
+			t.Fatalf("count = %d, want 100", s.Count)
+		}
+		if want := 90*time.Microsecond + 10*time.Millisecond; s.Sum != want {
+			t.Fatalf("sum = %v, want %v", s.Sum, want)
+		}
+		// p50 lands in the microsecond bucket, p99 in the millisecond bucket.
+		if s.P50 < 512 || s.P50 > 1024 {
+			t.Fatalf("p50 = %v, want within (512ns, 1024ns]", s.P50)
+		}
+		if s.P99 < 524288 || s.P99 > 1<<20 {
+			t.Fatalf("p99 = %v, want within the millisecond bucket", s.P99)
+		}
+		if s.MaxUpper != 1<<20 {
+			t.Fatalf("maxUpper = %v, want %v", s.MaxUpper, time.Duration(1<<20))
+		}
+		if mean := s.Mean(); mean != s.Sum/100 {
+			t.Fatalf("mean = %v", mean)
+		}
+	})
+}
+
+// TestQuantilesPureFunctionOfCounts pins the determinism contract: quantiles
+// depend only on bucket counts, so two histograms filled with different
+// latencies that land in the same buckets report identical quantiles.
+func TestQuantilesPureFunctionOfCounts(t *testing.T) {
+	fill := func(durs []time.Duration) HistSnapshot {
+		ResetHists()
+		for _, d := range durs {
+			Observe(HistSliceSVD, d)
+		}
+		return SnapshotHist(HistSliceSVD)
+	}
+	withHists(t, func() {
+		a := fill([]time.Duration{700, 800, 900, 1000, 70000, 80000})
+		b := fill([]time.Duration{513, 600, 1023, 800, 65537, 99999})
+		if a.P50 != b.P50 || a.P95 != b.P95 || a.P99 != b.P99 {
+			t.Fatalf("same buckets, different quantiles: %+v vs %+v", a, b)
+		}
+	})
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty [histBuckets]int64
+	if q := quantileFromCounts(empty[:], 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+	var one [histBuckets]int64
+	one[11] = 1 // the 1024..2048ns bucket
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := quantileFromCounts(one[:], q)
+		if got <= bucketLower(11) || got > bucketUpper(11) {
+			t.Fatalf("single-sample q%v = %v outside its bucket", q, got)
+		}
+	}
+}
+
+func TestHistDisabledZeroAllocAndNoop(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	ResetHists()
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := HistStart()
+		Observe(HistMatmul, time.Millisecond)
+		ObserveSince(HistSliceSVD, t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled histograms allocated %v times per run", allocs)
+	}
+	if s := SnapshotHist(HistMatmul); s.Count != 0 {
+		t.Fatalf("disabled Observe recorded: %+v", s)
+	}
+	if hs := Histograms(); hs != nil {
+		t.Fatalf("Histograms() on empty set = %v, want nil", hs)
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	withHists(t, func() {
+		var wg sync.WaitGroup
+		const workers, per = 8, 500
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					Observe(HistPoolWait, time.Microsecond)
+				}
+			}()
+		}
+		wg.Wait()
+		if s := SnapshotHist(HistPoolWait); s.Count != workers*per {
+			t.Fatalf("count = %d, want %d", s.Count, workers*per)
+		}
+	})
+}
+
+func TestReportCarriesSchemaAndHists(t *testing.T) {
+	withHists(t, func() {
+		Reset()
+		defer Reset()
+		c := &Collector{}
+		c.StartPhase(PhaseIter)
+		Observe(HistMatmul, time.Microsecond)
+		c.EndPhase(PhaseIter)
+
+		rep := c.Report()
+		if rep.Schema != ReportSchema {
+			t.Fatalf("report schema = %d, want %d", rep.Schema, ReportSchema)
+		}
+		if len(rep.Hists) != 1 || rep.Hists[0].Name != "matmul" {
+			t.Fatalf("report hists = %+v", rep.Hists)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), `"schema":1`) {
+			t.Fatalf("marshalled report lacks schema field: %s", raw)
+		}
+		if !strings.Contains(string(raw), `"histograms"`) {
+			t.Fatalf("marshalled report lacks histograms: %s", raw)
+		}
+		if tbl := c.Table(); !strings.Contains(tbl, "matmul") || !strings.Contains(tbl, "p99") {
+			t.Fatalf("table lacks histogram summary:\n%s", tbl)
+		}
+	})
+}

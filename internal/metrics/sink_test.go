@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTraceSinkSerializedAndTimestamped drives Tracef from many goroutines
+// at once — the pool-worker scenario — into a sink with no locking of its
+// own, and checks that no message interleaves and that the timestamp
+// prefixes are present and non-decreasing in delivery order.
+func TestTraceSinkSerializedAndTimestamped(t *testing.T) {
+	c := &Collector{}
+	var lines []string
+	c.SetTrace(func(msg string) {
+		// Deliberately unsynchronized: the Collector contract says the sink
+		// is never invoked concurrently. Under -race this append is the test.
+		lines = append(lines, msg)
+	})
+
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Tracef("worker %d message %d end", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(lines) != workers*per {
+		t.Fatalf("sink saw %d lines, want %d", len(lines), workers*per)
+	}
+	prev := -1.0
+	for _, ln := range lines {
+		// Each line: "[  12.345678s] worker W message I end" — one complete
+		// message per sink call, timestamp prefix first.
+		if !strings.HasPrefix(ln, "[") {
+			t.Fatalf("line lacks timestamp prefix: %q", ln)
+		}
+		close := strings.Index(ln, "s] ")
+		if close < 0 {
+			t.Fatalf("line lacks timestamp suffix: %q", ln)
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(ln[1:close]), 64)
+		if err != nil {
+			t.Fatalf("bad timestamp in %q: %v", ln, err)
+		}
+		if ts < prev {
+			t.Fatalf("timestamps regressed: %v after %v", ts, prev)
+		}
+		prev = ts
+		body := ln[close+len("s] "):]
+		if !strings.HasPrefix(body, "worker ") || !strings.HasSuffix(body, " end") {
+			t.Fatalf("interleaved or truncated message: %q", body)
+		}
+	}
+}
+
+// TestPhaseBracketsOpenSpans checks the collector's phase brackets drive the
+// attached tracer: each Start/End pair yields one balanced phase span, and a
+// restarted bracket closes the superseded span instead of leaking it.
+func TestPhaseBracketsOpenSpans(t *testing.T) {
+	c := &Collector{}
+	tr := trace.New()
+	c.SetTracer(tr)
+	if c.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+
+	c.StartPhase(PhaseApprox)
+	c.EndPhase(PhaseApprox)
+	c.StartPhase(PhaseIter)
+	c.StartPhase(PhaseIter) // restart: supersedes the open bracket
+	c.EndPhase(PhaseIter)
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after balanced brackets", n)
+	}
+	var names []string
+	for _, sp := range tr.Spans() {
+		names = append(names, sp.Name)
+	}
+	want := "approximation iteration iteration"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("spans = %q, want %q", got, want)
+	}
+}
+
+// TestNilCollectorTracerSafe pins the disabled path through the collector:
+// nil collectors and collectors without a tracer hand back nil tracers whose
+// methods no-op.
+func TestNilCollectorTracerSafe(t *testing.T) {
+	var c *Collector
+	if c.Tracer() != nil {
+		t.Fatal("nil collector returned a tracer")
+	}
+	c.SetTracer(trace.New()) // must not panic
+	var c2 Collector
+	if c2.Tracer() != nil {
+		t.Fatal("fresh collector has a tracer")
+	}
+	span := c2.Tracer().Begin("x")
+	span.End()
+}
+
+// TestTracefFormatting smoke-checks emit's prefix format.
+func TestTracefFormatting(t *testing.T) {
+	c := &Collector{}
+	var got string
+	c.SetTrace(func(msg string) { got = msg })
+	c.Tracef("fit %.3f", 0.5)
+	if !strings.Contains(got, "fit 0.500") {
+		t.Fatalf("message body mangled: %q", got)
+	}
+	if _, err := fmt.Sscanf(got, "[ %fs]", new(float64)); err != nil {
+		t.Fatalf("prefix not parseable: %q (%v)", got, err)
+	}
+}

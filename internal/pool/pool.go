@@ -49,6 +49,8 @@ import (
 
 	"repro/internal/dterr"
 	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // siteTask is the harness hook covering every task the pool dispatches; a
@@ -69,6 +71,11 @@ type Pool struct {
 	regions atomic.Int64
 	tasks   atomic.Int64
 	busy    atomic.Int64 // summed worker-goroutine nanoseconds
+
+	// tracer, when set, records one span per task of every labeled region
+	// (RunLabeled/RunRangesLabeled) on the worker's lane. Atomic so it can
+	// be attached while regions from another decomposition phase are live.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // New returns a pool running at most size concurrent workers per parallel
@@ -86,6 +93,89 @@ func (p *Pool) Size() int {
 		return 1
 	}
 	return p.size
+}
+
+// SetTracer attaches a span tracer to the pool: from then on every task of a
+// labeled region records one span on its worker's lane (see internal/trace).
+// nil detaches. Safe to call at any time; in-flight regions keep the tracer
+// they started with.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	if p == nil {
+		return
+	}
+	p.tracer.Store(t)
+}
+
+// Tracer returns the attached tracer, nil when none or for a nil pool.
+func (p *Pool) Tracer() *trace.Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.tracer.Load()
+}
+
+// instrument wraps one region's task function with per-task observability:
+// a queue-wait observation into the pool-wait histogram and, when a tracer
+// is attached, a span per task named label on lane worker+1 whose parent is
+// the innermost control span open at submission. Returns fn unchanged — no
+// closure, no clock reads — when both are off, which keeps unlabeled and
+// uninstrumented regions at their previous cost. The span ends via defer, so
+// it closes (before safeCall's recover) even when the task panics.
+func (p *Pool) instrument(label string, fn func(worker, task int) error) func(worker, task int) error {
+	if p == nil || label == "" {
+		return fn
+	}
+	tr := p.tracer.Load()
+	histOn := metrics.Enabled()
+	if tr == nil && !histOn {
+		return fn
+	}
+	parent := tr.CurrentID()
+	submit := time.Now()
+	return func(worker, task int) error {
+		if histOn {
+			metrics.Observe(metrics.HistPoolWait, time.Since(submit))
+		}
+		sp := tr.BeginWorker(parent, worker+1, label, int64(task))
+		defer sp.End()
+		return fn(worker, task)
+	}
+}
+
+// instrumentRange is instrument for contiguous-range tasks; the span's Idx
+// is the range's lower bound.
+func (p *Pool) instrumentRange(label string, fn func(worker, lo, hi int) error) func(worker, lo, hi int) error {
+	if p == nil || label == "" {
+		return fn
+	}
+	tr := p.tracer.Load()
+	histOn := metrics.Enabled()
+	if tr == nil && !histOn {
+		return fn
+	}
+	parent := tr.CurrentID()
+	submit := time.Now()
+	return func(worker, lo, hi int) error {
+		if histOn {
+			metrics.Observe(metrics.HistPoolWait, time.Since(submit))
+		}
+		sp := tr.BeginWorker(parent, worker+1, label, int64(lo))
+		defer sp.End()
+		return fn(worker, lo, hi)
+	}
+}
+
+// RunLabeled is Run with a region label for observability: each task records
+// its queue-wait latency, and when a tracer is attached each task also
+// records a span named label. An empty label (or no instrumentation) makes
+// it exactly Run.
+func (p *Pool) RunLabeled(ctx context.Context, label string, n int, fn func(worker, task int) error) error {
+	return p.Run(ctx, n, p.instrument(label, fn))
+}
+
+// RunRangesLabeled is RunRanges with a region label (see RunLabeled).
+func (p *Pool) RunRangesLabeled(ctx context.Context, label string, n, w int, fn func(worker, lo, hi int) error) error {
+	return p.RunRanges(ctx, n, w, p.instrumentRange(label, fn))
 }
 
 // group is the per-call failure state of one parallel region.

@@ -1,0 +1,200 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dterr"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestRunLabeledRecordsWorkerSpans(t *testing.T) {
+	p := New(4)
+	tr := trace.New()
+	p.SetTracer(tr)
+	if p.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+
+	region := tr.Begin("approximation")
+	const n = 16
+	err := p.RunLabeled(context.Background(), "slice", n, func(worker, task int) error {
+		return nil
+	})
+	region.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if open := tr.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans = %d", open)
+	}
+	spans := tr.Spans()
+	var tasks int
+	seen := map[int64]bool{}
+	for _, sp := range spans {
+		if sp.Name != "slice" {
+			continue
+		}
+		tasks++
+		if sp.Lane < 1 || sp.Lane > 4 {
+			t.Fatalf("task span on lane %d", sp.Lane)
+		}
+		if parent := spanNamed(t, spans, "approximation").ID; sp.Parent != parent {
+			t.Fatalf("task span parent %d, want region %d", sp.Parent, parent)
+		}
+		seen[sp.Idx] = true
+	}
+	if tasks != n || len(seen) != n {
+		t.Fatalf("recorded %d task spans (%d distinct idx), want %d", tasks, len(seen), n)
+	}
+}
+
+func spanNamed(t *testing.T, spans []trace.Span, name string) trace.Span {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("no span %q", name)
+	return trace.Span{}
+}
+
+// TestRunLabeledBalancedUnderPanic pins the containment interaction: a task
+// that panics still records its span (the deferred End runs during the
+// unwind, before safeCall's recover), so the trace stays balanced and the
+// region reports the contained panic.
+func TestRunLabeledBalancedUnderPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		tr := trace.New()
+		p.SetTracer(tr)
+		err := p.RunLabeled(context.Background(), "task", 8, func(worker, task int) error {
+			if task == 3 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *dterr.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want PanicError", workers, err)
+		}
+		if open := tr.OpenSpans(); open != 0 {
+			t.Fatalf("workers=%d: OpenSpans = %d after contained panic", workers, open)
+		}
+		for _, sp := range tr.Spans() {
+			if sp.Dur < 0 {
+				t.Fatalf("workers=%d: negative span duration %+v", workers, sp)
+			}
+		}
+	}
+}
+
+func TestRunRangesLabeledRecordsSpans(t *testing.T) {
+	p := New(3)
+	tr := trace.New()
+	p.SetTracer(tr)
+	err := p.RunRangesLabeled(context.Background(), "rows", 10, 3, func(worker, lo, hi int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans = %d", open)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d range spans, want 3", len(spans))
+	}
+	los := map[int64]bool{}
+	for _, sp := range spans {
+		if sp.Name != "rows" {
+			t.Fatalf("unexpected span %+v", sp)
+		}
+		los[sp.Idx] = true
+	}
+	// Ranges of 10 over 3 workers: chunk 4 → lows 0, 4, 8.
+	for _, lo := range []int64{0, 4, 8} {
+		if !los[lo] {
+			t.Fatalf("missing range span with lo %d: %v", lo, los)
+		}
+	}
+}
+
+func TestUnlabeledRunRecordsNoSpans(t *testing.T) {
+	p := New(2)
+	tr := trace.New()
+	p.SetTracer(tr)
+	if err := p.Run(context.Background(), 8, func(worker, task int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("unlabeled region recorded %d spans", n)
+	}
+}
+
+func TestRunLabeledObservesPoolWait(t *testing.T) {
+	prev := metrics.SetEnabled(true)
+	metrics.ResetHists()
+	defer func() {
+		metrics.SetEnabled(prev)
+		metrics.ResetHists()
+	}()
+
+	p := New(2)
+	const n = 12
+	err := p.RunLabeled(context.Background(), "task", n, func(worker, task int) error {
+		time.Sleep(time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.SnapshotHist(metrics.HistPoolWait)
+	if s.Count != n {
+		t.Fatalf("pool-wait observations = %d, want %d", s.Count, n)
+	}
+}
+
+// TestRunLabeledOffPathNoOverhead pins that a labeled region with tracing
+// and metrics both off adds no allocations over plain Run: instrument
+// returns the task function unchanged, no wrapper closure.
+func TestRunLabeledOffPathNoOverhead(t *testing.T) {
+	prev := metrics.SetEnabled(false)
+	defer metrics.SetEnabled(prev)
+	p := New(1)
+	fn := func(worker, task int) error { return nil }
+	base := testing.AllocsPerRun(200, func() {
+		if err := p.Run(nil, 4, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	labeled := testing.AllocsPerRun(200, func() {
+		if err := p.RunLabeled(nil, "task", 4, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if labeled != base {
+		t.Fatalf("off-path RunLabeled allocates %v/op vs Run's %v/op", labeled, base)
+	}
+}
+
+func TestRunLabeledCancelled(t *testing.T) {
+	p := New(2)
+	tr := trace.New()
+	p.SetTracer(tr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunLabeled(ctx, "task", 8, func(worker, task int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans = %d after cancelled region", open)
+	}
+}

@@ -143,6 +143,7 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 	nonzero := a.MaxAbs() > 0
 
 	// Stage A: find an orthonormal basis Q for the approximate range of a.
+	tA := metrics.HistStart()
 	omega := mat.RandN(n, p, opts.Rng)
 	y := mat.Mul(a, omega) // m×p
 	if siteSketch.FireKey(opts.FaultKey) {
@@ -163,8 +164,10 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 		}
 		q = mat.Orthonormalize(y)
 	}
+	metrics.ObserveSince(metrics.HistRandSVDSketch, tA)
 
 	// Stage B: exact SVD of the small projection B = Qᵀ·A (p×n).
+	tB := metrics.HistStart()
 	b := mat.MulTA(q, a)
 	if siteSVD.Fire() {
 		return mat.SVDResult{}, breakdown("injected projected-SVD failure at site %q", siteSVD.Name())
@@ -176,7 +179,9 @@ func SVD(a *mat.Dense, k int, opts Options) (mat.SVDResult, error) {
 		return mat.SVDResult{}, breakdown("projected SVD: %v", err)
 	}
 	res = res.Truncate(k)
-	return mat.SVDResult{U: mat.Mul(q, res.U), S: res.S, V: res.V}, nil
+	out := mat.SVDResult{U: mat.Mul(q, res.U), S: res.S, V: res.V}
+	metrics.ObserveSince(metrics.HistRandSVDProject, tB)
+	return out, nil
 }
 
 // SVDWithFallback is the numerical-failure recovery chain around SVD: on a

@@ -1,0 +1,263 @@
+// Package trace is a low-overhead hierarchical span tracer for one
+// decomposition run: it records where, inside each algorithm phase, time
+// actually goes — per-slice compressions, per-sweep and per-mode factor
+// updates, and the individual tasks the worker pool dispatches — as a tree
+// of spans that exports to JSONL or to the Chrome trace-event format
+// (loadable in Perfetto or chrome://tracing).
+//
+// # Model
+//
+// A span has a name, a deterministic ID (dense, assigned in Begin order
+// from a per-tracer counter — fully reproducible in single-worker runs), a
+// parent, a lane, and start/duration offsets measured against the tracer's
+// creation time on the monotonic clock. Lane 0 is the control lane — the
+// single goroutine driving the decomposition — and lane w+1 is pool worker
+// w, so a Chrome export shows one row per worker with the scheduling gaps
+// between their tasks visible.
+//
+// Control-lane spans (Begin/BeginIdx) form a stack owned by the driving
+// goroutine. Worker-lane spans (BeginWorker) carry an explicit parent —
+// captured on the control lane when the parallel region starts — because
+// pool workers run concurrently and cannot consult the stack.
+//
+// # Balance under failure
+//
+// Every recorded span is closed by construction: a span only enters the
+// buffer when it ends. Ending a control span force-closes any still-open
+// descendants (marked Forced), so an error return or a contained panic that
+// unwinds past inner spans — a cancelled sweep, an injected worker fault —
+// still yields a balanced trace as long as the outermost spans end via
+// defer, which every call site in internal/core does. OpenSpans reports
+// what remains open, which tests drive to zero.
+//
+// # Cost
+//
+// A nil *Tracer is valid and every method on it is an allocation-free
+// no-op, which is how the instrumented hot paths cost nothing when tracing
+// is off (asserted by AllocsPerRun tests). An enabled tracer buffers spans
+// in memory under one mutex; export happens after the run.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a tracer. IDs are dense, starting at 1;
+// 0 means "no span" (the parent of a root).
+type SpanID int64
+
+// NoIdx is the Idx value of spans that carry no index.
+const NoIdx int64 = -1
+
+// Span is one closed (recorded) span.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent"`
+	Name   string `json:"name"`
+	// Lane is the span's timeline row: 0 is the control lane, w+1 is pool
+	// worker w.
+	Lane int `json:"lane"`
+	// Idx is the span's generic index — slice number, sweep number, mode —
+	// or NoIdx when the span has none.
+	Idx int64 `json:"idx"`
+	// Start and Dur are offsets from the tracer's creation, taken from the
+	// monotonic clock.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+	// Forced marks a span closed by an ancestor's End rather than its own —
+	// the unwind path of an error return or a contained panic. Its Dur ends
+	// at the ancestor's end time.
+	Forced bool `json:"forced,omitempty"`
+}
+
+// openSpan is the in-flight state of a span that has begun but not ended.
+type openSpan struct {
+	id     SpanID
+	parent SpanID
+	name   string
+	lane   int
+	idx    int64
+	start  time.Duration
+}
+
+// Tracer buffers the spans of one run. Create one per decomposition with
+// New; a nil *Tracer disables tracing at zero cost. Methods are safe for
+// concurrent use, with one ownership rule: Begin/BeginIdx/CurrentID belong
+// to the single goroutine driving the run (they operate on the control
+// stack), while BeginWorker and Ctx.End may be called from any goroutine.
+type Tracer struct {
+	start time.Time
+
+	mu          sync.Mutex
+	nextID      SpanID
+	spans       []Span
+	stack       []openSpan // open control-lane spans, innermost last
+	openWorkers int        // open worker-lane spans
+}
+
+// New returns an enabled tracer whose clock starts now.
+func New() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Ctx is the handle to an active span, returned by the Begin variants and
+// closed with End. The zero Ctx (from a nil tracer) is valid and End on it
+// is a no-op.
+type Ctx struct {
+	t *Tracer
+	// id identifies the span; control spans keep their state on the
+	// tracer's stack, worker spans carry it here.
+	id     SpanID
+	worker bool
+	rec    openSpan
+}
+
+// ID returns the span's ID, or 0 for the zero Ctx.
+func (c Ctx) ID() SpanID { return c.id }
+
+// Begin opens a control-lane span whose parent is the innermost open
+// control span (a root span when none is open).
+func (t *Tracer) Begin(name string) Ctx { return t.BeginIdx(name, NoIdx) }
+
+// BeginIdx is Begin with an index attached (sweep number, mode, …).
+func (t *Tracer) BeginIdx(name string, idx int64) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	o := openSpan{id: t.nextID, name: name, lane: 0, idx: idx, start: now}
+	if n := len(t.stack); n > 0 {
+		o.parent = t.stack[n-1].id
+	}
+	t.stack = append(t.stack, o)
+	return Ctx{t: t, id: o.id}
+}
+
+// BeginWorker opens a worker-lane span with an explicit parent (capture it
+// with CurrentID on the control lane before the parallel region starts).
+// Lane should be worker+1 so lane 0 stays the control lane.
+func (t *Tracer) BeginWorker(parent SpanID, lane int, name string, idx int64) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	o := openSpan{id: t.nextID, parent: parent, name: name, lane: lane, idx: idx, start: now}
+	t.openWorkers++
+	return Ctx{t: t, id: o.id, worker: true, rec: o}
+}
+
+// End closes the span. For a control span it also force-closes (and marks
+// Forced) every control span begun after it that is still open — the
+// descendants an error return or contained panic unwound past. Ending a
+// span that was already force-closed is a no-op, so the pattern "End on the
+// happy path, outer deferred End on every path" never double-records.
+func (c Ctx) End() {
+	if c.t == nil || c.id == 0 {
+		return
+	}
+	t := c.t
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c.worker {
+		rec := c.rec
+		t.spans = append(t.spans, Span{
+			ID: rec.id, Parent: rec.parent, Name: rec.name, Lane: rec.lane,
+			Idx: rec.idx, Start: rec.start, Dur: now - rec.start,
+		})
+		t.openWorkers--
+		return
+	}
+	// Find the span on the control stack; absent means an ancestor already
+	// force-closed it.
+	at := -1
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i].id == c.id {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return
+	}
+	for i := len(t.stack) - 1; i >= at; i-- {
+		o := t.stack[i]
+		t.spans = append(t.spans, Span{
+			ID: o.id, Parent: o.parent, Name: o.name, Lane: o.lane,
+			Idx: o.idx, Start: o.start, Dur: now - o.start, Forced: i > at,
+		})
+	}
+	t.stack = t.stack[:at]
+}
+
+// CurrentID returns the ID of the innermost open control span, or 0.
+// Parallel regions capture it as the parent for their worker spans.
+func (t *Tracer) CurrentID() SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.stack); n > 0 {
+		return t.stack[n-1].id
+	}
+	return 0
+}
+
+// OpenSpans returns how many spans have begun but not yet been recorded —
+// zero after any correctly bracketed run, whatever path it exited through.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stack) + t.openWorkers
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans sorted by start time (ties by
+// ID, which is begin order).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// sortSpans orders spans by (Start, ID) with a simple insertion sort — span
+// buffers are recorded nearly in order, so this is effectively linear.
+func sortSpans(s []Span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func less(a, b Span) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.ID < b.ID
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// spanByName returns the first recorded span with the given name.
+func spanByName(t *testing.T, spans []Span, name string) Span {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("no span named %q in %v", name, spans)
+	return Span{}
+}
+
+func TestControlSpanNesting(t *testing.T) {
+	tr := New()
+	root := tr.Begin("decompose")
+	phase := tr.Begin("iteration")
+	sweep := tr.BeginIdx("sweep", 1)
+	sweep.End()
+	phase.End()
+	root.End()
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after balanced run", n)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	r := spanByName(t, spans, "decompose")
+	p := spanByName(t, spans, "iteration")
+	s := spanByName(t, spans, "sweep")
+	if r.Parent != 0 || p.Parent != r.ID || s.Parent != p.ID {
+		t.Fatalf("parent chain broken: root=%+v phase=%+v sweep=%+v", r, p, s)
+	}
+	if s.Idx != 1 {
+		t.Fatalf("sweep idx = %d", s.Idx)
+	}
+	if r.Forced || p.Forced || s.Forced {
+		t.Fatal("cleanly ended spans marked Forced")
+	}
+	// Deterministic dense IDs in begin order.
+	if r.ID != 1 || p.ID != 2 || s.ID != 3 {
+		t.Fatalf("IDs not dense begin-order: %d %d %d", r.ID, p.ID, s.ID)
+	}
+}
+
+// TestForcedClose models an error/panic unwind: inner spans never see End,
+// the deferred outer End closes them, marked Forced, and a later End on the
+// already-closed inner handle is a no-op.
+func TestForcedClose(t *testing.T) {
+	tr := New()
+	root := tr.Begin("decompose")
+	phase := tr.Begin("iteration")
+	sweep := tr.BeginIdx("sweep", 3)
+	_ = sweep
+	root.End() // unwind: closes sweep and phase too
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after forced close", n)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if sp := spanByName(t, spans, "sweep"); !sp.Forced {
+		t.Fatal("sweep not marked Forced")
+	}
+	if sp := spanByName(t, spans, "iteration"); !sp.Forced {
+		t.Fatal("iteration not marked Forced")
+	}
+	if sp := spanByName(t, spans, "decompose"); sp.Forced {
+		t.Fatal("the ending span itself marked Forced")
+	}
+	// Ending the force-closed handles must not double-record.
+	sweep.End()
+	phase.End()
+	if n := tr.Len(); n != 3 {
+		t.Fatalf("double-record: %d spans after re-End", n)
+	}
+}
+
+func TestWorkerSpans(t *testing.T) {
+	tr := New()
+	region := tr.Begin("approximation")
+	parent := tr.CurrentID()
+	var wg sync.WaitGroup
+	const workers, tasks = 4, 32
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < tasks; i += workers {
+				sp := tr.BeginWorker(parent, w+1, "slice", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	region.End()
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d", n)
+	}
+	spans := tr.Spans()
+	if len(spans) != tasks+1 {
+		t.Fatalf("recorded %d spans, want %d", len(spans), tasks+1)
+	}
+	seen := map[int64]bool{}
+	for _, sp := range spans {
+		if sp.Name != "slice" {
+			continue
+		}
+		if sp.Parent != parent {
+			t.Fatalf("slice span parent %d, want %d", sp.Parent, parent)
+		}
+		if sp.Lane < 1 || sp.Lane > workers {
+			t.Fatalf("slice span lane %d", sp.Lane)
+		}
+		if seen[sp.Idx] {
+			t.Fatalf("slice %d recorded twice", sp.Idx)
+		}
+		seen[sp.Idx] = true
+	}
+	if len(seen) != tasks {
+		t.Fatalf("%d distinct slice spans, want %d", len(seen), tasks)
+	}
+}
+
+// TestNilTracerZeroAlloc pins the disabled path: every hook on a nil tracer
+// must be allocation-free (this is what keeps tracing free when off).
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := tr.Begin("x")
+		w := tr.BeginWorker(tr.CurrentID(), 1, "y", 0)
+		w.End()
+		c.End()
+		_ = tr.OpenSpans()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+func buildSample() *Tracer {
+	tr := New()
+	root := tr.Begin("decompose")
+	phase := tr.Begin("approximation")
+	parent := tr.CurrentID()
+	for i := 0; i < 3; i++ {
+		sp := tr.BeginWorker(parent, i%2+1, "slice", int64(i))
+		sp.End()
+	}
+	phase.End()
+	root.End()
+	return tr
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if sp.ID == 0 || sp.Name == "" {
+			t.Fatalf("line %d missing fields: %+v", lines, sp)
+		}
+		lines++
+	}
+	if lines != tr.Len() {
+		t.Fatalf("%d JSONL lines for %d spans", lines, tr.Len())
+	}
+}
+
+func TestWriteChromeValid(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	var xEvents, meta int
+	lanes := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			for _, field := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[field]; !ok {
+					t.Fatalf("X event missing %q: %v", field, ev)
+				}
+			}
+			lanes[ev["tid"].(float64)] = true
+		case "M":
+			meta++
+			if ev["name"] != "thread_name" {
+				t.Fatalf("unexpected metadata event %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if xEvents != tr.Len() {
+		t.Fatalf("%d X events for %d spans", xEvents, tr.Len())
+	}
+	// Control lane plus the two worker lanes used by buildSample.
+	if !lanes[0] || !lanes[1] || !lanes[2] {
+		t.Fatalf("missing lanes: %v", lanes)
+	}
+	if meta < 3 {
+		t.Fatalf("%d thread_name metadata events, want one per lane (3)", meta)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"jsonl", "chrome"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Fatalf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("protobuf"); err == nil || !strings.Contains(err.Error(), "protobuf") {
+		t.Fatalf("bad format accepted: %v", err)
+	}
+}
