@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults bench-json bench-compare
+.PHONY: build test verify bench overhead faults bench-json bench-compare serve
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ verify:
 	$(GO) test -race ./internal/core/ -run 'TestFaultSweep|TestKeyedFaultFallbackBitIdentical|TestCancelMidRun' -count 1
 	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
+	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
+
+# serve runs the decomposition daemon on :7171 (override with ADDR=...).
+# See README "Serving" for the endpoint walkthrough and drain semantics.
+ADDR ?= :7171
+serve:
+	$(GO) run ./cmd/dtuckerd -addr $(ADDR)
 
 # faults sweeps every registered fault-injection hook point (internal/faults
 # sites) in error and panic mode, through both the plain and streaming

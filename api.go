@@ -24,6 +24,25 @@
 //	dec, _ := st.Decompose()            // warm-started model refresh
 //	sub, _ := st.DecomposeRange(40, 70) // model of time steps [40,70)
 //
+// # Cancellation
+//
+// The Context-suffixed functions (DecomposeContext, ApproximateContext,
+// DecomposeAdaptiveContext, and the Stream's AppendContext /
+// DecomposeContext / DecomposeRangeContext methods) are the canonical
+// entry points; the ctx-less variants are thin wrappers that leave
+// Options.Context untouched. Prefer the Context variants anywhere a caller
+// may need to abandon a run.
+//
+// # Serving
+//
+//	cl := repro.NewClient("http://127.0.0.1:7171")   // daemon: cmd/dtuckerd
+//	dec, err := cl.Decompose(ctx, x, repro.Config{Ranks: []int{10, 10, 10}}, nil)
+//
+// cmd/dtuckerd serves decompositions over an HTTP job API with admission
+// control and a result cache; Client is its Go client. The daemon runs the
+// same deterministic library, so a served result is bit-identical to an
+// in-process one.
+//
 // Baselines (Tucker-ALS, HOSVD, MACH, RTD, Tucker-ts/ttmts), synthetic
 // workload generators, and the experiment harness live in the internal
 // packages and are exercised through cmd/experiments and the root
@@ -55,9 +74,20 @@ type Matrix = mat.Dense
 // per mode, with reconstruction and error metrics.
 type Model = tucker.Model
 
-// Options configures a D-Tucker decomposition; the zero value of every
-// field except Ranks selects the paper's defaults (tol 1e-4, ≤100 sweeps,
-// slice rank max of the two leading target ranks, single thread).
+// Config holds the plain-data parameters of a decomposition — the
+// serializable request type of the dtuckerd serving API. It JSON
+// round-trips losslessly, Validate checks it without a tensor in hand, and
+// Canonical renders the normalized cache key the server's result cache
+// uses. The zero value of every field except Ranks selects the paper's
+// defaults.
+type Config = core.Config
+
+// Options configures a D-Tucker decomposition: an embedded Config (the
+// serializable request — ranks, tolerances, seed) plus the runtime
+// attachments that cannot cross a process boundary (Context, Metrics,
+// Pool, Workers). The zero value of every Config field except Ranks
+// selects the paper's defaults (tol 1e-4, ≤100 sweeps, slice rank max of
+// the two leading target ranks, single thread).
 type Options = core.Options
 
 // Decomposition is a D-Tucker result: the Model plus fit estimate and
@@ -117,34 +147,38 @@ func LoadTensor(path string) (*Tensor, error) { return tensor.LoadFile(path) }
 // ReadTensor reads a .ten-format tensor from r.
 func ReadTensor(r io.Reader) (*Tensor, error) { return tensor.ReadFrom(r) }
 
-// Decompose runs the three D-Tucker phases (approximation, initialization,
-// iteration) on x and returns the Tucker model in x's mode order.
-func Decompose(x *Tensor, opts Options) (*Decomposition, error) {
-	return core.Decompose(x, opts)
-}
-
-// DecomposeContext is Decompose under a cancellation context: a done ctx
-// stops the run at the next slice, factor, or sweep boundary, joins every
-// worker goroutine, and returns a *CancelledError naming the interrupted
-// phase (errors.Is context.Canceled / DeadlineExceeded both hold). It is
-// equivalent to setting Options.Context.
+// DecomposeContext is the canonical entry point: it runs the three
+// D-Tucker phases (approximation, initialization, iteration) on x and
+// returns the Tucker model in x's mode order. A done ctx stops the run at
+// the next slice, factor, or sweep boundary, joins every worker goroutine,
+// and returns a *CancelledError naming the interrupted phase (errors.Is
+// context.Canceled / DeadlineExceeded both hold). It is equivalent to
+// setting Options.Context.
 func DecomposeContext(ctx context.Context, x *Tensor, opts Options) (*Decomposition, error) {
 	opts.Context = ctx
 	return core.Decompose(x, opts)
 }
 
-// Approximate runs only the approximation phase — the single pass over the
-// raw tensor — returning a compressed representation whose Decompose method
-// runs the remaining phases.
-func Approximate(x *Tensor, opts Options) (*Approximation, error) {
+// Decompose is DecomposeContext without cancellation — a thin wrapper that
+// leaves Options.Context untouched (nil means context.Background()). Use
+// the Context variant anywhere a caller may need to abandon the run.
+func Decompose(x *Tensor, opts Options) (*Decomposition, error) {
+	return core.Decompose(x, opts)
+}
+
+// ApproximateContext runs only the approximation phase — the single pass
+// over the raw tensor — returning a compressed representation whose
+// Decompose method runs the remaining phases. Cancellation is observed at
+// every slice-compression boundary, and ctx is retained in the returned
+// Approximation's options, so its Decompose honours it too.
+func ApproximateContext(ctx context.Context, x *Tensor, opts Options) (*Approximation, error) {
+	opts.Context = ctx
 	return core.Approximate(x, opts)
 }
 
-// ApproximateContext is Approximate under a cancellation context, observed
-// at every slice-compression boundary. The context is retained in the
-// returned Approximation's options, so its Decompose honours it too.
-func ApproximateContext(ctx context.Context, x *Tensor, opts Options) (*Approximation, error) {
-	opts.Context = ctx
+// Approximate is ApproximateContext without cancellation — a thin wrapper
+// that leaves Options.Context untouched.
+func Approximate(x *Tensor, opts Options) (*Approximation, error) {
 	return core.Approximate(x, opts)
 }
 
@@ -171,17 +205,18 @@ func NewCollector() *Collector { return metrics.New() }
 // scratch memory. size < 1 is treated as 1. A pool needs no Close.
 func NewWorkerPool(size int) *WorkerPool { return pool.New(size) }
 
-// DecomposeAdaptive runs D-Tucker with data-driven ranks: per-mode target
-// ranks are chosen from the compressed slices so each mode retains a
-// (1 − eps²) fraction of its energy, capped at maxRank. It returns the
-// decomposition and the chosen ranks; opts.Ranks is ignored.
-func DecomposeAdaptive(x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+// DecomposeAdaptiveContext runs D-Tucker with data-driven ranks: per-mode
+// target ranks are chosen from the compressed slices so each mode retains
+// a (1 − eps²) fraction of its energy, capped at maxRank. It returns the
+// decomposition and the chosen ranks; opts.Ranks is ignored. See
+// DecomposeContext for the cancellation contract.
+func DecomposeAdaptiveContext(ctx context.Context, x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
+	opts.Context = ctx
 	return core.DecomposeAdaptive(x, eps, maxRank, opts)
 }
 
-// DecomposeAdaptiveContext is DecomposeAdaptive under a cancellation
-// context; see DecomposeContext for the cancellation contract.
-func DecomposeAdaptiveContext(ctx context.Context, x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
-	opts.Context = ctx
+// DecomposeAdaptive is DecomposeAdaptiveContext without cancellation — a
+// thin wrapper that leaves Options.Context untouched.
+func DecomposeAdaptive(x *Tensor, eps float64, maxRank int, opts Options) (*Decomposition, []int, error) {
 	return core.DecomposeAdaptive(x, eps, maxRank, opts)
 }

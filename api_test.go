@@ -33,7 +33,7 @@ func buildLowRank(rng *rand.Rand, shape []int, r int, noise float64) *repro.Tens
 func TestPublicDecompose(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := buildLowRank(rng, []int{20, 16, 12}, 3, 0.05)
-	dec, err := repro.Decompose(x, repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	dec, err := repro.Decompose(x, repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestPublicDecompose(t *testing.T) {
 func TestPublicApproximateReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	x := buildLowRank(rng, []int{16, 14, 10}, 3, 0.1)
-	ap, err := repro.Approximate(x, repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	ap, err := repro.Approximate(x, repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestPublicTensorConstructionAndIO(t *testing.T) {
 
 func TestPublicStream(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	st := repro.NewStream(repro.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	st := repro.NewStream(repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}, Seed: 1}})
 	for i := 0; i < 3; i++ {
 		if err := st.Append(buildLowRank(rng, []int{12, 10, 6}, 3, 0.1)); err != nil {
 			t.Fatal(err)
@@ -121,7 +121,7 @@ func Example() {
 	rng := rand.New(rand.NewSource(7))
 	x := tensor.RandN(rng, 3, 3, 3) // stand-in for real data
 
-	dec, err := repro.Decompose(x, repro.Options{Ranks: []int{2, 2, 2}, Seed: 1})
+	dec, err := repro.Decompose(x, repro.Options{Config: repro.Config{Ranks: []int{2, 2, 2}, Seed: 1}})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,271 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Wire types of the dtuckerd serving API, shared with the server so client
+// and daemon cannot drift.
+type (
+	// SubmitResponse acknowledges an accepted or cache-answered job.
+	SubmitResponse = server.SubmitResponse
+	// JobStatus is the job record served at GET /v1/jobs/{id}.
+	JobStatus = server.JobStatus
+	// Health is the body of GET /healthz.
+	Health = server.Health
+)
+
+// APIError is a typed error from the dtuckerd API. Kind mirrors the
+// library's error taxonomy (see the server.Kind* constants) so HTTP
+// clients can switch on it the way library callers switch on errors.Is;
+// RetryAfter is set on 429 rejections.
+type APIError struct {
+	StatusCode int
+	Kind       string
+	Message    string
+	Phase      string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dtuckerd: %s (%s, HTTP %d)", e.Message, e.Kind, e.StatusCode)
+}
+
+// Client talks to a dtuckerd daemon. The zero value is not usable; create
+// one with NewClient. Methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7171".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval is the initial result-polling cadence of Decompose;
+	// it backs off geometrically to 16× this value. Default 25ms.
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// SubmitOptions are the per-job knobs of Submit beyond the Config.
+type SubmitOptions struct {
+	// Timeout bounds the job's execution time once it starts running.
+	Timeout time.Duration
+	// Trace records a span trace, retrievable from the job record.
+	Trace bool
+}
+
+// do issues one JSON request and decodes a 2xx JSON response into out
+// (unless out is nil). Non-2xx responses decode into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode, Kind: server.KindInternal}
+	var env struct {
+		Error *server.WireError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && env.Error != nil {
+		apiErr.Kind = env.Error.Kind
+		apiErr.Message = env.Error.Message
+		apiErr.Phase = env.Error.Phase
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit posts one decomposition job and returns its receipt without
+// waiting for it to run. A full queue surfaces as an *APIError with
+// StatusCode 429 and RetryAfter set; Decompose retries that automatically.
+func (c *Client) Submit(ctx context.Context, x *Tensor, cfg Config, opts *SubmitOptions) (*SubmitResponse, error) {
+	if x == nil {
+		return nil, fmt.Errorf("repro: Submit: nil tensor")
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("repro: serializing tensor: %w", err)
+	}
+	req := server.DecomposeRequest{
+		Config:    cfg,
+		TensorB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	}
+	if opts != nil {
+		req.TimeoutMs = opts.Timeout.Milliseconds()
+		req.Trace = opts.Trace
+	}
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/decompose", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches the current job record.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a queued or running job; the job
+// transitions to cancelled at its next phase or sweep boundary.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Result fetches a finished job's decomposition (the .dtd binary payload,
+// decoded and validated). A job that is not done yet returns an *APIError.
+func (c *Client) Result(ctx context.Context, id string) (*Decomposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return core.ReadDecomposition(resp.Body)
+}
+
+// Health fetches /healthz. A draining daemon answers with HTTP 503, which
+// still carries the health body; that case returns the body and no error.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, decodeAPIError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Decompose is the blocking convenience path: submit, retry 429 rejections
+// after their Retry-After hint, poll until the job finishes, and fetch the
+// result. The returned decomposition is bit-identical to running
+// DecomposeContext(ctx, x, cfg.Options()) in-process — the daemon runs the
+// same deterministic library. ctx bounds the whole interaction.
+func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *SubmitOptions) (*Decomposition, error) {
+	var receipt *SubmitResponse
+	for {
+		var err error
+		receipt, err = c.Submit(ctx, x, cfg, opts)
+		if err == nil {
+			break
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+			return nil, err
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	maxInterval := 16 * interval
+	for {
+		st, err := c.Job(ctx, receipt.JobID)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case server.StateDone:
+			return c.Result(ctx, receipt.JobID)
+		case server.StateFailed, server.StateCancelled:
+			e := &APIError{StatusCode: http.StatusConflict, Kind: server.KindInternal, Message: "job " + st.State}
+			if st.Error != nil {
+				e.Kind = st.Error.Kind
+				e.Message = st.Error.Message
+				e.Phase = st.Error.Phase
+			}
+			return nil, e
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if interval < maxInterval {
+			interval *= 2
+		}
+	}
+}

@@ -196,14 +196,16 @@ func main() {
 
 func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) error {
 	dec, err := core.Decompose(x, core.Options{
-		Ranks:     ranks,
-		Context:   ctx,
-		SliceRank: sliceRank,
-		Tol:       tol,
-		MaxIters:  maxIters,
-		Workers:   workers,
-		Seed:      seed,
-		Metrics:   col,
+		Config: core.Config{
+			Ranks:     ranks,
+			SliceRank: sliceRank,
+			Tol:       tol,
+			MaxIters:  maxIters,
+			Seed:      seed,
+		},
+		Context: ctx,
+		Workers: workers,
+		Metrics: col,
 	})
 	if err != nil {
 		return err

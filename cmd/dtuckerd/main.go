@@ -1,0 +1,109 @@
+// Command dtuckerd serves D-Tucker decompositions over HTTP.
+//
+// It wraps the library in a job API with admission control and a result
+// cache: clients POST a serializable config plus tensor payload to
+// /v1/decompose, poll /v1/jobs/{id}, and fetch the result as .dtd binary or
+// JSON. Streaming sessions live under /v1/streams. When the bounded queue
+// is full the daemon answers 429 with Retry-After instead of queueing
+// unboundedly; /healthz reports liveness and /metricz exports counters and
+// latency histograms through expvar.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
+// work, finishes (or after -drain-timeout cancels) in-flight jobs, flushes
+// final statistics to the log, and exits 0.
+//
+// Usage:
+//
+//	dtuckerd [-addr :7171] [-queue 16] [-runners 1] [-workers N]
+//	         [-cache 64] [-drain-timeout 30s] [-quiet]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":7171", "listen address (host:port; port 0 picks one)")
+		queue        = flag.Int("queue", 16, "job queue depth; beyond it submissions get 429")
+		runners      = flag.Int("runners", 1, "jobs executing concurrently")
+		workers      = flag.Int("workers", 0, "shared worker-pool size (0 = all CPUs)")
+		cache        = flag.Int("cache", 64, "result-cache entries (negative disables)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs before cancelling them")
+		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dtuckerd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv := server.New(server.Config{
+		QueueDepth: *queue,
+		Runners:    *runners,
+		Workers:    *workers,
+		CacheSize:  *cache,
+		RetryAfter: *retryAfter,
+		Logf:       logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The ready line goes to stdout so scripts (and the e2e test) can wait
+	// for it and learn the resolved address when port 0 was requested.
+	fmt.Printf("dtuckerd listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+
+	// Drain while still serving, so clients can keep polling for results of
+	// jobs that are finishing; only then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	logger.Printf("drained, exiting")
+	return 0
+}

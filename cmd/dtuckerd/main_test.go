@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// TestDaemonEndToEnd builds the real binary, serves a decomposition over
+// HTTP, verifies it is bit-identical to the in-process result, then sends
+// SIGTERM and requires a graceful drain with exit status 0.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := dir + "/dtuckerd"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-quiet", "-drain-timeout", "2s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// If the test dies early, don't leave the daemon behind.
+	defer cmd.Process.Kill()
+
+	// The ready line carries the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("daemon exited before its ready line (%v)", sc.Err())
+	}
+	line := sc.Text()
+	const prefix = "dtuckerd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected ready line %q", line)
+	}
+	addr := strings.TrimPrefix(line, prefix)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := repro.NewClient("http://" + addr)
+	cl.PollInterval = 5 * time.Millisecond
+
+	if h, err := cl.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 14, 12, 10)
+	cfg := repro.Config{Ranks: []int{4, 4, 4}, Seed: 11}
+
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Decompose(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatalf("served decomposition: %v", err)
+	}
+	if want.Fit != got.Fit {
+		t.Fatalf("served fit %v differs from in-process %v", got.Fit, want.Fit)
+	}
+	for n := range want.Factors {
+		wf, gf := want.Factors[n].Data(), got.Factors[n].Data()
+		for i := range wf {
+			if wf[i] != gf[i] {
+				t.Fatalf("factor %d element %d differs", n, i)
+			}
+		}
+	}
+
+	// Resubmission must be answered from the cache.
+	receipt, err := cl.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.CacheHit {
+		t.Fatal("daemon resubmission missed the cache")
+	}
+
+	// Leave a job in flight: a sub-normal tolerance with unbounded sweeps
+	// never converges on its own, so the drain deadline must cancel it.
+	slow, err := cl.Submit(ctx, tensor.RandN(rng, 44, 40, 36),
+		repro.Config{Ranks: []int{8, 8, 8}, Tol: 1e-300, MaxIters: 1 << 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := cl.Job(ctx, slow.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "running" {
+			break
+		}
+		if st.State != "queued" {
+			t.Fatalf("slow job reached %q before SIGTERM", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SIGTERM during the in-flight job → graceful drain (cancelling it at
+	// the -drain-timeout deadline) → exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+}

@@ -20,11 +20,11 @@ func TestPublicErrorTaxonomy(t *testing.T) {
 	x := tensor.RandN(rng, 8, 7, 6)
 
 	t.Run("invalid input", func(t *testing.T) {
-		_, err := repro.Decompose(x, repro.Options{Ranks: []int{3, 3}})
+		_, err := repro.Decompose(x, repro.Options{Config: repro.Config{Ranks: []int{3, 3}}})
 		if !errors.Is(err, repro.ErrInvalidInput) {
 			t.Fatalf("err = %v, want ErrInvalidInput", err)
 		}
-		if err := repro.NewStream(repro.Options{Ranks: []int{3, 3, 3}}).Append(nil); !errors.Is(err, repro.ErrInvalidInput) {
+		if err := repro.NewStream(repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}}}).Append(nil); !errors.Is(err, repro.ErrInvalidInput) {
 			t.Fatalf("err = %v, want ErrInvalidInput", err)
 		}
 	})
@@ -32,7 +32,7 @@ func TestPublicErrorTaxonomy(t *testing.T) {
 	t.Run("non-finite input", func(t *testing.T) {
 		bad := tensor.RandN(rng, 8, 7, 6)
 		bad.Set(math.NaN(), 0, 0, 0)
-		_, err := repro.Decompose(bad, repro.Options{Ranks: []int{3, 3, 3}})
+		_, err := repro.Decompose(bad, repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}}})
 		if !errors.Is(err, repro.ErrNonFiniteInput) {
 			t.Fatalf("err = %v, want ErrNonFiniteInput", err)
 		}
@@ -54,7 +54,7 @@ func TestPublicErrorTaxonomy(t *testing.T) {
 	t.Run("cancellation", func(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		_, err := repro.DecomposeContext(ctx, x, repro.Options{Ranks: []int{3, 3, 3}})
+		_, err := repro.DecomposeContext(ctx, x, repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}}})
 		var c *repro.CancelledError
 		if !errors.As(err, &c) {
 			t.Fatalf("err = %v (%T), want *CancelledError", err, err)
@@ -65,7 +65,7 @@ func TestPublicErrorTaxonomy(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("err = %v does not satisfy errors.Is(context.Canceled)", err)
 		}
-		if _, err := repro.ApproximateContext(ctx, x, repro.Options{Ranks: []int{3, 3, 3}}); !errors.As(err, &c) {
+		if _, err := repro.ApproximateContext(ctx, x, repro.Options{Config: repro.Config{Ranks: []int{3, 3, 3}}}); !errors.As(err, &c) {
 			t.Fatalf("ApproximateContext err = %v, want *CancelledError", err)
 		}
 		if _, _, err := repro.DecomposeAdaptiveContext(ctx, x, 0.1, 4, repro.Options{}); !errors.As(err, &c) {

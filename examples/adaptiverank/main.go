@@ -25,7 +25,7 @@ func main() {
 
 	for _, eps := range []float64{0.60, 0.30, 0.09} {
 		t0 := time.Now()
-		dec, ranks, err := core.DecomposeAdaptive(x, eps, 20, core.Options{Seed: 1})
+		dec, ranks, err := core.DecomposeAdaptive(x, eps, 20, core.Options{Config: core.Config{Seed: 1}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,7 +23,7 @@ func main() {
 	fmt.Printf("raw size: %.1f MB as float64\n", float64(x.Len())*8/1e6)
 
 	ranks := []int{6, 6, 4, 6}
-	dec, err := core.Decompose(x, core.Options{Ranks: ranks, Seed: 1})
+	dec, err := core.Decompose(x, core.Options{Config: core.Config{Ranks: ranks, Seed: 1}})
 	if err != nil {
 		log.Fatal(err)
 	}

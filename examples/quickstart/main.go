@@ -23,7 +23,7 @@ func main() {
 
 	// D-Tucker: choose the core size (ranks) per mode; everything else has
 	// sensible defaults (tol 1e-4, ≤100 sweeps, slice rank max(J1,J2)).
-	dec, err := core.Decompose(x, core.Options{Ranks: []int{8, 8, 8}, Seed: 1})
+	dec, err := core.Decompose(x, core.Options{Config: core.Config{Ranks: []int{8, 8, 8}, Seed: 1}})
 	if err != nil {
 		log.Fatal(err)
 	}

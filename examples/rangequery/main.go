@@ -46,7 +46,7 @@ func main() {
 	fmt.Printf("tensor: %s with a hidden shock in days 400–429\n", ds.Dims())
 
 	// One-time compression of the full history.
-	st := core.NewStream(core.Options{Ranks: []int{rank, rank, rank}, Seed: 1})
+	st := core.NewStream(core.Options{Config: core.Config{Ranks: []int{rank, rank, rank}, Seed: 1}})
 	t0 := time.Now()
 	if err := st.Append(x); err != nil {
 		log.Fatal(err)

@@ -38,7 +38,7 @@ func main() {
 
 	// Stream the data quarter by quarter, refreshing the model after each
 	// chunk — only the new days are compressed, and the solve warm-starts.
-	st := core.NewStream(core.Options{Ranks: []int{rank, rank, rank}, Seed: 1})
+	st := core.NewStream(core.Options{Config: core.Config{Ranks: []int{rank, rank, rank}, Seed: 1}})
 	var dec *core.Decomposition
 	area := stocks * features
 	t0 := time.Now()

@@ -27,7 +27,7 @@ func main() {
 	x := ds.X
 	fmt.Printf("video: %s (%s)\n", ds.Dims(), ds.Description)
 
-	dec, err := core.Decompose(x, core.Options{Ranks: []int{rank, rank, rank}, Seed: 1})
+	dec, err := core.Decompose(x, core.Options{Config: core.Config{Ranks: []int{rank, rank, rank}, Seed: 1}})
 	if err != nil {
 		log.Fatal(err)
 	}

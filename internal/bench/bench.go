@@ -140,11 +140,13 @@ func Run(method string, spec Spec) (Result, error) {
 	switch method {
 	case DTucker:
 		dec, err := core.Decompose(x, core.Options{
-			Ranks:    spec.Ranks,
-			Tol:      spec.Tol,
-			MaxIters: spec.MaxIters,
-			Seed:     spec.Seed,
-			Workers:  spec.Workers,
+			Config: core.Config{
+				Ranks:    spec.Ranks,
+				Tol:      spec.Tol,
+				MaxIters: spec.MaxIters,
+				Seed:     spec.Seed,
+			},
+			Workers: spec.Workers,
 		})
 		if err != nil {
 			return res, err

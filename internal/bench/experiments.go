@@ -292,7 +292,7 @@ func RunE6(w io.Writer, short bool) error {
 	if short {
 		j = 5
 	}
-	opts := core.Options{Ranks: uniformRanks(3, j), Seed: 7, MaxIters: 15}
+	opts := core.Options{Config: core.Config{Ranks: uniformRanks(3, j), Seed: 7, MaxIters: 15}}
 
 	dec, err := core.Decompose(ds.X, opts)
 	if err != nil {
@@ -399,12 +399,12 @@ func RunE8(w io.Writer, short bool) ([]Result, error) {
 	var all []Result
 	for _, r := range []int{4, 8, 12, 16, 24, 32} {
 		before := metrics.Snapshot()
-		dec, err := core.Decompose(ds.X, core.Options{
+		dec, err := core.Decompose(ds.X, core.Options{Config: core.Config{
 			Ranks:     uniformRanks(3, j),
 			SliceRank: r,
 			Seed:      7,
 			MaxIters:  15,
-		})
+		}})
 		if err != nil {
 			return all, err
 		}

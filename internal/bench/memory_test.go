@@ -66,7 +66,7 @@ func TestApproximationRetainsCompressedSize(t *testing.T) {
 	var ap *core.Approximation
 	delta := MeasureHeapDelta(func() {
 		var err error
-		ap, err = core.Approximate(ds.X, core.Options{Ranks: []int{5, 5, 5}, Seed: 1})
+		ap, err = core.Approximate(ds.X, core.Options{Config: core.Config{Ranks: []int{5, 5, 5}, Seed: 1}})
 		if err != nil {
 			t.Error(err)
 		}

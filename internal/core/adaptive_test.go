@@ -12,7 +12,7 @@ func TestRanksForEnergyRecoversTrueRank(t *testing.T) {
 	// exactly 4 per mode.
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0, 4, 24, 20, 16)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 12), SliceRank: 12, Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 12), SliceRank: 12, Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestRanksForEnergyMonotoneInTolerance(t *testing.T) {
 	// Looser tolerance must never demand more rank.
 	rng := rand.New(rand.NewSource(2))
 	x := lowRankTensor(rng, 0.3, 5, 24, 20, 16)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 14), SliceRank: 14, Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 14), SliceRank: 14, Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestRanksForEnergyRespectsCapAndOrder(t *testing.T) {
 	// Ascending dims force an internal reorder: output must still be in
 	// the original mode order (rank ≤ dim per mode).
 	x := tensor.RandN(rng, 6, 14, 30)
-	ap, err := Approximate(x, Options{Ranks: []int{5, 5, 5}, SliceRank: 5, Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: []int{5, 5, 5}, SliceRank: 5, Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestRanksForEnergyRespectsCapAndOrder(t *testing.T) {
 func TestRanksForEnergyValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x := tensor.RandN(rng, 8, 8, 8)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 4), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestRanksForEnergyValidation(t *testing.T) {
 func TestDecomposeAdaptiveMeetsTarget(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x := lowRankTensor(rng, 0.05, 4, 28, 24, 20)
-	dec, ranks, err := DecomposeAdaptive(x, 0.10, 12, Options{Seed: 2})
+	dec, ranks, err := DecomposeAdaptive(x, 0.10, 12, Options{Config: Config{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDecomposeAdaptiveMeetsTarget(t *testing.T) {
 func TestDecomposeAdaptiveOrder4(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	x := lowRankTensor(rng, 0.05, 2, 12, 10, 8, 6)
-	dec, ranks, err := DecomposeAdaptive(x, 0.15, 6, Options{Seed: 2})
+	dec, ranks, err := DecomposeAdaptive(x, 0.15, 6, Options{Config: Config{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func uniformRanks(order, j int) []int {
 func TestDecomposeRecoversExactLowRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0, 4, 20, 15, 12)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestDecomposeRecoversExactLowRank(t *testing.T) {
 func TestDecomposeNoisyLowRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	x := lowRankTensor(rng, 0.1, 5, 30, 25, 20)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 5), Seed: 3})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 5), Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestDecomposeNoisyLowRank(t *testing.T) {
 func TestDecomposeOrder4(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	x := lowRankTensor(rng, 0.05, 3, 12, 10, 8, 6)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(4, 3), Seed: 11})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(4, 3), Seed: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestDecomposeMatrixInput(t *testing.T) {
 	// Order-2 input: D-Tucker degenerates to a truncated SVD.
 	rng := rand.New(rand.NewSource(4))
 	x := lowRankTensor(rng, 0, 3, 25, 18)
-	dec, err := Decompose(x, Options{Ranks: []int{3, 3}, Seed: 5})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 3}, Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFactorsOrthonormalAndShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x := lowRankTensor(rng, 0.2, 4, 16, 24, 9)
 	ranks := []int{4, 5, 3}
-	dec, err := Decompose(x, Options{Ranks: ranks, Seed: 6})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: ranks, Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestModeReorderingTransparent(t *testing.T) {
 	// full reversal internally).
 	rng := rand.New(rand.NewSource(6))
 	x := lowRankTensor(rng, 0, 3, 8, 14, 30)
-	dec, err := Decompose(x, Options{Ranks: []int{3, 4, 5}, Seed: 9})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 4, 5}, Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +142,11 @@ func TestModeReorderingTransparent(t *testing.T) {
 func TestNoReorderMatchesReorderAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	x := lowRankTensor(rng, 0.1, 3, 10, 20, 15)
-	a, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 1})
+	a, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 1, NoReorder: true})
+	b, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 1, NoReorder: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	// are BIT-identical — not merely close — for every Workers value.
 	rng := rand.New(rand.NewSource(8))
 	x := lowRankTensor(rng, 0.1, 3, 12, 12, 16)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 42}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 42}}
 	a, err := Decompose(x, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +184,7 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 func TestApproximationReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	x := lowRankTensor(rng, 0.1, 3, 14, 18, 10)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestApproximationReuse(t *testing.T) {
 func TestApproximationStorageAndError(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	x := lowRankTensor(rng, 0, 3, 20, 16, 12)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestApproxRelErrorReflectsTruncation(t *testing.T) {
 	// substantial approximation error.
 	rng := rand.New(rand.NewSource(11))
 	x := tensor.RandN(rng, 20, 20, 6)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,18 +238,18 @@ func TestOptionsValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	x := tensor.RandN(rng, 5, 5, 5)
 	cases := []Options{
-		{},                                    // missing ranks
-		{Ranks: []int{3, 3}},                  // wrong count
-		{Ranks: []int{3, -1, 3}},              // negative rank
-		{Ranks: []int{6, 3, 3}},               // rank exceeds dim
-		{Ranks: []int{3, 3, 3}, MaxIters: -1}, // negative iters
+		{},                                       // missing ranks
+		{Config: Config{Ranks: []int{3, 3}}},     // wrong count
+		{Config: Config{Ranks: []int{3, -1, 3}}}, // negative rank
+		{Config: Config{Ranks: []int{6, 3, 3}}},  // rank exceeds dim
+		{Config: Config{Ranks: []int{3, 3, 3}, MaxIters: -1}}, // negative iters
 	}
 	for i, opts := range cases {
 		if _, err := Decompose(x, opts); err == nil {
 			t.Fatalf("case %d: invalid options accepted", i)
 		}
 	}
-	if _, err := Decompose(tensor.RandN(rng, 7), Options{Ranks: []int{2}}); err == nil {
+	if _, err := Decompose(tensor.RandN(rng, 7), Options{Config: Config{Ranks: []int{2}}}); err == nil {
 		t.Fatal("order-1 tensor accepted")
 	}
 }
@@ -257,7 +257,7 @@ func TestOptionsValidation(t *testing.T) {
 func TestSliceRankOverride(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	x := lowRankTensor(rng, 0.05, 3, 16, 14, 8)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), SliceRank: 6, Seed: 4})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), SliceRank: 6, Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestSliceRankOverride(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	x := lowRankTensor(rng, 0.1, 3, 12, 12, 12)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 4})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestStatsPopulated(t *testing.T) {
 func TestMaxItersRespected(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	x := tensor.RandN(rng, 15, 15, 15) // full rank: slow convergence
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), MaxIters: 2, Tol: 1e-12, Seed: 4})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), MaxIters: 2, Tol: 1e-12, Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestMaxItersRespected(t *testing.T) {
 func TestFitEstimateTracksExactError(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	x := lowRankTensor(rng, 0.2, 4, 20, 18, 12)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 4})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestFitEstimateTracksExactError(t *testing.T) {
 func TestRanksDifferPerMode(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	x := lowRankTensor(rng, 0.05, 6, 24, 20, 16)
-	dec, err := Decompose(x, Options{Ranks: []int{6, 5, 4}, Seed: 4})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: []int{6, 5, 4}, Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestRanksDifferPerMode(t *testing.T) {
 func BenchmarkDecompose64Cube(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 10, 64, 64, 64)
-	opts := Options{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 10}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 10}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decompose(x, opts); err != nil {
@@ -337,7 +337,7 @@ func BenchmarkApproxWorkers4(b *testing.B) { benchApproxWorkers(b, 4) }
 func benchApproxWorkers(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 10, 96, 96, 32)
-	opts := Options{Ranks: uniformRanks(3, 10), Seed: 1, Workers: workers}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 10), Seed: 1}, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Approximate(x, opts); err != nil {
@@ -351,7 +351,7 @@ func TestExactSliceSVDAblation(t *testing.T) {
 	// data where the slice rank truncates real energy.
 	rng := rand.New(rand.NewSource(18))
 	x := tensor.RandN(rng, 24, 20, 8) // full-rank slices
-	opts := Options{Ranks: uniformRanks(3, 4), Seed: 4}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 4}}
 	rnd, err := Decompose(x, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -373,7 +373,7 @@ func BenchmarkApproxExact(b *testing.B)      { benchApproxExact(b, true) }
 func benchApproxExact(b *testing.B, exact bool) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 10, 128, 96, 24)
-	opts := Options{Ranks: uniformRanks(3, 10), Seed: 1, ExactSliceSVD: exact}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 10), Seed: 1, ExactSliceSVD: exact}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Approximate(x, opts); err != nil {
@@ -389,7 +389,7 @@ func TestParallelIterationMatchesSequential(t *testing.T) {
 	// scratch, so one Approximation's result would be overwritten).
 	rng := rand.New(rand.NewSource(19))
 	x := lowRankTensor(rng, 0.1, 3, 14, 12, 20)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 9}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 9}}
 	seqAp, err := Approximate(x, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -426,7 +426,7 @@ func BenchmarkIterateWorkers8(b *testing.B) { benchIterWorkers(b, 8) }
 func benchIterWorkers(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 10, 96, 96, 64)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 5, Workers: workers})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 10), Seed: 1, MaxIters: 5}, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}

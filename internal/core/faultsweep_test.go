@@ -114,7 +114,7 @@ func TestFaultSweep(t *testing.T) {
 				}
 				defer faults.Reset()
 				base := metrics.Snapshot()
-				dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 4, Workers: 2, MaxIters: 8})
+				dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 4, MaxIters: 8}, Workers: 2})
 				if err != nil {
 					wantInjected(t, err, site, mode)
 					return
@@ -141,7 +141,7 @@ func TestFaultSweep(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer faults.Reset()
-				s := NewStream(Options{Ranks: []int{3, 3, 2}, Seed: 4, Workers: 2, MaxIters: 8})
+				s := NewStream(Options{Config: Config{Ranks: []int{3, 3, 2}, Seed: 4, MaxIters: 8}, Workers: 2})
 				if err := s.Append(chunk); err != nil {
 					wantInjected(t, err, site, mode)
 					if s.Len() != 0 {

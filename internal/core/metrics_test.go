@@ -14,8 +14,7 @@ func decomposeCounters(t *testing.T, x *tensor.Dense, workers int) (metrics.Coun
 	t.Helper()
 	col := &metrics.Collector{}
 	dec, err := Decompose(x, Options{
-		Ranks:   []int{6, 6, 6},
-		Seed:    11,
+		Config:  Config{Ranks: []int{6, 6, 6}, Seed: 11},
 		Workers: workers,
 		Metrics: col,
 	})
@@ -55,7 +54,7 @@ func TestCountersDeterministicAcrossWorkers(t *testing.T) {
 // Stats timings keep working with no collector attached (the default path).
 func TestDisabledMetricsPhaseBreakdownStillReported(t *testing.T) {
 	x := workload.LowRankNoise([]int{24, 20, 8}, 3, 0.05, 5).X
-	dec, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 3, 3}, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +70,7 @@ func TestCollectorFitTrajectoryMatchesIters(t *testing.T) {
 
 	x := workload.LowRankNoise([]int{24, 20, 8}, 3, 0.05, 5).X
 	col := &metrics.Collector{}
-	dec, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Seed: 1, Metrics: col})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 3, 3}, Seed: 1}, Metrics: col})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +94,7 @@ func TestStreamPhaseAttribution(t *testing.T) {
 	defer metrics.SetEnabled(prev)
 
 	col := &metrics.Collector{}
-	st := NewStream(Options{Ranks: []int{4, 4, 3}, Seed: 2, Metrics: col})
+	st := NewStream(Options{Config: Config{Ranks: []int{4, 4, 3}, Seed: 2}, Metrics: col})
 	chunk := workload.LowRankNoise([]int{20, 16, 5}, 3, 0.05, 9).X
 	if err := st.Append(chunk); err != nil {
 		t.Fatal(err)

@@ -33,16 +33,18 @@ import (
 	"fmt"
 
 	"repro/internal/dterr"
-	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/pool"
 )
 
-// Options configures a D-Tucker decomposition.
+// Options configures a D-Tucker decomposition: the serializable Config —
+// the plain-data request, see its doc — plus the runtime attachments that
+// only make sense inside one process (cancellation context, metrics
+// collector, worker pool). The split is what lets the dtuckerd serving
+// layer ship a request across the wire and re-attach process-local state on
+// the other side.
 type Options struct {
-	// Ranks holds the target core dimensionalities J_n, one per mode of
-	// the input tensor, in the input's original mode order. Required.
-	Ranks []int
+	Config
 
 	// Context, when non-nil, cancels the decomposition cooperatively: it is
 	// checked at every per-slice boundary of the approximation phase, every
@@ -53,62 +55,24 @@ type Options struct {
 	// all worker goroutines joined before the call returns.
 	Context context.Context
 
-	// SliceRank r is the rank of the per-slice randomized SVDs in the
-	// approximation phase. Zero selects max(J of the two slice modes),
-	// the paper's choice of matching the slice rank to the target rank.
-	SliceRank int
-
-	// Tol stops the iteration phase when the fit change drops below it.
-	// Zero selects 1e-4, the tolerance used in the paper's experiments.
-	Tol float64
-
-	// MaxIters bounds the iteration phase. Zero selects 100, the paper's
-	// cap.
-	MaxIters int
-
-	// Oversampling and PowerIters are passed to the randomized SVD
-	// (defaults 5 and 1; PowerIters = -1 disables power iterations).
-	Oversampling int
-	PowerIters   int
-
-	// Seed makes the randomized sketches reproducible. Slice l draws from
-	// a generator seeded with Seed+l, so results are independent of
-	// Workers.
-	Seed int64
-
-	// Leading selects how dominant singular vectors are extracted during
-	// the iteration phase (see mat.LeadingMethod). The default LeadingAuto
-	// picks the Gram path for very rectangular matrices.
-	Leading mat.LeadingMethod
-
 	// Workers sizes this decomposition's worker pool, which parallelizes
 	// all three phases: slice compression in the approximation phase, and
 	// the slice/row-parallel iteration kernels plus the projected-tensor
 	// mode products in the later phases. Zero selects 1, matching the
 	// paper's single-thread protocol. Every parallel site follows an
 	// owner-computes split, so results are bit-identical for every value
-	// (see Seed).
+	// (see Config.Seed).
 	Workers int
 
 	// Pool optionally supplies an externally owned worker pool, sharing
 	// workers and the scratch-buffer arena across decompositions (a Stream
-	// does this internally for its refreshes). Nil — the default — creates
-	// a fresh pool of Workers size per decomposition. When set, it takes
-	// precedence over Workers. Unlike the deprecated process-global
-	// mat.SetWorkers, a pool is explicit context: concurrent decompositions
-	// with different settings cannot stomp each other.
+	// does this internally for its refreshes, and dtuckerd shares one pool
+	// across every job). Nil — the default — creates a fresh pool of
+	// Workers size per decomposition. When set, it takes precedence over
+	// Workers. Unlike the deprecated process-global mat.SetWorkers, a pool
+	// is explicit context: concurrent decompositions with different
+	// settings cannot stomp each other.
 	Pool *pool.Pool
-
-	// NoReorder keeps the input's mode order instead of sorting modes by
-	// decreasing dimensionality. Mostly useful in tests and when the
-	// caller knows the first two modes are already the largest.
-	NoReorder bool
-
-	// ExactSliceSVD replaces the randomized slice SVDs of the
-	// approximation phase with exact ones — the accuracy-versus-speed
-	// ablation of the paper's choice of randomized SVD. Exact slice SVDs
-	// cost O(I1·I2·min(I1,I2)) per slice instead of O(I1·I2·r).
-	ExactSliceSVD bool
 
 	// Metrics, when non-nil, receives per-phase wall times, kernel counter
 	// deltas (SVD/QR/matmul calls and flop estimates), memory samples, and
@@ -124,29 +88,10 @@ func (o Options) withDefaults(order int) (Options, error) {
 		return o, fmt.Errorf("core: %d ranks for an order-%d tensor: %w",
 			len(o.Ranks), order, dterr.ErrInvalidInput)
 	}
-	for n, j := range o.Ranks {
-		if j <= 0 {
-			return o, fmt.Errorf("core: non-positive rank %d for mode %d: %w", j, n, dterr.ErrInvalidInput)
-		}
+	if err := o.Config.Validate(); err != nil {
+		return o, err
 	}
-	if o.Tol == 0 {
-		o.Tol = 1e-4
-	}
-	if o.MaxIters == 0 {
-		o.MaxIters = 100
-	}
-	if o.MaxIters < 0 {
-		return o, fmt.Errorf("core: negative MaxIters %d: %w", o.MaxIters, dterr.ErrInvalidInput)
-	}
-	if o.Oversampling == 0 {
-		o.Oversampling = 5
-	}
-	if o.Oversampling < 0 {
-		o.Oversampling = 0
-	}
-	if o.PowerIters == 0 {
-		o.PowerIters = 1
-	}
+	o.Config = o.Config.Normalized()
 	if o.Workers < 1 {
 		o.Workers = 1
 	}

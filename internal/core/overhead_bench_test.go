@@ -12,7 +12,7 @@ func benchDecompose(b *testing.B, col *metrics.Collector) {
 	x := workload.LowRankNoise([]int{128, 96, 200}, 8, 0.10, 42).X
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decompose(x, Options{Ranks: []int{8, 8, 8}, Seed: 42, Metrics: col}); err != nil {
+		if _, err := Decompose(x, Options{Config: Config{Ranks: []int{8, 8, 8}, Seed: 42}, Metrics: col}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -41,7 +41,7 @@ func BenchmarkQuickstartTraceOn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		col := &metrics.Collector{}
 		col.SetTracer(trace.New())
-		if _, err := Decompose(x, Options{Ranks: []int{8, 8, 8}, Seed: 42, Metrics: col}); err != nil {
+		if _, err := Decompose(x, Options{Config: Config{Ranks: []int{8, 8, 8}, Seed: 42}, Metrics: col}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,7 +13,7 @@ import (
 // computation to machine precision.
 func exactApproximation(t *testing.T, x *tensor.Dense, ranks []int) *Approximation {
 	t.Helper()
-	opts, err := Options{Ranks: ranks, Seed: 3}.withDefaults(x.Order())
+	opts, err := Options{Config: Config{Ranks: ranks, Seed: 3}}.withDefaults(x.Order())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestIterateMatchesDenseHOOISweep(t *testing.T) {
 func TestInitFactorsOrthonormalAndAligned(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x := lowRankTensor(rng, 0.05, 3, 14, 12, 10)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,14 +191,14 @@ func TestModeOrderStableDescending(t *testing.T) {
 }
 
 func TestWithDefaults(t *testing.T) {
-	o, err := Options{Ranks: []int{2, 2}}.withDefaults(2)
+	o, err := Options{Config: Config{Ranks: []int{2, 2}}}.withDefaults(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Tol != 1e-4 || o.MaxIters != 100 || o.Oversampling != 5 || o.PowerIters != 1 || o.Workers != 1 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
-	if _, err := (Options{Ranks: []int{2}}).withDefaults(2); err == nil {
+	if _, err := (Options{Config: Config{Ranks: []int{2}}}).withDefaults(2); err == nil {
 		t.Fatal("rank-count mismatch accepted")
 	}
 }

@@ -32,7 +32,7 @@ func rangeStream(t *testing.T, x *tensor.Dense, opts Options) *Stream {
 func TestDecomposeRangeMatchesDirectDecomposition(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 3, 16, 14, 40)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := rangeStream(t, x, opts)
 
 	for _, r := range [][2]int{{0, 40}, {10, 30}, {0, 8}, {32, 40}, {17, 23}} {
@@ -47,7 +47,7 @@ func TestDecomposeRangeMatchesDirectDecomposition(t *testing.T) {
 		}
 		relRange := dec.RelError(sub)
 
-		direct, err := Decompose(sub, Options{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true})
+		direct, err := Decompose(sub, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func TestDecomposeRangeLocalPattern(t *testing.T) {
 			}
 		}
 	}
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := rangeStream(t, x, opts)
 
 	whole, err := st.Decompose()
@@ -102,7 +102,7 @@ func TestDecomposeRangeLocalPattern(t *testing.T) {
 func TestDecomposeRangeAfterMultipleAppends(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	x := lowRankTensor(rng, 0.1, 3, 12, 10, 30)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := NewStream(opts)
 	for _, c := range chunked(x, 10, 10, 10) {
 		if err := st.Append(c); err != nil {
@@ -122,7 +122,7 @@ func TestDecomposeRangeAfterMultipleAppends(t *testing.T) {
 func TestDecomposeRangeOrder4(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x := lowRankTensor(rng, 0.05, 2, 10, 9, 4, 20)
-	opts := Options{Ranks: uniformRanks(4, 2), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(4, 2), Seed: 5}}
 	st := rangeStream(t, x, opts)
 	dec, err := st.DecomposeRange(6, 14)
 	if err != nil {
@@ -136,7 +136,7 @@ func TestDecomposeRangeOrder4(t *testing.T) {
 
 func TestDecomposeRangeValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	empty := NewStream(opts)
 	if _, err := empty.DecomposeRange(0, 1); err == nil {
 		t.Fatal("range query on empty stream accepted")
@@ -156,7 +156,7 @@ func TestDecomposeRangeValidation(t *testing.T) {
 func TestDecomposeRangeDoesNotDisturbStream(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	x := lowRankTensor(rng, 0.1, 3, 12, 10, 24)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := rangeStream(t, x, opts)
 	before, err := st.Decompose()
 	if err != nil {

@@ -41,7 +41,7 @@ func TestMalformedInputRejected(t *testing.T) {
 	chunk := tensor.RandN(rng, 6, 5, 2)
 
 	filled := func() *Stream {
-		s := NewStream(Options{Ranks: []int{2, 2, 2}})
+		s := NewStream(Options{Config: Config{Ranks: []int{2, 2, 2}}})
 		if err := s.Append(chunk); err != nil {
 			t.Fatal(err)
 		}
@@ -53,48 +53,48 @@ func TestMalformedInputRejected(t *testing.T) {
 		run  func() error
 	}{
 		{"Decompose nil tensor", func() error {
-			_, err := Decompose(nil, Options{Ranks: []int{2, 2, 2}})
+			_, err := Decompose(nil, Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			return err
 		}},
 		{"Decompose ranks length mismatch", func() error {
-			_, err := Decompose(x, Options{Ranks: []int{2, 2}})
+			_, err := Decompose(x, Options{Config: Config{Ranks: []int{2, 2}}})
 			return err
 		}},
 		{"Decompose zero rank", func() error {
-			_, err := Decompose(x, Options{Ranks: []int{2, 0, 2}})
+			_, err := Decompose(x, Options{Config: Config{Ranks: []int{2, 0, 2}}})
 			return err
 		}},
 		{"Decompose negative rank", func() error {
-			_, err := Decompose(x, Options{Ranks: []int{2, -3, 2}})
+			_, err := Decompose(x, Options{Config: Config{Ranks: []int{2, -3, 2}}})
 			return err
 		}},
 		{"Decompose negative MaxIters", func() error {
-			_, err := Decompose(x, Options{Ranks: []int{2, 2, 2}, MaxIters: -1})
+			_, err := Decompose(x, Options{Config: Config{Ranks: []int{2, 2, 2}, MaxIters: -1}})
 			return err
 		}},
 		{"Approximate nil tensor", func() error {
-			_, err := Approximate(nil, Options{Ranks: []int{2, 2, 2}})
+			_, err := Approximate(nil, Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			return err
 		}},
 		{"Approximate order-1 tensor", func() error {
-			_, err := Approximate(tensor.RandN(rng, 5), Options{Ranks: []int{2}})
+			_, err := Approximate(tensor.RandN(rng, 5), Options{Config: Config{Ranks: []int{2}}})
 			return err
 		}},
 		{"Stream nil chunk", func() error {
-			return NewStream(Options{Ranks: []int{2, 2, 2}}).Append(nil)
+			return NewStream(Options{Config: Config{Ranks: []int{2, 2, 2}}}).Append(nil)
 		}},
 		{"Stream order-2 chunk", func() error {
-			return NewStream(Options{Ranks: []int{2, 2}}).Append(tensor.RandN(rng, 5, 4))
+			return NewStream(Options{Config: Config{Ranks: []int{2, 2}}}).Append(tensor.RandN(rng, 5, 4))
 		}},
 		{"Stream rank exceeds dimensionality", func() error {
-			return NewStream(Options{Ranks: []int{9, 2, 2}}).Append(chunk)
+			return NewStream(Options{Config: Config{Ranks: []int{9, 2, 2}}}).Append(chunk)
 		}},
 		{"Stream empty Decompose", func() error {
-			_, err := NewStream(Options{Ranks: []int{2, 2, 2}}).Decompose()
+			_, err := NewStream(Options{Config: Config{Ranks: []int{2, 2, 2}}}).Decompose()
 			return err
 		}},
 		{"Stream empty DecomposeRange", func() error {
-			_, err := NewStream(Options{Ranks: []int{2, 2, 2}}).DecomposeRange(0, 1)
+			_, err := NewStream(Options{Config: Config{Ranks: []int{2, 2, 2}}}).DecomposeRange(0, 1)
 			return err
 		}},
 		{"Stream inverted range", func() error {
@@ -106,7 +106,7 @@ func TestMalformedInputRejected(t *testing.T) {
 			return err
 		}},
 		{"RanksForEnergy eps out of range", func() error {
-			ap, err := Approximate(x, Options{Ranks: []int{2, 2, 2}})
+			ap, err := Approximate(x, Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,7 +114,7 @@ func TestMalformedInputRejected(t *testing.T) {
 			return err
 		}},
 		{"RanksForEnergy non-positive maxRank", func() error {
-			ap, err := Approximate(x, Options{Ranks: []int{2, 2, 2}})
+			ap, err := Approximate(x, Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,19 +151,19 @@ func TestNonFiniteInputRejected(t *testing.T) {
 		run  func() error
 	}{
 		{"Decompose NaN", func() error {
-			_, err := Decompose(poison(math.NaN()), Options{Ranks: []int{2, 2, 2}})
+			_, err := Decompose(poison(math.NaN()), Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			return err
 		}},
 		{"Decompose +Inf", func() error {
-			_, err := Decompose(poison(math.Inf(1)), Options{Ranks: []int{2, 2, 2}})
+			_, err := Decompose(poison(math.Inf(1)), Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			return err
 		}},
 		{"Approximate -Inf", func() error {
-			_, err := Approximate(poison(math.Inf(-1)), Options{Ranks: []int{2, 2, 2}})
+			_, err := Approximate(poison(math.Inf(-1)), Options{Config: Config{Ranks: []int{2, 2, 2}}})
 			return err
 		}},
 		{"Stream Append NaN", func() error {
-			return NewStream(Options{Ranks: []int{2, 2, 2}}).Append(poison(math.NaN()))
+			return NewStream(Options{Config: Config{Ranks: []int{2, 2, 2}}}).Append(poison(math.NaN()))
 		}},
 	}
 	for _, tc := range cases {
@@ -209,11 +209,11 @@ func TestPreCancelledContext(t *testing.T) {
 	cancel()
 
 	t.Run("Decompose", func(t *testing.T) {
-		_, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Context: ctx})
+		_, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 3, 3}}, Context: ctx})
 		wantCancelled(t, err, "approximation", context.Canceled)
 	})
 	t.Run("ApproximationDecompose", func(t *testing.T) {
-		ap, err := Approximate(x, Options{Ranks: []int{3, 3, 3}})
+		ap, err := Approximate(x, Options{Config: Config{Ranks: []int{3, 3, 3}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func TestPreCancelledContext(t *testing.T) {
 		wantCancelled(t, err, "initialization", context.Canceled)
 	})
 	t.Run("StreamAppend", func(t *testing.T) {
-		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		s := NewStream(Options{Config: Config{Ranks: []int{3, 3, 2}}})
 		err := s.AppendContext(ctx, chunk)
 		wantCancelled(t, err, "approximation", context.Canceled)
 		if s.Len() != 0 {
@@ -234,7 +234,7 @@ func TestPreCancelledContext(t *testing.T) {
 		}
 	})
 	t.Run("StreamDecompose", func(t *testing.T) {
-		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		s := NewStream(Options{Config: Config{Ranks: []int{3, 3, 2}}})
 		if err := s.Append(chunk); err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +242,7 @@ func TestPreCancelledContext(t *testing.T) {
 		wantCancelled(t, err, "initialization", context.Canceled)
 	})
 	t.Run("StreamDecomposeRange", func(t *testing.T) {
-		s := NewStream(Options{Ranks: []int{3, 3, 2}})
+		s := NewStream(Options{Config: Config{Ranks: []int{3, 3, 2}}})
 		if err := s.Append(chunk); err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func TestDeadlineExceededTagged(t *testing.T) {
 	x := tensor.RandN(rng, 8, 7, 6)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	_, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, Context: ctx})
+	_, err := Decompose(x, Options{Config: Config{Ranks: []int{3, 3, 3}}, Context: ctx})
 	wantCancelled(t, err, "approximation", context.DeadlineExceeded)
 }
 
@@ -287,7 +287,7 @@ func settleGoroutines(t *testing.T, before int) {
 func TestCancelMidRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	x := lowRankTensor(rng, 0.1, 4, 24, 20, 10)
-	opts := Options{Ranks: uniformRanks(3, 4), Seed: 9, Workers: 4}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 9}, Workers: 4}
 
 	// Sink messages arrive prefixed with a monotonic timestamp, so matching
 	// is on content, not prefix.
@@ -320,7 +320,7 @@ func TestCancelMidRun(t *testing.T) {
 	})
 	t.Run("stream iteration", func(t *testing.T) {
 		col, ctx := cancelOn("initialization done")
-		s := NewStream(Options{Ranks: []int{4, 4, 3}, Seed: 9, Workers: 4, Metrics: col})
+		s := NewStream(Options{Config: Config{Ranks: []int{4, 4, 3}, Seed: 9}, Workers: 4, Metrics: col})
 		if err := s.Append(lowRankTensor(rng, 0.1, 4, 24, 20, 6)); err != nil {
 			t.Fatal(err)
 		}
@@ -370,7 +370,7 @@ func TestKeyedFaultFallbackBitIdentical(t *testing.T) {
 	run := func(workers int) *Decomposition {
 		t.Helper()
 		base := metrics.Snapshot()
-		dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 21, Workers: workers})
+		dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 21}, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// The .dtd binary format of a Decomposition — the result payload of the
+// dtuckerd serving API:
+//
+//	magic      [4]byte  "DTD1"
+//	model      .tkm bytes (see tucker.Model.WriteTo)
+//	fit        float64
+//	converged  uint8    0 or 1
+//	stats      approx, init, iter int64 nanoseconds; iters uint32
+//
+// All values little endian. Readers reject trailers that disagree with the
+// format (non-finite fit, converged bytes other than 0/1, negative
+// durations) so a truncated or corrupted result cannot be mistaken for a
+// valid one.
+var decMagic = [4]byte{'D', 'T', 'D', '1'}
+
+// WriteTo serializes the decomposition (model, fit, convergence flag, and
+// phase statistics) in .dtd binary format, implementing io.WriterTo.
+// Short writes surface as errors instead of being dropped.
+func (d *Decomposition) WriteTo(w io.Writer) (int64, error) {
+	cw := &tensor.CountingWriter{W: w}
+	if _, err := cw.Write(decMagic[:]); err != nil {
+		return cw.N, fmt.Errorf("core: writing result magic: %w", err)
+	}
+	if _, err := d.Model.WriteTo(cw); err != nil {
+		return cw.N, fmt.Errorf("core: writing result model: %w", err)
+	}
+	conv := uint8(0)
+	if d.Converged {
+		conv = 1
+	}
+	trailer := []any{
+		d.Fit, conv,
+		int64(d.Stats.ApproxTime), int64(d.Stats.InitTime), int64(d.Stats.IterTime),
+		uint32(d.Stats.Iters),
+	}
+	for _, v := range trailer {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.N, fmt.Errorf("core: writing result trailer: %w", err)
+		}
+	}
+	return cw.N, nil
+}
+
+// ReadFrom deserializes a .dtd decomposition into d, replacing its
+// contents, and implements io.ReaderFrom. It applies the model reader's
+// checked-shape hardening and validates the trailer; a failed read leaves
+// d untouched.
+func (d *Decomposition) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	var magic [4]byte
+	m, err := io.ReadFull(r, magic[:])
+	n += int64(m)
+	if err != nil {
+		return n, fmt.Errorf("core: reading result magic: %w", err)
+	}
+	if magic != decMagic {
+		return n, fmt.Errorf("core: bad magic %q (not a .dtd result)", magic[:])
+	}
+	var read Decomposition
+	mn, err := read.Model.ReadFrom(r)
+	n += mn
+	if err != nil {
+		return n, err
+	}
+	var (
+		fit                  float64
+		conv                 uint8
+		approx, init_, iter_ int64
+		iters                uint32
+	)
+	for _, v := range []any{&fit, &conv, &approx, &init_, &iter_, &iters} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return n, fmt.Errorf("core: reading result trailer: %w", err)
+		}
+	}
+	n += 8 + 1 + 3*8 + 4
+	if math.IsNaN(fit) || math.IsInf(fit, 0) {
+		return n, fmt.Errorf("core: result fit is %v", fit)
+	}
+	if conv > 1 {
+		return n, fmt.Errorf("core: result convergence byte %d is not 0/1", conv)
+	}
+	if approx < 0 || init_ < 0 || iter_ < 0 {
+		return n, fmt.Errorf("core: negative phase duration in result trailer")
+	}
+	read.Fit = fit
+	read.Converged = conv == 1
+	read.Stats = Stats{
+		ApproxTime: time.Duration(approx),
+		InitTime:   time.Duration(init_),
+		IterTime:   time.Duration(iter_),
+		Iters:      int(iters),
+	}
+	*d = read
+	return n, nil
+}
+
+// ReadDecomposition deserializes a .dtd result from r.
+func ReadDecomposition(r io.Reader) (*Decomposition, error) {
+	var d Decomposition
+	if _, err := d.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// statsJSON is the wire form of Stats: explicit nanosecond fields, so the
+// JSON surface does not depend on time.Duration's encoding.
+type statsJSON struct {
+	ApproxNs int64 `json:"approx_ns"`
+	InitNs   int64 `json:"init_ns"`
+	IterNs   int64 `json:"iter_ns"`
+	Iters    int   `json:"iters"`
+}
+
+type decompositionJSON struct {
+	Model     *tucker.Model `json:"model"`
+	Fit       float64       `json:"fit"`
+	Converged bool          `json:"converged"`
+	Stats     statsJSON     `json:"stats"`
+}
+
+// MarshalJSON encodes the decomposition for the serving API's JSON
+// surface. It is explicit rather than derived because the embedded Model's
+// own marshaller would otherwise hijack the whole struct.
+func (d *Decomposition) MarshalJSON() ([]byte, error) {
+	return json.Marshal(decompositionJSON{
+		Model:     &d.Model,
+		Fit:       d.Fit,
+		Converged: d.Converged,
+		Stats: statsJSON{
+			ApproxNs: int64(d.Stats.ApproxTime),
+			InitNs:   int64(d.Stats.InitTime),
+			IterNs:   int64(d.Stats.IterTime),
+			Iters:    d.Stats.Iters,
+		},
+	})
+}
+
+// UnmarshalJSON decodes a decomposition, with the model's shape and
+// finiteness validation applied.
+func (d *Decomposition) UnmarshalJSON(b []byte) error {
+	var dj decompositionJSON
+	dj.Model = &tucker.Model{}
+	if err := json.Unmarshal(b, &dj); err != nil {
+		return fmt.Errorf("core: decoding result JSON: %w", err)
+	}
+	if dj.Model.Core == nil {
+		return fmt.Errorf("core: result JSON has no model")
+	}
+	if math.IsNaN(dj.Fit) || math.IsInf(dj.Fit, 0) {
+		return fmt.Errorf("core: result fit is %v", dj.Fit)
+	}
+	if dj.Stats.ApproxNs < 0 || dj.Stats.InitNs < 0 || dj.Stats.IterNs < 0 {
+		return fmt.Errorf("core: negative phase duration in result JSON")
+	}
+	*d = Decomposition{
+		Model:     *dj.Model,
+		Fit:       dj.Fit,
+		Converged: dj.Converged,
+		Stats: Stats{
+			ApproxTime: time.Duration(dj.Stats.ApproxNs),
+			InitTime:   time.Duration(dj.Stats.InitNs),
+			IterTime:   time.Duration(dj.Stats.IterNs),
+			Iters:      dj.Stats.Iters,
+		},
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testDecomposition(t *testing.T, seed int64) *Decomposition {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := lowRankTensor(rng, 0.05, 3, 14, 12, 9)
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func decsBitIdentical(t *testing.T, a, b *Decomposition) {
+	t.Helper()
+	if !bitIdentical(a.Core.Data(), b.Core.Data()) {
+		t.Fatal("core differs after round trip")
+	}
+	for n := range a.Factors {
+		if !bitIdentical(a.Factors[n].Data(), b.Factors[n].Data()) {
+			t.Fatalf("factor %d differs after round trip", n)
+		}
+	}
+	if math.Float64bits(a.Fit) != math.Float64bits(b.Fit) {
+		t.Fatalf("fit %v vs %v", a.Fit, b.Fit)
+	}
+	if a.Converged != b.Converged {
+		t.Fatal("convergence flag differs")
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestDecompositionBinaryRoundTrip(t *testing.T) {
+	orig := testDecomposition(t, 31)
+	var buf bytes.Buffer
+	wn, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", wn, buf.Len())
+	}
+	got, err := ReadDecomposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decsBitIdentical(t, orig, got)
+
+	// The byte count must cover the whole stream: a second reader starting
+	// after rn bytes sees exactly nothing.
+	r := bytes.NewReader(buf.Bytes())
+	var d2 Decomposition
+	rn, err := d2.ReadFrom(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != wn {
+		t.Fatalf("ReadFrom consumed %d of %d bytes", rn, wn)
+	}
+	if rest, _ := io.ReadAll(r); len(rest) != 0 {
+		t.Fatalf("%d unread bytes after ReadFrom", len(rest))
+	}
+}
+
+func TestDecompositionJSONRoundTrip(t *testing.T) {
+	orig := testDecomposition(t, 32)
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Decomposition
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	decsBitIdentical(t, orig, &got)
+}
+
+func TestDecompositionCorruptInput(t *testing.T) {
+	orig := testDecomposition(t, 33)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bad magic": func(b []byte) []byte { b[0] = 'Z'; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"converged byte 7": func(b []byte) []byte {
+			// converged sits 8+1+24+4 = 37 bytes from the end, right after fit.
+			b[len(b)-29] = 7
+			return b
+		},
+		"negative duration": func(b []byte) []byte {
+			for i := len(b) - 28; i < len(b)-20; i++ {
+				b[i] = 0xff
+			}
+			return b
+		},
+	} {
+		b := append([]byte(nil), good...)
+		if _, err := ReadDecomposition(bytes.NewReader(mutate(b))); err == nil {
+			t.Fatalf("%s: corrupt result accepted", name)
+		}
+	}
+
+	// A failed read must leave the receiver untouched.
+	d := Decomposition{Fit: 0.5, Stats: Stats{Iters: 3, IterTime: time.Second}}
+	if _, err := d.ReadFrom(bytes.NewReader(good[:10])); err == nil {
+		t.Fatal("truncated result accepted")
+	}
+	if d.Fit != 0.5 || d.Stats.Iters != 3 {
+		t.Fatal("failed ReadFrom clobbered the receiver")
+	}
+}
+
+func TestDecompositionJSONRejectsMalformed(t *testing.T) {
+	for name, js := range map[string]string{
+		"no model":     `{"fit":0.5,"converged":true,"stats":{}}`,
+		"negative ns":  `{"model":{"core":{"shape":[1],"data":[1]},"factors":[{"rows":2,"cols":1,"data":[1,0]}]},"fit":1,"stats":{"iter_ns":-5}}`,
+		"invalid json": `{"model":`,
+	} {
+		var d Decomposition
+		if err := json.Unmarshal([]byte(js), &d); err == nil {
+			t.Fatalf("%s: malformed result accepted", name)
+		}
+	}
+}

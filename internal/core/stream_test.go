@@ -30,7 +30,7 @@ func chunked(x *tensor.Dense, sizes ...int) []*tensor.Dense {
 func TestStreamMatchesBatchAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := lowRankTensor(rng, 0.1, 3, 16, 14, 24)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5, NoReorder: true}}
 
 	batch, err := Decompose(x, opts)
 	if err != nil {
@@ -61,7 +61,7 @@ func TestStreamIncrementalDecompose(t *testing.T) {
 	// warm starts must not break anything.
 	rng := rand.New(rand.NewSource(2))
 	x := lowRankTensor(rng, 0.05, 3, 14, 12, 30)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := NewStream(opts)
 	chunks := chunked(x, 10, 10, 10)
 	seen := 0
@@ -87,7 +87,7 @@ func TestStreamWarmStartConvergesFaster(t *testing.T) {
 	// need no more sweeps than a cold solve of the same data.
 	rng := rand.New(rand.NewSource(3))
 	x := lowRankTensor(rng, 0.1, 3, 16, 14, 40)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5, Tol: 1e-5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5, Tol: 1e-5}}
 
 	st := NewStream(opts)
 	cs := chunked(x, 32, 8)
@@ -123,7 +123,7 @@ func TestStreamWarmStartConvergesFaster(t *testing.T) {
 
 func TestStreamValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := NewStream(opts)
 	if _, err := st.Decompose(); err == nil {
 		t.Fatal("Decompose on empty stream accepted")
@@ -141,7 +141,7 @@ func TestStreamValidation(t *testing.T) {
 		t.Fatal("mismatched chunk order accepted")
 	}
 	// Temporal rank 3 > current length 2 after a short stream must error.
-	st2 := NewStream(Options{Ranks: []int{3, 3, 3}, Seed: 5})
+	st2 := NewStream(Options{Config: Config{Ranks: []int{3, 3, 3}, Seed: 5}})
 	if err := st2.Append(tensor.RandN(rng, 8, 8, 2)); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestStreamValidation(t *testing.T) {
 
 func TestStreamStorageGrowsLinearly(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	st := NewStream(opts)
 	if err := st.Append(tensor.RandN(rng, 10, 9, 4)); err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestStreamStorageGrowsLinearly(t *testing.T) {
 func TestStreamOrder4(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	x := lowRankTensor(rng, 0.05, 2, 10, 9, 4, 12)
-	opts := Options{Ranks: uniformRanks(4, 2), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(4, 2), Seed: 5}}
 	st := NewStream(opts)
 	area := 10 * 9 * 4
 	for off := 0; off < 12; off += 4 {

@@ -42,7 +42,7 @@ func TestDecomposeTraceShape(t *testing.T) {
 	col, tr := tracedCollector(t)
 	rng := rand.New(rand.NewSource(21))
 	x := lowRankTensor(rng, 0.1, 4, 24, 20, 8)
-	dec, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col})
+	dec, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 7}, Workers: 4, Metrics: col})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestTraceBalancedUnderCancellation(t *testing.T) {
 		col, tr := tracedCollector(t)
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col, Context: ctx})
+		_, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 7}, Workers: 4, Metrics: col, Context: ctx})
 		if err == nil {
 			t.Fatal("cancelled run succeeded")
 		}
@@ -158,7 +158,7 @@ func TestTraceBalancedUnderCancellation(t *testing.T) {
 				cancel()
 			}
 		})
-		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: 4, Metrics: col, Context: ctx})
+		_, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 7}, Workers: 4, Metrics: col, Context: ctx})
 		if err == nil {
 			t.Fatal("cancelled run succeeded")
 		}
@@ -202,7 +202,7 @@ func TestTraceBalancedUnderFaults(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer faults.Reset()
-			_, err := Decompose(x, Options{Ranks: uniformRanks(3, 3), Seed: 4, Workers: 2, MaxIters: 8, Metrics: col})
+			_, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 4, MaxIters: 8}, Workers: 2, Metrics: col})
 			if err != nil && sp.surface {
 				wantInjected(t, err, site, mode)
 			}
@@ -230,7 +230,7 @@ func TestHistogramCountsDeterministicAcrossWorkers(t *testing.T) {
 
 	countsFor := func(workers int) map[string]int64 {
 		metrics.ResetHists()
-		_, err := Decompose(x, Options{Ranks: uniformRanks(3, 4), Seed: 7, Workers: workers, MaxIters: 6})
+		_, err := Decompose(x, Options{Config: Config{Ranks: uniformRanks(3, 4), Seed: 7, MaxIters: 6}, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

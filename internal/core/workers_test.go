@@ -26,7 +26,7 @@ func bitIdentical(a, b []float64) bool {
 func TestApproximateBitIdenticalAcrossWorkers(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
 	x := lowRankTensor(rng, 0.1, 3, 13, 11, 18)
-	opts := Options{Ranks: uniformRanks(3, 3), Seed: 5}
+	opts := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 5}}
 	a, err := Approximate(x, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestDecomposeBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	// slices): every run must produce the exact bits of the serial run.
 	rng := rand.New(rand.NewSource(21))
 	x := lowRankTensor(rng, 0.1, 3, 12, 10, 4, 3)
-	base := Options{Ranks: uniformRanks(4, 3), Seed: 33}
+	base := Options{Config: Config{Ranks: uniformRanks(4, 3), Seed: 33}}
 	ref, err := Decompose(x, base)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestConcurrentDecomposeDifferentWorkers(t *testing.T) {
 	// global. Run under -race this also proves the pools share nothing.
 	rng := rand.New(rand.NewSource(22))
 	x := lowRankTensor(rng, 0.1, 3, 12, 12, 12)
-	base := Options{Ranks: uniformRanks(3, 3), Seed: 17}
+	base := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 17}}
 	ref, err := Decompose(x, base)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestSharedPoolAcrossDecompositions(t *testing.T) {
 	// still match a per-run pool, and the pool's size wins over Workers.
 	rng := rand.New(rand.NewSource(23))
 	x := lowRankTensor(rng, 0.1, 3, 12, 12, 12)
-	base := Options{Ranks: uniformRanks(3, 3), Seed: 17}
+	base := Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 17}}
 	ref, err := Decompose(x, base)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +147,7 @@ func TestIterateReportsNonConvergence(t *testing.T) {
 	// the count and pretend the run settled (the pre-fix behavior).
 	rng := rand.New(rand.NewSource(24))
 	x := tensor.RandN(rng, 10, 9, 8) // full rank: fit keeps moving
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 2), Seed: 3, MaxIters: 3})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 2), Seed: 3, MaxIters: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestDecomposeSurfacesConverged(t *testing.T) {
 
 	// Exactly low-rank data settles within the default budget.
 	easy := lowRankTensor(rng, 0, 3, 14, 12, 10)
-	dec, err := Decompose(easy, Options{Ranks: uniformRanks(3, 3), Seed: 6})
+	dec, err := Decompose(easy, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestDecomposeSurfacesConverged(t *testing.T) {
 
 	// A 1-sweep budget cannot converge (the stopping test needs two fits).
 	hard := tensor.RandN(rng, 12, 11, 10)
-	dec, err = Decompose(hard, Options{Ranks: uniformRanks(3, 2), Seed: 6, MaxIters: 1})
+	dec, err = Decompose(hard, Options{Config: Config{Ranks: uniformRanks(3, 2), Seed: 6, MaxIters: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestAccumulateSliceModeSteadyStateAllocFree(t *testing.T) {
 	// accumulation path must not allocate at all.
 	rng := rand.New(rand.NewSource(26))
 	x := lowRankTensor(rng, 0.1, 3, 12, 10, 8)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestIterateReleasesScratchToArena(t *testing.T) {
 	// Approximation reuses the arena instead of leaking per-sweep buffers.
 	rng := rand.New(rand.NewSource(27))
 	x := lowRankTensor(rng, 0.1, 3, 12, 10, 8)
-	ap, err := Approximate(x, Options{Ranks: uniformRanks(3, 3), Seed: 2})
+	ap, err := Approximate(x, Options{Config: Config{Ranks: uniformRanks(3, 3), Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestIterateReleasesScratchToArena(t *testing.T) {
 }
 
 func TestPoolPrecedenceOverWorkers(t *testing.T) {
-	opts, err := Options{Ranks: []int{2, 2}, Workers: 7, Pool: pool.New(2)}.withDefaults(2)
+	opts, err := Options{Config: Config{Ranks: []int{2, 2}}, Workers: 7, Pool: pool.New(2)}.withDefaults(2)
 	if err != nil {
 		t.Fatal(err)
 	}

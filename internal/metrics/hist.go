@@ -29,6 +29,13 @@ const (
 	// distribution is the scheduling gap the iteration phase pays per
 	// parallel region.
 	HistPoolWait
+	// HistJobQueueWait is the time a dtuckerd job spent in the admission
+	// queue — from accepted submission until a runner picked it up. Its
+	// tail is the latency cost of a saturated queue.
+	HistJobQueueWait
+	// HistJobRun is the end-to-end execution latency of one dtuckerd job
+	// (cache hits are not observed — they never execute).
+	HistJobRun
 	numHistIDs
 )
 
@@ -45,6 +52,10 @@ func (h HistID) String() string {
 		return "randsvd-project"
 	case HistPoolWait:
 		return "pool-wait"
+	case HistJobQueueWait:
+		return "job-queue-wait"
+	case HistJobRun:
+		return "job-run"
 	}
 	return "hist(?)"
 }

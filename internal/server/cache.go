@@ -1,0 +1,82 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// resultCache is a size-bounded LRU over finished decompositions, keyed by
+// (tensor digest, canonical config) — see digest.go for why that key is
+// sound. Cached *Decomposition values are shared between requests and must
+// be treated as immutable; handlers only ever serialize them.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	dec *core.Decomposition
+}
+
+// newResultCache returns a cache holding at most capacity results.
+// capacity <= 0 disables caching: Get always misses and Put is a no-op.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) Get(key string) (*core.Decomposition, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).dec, true
+}
+
+func (c *resultCache) Put(key string, dec *core.Decomposition) {
+	if c.cap <= 0 || dec == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).dec = dec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, dec: dec})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *resultCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Cache keys. A decomposition result is fully determined by the input
+// tensor's bytes and the canonical form of its config (the library is
+// deterministic for a fixed seed and bit-identical across worker counts),
+// so (tensor digest, Config.Canonical) is a sound cache key: two requests
+// with the same key would receive bit-identical results anyway.
+
+// tensorDigest returns the hex SHA-256 of the tensor's .ten serialization.
+func tensorDigest(x *tensor.Dense) (string, error) {
+	h := sha256.New()
+	if _, err := x.WriteTo(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheKey combines a content digest with the canonical config string.
+func cacheKey(digest string, cfg core.Config) string {
+	return digest + "|" + cfg.Canonical()
+}
+
+// chainDigest folds one chunk digest into a stream's rolling digest, so a
+// stream's identity is the ordered sequence of its appended chunks.
+func chainDigest(prev, chunk string) string {
+	h := sha256.Sum256([]byte(prev + "+" + chunk))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// decodeBody decodes a JSON request body into v under the body-size limit.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{
+			Kind:    KindInvalidInput,
+			Message: fmt.Sprintf("decoding request body: %v", err),
+		})
+		return false
+	}
+	return true
+}
+
+// decodeTensor decodes the base64 .ten payload of a request, applying the
+// reader's corrupt-header and non-finite hardening.
+func decodeTensor(b64 string) (*tensor.Dense, error) {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("tensor_b64 is not valid base64: %w", err)
+	}
+	return tensor.ReadFrom(bytes.NewReader(raw))
+}
+
+// handleDecompose is POST /v1/decompose: validate, answer from cache when
+// possible, otherwise queue a job under admission control.
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req DecomposeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, wireError(err))
+		return
+	}
+	x, err := decodeTensor(req.TensorB64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput, Message: err.Error()})
+		return
+	}
+	if len(req.Config.Ranks) != x.Order() {
+		writeError(w, http.StatusBadRequest, &WireError{
+			Kind:    KindInvalidInput,
+			Message: fmt.Sprintf("config has %d ranks for an order-%d tensor", len(req.Config.Ranks), x.Order()),
+		})
+		return
+	}
+	digest, err := tensorDigest(x)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, &WireError{Kind: KindInternal, Message: err.Error()})
+		return
+	}
+	key := cacheKey(digest, req.Config)
+
+	// A cache hit needs no queue slot: the job record is born done.
+	if dec, ok := s.cache.Get(key); ok {
+		j := s.newJob(key, 0, false, nil)
+		j.state = StateDone
+		j.dec = dec
+		j.cacheHit = true
+		j.started = j.created
+		j.finished = j.created
+		s.register(j)
+		s.submitted.Add(1)
+		s.completed.Add(1)
+		s.cfg.Logf("job %s: done (cache hit at submit)", j.id)
+		s.respondSubmitted(w, j, http.StatusOK)
+		return
+	}
+
+	cfg := req.Config
+	j := s.newJob(key, time.Duration(req.TimeoutMs)*time.Millisecond, req.Trace,
+		func(ctx context.Context, pl *pool.Pool, col *metrics.Collector) (*core.Decomposition, error) {
+			opts := cfg.Options()
+			opts.Context = ctx
+			opts.Pool = pl
+			opts.Metrics = col
+			return core.Decompose(x, opts)
+		})
+	if err := s.admit(j); err != nil {
+		j.cancel() // release the job context; it will never run
+		s.writeAdmissionError(w, err)
+		return
+	}
+	s.respondSubmitted(w, j, http.StatusAccepted)
+}
+
+func (s *Server) respondSubmitted(w http.ResponseWriter, j *job, status int) {
+	j.mu.Lock()
+	resp := SubmitResponse{
+		JobID:     j.id,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		StatusURL: "/v1/jobs/" + j.id,
+		ResultURL: "/v1/jobs/" + j.id + "/result",
+	}
+	j.mu.Unlock()
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the decomposition payload,
+// as .dtd binary by default or JSON with ?format=json. A job that is not
+// done yet answers 409 with its current state.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	dec := j.result()
+	if dec == nil {
+		st := j.status()
+		if st.Error != nil {
+			writeError(w, http.StatusConflict, st.Error)
+			return
+		}
+		writeError(w, http.StatusConflict, &WireError{
+			Kind:    KindConflict,
+			Message: fmt.Sprintf("job is %s; poll %s until done", st.State, "/v1/jobs/"+j.id),
+		})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "binary", "dtd":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := dec.WriteTo(w); err != nil {
+			s.cfg.Logf("job %s: writing result: %v", j.id, err)
+		}
+	case "json":
+		writeJSON(w, http.StatusOK, dec)
+	default:
+		writeError(w, http.StatusBadRequest, &WireError{
+			Kind:    KindInvalidInput,
+			Message: "unknown format (want binary or json)",
+		})
+	}
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the span trace recorded for a
+// job submitted with "trace": true, as JSONL (default) or Chrome trace
+// JSON with ?format=chrome.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	if j.tracer == nil {
+		writeError(w, http.StatusNotFound, &WireError{
+			Kind:    KindNotFound,
+			Message: "job was not submitted with trace enabled",
+		})
+		return
+	}
+	var format trace.Format
+	switch r.URL.Query().Get("format") {
+	case "", "jsonl":
+		format = trace.FormatJSONL
+		w.Header().Set("Content-Type", "application/jsonl")
+	case "chrome":
+		format = trace.FormatChrome
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		writeError(w, http.StatusBadRequest, &WireError{
+			Kind:    KindInvalidInput,
+			Message: "unknown format (want jsonl or chrome)",
+		})
+		return
+	}
+	if err := j.tracer.Export(w, format); err != nil {
+		s.cfg.Logf("job %s: writing trace: %v", j.id, err)
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancel a queued or running job.
+// The job transitions to cancelled when the decomposition observes the
+// context, at the next phase or sweep boundary.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such job"})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

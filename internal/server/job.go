@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/trace"
+)
+
+// Job states, in lifecycle order. A job moves queued → running →
+// {done, failed, cancelled}; cache hits are born done.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// job is one queued decomposition. The exec closure abstracts over the two
+// job sources — a one-shot tensor decomposition and a stream solve — so the
+// runner, cache, and drain logic are shared.
+type job struct {
+	id  string
+	key string // result-cache key; "" disables caching for this job
+
+	// exec runs the decomposition. It receives the job's context (already
+	// carrying any per-job timeout) and must honour it.
+	exec func(ctx context.Context, pl *pool.Pool, col *metrics.Collector) (*core.Decomposition, error)
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	timeout time.Duration // applied when the job starts running, not while queued
+
+	col    *metrics.Collector
+	tracer *trace.Tracer
+
+	mu       sync.Mutex
+	state    string
+	cacheHit bool
+	err      error
+	dec      *core.Decomposition
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+func (j *job) finish(dec *core.Decomposition, err error, cacheHit bool, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = now
+	j.cacheHit = j.cacheHit || cacheHit
+	if err == nil {
+		j.state = StateDone
+		j.dec = dec
+		return
+	}
+	j.err = err
+	if wireError(err).Kind == KindCancelled {
+		j.state = StateCancelled
+	} else {
+		j.state = StateFailed
+	}
+}
+
+// result returns the decomposition when the job is done, else nil.
+func (j *job) result() *core.Decomposition {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.dec
+}
+
+// status snapshots the job record for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     wireError(j.err),
+		CreatedMs: j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedMs = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedMs = j.finished.UnixMilli()
+	}
+	if j.state == StateDone && j.dec != nil {
+		st.Fit = j.dec.Fit
+		st.Converged = j.dec.Converged
+		st.Iters = j.dec.Stats.Iters
+		st.Ranks = j.dec.Core.Shape()
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		if j.col != nil {
+			r := j.col.Report()
+			st.Metrics = &r
+		}
+		if j.tracer != nil {
+			st.TraceSpans = j.tracer.Len()
+		}
+	}
+	return st
+}

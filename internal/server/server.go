@@ -1,0 +1,463 @@
+// Package server implements dtuckerd, the D-Tucker decomposition service:
+// an HTTP/JSON job API with admission control, a result cache, and graceful
+// drain, on top of the core decomposition library.
+//
+// Requests are serializable core.Config values plus a tensor payload
+// (base64 .ten bytes in JSON). Submissions pass through a bounded queue —
+// when it is full the server sheds load with 429 and a Retry-After header
+// instead of queueing unboundedly. Results are cached in an LRU keyed by
+// (tensor digest, canonical config); the library's determinism makes a
+// cached result bit-identical to a fresh computation. All jobs share one
+// worker pool, so a saturated server runs at a bounded total parallelism.
+//
+// Every job carries its own metrics.Collector (phase breakdown in the job
+// record) and, on request, a span tracer (GET /v1/jobs/{id}/trace).
+// Process-wide counters and latency histograms are exported through expvar
+// at GET /metricz.
+//
+// Endpoints:
+//
+//	POST   /v1/decompose             submit a decomposition job
+//	GET    /v1/jobs/{id}             poll the job record
+//	GET    /v1/jobs/{id}/result      fetch the result (.dtd binary, ?format=json)
+//	GET    /v1/jobs/{id}/trace       fetch the span trace (jsonl, ?format=chrome)
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	POST   /v1/streams               open a streaming session
+//	GET    /v1/streams/{id}          session status
+//	DELETE /v1/streams/{id}          close the session
+//	POST   /v1/streams/{id}/append   append a chunk (synchronous)
+//	POST   /v1/streams/{id}/decompose submit a full-stream solve job
+//	POST   /v1/streams/{id}/range    submit a time-range solve job
+//	GET    /healthz                  liveness and queue state
+//	GET    /metricz                  expvar: counters + latency histograms
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/trace"
+)
+
+// Config configures a Server. The zero value is usable: every field has a
+// sensible default.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with 429. Default 16.
+	QueueDepth int
+	// Runners is the number of jobs executing concurrently. Default 1 —
+	// one decomposition at a time, using the whole pool.
+	Runners int
+	// Workers sizes the shared worker pool. Default runtime.NumCPU.
+	Workers int
+	// CacheSize bounds the result cache in entries; 0 means the default
+	// (64), negative disables caching.
+	CacheSize int
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies. Default 1 GiB.
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per lifecycle event (job start,
+	// finish, drain). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Runners <= 0 {
+		c.Runners = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the dtuckerd service. Create with New, serve its Handler, and
+// shut down with Drain. A Server's methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	pl    *pool.Pool
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue     chan *job
+	stop      chan struct{} // closed after drain: runners exit
+	jobsWG    sync.WaitGroup
+	runnersWG sync.WaitGroup
+	draining  atomic.Bool
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	jobOrder   []string // insertion order, for pruning old finished records
+	streams    map[string]*session
+	nextJob    int64
+	nextStream int64
+
+	// Cumulative counters, exported on /metricz.
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	rejected  atomic.Int64
+	running   atomic.Int64
+}
+
+// maxJobRecords bounds the in-memory job registry; the oldest finished
+// records are pruned beyond it.
+const maxJobRecords = 4096
+
+// New returns a ready Server. Start serving with an http.Server around
+// Handler(); call Drain before exit.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pl:      pool.New(cfg.Workers),
+		cache:   newResultCache(cfg.CacheSize),
+		queue:   make(chan *job, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		jobs:    make(map[string]*job),
+		streams: make(map[string]*session),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.routes()
+	for i := 0; i < cfg.Runners; i++ {
+		s.runnersWG.Add(1)
+		go s.runner()
+	}
+	metrics.PublishExpvar()
+	publishServerExpvar()
+	activeServer.Store(s)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("POST /v1/streams/{id}/append", s.handleStreamAppend)
+	s.mux.HandleFunc("POST /v1/streams/{id}/decompose", s.handleStreamDecompose)
+	s.mux.HandleFunc("POST /v1/streams/{id}/range", s.handleStreamRange)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metricz", expvar.Handler())
+}
+
+// newJob allocates a job record with its own cancellable context (child of
+// the server's base context, so drain-with-deadline can cancel everything),
+// per-job collector, and optional tracer.
+func (s *Server) newJob(key string, timeout time.Duration, traced bool,
+	exec func(ctx context.Context, pl *pool.Pool, col *metrics.Collector) (*core.Decomposition, error)) *job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		key:     key,
+		exec:    exec,
+		ctx:     ctx,
+		cancel:  cancel,
+		timeout: timeout,
+		col:     metrics.New(),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	if traced {
+		j.tracer = trace.New()
+		j.col.SetTracer(j.tracer)
+	}
+	s.mu.Lock()
+	s.nextJob++
+	j.id = fmt.Sprintf("j-%06d", s.nextJob)
+	s.mu.Unlock()
+	return j
+}
+
+// register adds the job to the registry, pruning the oldest finished
+// records past maxJobRecords.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > maxJobRecords {
+		old, ok := s.jobs[s.jobOrder[0]]
+		if ok {
+			old.mu.Lock()
+			finished := old.state == StateDone || old.state == StateFailed || old.state == StateCancelled
+			old.mu.Unlock()
+			if !finished {
+				break // never prune live jobs; registry grows until they finish
+			}
+			delete(s.jobs, s.jobOrder[0])
+		}
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// errQueueFull and errDraining are admission-control rejections.
+var (
+	errQueueFull = errors.New("job queue is full")
+	errDraining  = errors.New("server is draining")
+)
+
+// admit registers the job and places it on the bounded queue. It never
+// blocks: a full queue or a draining server rejects immediately.
+func (s *Server) admit(j *job) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	s.jobsWG.Add(1)
+	select {
+	case s.queue <- j:
+		s.register(j)
+		s.submitted.Add(1)
+		return nil
+	default:
+		s.jobsWG.Done()
+		s.rejected.Add(1)
+		return errQueueFull
+	}
+}
+
+func (s *Server) runner() {
+	defer s.runnersWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.stop:
+			// Drain the queue before exiting so no admitted job is lost;
+			// after stop closes nothing new is admitted.
+			for {
+				select {
+				case j := <-s.queue:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job to completion. Exactly one runner runs a given job.
+func (s *Server) run(j *job) {
+	defer s.jobsWG.Done()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	start := time.Now()
+	metrics.Observe(metrics.HistJobQueueWait, start.Sub(j.created))
+	j.setRunning(start)
+	s.cfg.Logf("job %s: running (queued %v)", j.id, start.Sub(j.created).Round(time.Millisecond))
+
+	ctx := j.ctx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
+
+	// The cache may have been filled by an identical job that ran while
+	// this one waited in the queue.
+	if j.key != "" {
+		if dec, ok := s.cache.Get(j.key); ok {
+			j.finish(dec, nil, true, time.Now())
+			s.completed.Add(1)
+			s.cfg.Logf("job %s: done (cache hit after queue)", j.id)
+			return
+		}
+	}
+
+	dec, err := j.exec(ctx, s.pl, j.col)
+	end := time.Now()
+	metrics.ObserveSince(metrics.HistJobRun, start)
+	if err == nil && j.key != "" {
+		s.cache.Put(j.key, dec)
+	}
+	j.finish(dec, err, false, end)
+
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+		s.cfg.Logf("job %s: done in %v (fit %.6f)", j.id, end.Sub(start).Round(time.Millisecond), dec.Fit)
+	case StateCancelled:
+		s.cancelled.Add(1)
+		s.cfg.Logf("job %s: cancelled after %v", j.id, end.Sub(start).Round(time.Millisecond))
+	default:
+		s.failed.Add(1)
+		s.cfg.Logf("job %s: failed: %v", j.id, err)
+	}
+}
+
+// Drain gracefully shuts the server down: it stops admitting work, waits
+// for queued and running jobs to finish, and — if ctx expires first —
+// cancels everything in flight and waits for the cancellations to land.
+// After Drain returns no runner goroutines remain and final statistics have
+// been flushed through Logf. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) {
+	if s.draining.Swap(true) {
+		// Another Drain is (or was) in progress; wait for the jobs either way.
+		s.jobsWG.Wait()
+		s.runnersWG.Wait()
+		return
+	}
+	s.cfg.Logf("drain: no longer admitting jobs; %d queued, %d running",
+		len(s.queue), s.running.Load())
+
+	done := make(chan struct{})
+	go func() { s.jobsWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logf("drain: deadline reached, cancelling in-flight jobs")
+		s.baseCancel() // cancels every job context at once
+		<-done
+	}
+	close(s.stop)
+	s.runnersWG.Wait()
+	s.baseCancel()
+
+	hits, misses := s.cache.Stats()
+	s.cfg.Logf("drain: complete — %d submitted, %d done, %d failed, %d cancelled, %d rejected; cache %d hits / %d misses",
+		s.submitted.Load(), s.completed.Load(), s.failed.Load(),
+		s.cancelled.Load(), s.rejected.Load(), hits, misses)
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// health snapshots the serving state for /healthz.
+func (s *Server) health() Health {
+	h := Health{
+		Status:   "ok",
+		QueueLen: len(s.queue),
+		QueueCap: cap(s.queue),
+		Running:  int(s.running.Load()),
+		Workers:  s.pl.Size(),
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// statsSnapshot is the expvar payload under the "dtuckerd" key.
+func (s *Server) statsSnapshot() map[string]any {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	streams := len(s.streams)
+	s.mu.Unlock()
+	return map[string]any{
+		"jobs_submitted": s.submitted.Load(),
+		"jobs_completed": s.completed.Load(),
+		"jobs_failed":    s.failed.Load(),
+		"jobs_cancelled": s.cancelled.Load(),
+		"jobs_rejected":  s.rejected.Load(),
+		"jobs_running":   s.running.Load(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"cache_entries":  s.cache.Len(),
+		"queue_len":      len(s.queue),
+		"queue_cap":      cap(s.queue),
+		"streams_open":   streams,
+		"draining":       s.draining.Load(),
+	}
+}
+
+// expvar wiring. expvar.Publish panics on duplicate names and tests create
+// many Servers per process, so the published func reads through an atomic
+// pointer to the most recently created server.
+var (
+	activeServer  atomic.Pointer[Server]
+	publishServer sync.Once
+)
+
+func publishServerExpvar() {
+	publishServer.Do(func() {
+		expvar.Publish("dtuckerd", expvar.Func(func() any {
+			s := activeServer.Load()
+			if s == nil {
+				return nil
+			}
+			return s.statsSnapshot()
+		}))
+	})
+}
+
+// ----- small HTTP helpers shared by the handler files -----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, e *WireError) {
+	writeJSON(w, status, map[string]*WireError{"error": e})
+}
+
+// writeAdmissionError maps admit() failures onto HTTP load-shedding
+// semantics: 429 + Retry-After for a full queue, 503 while draining.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, &WireError{Kind: KindQueueFull, Message: err.Error()})
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, &WireError{Kind: KindDraining, Message: err.Error()})
+	default:
+		writeError(w, http.StatusInternalServerError, &WireError{Kind: KindInternal, Message: err.Error()})
+	}
+}

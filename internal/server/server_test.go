@@ -1,0 +1,724 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+// testTensor builds a deterministic low-rank-plus-noise tensor.
+func testTensor(seed int64, shape ...int) *tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.RandN(rng, shape...)
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *repro.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	cl := repro.NewClient(hs.URL)
+	cl.PollInterval = 2 * time.Millisecond
+	return srv, hs, cl
+}
+
+// slowConfig and slowTensor build jobs that keep running until cancelled:
+// a sub-normal tolerance with effectively unbounded sweeps on a tensor big
+// enough that ALS does not reach a floating-point fixed point within the
+// test's patience. Cancellation still lands quickly — it is observed at
+// every sweep boundary.
+func slowConfig() repro.Config {
+	return repro.Config{Ranks: []int{8, 8, 8}, Tol: 1e-300, MaxIters: 1 << 30}
+}
+
+func slowTensor(seed int64) *tensor.Dense {
+	return testTensor(seed, 44, 40, 36)
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func tensorB64(t *testing.T, x *tensor.Dense) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+// TestServedResultBitIdentical is the core acceptance check: a result
+// served over HTTP is bit-identical to an in-process Decompose with the
+// same config — binary format, JSON format, and client convenience path.
+func TestServedResultBitIdentical(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Workers: 2})
+	x := testTensor(7, 16, 14, 12)
+	cfg := repro.Config{Ranks: []int{5, 4, 3}, Seed: 42}
+
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := cl.Decompose(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	// The JSON result format must agree too.
+	receipt, err := cl.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.CacheHit {
+		t.Fatalf("identical resubmission missed the cache: %+v", receipt)
+	}
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + receipt.JobID + "/result?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var viaJSON core.Decomposition
+	if err := json.NewDecoder(resp.Body).Decode(&viaJSON); err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, &viaJSON)
+}
+
+func requireBitIdentical(t *testing.T, want, got *core.Decomposition) {
+	t.Helper()
+	if math.Float64bits(want.Fit) != math.Float64bits(got.Fit) {
+		t.Fatalf("fit differs: %v vs %v", want.Fit, got.Fit)
+	}
+	wc, gc := want.Core.Data(), got.Core.Data()
+	if len(wc) != len(gc) {
+		t.Fatalf("core size differs: %d vs %d", len(wc), len(gc))
+	}
+	for i := range wc {
+		if math.Float64bits(wc[i]) != math.Float64bits(gc[i]) {
+			t.Fatalf("core element %d differs", i)
+		}
+	}
+	for n := range want.Factors {
+		wf, gf := want.Factors[n].Data(), got.Factors[n].Data()
+		if len(wf) != len(gf) {
+			t.Fatalf("factor %d size differs", n)
+		}
+		for i := range wf {
+			if math.Float64bits(wf[i]) != math.Float64bits(gf[i]) {
+				t.Fatalf("factor %d element %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestResubmitHitsCache proves the (tensor digest, canonical config) cache
+// key: an equivalent config spelled differently (explicit defaults vs zero
+// values) must hit, a different seed must miss.
+func TestResubmitHitsCache(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Workers: 1})
+	x := testTensor(8, 12, 11, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	base := repro.Config{Ranks: []int{4, 4, 4}}
+	if _, err := cl.Decompose(ctx, x, base, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit defaults normalize to the same canonical key.
+	spelled := repro.Config{Ranks: []int{4, 4, 4}, Tol: 1e-4, MaxIters: 100, Oversampling: 5, PowerIters: 1}
+	receipt, err := cl.Submit(ctx, x, spelled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.CacheHit {
+		t.Fatal("default-spelled config missed the cache")
+	}
+	if receipt.State != server.StateDone {
+		t.Fatalf("cache-hit job state = %q, want done", receipt.State)
+	}
+
+	// A different seed is a different request.
+	receipt, err = cl.Submit(ctx, x, repro.Config{Ranks: []int{4, 4, 4}, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.CacheHit {
+		t.Fatal("different seed hit the cache")
+	}
+	if _, err := cl.Decompose(ctx, x, repro.Config{Ranks: []int{4, 4, 4}, Seed: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hit must also show in the server's cache counter on /metricz.
+	resp, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ev struct {
+		Dtuckerd struct {
+			CacheHits   int64 `json:"cache_hits"`
+			CacheMisses int64 `json:"cache_misses"`
+		} `json:"dtuckerd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dtuckerd.CacheHits < 1 {
+		t.Fatalf("cache_hits = %d after a resubmission hit", ev.Dtuckerd.CacheHits)
+	}
+	if ev.Dtuckerd.CacheMisses < 1 {
+		t.Fatalf("cache_misses = %d, want at least the first submission", ev.Dtuckerd.CacheMisses)
+	}
+}
+
+// TestClientRetriesQueueFull exercises the client's 429 handling: against
+// a rejecting server the typed error carries the Retry-After hint.
+// (The exact shedding boundary is pinned deterministically in
+// TestAdmissionControl, which parks runners on blocking jobs.)
+func TestClientRetriesQueueFull(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{
+		Workers: 1, Runners: 1, QueueDepth: 1, RetryAfter: 2 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	running, err := cl.Submit(ctx, slowTensor(9), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, running.JobID, server.StateRunning)
+
+	queued, err := cl.Submit(ctx, slowTensor(10), slowConfig(), nil)
+	if err != nil {
+		t.Fatalf("queue-depth-1 submission rejected: %v", err)
+	}
+
+	_, err = cl.Submit(ctx, slowTensor(11), slowConfig(), nil)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("overload submission returned %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", apiErr.StatusCode)
+	}
+	if apiErr.Kind != server.KindQueueFull {
+		t.Fatalf("kind = %q, want %q", apiErr.Kind, server.KindQueueFull)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After = %v, want 2s", apiErr.RetryAfter)
+	}
+
+	// Cancel both jobs so cleanup-drain is fast.
+	for _, id := range []string{running.JobID, queued.JobID} {
+		if err := cl.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{running.JobID, queued.JobID} {
+		waitForState(t, cl, id, server.StateCancelled)
+	}
+}
+
+func waitForState(t *testing.T, cl *repro.Client, id, want string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		st, err := cl.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if st.State == server.StateFailed || (st.State == server.StateCancelled && want != server.StateCancelled) ||
+			(st.State == server.StateDone && want != server.StateDone) {
+			t.Fatalf("job %s reached %q while waiting for %q (err %v)", id, st.State, want, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("job %s stuck before %q", id, want)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestDrainFinishesInFlight: drain with a generous deadline lets queued and
+// running jobs finish; submissions during or after drain get 503; no
+// goroutines leak.
+func TestDrainFinishesInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := server.New(server.Config{Workers: 2, Runners: 2})
+	hs := httptest.NewServer(srv.Handler())
+	cl := repro.NewClient(hs.URL)
+	cl.PollInterval = 2 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	x := testTensor(12, 14, 13, 12)
+	cfg := repro.Config{Ranks: []int{4, 4, 4}}
+	receipt, err := cl.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelDrain()
+	srv.Drain(drainCtx)
+
+	st, err := cl.Job(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("in-flight job state after drain = %q, want done (err %v)", st.State, st.Error)
+	}
+
+	// The drained server still answers polls but rejects new work with 503.
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("health status = %q, want draining", h.Status)
+	}
+	_, err = cl.Submit(ctx, x, repro.Config{Ranks: []int{3, 3, 3}}, nil)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining returned %v, want 503", err)
+	}
+
+	hs.Close()
+	waitForGoroutines(t, before)
+}
+
+// TestDrainDeadlineCancels: a drain whose context is already expired must
+// cancel in-flight jobs instead of waiting for them, and still return with
+// every runner joined.
+func TestDrainDeadlineCancels(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := server.New(server.Config{Workers: 1, Runners: 1})
+	hs := httptest.NewServer(srv.Handler())
+	cl := repro.NewClient(hs.URL)
+	cl.PollInterval = 2 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	receipt, err := cl.Submit(ctx, slowTensor(13), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateRunning)
+
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	start := time.Now()
+	srv.Drain(expired)
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("forced drain took %v", elapsed)
+	}
+
+	st, err := cl.Job(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateCancelled {
+		t.Fatalf("job state after forced drain = %q, want cancelled", st.State)
+	}
+	if st.Error == nil || st.Error.Kind != server.KindCancelled {
+		t.Fatalf("cancelled job error = %+v, want kind %q", st.Error, server.KindCancelled)
+	}
+
+	hs.Close()
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count returns to its baseline
+// (plus slack for the test runner and finalizers), proving drain leaves no
+// runner or job goroutines behind.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Idle keep-alive connections own goroutines; release them so the
+		// count reflects only what the server may have leaked.
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFaultInjectionOverHTTP arms a library fault site and verifies the
+// typed error crosses the HTTP boundary intact.
+func TestFaultInjectionOverHTTP(t *testing.T) {
+	faults.Reset()
+	if err := faults.Activate("core.approx.slice", faults.Plan{Count: -1}); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Reset()
+
+	_, _, cl := newTestServer(t, server.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	_, err := cl.Decompose(ctx, testTensor(14, 10, 9, 8), repro.Config{Ranks: []int{3, 3, 3}}, nil)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("injected fault surfaced as %v, want *APIError", err)
+	}
+	if apiErr.Kind != server.KindInjected {
+		t.Fatalf("kind = %q, want %q", apiErr.Kind, server.KindInjected)
+	}
+	if !strings.Contains(apiErr.Message, "core.approx.slice") {
+		t.Fatalf("error %q does not name the fault site", apiErr.Message)
+	}
+}
+
+// TestRejectedRequests drives the 400 surface: malformed JSON, bad
+// base64, corrupt tensor bytes, invalid configs, rank/order mismatch.
+func TestRejectedRequests(t *testing.T) {
+	_, hs, _ := newTestServer(t, server.Config{Workers: 1})
+	x := testTensor(15, 6, 5, 4)
+
+	cases := map[string]any{
+		"bad config": server.DecomposeRequest{
+			Config:    repro.Config{Ranks: []int{0, 1, 1}},
+			TensorB64: tensorB64(t, x),
+		},
+		"bad base64": server.DecomposeRequest{
+			Config:    repro.Config{Ranks: []int{2, 2, 2}},
+			TensorB64: "not base64!!!",
+		},
+		"corrupt tensor": server.DecomposeRequest{
+			Config:    repro.Config{Ranks: []int{2, 2, 2}},
+			TensorB64: base64.StdEncoding.EncodeToString([]byte("XXXXXXXXXX")),
+		},
+		"rank/order mismatch": server.DecomposeRequest{
+			Config:    repro.Config{Ranks: []int{2, 2}},
+			TensorB64: tensorB64(t, x),
+		},
+	}
+	for name, body := range cases {
+		resp := postJSON(t, hs.URL+"/v1/decompose", body)
+		var env struct {
+			Error *server.WireError `json:"error"`
+		}
+		err := json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if err != nil || env.Error == nil || env.Error.Kind != server.KindInvalidInput {
+			t.Fatalf("%s: error envelope %+v (%v), want kind %q", name, env.Error, err, server.KindInvalidInput)
+		}
+	}
+
+	// Unknown endpoint and unknown job must 404.
+	resp, err := http.Get(hs.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobTimeoutCancels: a submitted timeout_ms bounds execution.
+func TestJobTimeoutCancels(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	receipt, err := cl.Submit(ctx, slowTensor(16), slowConfig(),
+		&repro.SubmitOptions{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateCancelled)
+	st, err := cl.Job(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Error == nil || st.Error.Kind != server.KindCancelled {
+		t.Fatalf("timed-out job error = %+v, want kind %q", st.Error, server.KindCancelled)
+	}
+}
+
+// TestTraceAndMetrics: a traced job exposes spans and a metrics report;
+// /metricz carries the expvar surface including the server counters.
+func TestTraceAndMetrics(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	x := testTensor(17, 12, 11, 10)
+	cfg := repro.Config{Ranks: []int{3, 3, 3}}
+	if _, err := cl.Decompose(ctx, x, cfg, &repro.SubmitOptions{Trace: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Submit was through Decompose; find the job via a fresh submit (cache
+	// hit shares the record shape but not the tracer), so instead submit a
+	// distinct traced job and poll it.
+	receipt, err := cl.Submit(ctx, x, repro.Config{Ranks: []int{3, 3, 3}, Seed: 5}, &repro.SubmitOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateDone)
+
+	st, err := cl.Job(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Metrics == nil || len(st.Metrics.Phases) == 0 {
+		t.Fatalf("finished job has no metrics report: %+v", st.Metrics)
+	}
+	if st.TraceSpans == 0 {
+		t.Fatal("traced job recorded no spans")
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + receipt.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: status %d", resp.StatusCode)
+	}
+	var firstSpan map[string]any
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&firstSpan); err != nil {
+		t.Fatalf("trace output is not JSONL: %v", err)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var ev map[string]json.RawMessage
+	if err := json.NewDecoder(mresp.Body).Decode(&ev); err != nil {
+		t.Fatalf("/metricz is not JSON: %v", err)
+	}
+	raw, ok := ev["dtuckerd"]
+	if !ok {
+		t.Fatalf("/metricz has no dtuckerd key (have %d keys)", len(ev))
+	}
+	var stats struct {
+		Submitted int64 `json:"jobs_submitted"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Submitted == 0 {
+		t.Fatal("dtuckerd expvar reports zero submissions")
+	}
+	if _, ok := ev["dtucker_hists"]; !ok {
+		t.Fatal("/metricz has no latency histograms")
+	}
+}
+
+// TestStreamSessions: append chunks over HTTP, solve, range-query, verify
+// against an in-process Stream fed the same chunks, and check the range
+// cache.
+func TestStreamSessions(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	cfg := repro.Config{Ranks: []int{3, 3, 3}, SliceRank: 4}
+	chunks := []*tensor.Dense{
+		testTensor(21, 10, 9, 4),
+		testTensor(22, 10, 9, 3),
+		testTensor(23, 10, 9, 5),
+	}
+
+	// In-process reference.
+	opts := cfg.Options()
+	ref := core.NewStream(opts)
+	for _, c := range chunks {
+		if err := ref.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Served session.
+	resp := postJSON(t, hs.URL+"/v1/streams", server.StreamRequest{Config: cfg})
+	var sess server.StreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sess.StreamID == "" {
+		t.Fatalf("stream create: status %d, id %q", resp.StatusCode, sess.StreamID)
+	}
+	base := hs.URL + "/v1/streams/" + sess.StreamID
+	for _, c := range chunks {
+		r := postJSON(t, base+"/append", server.AppendRequest{TensorB64: tensorB64(t, c)})
+		var st server.StreamResponse
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d", r.StatusCode)
+		}
+	}
+
+	// Full-stream solve.
+	want, err := ref.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamSolve(t, cl, base+"/decompose", server.SolveRequest{})
+	requireBitIdentical(t, want, got)
+
+	// Range query, twice: the second submission must be a cache hit.
+	wantRange, err := ref.DecomposeRange(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRange := streamSolve(t, cl, base+"/range", server.SolveRequest{T0: 2, T1: 9})
+	requireBitIdentical(t, wantRange, gotRange)
+
+	r := postJSON(t, base+"/range", server.SolveRequest{T0: 2, T1: 9})
+	var receipt server.SubmitResponse
+	if err := json.NewDecoder(r.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if !receipt.CacheHit {
+		t.Fatal("repeated range query missed the cache")
+	}
+	cached, err := cl.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, wantRange, cached)
+
+	// Delete, then 404.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream delete: status %d", dresp.StatusCode)
+	}
+	gresp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted stream GET: status %d, want 404", gresp.StatusCode)
+	}
+}
+
+// streamSolve submits a solve to url and polls it to completion.
+func streamSolve(t *testing.T, cl *repro.Client, url string, req server.SolveRequest) *core.Decomposition {
+	t.Helper()
+	resp := postJSON(t, url, req)
+	var receipt server.SubmitResponse
+	err := json.NewDecoder(resp.Body).Decode(&receipt)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve submit: status %d", resp.StatusCode)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dec, err := cl.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+// TestResultBeforeDone: polling the result of a queued/running job answers
+// 409 with the job's state, not a partial payload.
+func TestResultBeforeDone(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	receipt, err := cl.Submit(ctx, slowTensor(24), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Result(ctx, receipt.JobID)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("early result fetch returned %v, want 409", err)
+	}
+	if err := cl.Cancel(ctx, receipt.JobID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateCancelled)
+}
+
+func ExampleClient() {
+	srv := server.New(server.Config{Workers: 1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cl := repro.NewClient(hs.URL)
+	x := testTensor(30, 12, 10, 8)
+	dec, err := cl.Decompose(context.Background(), x, repro.Config{Ranks: []int{3, 3, 3}}, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("core shape:", dec.Core.Shape())
+	srv.Drain(context.Background())
+	// Output:
+	// core shape: [3 3 3]
+}

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dterr"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/trace"
+)
+
+// session is one streaming decomposition: a core.Stream plus the identity
+// and instrumentation the serving layer needs. The mutex serializes every
+// stream operation — appends are synchronous HTTP calls, solves run as
+// queued jobs, and both take the lock, so a solve sees a frozen stream.
+//
+// The rolling digest identifies the ordered sequence of appended chunks.
+// Range-query results are cached under (digest, range, canonical config):
+// DecomposeRange is a pure function of the compressed slices in range.
+// Full-stream solves are NOT cached — Decompose warm-starts from the
+// previous solve's factors, so its result depends on the session's solve
+// history, not only on the appended data.
+type session struct {
+	id  string
+	cfg core.Config
+	col *metrics.Collector
+	tr  *trace.Tracer // non-nil when the session was created with trace:true
+
+	mu     sync.Mutex
+	st     *core.Stream
+	digest string
+}
+
+func (s *Server) newSession(cfg core.Config, traced bool) *session {
+	col := metrics.New()
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New()
+		col.SetTracer(tr)
+	}
+	opts := cfg.Options()
+	opts.Pool = s.pl
+	opts.Metrics = col
+	sess := &session{cfg: cfg, col: col, tr: tr, st: core.NewStream(opts)}
+	s.mu.Lock()
+	s.nextStream++
+	sess.id = fmt.Sprintf("s-%06d", s.nextStream)
+	s.streams[sess.id] = sess
+	s.mu.Unlock()
+	return sess
+}
+
+func (s *Server) lookupStream(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[id]
+}
+
+// statusLocked snapshots the session; callers hold sess.mu.
+func (sess *session) statusLocked() StreamResponse {
+	return StreamResponse{
+		StreamID:      sess.id,
+		Len:           sess.st.Len(),
+		Shape:         sess.st.Shape(),
+		StorageFloats: sess.st.StorageFloats(),
+	}
+}
+
+// handleStreamCreate is POST /v1/streams: open a session. The config's
+// ranks must match the order of the chunks that will be appended; the
+// temporal (last) rank applies to the growing mode.
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeAdmissionError(w, errDraining)
+		return
+	}
+	var req StreamRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Config.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, wireError(err))
+		return
+	}
+	sess := s.newSession(req.Config, req.Trace)
+	sess.mu.Lock()
+	resp := sess.statusLocked()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	sess.mu.Lock()
+	resp := sess.statusLocked()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	_, ok := s.streams[r.PathValue("id")]
+	delete(s.streams, r.PathValue("id"))
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// handleStreamAppend is POST /v1/streams/{id}/append: compress a chunk into
+// the stream, synchronously — by the time the response arrives the chunk is
+// part of the compressed state. Appends honour request cancellation; a
+// failed or cancelled append leaves the stream unchanged (the library
+// guarantees no partial slices are retained).
+func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	if s.draining.Load() {
+		s.writeAdmissionError(w, errDraining)
+		return
+	}
+	var req AppendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	chunk, err := decodeTensor(req.TensorB64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput, Message: err.Error()})
+		return
+	}
+	chunkDigest, err := tensorDigest(chunk)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, &WireError{Kind: KindInternal, Message: err.Error()})
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.st.AppendContext(r.Context(), chunk); err != nil {
+		we := wireError(err)
+		status := http.StatusBadRequest
+		if we.Kind == KindInternal || we.Kind == KindPanic {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, we)
+		return
+	}
+	sess.digest = chainDigest(sess.digest, chunkDigest)
+	writeJSON(w, http.StatusOK, sess.statusLocked())
+}
+
+// handleStreamDecompose is POST /v1/streams/{id}/decompose: queue a
+// full-stream solve. The job holds the session lock while it runs, so
+// concurrent appends wait for it. Uncached by design — see session.
+func (s *Server) handleStreamDecompose(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	j := s.newStreamJob(sess, time.Duration(req.TimeoutMs)*time.Millisecond, "",
+		func(ctx context.Context) (*core.Decomposition, error) {
+			return sess.st.DecomposeContext(ctx)
+		})
+	if err := s.admit(j); err != nil {
+		j.cancel()
+		s.writeAdmissionError(w, err)
+		return
+	}
+	s.respondSubmitted(w, j, http.StatusAccepted)
+}
+
+// handleStreamRange is POST /v1/streams/{id}/range: queue a time-range
+// query over steps [t0, t1). Range results are pure functions of the
+// compressed slices, so they are cached keyed by (stream digest at
+// submission, range, canonical config); the job re-checks under the
+// session lock that the stream has not grown past the submitted digest.
+func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	sess.mu.Lock()
+	digest := sess.digest
+	sess.mu.Unlock()
+	key := fmt.Sprintf("stream:%s|range:%d-%d|%s", digest, req.T0, req.T1, sess.cfg.Canonical())
+	if dec, ok := s.cache.Get(key); ok {
+		j := s.newJob(key, 0, false, nil)
+		j.col = sess.col
+		j.tracer = sess.tr
+		j.state = StateDone
+		j.dec = dec
+		j.cacheHit = true
+		j.started = j.created
+		j.finished = j.created
+		s.register(j)
+		s.submitted.Add(1)
+		s.completed.Add(1)
+		s.respondSubmitted(w, j, http.StatusOK)
+		return
+	}
+	t0, t1 := req.T0, req.T1
+	j := s.newStreamJob(sess, time.Duration(req.TimeoutMs)*time.Millisecond, key,
+		func(ctx context.Context) (*core.Decomposition, error) {
+			if sess.digest != digest {
+				return nil, fmt.Errorf("core: stream changed while the range query was queued (resubmit): %w",
+					dterr.ErrInvalidInput)
+			}
+			return sess.st.DecomposeRangeContext(ctx, t0, t1)
+		})
+	if err := s.admit(j); err != nil {
+		j.cancel()
+		s.writeAdmissionError(w, err)
+		return
+	}
+	s.respondSubmitted(w, j, http.StatusAccepted)
+}
+
+// newStreamJob wraps a session operation as a queued job. The exec closure
+// runs under the session lock; the job reports the session's cumulative
+// collector and tracer (stream instrumentation is per-session, because the
+// underlying core.Stream binds its collector at creation).
+func (s *Server) newStreamJob(sess *session, timeout time.Duration, key string,
+	op func(ctx context.Context) (*core.Decomposition, error)) *job {
+	j := s.newJob(key, timeout, false,
+		func(ctx context.Context, _ *pool.Pool, _ *metrics.Collector) (*core.Decomposition, error) {
+			sess.mu.Lock()
+			defer sess.mu.Unlock()
+			return op(ctx)
+		})
+	j.col = sess.col
+	j.tracer = sess.tr
+	return j
+}

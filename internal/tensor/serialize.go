@@ -23,28 +23,65 @@ var tenMagic = [4]byte{'T', 'E', 'N', '1'}
 // fail fast on corrupt headers instead of attempting a huge allocation.
 const maxSerializedElems = 1 << 31
 
-// Write serializes the tensor in .ten format.
-func (t *Dense) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
+// CountingWriter wraps an io.Writer, counts the bytes that reach it, and
+// converts short writes that violate the io.Writer contract (n < len(p)
+// with a nil error) into io.ErrShortWrite instead of silently dropping
+// bytes. Every WriteTo implementation in this repository routes through it
+// so the (int64, error) it reports is trustworthy: either all bytes were
+// accepted, or the error says otherwise.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+// Write forwards to the underlying writer, accumulating the byte count.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	if n < 0 {
+		n = 0
+	}
+	c.N += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// WriteTo serializes the tensor in .ten format, implementing io.WriterTo:
+// it returns the number of bytes written and reports short writes as
+// errors rather than ignoring io.Writer return values.
+func (t *Dense) WriteTo(w io.Writer) (int64, error) {
+	cw := &CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.Write(tenMagic[:]); err != nil {
-		return fmt.Errorf("tensor: writing magic: %w", err)
+		return cw.N, fmt.Errorf("tensor: writing magic: %w", err)
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.shape))); err != nil {
-		return fmt.Errorf("tensor: writing order: %w", err)
+		return cw.N, fmt.Errorf("tensor: writing order: %w", err)
 	}
 	for _, s := range t.shape {
 		if err := binary.Write(bw, binary.LittleEndian, uint64(s)); err != nil {
-			return fmt.Errorf("tensor: writing shape: %w", err)
+			return cw.N, fmt.Errorf("tensor: writing shape: %w", err)
 		}
 	}
 	buf := make([]byte, 8)
 	for _, v := range t.data {
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
 		if _, err := bw.Write(buf); err != nil {
-			return fmt.Errorf("tensor: writing data: %w", err)
+			return cw.N, fmt.Errorf("tensor: writing data: %w", err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return cw.N, fmt.Errorf("tensor: flushing: %w", err)
+	}
+	return cw.N, nil
+}
+
+// Write serializes the tensor in .ten format. It is WriteTo without the
+// byte count.
+func (t *Dense) Write(w io.Writer) error {
+	_, err := t.WriteTo(w)
+	return err
 }
 
 // ReadFrom deserializes a tensor in .ten format.

@@ -109,3 +109,32 @@ func TestReadFromRejectsTruncatedData(t *testing.T) {
 		t.Fatalf("truncation rejected with unexpected error: %v", err)
 	}
 }
+
+// halfWriter accepts only half of every buffer while claiming success —
+// the io.Writer contract violation WriteTo must convert to an error
+// instead of silently dropping bytes.
+type halfWriter struct{}
+
+func (halfWriter) Write(p []byte) (int, error) { return len(p) / 2, nil }
+
+func TestWriteToReportsShortWrite(t *testing.T) {
+	x := New(4, 4, 4)
+	if _, err := x.WriteTo(halfWriter{}); err == nil {
+		t.Fatal("short write went unreported")
+	}
+}
+
+func TestWriteToCountsBytes(t *testing.T) {
+	x := New(3, 2)
+	var buf bytes.Buffer
+	n, err := x.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if want := int64(4 + 4 + 2*8 + 6*8); n != want {
+		t.Fatalf("wrote %d bytes for a 3×2 tensor, want %d", n, want)
+	}
+}

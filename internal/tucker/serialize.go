@@ -1,0 +1,296 @@
+package tucker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dterr"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// The .tkm binary format of a Tucker model:
+//
+//	magic   [4]byte  "TKM1"
+//	order   uint32   number of modes (little endian)
+//	core    shape [order]uint64, then ∏shape float64 values
+//	factor  ×order: rows,cols uint64, then rows·cols float64 values
+//
+// All values little endian, float64 as IEEE-754 bits. Readers apply the
+// same hardening as tensor.ReadFrom: implausible orders and dimensions are
+// rejected before any allocation, element counts accumulate under an
+// overflow check, and non-finite data fails at the boundary.
+var modelMagic = [4]byte{'T', 'K', 'M', '1'}
+
+// maxWireElems bounds any single core/factor element count accepted when
+// reading, mirroring tensor.ReadFrom's corrupt-header defence.
+const maxWireElems = 1 << 31
+
+// WriteTo serializes the model in .tkm binary format, implementing
+// io.WriterTo. Short writes surface as errors — the byte count is only
+// meaningful together with a nil error.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	if err := m.Validate(nil); err != nil {
+		return 0, fmt.Errorf("tucker: refusing to serialize inconsistent model: %w", err)
+	}
+	cw := &tensor.CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return cw.N, fmt.Errorf("tucker: writing magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(m.Core.Order())); err != nil {
+		return cw.N, fmt.Errorf("tucker: writing order: %w", err)
+	}
+	for _, s := range m.Core.Shape() {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(s)); err != nil {
+			return cw.N, fmt.Errorf("tucker: writing core shape: %w", err)
+		}
+	}
+	if err := writeFloats(bw, m.Core.Data()); err != nil {
+		return cw.N, fmt.Errorf("tucker: writing core: %w", err)
+	}
+	for n, f := range m.Factors {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(f.Rows())); err != nil {
+			return cw.N, fmt.Errorf("tucker: writing factor %d rows: %w", n, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(f.Cols())); err != nil {
+			return cw.N, fmt.Errorf("tucker: writing factor %d cols: %w", n, err)
+		}
+		if err := writeFloats(bw, f.Data()); err != nil {
+			return cw.N, fmt.Errorf("tucker: writing factor %d: %w", n, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, fmt.Errorf("tucker: flushing: %w", err)
+	}
+	return cw.N, nil
+}
+
+// ReadFrom deserializes a .tkm model into m, replacing its contents, and
+// implements io.ReaderFrom. Corrupt headers (bad magic, implausible
+// shapes, factor/core rank mismatches) and non-finite data are rejected
+// with an error and leave m untouched. It reads exactly the model's bytes
+// and never past them, so a model can be embedded in a larger stream (the
+// Decomposition wire format does this).
+func (m *Model) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	read, err := readModel(cr)
+	if err != nil {
+		return cr.n, err
+	}
+	*m = *read
+	return cr.n, nil
+}
+
+// ReadModel deserializes a .tkm model from r.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if _, err := m.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func readModel(r io.Reader) (*Model, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("tucker: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("tucker: bad magic %q (not a .tkm model)", magic[:])
+	}
+	var order uint32
+	if err := binary.Read(r, binary.LittleEndian, &order); err != nil {
+		return nil, fmt.Errorf("tucker: reading order: %w", err)
+	}
+	if order == 0 || order > 16 {
+		return nil, fmt.Errorf("tucker: implausible order %d", order)
+	}
+	shape := make([]int, order)
+	total := uint64(1)
+	for k := range shape {
+		var s uint64
+		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("tucker: reading core shape: %w", err)
+		}
+		if s == 0 || s > maxWireElems {
+			return nil, fmt.Errorf("tucker: implausible core dimensionality %d", s)
+		}
+		if total > maxWireElems/s {
+			return nil, fmt.Errorf("tucker: core shape %v·%d exceeds element limit", shape[:k], s)
+		}
+		total *= s
+		shape[k] = int(s)
+	}
+	core := tensor.New(shape...)
+	if err := readFloats(r, core.Data(), "core"); err != nil {
+		return nil, err
+	}
+	factors := make([]*mat.Dense, order)
+	for n := range factors {
+		var rows, cols uint64
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return nil, fmt.Errorf("tucker: reading factor %d rows: %w", n, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return nil, fmt.Errorf("tucker: reading factor %d cols: %w", n, err)
+		}
+		if rows == 0 || rows > maxWireElems || cols == 0 || cols > maxWireElems {
+			return nil, fmt.Errorf("tucker: implausible factor %d shape %d×%d", n, rows, cols)
+		}
+		if rows > maxWireElems/cols {
+			return nil, fmt.Errorf("tucker: factor %d shape %d×%d exceeds element limit", n, rows, cols)
+		}
+		if int(cols) != shape[n] {
+			return nil, fmt.Errorf("tucker: factor %d has %d columns but core mode is %d", n, cols, shape[n])
+		}
+		f := mat.New(int(rows), int(cols))
+		if err := readFloats(r, f.Data(), fmt.Sprintf("factor %d", n)); err != nil {
+			return nil, err
+		}
+		factors[n] = f
+	}
+	m := &Model{Core: core, Factors: factors}
+	if err := m.Validate(nil); err != nil {
+		return nil, fmt.Errorf("tucker: deserialized model inconsistent: %w", err)
+	}
+	return m, nil
+}
+
+func writeFloats(w io.Writer, data []float64) error {
+	buf := make([]byte, 8)
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFloats fills dst from r in exact-size chunks: it never requests a
+// byte past the last element, so trailing stream content stays unread.
+func readFloats(r io.Reader, dst []float64, what string) error {
+	const chunkElems = 1 << 13 // 64 KiB reads
+	buf := make([]byte, 8*min(len(dst), chunkElems))
+	for i := 0; i < len(dst); i += chunkElems {
+		n := min(len(dst)-i, chunkElems)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return fmt.Errorf("tucker: reading %s elements %d.. of %d: %w", what, i, len(dst), err)
+		}
+		for k := 0; k < n; k++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*k:]))
+			if v != v || math.IsInf(v, 0) {
+				return fmt.Errorf("tucker: %s element %d is %v: %w", what, i+k, v, dterr.ErrNonFiniteInput)
+			}
+			dst[i+k] = v
+		}
+	}
+	return nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// tensorJSON and matrixJSON are the JSON wire forms of the model's parts.
+// Tensors carry their first-index-fastest data layout, matrices their
+// row-major one — each matching the in-memory layout of the native type so
+// encoding is a straight copy.
+type tensorJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+type matrixJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+type modelJSON struct {
+	Core    tensorJSON   `json:"core"`
+	Factors []matrixJSON `json:"factors"`
+}
+
+// MarshalJSON encodes the model with explicit shapes, so a decomposition
+// result can travel over the serving API's JSON surface. Infinities and
+// NaN cannot occur in a valid model and make encoding fail.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if err := m.Validate(nil); err != nil {
+		return nil, fmt.Errorf("tucker: refusing to serialize inconsistent model: %w", err)
+	}
+	mj := modelJSON{
+		Core:    tensorJSON{Shape: m.Core.Shape(), Data: m.Core.Data()},
+		Factors: make([]matrixJSON, len(m.Factors)),
+	}
+	for n, f := range m.Factors {
+		mj.Factors[n] = matrixJSON{Rows: f.Rows(), Cols: f.Cols(), Data: f.Data()}
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON decodes a model, applying the same shape and finiteness
+// checks as the binary reader.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return fmt.Errorf("tucker: decoding model JSON: %w", err)
+	}
+	total := 1
+	for k, s := range mj.Core.Shape {
+		if s <= 0 || s > maxWireElems {
+			return fmt.Errorf("tucker: implausible core dimensionality %d", s)
+		}
+		if total > maxWireElems/s {
+			return fmt.Errorf("tucker: core shape %v exceeds element limit", mj.Core.Shape[:k+1])
+		}
+		total *= s
+	}
+	if len(mj.Core.Data) != total {
+		return fmt.Errorf("tucker: core has %d elements for shape %v (want %d)", len(mj.Core.Data), mj.Core.Shape, total)
+	}
+	if err := finite(mj.Core.Data, "core"); err != nil {
+		return err
+	}
+	factors := make([]*mat.Dense, len(mj.Factors))
+	for n, fj := range mj.Factors {
+		if fj.Rows <= 0 || fj.Rows > maxWireElems || fj.Cols <= 0 || fj.Cols > maxWireElems ||
+			fj.Rows > maxWireElems/fj.Cols {
+			return fmt.Errorf("tucker: implausible factor %d shape %d×%d", n, fj.Rows, fj.Cols)
+		}
+		if len(fj.Data) != fj.Rows*fj.Cols {
+			return fmt.Errorf("tucker: factor %d has %d elements for shape %d×%d", n, len(fj.Data), fj.Rows, fj.Cols)
+		}
+		if err := finite(fj.Data, fmt.Sprintf("factor %d", n)); err != nil {
+			return err
+		}
+		factors[n] = mat.NewFromData(fj.Rows, fj.Cols, fj.Data)
+	}
+	read := Model{Core: tensor.NewFromData(mj.Core.Data, mj.Core.Shape...), Factors: factors}
+	if err := read.Validate(nil); err != nil {
+		return fmt.Errorf("tucker: deserialized model inconsistent: %w", err)
+	}
+	*m = read
+	return nil
+}
+
+func finite(data []float64, what string) error {
+	for i, v := range data {
+		if v != v || math.IsInf(v, 0) {
+			return fmt.Errorf("tucker: %s element %d is %v: %w", what, i, v, dterr.ErrNonFiniteInput)
+		}
+	}
+	return nil
+}

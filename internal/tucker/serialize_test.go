@@ -1,0 +1,214 @@
+package tucker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dterr"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+func testModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	core := tensor.RandN(rng, 3, 4, 2)
+	return &Model{
+		Core: core,
+		Factors: []*mat.Dense{
+			mat.RandOrthonormal(10, 3, rng),
+			mat.RandOrthonormal(8, 4, rng),
+			mat.RandOrthonormal(6, 2, rng),
+		},
+	}
+}
+
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func modelsBitIdentical(t *testing.T, a, b *Model) {
+	t.Helper()
+	if !bitEqual(a.Core.Data(), b.Core.Data()) {
+		t.Fatal("core differs after round trip")
+	}
+	if len(a.Factors) != len(b.Factors) {
+		t.Fatalf("factor count %d vs %d", len(a.Factors), len(b.Factors))
+	}
+	for n := range a.Factors {
+		if a.Factors[n].Rows() != b.Factors[n].Rows() || a.Factors[n].Cols() != b.Factors[n].Cols() {
+			t.Fatalf("factor %d shape differs", n)
+		}
+		if !bitEqual(a.Factors[n].Data(), b.Factors[n].Data()) {
+			t.Fatalf("factor %d differs after round trip", n)
+		}
+	}
+}
+
+func TestModelBinaryRoundTrip(t *testing.T) {
+	orig := testModel(1)
+	var buf bytes.Buffer
+	wn, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", wn, buf.Len())
+	}
+	got, err := ReadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsBitIdentical(t, orig, got)
+}
+
+func TestModelReadStopsAtModelEnd(t *testing.T) {
+	// A model embedded in a larger stream must leave trailing bytes unread —
+	// the Decomposition wire format depends on it.
+	orig := testModel(2)
+	var buf bytes.Buffer
+	wn, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailer := []byte("TRAILER")
+	buf.Write(trailer)
+	r := bytes.NewReader(buf.Bytes())
+	var m Model
+	rn, err := m.ReadFrom(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != wn {
+		t.Fatalf("ReadFrom consumed %d bytes, model is %d", rn, wn)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, trailer) {
+		t.Fatalf("trailer corrupted: %q", rest)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	orig := testModel(3)
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	modelsBitIdentical(t, orig, &got)
+}
+
+func TestModelCorruptHeaders(t *testing.T) {
+	orig := testModel(4)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = mutate(b)
+		if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+			t.Fatalf("%s: corrupt model accepted", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("zero order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:], 0)
+		return b
+	})
+	corrupt("huge order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:], 1<<20)
+		return b
+	})
+	corrupt("overflowing core dim", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 1<<62)
+		return b
+	})
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("nan core element", func(b []byte) []byte {
+		// First core element sits after magic+order+3 shape words.
+		off := 4 + 4 + 3*8
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(math.NaN()))
+		return b
+	})
+	// Factor cols inconsistent with core mode: flip the first factor's cols
+	// word, which sits right after the core block.
+	corrupt("factor/core mismatch", func(b []byte) []byte {
+		off := 4 + 4 + 3*8 + 3*4*2*8 + 8 // header + core data + rows word
+		binary.LittleEndian.PutUint64(b[off:], 5)
+		return b
+	})
+
+	// Non-finite data must name ErrNonFiniteInput, like tensor.ReadFrom.
+	b := append([]byte(nil), good...)
+	off := 4 + 4 + 3*8
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(math.Inf(1)))
+	_, err := ReadModel(bytes.NewReader(b))
+	if !errors.Is(err, dterr.ErrNonFiniteInput) {
+		t.Fatalf("inf element error %v does not wrap ErrNonFiniteInput", err)
+	}
+}
+
+func TestModelJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"shape/data mismatch": `{"core":{"shape":[2,2],"data":[1,2,3]},"factors":[]}`,
+		"zero dim":            `{"core":{"shape":[0,2],"data":[]},"factors":[]}`,
+		"factor mismatch": `{"core":{"shape":[2],"data":[1,2]},` +
+			`"factors":[{"rows":3,"cols":1,"data":[1,2,3]}]}`,
+		"ragged factor": `{"core":{"shape":[2],"data":[1,2]},` +
+			`"factors":[{"rows":3,"cols":2,"data":[1,2,3]}]}`,
+	}
+	for name, js := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(js), &m); err == nil {
+			t.Fatalf("%s: malformed model JSON accepted", name)
+		}
+	}
+}
+
+func TestModelWriteToReportsShortWrite(t *testing.T) {
+	orig := testModel(5)
+	if _, err := orig.WriteTo(shortWriter{}); err == nil {
+		t.Fatal("short write went unreported")
+	} else if !errors.Is(err, io.ErrShortWrite) && !strings.Contains(err.Error(), "short") {
+		t.Fatalf("unexpected short-write error: %v", err)
+	}
+}
+
+// shortWriter claims success while accepting only half of every buffer —
+// the io.Writer contract violation the CountingWriter guards against.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) { return len(p) / 2, nil }
+
+func TestModelWriteToRejectsInvalid(t *testing.T) {
+	m := &Model{} // nil core
+	if _, err := m.WriteTo(io.Discard); err == nil {
+		t.Fatal("nil-core model serialized")
+	}
+	if _, err := json.Marshal(m); err == nil {
+		t.Fatal("nil-core model marshalled")
+	}
+}

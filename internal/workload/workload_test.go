@@ -83,7 +83,7 @@ func TestLowRankNoiseErrorFloor(t *testing.T) {
 	// With noise σ, the best rank-r model's error should land near
 	// σ/√(1+σ²); D-Tucker at the true rank must reach that floor.
 	ds := LowRankNoise([]int{24, 20, 16}, 4, 0.2, 7)
-	dec, err := core.Decompose(ds.X, core.Options{Ranks: []int{4, 4, 4}, Seed: 1})
+	dec, err := core.Decompose(ds.X, core.Options{Config: core.Config{Ranks: []int{4, 4, 4}, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestLowRankNoiseErrorFloor(t *testing.T) {
 
 func TestLowRankNoiseZeroNoiseExact(t *testing.T) {
 	ds := LowRankNoise([]int{15, 12, 10}, 3, 0, 7)
-	dec, err := core.Decompose(ds.X, core.Options{Ranks: []int{3, 3, 3}, Seed: 1})
+	dec, err := core.Decompose(ds.X, core.Options{Config: core.Config{Ranks: []int{3, 3, 3}, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
