@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults bench-json bench-compare serve
+.PHONY: build test verify bench overhead faults bench-json bench-compare serve load load-compare
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
 	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
+	$(MAKE) load
 
 # serve runs the decomposition daemon on :7171 (override with ADDR=...).
 # See README "Serving" for the endpoint walkthrough and drain semantics.
@@ -64,3 +65,25 @@ bench-compare:
 	$(GO) run ./cmd/benchreport -out .bench-head.json
 	$(GO) run ./cmd/benchreport -compare -max-regress 25 $(BENCH_BASELINE) .bench-head.json; \
 	  status=$$?; rm -f .bench-head.json; exit $$status
+
+# load is the serving-layer smoke: a short fixed-seed open-loop run of
+# cmd/loadgen against an in-process daemon (hermetic, no port, no process
+# to manage), writing .load-head.json. verify runs it, so a change that
+# breaks the harness or the admission path fails tier-1. Methodology and
+# the full flag surface are in docs/OPERATIONS.md.
+load:
+	$(GO) run ./cmd/loadgen -self -self-queue 16 -self-runners 2 \
+	  -duration 5s -qps 10 -seed 1 -tenants prod=3,adhoc=1 \
+	  -out .load-head.json
+
+# load-compare re-measures and gates against the newest committed
+# LOAD_*.json. The budget is deliberately wide (schema gate + catastrophic
+# regression catch, not a precision benchmark — shared-CPU latency
+# quantiles are noisy): goodput may halve and quantiles may double before
+# it fails (exit 4). Refresh the baseline by re-running the load recipe
+# with -out LOAD_$$(date -u +%F).json and committing the file.
+LOAD_BASELINE ?= $(lastword $(sort $(wildcard LOAD_*.json)))
+load-compare: load
+	@test -n "$(LOAD_BASELINE)" || { echo "no LOAD_*.json baseline found; see docs/OPERATIONS.md"; exit 2; }
+	$(GO) run ./cmd/benchreport -compare -max-regress 100 $(LOAD_BASELINE) .load-head.json; \
+	  status=$$?; rm -f .load-head.json; exit $$status

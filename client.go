@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -53,6 +54,106 @@ type Client struct {
 	// PollInterval is the initial result-polling cadence of Decompose;
 	// it backs off geometrically to 16× this value. Default 25ms.
 	PollInterval time.Duration
+	// Tenant, when non-empty, is sent as the X-Tenant header on every
+	// request: the daemon charges this tenant's quota and fair-queueing
+	// share for the client's jobs. Empty means tenant "default".
+	Tenant string
+	// Priority, when non-empty, is sent as the X-Priority header
+	// ("interactive" or "batch"), overriding the endpoint's default lane.
+	Priority string
+	// Retry governs Decompose's automatic retry of 429 (queue full /
+	// tenant quota) rejections. Nil means DefaultRetryPolicy. Submit never
+	// retries — it surfaces the 429 so callers can implement their own
+	// policy.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy bounds the automatic retry of 429 load-shed rejections.
+// Each failed attempt waits the server's Retry-After hint when present,
+// otherwise BaseDelay doubled per attempt; the wait is capped at MaxDelay
+// and stretched by a random jitter fraction so synchronized clients do not
+// re-arrive in lockstep. The context passed to Decompose cuts the whole
+// interaction short, including mid-wait.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submission attempts (first try
+	// included). Values below 1 mean the DefaultRetryPolicy value.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff used when the server sends
+	// no Retry-After hint. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each wait. Default 5s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each wait added uniformly at random:
+	// wait' = wait · (1 + Jitter·U[0,1)). 0 means the default 0.5;
+	// negative disables jitter.
+	Jitter float64
+
+	// Sleep and Rand are deterministic-test seams. Sleep defaults to a
+	// context-aware timer wait; Rand defaults to a process-wide PRNG
+	// returning values in [0, 1).
+	Sleep func(ctx context.Context, d time.Duration) error
+	Rand  func() float64
+}
+
+// DefaultRetryPolicy is the policy Decompose uses when Client.Retry is nil:
+// up to 8 attempts, 100ms base delay doubling per attempt, 5s cap, 0.5
+// jitter fraction.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 8,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    5 * time.Second,
+	Jitter:      0.5,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	if p.Jitter == 0 {
+		p.Jitter = DefaultRetryPolicy.Jitter
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// wait returns the delay before retry attempt (attempt is 1-based: the
+// number of submission attempts already failed), honouring the server's
+// Retry-After hint when present.
+func (p RetryPolicy) wait(attempt int, retryAfter time.Duration) time.Duration {
+	d := retryAfter
+	if d <= 0 {
+		d = p.BaseDelay << (attempt - 1)
+		if d <= 0 { // shift overflow
+			d = p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(p.Jitter * p.Rand() * float64(d))
+	}
+	return d
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -65,6 +166,16 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// setIdentity stamps the admission-identity headers on a request.
+func (c *Client) setIdentity(req *http.Request) {
+	if c.Tenant != "" {
+		req.Header.Set(server.HeaderTenant, c.Tenant)
+	}
+	if c.Priority != "" {
+		req.Header.Set(server.HeaderPriority, c.Priority)
+	}
 }
 
 // SubmitOptions are the per-job knobs of Submit beyond the Config.
@@ -93,6 +204,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.setIdentity(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -209,14 +321,24 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
-// Decompose is the blocking convenience path: submit, retry 429 rejections
-// after their Retry-After hint, poll until the job finishes, and fetch the
-// result. The returned decomposition is bit-identical to running
-// DecomposeContext(ctx, x, cfg.Options()) in-process — the daemon runs the
-// same deterministic library. ctx bounds the whole interaction.
+// Decompose is the blocking convenience path: submit, retry 429 load-shed
+// rejections under the client's RetryPolicy (bounded attempts, Retry-After
+// hint honoured, exponential backoff with jitter), poll until the job
+// finishes, and fetch the result. When every attempt is shed, the last
+// *APIError is returned with its StatusCode still 429 so callers can keep
+// distinguishing overload from failure. The returned decomposition is
+// bit-identical to running DecomposeContext(ctx, x, cfg.Options())
+// in-process — the daemon runs the same deterministic library. ctx bounds
+// the whole interaction, including backoff waits.
 func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *SubmitOptions) (*Decomposition, error) {
+	policy := DefaultRetryPolicy
+	if c.Retry != nil {
+		policy = *c.Retry
+	}
+	policy = policy.withDefaults()
+
 	var receipt *SubmitResponse
-	for {
+	for attempt := 1; ; attempt++ {
 		var err error
 		receipt, err = c.Submit(ctx, x, cfg, opts)
 		if err == nil {
@@ -226,14 +348,11 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
 			return nil, err
 		}
-		wait := apiErr.RetryAfter
-		if wait <= 0 {
-			wait = time.Second
+		if attempt >= policy.MaxAttempts {
+			return nil, err
 		}
-		select {
-		case <-time.After(wait):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if serr := policy.Sleep(ctx, policy.wait(attempt, apiErr.RetryAfter)); serr != nil {
+			return nil, serr
 		}
 	}
 

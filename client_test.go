@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyWait pins the backoff arithmetic: Retry-After hints win
+// over the exponential schedule, everything is capped at MaxDelay, and the
+// whole computation is deterministic through the Rand seam.
+func TestRetryPolicyWait(t *testing.T) {
+	p := RetryPolicy{Jitter: -1}.withDefaults() // jitter disabled
+
+	if got := p.wait(1, 2*time.Second); got != 2*time.Second {
+		t.Errorf("wait(1, hint 2s) = %v, want the hint", got)
+	}
+	for attempt, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+	} {
+		if got := p.wait(attempt, 0); got != want {
+			t.Errorf("wait(%d, no hint) = %v, want %v", attempt, got, want)
+		}
+	}
+	if got := p.wait(30, 0); got != p.MaxDelay {
+		t.Errorf("wait(30, no hint) = %v, want the %v cap", got, p.MaxDelay)
+	}
+	if got := p.wait(70, 0); got != p.MaxDelay {
+		t.Errorf("wait(70, no hint) = %v, want the cap even past shift overflow", got)
+	}
+	if got := p.wait(1, time.Minute); got != p.MaxDelay {
+		t.Errorf("wait(1, hint 1m) = %v, want the hint capped to %v", got, p.MaxDelay)
+	}
+}
+
+func TestRetryPolicyJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{Rand: func() float64 { return 0.5 }}.withDefaults()
+	// Default jitter fraction is 0.5: wait' = d·(1 + 0.5·0.5) = 1.25·d.
+	if got, want := p.wait(1, 2*time.Second), 2500*time.Millisecond; got != want {
+		t.Errorf("jittered wait = %v, want %v", got, want)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != DefaultRetryPolicy.MaxAttempts ||
+		p.BaseDelay != DefaultRetryPolicy.BaseDelay ||
+		p.MaxDelay != DefaultRetryPolicy.MaxDelay ||
+		p.Jitter != DefaultRetryPolicy.Jitter {
+		t.Errorf("withDefaults() = %+v, want the DefaultRetryPolicy values %+v", p, DefaultRetryPolicy)
+	}
+	if p.Sleep == nil || p.Rand == nil {
+		t.Fatal("withDefaults() left a nil seam")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Errorf("default Sleep under a cancelled context = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,11 @@
 //
 //	benchreport -compare old.json new.json [-max-regress 10]
 //
+// -compare also accepts load reports (LOAD_*.json written by cmd/loadgen,
+// kind "loadgen"): the file kind is sniffed and the serving-side comparator
+// (goodput, shed rate, latency quantiles) is used. Both files must be of
+// the same kind.
+//
 // Exit codes: 0 success / no regression, 1 runtime error, 2 usage,
 // 4 regression past -max-regress percent. CI runs the compare form against
 // the committed baseline (make bench-compare); the emit form refreshes it
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/loadgen"
 	"repro/internal/workload"
 )
 
@@ -111,18 +118,69 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
+// fileKind sniffs a report file's "kind" field; benchmark trajectories
+// predate the field and carry none, so "" means trajectory.
+func fileKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var k struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &k); err != nil {
+		return "", fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return k.Kind, nil
+}
+
 func runCompare(oldPath, newPath string, maxPct float64, stdout, stderr *os.File) int {
-	old, err := bench.LoadTrajectory(oldPath)
+	oldKind, err := fileKind(oldPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchreport:", err)
 		return 1
 	}
-	cur, err := bench.LoadTrajectory(newPath)
+	newKind, err := fileKind(newPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchreport:", err)
 		return 1
 	}
-	regs := bench.CompareTrajectories(old, cur, maxPct)
+	if oldKind != newKind {
+		fmt.Fprintf(stderr, "benchreport: cannot compare kind %q against kind %q\n",
+			kindName(oldKind), kindName(newKind))
+		return 2
+	}
+
+	var regs []bench.Regression
+	switch oldKind {
+	case loadgen.ReportKind:
+		old, err := loadgen.Load(oldPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		cur, err := loadgen.Load(newPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		regs = loadgen.Compare(old, cur, maxPct)
+	case "":
+		old, err := bench.LoadTrajectory(oldPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		cur, err := bench.LoadTrajectory(newPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		regs = bench.CompareTrajectories(old, cur, maxPct)
+	default:
+		fmt.Fprintf(stderr, "benchreport: unknown report kind %q\n", oldKind)
+		return 1
+	}
 	if len(regs) == 0 {
 		fmt.Fprintf(stdout, "no regression past %.1f%% (%s → %s)\n", maxPct, oldPath, newPath)
 		return 0
@@ -132,6 +190,14 @@ func runCompare(oldPath, newPath string, maxPct float64, stdout, stderr *os.File
 		fmt.Fprintf(stderr, "  %s\n", r)
 	}
 	return exitRegression
+}
+
+// kindName spells the empty trajectory kind for error messages.
+func kindName(k string) string {
+	if k == "" {
+		return "trajectory"
+	}
+	return k
 }
 
 // parseInts parses a comma-separated list of positive integers.

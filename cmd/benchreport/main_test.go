@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/loadgen"
 )
 
 func TestParseInts(t *testing.T) {
@@ -104,6 +105,11 @@ func TestEndToEnd(t *testing.T) {
 
 	// The default output name is date-stamped; verify the shape of the name
 	// without committing to today's date.
+	verifyEmittedJSON(t, oldPath)
+}
+
+func verifyEmittedJSON(t *testing.T, oldPath string) {
+	t.Helper()
 	var doc map[string]any
 	data, _ := os.ReadFile(oldPath)
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -111,5 +117,72 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if doc["schema"] != float64(bench.TrajectorySchema) {
 		t.Fatalf("schema field = %v, want %d", doc["schema"], bench.TrajectorySchema)
+	}
+}
+
+// compareArgs invokes the in-process CLI entry point with -compare and
+// returns the exit code plus the combined output.
+func compareArgs(t *testing.T, maxRegress string, oldPath, newPath string) (int, string) {
+	t.Helper()
+	outFile, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outFile.Close()
+	code := run([]string{"-compare", "-max-regress", maxRegress, oldPath, newPath}, outFile, outFile)
+	data, err := os.ReadFile(outFile.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// TestCompareLoadReports covers the sniffed "loadgen" kind: twin load
+// reports pass, a goodput collapse fails with the regression exit code, and
+// mixing a load report with a benchmark trajectory is a usage error.
+func TestCompareLoadReports(t *testing.T) {
+	dir := t.TempDir()
+	rep := loadgen.Report{
+		Schema: loadgen.ReportSchema, Kind: loadgen.ReportKind,
+		GoodputQPS: 20, ShedRate: 0.02,
+		Totals: loadgen.OpStats{
+			Offered: 200, Completed: 190, Shed: 4,
+			Latency: loadgen.LatencySummary{Count: 190, P50Ms: 30, P95Ms: 90, P99Ms: 150},
+		},
+	}
+	oldPath := filepath.Join(dir, "old_load.json")
+	if err := loadgen.Save(oldPath, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := compareArgs(t, "10", oldPath, oldPath)
+	if code != 0 || !strings.Contains(out, "no regression") {
+		t.Fatalf("twin load reports: exit %d\n%s", code, out)
+	}
+
+	worse := rep
+	worse.GoodputQPS = 8 // −60%
+	worse.Totals.Latency.P99Ms = 400
+	worsePath := filepath.Join(dir, "worse_load.json")
+	if err := loadgen.Save(worsePath, worse); err != nil {
+		t.Fatal(err)
+	}
+	code, out = compareArgs(t, "10", oldPath, worsePath)
+	if code != exitRegression {
+		t.Fatalf("goodput collapse: exit %d, want %d\n%s", code, exitRegression, out)
+	}
+	if !strings.Contains(out, "goodput_qps") || !strings.Contains(out, "latency_p99_ms") {
+		t.Fatalf("regression listing missing metrics:\n%s", out)
+	}
+
+	// A trajectory (kind-less) against a load report is a category error.
+	traj := bench.Trajectory{Schema: bench.TrajectorySchema}
+	trajPath := filepath.Join(dir, "traj.json")
+	if err := bench.SaveTrajectory(trajPath, traj); err != nil {
+		t.Fatal(err)
+	}
+	code, out = compareArgs(t, "10", trajPath, oldPath)
+	if code != 2 || !strings.Contains(out, "cannot compare kind") {
+		t.Fatalf("mixed kinds: exit %d\n%s", code, out)
 	}
 }

@@ -12,10 +12,19 @@
 // work, finishes (or after -drain-timeout cancels) in-flight jobs, flushes
 // final statistics to the log, and exits 0.
 //
+// Multi-tenant admission: submissions carry an X-Tenant header (default
+// "default") and an optional X-Priority header ("interactive" or "batch").
+// -tenant-quota bounds each tenant's outstanding jobs, -tenant-weights
+// assigns weighted-fair queueing shares, and identical in-flight
+// submissions coalesce onto one execution unless -coalesce=false. See
+// docs/OPERATIONS.md for the full operator guide.
+//
 // Usage:
 //
 //	dtuckerd [-addr :7171] [-queue 16] [-runners 1] [-workers N]
 //	         [-cache 64] [-drain-timeout 30s] [-quiet]
+//	         [-tenant-quota 0] [-tenant-weights a=4,b=1]
+//	         [-tenant-weight-default 1] [-coalesce=true]
 package main
 
 import (
@@ -28,11 +37,38 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// parseTenantWeights parses "a=4,b=1" into a weight map. Empty input is an
+// empty map; malformed entries and non-positive weights are errors.
+func parseTenantWeights(s string) (map[string]int, error) {
+	weights := make(map[string]int)
+	if s == "" {
+		return weights, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("entry %q needs a positive integer weight", part)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -48,6 +84,11 @@ func run() int {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs before cancelling them")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+
+		tenantQuota   = flag.Int("tenant-quota", 0, "max outstanding jobs per tenant (0 = unlimited)")
+		tenantWeights = flag.String("tenant-weights", "", "per-tenant WFQ weights as name=weight,... (e.g. prod=4,adhoc=1)")
+		defaultWeight = flag.Int("tenant-weight-default", 1, "WFQ weight for tenants not listed in -tenant-weights")
+		coalesce      = flag.Bool("coalesce", true, "coalesce identical in-flight submissions onto one execution")
 	)
 	flag.Parse()
 
@@ -57,13 +98,23 @@ func run() int {
 		logf = func(string, ...any) {}
 	}
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		logger.Printf("-tenant-weights: %v", err)
+		return 2
+	}
+
 	srv := server.New(server.Config{
-		QueueDepth: *queue,
-		Runners:    *runners,
-		Workers:    *workers,
-		CacheSize:  *cache,
-		RetryAfter: *retryAfter,
-		Logf:       logf,
+		QueueDepth:          *queue,
+		Runners:             *runners,
+		Workers:             *workers,
+		CacheSize:           *cache,
+		RetryAfter:          *retryAfter,
+		TenantQuota:         *tenantQuota,
+		TenantWeights:       weights,
+		DefaultTenantWeight: *defaultWeight,
+		DisableCoalesce:     !*coalesce,
+		Logf:                logf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,157 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+// startDaemon runs an in-process dtuckerd for the examples; production code
+// would point the client at a running daemon instead.
+func startDaemon(cfg server.Config) (baseURL string, shutdown func()) {
+	srv := server.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	return hs.URL, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		hs.Close()
+	}
+}
+
+// ExampleClient_Submit shows the asynchronous path: submit a job, poll its
+// record until it reaches a terminal state, then fetch the result payload.
+func ExampleClient_Submit() {
+	url, shutdown := startDaemon(server.Config{Runners: 1})
+	defer shutdown()
+
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 12, 10, 8)
+
+	cl := repro.NewClient(url)
+	cl.Tenant = "analytics" // accounted against this tenant's quota and WFQ share
+	ctx := context.Background()
+
+	receipt, err := cl.Submit(ctx, x, repro.Config{Ranks: []int{3, 3, 3}, Seed: 1}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("submitted:", receipt.JobID)
+
+	for {
+		st, err := cl.Job(ctx, receipt.JobID)
+		if err != nil {
+			panic(err)
+		}
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			fmt.Println("state:", st.State, "tenant:", st.Tenant)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dec, err := cl.Result(ctx, receipt.JobID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("core shape:", dec.Core.Shape())
+	// Output:
+	// submitted: j-000001
+	// state: done tenant: analytics
+	// core shape: [3 3 3]
+}
+
+// ExampleClient_Cancel cancels an in-flight job; the decomposition observes
+// its context at the next phase or sweep boundary and the record finishes
+// with kind "cancelled".
+func ExampleClient_Cancel() {
+	url, shutdown := startDaemon(server.Config{Runners: 1})
+	defer shutdown()
+
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 64, 64, 48) // big enough to still be running
+
+	cl := repro.NewClient(url)
+	ctx := context.Background()
+
+	receipt, err := cl.Submit(ctx, x, repro.Config{Ranks: []int{8, 8, 8}, Seed: 1}, nil)
+	if err != nil {
+		panic(err)
+	}
+	if err := cl.Cancel(ctx, receipt.JobID); err != nil {
+		panic(err)
+	}
+
+	for {
+		st, err := cl.Job(ctx, receipt.JobID)
+		if err != nil {
+			panic(err)
+		}
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			fmt.Println("state:", st.State)
+			fmt.Println("kind:", st.Error.Kind)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Output:
+	// state: cancelled
+	// kind: cancelled
+}
+
+// ExampleClient_Decompose_backoff shows Decompose retrying 429 load-shed
+// rejections under a RetryPolicy. The daemon is wrapped so its first two
+// submissions shed the way a saturated queue would; the policy's Sleep and
+// Jitter seams make the example deterministic — production code leaves them
+// nil and gets a real jittered wait honouring the Retry-After hint.
+func ExampleClient_Decompose_backoff() {
+	srv := server.New(server.Config{Runners: 1})
+	inner := srv.Handler()
+	var shed atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/decompose" && shed.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"kind":"queue_full","message":"job queue is full"}}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		hs.Close()
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 12, 10, 8)
+
+	cl := repro.NewClient(hs.URL)
+	cl.Retry = &repro.RetryPolicy{
+		MaxAttempts: 4,
+		Jitter:      -1, // disable jitter so the printed waits are fixed
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			fmt.Println("shed; backing off", d)
+			return nil // print instead of sleeping; nil means "waited"
+		},
+	}
+
+	dec, err := cl.Decompose(context.Background(), x, repro.Config{Ranks: []int{3, 3, 3}, Seed: 1}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("factors:", len(dec.Factors))
+	// Output:
+	// shed; backing off 1s
+	// shed; backing off 1s
+	// factors: 3
+}

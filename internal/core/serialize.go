@@ -13,7 +13,8 @@ import (
 )
 
 // The .dtd binary format of a Decomposition — the result payload of the
-// dtuckerd serving API:
+// dtuckerd serving API (see docs/FORMATS.md for the cross-format
+// reference):
 //
 //	magic      [4]byte  "DTD1"
 //	model      .tkm bytes (see tucker.Model.WriteTo)

@@ -1,0 +1,249 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestSummarizeExactQuantiles(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	var samples []time.Duration
+	for i := 100; i >= 1; i-- { // 1..100ms, reversed: summarize must sort
+		samples = append(samples, ms(i))
+	}
+	s := summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	// Nearest-rank on 1..100: q-quantile is exactly q·100 ms.
+	if s.P50Ms != 50 || s.P95Ms != 95 || s.P99Ms != 99 || s.MaxMs != 100 {
+		t.Fatalf("quantiles p50=%v p95=%v p99=%v max=%v, want 50/95/99/100", s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+	}
+	if s.MeanMs != 50.5 {
+		t.Fatalf("mean %v, want 50.5", s.MeanMs)
+	}
+
+	if z := summarize(nil); z.Count != 0 || z.P99Ms != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", z)
+	}
+	one := summarize([]time.Duration{ms(7)})
+	if one.P50Ms != 7 || one.P99Ms != 7 || one.MaxMs != 7 {
+		t.Fatalf("single-sample summary = %+v, want all 7ms", one)
+	}
+}
+
+// TestScheduleDeterministic pins the offered sequence: the same spec draws
+// the identical schedule, and the drawn mix converges on the weights.
+func TestScheduleDeterministic(t *testing.T) {
+	spec := Spec{BaseURL: "http://x", Duration: 10 * time.Second, QPS: 100, Seed: 7,
+		Tenants: []TenantSpec{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}},
+	}.withDefaults()
+
+	s1 := buildSchedule(spec, rand.New(rand.NewSource(spec.Seed)))
+	s2 := buildSchedule(spec, rand.New(rand.NewSource(spec.Seed)))
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed drew different schedules")
+	}
+	if len(s1) != 1000 {
+		t.Fatalf("schedule length %d, want qps×duration = 1000", len(s1))
+	}
+
+	var nA int
+	for _, a := range s1 {
+		if a.tenant == 0 {
+			nA++
+		}
+		if a.op == OpRange && (a.t1 <= a.t0 || a.t0 < 0) {
+			t.Fatalf("range arrival has bad window [%d, %d)", a.t0, a.t1)
+		}
+	}
+	// 3:1 offered weights over 1000 draws: a gets ~750.
+	if nA < 700 || nA > 800 {
+		t.Fatalf("tenant a drew %d of 1000 arrivals, want ≈750", nA)
+	}
+
+	// Uniform arrivals are evenly spaced; poisson ones are not.
+	uspec := spec
+	uspec.Arrival = "uniform"
+	us := buildSchedule(uspec, rand.New(rand.NewSource(7)))
+	gap := us[1].at - us[0].at
+	if us[10].at-us[9].at != gap {
+		t.Fatal("uniform schedule has varying gaps")
+	}
+	if s1[1].at-s1[0].at == s1[10].at-s1[9].at {
+		t.Fatal("poisson schedule has fixed gaps")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := Spec{BaseURL: "http://x"}.withDefaults()
+	if err := base.validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := base
+	bad.Mix = map[string]float64{"frobnicate": 1}
+	if err := bad.validate(); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	bad = base
+	bad.Arrival = "pareto"
+	if err := bad.validate(); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+	bad = base
+	bad.BaseURL = ""
+	if err := bad.validate(); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+}
+
+func sampleReport() Report {
+	return Report{
+		Schema: ReportSchema, Kind: ReportKind,
+		GoodputQPS: 10, ShedRate: 0.05,
+		Totals: OpStats{Offered: 100, Completed: 90, Shed: 5,
+			Latency: LatencySummary{Count: 90, P50Ms: 40, P95Ms: 120, P99Ms: 200}},
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := sampleReport()
+	if regs := Compare(old, old, 10); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+
+	worse := old
+	worse.GoodputQPS = 5 // −50%
+	regs := Compare(old, worse, 10)
+	if len(regs) != 1 || regs[0].Metric != "goodput_qps" {
+		t.Fatalf("halved goodput → %v, want one goodput_qps regression", regs)
+	}
+
+	worse = old
+	worse.ShedRate = 0.30 // +25 points
+	regs = Compare(old, worse, 10)
+	if len(regs) != 1 || regs[0].Metric != "shed_rate" {
+		t.Fatalf("shed growth → %v, want one shed_rate regression", regs)
+	}
+	// Growth inside the absolute budget passes.
+	worse.ShedRate = 0.10
+	if regs := Compare(old, worse, 10); len(regs) != 0 {
+		t.Fatalf("5-point shed growth under a 10-point budget flagged: %v", regs)
+	}
+
+	worse = old
+	worse.Totals.Latency.P99Ms = 300 // +50%
+	regs = Compare(old, worse, 10)
+	if len(regs) != 1 || regs[0].Metric != "latency_p99_ms" {
+		t.Fatalf("p99 growth → %v, want one latency_p99_ms regression", regs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "load.json")
+	rep := sampleReport()
+	if err := Save(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, rep)
+	}
+
+	wrongKind := rep
+	wrongKind.Kind = "trajectory"
+	badPath := filepath.Join(dir, "bad.json")
+	if err := Save(badPath, wrongKind); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	wrongSchema := rep
+	wrongSchema.Schema = 99
+	if err := Save(badPath, wrongSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestRunSmoke drives a short mixed load against an in-process daemon and
+// checks the report is coherent: every offered arrival is accounted for
+// exactly once, goodput matches the completion count, and the per-op and
+// per-tenant breakdowns partition the totals.
+func TestRunSmoke(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, Runners: 2, QueueDepth: 32})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Spec{
+		BaseURL:  hs.URL,
+		Duration: 500 * time.Millisecond,
+		QPS:      40,
+		Seed:     3,
+		Variants: 2,
+		Tenants:  []TenantSpec{{Name: "a", Weight: 3}, {Name: "b", Weight: 1, Priority: "interactive"}},
+		Sizes: []SizeClass{
+			{Name: "tiny", Shape: []int{8, 7, 6}, Ranks: []int{2, 2, 2}, Weight: 1},
+		},
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema || rep.Kind != ReportKind {
+		t.Fatalf("report stamped %d/%q, want %d/%q", rep.Schema, rep.Kind, ReportSchema, ReportKind)
+	}
+	tot := rep.Totals
+	if tot.Offered != 20 {
+		t.Fatalf("offered %d, want qps×duration = 20", tot.Offered)
+	}
+	if got := tot.Completed + tot.Shed + tot.Failed + tot.DroppedClient; got != tot.Offered {
+		t.Fatalf("outcomes sum to %d, want offered %d (%+v)", got, tot.Offered, tot)
+	}
+	if tot.Failed != 0 {
+		t.Fatalf("%d operations failed against an idle local server: %+v", tot.Failed, rep.Ops)
+	}
+	if tot.Completed == 0 || rep.GoodputQPS <= 0 {
+		t.Fatalf("no goodput recorded: %+v", tot)
+	}
+	if int64(tot.Latency.Count) != tot.Completed {
+		t.Fatalf("latency samples %d, want one per completed op %d", tot.Latency.Count, tot.Completed)
+	}
+
+	var opOffered, tenOffered int64
+	for _, s := range rep.Ops {
+		opOffered += s.Offered
+	}
+	for _, s := range rep.ByTenant {
+		tenOffered += s.Offered
+	}
+	if opOffered != tot.Offered || tenOffered != tot.Offered {
+		t.Fatalf("breakdowns offered %d (ops) / %d (tenants), want %d", opOffered, tenOffered, tot.Offered)
+	}
+	// With 2 variants of 1 size class over 20 arrivals, duplicates are
+	// certain; the server must answer some from cache or by coalescing.
+	if tot.CacheHits+tot.Coalesced == 0 {
+		t.Fatal("no cache hits or coalescing across 20 arrivals of 2 distinct payloads")
+	}
+}

@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// ReportSchema is the version stamp written into every load report; readers
+// reject other schemas instead of guessing. ReportKind distinguishes load
+// reports from benchmark trajectories (which predate the kind field and
+// carry none) so cmd/benchreport can sniff which comparator to use.
+const (
+	ReportSchema = 1
+	ReportKind   = "loadgen"
+)
+
+// LatencySummary summarizes one latency population with exact quantiles:
+// the underlying samples are sorted and indexed (nearest-rank), not
+// bucketed, so two runs with identical samples report identical numbers.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// summarize computes the exact nearest-rank quantiles of samples.
+// It sorts its argument in place.
+func summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: int64(len(samples))}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(samples[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.P50Ms = rank(0.50)
+	s.P95Ms = rank(0.95)
+	s.P99Ms = rank(0.99)
+	s.MaxMs = float64(samples[len(samples)-1]) / float64(time.Millisecond)
+	s.MeanMs = float64(sum) / float64(len(samples)) / float64(time.Millisecond)
+	return s
+}
+
+// OpStats is the outcome tally of one slice of the workload (an operation
+// kind, a tenant, or the whole run). Latency covers completed operations
+// only — a shed request fails fast and would flatter the quantiles.
+type OpStats struct {
+	// Offered counts arrivals the open-loop generator fired for this slice,
+	// whether or not the server admitted them.
+	Offered int64 `json:"offered"`
+	// Completed counts operations that finished with a result: the goodput
+	// numerator.
+	Completed int64 `json:"completed"`
+	// Shed counts 429 rejections (queue full or tenant quota).
+	Shed int64 `json:"shed"`
+	// Failed counts server-side errors other than shedding.
+	Failed int64 `json:"failed"`
+	// DroppedClient counts arrivals the harness itself refused because
+	// MaxInFlight was reached — client-side saturation, reported so a
+	// capped run cannot read as full coverage.
+	DroppedClient int64 `json:"dropped_client,omitempty"`
+	// Coalesced and CacheHits count submissions answered by an in-flight
+	// duplicate or the result cache.
+	Coalesced int64 `json:"coalesced,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
+	// Latency is end-to-end: scheduled arrival to result in hand.
+	Latency LatencySummary `json:"latency"`
+}
+
+// Report is one load-harness run: the configuration that produced it, the
+// aggregate outcome, and per-operation and per-tenant breakdowns. Committed
+// as LOAD_<UTC-date>.json files these form the serving-layer performance
+// record, the counterpart of the library's BENCH_*.json trajectories;
+// Compare turns two of them into a regression verdict and cmd/benchreport
+// -compare dispatches here when it sniffs the "loadgen" kind.
+type Report struct {
+	Schema     int    `json:"schema"`
+	Kind       string `json:"kind"`
+	CreatedUTC string `json:"created_utc"`
+
+	// Environment.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// Configuration echo.
+	DurationSeconds float64            `json:"duration_seconds"` // configured window
+	TargetQPS       float64            `json:"target_qps"`
+	Arrival         string             `json:"arrival"`
+	Seed            int64              `json:"seed"`
+	Mix             map[string]float64 `json:"mix"`
+	Tenants         []TenantSpec       `json:"tenants"`
+	Sizes           []SizeClass        `json:"sizes"`
+	Variants        int                `json:"variants"`
+	MaxInFlight     int                `json:"max_in_flight"`
+
+	// Measurements.
+	ElapsedSeconds float64 `json:"elapsed_seconds"` // actual wall time, arrival 0 → last completion
+	// GoodputQPS is completed operations per elapsed second; ShedRate is
+	// the shed fraction of offered load (0..1).
+	GoodputQPS float64            `json:"goodput_qps"`
+	ShedRate   float64            `json:"shed_rate"`
+	Totals     OpStats            `json:"totals"`
+	Ops        map[string]OpStats `json:"ops"`
+	ByTenant   map[string]OpStats `json:"by_tenant"`
+}
+
+// Save writes the report as indented JSON.
+func Save(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("loadgen: writing report: %w", err)
+	}
+	return nil
+}
+
+// Load reads a report file, rejecting unknown schemas and kinds.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("loadgen: parsing report %s: %w", path, err)
+	}
+	if r.Kind != ReportKind {
+		return Report{}, fmt.Errorf("loadgen: %s has kind %q, want %q", path, r.Kind, ReportKind)
+	}
+	if r.Schema != ReportSchema {
+		return Report{}, fmt.Errorf("loadgen: %s has schema %d, want %d", path, r.Schema, ReportSchema)
+	}
+	return r, nil
+}
+
+// Compare reports every serving metric in new that regressed past maxPct
+// percent relative to old: goodput may drop, overall latency quantiles may
+// grow, by at most maxPct; the shed rate may grow by at most maxPct
+// percentage points of offered load (an absolute bound — a baseline that
+// shed nothing has no relative scale). Latency comparisons require both
+// runs to have completed work. A nil result means new is acceptable.
+func Compare(old, new Report, maxPct float64) []bench.Regression {
+	var regs []bench.Regression
+	grew := func(metric string, oldV, newV float64) {
+		if oldV <= 0 || math.IsNaN(oldV) || math.IsNaN(newV) {
+			return
+		}
+		pct := (newV - oldV) / oldV * 100
+		if pct > maxPct {
+			regs = append(regs, bench.Regression{Metric: metric, Old: oldV, New: newV, Pct: pct})
+		}
+	}
+
+	// Goodput: lower is worse.
+	if old.GoodputQPS > 0 {
+		pct := (old.GoodputQPS - new.GoodputQPS) / old.GoodputQPS * 100
+		if pct > maxPct {
+			regs = append(regs, bench.Regression{
+				Metric: "goodput_qps", Old: old.GoodputQPS, New: new.GoodputQPS, Pct: pct,
+			})
+		}
+	}
+	// Shed rate: absolute growth in percentage points.
+	if pts := (new.ShedRate - old.ShedRate) * 100; pts > maxPct {
+		regs = append(regs, bench.Regression{
+			Metric: "shed_rate", Old: old.ShedRate, New: new.ShedRate, Pct: pts,
+		})
+	}
+	grew("latency_p50_ms", old.Totals.Latency.P50Ms, new.Totals.Latency.P50Ms)
+	grew("latency_p95_ms", old.Totals.Latency.P95Ms, new.Totals.Latency.P95Ms)
+	grew("latency_p99_ms", old.Totals.Latency.P99Ms, new.Totals.Latency.P99Ms)
+	return regs
+}

@@ -36,6 +36,22 @@ const (
 	// HistJobRun is the end-to-end execution latency of one dtuckerd job
 	// (cache hits are not observed — they never execute).
 	HistJobRun
+	// HistJobQueueWaitInteractive is HistJobQueueWait restricted to the
+	// interactive lane. Interactive jobs preempt batch in dispatch order, so
+	// under overload this distribution should stay tight while the batch
+	// lane's grows.
+	HistJobQueueWaitInteractive
+	// HistJobQueueWaitBatch is HistJobQueueWait restricted to the batch
+	// lane — the preempted side of the priority split.
+	HistJobQueueWaitBatch
+	// HistJobCoalesceWait is the time a coalesced follower waited from its
+	// submission until its leader finished. It bounds the latency a client
+	// pays for riding an identical in-flight job instead of executing.
+	HistJobCoalesceWait
+	// HistJobShedHeadAge is the age of the oldest queued job at the moment a
+	// submission was shed for queue capacity. A growing head age alongside
+	// sheds means the queue is saturated by slow work, not a burst.
+	HistJobShedHeadAge
 	numHistIDs
 )
 
@@ -56,6 +72,14 @@ func (h HistID) String() string {
 		return "job-queue-wait"
 	case HistJobRun:
 		return "job-run"
+	case HistJobQueueWaitInteractive:
+		return "job-wait-interactive"
+	case HistJobQueueWaitBatch:
+		return "job-wait-batch"
+	case HistJobCoalesceWait:
+		return "job-coalesce-wait"
+	case HistJobShedHeadAge:
+		return "job-shed-head-age"
 	}
 	return "hist(?)"
 }

@@ -1,0 +1,213 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// metriczSnapshot fetches /metricz and decodes the dtuckerd section.
+func metriczSnapshot(t *testing.T, baseURL string) struct {
+	JobsCoalesced int64                         `json:"jobs_coalesced"`
+	JobsRejected  int64                         `json:"jobs_rejected"`
+	Tenants       map[string]server.TenantStats `json:"tenants"`
+} {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ev struct {
+		Dtuckerd struct {
+			JobsCoalesced int64                         `json:"jobs_coalesced"`
+			JobsRejected  int64                         `json:"jobs_rejected"`
+			Tenants       map[string]server.TenantStats `json:"tenants"`
+		} `json:"dtuckerd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev.Dtuckerd
+}
+
+func fetchResultBytes(t *testing.T, cl *repro.Client, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch for %s: HTTP %d", id, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitDone(t *testing.T, cl *repro.Client, ctx context.Context, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == server.StateDone {
+			return
+		}
+		if st.State == server.StateFailed || st.State == server.StateCancelled {
+			t.Fatalf("job %s ended %s: %+v", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoalescedDuplicatesE2E runs the full wire path: three identical
+// submissions while the runner is busy yield one leader and two coalesced
+// followers, all three finish with byte-identical .dtd results, /metricz
+// reports the coalescing, and draining the server leaks no goroutines.
+func TestCoalescedDuplicatesE2E(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := server.New(server.Config{Workers: 2, Runners: 1, QueueDepth: 8})
+	hs := httptest.NewServer(srv.Handler())
+	cl := repro.NewClient(hs.URL)
+	cl.PollInterval = 2 * time.Millisecond
+	cl.Tenant = "dup"
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Park the single runner so the duplicates stay queued together.
+	parked, err := cl.Submit(ctx, slowTensor(41), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := testTensor(42, 12, 11, 10)
+	cfg := repro.Config{Ranks: []int{4, 3, 3}, Seed: 7}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		receipt, err := cl.Submit(ctx, x, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCoalesced := i > 0; receipt.Coalesced != wantCoalesced {
+			t.Fatalf("submission %d coalesced = %v, want %v", i, receipt.Coalesced, wantCoalesced)
+		}
+		ids = append(ids, receipt.JobID)
+	}
+
+	if err := cl.Cancel(ctx, parked.JobID); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		waitDone(t, cl, ctx, id)
+	}
+
+	want := fetchResultBytes(t, cl, hs.URL, ids[0])
+	for _, id := range ids[1:] {
+		got := fetchResultBytes(t, cl, hs.URL, id)
+		if string(got) != string(want) {
+			t.Fatalf("job %s result differs from the leader's (%d vs %d bytes)", id, len(got), len(want))
+		}
+	}
+
+	m := metriczSnapshot(t, hs.URL)
+	if m.JobsCoalesced != 2 {
+		t.Fatalf("/metricz jobs_coalesced = %d, want 2", m.JobsCoalesced)
+	}
+	ts, ok := m.Tenants["dup"]
+	if !ok {
+		t.Fatalf("/metricz has no tenant \"dup\": %+v", m.Tenants)
+	}
+	if ts.Coalesced != 2 {
+		t.Fatalf("tenant dup coalesced = %d, want 2", ts.Coalesced)
+	}
+	// 4 submissions: the parked job (cancelled) + leader + 2 followers.
+	if ts.Submitted != 4 || ts.Completed != 3 || ts.Cancelled != 1 {
+		t.Fatalf("tenant dup stats %+v, want submitted 4 / completed 3 / cancelled 1", ts)
+	}
+
+	hs.Close()
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	srv.Drain(drainCtx)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across the coalescing run", before, after)
+	}
+}
+
+// TestTenantQuotaE2E pins quota shedding on the wire: tenant alice at her
+// quota gets 429/tenant_quota with Retry-After while tenant bob's
+// submission is still admitted, and the job records echo the tenant.
+func TestTenantQuotaE2E(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{
+		Workers: 1, Runners: 1, QueueDepth: 8, TenantQuota: 1, RetryAfter: 2 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	alice := repro.NewClient(hs.URL)
+	alice.Tenant = "alice"
+	bob := repro.NewClient(hs.URL)
+	bob.Tenant = "bob"
+
+	a1, err := alice.Submit(ctx, slowTensor(51), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = alice.Submit(ctx, slowTensor(52), slowConfig(), nil)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("over-quota submission returned %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Kind != server.KindTenantQuota {
+		t.Fatalf("over-quota error = %d/%q, want 429/%q", apiErr.StatusCode, apiErr.Kind, server.KindTenantQuota)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After = %v, want 2s", apiErr.RetryAfter)
+	}
+
+	b1, err := bob.Submit(ctx, slowTensor(53), slowConfig(), nil)
+	if err != nil {
+		t.Fatalf("tenant bob shed by alice's quota: %v", err)
+	}
+	st, err := bob.Job(ctx, b1.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "bob" || st.Priority != "batch" {
+		t.Fatalf("job record tenant/priority = %q/%q, want bob/batch", st.Tenant, st.Priority)
+	}
+
+	m := metriczSnapshot(t, hs.URL)
+	if got := m.Tenants["alice"].RejectedQuota; got != 1 {
+		t.Fatalf("alice rejected_quota = %d, want 1", got)
+	}
+
+	for _, id := range []string{a1.JobID, b1.JobID} {
+		if err := cl.Cancel(ctx, id); err != nil {
+			t.Error(err)
+		}
+	}
+}

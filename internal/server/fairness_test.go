@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+)
+
+// tenantJob builds a job for a tenant and lane whose exec parks until
+// release closes (or its context is cancelled), optionally recording its
+// dispatch into order — the deterministic probe these tests use to observe
+// the scheduler's decisions.
+func tenantJob(s *Server, tenant string, l lane, key string, release <-chan struct{},
+	record func()) *job {
+	j := s.newJob(key, 0, false,
+		func(ctx context.Context, _ *pool.Pool, _ *metrics.Collector) (*core.Decomposition, error) {
+			if record != nil {
+				record()
+			}
+			select {
+			case <-release:
+				return nil, context.Canceled
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+	j.tenant = tenant
+	j.lane = l
+	return j
+}
+
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// parkRunner occupies the single runner with a blocking job of its own
+// tenant so subsequent submissions pile up in the queue; the returned
+// channel releases it.
+func parkRunner(t *testing.T, s *Server) chan struct{} {
+	t.Helper()
+	release := make(chan struct{})
+	park := tenantJob(s, "park", laneBatch, "", release, nil)
+	if err := s.admit(park); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, park, StateRunning)
+	return release
+}
+
+// TestTenantQuotaEnforced pins the quota gate: a tenant at its outstanding
+// bound is shed with errTenantQuota while other tenants (and the same
+// tenant, once a job completes) keep being admitted.
+func TestTenantQuotaEnforced(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, TenantQuota: 2})
+	defer drainServer(t, s)
+	release := make(chan struct{})
+	defer close(release)
+
+	a1 := tenantJob(s, "a", laneBatch, "", release, nil)
+	if err := s.admit(a1); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, a1, StateRunning) // running leaders count against the quota
+	a2 := tenantJob(s, "a", laneBatch, "", release, nil)
+	if err := s.admit(a2); err != nil {
+		t.Fatal(err)
+	}
+
+	over := tenantJob(s, "a", laneBatch, "", release, nil)
+	if err := s.admit(over); err != errTenantQuota {
+		t.Fatalf("third outstanding job for tenant a admitted with %v, want errTenantQuota", err)
+	}
+	over.cancel()
+
+	// Queue headroom is 7 of 8: tenant b is not affected by a's quota.
+	b1 := tenantJob(s, "b", laneBatch, "", release, nil)
+	if err := s.admit(b1); err != nil {
+		t.Fatalf("tenant b shed by tenant a's quota: %v", err)
+	}
+
+	// Completion releases the charge.
+	a1.cancel()
+	waitJobState(t, a1, StateCancelled)
+	a3 := tenantJob(s, "a", laneBatch, "", release, nil)
+	if err := s.admit(a3); err != nil {
+		t.Fatalf("tenant a still shed after a completion: %v", err)
+	}
+
+	s.schedMu.Lock()
+	st := s.sched.tenants["a"].stats
+	s.schedMu.Unlock()
+	if st.RejectedQuota != 1 {
+		t.Fatalf("tenant a rejected_quota = %d, want 1", st.RejectedQuota)
+	}
+}
+
+// TestWFQWeightedShares pins weighted fairness under asymmetric offered
+// load: tenants a (weight 3) and b (weight 1) both backlogged, a offering
+// 3× the jobs. Dispatch order is fully deterministic (virtual-time ties
+// break by name), so the test asserts the exact interleaving: every window
+// of 4 dispatches serves a three times and b once.
+func TestWFQWeightedShares(t *testing.T) {
+	s := New(Config{
+		Runners: 1, QueueDepth: 64, Workers: 1,
+		TenantWeights: map[string]int{"a": 3, "b": 1},
+	})
+	defer drainServer(t, s)
+	release := parkRunner(t, s)
+
+	var mu sync.Mutex
+	var order []string
+	rec := func(tenant string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		}
+	}
+	jobRelease := make(chan struct{})
+	close(jobRelease) // probe jobs finish immediately once dispatched
+
+	var jobs []*job
+	submit := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			j := tenantJob(s, tenant, laneBatch, "", jobRelease, rec(tenant))
+			if err := s.admit(j); err != nil {
+				t.Fatalf("admitting %s job %d: %v", tenant, i, err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	submit("a", 24)
+	submit("b", 8)
+
+	close(release) // unpark: the runner drains the queue sequentially
+	for _, j := range jobs {
+		waitJobState(t, j, StateCancelled)
+	}
+
+	mu.Lock()
+	got := strings.Join(order, "")
+	mu.Unlock()
+	if len(got) != 32 {
+		t.Fatalf("dispatched %d jobs, want 32", len(got))
+	}
+	if want := strings.Repeat("abaa", 8); !strings.HasPrefix(got, want) {
+		t.Fatalf("dispatch order %q, want prefix %q (3:1 weighted interleave)", got, want)
+	}
+	if na, nb := strings.Count(got, "a"), strings.Count(got, "b"); na != 24 || nb != 8 {
+		t.Fatalf("served a=%d b=%d, want 24/8", na, nb)
+	}
+}
+
+// TestPriorityLanePreemption pins the strict lanes: every queued
+// interactive job dispatches before any batch job, even when the batch
+// jobs were submitted first, across tenants.
+func TestPriorityLanePreemption(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 16, Workers: 1})
+	defer drainServer(t, s)
+	release := parkRunner(t, s)
+
+	var mu sync.Mutex
+	var order []string
+	jobRelease := make(chan struct{})
+	close(jobRelease)
+
+	var jobs []*job
+	submit := func(tenant string, l lane) {
+		label := tenant + ":" + l.String()
+		j := tenantJob(s, tenant, l, "", jobRelease, func() {
+			mu.Lock()
+			order = append(order, label)
+			mu.Unlock()
+		})
+		if err := s.admit(j); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	submit("a", laneBatch)
+	submit("b", laneBatch)
+	submit("a", laneBatch)
+	submit("a", laneInteractive)
+	submit("b", laneInteractive)
+
+	close(release)
+	for _, j := range jobs {
+		waitJobState(t, j, StateCancelled)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("dispatched %d jobs, want 5", len(order))
+	}
+	for i, label := range order[:2] {
+		if !strings.HasSuffix(label, ":interactive") {
+			t.Fatalf("dispatch %d was %s, want the interactive lane drained first (order %v)",
+				i, label, order)
+		}
+	}
+	for i, label := range order[2:] {
+		if !strings.HasSuffix(label, ":batch") {
+			t.Fatalf("dispatch %d was %s, want batch after interactive (order %v)", 2+i, label, order)
+		}
+	}
+}
+
+// TestCoalesceSingleExecution pins singleflight: identical queued
+// submissions attach to the leader, the exec runs exactly once, and every
+// follower finishes with the leader's result object.
+func TestCoalesceSingleExecution(t *testing.T) {
+	// CacheSize -1 disables the result cache: the duplicates must be served
+	// through coalescing itself, not a cache fill.
+	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
+	defer drainServer(t, s)
+	release := parkRunner(t, s)
+	defer close(release)
+
+	var execs atomic.Int64
+	want := &core.Decomposition{Fit: 0.5}
+	leader := s.newJob("K", 0, false,
+		func(ctx context.Context, _ *pool.Pool, _ *metrics.Collector) (*core.Decomposition, error) {
+			execs.Add(1)
+			return want, nil
+		})
+	if got, err := s.admitOrCoalesce(leader); err != nil || got != nil {
+		t.Fatalf("leader admission = (%v, %v), want enqueued", got, err)
+	}
+
+	var followers []*job
+	for i := 0; i < 2; i++ {
+		f := s.newJob("K", 0, false, nil)
+		got, err := s.admitOrCoalesce(f)
+		if err != nil || got != leader {
+			t.Fatalf("duplicate %d admission = (%v, %v), want coalesced onto the leader", i, got, err)
+		}
+		if !f.coalesced {
+			t.Fatalf("duplicate %d not marked coalesced", i)
+		}
+		followers = append(followers, f)
+	}
+
+	// Followers hold no queue slot: the queue holds exactly the leader.
+	if n := s.queueLen(); n != 1 {
+		t.Fatalf("queue length %d with 2 followers attached, want 1", n)
+	}
+
+	release <- struct{}{} // let the parked job go; the leader runs next
+	waitJobState(t, leader, StateDone)
+	for i, f := range followers {
+		waitJobState(t, f, StateDone)
+		f.mu.Lock()
+		dec := f.dec
+		f.mu.Unlock()
+		if dec != want {
+			t.Fatalf("follower %d finished with %p, want the leader's result %p", i, dec, want)
+		}
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("exec ran %d times for 3 identical submissions, want exactly 1", n)
+	}
+
+	s.schedMu.Lock()
+	inflight := len(s.sched.inflight)
+	outstanding := s.sched.tenants[defaultTenant].outstanding
+	coalesced := s.sched.tenants[defaultTenant].stats.Coalesced
+	s.schedMu.Unlock()
+	if inflight != 0 || outstanding != 0 {
+		t.Fatalf("scheduler left inflight=%d outstanding=%d, want 0/0", inflight, outstanding)
+	}
+	if coalesced != 2 {
+		t.Fatalf("tenant coalesced counter = %d, want 2", coalesced)
+	}
+}
+
+// TestCoalesceFollowerCancel: cancelling a follower detaches only that
+// record; the leader and the other followers are unaffected.
+func TestCoalesceFollowerCancel(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
+	defer drainServer(t, s)
+	release := parkRunner(t, s)
+	defer close(release)
+
+	want := &core.Decomposition{Fit: 0.25}
+	leader := s.newJob("K2", 0, false,
+		func(ctx context.Context, _ *pool.Pool, _ *metrics.Collector) (*core.Decomposition, error) {
+			return want, nil
+		})
+	s.cache.cap = 0
+	if _, err := s.admitOrCoalesce(leader); err != nil {
+		t.Fatal(err)
+	}
+	f1 := s.newJob("K2", 0, false, nil)
+	f2 := s.newJob("K2", 0, false, nil)
+	for _, f := range []*job{f1, f2} {
+		if got, err := s.admitOrCoalesce(f); err != nil || got != leader {
+			t.Fatalf("follower admission = (%v, %v)", got, err)
+		}
+	}
+
+	// Cancel f1 the way the HTTP handler does.
+	f1.cancel()
+	f1.finish(nil, context.Canceled, false, time.Now())
+	waitJobState(t, f1, StateCancelled)
+
+	release <- struct{}{}
+	waitJobState(t, leader, StateDone)
+	waitJobState(t, f2, StateDone)
+	waitJobState(t, f1, StateCancelled) // finish is idempotent: outcome kept
+}
+
+// TestCoalesceDisabled: with DisableCoalesce identical submissions queue
+// (and execute) independently.
+func TestCoalesceDisabled(t *testing.T) {
+	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, DisableCoalesce: true, CacheSize: -1})
+	defer drainServer(t, s)
+	release := parkRunner(t, s)
+
+	var execs atomic.Int64
+	mk := func() *job {
+		return s.newJob("K3", 0, false,
+			func(ctx context.Context, _ *pool.Pool, _ *metrics.Collector) (*core.Decomposition, error) {
+				execs.Add(1)
+				return &core.Decomposition{}, nil
+			})
+	}
+	j1, j2 := mk(), mk()
+	for _, j := range []*job{j1, j2} {
+		if got, err := s.admitOrCoalesce(j); err != nil || got != nil {
+			t.Fatalf("admission with coalescing disabled = (%v, %v), want plain enqueue", got, err)
+		}
+	}
+	close(release)
+	waitJobState(t, j1, StateDone)
+	waitJobState(t, j2, StateDone)
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("exec ran %d times, want 2 (no coalescing)", n)
+	}
+}

@@ -41,6 +41,21 @@ func decodeTensor(b64 string) (*tensor.Dense, error) {
 	return tensor.ReadFrom(bytes.NewReader(raw))
 }
 
+// requestTenant extracts the tenant name from the X-Tenant header,
+// defaulting and bounding it (an unbounded attacker-chosen tenant name
+// would otherwise grow the per-tenant state maps without limit per byte
+// of header).
+func requestTenant(r *http.Request) string {
+	t := r.Header.Get(HeaderTenant)
+	if t == "" {
+		return defaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
+
 // handleDecompose is POST /v1/decompose: validate, answer from cache when
 // possible, otherwise queue a job under admission control.
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -70,10 +85,12 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey(digest, req.Config)
+	tenant := requestTenant(r)
 
 	// A cache hit needs no queue slot: the job record is born done.
 	if dec, ok := s.cache.Get(key); ok {
 		j := s.newJob(key, 0, false, nil)
+		j.tenant = tenant
 		j.state = StateDone
 		j.dec = dec
 		j.cacheHit = true
@@ -82,6 +99,9 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		s.register(j)
 		s.submitted.Add(1)
 		s.completed.Add(1)
+		s.schedMu.Lock()
+		s.sched.cacheHitLocked(tenant)
+		s.schedMu.Unlock()
 		s.cfg.Logf("job %s: done (cache hit at submit)", j.id)
 		s.respondSubmitted(w, j, http.StatusOK)
 		return
@@ -96,7 +116,9 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			opts.Metrics = col
 			return core.Decompose(x, opts)
 		})
-	if err := s.admit(j); err != nil {
+	j.tenant = tenant
+	j.lane = parseLane(r.Header.Get(HeaderPriority), laneBatch)
+	if _, err := s.admitOrCoalesce(j); err != nil {
 		j.cancel() // release the job context; it will never run
 		s.writeAdmissionError(w, err)
 		return
@@ -110,6 +132,7 @@ func (s *Server) respondSubmitted(w http.ResponseWriter, j *job, status int) {
 		JobID:     j.id,
 		State:     j.state,
 		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
 		StatusURL: "/v1/jobs/" + j.id,
 		ResultURL: "/v1/jobs/" + j.id + "/result",
 	}
@@ -202,7 +225,9 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 
 // handleJobCancel is DELETE /v1/jobs/{id}: cancel a queued or running job.
 // The job transitions to cancelled when the decomposition observes the
-// context, at the next phase or sweep boundary.
+// context, at the next phase or sweep boundary. Cancelling a coalesced
+// follower detaches only that record — the leader (and any other
+// followers) keep running.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(r.PathValue("id"))
 	if j == nil {
@@ -210,6 +235,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	if j.coalesced {
+		// Followers have no runner watching their context; finish them
+		// here. finish is idempotent, so racing with the leader's
+		// completion keeps whichever outcome landed first.
+		j.finish(nil, context.Canceled, false, time.Now())
+	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 

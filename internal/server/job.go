@@ -26,7 +26,13 @@ const (
 // runner, cache, and drain logic are shared.
 type job struct {
 	id  string
-	key string // result-cache key; "" disables caching for this job
+	key string // result-cache key; "" disables caching and coalescing for this job
+
+	// tenant and lane are the admission identity: tenant charges the quota
+	// and the WFQ share, lane decides dispatch priority. Both are fixed at
+	// submission (from the X-Tenant / X-Priority headers).
+	tenant string
+	lane   lane
 
 	// exec runs the decomposition. It receives the job's context (already
 	// carrying any per-job timeout) and must honour it.
@@ -38,6 +44,13 @@ type job struct {
 
 	col    *metrics.Collector
 	tracer *trace.Tracer
+
+	// coalesced marks a follower: a submission attached to an identical
+	// in-flight leader. Followers never execute; the leader's completion
+	// finishes them. followers is the reverse edge on the leader, guarded
+	// by the server's scheduling lock until completeLocked detaches it.
+	coalesced bool
+	followers []*job
 
 	mu       sync.Mutex
 	state    string
@@ -56,9 +69,15 @@ func (j *job) setRunning(now time.Time) {
 	j.mu.Unlock()
 }
 
+// finish moves the job to its terminal state. It is idempotent: a job that
+// already finished (e.g. a coalesced follower cancelled individually before
+// its leader completed) keeps its first outcome.
 func (j *job) finish(dec *core.Decomposition, err error, cacheHit bool, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		return
+	}
 	j.finished = now
 	j.cacheHit = j.cacheHit || cacheHit
 	if err == nil {
@@ -91,7 +110,10 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
+		Tenant:    j.tenant,
+		Priority:  j.lane.String(),
 		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
 		Error:     wireError(j.err),
 		CreatedMs: j.created.UnixMilli(),
 	}

@@ -1,0 +1,140 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// fillQueue parks the server's single runner on a blocking job and fills
+// the depth-1 queue with a second, so the next submission is shed with 429.
+// It returns the two job IDs for cleanup.
+func fillQueue(t *testing.T, cl *repro.Client, ctx context.Context) (running, queued string) {
+	t.Helper()
+	r, err := cl.Submit(ctx, slowTensor(31), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cl.Submit(ctx, slowTensor(32), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.JobID, q.JobID
+}
+
+// TestDecomposeRetryExhaustion pins the bounded-retry contract against the
+// blocking-job 429 harness: with the queue pinned full, Decompose makes
+// exactly MaxAttempts submissions, sleeps between them for the server's
+// Retry-After hint (stretched by deterministic jitter), and surfaces the
+// final 429 as a typed error. Every delay is observed through the Sleep
+// seam, so the test never actually waits.
+func TestDecomposeRetryExhaustion(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{
+		Workers: 1, Runners: 1, QueueDepth: 1, RetryAfter: 2 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	running, queued := fillQueue(t, cl, ctx)
+	defer func() {
+		for _, id := range []string{running, queued} {
+			if err := cl.Cancel(ctx, id); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	var slept []time.Duration
+	cl.Retry = &repro.RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+		Rand: func() float64 { return 0.5 },
+	}
+	_, err := cl.Decompose(ctx, slowTensor(33), slowConfig(), nil)
+	var apiErr *repro.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("exhausted retries surfaced as %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", apiErr.StatusCode)
+	}
+	if apiErr.Kind != server.KindQueueFull {
+		t.Fatalf("kind = %q, want %q", apiErr.Kind, server.KindQueueFull)
+	}
+	// MaxAttempts 3 → 2 sleeps, each the 2s hint · (1 + 0.5·0.5) = 2.5s.
+	want := 2500 * time.Millisecond
+	if len(slept) != 2 || slept[0] != want || slept[1] != want {
+		t.Fatalf("slept %v, want exactly [%v %v]", slept, want, want)
+	}
+}
+
+// TestDecomposeRetryRecovers frees a queue slot inside the first backoff
+// wait and checks the second attempt is admitted: the retry loop's purpose.
+func TestDecomposeRetryRecovers(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{
+		Workers: 1, Runners: 1, QueueDepth: 1, RetryAfter: time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	running, queued := fillQueue(t, cl, ctx)
+
+	attempts := 0
+	cl.Retry = &repro.RetryPolicy{
+		MaxAttempts: 4,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			attempts++
+			// Free the queue (and the runner, so the retried job executes):
+			// cancellation lands at the next sweep boundary.
+			for _, id := range []string{queued, running} {
+				if err := cl.Cancel(ctx, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	x := testTensor(34, 10, 9, 8)
+	dec, err := cl.Decompose(ctx, x, repro.Config{Ranks: []int{3, 3, 3}}, nil)
+	if err != nil {
+		t.Fatalf("Decompose after freed capacity: %v", err)
+	}
+	if dec == nil || attempts != 1 {
+		t.Fatalf("got dec=%v after %d backoffs, want a result after exactly 1", dec, attempts)
+	}
+}
+
+// TestDecomposeRetryContextCutoff: a context error from the backoff wait
+// aborts the interaction immediately with that error.
+func TestDecomposeRetryContextCutoff(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{
+		Workers: 1, Runners: 1, QueueDepth: 1, RetryAfter: time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	running, queued := fillQueue(t, cl, ctx)
+	defer func() {
+		for _, id := range []string{running, queued} {
+			if err := cl.Cancel(ctx, id); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	cl.Retry = &repro.RetryPolicy{
+		MaxAttempts: 5,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			return context.DeadlineExceeded
+		},
+	}
+	_, err := cl.Decompose(ctx, slowTensor(35), slowConfig(), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cut-off retry returned %v, want context.DeadlineExceeded", err)
+	}
+}

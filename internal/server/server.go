@@ -3,12 +3,19 @@
 // drain, on top of the core decomposition library.
 //
 // Requests are serializable core.Config values plus a tensor payload
-// (base64 .ten bytes in JSON). Submissions pass through a bounded queue —
-// when it is full the server sheds load with 429 and a Retry-After header
-// instead of queueing unboundedly. Results are cached in an LRU keyed by
-// (tensor digest, canonical config); the library's determinism makes a
-// cached result bit-identical to a fresh computation. All jobs share one
-// worker pool, so a saturated server runs at a bounded total parallelism.
+// (base64 .ten bytes in JSON; see docs/FORMATS.md for the binary formats).
+// Submissions pass through multi-tenant admission control — per-tenant
+// quotas, a bounded global queue, and singleflight coalescing of identical
+// in-flight jobs — and queued work is dispatched through two strict-priority
+// lanes (interactive preempts batch) with weighted fair queueing across
+// tenants inside each lane; see sched.go and docs/OPERATIONS.md for the
+// exact semantics. When a submission cannot be admitted the server sheds
+// load with 429 and a Retry-After header instead of queueing unboundedly.
+// Results are cached in an LRU keyed by (tensor digest, canonical config);
+// the library's determinism makes a cached result bit-identical to a fresh
+// computation. All jobs share one worker pool, so a saturated server runs
+// at a bounded total parallelism. Tenancy and priority ride on the
+// X-Tenant and X-Priority request headers.
 //
 // Every job carries its own metrics.Collector (phase breakdown in the job
 // record) and, on request, a span tracer (GET /v1/jobs/{id}/trace).
@@ -52,7 +59,8 @@ import (
 )
 
 // Config configures a Server. The zero value is usable: every field has a
-// sensible default.
+// sensible default. Admission, fairness, and coalescing semantics are
+// documented in detail in docs/OPERATIONS.md.
 type Config struct {
 	// QueueDepth bounds the number of jobs waiting to run; submissions
 	// beyond it are rejected with 429. Default 16.
@@ -69,6 +77,26 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies. Default 1 GiB.
 	MaxBodyBytes int64
+
+	// TenantQuota bounds each tenant's outstanding (queued + running)
+	// jobs; submissions beyond it are shed with 429/tenant_quota even when
+	// the global queue has room. 0 means unlimited — only QueueDepth
+	// applies.
+	TenantQuota int
+	// TenantWeights assigns weighted-fair-queueing weights by tenant name
+	// (X-Tenant header). A tenant absent from the map gets
+	// DefaultTenantWeight. Under contention, tenant throughput converges
+	// to the weight ratio.
+	TenantWeights map[string]int
+	// DefaultTenantWeight is the WFQ weight of tenants not listed in
+	// TenantWeights. Default 1.
+	DefaultTenantWeight int
+	// DisableCoalesce turns off singleflight coalescing of identical
+	// in-flight jobs. By default a submission whose (tensor digest,
+	// canonical config) key matches a queued or running job attaches to
+	// it instead of executing again.
+	DisableCoalesce bool
+
 	// Logf, when set, receives one line per lifecycle event (job start,
 	// finish, drain). Default: silent.
 	Logf func(format string, args ...any)
@@ -93,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 30
 	}
+	if c.DefaultTenantWeight <= 0 {
+		c.DefaultTenantWeight = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -110,8 +141,11 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue     chan *job
-	stop      chan struct{} // closed after drain: runners exit
+	// schedMu guards sched; schedCond wakes runners blocked in nextJob.
+	schedMu   sync.Mutex
+	schedCond *sync.Cond
+	sched     *scheduler
+
 	jobsWG    sync.WaitGroup
 	runnersWG sync.WaitGroup
 	draining  atomic.Bool
@@ -129,6 +163,7 @@ type Server struct {
 	failed    atomic.Int64
 	cancelled atomic.Int64
 	rejected  atomic.Int64
+	coalesced atomic.Int64
 	running   atomic.Int64
 }
 
@@ -145,11 +180,11 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		pl:      pool.New(cfg.Workers),
 		cache:   newResultCache(cfg.CacheSize),
-		queue:   make(chan *job, cfg.QueueDepth),
-		stop:    make(chan struct{}),
+		sched:   newScheduler(cfg),
 		jobs:    make(map[string]*job),
 		streams: make(map[string]*session),
 	}
+	s.schedCond = sync.NewCond(&s.schedMu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.routes()
 	for i := 0; i < cfg.Runners; i++ {
@@ -195,6 +230,8 @@ func (s *Server) newJob(key string, timeout time.Duration, traced bool,
 		timeout: timeout,
 		col:     metrics.New(),
 		state:   StateQueued,
+		tenant:  defaultTenant,
+		lane:    laneBatch,
 		created: time.Now(),
 	}
 	if traced {
@@ -236,62 +273,93 @@ func (s *Server) lookupJob(id string) *job {
 	return s.jobs[id]
 }
 
-// errQueueFull and errDraining are admission-control rejections.
-var (
-	errQueueFull = errors.New("job queue is full")
-	errDraining  = errors.New("server is draining")
-)
-
-// admit registers the job and places it on the bounded queue. It never
-// blocks: a full queue or a draining server rejects immediately.
+// admit places the job under admission control. It never blocks: a full
+// queue, an exhausted tenant quota, or a draining server rejects
+// immediately. Submissions identical to an in-flight job coalesce onto it —
+// see admitOrCoalesce; admit itself reports coalesced submissions as
+// admitted with no distinct leader.
 func (s *Server) admit(j *job) error {
+	_, err := s.admitOrCoalesce(j)
+	return err
+}
+
+// admitOrCoalesce admits j, or attaches it as a follower of an identical
+// in-flight leader (returned non-nil). The follower's record is registered
+// like any job but it holds no queue slot and never executes; it finishes
+// when its leader does.
+func (s *Server) admitOrCoalesce(j *job) (*job, error) {
 	if s.draining.Load() {
-		return errDraining
+		return nil, errDraining
 	}
 	s.jobsWG.Add(1)
-	select {
-	case s.queue <- j:
-		s.register(j)
-		s.submitted.Add(1)
-		return nil
-	default:
+	s.schedMu.Lock()
+	leader, err := s.sched.submitLocked(j, time.Now())
+	if err == nil && leader == nil {
+		s.schedCond.Signal()
+	}
+	s.schedMu.Unlock()
+	if err != nil {
 		s.jobsWG.Done()
 		s.rejected.Add(1)
-		return errQueueFull
+		return nil, err
+	}
+	if leader != nil {
+		// Coalesced: the leader's completion finishes this record, so it
+		// holds no reference of its own in the drain wait group.
+		s.jobsWG.Done()
+		s.coalesced.Add(1)
+	}
+	s.register(j)
+	s.submitted.Add(1)
+	return leader, nil
+}
+
+// dequeue blocks until a job is dispatched or the scheduler is closed and
+// empty (drain complete).
+func (s *Server) dequeue() (*job, bool) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	for {
+		if j := s.sched.pickLocked(); j != nil {
+			return j, true
+		}
+		if s.sched.closed {
+			return nil, false
+		}
+		s.schedCond.Wait()
 	}
 }
 
 func (s *Server) runner() {
 	defer s.runnersWG.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.run(j)
-		case <-s.stop:
-			// Drain the queue before exiting so no admitted job is lost;
-			// after stop closes nothing new is admitted.
-			for {
-				select {
-				case j := <-s.queue:
-					s.run(j)
-				default:
-					return
-				}
-			}
+		j, ok := s.dequeue()
+		if !ok {
+			return
 		}
+		s.run(j)
 	}
 }
 
-// run executes one job to completion. Exactly one runner runs a given job.
+// run executes one job to completion, then finishes every follower that
+// coalesced onto it. Exactly one runner runs a given job.
 func (s *Server) run(j *job) {
 	defer s.jobsWG.Done()
+	defer j.cancel() // release the job context once the outcome is recorded
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
 	start := time.Now()
-	metrics.Observe(metrics.HistJobQueueWait, start.Sub(j.created))
+	wait := start.Sub(j.created)
+	metrics.Observe(metrics.HistJobQueueWait, wait)
+	if j.lane == laneInteractive {
+		metrics.Observe(metrics.HistJobQueueWaitInteractive, wait)
+	} else {
+		metrics.Observe(metrics.HistJobQueueWaitBatch, wait)
+	}
 	j.setRunning(start)
-	s.cfg.Logf("job %s: running (queued %v)", j.id, start.Sub(j.created).Round(time.Millisecond))
+	s.cfg.Logf("job %s: running (tenant %s, %s, queued %v)",
+		j.id, j.tenant, j.lane, wait.Round(time.Millisecond))
 
 	ctx := j.ctx
 	if j.timeout > 0 {
@@ -302,37 +370,74 @@ func (s *Server) run(j *job) {
 
 	// The cache may have been filled by an identical job that ran while
 	// this one waited in the queue.
+	var (
+		dec      *core.Decomposition
+		err      error
+		cacheHit bool
+	)
 	if j.key != "" {
-		if dec, ok := s.cache.Get(j.key); ok {
-			j.finish(dec, nil, true, time.Now())
-			s.completed.Add(1)
-			s.cfg.Logf("job %s: done (cache hit after queue)", j.id)
-			return
+		dec, cacheHit = s.cache.Get(j.key)
+	}
+	if !cacheHit {
+		dec, err = j.exec(ctx, s.pl, j.col)
+		metrics.ObserveSince(metrics.HistJobRun, start)
+		if err == nil && j.key != "" {
+			s.cache.Put(j.key, dec)
 		}
 	}
-
-	dec, err := j.exec(ctx, s.pl, j.col)
 	end := time.Now()
-	metrics.ObserveSince(metrics.HistJobRun, start)
-	if err == nil && j.key != "" {
-		s.cache.Put(j.key, dec)
-	}
-	j.finish(dec, err, false, end)
 
+	// Retire the job in the scheduler FIRST: after this, new identical
+	// submissions either hit the cache (on success — Put already happened)
+	// or start a fresh leader, and no late follower can attach unseen.
+	s.schedMu.Lock()
+	followers := s.sched.completeLocked(j)
+	s.schedMu.Unlock()
+
+	j.finish(dec, err, cacheHit, end)
+	state := s.tally(j, err)
+	switch state {
+	case StateDone:
+		if cacheHit {
+			s.cfg.Logf("job %s: done (cache hit after queue)", j.id)
+		} else {
+			s.cfg.Logf("job %s: done in %v (fit %.6f)", j.id, end.Sub(start).Round(time.Millisecond), dec.Fit)
+		}
+	case StateCancelled:
+		s.cfg.Logf("job %s: cancelled after %v", j.id, end.Sub(start).Round(time.Millisecond))
+	default:
+		s.cfg.Logf("job %s: failed: %v", j.id, err)
+	}
+
+	for _, f := range followers {
+		metrics.Observe(metrics.HistJobCoalesceWait, end.Sub(f.created))
+		f.finish(dec, err, false, end)
+		f.cancel()
+		fstate := s.tally(f, err)
+		s.cfg.Logf("job %s: %s (coalesced into %s)", f.id, fstate, j.id)
+	}
+}
+
+// tally records a finished job's terminal state in the global and per-tenant
+// counters, returning the state. A job that was already finished (e.g. a
+// follower cancelled individually before its leader completed) still tallies
+// exactly once, here.
+func (s *Server) tally(j *job, err error) string {
 	j.mu.Lock()
 	state := j.state
 	j.mu.Unlock()
 	switch state {
 	case StateDone:
 		s.completed.Add(1)
-		s.cfg.Logf("job %s: done in %v (fit %.6f)", j.id, end.Sub(start).Round(time.Millisecond), dec.Fit)
 	case StateCancelled:
 		s.cancelled.Add(1)
-		s.cfg.Logf("job %s: cancelled after %v", j.id, end.Sub(start).Round(time.Millisecond))
 	default:
 		s.failed.Add(1)
-		s.cfg.Logf("job %s: failed: %v", j.id, err)
 	}
+	s.schedMu.Lock()
+	s.sched.tallyLocked(j, state)
+	s.schedMu.Unlock()
+	return state
 }
 
 // Drain gracefully shuts the server down: it stops admitting work, waits
@@ -348,7 +453,7 @@ func (s *Server) Drain(ctx context.Context) {
 		return
 	}
 	s.cfg.Logf("drain: no longer admitting jobs; %d queued, %d running",
-		len(s.queue), s.running.Load())
+		s.queueLen(), s.running.Load())
 
 	done := make(chan struct{})
 	go func() { s.jobsWG.Wait(); close(done) }()
@@ -359,14 +464,32 @@ func (s *Server) Drain(ctx context.Context) {
 		s.baseCancel() // cancels every job context at once
 		<-done
 	}
-	close(s.stop)
+	s.schedMu.Lock()
+	s.sched.closed = true
+	s.schedCond.Broadcast()
+	s.schedMu.Unlock()
 	s.runnersWG.Wait()
 	s.baseCancel()
 
 	hits, misses := s.cache.Stats()
-	s.cfg.Logf("drain: complete — %d submitted, %d done, %d failed, %d cancelled, %d rejected; cache %d hits / %d misses",
+	s.cfg.Logf("drain: complete — %d submitted, %d done, %d failed, %d cancelled, %d rejected, %d coalesced; cache %d hits / %d misses",
 		s.submitted.Load(), s.completed.Load(), s.failed.Load(),
-		s.cancelled.Load(), s.rejected.Load(), hits, misses)
+		s.cancelled.Load(), s.rejected.Load(), s.coalesced.Load(), hits, misses)
+	s.schedMu.Lock()
+	for _, name := range s.sched.tenantNamesLocked() {
+		st := s.sched.tenants[name].stats
+		s.cfg.Logf("drain: tenant %s — %d submitted, %d done, %d coalesced, %d shed (queue %d / quota %d)",
+			name, st.Submitted, st.Completed, st.Coalesced,
+			st.RejectedQueue+st.RejectedQuota, st.RejectedQueue, st.RejectedQuota)
+	}
+	s.schedMu.Unlock()
+}
+
+// queueLen reports the number of jobs waiting to be dispatched.
+func (s *Server) queueLen() int {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	return s.sched.queued
 }
 
 // Draining reports whether the server has begun shutting down.
@@ -376,8 +499,8 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) health() Health {
 	h := Health{
 		Status:   "ok",
-		QueueLen: len(s.queue),
-		QueueCap: cap(s.queue),
+		QueueLen: s.queueLen(),
+		QueueCap: s.cfg.QueueDepth,
 		Running:  int(s.running.Load()),
 		Workers:  s.pl.Size(),
 	}
@@ -387,25 +510,32 @@ func (s *Server) health() Health {
 	return h
 }
 
-// statsSnapshot is the expvar payload under the "dtuckerd" key.
+// statsSnapshot is the expvar payload under the "dtuckerd" key. Every field
+// is documented in docs/OPERATIONS.md, "The /metricz surface".
 func (s *Server) statsSnapshot() map[string]any {
 	hits, misses := s.cache.Stats()
 	s.mu.Lock()
 	streams := len(s.streams)
 	s.mu.Unlock()
+	s.schedMu.Lock()
+	queued := s.sched.queued
+	tenants := s.sched.snapshotLocked()
+	s.schedMu.Unlock()
 	return map[string]any{
 		"jobs_submitted": s.submitted.Load(),
 		"jobs_completed": s.completed.Load(),
 		"jobs_failed":    s.failed.Load(),
 		"jobs_cancelled": s.cancelled.Load(),
 		"jobs_rejected":  s.rejected.Load(),
+		"jobs_coalesced": s.coalesced.Load(),
 		"jobs_running":   s.running.Load(),
 		"cache_hits":     hits,
 		"cache_misses":   misses,
 		"cache_entries":  s.cache.Len(),
-		"queue_len":      len(s.queue),
-		"queue_cap":      cap(s.queue),
+		"queue_len":      queued,
+		"queue_cap":      s.cfg.QueueDepth,
 		"streams_open":   streams,
+		"tenants":        tenants,
 		"draining":       s.draining.Load(),
 	}
 }
@@ -445,16 +575,23 @@ func writeError(w http.ResponseWriter, status int, e *WireError) {
 }
 
 // writeAdmissionError maps admit() failures onto HTTP load-shedding
-// semantics: 429 + Retry-After for a full queue, 503 while draining.
+// semantics: 429 + Retry-After for a full queue or exhausted tenant quota,
+// 503 while draining.
 func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, errQueueFull):
+	retryAfter := func() {
 		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	switch {
+	case errors.Is(err, errQueueFull):
+		retryAfter()
 		writeError(w, http.StatusTooManyRequests, &WireError{Kind: KindQueueFull, Message: err.Error()})
+	case errors.Is(err, errTenantQuota):
+		retryAfter()
+		writeError(w, http.StatusTooManyRequests, &WireError{Kind: KindTenantQuota, Message: err.Error()})
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, &WireError{Kind: KindDraining, Message: err.Error()})
 	default:

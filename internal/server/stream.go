@@ -180,6 +180,8 @@ func (s *Server) handleStreamDecompose(w http.ResponseWriter, r *http.Request) {
 		func(ctx context.Context) (*core.Decomposition, error) {
 			return sess.st.DecomposeContext(ctx)
 		})
+	j.tenant = requestTenant(r)
+	j.lane = parseLane(r.Header.Get(HeaderPriority), laneBatch)
 	if err := s.admit(j); err != nil {
 		j.cancel()
 		s.writeAdmissionError(w, err)
@@ -206,9 +208,12 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	digest := sess.digest
 	sess.mu.Unlock()
+	tenant := requestTenant(r)
 	key := fmt.Sprintf("stream:%s|range:%d-%d|%s", digest, req.T0, req.T1, sess.cfg.Canonical())
 	if dec, ok := s.cache.Get(key); ok {
 		j := s.newJob(key, 0, false, nil)
+		j.tenant = tenant
+		j.lane = laneInteractive
 		j.col = sess.col
 		j.tracer = sess.tr
 		j.state = StateDone
@@ -219,6 +224,9 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 		s.register(j)
 		s.submitted.Add(1)
 		s.completed.Add(1)
+		s.schedMu.Lock()
+		s.sched.cacheHitLocked(tenant)
+		s.schedMu.Unlock()
 		s.respondSubmitted(w, j, http.StatusOK)
 		return
 	}
@@ -231,6 +239,10 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 			}
 			return sess.st.DecomposeRangeContext(ctx, t0, t1)
 		})
+	j.tenant = tenant
+	// Range queries are the interactive workload: they dispatch ahead of
+	// every queued batch solve unless the client explicitly demotes them.
+	j.lane = parseLane(r.Header.Get(HeaderPriority), laneInteractive)
 	if err := s.admit(j); err != nil {
 		j.cancel()
 		s.writeAdmissionError(w, err)

@@ -14,6 +14,15 @@ import (
 // request is one self-contained document; results travel as .dtd binary
 // (GET /v1/jobs/{id}/result) or as Decomposition JSON with ?format=json.
 
+// Admission-identity headers, honoured on every submission endpoint and set
+// by repro.Client. A missing X-Tenant means tenant "default"; a missing
+// X-Priority keeps the endpoint's default lane (batch for decompose and
+// full-stream solves, interactive for range queries).
+const (
+	HeaderTenant   = "X-Tenant"
+	HeaderPriority = "X-Priority"
+)
+
 // DecomposeRequest is the body of POST /v1/decompose.
 type DecomposeRequest struct {
 	// Config is the serializable decomposition request (see core.Config);
@@ -58,6 +67,10 @@ type SubmitResponse struct {
 	JobID    string `json:"job_id"`
 	State    string `json:"state"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Coalesced reports that the submission attached to an identical job
+	// already queued or running: this record finishes when that job does,
+	// with a bit-identical result, and no additional execution happens.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// StatusURL and ResultURL are the polling endpoints for this job.
 	StatusURL string `json:"status_url"`
 	ResultURL string `json:"result_url"`
@@ -74,10 +87,16 @@ type StreamResponse struct {
 
 // JobStatus is the job record served at GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID       string     `json:"id"`
-	State    string     `json:"state"`
-	CacheHit bool       `json:"cache_hit,omitempty"`
-	Error    *WireError `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Tenant and Priority echo the admission identity the job was
+	// submitted under (X-Tenant / X-Priority headers; "default" and the
+	// endpoint's default lane when absent).
+	Tenant    string     `json:"tenant,omitempty"`
+	Priority  string     `json:"priority,omitempty"`
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Error     *WireError `json:"error,omitempty"`
 
 	// CreatedMs/StartedMs/FinishedMs are Unix epoch milliseconds; zero
 	// means "not yet".
@@ -133,6 +152,7 @@ const (
 	KindCancelled      = "cancelled"
 	KindInjected       = "injected_fault"
 	KindQueueFull      = "queue_full"
+	KindTenantQuota    = "tenant_quota"
 	KindDraining       = "draining"
 	KindNotFound       = "not_found"
 	KindConflict       = "conflict"

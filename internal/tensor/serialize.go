@@ -11,7 +11,8 @@ import (
 	"repro/internal/dterr"
 )
 
-// The .ten binary format:
+// The .ten binary format (see docs/FORMATS.md for the cross-format
+// reference):
 //
 //	magic   [4]byte  "TEN1"
 //	order   uint32   number of modes (little endian)

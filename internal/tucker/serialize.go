@@ -13,7 +13,8 @@ import (
 	"repro/internal/tensor"
 )
 
-// The .tkm binary format of a Tucker model:
+// The .tkm binary format of a Tucker model (see docs/FORMATS.md for the
+// cross-format reference):
 //
 //	magic   [4]byte  "TKM1"
 //	order   uint32   number of modes (little endian)
