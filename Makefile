@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults bench-json bench-compare serve load load-compare
+.PHONY: build test verify bench overhead faults bench-json bench-compare serve load load-compare autotune
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,18 @@ verify:
 	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
 	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
+	$(GO) test -race ./internal/kernelsel/ ./internal/mat/ -count 1
+	$(GO) run ./cmd/dtucker -autotune .autotune-smoke.json -autotune-quick >/dev/null && rm -f .autotune-smoke.json
 	$(MAKE) load
+
+# autotune calibrates the kernel-selection cost model and matmul block
+# sizes on THIS machine, writing the profile to KERNEL_PROFILE (then pass
+# it to dtucker/dtuckerd via -kernel-profile). Takes a minute or two: it
+# times real SVD and matmul kernels at representative sizes. See README
+# "Kernel selection".
+KERNEL_PROFILE ?= kernelprofile.json
+autotune:
+	$(GO) run ./cmd/dtucker -autotune $(KERNEL_PROFILE)
 
 # serve runs the decomposition daemon on :7171 (override with ADDR=...).
 # See README "Serving" for the endpoint walkthrough and drain semantics.

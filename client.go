@@ -233,11 +233,28 @@ func decodeAPIError(resp *http.Response) error {
 		apiErr.Message = resp.Status
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		apiErr.RetryAfter = parseRetryAfter(ra, time.Now)
 	}
 	return apiErr
+}
+
+// parseRetryAfter parses a Retry-After header value in either RFC 9110
+// form: delta-seconds, or an HTTP-date (proxies and load balancers commonly
+// rewrite the former into the latter). Negative delays — past dates, or a
+// server sending a negative delta — clamp to zero, meaning "retry now";
+// unparseable values return zero so the caller falls back to its default
+// backoff. The clock is injected for testability.
+func parseRetryAfter(v string, now func() time.Time) time.Duration {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		return max(t.Sub(now()), 0)
+	}
+	return 0
 }
 
 // Submit posts one decomposition job and returns its receipt without

@@ -6,6 +6,31 @@ import (
 	"time"
 )
 
+// TestParseRetryAfter pins both RFC 9110 forms of the header against a
+// fixed clock: delta-seconds, HTTP-date (common behind proxies), past
+// dates, negative deltas, and garbage.
+func TestParseRetryAfter(t *testing.T) {
+	now := func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0}, // negative delta: retry now, not "never"
+		{"Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second},
+		{"Sat, 08 Aug 2026 11:59:00 GMT", 0}, // past date clamps to zero
+		{"Saturday, 08-Aug-26 12:01:00 GMT", time.Minute}, // RFC 850 form
+		{"not-a-date", 0},
+		{"1.5", 0}, // fractional seconds are not in the grammar
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
 // TestRetryPolicyWait pins the backoff arithmetic: Retry-After hints win
 // over the exponential schedule, everything is capped at MaxDelay, and the
 // whole computation is deterministic through the Rand seam.

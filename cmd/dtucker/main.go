@@ -8,12 +8,22 @@
 //	dtucker -in x.ten -ranks 10,10,10 [-out prefix] [-tol 1e-4]
 //	        [-maxiters 100] [-slicerank 0] [-workers 1]
 //	        [-seed 0] [-exact-error] [-timeout 0]
+//	        [-kernel randsvd|exact|gram|auto] [-kernel-profile profile.json]
 //	        [-metrics] [-metrics-json file] [-trace] [-debug-addr host:port]
 //	        [-trace-out spans.json] [-trace-format chrome|jsonl]
 //	        [-method d-tucker|tucker-als|hosvd|mach|rtd|tucker-ts|tucker-ttmts]
+//	dtucker -autotune profile.json [-autotune-quick]
 //
 // With -method other than d-tucker the same tensor is decomposed by the
 // selected baseline, making the binary a one-stop comparison tool.
+//
+// Kernel selection: -kernel picks the slice-compression kernel of the
+// approximation phase; "auto" chooses per slice from the cost model in the
+// -kernel-profile file (or built-in defaults). -autotune calibrates that
+// cost model and the blocked-matmul tile sizes on this machine with a
+// one-time micro-benchmark and writes the versioned profile JSON; selection
+// at decompose time is a pure function of shape, rank, and profile, so
+// results stay deterministic. See the README's "Kernel selection" section.
 //
 // Cancellation: Ctrl-C (SIGINT), SIGTERM, or an expired -timeout stop a
 // d-tucker run cooperatively at the next slice or sweep boundary, with all
@@ -49,6 +59,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dterr"
+	"repro/internal/kernelsel"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
@@ -75,6 +86,11 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the decomposition after this duration (0 = no limit); exits with code 3 like Ctrl-C")
 		method     = flag.String("method", bench.DTucker, "method: "+strings.Join(bench.Methods, ", "))
 
+		kernel        = flag.String("kernel", "", "slice-compression kernel: randsvd (default), exact, gram, or auto (per-slice cost-model selection)")
+		kernelProfile = flag.String("kernel-profile", "", "calibrated kernelsel profile JSON (from -autotune); drives -kernel auto and the matmul block sizes")
+		autotune      = flag.String("autotune", "", "calibrate the kernel cost model and matmul block sizes, write the profile JSON to this path, and exit")
+		autotuneQuick = flag.Bool("autotune-quick", false, "with -autotune: calibrate on toy sizes (fast smoke profile, not representative)")
+
 		showMetrics = flag.Bool("metrics", false, "print a per-phase metrics table (wall time, SVD/flop counts, allocation)")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics report (phases + fit trajectory) as JSON to this file (\"-\" for stdout)")
 		traceFlag   = flag.Bool("trace", false, "stream progress (phase transitions, per-sweep fits) to stderr")
@@ -83,9 +99,33 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
+	if *autotune != "" {
+		p, err := kernelsel.Calibrate(kernelsel.CalibrateOptions{
+			Quick: *autotuneQuick,
+			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := kernelsel.Save(*autotune, p); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote kernel profile %s (fingerprint %s, blocks %d×%d)\n",
+			*autotune, p.Fingerprint(), p.BlockK, p.BlockN)
+		return
+	}
 	if *in == "" || *ranksArg == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var profile *kernelsel.Profile
+	if *kernelProfile != "" {
+		var err error
+		profile, err = kernelsel.Load(*kernelProfile)
+		if err != nil {
+			fatal(err)
+		}
+		profile.Apply() // install the autotuned matmul block sizes
 	}
 	ranks, err := parseRanks(*ranksArg)
 	if err != nil {
@@ -164,7 +204,7 @@ func main() {
 		}
 		runBaseline(x, *method, ranks, *tol, *maxIters, *seed, col != nil)
 	} else {
-		runErr = runDTucker(ctx, x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *exactError, *out)
+		runErr = runDTucker(ctx, x, ranks, col, *sliceRank, *tol, *maxIters, *workers, *seed, *kernel, profile, *exactError, *out)
 	}
 
 	// Export the span trace even when the run failed or was interrupted —
@@ -194,18 +234,20 @@ func main() {
 	}
 }
 
-func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, exactError bool, out string) error {
+func runDTucker(ctx context.Context, x *tensor.Dense, ranks []int, col *metrics.Collector, sliceRank int, tol float64, maxIters, workers int, seed int64, kernel string, profile *kernelsel.Profile, exactError bool, out string) error {
 	dec, err := core.Decompose(x, core.Options{
 		Config: core.Config{
-			Ranks:     ranks,
-			SliceRank: sliceRank,
-			Tol:       tol,
-			MaxIters:  maxIters,
-			Seed:      seed,
+			Ranks:       ranks,
+			SliceRank:   sliceRank,
+			Tol:         tol,
+			MaxIters:    maxIters,
+			Seed:        seed,
+			SliceKernel: kernel,
 		},
 		Context: ctx,
 		Workers: workers,
 		Metrics: col,
+		Profile: profile,
 	})
 	if err != nil {
 		return err

@@ -19,12 +19,19 @@
 // submissions coalesce onto one execution unless -coalesce=false. See
 // docs/OPERATIONS.md for the full operator guide.
 //
+// Kernel selection: -kernel-profile loads a calibrated cost-model profile
+// (see `dtucker -autotune`) so requests with slice_kernel "auto" pick the
+// cheapest SVD kernel per slice; -autotune calibrates one at startup
+// instead. Results for auto requests are cached under the profile's
+// fingerprint, so a profile change never serves stale entries.
+//
 // Usage:
 //
 //	dtuckerd [-addr :7171] [-queue 16] [-runners 1] [-workers N]
 //	         [-cache 64] [-drain-timeout 30s] [-quiet]
 //	         [-tenant-quota 0] [-tenant-weights a=4,b=1]
 //	         [-tenant-weight-default 1] [-coalesce=true]
+//	         [-kernel-profile prof.json] [-autotune]
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/kernelsel"
 	"repro/internal/server"
 )
 
@@ -89,6 +97,9 @@ func run() int {
 		tenantWeights = flag.String("tenant-weights", "", "per-tenant WFQ weights as name=weight,... (e.g. prod=4,adhoc=1)")
 		defaultWeight = flag.Int("tenant-weight-default", 1, "WFQ weight for tenants not listed in -tenant-weights")
 		coalesce      = flag.Bool("coalesce", true, "coalesce identical in-flight submissions onto one execution")
+
+		kernelProfile = flag.String("kernel-profile", "", "calibrated kernelsel profile JSON; requests with slice_kernel \"auto\" select against it, and it sets the matmul block sizes")
+		autotune      = flag.Bool("autotune", false, "calibrate a kernel profile at startup instead of loading one; with -kernel-profile, also write it there")
 	)
 	flag.Parse()
 
@@ -104,6 +115,33 @@ func run() int {
 		return 2
 	}
 
+	var profile *kernelsel.Profile
+	switch {
+	case *autotune:
+		profile, err = kernelsel.Calibrate(kernelsel.CalibrateOptions{Logf: logf})
+		if err != nil {
+			logger.Printf("-autotune: %v", err)
+			return 1
+		}
+		if *kernelProfile != "" {
+			if err := kernelsel.Save(*kernelProfile, profile); err != nil {
+				logger.Printf("-autotune: %v", err)
+				return 1
+			}
+			logf("wrote kernel profile %s", *kernelProfile)
+		}
+	case *kernelProfile != "":
+		profile, err = kernelsel.Load(*kernelProfile)
+		if err != nil {
+			logger.Printf("-kernel-profile: %v", err)
+			return 2
+		}
+	}
+	if profile != nil {
+		profile.Apply() // install the autotuned matmul block sizes
+		logf("kernel profile %s active (blocks %d×%d)", profile.Fingerprint(), profile.BlockK, profile.BlockN)
+	}
+
 	srv := server.New(server.Config{
 		QueueDepth:          *queue,
 		Runners:             *runners,
@@ -114,6 +152,7 @@ func run() int {
 		TenantWeights:       weights,
 		DefaultTenantWeight: *defaultWeight,
 		DisableCoalesce:     !*coalesce,
+		KernelProfile:       profile,
 		Logf:                logf,
 	})
 

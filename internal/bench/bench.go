@@ -18,6 +18,7 @@ import (
 	"repro/internal/baselines/tuckerals"
 	"repro/internal/baselines/tuckersketch"
 	"repro/internal/core"
+	"repro/internal/kernelsel"
 	"repro/internal/metrics"
 	"repro/internal/tucker"
 	"repro/internal/workload"
@@ -57,6 +58,13 @@ type Spec struct {
 	// paper's single-thread protocol). Baselines ignore it: they have no
 	// pool-aware entry points, which keeps method comparisons honest.
 	Workers int
+	// SliceKernel selects D-Tucker's approximation-phase SVD kernel
+	// ("randsvd", "exact", "gram", or "auto"; "" → randsvd). Baselines
+	// ignore it.
+	SliceKernel string
+	// Profile is the calibrated cost model consulted when SliceKernel is
+	// "auto" (nil → kernelsel.Default()).
+	Profile *kernelsel.Profile
 	// Metrics enables per-phase and kernel-level instrumentation for this
 	// run (see Result's phase/counter fields). Collection costs < 2% on
 	// the quickstart workload (EXPERIMENTS.md, "Measurement methodology");
@@ -141,12 +149,14 @@ func Run(method string, spec Spec) (Result, error) {
 	case DTucker:
 		dec, err := core.Decompose(x, core.Options{
 			Config: core.Config{
-				Ranks:    spec.Ranks,
-				Tol:      spec.Tol,
-				MaxIters: spec.MaxIters,
-				Seed:     spec.Seed,
+				Ranks:       spec.Ranks,
+				Tol:         spec.Tol,
+				MaxIters:    spec.MaxIters,
+				Seed:        spec.Seed,
+				SliceKernel: spec.SliceKernel,
 			},
 			Workers: spec.Workers,
+			Profile: spec.Profile,
 		})
 		if err != nil {
 			return res, err

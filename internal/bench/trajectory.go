@@ -203,10 +203,23 @@ func LoadTrajectory(path string) (Trajectory, error) {
 	return tr, nil
 }
 
+// gatedHistograms names the latency histograms whose total time
+// CompareTrajectories treats as a regression gate: the compute kernels on
+// the decomposition hot path. Serving-side histograms (queue wait, handler
+// latency) vary with load, not with the code under test, so they are
+// recorded but not gated.
+var gatedHistograms = map[string]bool{
+	"matmul":            true,
+	"slice-svd":         true,
+	"slice-svd-randsvd": true,
+	"slice-svd-exact":   true,
+	"slice-svd-gram":    true,
+}
+
 // Regression is one metric that got worse from old to new by more than the
 // allowed percentage.
 type Regression struct {
-	Metric string  // e.g. "total_seconds", "phase:iteration", "flops"
+	Metric string // e.g. "total_seconds", "phase:iteration", "flops"
 	Old    float64
 	New    float64
 	Pct    float64 // percent change, positive = worse
@@ -247,6 +260,23 @@ func CompareTrajectories(old, new Trajectory, maxPct float64) []Regression {
 	check("flops", float64(old.Counters.MatmulFlops+old.Counters.QRFlops),
 		float64(new.Counters.MatmulFlops+new.Counters.QRFlops))
 	check("iters", float64(old.Iters), float64(new.Iters))
+	// Hot-kernel histograms: total time spent in the matmul and slice-SVD
+	// kernels may not regress past maxPct either. Only the allowlisted
+	// hot-path histograms are gated — queue-wait and handler histograms are
+	// load-dependent noise — and, as with phases, a histogram present in
+	// only one trajectory is schema evolution, not regression.
+	newHists := map[string]float64{}
+	for _, h := range new.Histograms {
+		newHists[h.Name] = h.Sum.Seconds()
+	}
+	for _, h := range old.Histograms {
+		if !gatedHistograms[h.Name] {
+			continue
+		}
+		if s, ok := newHists[h.Name]; ok {
+			check("hist:"+h.Name, h.Sum.Seconds(), s)
+		}
+	}
 	// Fit regression: a drop, measured in percent of the old fit.
 	if !math.IsNaN(old.Fit) && !math.IsNaN(new.Fit) && old.Fit > 0 {
 		pct := (old.Fit - new.Fit) / old.Fit * 100

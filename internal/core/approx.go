@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dterr"
 	"repro/internal/faults"
+	"repro/internal/kernelsel"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -207,16 +208,27 @@ func compressSlices(x *tensor.Dense, perm []int, r int, keyBase int64, opts Opti
 			return fmt.Errorf("core: compressing slice %d: %w", l, err)
 		}
 		t0 := metrics.HistStart()
-		res, fell, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, keyBase, opts)
+		res, kern, fell, err := sliceSVD(x.PermutedFrontalSlice(perm, l), r, l, keyBase, opts)
 		metrics.ObserveSince(metrics.HistSliceSVD, t0)
 		if err != nil {
 			return fmt.Errorf("core: compressing slice %d: %w", l, err)
 		}
 		if fell {
-			opts.Metrics.Tracef("slice %d: randomized SVD broke down, dense fallback used", l)
+			opts.Metrics.Tracef("slice %d: %s kernel broke down, dense fallback used", l, kern)
 		}
 		slices[l] = SliceSVD{U: res.U, S: res.S, V: res.V}
 		metrics.CountSliceSVD()
+		switch kern {
+		case kernelsel.KernelExactSVD:
+			metrics.ObserveSince(metrics.HistSliceSVDExact, t0)
+			metrics.CountSliceKernelExact()
+		case kernelsel.KernelGramEig:
+			metrics.ObserveSince(metrics.HistSliceSVDGram, t0)
+			metrics.CountSliceKernelGram()
+		default:
+			metrics.ObserveSince(metrics.HistSliceSVDRand, t0)
+			metrics.CountSliceKernelRand()
+		}
 		return nil
 	})
 	if err != nil {
@@ -225,26 +237,55 @@ func compressSlices(x *tensor.Dense, perm []int, r int, keyBase int64, opts Opti
 	return slices, nil
 }
 
-// sliceSVD compresses one slice to rank r, with either the randomized
-// (default) or exact path, drawing randomness from a per-slice seed so the
-// result is independent of worker scheduling. The randomized path runs
-// behind the retry-then-dense-SVD recovery chain; the second return reports
-// whether the dense fallback produced the result.
-func sliceSVD(slice *mat.Dense, r, l int, keyBase int64, opts Options) (mat.SVDResult, bool, error) {
-	if opts.ExactSliceSVD {
+// sliceSVD compresses one slice to rank r with the kernel the normalized
+// config selects: a forced kernel name, or — under "auto" — the cost-model
+// choice, which is a pure function of (shape, rank, profile) and therefore
+// identical across workers, runs, and processes. The randomized path draws
+// from a per-slice seed so its result is independent of worker scheduling
+// and runs behind the retry-then-dense-SVD recovery chain; the Gram path
+// falls back deterministically to the exact SVD if the eigensolver fails.
+// Returns the result, the kernel that was selected, and whether a fallback
+// produced the result.
+func sliceSVD(slice *mat.Dense, r, l int, keyBase int64, opts Options) (mat.SVDResult, kernelsel.Kernel, bool, error) {
+	kern := kernelsel.KernelRandSVD
+	switch opts.SliceKernel {
+	case "exact":
+		kern = kernelsel.KernelExactSVD
+	case "gram":
+		kern = kernelsel.KernelGramEig
+	case "auto":
+		m, n := slice.Dims()
+		kern = opts.Profile.Choose(m, n, r, opts.Oversampling, opts.PowerIters)
+	}
+	switch kern {
+	case kernelsel.KernelExactSVD:
 		res, err := mat.SVD(slice)
 		if err != nil {
-			return mat.SVDResult{}, false, err
+			return mat.SVDResult{}, kern, false, err
 		}
-		return res.Truncate(r), false, nil
+		return res.Truncate(r), kern, false, nil
+	case kernelsel.KernelGramEig:
+		res, err := mat.GramSVD(slice, r)
+		if err == nil {
+			return res, kern, false, nil
+		}
+		// The Jacobi eigensolver failing to converge is input-determined, so
+		// this fallback fires for every worker count alike and results stay
+		// deterministic.
+		res, err = mat.SVD(slice)
+		if err != nil {
+			return mat.SVDResult{}, kern, true, err
+		}
+		return res.Truncate(r), kern, true, nil
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + int64(l)))
-	return randsvd.SVDWithFallback(slice, r, randsvd.Options{
+	res, fell, err := randsvd.SVDWithFallback(slice, r, randsvd.Options{
 		Oversampling: opts.Oversampling,
 		PowerIters:   opts.PowerIters,
 		Rng:          rng,
 		FaultKey:     keyBase + int64(l),
 	})
+	return res, kern, fell, err
 }
 
 // NumSlices returns the number of compressed slices L.

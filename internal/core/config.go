@@ -62,7 +62,26 @@ type Config struct {
 	// approximation phase with exact ones — the accuracy-versus-speed
 	// ablation of the paper's choice of randomized SVD. Exact slice SVDs
 	// cost O(I1·I2·min(I1,I2)) per slice instead of O(I1·I2·r).
+	//
+	// Deprecated: equivalent to SliceKernel "exact"; kept for wire
+	// compatibility. The two spellings normalize to the same canonical key.
 	ExactSliceSVD bool `json:"exact_slice_svd,omitempty"`
+
+	// SliceKernel selects the slice-compression kernel of the
+	// approximation phase: "randsvd" (the paper's default), "exact" (dense
+	// SVD, the accuracy ablation), "gram" (Gram-eigendecomposition, cheap
+	// for very rectangular slices), or "auto" (per-slice cost-model choice
+	// via internal/kernelsel). Empty selects "exact" when ExactSliceSVD is
+	// set and "randsvd" otherwise.
+	SliceKernel string `json:"slice_kernel,omitempty"`
+
+	// KernelProfile is the fingerprint of the kernelsel profile that "auto"
+	// selection resolves against (kernelsel.Profile.Fingerprint). It exists
+	// so the profile joins the cache key: the serving layer stamps it before
+	// hashing, and Decompose rejects a mismatch between this field and the
+	// profile actually supplied in Options. Ignored unless SliceKernel is
+	// "auto"; empty means "whatever profile the process runs with".
+	KernelProfile string `json:"kernel_profile,omitempty"`
 }
 
 // Validate checks the config's internal consistency without a tensor in
@@ -94,6 +113,16 @@ func (c Config) Validate() error {
 	if c.Leading < mat.LeadingAuto || c.Leading > mat.LeadingGram {
 		return fmt.Errorf("core: unknown LeadingMethod %d: %w", int(c.Leading), dterr.ErrInvalidInput)
 	}
+	switch c.SliceKernel {
+	case "", "auto", "randsvd", "exact", "gram":
+	default:
+		return fmt.Errorf("core: unknown SliceKernel %q (want auto, randsvd, exact, or gram): %w",
+			c.SliceKernel, dterr.ErrInvalidInput)
+	}
+	if c.ExactSliceSVD && c.SliceKernel != "" && c.SliceKernel != "exact" {
+		return fmt.Errorf("core: ExactSliceSVD conflicts with SliceKernel %q: %w",
+			c.SliceKernel, dterr.ErrInvalidInput)
+	}
 	return nil
 }
 
@@ -120,6 +149,23 @@ func (c Config) Normalized() Config {
 	if c.PowerIters == 0 {
 		c.PowerIters = 1
 	}
+	// Fold the legacy ExactSliceSVD flag and the SliceKernel string into one
+	// resolved spelling, so {ExactSliceSVD: true} and {SliceKernel: "exact"}
+	// request — and cache — the same computation.
+	if c.SliceKernel == "" {
+		if c.ExactSliceSVD {
+			c.SliceKernel = "exact"
+		} else {
+			c.SliceKernel = "randsvd"
+		}
+	}
+	c.ExactSliceSVD = c.SliceKernel == "exact"
+	// The profile fingerprint only matters for per-slice auto selection;
+	// clearing it otherwise keeps forced-kernel requests cache-compatible
+	// across processes running different profiles.
+	if c.SliceKernel != "auto" {
+		c.KernelProfile = ""
+	}
 	return c
 }
 
@@ -138,9 +184,9 @@ func (c Config) Canonical() string {
 		}
 		sb.WriteString(strconv.Itoa(r))
 	}
-	fmt.Fprintf(&sb, ";slicerank=%d;tol=%s;maxiters=%d;os=%d;pi=%d;seed=%d;leading=%d;noreorder=%t;exact=%t",
+	fmt.Fprintf(&sb, ";slicerank=%d;tol=%s;maxiters=%d;os=%d;pi=%d;seed=%d;leading=%d;noreorder=%t;kernel=%s;profile=%s",
 		n.SliceRank, strconv.FormatFloat(n.Tol, 'g', -1, 64), n.MaxIters,
-		n.Oversampling, n.PowerIters, n.Seed, int(n.Leading), n.NoReorder, n.ExactSliceSVD)
+		n.Oversampling, n.PowerIters, n.Seed, int(n.Leading), n.NoReorder, n.SliceKernel, n.KernelProfile)
 	return sb.String()
 }
 

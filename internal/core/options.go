@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/dterr"
+	"repro/internal/kernelsel"
 	"repro/internal/metrics"
 	"repro/internal/pool"
 )
@@ -81,6 +82,14 @@ type Options struct {
 	// measurable overhead to the decomposition (every hook is a nil-safe
 	// no-op). Counters are shared process-wide; see package metrics.
 	Metrics *metrics.Collector
+
+	// Profile supplies the calibrated kernelsel cost model that SliceKernel
+	// "auto" resolves against. Nil selects kernelsel.Default(). When
+	// Config.KernelProfile is non-empty it must equal this profile's
+	// fingerprint — a mismatch is an invalid-input error, because a result
+	// computed under a different profile than the one named in the cache key
+	// would poison the serving cache.
+	Profile *kernelsel.Profile
 }
 
 func (o Options) withDefaults(order int) (Options, error) {
@@ -92,6 +101,15 @@ func (o Options) withDefaults(order int) (Options, error) {
 		return o, err
 	}
 	o.Config = o.Config.Normalized()
+	if o.Profile == nil {
+		o.Profile = kernelsel.Default()
+	}
+	if o.SliceKernel == "auto" && o.KernelProfile != "" {
+		if fp := o.Profile.Fingerprint(); o.KernelProfile != fp {
+			return o, fmt.Errorf("core: config names kernel profile %s but the process runs %s: %w",
+				o.KernelProfile, fp, dterr.ErrInvalidInput)
+		}
+	}
 	if o.Workers < 1 {
 		o.Workers = 1
 	}

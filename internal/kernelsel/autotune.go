@@ -1,0 +1,181 @@
+package kernelsel
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/randsvd"
+)
+
+// CalibrateOptions configures the one-time micro-benchmark autotuner.
+type CalibrateOptions struct {
+	// Seed drives the deterministic benchmark inputs (0 selects 1). The
+	// measured timings — and therefore the written coefficients — still
+	// vary with the machine; that is the point of calibrating.
+	Seed int64
+	// Quick shrinks the benchmark sizes for smoke tests: the profile is
+	// structurally identical but calibrated on toy inputs.
+	Quick bool
+	// Logf, when set, receives one line per measurement.
+	Logf func(format string, args ...any)
+}
+
+// calSize is one (slice shape, rank) micro-benchmark point.
+type calSize struct{ m, n, r int }
+
+// blockCand is one candidate (BlockK, BlockN) pair for the matmul tuning.
+type blockCand struct{ kc, nc int }
+
+// Calibrate measures the three slice-compression kernels and the blocked
+// matmul on deterministic synthetic inputs and returns a profile holding
+// the fitted cost coefficients and the fastest block sizes. This is the
+// only place the selection layer touches a clock: decompose-time selection
+// reads the written profile and stays a pure function.
+func Calibrate(o CalibrateOptions) (*Profile, error) {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sizes := []calSize{{256, 192, 16}, {192, 192, 32}, {512, 64, 16}}
+	mulM, mulK, mulN := 256, 1024, 768
+	cands := []blockCand{{64, 256}, {64, 512}, {128, 256}, {128, 512}, {128, 1024}, {256, 512}, {256, 1024}}
+	reps := 3
+	if o.Quick {
+		sizes = []calSize{{64, 48, 8}, {96, 32, 8}}
+		mulM, mulK, mulN = 64, 256, 96
+		cands = []blockCand{{32, 128}, {64, 128}, {64, 256}}
+		reps = 2
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	var randC, exactC, gramC, eigC []float64
+	for _, sz := range sizes {
+		a := mat.RandN(sz.m, sz.n, rng)
+		s := float64(min(sz.m, sz.n))
+
+		t := bestOf(reps, func() error {
+			_, err := randsvd.SVD(a, sz.r, randsvd.Options{Rng: rand.New(rand.NewSource(o.Seed))})
+			return err
+		})
+		if t >= 0 {
+			randC = append(randC, t/float64(randsvd.FlopEstimate(sz.m, sz.n, sz.r, 0, 0)))
+		}
+
+		t = bestOf(reps, func() error { _, err := mat.SVD(a); return err })
+		if t >= 0 {
+			exactC = append(exactC, t/exactFlops(sz.m, sz.n))
+		}
+
+		var g *mat.Dense
+		t = bestOf(reps, func() error { g = mat.Gram(a); return nil })
+		gramC = append(gramC, t/(float64(sz.m)*float64(sz.n)*s))
+
+		t = bestOf(reps, func() error { _, err := mat.SymEig(g); return err })
+		if t >= 0 {
+			eigC = append(eigC, t/(s*s*s))
+		}
+		logf("kernelsel: calibrated %dx%d r=%d", sz.m, sz.n, sz.r)
+	}
+
+	p := Default()
+	p.CreatedUTC = time.Now().UTC().Format(time.RFC3339)
+	p.GoVersion = runtime.Version()
+	p.GOOS = runtime.GOOS
+	p.GOARCH = runtime.GOARCH
+	p.NumCPU = runtime.NumCPU()
+	// Keep the built-in coefficient when a kernel produced no clean
+	// measurement (it cannot happen on finite random input, but a profile
+	// must never come out unusable).
+	if v, ok := median(randC); ok {
+		p.RandSVDNsPerFlop = v
+	}
+	if v, ok := median(exactC); ok {
+		p.ExactSVDNsPerFlop = v
+	}
+	if v, ok := median(gramC); ok {
+		p.GramNsPerFlop = v
+	}
+	if v, ok := median(eigC); ok {
+		p.EigNsPerN3 = v
+	}
+
+	p.BlockK, p.BlockN = tuneBlocks(mulM, mulK, mulN, cands, rng, logf)
+	logf("kernelsel: coefficients rand=%.3g exact=%.3g gram=%.3g eig=%.3g, blocks %dx%d",
+		p.RandSVDNsPerFlop, p.ExactSVDNsPerFlop, p.GramNsPerFlop, p.EigNsPerN3, p.BlockK, p.BlockN)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// tuneBlocks times the accumulation matmul kernel under each candidate
+// block pair and returns the fastest (first candidate wins ties). The
+// process-wide block setting is restored before returning.
+func tuneBlocks(m, k, n int, cands []blockCand, rng *rand.Rand, logf func(string, ...any)) (int, int) {
+	prevK, prevN := mat.BlockSizes()
+	defer mat.SetBlockSizes(prevK, prevN)
+	a := mat.RandN(m, k, rng)
+	b := mat.RandN(k, n, rng)
+	dst := mat.New(m, n)
+	bestK, bestN, bestT := cands[0].kc, cands[0].nc, 0.0
+	for i, c := range cands {
+		mat.SetBlockSizes(c.kc, c.nc)
+		t := bestOf(2, func() error {
+			dst.Zero()
+			mat.MulAddInto(dst, a, b)
+			return nil
+		})
+		logf("kernelsel: blocks %dx%d: %.2fms", c.kc, c.nc, t/1e6)
+		if i == 0 || t < bestT {
+			bestK, bestN, bestT = c.kc, c.nc, t
+		}
+	}
+	return bestK, bestN
+}
+
+// exactFlops is the cost model's dense-SVD term (see Profile.CostNanos).
+func exactFlops(m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	s := fn
+	if fm < fn {
+		s = fm
+	}
+	return 4*fm*fn*s + 8*s*s*s
+}
+
+// bestOf returns the fastest of reps timed runs in nanoseconds, or -1 if
+// fn ever failed.
+func bestOf(reps int, fn func() error) float64 {
+	best := -1.0
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return -1
+		}
+		if d := float64(time.Since(t0)); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// median returns the middle value of a sorted copy of xs (mean of the two
+// middles for even lengths) and whether xs was non-empty.
+func median(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid], true
+	}
+	return (s[mid-1] + s[mid]) / 2, true
+}

@@ -1,0 +1,152 @@
+package kernelsel
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	p := Default()
+	p.RandSVDNsPerFlop = 0.42
+	p.BlockK, p.BlockN = 64, 256
+	if err := Save(path, p); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if *got != *p {
+		t.Fatalf("round-trip mismatch: %+v != %+v", got, p)
+	}
+	if got.Fingerprint() != p.Fingerprint() {
+		t.Fatalf("fingerprint changed across round-trip")
+	}
+}
+
+func TestLoadRejectsBadProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"wrong-schema": `{"schema": 99, "randsvd_ns_per_flop": 1, "exact_svd_ns_per_flop": 1, "gram_ns_per_flop": 1, "eig_ns_per_n3": 1}`,
+		"zero-coeff":   `{"schema": 1, "randsvd_ns_per_flop": 0, "exact_svd_ns_per_flop": 1, "gram_ns_per_flop": 1, "eig_ns_per_n3": 1}`,
+		"neg-block":    `{"schema": 1, "randsvd_ns_per_flop": 1, "exact_svd_ns_per_flop": 1, "gram_ns_per_flop": 1, "eig_ns_per_n3": 1, "block_k": -1}`,
+		"not-json":     `schema: 1`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("Load(%s) accepted a bad profile", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of a missing file succeeded")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Default()
+	fp := base.Fingerprint()
+	if fp != Default().Fingerprint() {
+		t.Fatal("fingerprint is not stable for identical profiles")
+	}
+
+	coeff := Default()
+	coeff.ExactSVDNsPerFlop *= 2
+	if coeff.Fingerprint() == fp {
+		t.Error("changing a cost coefficient did not change the fingerprint")
+	}
+
+	// Block sizes and environment records never change results, so they
+	// must not change the fingerprint (re-tuning blocks must not invalidate
+	// the serving cache).
+	blocks := Default()
+	blocks.BlockK, blocks.BlockN = 64, 256
+	blocks.CreatedUTC = "2026-08-08T00:00:00Z"
+	blocks.GOARCH = "riscv64"
+	blocks.NumCPU = 128
+	if blocks.Fingerprint() != fp {
+		t.Error("block sizes or environment records leaked into the fingerprint")
+	}
+}
+
+func TestChooseDeterministicAndSane(t *testing.T) {
+	p := Default()
+	// Purity: same inputs, same answer, many times over.
+	for i := 0; i < 100; i++ {
+		if p.Choose(512, 512, 8, 5, 1) != p.Choose(512, 512, 8, 5, 1) {
+			t.Fatal("Choose is not deterministic")
+		}
+	}
+	// Low rank on a big slice: randomized SVD's O(mnr) must beat both
+	// O(mns) dense routes.
+	if k := p.Choose(2048, 2048, 4, 5, 1); k != KernelRandSVD {
+		t.Errorf("Choose(2048,2048,4) = %v, want randsvd", k)
+	}
+	// Rank equal to the small dimension: sketching saves nothing, and on a
+	// very rectangular slice the Gram route halves the big-dimension work.
+	if k := p.Choose(4096, 32, 32, 5, 1); k != KernelGramEig {
+		t.Errorf("Choose(4096,32,32) = %v, want gram", k)
+	}
+	// A profile with a prohibitive eig constant flips the same shape to the
+	// exact kernel — the whole point of calibrating per machine.
+	slow := Default()
+	slow.EigNsPerN3 = 1e9
+	if k := slow.Choose(4096, 32, 32, 5, 1); k != KernelExactSVD {
+		t.Errorf("Choose with slow eig = %v, want exact", k)
+	}
+	if got := KernelRandSVD.String() + KernelExactSVD.String() + KernelGramEig.String(); got != "randsvd"+"exact"+"gram" {
+		t.Errorf("kernel names = %q", got)
+	}
+}
+
+// TestCalibrateQuick is the autotune determinism smoke test wired into make
+// verify: a quick calibration must produce a valid, saveable profile whose
+// schema round-trips, with sane block sizes.
+func TestCalibrateQuick(t *testing.T) {
+	var lines []string
+	p, err := Calibrate(CalibrateOptions{Quick: true, Logf: func(f string, a ...any) {
+		lines = append(lines, f)
+	}})
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("calibrated profile invalid: %v", err)
+	}
+	if p.BlockK <= 0 || p.BlockN <= 0 {
+		t.Fatalf("calibration left block sizes unset: %d×%d", p.BlockK, p.BlockN)
+	}
+	if p.CreatedUTC == "" || p.GOARCH == "" {
+		t.Error("calibration did not stamp environment metadata")
+	}
+	if len(lines) == 0 {
+		t.Error("Logf never called")
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := Save(path, p); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Fingerprint() != p.Fingerprint() {
+		t.Error("fingerprint changed across save/load")
+	}
+	if got.Schema != Schema {
+		t.Errorf("schema = %d, want %d", got.Schema, Schema)
+	}
+	// Fingerprints are coefficients only, so the JSON must contain the
+	// block sizes separately (they are applied, not fingerprinted).
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "block_k") {
+		t.Error("saved profile is missing block sizes")
+	}
+}

@@ -1,0 +1,70 @@
+package mat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache blocking for the accumulation matmul kernel.
+//
+// mulAddRows walks b once per output row; when b outgrows the cache, every
+// row re-reads it from memory. The blocked kernel tiles the k (inner) and j
+// (output-column) dimensions so one BlockK×BlockN panel of b stays resident
+// across all rows of the worker's range, and — when the j dimension is
+// split — packs the panel into a contiguous tile recycled through a pool,
+// so the inner axpy streams one dense buffer instead of strided slices of b.
+//
+// Neither the block sizes nor the packing change any arithmetic: each
+// output element accumulates its k-terms in the same ascending order as the
+// plain kernel, so blocked results are bit-identical to unblocked ones —
+// and, because the row split is untouched, bit-identical for every worker
+// count. That is what lets the sizes be autotuned (internal/kernelsel)
+// without joining any cache key.
+
+const (
+	// defaultBlockK and defaultBlockN are the compiled-in tile: a
+	// 128×512 float64 panel is 512 KiB, sized for a typical L2.
+	defaultBlockK = 128
+	defaultBlockN = 512
+	// minBlockDim keeps degenerate settings from turning the kernel into
+	// per-element bookkeeping.
+	minBlockDim = 8
+	// maxBlockDim bounds the packed-tile size (maxBlockDim² floats = 8 MiB).
+	maxBlockDim = 1 << 10
+	// minPackRows is the row-range size below which packing cannot
+	// amortize its copy and the kernel reads b in place.
+	minPackRows = 8
+)
+
+// blockCfg packs the current (BlockK, BlockN) pair into one atomic word so
+// concurrent kernels always read a consistent pair.
+var blockCfg atomic.Uint64
+
+func init() { blockCfg.Store(uint64(defaultBlockK)<<32 | uint64(defaultBlockN)) }
+
+// SetBlockSizes installs process-wide cache-block sizes for the
+// accumulation matmul kernel, returning the previous pair. Values are
+// clamped to [8, 1024]. Block sizes affect timing only — results are
+// bit-identical for every setting — so a process-global knob is sound even
+// with concurrent decompositions. Callers normally set this once at startup
+// from an autotuned kernelsel profile.
+func SetBlockSizes(kc, nc int) (prevK, prevN int) {
+	kc = min(max(kc, minBlockDim), maxBlockDim)
+	nc = min(max(nc, minBlockDim), maxBlockDim)
+	old := blockCfg.Swap(uint64(kc)<<32 | uint64(nc))
+	return int(old >> 32), int(old & 0xffffffff)
+}
+
+// BlockSizes returns the current cache-block sizes.
+func BlockSizes() (kc, nc int) {
+	v := blockCfg.Load()
+	return int(v >> 32), int(v & 0xffffffff)
+}
+
+// tile is a packed b-panel buffer. Tiles are recycled through tilePool so
+// steady-state blocked multiplies reuse warm buffers instead of allocating
+// per panel; the indirection through a struct pointer keeps Put itself
+// allocation-free.
+type tile struct{ buf []float64 }
+
+var tilePool = sync.Pool{New: func() any { return new(tile) }}

@@ -1,0 +1,73 @@
+package mat
+
+import "math"
+
+// GramSVD computes a rank-k truncated SVD of a via the Gram route: form the
+// smaller of AᵀA or AAᵀ, eigendecompose it, and recover the long factor by
+// one multiplication. For very rectangular inputs this does roughly half the
+// work of the dense SVD, at the price of squaring the condition number —
+// accurate for dominant singular triples, which is exactly what slice
+// compression needs. Eigenvalues that are non-positive (or whose recovered
+// singular vector collapses under cancellation) are replaced by zero
+// singular values with orthonormal-completion vectors, so U and V are
+// column-orthonormal even for rank-deficient input.
+func GramSVD(a *Dense, k int) (SVDResult, error) {
+	m, n := a.Dims()
+	s := m
+	if n < s {
+		s = n
+	}
+	if k > s {
+		k = s
+	}
+	if k < 1 {
+		k = 1
+	}
+	if n <= m {
+		// Tall (or square): eigen of AᵀA gives V and σ²; U = A·V·Σ⁻¹.
+		eig, err := SymEig(Gram(a))
+		if err != nil {
+			return SVDResult{}, err
+		}
+		v := eig.Vectors.Slice(0, n, 0, k)
+		u := Mul(a, v) // m×k, column j has norm σ_j
+		sig := scaleToUnitColumns(u, eig.Values[:k])
+		return SVDResult{U: u, S: sig, V: v}, nil
+	}
+	// Wide: eigen of AAᵀ gives U; V = AᵀU·Σ⁻¹.
+	eig, err := SymEig(MulTB(a, a))
+	if err != nil {
+		return SVDResult{}, err
+	}
+	u := eig.Vectors.Slice(0, m, 0, k)
+	v := MulTA(a, u) // n×k, column j has norm σ_j
+	sig := scaleToUnitColumns(v, eig.Values[:k])
+	return SVDResult{U: u, S: sig, V: v}, nil
+}
+
+// scaleToUnitColumns normalizes column j of x by σ_j = sqrt(max(λ_j, 0))
+// and returns the singular values. Columns whose eigenvalue is non-positive
+// or whose normalized norm collapsed under cancellation are rebuilt by
+// orthonormal completion with σ_j = 0.
+func scaleToUnitColumns(x *Dense, lambda []float64) []float64 {
+	rows, cols := x.Dims()
+	sig := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		if lambda[j] <= 0 {
+			completeOrthonormalColumn(x, j)
+			continue
+		}
+		sig[j] = math.Sqrt(lambda[j])
+		inv := 1 / sig[j]
+		norm := 0.0
+		for i := 0; i < rows; i++ {
+			x.data[i*cols+j] *= inv
+			norm += x.data[i*cols+j] * x.data[i*cols+j]
+		}
+		if norm < 0.5 {
+			sig[j] = 0
+			completeOrthonormalColumn(x, j)
+		}
+	}
+	return sig
+}

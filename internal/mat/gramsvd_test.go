@@ -1,0 +1,143 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkTruncatedSVD verifies res is a valid rank-k decomposition of a:
+// column-orthonormal factors, non-negative non-increasing singular values,
+// and U·Σ·Vᵀ matching the rank-k truncation from the dense SVD to tol.
+func checkTruncatedSVD(t *testing.T, a *Dense, res SVDResult, k int, tol float64) {
+	t.Helper()
+	m, n := a.Dims()
+	if res.U.Rows() != m || res.U.Cols() != k || res.V.Rows() != n || res.V.Cols() != k || len(res.S) != k {
+		t.Fatalf("shapes: U %dx%d, V %dx%d, |S|=%d for %dx%d input at k=%d",
+			res.U.Rows(), res.U.Cols(), res.V.Rows(), res.V.Cols(), len(res.S), m, n, k)
+	}
+	for j := 0; j < k; j++ {
+		if res.S[j] < 0 {
+			t.Fatalf("negative singular value S[%d] = %v", j, res.S[j])
+		}
+		if j > 0 && res.S[j] > res.S[j-1]+tol {
+			t.Fatalf("singular values not sorted: S[%d]=%v > S[%d]=%v", j, res.S[j], j-1, res.S[j-1])
+		}
+	}
+	for name, f := range map[string]*Dense{"U": res.U, "V": res.V} {
+		g := Gram(f)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(g.At(i, j)-want) > tol {
+					t.Fatalf("%sᵀ%s (%d,%d) = %v, want %v", name, name, i, j, g.At(i, j), want)
+				}
+			}
+		}
+	}
+	// Compare the reconstruction against the exact truncated SVD.
+	exact, err := SVD(a)
+	if err != nil {
+		t.Fatalf("reference SVD: %v", err)
+	}
+	ref := exact.Truncate(k)
+	rec := reconstruct(res)
+	refRec := reconstruct(ref)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(rec.At(i, j)-refRec.At(i, j)) > tol {
+				t.Fatalf("reconstruction (%d,%d) = %v, want %v", i, j, rec.At(i, j), refRec.At(i, j))
+			}
+		}
+	}
+}
+
+func reconstruct(r SVDResult) *Dense {
+	us := New(r.U.Rows(), len(r.S))
+	for i := 0; i < r.U.Rows(); i++ {
+		for j := range r.S {
+			us.Set(i, j, r.U.At(i, j)*r.S[j])
+		}
+	}
+	vt := New(len(r.S), r.V.Rows())
+	for i := range r.S {
+		for j := 0; j < r.V.Rows(); j++ {
+			vt.Set(i, j, r.V.At(j, i))
+		}
+	}
+	return Mul(us, vt)
+}
+
+func TestGramSVDMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ m, n, k int }{
+		{40, 12, 6},  // tall
+		{12, 40, 6},  // wide
+		{20, 20, 20}, // square, full rank
+		{30, 8, 8},   // k = min dim
+		{8, 30, 3},
+	}
+	for _, c := range cases {
+		a := RandN(c.m, c.n, rng)
+		res, err := GramSVD(a, c.k)
+		if err != nil {
+			t.Fatalf("GramSVD(%dx%d, %d): %v", c.m, c.n, c.k, err)
+		}
+		// Gram squares the condition number; random Gaussian matrices are
+		// well-conditioned so 1e-8 is comfortable.
+		checkTruncatedSVD(t, a, res, c.k, 1e-8)
+	}
+}
+
+func TestGramSVDRankDeficient(t *testing.T) {
+	// Rank-2 matrix, ask for rank 4: the trailing columns must come back as
+	// orthonormal completions with zero singular values.
+	rng := rand.New(rand.NewSource(9))
+	u := RandN(24, 2, rng)
+	v := RandN(10, 2, rng)
+	vt := New(2, 10)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 10; j++ {
+			vt.Set(i, j, v.At(j, i))
+		}
+	}
+	a := Mul(u, vt)
+	res, err := GramSVD(a, 4)
+	if err != nil {
+		t.Fatalf("GramSVD: %v", err)
+	}
+	for j := 2; j < 4; j++ {
+		if res.S[j] > 1e-6 {
+			t.Errorf("S[%d] = %v, want ~0 for rank-2 input", j, res.S[j])
+		}
+	}
+	for _, f := range []*Dense{res.U, res.V} {
+		g := Gram(f)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(g.At(i, j)-want) > 1e-8 {
+					t.Fatalf("factor not orthonormal at (%d,%d): %v", i, j, g.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestGramSVDClampsRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandN(10, 4, rng)
+	res, err := GramSVD(a, 99)
+	if err != nil {
+		t.Fatalf("GramSVD: %v", err)
+	}
+	if len(res.S) != 4 {
+		t.Fatalf("rank clamped to %d, want 4", len(res.S))
+	}
+}

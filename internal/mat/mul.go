@@ -2,6 +2,7 @@ package mat
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/metrics"
@@ -50,7 +51,14 @@ func effectiveWorkers(size, rows, flopsPerRow int) int {
 	w := size
 	const minFlopsPerWorker = 1 << 16
 	if w > 1 && rows > 1 && flopsPerRow > 0 {
-		maxUseful := rows * flopsPerRow / minFlopsPerWorker
+		// rows·flopsPerRow can overflow int for very large shapes, which
+		// would make maxUseful negative and silently serialize the region;
+		// an overflowing product is by definition plenty of work for every
+		// worker, so saturate at the pool size instead of multiplying.
+		maxUseful := w
+		if rows <= math.MaxInt/flopsPerRow {
+			maxUseful = rows * flopsPerRow / minFlopsPerWorker
+		}
 		if maxUseful < w {
 			w = maxUseful
 		}
@@ -145,8 +153,25 @@ func MulAddIntoP(dst, a, b *Dense, p *pool.Pool) {
 	metrics.ObserveSince(metrics.HistMatmul, t0)
 }
 
-// mulAddRows accumulates rows [lo,hi) of a·b into dst using i-k-j ordering.
+// mulAddRows accumulates rows [lo,hi) of a·b into dst. Inputs small enough
+// for b to sit in cache take the plain streaming kernel (the allocation-free
+// hot path); larger inputs take the cache-blocked kernel in blockedMulAddRows.
+// Both accumulate each output element's k-terms in the same ascending order,
+// so the result is bit-identical regardless of which path (or block size)
+// ran — see block.go.
 func mulAddRows(dst, a, b *Dense, lo, hi int) {
+	n, inner := b.cols, a.cols
+	kc, nc := BlockSizes()
+	if inner <= kc && n <= nc {
+		mulAddRowsPlain(dst, a, b, lo, hi)
+		return
+	}
+	blockedMulAddRows(dst, a, b, lo, hi, kc, nc)
+}
+
+// mulAddRowsPlain is the single-tile i-k-j kernel: the inner loop is a
+// contiguous axpy over rows of b, which the compiler vectorizes well.
+func mulAddRowsPlain(dst, a, b *Dense, lo, hi int) {
 	n, inner := b.cols, a.cols
 	for i := lo; i < hi; i++ {
 		arow := a.data[i*inner : (i+1)*inner]
@@ -160,6 +185,66 @@ func mulAddRows(dst, a, b *Dense, lo, hi int) {
 				drow[j] += av * bv
 			}
 		}
+	}
+}
+
+// blockedMulAddRows is the cache-blocked kernel: it tiles k into kc-panels
+// and j into nc-panels so one panel of b is reused across every row of the
+// range, and packs the panel into a contiguous pooled tile when the j
+// dimension is split and enough rows will amortize the copy. k-panels are
+// visited in ascending order and each (i,j) element is touched by exactly
+// one j-panel, so the accumulation order — and therefore every bit of the
+// result — matches the plain kernel.
+func blockedMulAddRows(dst, a, b *Dense, lo, hi, kc, nc int) {
+	n, inner := b.cols, a.cols
+	var t *tile
+	if n > nc && hi-lo >= minPackRows {
+		t = tilePool.Get().(*tile)
+		if cap(t.buf) < kc*nc {
+			t.buf = make([]float64, kc*nc)
+		}
+	}
+	for k0 := 0; k0 < inner; k0 += kc {
+		k1 := min(k0+kc, inner)
+		for j0 := 0; j0 < n; j0 += nc {
+			j1 := min(j0+nc, n)
+			w := j1 - j0
+			var panel []float64
+			if t != nil {
+				panel = t.buf[:(k1-k0)*w]
+				for k := k0; k < k1; k++ {
+					copy(panel[(k-k0)*w:(k-k0+1)*w], b.data[k*n+j0:k*n+j1])
+				}
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*inner+k0 : i*inner+k1]
+				drow := dst.data[i*n+j0 : i*n+j1]
+				if t != nil {
+					for kk, av := range arow {
+						if av == 0 {
+							continue
+						}
+						brow := panel[kk*w : (kk+1)*w]
+						for j, bv := range brow {
+							drow[j] += av * bv
+						}
+					}
+					continue
+				}
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b.data[(k0+kk)*n+j0 : (k0+kk)*n+j1]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	if t != nil {
+		tilePool.Put(t)
 	}
 }
 

@@ -52,6 +52,12 @@ const (
 	// submission was shed for queue capacity. A growing head age alongside
 	// sheds means the queue is saturated by slow work, not a burst.
 	HistJobShedHeadAge
+	// HistSliceSVDRand/Exact/Gram split HistSliceSVD by the compression
+	// kernel that ran, so per-kernel latency is visible when SliceKernel
+	// "auto" mixes kernels within one decomposition.
+	HistSliceSVDRand
+	HistSliceSVDExact
+	HistSliceSVDGram
 	numHistIDs
 )
 
@@ -80,6 +86,12 @@ func (h HistID) String() string {
 		return "job-coalesce-wait"
 	case HistJobShedHeadAge:
 		return "job-shed-head-age"
+	case HistSliceSVDRand:
+		return "slice-svd-randsvd"
+	case HistSliceSVDExact:
+		return "slice-svd-exact"
+	case HistSliceSVDGram:
+		return "slice-svd-gram"
 	}
 	return "hist(?)"
 }

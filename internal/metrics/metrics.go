@@ -51,6 +51,14 @@ type Counters struct {
 	// approximation phase (each is one randomized or exact SVD of an
 	// I1×I2 slice).
 	SliceSVDs int64 `json:"slice_svds"`
+	// SliceKernelRand/Exact/Gram break SliceSVDs down by the compression
+	// kernel that ran (randomized SVD, exact dense SVD, or
+	// Gram-eigendecomposition), making per-slice kernel selection
+	// observable: under SliceKernel "auto" the split shows what the cost
+	// model chose.
+	SliceKernelRand  int64 `json:"slice_kernel_randsvd"`
+	SliceKernelExact int64 `json:"slice_kernel_exact"`
+	SliceKernelGram  int64 `json:"slice_kernel_gram"`
 }
 
 // Sub returns the component-wise difference c − o.
@@ -65,6 +73,9 @@ func (c Counters) Sub(o Counters) Counters {
 		RandSVDRetries:   c.RandSVDRetries - o.RandSVDRetries,
 		RandSVDFallbacks: c.RandSVDFallbacks - o.RandSVDFallbacks,
 		SliceSVDs:        c.SliceSVDs - o.SliceSVDs,
+		SliceKernelRand:  c.SliceKernelRand - o.SliceKernelRand,
+		SliceKernelExact: c.SliceKernelExact - o.SliceKernelExact,
+		SliceKernelGram:  c.SliceKernelGram - o.SliceKernelGram,
 	}
 }
 
@@ -80,6 +91,9 @@ func (c Counters) Add(o Counters) Counters {
 		RandSVDRetries:   c.RandSVDRetries + o.RandSVDRetries,
 		RandSVDFallbacks: c.RandSVDFallbacks + o.RandSVDFallbacks,
 		SliceSVDs:        c.SliceSVDs + o.SliceSVDs,
+		SliceKernelRand:  c.SliceKernelRand + o.SliceKernelRand,
+		SliceKernelExact: c.SliceKernelExact + o.SliceKernelExact,
+		SliceKernelGram:  c.SliceKernelGram + o.SliceKernelGram,
 	}
 }
 
@@ -95,6 +109,9 @@ var global struct {
 	randSVDRetries   atomic.Int64
 	randSVDFallbacks atomic.Int64
 	sliceSVDs        atomic.Int64
+	sliceKernelRand  atomic.Int64
+	sliceKernelExact atomic.Int64
+	sliceKernelGram  atomic.Int64
 }
 
 // SetEnabled turns the global counters on or off and returns the previous
@@ -115,6 +132,9 @@ func Reset() {
 	global.randSVDRetries.Store(0)
 	global.randSVDFallbacks.Store(0)
 	global.sliceSVDs.Store(0)
+	global.sliceKernelRand.Store(0)
+	global.sliceKernelExact.Store(0)
+	global.sliceKernelGram.Store(0)
 }
 
 // Snapshot returns the current counter totals. When counting is disabled it
@@ -130,6 +150,9 @@ func Snapshot() Counters {
 		RandSVDRetries:   global.randSVDRetries.Load(),
 		RandSVDFallbacks: global.randSVDFallbacks.Load(),
 		SliceSVDs:        global.sliceSVDs.Load(),
+		SliceKernelRand:  global.sliceKernelRand.Load(),
+		SliceKernelExact: global.sliceKernelExact.Load(),
+		SliceKernelGram:  global.sliceKernelGram.Load(),
 	}
 }
 
@@ -206,4 +229,31 @@ func CountSliceSVD() {
 		return
 	}
 	global.sliceSVDs.Add(1)
+}
+
+// CountSliceKernelRand records one slice compressed by the randomized-SVD
+// kernel.
+func CountSliceKernelRand() {
+	if !enabled.Load() {
+		return
+	}
+	global.sliceKernelRand.Add(1)
+}
+
+// CountSliceKernelExact records one slice compressed by the exact dense-SVD
+// kernel.
+func CountSliceKernelExact() {
+	if !enabled.Load() {
+		return
+	}
+	global.sliceKernelExact.Add(1)
+}
+
+// CountSliceKernelGram records one slice compressed by the
+// Gram-eigendecomposition kernel.
+func CountSliceKernelGram() {
+	if !enabled.Load() {
+		return
+	}
+	global.sliceKernelGram.Add(1)
 }

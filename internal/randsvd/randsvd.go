@@ -216,3 +216,42 @@ func SVDWithFallback(a *mat.Dense, k int, opts Options) (mat.SVDResult, bool, er
 	metrics.CountRandSVDFallback()
 	return exact.Truncate(k), true, nil
 }
+
+// FlopEstimate is the leading-order floating-point cost of one rank-k
+// randomized SVD of an m×n matrix under the given oversampling and
+// power-iteration settings, mirroring SVD's actual stages: the Gaussian
+// range sketch, the orthonormalizations, the optional subspace iterations,
+// and the projected small SVD. Oversampling and powerIters are resolved
+// exactly as SVD resolves them (zero selects the defaults, negative values
+// the documented sentinels), so the estimate and the kernel cannot drift
+// apart. The kernel-selection cost model (internal/kernelsel) scales this
+// estimate by a calibrated ns-per-flop coefficient.
+func FlopEstimate(m, n, k, oversampling, powerIters int) int64 {
+	o := Options{Oversampling: oversampling, PowerIters: powerIters}.normalized()
+	if k > m {
+		k = m
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	p := k + o.Oversampling
+	if p > m {
+		p = m
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	fm, fn, fp, fk := int64(m), int64(n), int64(p), int64(k)
+	sketch := 2 * fm * fn * fp // y = a·omega
+	orth := 2 * fm * fp * fp   // orthonormalize y
+	power := int64(o.PowerIters) * (2*fm*fn*fp + 2*fn*fp*fp + 2*fm*fn*fp + 2*fm*fp*fp)
+	project := 2*fm*fn*fp + 2*fn*fp*fp // b = qᵀa and its small SVD
+	lift := 2 * fm * fp * fk           // u = q·u_b
+	return sketch + orth + power + project + lift
+}

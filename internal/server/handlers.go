@@ -56,6 +56,27 @@ func requestTenant(r *http.Request) string {
 	return t
 }
 
+// stampKernelProfile resolves an auto-kernel-selection request against the
+// server's calibrated profile: the profile's fingerprint is written into
+// the config before the cache key is computed, so results are cached per
+// profile and a profile change can never serve a stale entry. A request
+// that explicitly names a different fingerprint is rejected — the client
+// is pinning a profile this server does not run.
+func (s *Server) stampKernelProfile(cfg *core.Config) *WireError {
+	if cfg.SliceKernel != "auto" {
+		return nil
+	}
+	fp := s.cfg.KernelProfile.Fingerprint()
+	if cfg.KernelProfile != "" && cfg.KernelProfile != fp {
+		return &WireError{
+			Kind:    KindInvalidInput,
+			Message: fmt.Sprintf("config names kernel profile %s but this server runs %s", cfg.KernelProfile, fp),
+		}
+	}
+	cfg.KernelProfile = fp
+	return nil
+}
+
 // handleDecompose is POST /v1/decompose: validate, answer from cache when
 // possible, otherwise queue a job under admission control.
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +98,15 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			Kind:    KindInvalidInput,
 			Message: fmt.Sprintf("config has %d ranks for an order-%d tensor", len(req.Config.Ranks), x.Order()),
 		})
+		return
+	}
+	lane, werr := requestLane(r, laneBatch)
+	if werr != nil {
+		writeError(w, http.StatusBadRequest, werr)
+		return
+	}
+	if werr := s.stampKernelProfile(&req.Config); werr != nil {
+		writeError(w, http.StatusBadRequest, werr)
 		return
 	}
 	digest, err := tensorDigest(x)
@@ -114,10 +144,11 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			opts.Context = ctx
 			opts.Pool = pl
 			opts.Metrics = col
+			opts.Profile = s.cfg.KernelProfile
 			return core.Decompose(x, opts)
 		})
 	j.tenant = tenant
-	j.lane = parseLane(r.Header.Get(HeaderPriority), laneBatch)
+	j.lane = lane
 	if _, err := s.admitOrCoalesce(j); err != nil {
 		j.cancel() // release the job context; it will never run
 		s.writeAdmissionError(w, err)

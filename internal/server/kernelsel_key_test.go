@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernelsel"
+)
+
+func newDrainedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+// TestCacheKeyChangesWithProfile pins the cache-soundness invariant of
+// auto kernel selection: two servers running profiles with different cost
+// coefficients must produce different cache keys for the same auto
+// request, while forced-kernel requests share keys across profiles.
+func TestCacheKeyChangesWithProfile(t *testing.T) {
+	slow := kernelsel.Default()
+	slow.EigNsPerN3 *= 100 // different selection behavior → different profile
+	sA := newDrainedServer(t, Config{Workers: 1, Runners: 1})
+	sB := newDrainedServer(t, Config{Workers: 1, Runners: 1, KernelProfile: slow})
+
+	auto := core.Config{Ranks: []int{3, 3, 3}, SliceKernel: "auto"}
+	cfgA, cfgB := auto, auto
+	if werr := sA.stampKernelProfile(&cfgA); werr != nil {
+		t.Fatal(werr)
+	}
+	if werr := sB.stampKernelProfile(&cfgB); werr != nil {
+		t.Fatal(werr)
+	}
+	if cfgA.KernelProfile == "" || cfgB.KernelProfile == "" {
+		t.Fatal("stamping left a fingerprint empty")
+	}
+	if cacheKey("digest", cfgA) == cacheKey("digest", cfgB) {
+		t.Fatal("different profiles produced the same cache key — a profile change could serve stale results")
+	}
+
+	// Same profile, restamped: stable key.
+	cfgA2 := auto
+	if werr := sA.stampKernelProfile(&cfgA2); werr != nil {
+		t.Fatal(werr)
+	}
+	if cacheKey("digest", cfgA) != cacheKey("digest", cfgA2) {
+		t.Fatal("restamping under the same profile changed the key")
+	}
+
+	// Forced kernels are profile-independent: identical keys on both
+	// servers.
+	forced := core.Config{Ranks: []int{3, 3, 3}, SliceKernel: "exact"}
+	fA, fB := forced, forced
+	if sA.stampKernelProfile(&fA) != nil || sB.stampKernelProfile(&fB) != nil {
+		t.Fatal("stamping a forced-kernel config failed")
+	}
+	if cacheKey("digest", fA) != cacheKey("digest", fB) {
+		t.Fatal("forced-kernel keys differ across profiles")
+	}
+}

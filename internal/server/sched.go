@@ -2,6 +2,8 @@ package server
 
 import (
 	"errors"
+	"fmt"
+	"net/http"
 	"sort"
 	"time"
 
@@ -62,16 +64,24 @@ func (l lane) String() string {
 	return "batch"
 }
 
-// parseLane maps an X-Priority header value onto a lane; unknown or empty
-// values keep the endpoint's default.
-func parseLane(s string, def lane) lane {
-	switch s {
+// requestLane maps a request's X-Priority header onto a lane. An absent
+// header keeps the endpoint's default; anything else must name a lane
+// exactly — unknown values are a 400, not a silent fall-through, so a
+// client typo ("Interactive", "high") cannot quietly demote its jobs.
+func requestLane(r *http.Request, def lane) (lane, *WireError) {
+	switch v := r.Header.Get(HeaderPriority); v {
+	case "":
+		return def, nil
 	case "interactive":
-		return laneInteractive
+		return laneInteractive, nil
 	case "batch":
-		return laneBatch
+		return laneBatch, nil
+	default:
+		return def, &WireError{
+			Kind:    KindInvalidInput,
+			Message: fmt.Sprintf("unknown %s value %q (want interactive or batch)", HeaderPriority, v),
+		}
 	}
-	return def
 }
 
 // defaultTenant is the tenant jobs belong to when the request carries no

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernelsel"
 	"repro/internal/metrics"
 	"repro/internal/pool"
 	"repro/internal/trace"
@@ -97,6 +98,13 @@ type Config struct {
 	// it instead of executing again.
 	DisableCoalesce bool
 
+	// KernelProfile is the calibrated kernelsel profile that requests with
+	// SliceKernel "auto" resolve against. Its fingerprint is stamped into
+	// each auto request's Config before the cache key is computed, so
+	// results are cached per profile; a request naming a different
+	// fingerprint is rejected with 400. Nil selects kernelsel.Default().
+	KernelProfile *kernelsel.Profile
+
 	// Logf, when set, receives one line per lifecycle event (job start,
 	// finish, drain). Default: silent.
 	Logf func(format string, args ...any)
@@ -123,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTenantWeight <= 0 {
 		c.DefaultTenantWeight = 1
+	}
+	if c.KernelProfile == nil {
+		c.KernelProfile = kernelsel.Default()
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}

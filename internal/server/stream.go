@@ -46,6 +46,7 @@ func (s *Server) newSession(cfg core.Config, traced bool) *session {
 	opts := cfg.Options()
 	opts.Pool = s.pl
 	opts.Metrics = col
+	opts.Profile = s.cfg.KernelProfile
 	sess := &session{cfg: cfg, col: col, tr: tr, st: core.NewStream(opts)}
 	s.mu.Lock()
 	s.nextStream++
@@ -85,6 +86,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.Config.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, wireError(err))
+		return
+	}
+	if werr := s.stampKernelProfile(&req.Config); werr != nil {
+		writeError(w, http.StatusBadRequest, werr)
 		return
 	}
 	sess := s.newSession(req.Config, req.Trace)
@@ -176,12 +181,17 @@ func (s *Server) handleStreamDecompose(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	lane, werr := requestLane(r, laneBatch)
+	if werr != nil {
+		writeError(w, http.StatusBadRequest, werr)
+		return
+	}
 	j := s.newStreamJob(sess, time.Duration(req.TimeoutMs)*time.Millisecond, "",
 		func(ctx context.Context) (*core.Decomposition, error) {
 			return sess.st.DecomposeContext(ctx)
 		})
 	j.tenant = requestTenant(r)
-	j.lane = parseLane(r.Header.Get(HeaderPriority), laneBatch)
+	j.lane = lane
 	if err := s.admit(j); err != nil {
 		j.cancel()
 		s.writeAdmissionError(w, err)
@@ -203,6 +213,11 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SolveRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	lane, werr := requestLane(r, laneInteractive)
+	if werr != nil {
+		writeError(w, http.StatusBadRequest, werr)
 		return
 	}
 	sess.mu.Lock()
@@ -242,7 +257,7 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 	j.tenant = tenant
 	// Range queries are the interactive workload: they dispatch ahead of
 	// every queued batch solve unless the client explicitly demotes them.
-	j.lane = parseLane(r.Header.Get(HeaderPriority), laneInteractive)
+	j.lane = lane
 	if err := s.admit(j); err != nil {
 		j.cancel()
 		s.writeAdmissionError(w, err)
