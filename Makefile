@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults bench-json bench-compare serve load load-compare autotune
+.PHONY: build test verify bench overhead faults crashtest bench-json bench-compare serve load load-compare autotune
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
 	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
+	$(GO) test -race ./internal/journal/ ./internal/faults/ -count 1
 	$(GO) test -race ./internal/kernelsel/ ./internal/mat/ -count 1
 	$(GO) run ./cmd/dtucker -autotune .autotune-smoke.json -autotune-quick >/dev/null && rm -f .autotune-smoke.json
 	$(MAKE) load
@@ -49,6 +50,18 @@ serve:
 faults:
 	$(GO) test ./internal/faults/ ./internal/pool/ ./internal/randsvd/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestFaultSweep' -v -count 1
+
+# crashtest is the durability matrix: kill a durable job at EVERY sweep
+# boundary (× worker counts) via the journal crash sites, restart over the
+# same data dir, and require a bit-identical resumed result — plus every
+# corruption-degradation case (torn tails, corrupt snapshot/checkpoint/
+# tensor/result) and the subprocess e2e where the daemon genuinely
+# os.Exit(7)s mid-write and recovers. All under -race: recovery races
+# runners starting, and a torn write is exactly when they'd collide.
+crashtest:
+	$(GO) test -race ./internal/journal/ -count 1
+	$(GO) test -race ./internal/server/ -run 'TestCrash|TestCorrupt|TestRestart|TestDrainInterrupted|TestForeignJournal|TestDurabilityCounters|TestCheckpointEvery' -v -count 1
+	$(GO) test -race ./cmd/dtuckerd/ -run 'TestDaemonCrashRecovery' -v -count 1
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -62,9 +62,13 @@ type Client struct {
 	// ("interactive" or "batch"), overriding the endpoint's default lane.
 	Priority string
 	// Retry governs Decompose's automatic retry of 429 (queue full /
-	// tenant quota) rejections. Nil means DefaultRetryPolicy. Submit never
-	// retries — it surfaces the 429 so callers can implement their own
-	// policy.
+	// tenant quota) rejections and of transient transport failures while
+	// polling an accepted job — connection refused/reset during a daemon
+	// restart, or a proxy answering 502/503/504 while it comes back. With a
+	// durable daemon (-data-dir) the accepted job survives the restart, so
+	// a poll that rides through it completes normally. Nil means
+	// DefaultRetryPolicy. Submit never retries — it surfaces errors so
+	// callers can implement their own policy.
 	Retry *RetryPolicy
 }
 
@@ -257,6 +261,53 @@ func parseRetryAfter(v string, now func() time.Time) time.Duration {
 	return 0
 }
 
+// isTransient reports whether one failed round-trip is worth retrying on
+// the assumption the daemon is restarting: any transport-level error that
+// is not the caller's own context ending (connection refused while the
+// process is down, connection reset when it died mid-response), and the
+// gateway statuses 502/503/504 a fronting proxy answers while the backend
+// is away. Typed API errors other than those — 404 for a job the daemon
+// genuinely does not know, 409, 4xx validation — are final.
+func isTransient(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// retryTransient runs op, retrying transient failures (isTransient) under
+// the policy's backoff until one attempt succeeds, fails permanently, or
+// MaxAttempts attempts are spent. The last error is returned unwrapped so
+// callers still see the underlying *APIError or transport error.
+func retryTransient[T any](ctx context.Context, policy RetryPolicy, op func() (T, error)) (T, error) {
+	var zero T
+	for attempt := 1; ; attempt++ {
+		v, err := op()
+		if err == nil {
+			return v, nil
+		}
+		if !isTransient(err) || attempt >= policy.MaxAttempts {
+			return zero, err
+		}
+		var retryAfter time.Duration
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			retryAfter = apiErr.RetryAfter
+		}
+		if serr := policy.Sleep(ctx, policy.wait(attempt, retryAfter)); serr != nil {
+			return zero, serr
+		}
+	}
+}
+
 // Submit posts one decomposition job and returns its receipt without
 // waiting for it to run. A full queue surfaces as an *APIError with
 // StatusCode 429 and RetryAfter set; Decompose retries that automatically.
@@ -343,7 +394,10 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 // hint honoured, exponential backoff with jitter), poll until the job
 // finishes, and fetch the result. When every attempt is shed, the last
 // *APIError is returned with its StatusCode still 429 so callers can keep
-// distinguishing overload from failure. The returned decomposition is
+// distinguishing overload from failure. Transient transport failures while
+// polling or fetching the result — the daemon restarting, a proxy's
+// 502/503/504 — retry under the same policy, so a poll rides through a
+// crash-and-recover of a durable daemon. The returned decomposition is
 // bit-identical to running DecomposeContext(ctx, x, cfg.Options())
 // in-process — the daemon runs the same deterministic library. ctx bounds
 // the whole interaction, including backoff waits.
@@ -379,13 +433,17 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 	}
 	maxInterval := 16 * interval
 	for {
-		st, err := c.Job(ctx, receipt.JobID)
+		st, err := retryTransient(ctx, policy, func() (*JobStatus, error) {
+			return c.Job(ctx, receipt.JobID)
+		})
 		if err != nil {
 			return nil, err
 		}
 		switch st.State {
 		case server.StateDone:
-			return c.Result(ctx, receipt.JobID)
+			return retryTransient(ctx, policy, func() (*Decomposition, error) {
+				return c.Result(ctx, receipt.JobID)
+			})
 		case server.StateFailed, server.StateCancelled:
 			e := &APIError{StatusCode: http.StatusConflict, Kind: server.KindInternal, Message: "job " + st.State}
 			if st.Error != nil {

@@ -1,9 +1,19 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/tensor"
 )
 
 // TestParseRetryAfter pins both RFC 9110 forms of the header against a
@@ -83,5 +93,179 @@ func TestRetryPolicyDefaults(t *testing.T) {
 	cancel()
 	if err := p.Sleep(ctx, time.Hour); err != context.Canceled {
 		t.Errorf("default Sleep under a cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestIsTransient pins the retry classification: transport errors retry
+// unless they are the caller's own context ending; of the typed API errors
+// only the gateway statuses a proxy answers during a backend restart do.
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"dial refused", errors.New("dial tcp 127.0.0.1:7171: connect: connection refused"), true},
+		{"reset mid-body", io.ErrUnexpectedEOF, true},
+		{"caller cancelled", context.Canceled, false},
+		{"caller deadline", context.DeadlineExceeded, false},
+		{"wrapped cancel", &APIErrorWrap{context.Canceled}, false},
+		{"502", &APIError{StatusCode: http.StatusBadGateway}, true},
+		{"503", &APIError{StatusCode: http.StatusServiceUnavailable}, true},
+		{"504", &APIError{StatusCode: http.StatusGatewayTimeout}, true},
+		{"404", &APIError{StatusCode: http.StatusNotFound}, false},
+		{"409", &APIError{StatusCode: http.StatusConflict}, false},
+		{"429 is the submit loop's concern", &APIError{StatusCode: http.StatusTooManyRequests}, false},
+	}
+	for _, c := range cases {
+		if got := isTransient(c.err); got != c.want {
+			t.Errorf("%s: isTransient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// APIErrorWrap wraps an error, standing in for a url.Error around a
+// context cancellation surfaced by http.Client.Do.
+type APIErrorWrap struct{ err error }
+
+func (w *APIErrorWrap) Error() string { return w.err.Error() }
+func (w *APIErrorWrap) Unwrap() error { return w.err }
+
+// roundTripperFunc scripts the transport so restart symptoms can be
+// injected without a network.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func jsonResponse(status int, v any) *http.Response {
+	b, _ := json.Marshal(v)
+	return &http.Response{
+		StatusCode: status,
+		Status:     http.StatusText(status),
+		Header:     http.Header{},
+		Body:       io.NopCloser(bytes.NewReader(b)),
+	}
+}
+
+// TestDecomposeRidesThroughRestart scripts a daemon restart into the
+// transport: the submit is acknowledged, then polling sees a connection
+// refused and a proxy 503 before the job reports done, and the result
+// fetch sees one more refused connection before the payload arrives.
+// Decompose must absorb all three under its RetryPolicy and return the
+// decomposition.
+func TestDecomposeRidesThroughRestart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandN(rng, 6, 5, 4)
+	cfg := Config{Ranks: []int{2, 2, 2}, Seed: 3}
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dtd bytes.Buffer
+	if _, err := want.WriteTo(&dtd); err != nil {
+		t.Fatal(err)
+	}
+
+	refused := errors.New("dial tcp 127.0.0.1:7171: connect: connection refused")
+	polls, fetches := 0, 0
+	transport := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/decompose":
+			return jsonResponse(http.StatusAccepted, server.SubmitResponse{JobID: "j1", State: "queued"}), nil
+		case r.URL.Path == "/v1/jobs/j1":
+			polls++
+			switch polls {
+			case 1:
+				return nil, refused // daemon is down
+			case 2:
+				return jsonResponse(http.StatusServiceUnavailable, nil), nil // proxy while it restarts
+			default:
+				return jsonResponse(http.StatusOK, server.JobStatus{ID: "j1", State: "done", Recovered: true}), nil
+			}
+		case r.URL.Path == "/v1/jobs/j1/result":
+			fetches++
+			if fetches == 1 {
+				return nil, refused
+			}
+			return &http.Response{
+				StatusCode: http.StatusOK,
+				Header:     http.Header{},
+				Body:       io.NopCloser(bytes.NewReader(dtd.Bytes())),
+			}, nil
+		}
+		t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		return nil, errors.New("unexpected request")
+	})
+
+	var waits []time.Duration
+	cl := NewClient("http://scripted")
+	cl.HTTPClient = &http.Client{Transport: transport}
+	cl.PollInterval = time.Nanosecond
+	cl.Retry = &RetryPolicy{
+		Jitter: -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}
+
+	got, err := cl.Decompose(context.Background(), x, cfg, nil)
+	if err != nil {
+		t.Fatalf("Decompose through a scripted restart: %v", err)
+	}
+	if got.Fit != want.Fit {
+		t.Fatalf("fit %v differs from %v after the retries", got.Fit, want.Fit)
+	}
+	if polls != 3 || fetches != 2 {
+		t.Errorf("polls = %d, fetches = %d; want 3 and 2", polls, fetches)
+	}
+	// Three transient failures → three backoff waits through the Sleep seam.
+	if len(waits) != 3 {
+		t.Errorf("backoff waits = %v, want exactly 3", waits)
+	}
+}
+
+// TestDecomposeTransientRetryBounded proves a daemon that never comes back
+// exhausts MaxAttempts and surfaces the transport error instead of polling
+// forever.
+func TestDecomposeTransientRetryBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandN(rng, 5, 4, 3)
+	cfg := Config{Ranks: []int{2, 2, 2}, Seed: 3}
+
+	refused := errors.New("dial tcp 127.0.0.1:7171: connect: connection refused")
+	polls := 0
+	transport := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/decompose" {
+			return jsonResponse(http.StatusAccepted, server.SubmitResponse{JobID: "j1", State: "queued"}), nil
+		}
+		polls++
+		return nil, refused
+	})
+
+	sleeps := 0
+	cl := NewClient("http://scripted")
+	cl.HTTPClient = &http.Client{Transport: transport}
+	cl.Retry = &RetryPolicy{
+		MaxAttempts: 3,
+		Jitter:      -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps++
+			return nil
+		},
+	}
+
+	_, err := cl.Decompose(context.Background(), x, cfg, nil)
+	if err == nil {
+		t.Fatal("Decompose succeeded against a permanently dead daemon")
+	}
+	if !errors.Is(err, refused) {
+		t.Errorf("error %v does not unwrap to the transport failure", err)
+	}
+	if polls != 3 {
+		t.Errorf("polls = %d, want MaxAttempts = 3", polls)
+	}
+	if sleeps != 2 {
+		t.Errorf("sleeps = %d, want MaxAttempts-1 = 2", sleeps)
 	}
 }

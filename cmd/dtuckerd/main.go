@@ -25,6 +25,16 @@
 // instead. Results for auto requests are cached under the profile's
 // fingerprint, so a profile change never serves stale entries.
 //
+// Durability: -data-dir enables the crash-safe job journal. Accepted
+// decompose jobs are journaled before the 202 is written, checkpointed
+// every -checkpoint-every ALS sweeps, and re-enqueued (resuming from
+// their last checkpoint) when the daemon restarts after a crash. See
+// docs/OPERATIONS.md ("Durability & recovery").
+//
+// Fault injection: the DTUCKERD_FAULTS environment variable arms crash
+// sites in the durability path (see internal/faults.ActivateSpec); an
+// injected exit terminates the process with status 7. Test-only.
+//
 // Usage:
 //
 //	dtuckerd [-addr :7171] [-queue 16] [-runners 1] [-workers N]
@@ -32,6 +42,8 @@
 //	         [-tenant-quota 0] [-tenant-weights a=4,b=1]
 //	         [-tenant-weight-default 1] [-coalesce=true]
 //	         [-kernel-profile prof.json] [-autotune]
+//	         [-data-dir /var/lib/dtuckerd] [-checkpoint-every 1]
+//	         [-read-header-timeout 10s] [-idle-timeout 2m]
 package main
 
 import (
@@ -49,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/kernelsel"
 	"repro/internal/server"
 )
@@ -100,8 +113,24 @@ func run() int {
 
 		kernelProfile = flag.String("kernel-profile", "", "calibrated kernelsel profile JSON; requests with slice_kernel \"auto\" select against it, and it sets the matmul block sizes")
 		autotune      = flag.Bool("autotune", false, "calibrate a kernel profile at startup instead of loading one; with -kernel-profile, also write it there")
+
+		dataDir         = flag.String("data-dir", "", "directory for the durable job journal and checkpoints (empty = ephemeral)")
+		checkpointEvery = flag.Int("checkpoint-every", 1, "checkpoint durable jobs every N ALS sweeps (1 = every sweep)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: limit on reading request headers (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 2*time.Minute, "http.Server.ReadTimeout: limit on reading a full request including the tensor body (0 = unlimited)")
+		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout: limit on writing a full response including the result payload (0 = unlimited)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout: how long keep-alive connections may sit idle")
 	)
 	flag.Parse()
+
+	// Crash-injection arming for the e2e harness; no-op when unset.
+	if spec := os.Getenv("DTUCKERD_FAULTS"); spec != "" {
+		if err := faults.ActivateSpec(spec); err != nil {
+			log.Printf("dtuckerd: DTUCKERD_FAULTS: %v", err)
+			return 2
+		}
+	}
 
 	logger := log.New(os.Stderr, "dtuckerd: ", log.LstdFlags)
 	logf := logger.Printf
@@ -142,7 +171,7 @@ func run() int {
 		logf("kernel profile %s active (blocks %d×%d)", profile.Fingerprint(), profile.BlockK, profile.BlockN)
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		QueueDepth:          *queue,
 		Runners:             *runners,
 		Workers:             *workers,
@@ -153,15 +182,31 @@ func run() int {
 		DefaultTenantWeight: *defaultWeight,
 		DisableCoalesce:     !*coalesce,
 		KernelProfile:       profile,
+		DataDir:             *dataDir,
+		CheckpointEvery:     *checkpointEvery,
 		Logf:                logf,
 	})
+	if err != nil {
+		logger.Printf("startup: %v", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Printf("listen: %v", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Server-side timeouts: without them one stalled client connection can
+	// pin a goroutine (and its buffers) forever. ReadHeaderTimeout alone
+	// closes the slowloris hole; Read/Write bound full tensor uploads and
+	// result downloads and so must cover the largest expected payload.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	// The ready line goes to stdout so scripts (and the e2e test) can wait
 	// for it and learn the resolved address when port 0 was requested.

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -16,22 +17,24 @@ import (
 	"repro/internal/tensor"
 )
 
-// TestDaemonEndToEnd builds the real binary, serves a decomposition over
-// HTTP, verifies it is bit-identical to the in-process result, then sends
-// SIGTERM and requires a graceful drain with exit status 0.
-func TestDaemonEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds a binary; skipped in -short")
-	}
-	dir := t.TempDir()
-	bin := dir + "/dtuckerd"
+// buildDaemon compiles the real binary into a temp dir and returns its path.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir() + "/dtuckerd"
 	build := exec.Command("go", "build", "-o", bin, ".")
 	build.Env = os.Environ()
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-quiet", "-drain-timeout", "2s")
+// startDaemon launches the binary with the given extra env and args, waits
+// for its ready line, and returns the process plus its resolved address.
+func startDaemon(t *testing.T, bin string, extraEnv []string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	cmd.Env = append(os.Environ(), extraEnv...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -40,10 +43,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	// If the test dies early, don't leave the daemon behind.
-	defer cmd.Process.Kill()
+	t.Cleanup(func() { cmd.Process.Kill() })
 
-	// The ready line carries the resolved address.
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
 		t.Fatalf("daemon exited before its ready line (%v)", sc.Err())
@@ -53,7 +54,40 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(line, prefix) {
 		t.Fatalf("unexpected ready line %q", line)
 	}
-	addr := strings.TrimPrefix(line, prefix)
+	return cmd, strings.TrimPrefix(line, prefix)
+}
+
+// waitExit waits for the process to exit and returns its exit code, failing
+// the test if it does not exit within the deadline.
+func waitExit(t *testing.T, cmd *exec.Cmd, within time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		t.Fatalf("waiting for daemon: %v", err)
+	case <-time.After(within):
+		t.Fatalf("daemon did not exit within %v", within)
+	}
+	return -1
+}
+
+// TestDaemonEndToEnd builds the real binary, serves a decomposition over
+// HTTP, verifies it is bit-identical to the in-process result, then sends
+// SIGTERM and requires a graceful drain with exit status 0.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	bin := buildDaemon(t)
+	cmd, addr := startDaemon(t, bin, nil, "-drain-timeout", "2s")
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -123,14 +157,107 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case err := <-done:
+	if code := waitExit(t, cmd, 30*time.Second); code != 0 {
+		t.Fatalf("daemon exited %d after SIGTERM, want 0", code)
+	}
+}
+
+// TestDaemonCrashRecovery proves the whole durability story end to end with
+// a real process death: the daemon is armed (via DTUCKERD_FAULTS) to
+// os.Exit(7) at the sweep-3 journal append of an accepted job, a fresh
+// daemon is started over the same -data-dir, and the interrupted job must
+// finish — resuming from its last checkpoint — with a result bit-identical
+// to an uninterrupted in-process run.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandN(rng, 14, 12, 10)
+	cfg := repro.Config{Ranks: []int{4, 3, 3}, Seed: 17, Tol: 1e-300, MaxIters: 5}
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-job append order: accepted(1), started(2), sweep k(k+2). skip=4
+	// arms the crash for hit 5 — the sweep-3 record — after the sweep-3
+	// checkpoint has already been spilled.
+	cmd1, addr1 := startDaemon(t, bin,
+		[]string{"DTUCKERD_FAULTS=journal.append:skip=4,mode=exit"},
+		"-data-dir", dataDir, "-checkpoint-every", "1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl1 := repro.NewClient("http://" + addr1)
+	cl1.PollInterval = 5 * time.Millisecond
+
+	receipt, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatalf("submit before crash: %v", err)
+	}
+	if code := waitExit(t, cmd1, 30*time.Second); code != 7 {
+		t.Fatalf("crashed daemon exited %d, want injected-crash code 7", code)
+	}
+
+	// Restart over the same data dir, faults disarmed: replay must
+	// re-enqueue the interrupted job and resume it from sweep 3.
+	cmd2, addr2 := startDaemon(t, bin, nil,
+		"-data-dir", dataDir, "-checkpoint-every", "1", "-drain-timeout", "5s")
+	cl2 := repro.NewClient("http://" + addr2)
+	cl2.PollInterval = 5 * time.Millisecond
+
+	var st *repro.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err = cl2.Job(ctx, receipt.JobID)
 		if err != nil {
-			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+			t.Fatalf("polling recovered job: %v", err)
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("daemon did not exit within 30s of SIGTERM")
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("recovered job ended %q (%+v), want done", st.State, st.Error)
+	}
+	if !st.Recovered {
+		t.Fatal("finished job is not flagged as recovered")
+	}
+
+	got, err := cl2.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatalf("fetching recovered result: %v", err)
+	}
+	if want.Fit != got.Fit {
+		t.Fatalf("recovered fit %v differs from uninterrupted %v", got.Fit, want.Fit)
+	}
+	wc, gc := want.Core.Data(), got.Core.Data()
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Fatalf("core element %d differs after recovery", i)
+		}
+	}
+	for n := range want.Factors {
+		wf, gf := want.Factors[n].Data(), got.Factors[n].Data()
+		for i := range wf {
+			if wf[i] != gf[i] {
+				t.Fatalf("factor %d element %d differs after recovery", n, i)
+			}
+		}
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, cmd2, 30*time.Second); code != 0 {
+		t.Fatalf("recovered daemon exited %d after SIGTERM, want 0", code)
 	}
 }

@@ -96,19 +96,31 @@ func run() int {
 			logger.Printf("-self-weights: %v", err)
 			return 2
 		}
-		srv := server.New(server.Config{
+		srv, err := server.New(server.Config{
 			QueueDepth:    *selfQueue,
 			Runners:       *selfRunners,
 			Workers:       *selfWorkers,
 			TenantQuota:   *selfQuota,
 			TenantWeights: weights,
 		})
+		if err != nil {
+			logger.Printf("server: %v", err)
+			return 1
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			logger.Printf("listen: %v", err)
 			return 1
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		// The self-served daemon gets the same server-side timeouts as the
+		// real binary, so hermetic load runs exercise the production config.
+		hs := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       2 * time.Minute,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go hs.Serve(ln)
 		defer func() {
 			drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

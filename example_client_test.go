@@ -17,7 +17,10 @@ import (
 // startDaemon runs an in-process dtuckerd for the examples; production code
 // would point the client at a running daemon instead.
 func startDaemon(cfg server.Config) (baseURL string, shutdown func()) {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	return hs.URL, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -113,7 +116,10 @@ func ExampleClient_Cancel() {
 // Jitter seams make the example deterministic — production code leaves them
 // nil and gets a real jittered wait honouring the Retry-After hint.
 func ExampleClient_Decompose_backoff() {
-	srv := server.New(server.Config{Runners: 1})
+	srv, err := server.New(server.Config{Runners: 1})
+	if err != nil {
+		panic(err)
+	}
 	inner := srv.Handler()
 	var shed atomic.Int32
 	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/dterr"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/tucker"
+)
+
+// Checkpoint is the complete iteration state at one ALS sweep boundary — in
+// reordered mode space, exactly as iterate holds it. Because every parallel
+// site follows the owner-computes contract, this state is a pure function of
+// (tensor, config) up to the sweep index: resuming from it reproduces the
+// factors, core, and fit of an uninterrupted run bit for bit.
+//
+// A checkpoint handed to Options.CheckpointSink aliases the iteration's
+// working state; the sink must serialize (WriteTo) or deep-copy it before
+// returning and must not retain the pointers.
+type Checkpoint struct {
+	// Sweep is the 1-based index of the completed sweep.
+	Sweep int
+	// Fit is the fit estimate after this sweep — the prevFit of the next
+	// one, which the convergence test needs to resume exactly.
+	Fit float64
+	// Done marks a terminal checkpoint: the run converged at this sweep or
+	// exhausted MaxIters. Resuming a done checkpoint returns the result
+	// without running any further sweeps.
+	Done bool
+	// Converged distinguishes "done because Tol was reached" from "done
+	// because the sweep budget ran out".
+	Converged bool
+	// Fingerprint is Config.Fingerprint() of the run that wrote the
+	// checkpoint. Resume rejects a mismatch.
+	Fingerprint string
+	// Factors are the factor matrices in reordered mode space, after this
+	// sweep's updates.
+	Factors []*mat.Dense
+	// Core is the core tensor computed in this sweep, reordered space.
+	Core *tensor.Dense
+}
+
+// The .dtc binary format of a Checkpoint (see docs/FORMATS.md):
+//
+//	magic        [4]byte "DTC1"
+//	version      uint32  (currently 1)
+//	fingerprint  uint16 length + bytes
+//	sweep        uint32
+//	fit          float64
+//	flags        uint8   bit 0 done, bit 1 converged
+//	model        .tkm bytes (core + factors, reordered mode space)
+//	crc          uint32  CRC32-Castagnoli of every preceding byte
+//
+// All integers little endian. The trailing checksum covers the whole file,
+// so a torn or bit-flipped checkpoint is detected before any of its state
+// is trusted; readers reject it with a typed dterr.ErrCorruptArtifact and
+// the recovering job simply restarts from scratch.
+var checkpointMagic = [4]byte{'D', 'T', 'C', '1'}
+
+// CheckpointVersion is the checkpoint schema version this build writes;
+// readers reject every other version.
+const CheckpointVersion = 1
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	sum uint32
+}
+
+var checkpointCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.sum = crc32.Update(c.sum, checkpointCRCTable, p[:n])
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// crcReader tees reads into a running CRC32C.
+type crcReader struct {
+	r   io.Reader
+	n   int64
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	c.sum = crc32.Update(c.sum, checkpointCRCTable, p[:n])
+	return n, err
+}
+
+// corruptCheckpoint wraps a checkpoint format violation as a typed
+// corrupt-artifact error.
+func corruptCheckpoint(format string, args ...any) error {
+	return fmt.Errorf("core: checkpoint: "+format+": %w", append(args, dterr.ErrCorruptArtifact)...)
+}
+
+// WriteTo serializes the checkpoint in .dtc binary format, implementing
+// io.WriterTo.
+func (cp *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(checkpointMagic[:]); err != nil {
+		return cw.n, fmt.Errorf("core: writing checkpoint magic: %w", err)
+	}
+	if len(cp.Fingerprint) > math.MaxUint16 {
+		return cw.n, fmt.Errorf("core: checkpoint fingerprint of %d bytes", len(cp.Fingerprint))
+	}
+	flags := uint8(0)
+	if cp.Done {
+		flags |= 1
+	}
+	if cp.Converged {
+		flags |= 2
+	}
+	head := []any{
+		uint32(CheckpointVersion),
+		uint16(len(cp.Fingerprint)), []byte(cp.Fingerprint),
+		uint32(cp.Sweep), cp.Fit, flags,
+	}
+	for _, v := range head {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, fmt.Errorf("core: writing checkpoint header: %w", err)
+		}
+	}
+	model := tucker.Model{Core: cp.Core, Factors: cp.Factors}
+	if _, err := model.WriteTo(cw); err != nil {
+		return cw.n, fmt.Errorf("core: writing checkpoint state: %w", err)
+	}
+	if err := binary.Write(cw.w, binary.LittleEndian, cw.sum); err != nil {
+		return cw.n, fmt.Errorf("core: writing checkpoint checksum: %w", err)
+	}
+	return cw.n + 4, nil
+}
+
+// ReadCheckpoint deserializes a .dtc checkpoint, verifying the trailing
+// checksum before any of the state is returned. Every malformed input —
+// wrong magic, foreign schema version, torn file, checksum mismatch,
+// inconsistent flags — is a typed dterr.ErrCorruptArtifact.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	cr := &crcReader{r: r}
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, corruptCheckpoint("short magic")
+	}
+	if magic != checkpointMagic {
+		return nil, corruptCheckpoint("bad magic %q (not a .dtc checkpoint)", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, corruptCheckpoint("short header")
+	}
+	if version != CheckpointVersion {
+		return nil, corruptCheckpoint("schema version %d (this build reads %d)", version, CheckpointVersion)
+	}
+	var fplen uint16
+	if err := binary.Read(cr, binary.LittleEndian, &fplen); err != nil {
+		return nil, corruptCheckpoint("short header")
+	}
+	if fplen > 256 {
+		return nil, corruptCheckpoint("fingerprint length %d out of range", fplen)
+	}
+	fp := make([]byte, fplen)
+	if _, err := io.ReadFull(cr, fp); err != nil {
+		return nil, corruptCheckpoint("short fingerprint")
+	}
+	var (
+		sweep uint32
+		fit   float64
+		flags uint8
+	)
+	for _, v := range []any{&sweep, &fit, &flags} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, corruptCheckpoint("short header")
+		}
+	}
+	if math.IsNaN(fit) || math.IsInf(fit, 0) {
+		return nil, corruptCheckpoint("fit is %v", fit)
+	}
+	if sweep == 0 || sweep > 1<<30 {
+		return nil, corruptCheckpoint("sweep index %d out of range", sweep)
+	}
+	if flags > 3 {
+		return nil, corruptCheckpoint("unknown flag bits %#x", flags)
+	}
+	var model tucker.Model
+	if _, err := model.ReadFrom(cr); err != nil {
+		return nil, corruptCheckpoint("reading state: %v", err)
+	}
+	computed := cr.sum
+	var stored uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return nil, corruptCheckpoint("short checksum")
+	}
+	if stored != computed {
+		return nil, corruptCheckpoint("checksum mismatch (stored %08x, computed %08x)", stored, computed)
+	}
+	return &Checkpoint{
+		Sweep:       int(sweep),
+		Fit:         fit,
+		Done:        flags&1 != 0,
+		Converged:   flags&2 != 0,
+		Fingerprint: string(fp),
+		Factors:     model.Factors,
+		Core:        model.Core,
+	}, nil
+}
+
+// validateResume checks a checkpoint against this approximation before any
+// of its state is spliced into the iteration. Every violation is a typed
+// corrupt-artifact error: the checkpoint belongs to a different computation
+// (fingerprint, shapes) or is internally inconsistent.
+func (ap *Approximation) validateResume(cp *Checkpoint) error {
+	if want := ap.opts.Config.Fingerprint(); cp.Fingerprint != want {
+		return corruptCheckpoint("config fingerprint %s does not match this run's %s", cp.Fingerprint, want)
+	}
+	if cp.Sweep < 1 || cp.Sweep > ap.opts.MaxIters {
+		return corruptCheckpoint("sweep %d outside this run's budget of %d", cp.Sweep, ap.opts.MaxIters)
+	}
+	if cp.Sweep == ap.opts.MaxIters && !cp.Done {
+		return corruptCheckpoint("sweep %d exhausted the budget but is not marked done", cp.Sweep)
+	}
+	if cp.Converged && !cp.Done {
+		return corruptCheckpoint("converged but not done")
+	}
+	order := len(ap.Shape)
+	if len(cp.Factors) != order {
+		return corruptCheckpoint("%d factors for an order-%d tensor", len(cp.Factors), order)
+	}
+	for k, f := range cp.Factors {
+		if f == nil {
+			return corruptCheckpoint("missing factor %d", k)
+		}
+		if r, c := f.Dims(); r != ap.Shape[k] || c != ap.Ranks[k] {
+			return corruptCheckpoint("factor %d is %d×%d, want %d×%d", k, r, c, ap.Shape[k], ap.Ranks[k])
+		}
+	}
+	if cp.Core == nil {
+		return corruptCheckpoint("missing core")
+	}
+	cs := cp.Core.Shape()
+	if len(cs) != order {
+		return corruptCheckpoint("core has order %d, want %d", len(cs), order)
+	}
+	for k, d := range cs {
+		if d != ap.Ranks[k] {
+			return corruptCheckpoint("core dimension %d is %d, want %d", k, d, ap.Ranks[k])
+		}
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"strconv"
@@ -188,6 +190,18 @@ func (c Config) Canonical() string {
 		n.SliceRank, strconv.FormatFloat(n.Tol, 'g', -1, 64), n.MaxIters,
 		n.Oversampling, n.PowerIters, n.Seed, int(n.Leading), n.NoReorder, n.SliceKernel, n.KernelProfile)
 	return sb.String()
+}
+
+// Fingerprint returns a short stable identifier of the normalized config —
+// the compatibility stamp checkpoints carry. Two configs with equal
+// fingerprints run the same deterministic computation (randomness is seeded
+// from Config.Seed, so the fingerprint is RNG-free), which is what makes a
+// checkpoint taken under one process resumable in another: a resume under a
+// different fingerprint would splice states from two different trajectories
+// and is rejected as a corrupt artifact.
+func (c Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte("dtucker-config-fp-v1|" + c.Canonical()))
+	return hex.EncodeToString(sum[:8])
 }
 
 // Options returns the config wrapped in a plain Options value with no

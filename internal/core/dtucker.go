@@ -62,15 +62,45 @@ func (ap *Approximation) Decompose() (_ *Decomposition, err error) {
 	defer dterr.RecoverTo(&err, "core.Approximation.Decompose")
 	root := ap.opts.Metrics.Tracer().Begin("solve")
 	defer root.End()
-	t0 := time.Now()
-	factors, err := ap.initFactors()
-	if err != nil {
-		return nil, err
+
+	// A resumed run skips initialization and re-enters the iteration loop
+	// where the checkpoint left off. The initialization it skips is exactly
+	// what the original run computed (deterministic in the seed), so the
+	// resumed trajectory continues the original one, not a lookalike.
+	startSweep, prevFit := 1, 0.0
+	var factors []*mat.Dense
+	initTime := time.Duration(0)
+	if cp := ap.opts.Resume; cp != nil {
+		if err := ap.validateResume(cp); err != nil {
+			return nil, err
+		}
+		factors = append([]*mat.Dense(nil), cp.Factors...)
+		if cp.Done {
+			// Terminal checkpoint: the original run finished this sweep and
+			// died before acknowledging; the result is already in hand.
+			model := ap.toOriginalOrder(cp.Core, factors)
+			if err := model.Validate(nil); err != nil {
+				return nil, fmt.Errorf("core: resumed checkpoint state: %w: %v", dterr.ErrCorruptArtifact, err)
+			}
+			return &Decomposition{
+				Model:     model,
+				Fit:       cp.Fit,
+				Converged: cp.Converged,
+				Stats:     Stats{Iters: cp.Sweep},
+			}, nil
+		}
+		startSweep, prevFit = cp.Sweep+1, cp.Fit
+	} else {
+		t0 := time.Now()
+		factors, err = ap.initFactors()
+		if err != nil {
+			return nil, err
+		}
+		initTime = time.Since(t0)
 	}
-	initTime := time.Since(t0)
 
 	t1 := time.Now()
-	core, fit, iters, converged, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors, startSweep, prevFit)
 	if err != nil {
 		return nil, err
 	}

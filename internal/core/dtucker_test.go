@@ -437,7 +437,7 @@ func benchIterWorkers(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs := append([]*mat.Dense(nil), init...)
-		if _, _, _, _, err := ap.iterate(fs); err != nil {
+		if _, _, _, _, err := ap.iterate(fs, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -83,6 +83,28 @@ type Options struct {
 	// no-op). Counters are shared process-wide; see package metrics.
 	Metrics *metrics.Collector
 
+	// CheckpointSink, when non-nil, receives the live iteration state at the
+	// end of every ALS sweep — after the sweep's fit is computed, before the
+	// convergence decision is acted on. The checkpoint aliases working
+	// state: the sink must serialize or deep-copy before returning and must
+	// not retain the pointers. The call is synchronous and its error fails
+	// the decomposition (fail-stop durability: a run whose checkpoints
+	// cannot be persisted is not allowed to advance past what recovery could
+	// reproduce). Terminal sweeps are marked Done so a resumed run can
+	// short-circuit to the result.
+	CheckpointSink func(*Checkpoint) error
+
+	// Resume, when non-nil, continues the iteration phase from a previously
+	// captured checkpoint instead of running initialization: the
+	// approximation phase is recomputed (it is deterministic and cheap
+	// relative to lost sweeps), initFactors is skipped, and sweeps continue
+	// at Resume.Sweep+1 with the checkpoint's fit as the convergence
+	// baseline. Because every parallel site is owner-computes, the resumed
+	// run's factors, core, and fit are bit-identical to an uninterrupted
+	// one. The checkpoint must carry this config's Fingerprint; a mismatch
+	// (or any shape inconsistency) is a dterr.ErrCorruptArtifact error.
+	Resume *Checkpoint
+
 	// Profile supplies the calibrated kernelsel cost model that SliceKernel
 	// "auto" resolves against. Nil selects kernelsel.Default(). When
 	// Config.KernelProfile is non-empty it must equal this profile's

@@ -435,7 +435,13 @@ func scaleRows(m *mat.Dense, s []float64) {
 // converged == false means the sweep budget ran out with the fit still
 // moving (callers surface this instead of silently reporting MaxIters
 // sweeps as if the run had settled).
-func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, int, bool, error) {
+//
+// startSweep and prevFit exist for checkpoint resume: a fresh run passes
+// (1, 0); a resumed run passes the checkpointed sweep + 1 and the
+// checkpointed fit, so the convergence test |fit − prevFit| < Tol sees
+// exactly the values the uninterrupted run would have — the resumed
+// trajectory is bit-identical, decisions included.
+func (ap *Approximation) iterate(factors []*mat.Dense, startSweep int, prevFit float64) (*tensor.Dense, float64, int, bool, error) {
 	col := ap.opts.Metrics
 	col.StartPhase(metrics.PhaseIter)
 	defer col.EndPhase(metrics.PhaseIter)
@@ -443,17 +449,20 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 	tr := col.Tracer()
 	pl := ap.workerPool()
 	order := len(ap.Shape)
+	fingerprint := ""
+	if ap.opts.CheckpointSink != nil {
+		fingerprint = ap.opts.Config.Fingerprint()
+	}
 	var (
 		core      *tensor.Dense
 		fit       float64
-		prevFit   float64
 		iters     int
 		converged bool
 	)
 	// Sweep and mode spans end on the happy path; any error return leaves
 	// them to be force-closed by the phase span the deferred EndPhase ends,
 	// so the trace stays balanced on every exit.
-	for iters = 1; iters <= ap.opts.MaxIters; iters++ {
+	for iters = startSweep; iters <= ap.opts.MaxIters; iters++ {
 		sweep := tr.BeginIdx("sweep", int64(iters))
 		// Sweep boundary: a cancelled run stops here, before the next sweep
 		// touches any scratch, and the core.iter.sweep fault hook fires.
@@ -508,8 +517,29 @@ func (ap *Approximation) iterate(factors []*mat.Dense) (*tensor.Dense, float64, 
 		fit = tucker.FitFromCore(ap.NormX, core.Norm())
 		csp.End()
 		col.RecordFit(iters, fit)
+		// The convergence decision is made before the checkpoint is cut so a
+		// terminal sweep can be marked Done — a resume from it short-circuits
+		// straight to the result instead of re-running a sweep the original
+		// run never ran.
+		conv := iters > 1 && abs(fit-prevFit) < ap.opts.Tol
+		if sink := ap.opts.CheckpointSink; sink != nil {
+			t0 := metrics.HistStart()
+			err := sink(&Checkpoint{
+				Sweep:       iters,
+				Fit:         fit,
+				Done:        conv || iters == ap.opts.MaxIters,
+				Converged:   conv,
+				Fingerprint: fingerprint,
+				Factors:     factors,
+				Core:        core,
+			})
+			if err != nil {
+				return nil, 0, iters, false, fmt.Errorf("core: sweep %d checkpoint: %w", iters, err)
+			}
+			metrics.ObserveSince(metrics.HistCheckpointWrite, t0)
+		}
 		sweep.End()
-		if iters > 1 && abs(fit-prevFit) < ap.opts.Tol {
+		if conv {
 			converged = true
 			break
 		}

@@ -101,7 +101,7 @@ func TestIterateMatchesDenseHOOISweep(t *testing.T) {
 
 	init := randomFactors(rng, x.Shape(), ranks)
 	sliceFs := append([]*mat.Dense(nil), init...)
-	core1, _, _, _, err := ap.iterate(sliceFs)
+	core1, _, _, _, err := ap.iterate(sliceFs, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestInitFactorsOrthonormalAndAligned(t *testing.T) {
 	}
 	// On exactly low-rank data the initialization alone should already
 	// capture most of the energy: one subsequent sweep must converge.
-	core, fit, iters, _, err := ap.iterate(fs)
+	core, fit, iters, _, err := ap.iterate(fs, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

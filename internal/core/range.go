@@ -73,7 +73,7 @@ func (s *Stream) DecomposeRange(t0, t1 int) (_ *Decomposition, err error) {
 	}
 	initTime := time.Since(t0w)
 	t1w := time.Now()
-	core, fit, iters, converged, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors, 1, 0)
 	if err != nil {
 		return nil, err
 	}

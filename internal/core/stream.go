@@ -217,7 +217,7 @@ func (s *Stream) Decompose() (_ *Decomposition, err error) {
 	initTime := time.Since(t0)
 
 	t1 := time.Now()
-	core, fit, iters, converged, err := ap.iterate(factors)
+	core, fit, iters, converged, err := ap.iterate(factors, 1, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -156,7 +156,7 @@ func TestIterateReportsNonConvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, iters, converged, err := ap.iterate(fs)
+	_, _, iters, converged, err := ap.iterate(fs, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,13 @@ var (
 	// ErrInjected is wrapped by every fault the internal/faults harness
 	// injects, letting tests distinguish injected failures from organic ones.
 	ErrInjected = errors.New("injected fault")
+	// ErrCorruptArtifact marks a durability artifact — a journal record, a
+	// snapshot, a checkpoint, a spill file — that failed its integrity or
+	// schema checks on recovery (bad magic or version, checksum mismatch,
+	// unknown config fingerprint, digest mismatch). Recovery rejects the
+	// artifact and degrades per job: it never aborts recovery of the
+	// remaining jobs over one corrupt file.
+	ErrCorruptArtifact = errors.New("corrupt durability artifact")
 )
 
 // CancelledError reports that a decomposition observed context cancellation

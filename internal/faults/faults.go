@@ -34,7 +34,10 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +53,13 @@ const (
 	// ModePanic makes Inject panic with an *InjectedError — simulating a
 	// worker panic, to prove containment boundaries hold.
 	ModePanic
+	// ModeExit makes a Crash call terminate the process via the package exit
+	// function (os.Exit(7) by default; see SetExitFunc) — a real kill, for
+	// subprocess crash-recovery tests. In-process tests leave the mode at
+	// ModeError, where Crash returns a *CrashError the durability layer
+	// converts into a simulated crash (freeze all writes, fail the
+	// operation).
+	ModeExit
 )
 
 // String returns the mode's presentation name.
@@ -59,8 +69,31 @@ func (m Mode) String() string {
 		return "error"
 	case ModePanic:
 		return "panic"
+	case ModeExit:
+		return "exit"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// CrashExitCode is what ModeExit passes to the exit function, so harnesses
+// can tell an injected crash from every organic exit path.
+const CrashExitCode = 7
+
+// exitFunc is what ModeExit calls; swapped by SetExitFunc in tests.
+var exitFunc atomic.Pointer[func(int)]
+
+func init() {
+	f := os.Exit
+	exitFunc.Store(&f)
+}
+
+// SetExitFunc replaces the function ModeExit crashes through (default
+// os.Exit) and returns a restore func. In-process tests that sweep exit-mode
+// plans install a recording stub; the dtuckerd e2e harness keeps the real
+// os.Exit so the daemon genuinely dies mid-write.
+func SetExitFunc(f func(int)) (restore func()) {
+	prev := exitFunc.Swap(&f)
+	return func() { exitFunc.Store(prev) }
 }
 
 // Plan describes which hits of a site trigger the fault.
@@ -80,9 +113,16 @@ type Plan struct {
 	Prob float64
 	// Seed seeds the Prob generator.
 	Seed int64
-	// Mode selects error versus panic injection at Inject sites. Fire/
-	// FireKey sites implement their own corruption and ignore it.
+	// Mode selects error versus panic injection at Inject sites (and error
+	// versus process exit at Crash sites). Fire/FireKey sites implement
+	// their own corruption and ignore it.
 	Mode Mode
+	// TornBytes configures Crash sites: when the site triggers, the caller
+	// is told to persist exactly this many bytes of the write it was about
+	// to perform before dying — 0 models a crash at a clean record
+	// boundary, a small positive value a torn write. Negative means "after
+	// the full write but before acknowledging it".
+	TornBytes int64
 }
 
 // InjectedError is the failure Inject sites produce. It wraps
@@ -293,4 +333,112 @@ func (s *Site) Inject() error {
 		panic(err)
 	}
 	return err
+}
+
+// CrashError is what a Crash site produces in ModeError: the instruction to
+// simulate a process death at this write. Torn carries the plan's TornBytes,
+// telling the caller how much of the in-flight write to persist before
+// "dying". It wraps dterr.ErrInjected like every other injected failure.
+type CrashError struct {
+	Site string
+	// Torn is how many bytes of the interrupted write to persist: 0 for a
+	// clean boundary, n > 0 for a torn prefix, negative for "all bytes
+	// written but the operation unacknowledged".
+	Torn int64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faults: injected crash at site %q (torn %d bytes)", e.Site, e.Torn)
+}
+
+// Unwrap makes injected crashes errors.Is-able against dterr.ErrInjected.
+func (e *CrashError) Unwrap() error { return dterr.ErrInjected }
+
+// Crash is the hook durability write paths place immediately before a
+// persistence operation. When the site triggers in ModeExit the process
+// exits with CrashExitCode (through the SetExitFunc seam) — the caller
+// never observes the return. In every other mode it returns a *CrashError
+// telling the caller to persist Torn bytes of the write, freeze further
+// durability writes, and fail — an in-process simulation of the same death.
+// It returns nil when the site does not trigger.
+func (s *Site) Crash() *CrashError {
+	if !armed.Load() {
+		return nil
+	}
+	s.mu.Lock()
+	var torn int64
+	if s.plan != nil {
+		torn = s.plan.TornBytes
+	}
+	s.mu.Unlock()
+	fired, mode := s.fire(false, 0)
+	if !fired {
+		return nil
+	}
+	if mode == ModeExit {
+		(*exitFunc.Load())(CrashExitCode)
+	}
+	return &CrashError{Site: s.name, Torn: torn}
+}
+
+// ActivateSpec arms sites from a textual spec, the form the DTUCKERD_FAULTS
+// environment variable uses so subprocess crash tests can arm the daemon
+// without a test hook. Each clause is
+//
+//	site[:key=value[,key=value...]]
+//
+// with clauses separated by ';'. Keys: skip, count, torn (int64s), mode
+// (error|panic|exit), prob (float), seed (int64). Example:
+//
+//	journal.append:skip=3,mode=exit;journal.spill.rename:mode=exit
+func ActivateSpec(spec string) error {
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, opts, _ := strings.Cut(clause, ":")
+		var p Plan
+		if opts != "" {
+			for _, kv := range strings.Split(opts, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return fmt.Errorf("faults: spec clause %q: %q is not key=value", clause, kv)
+				}
+				var err error
+				switch k {
+				case "skip":
+					p.Skip, err = strconv.ParseInt(v, 10, 64)
+				case "count":
+					p.Count, err = strconv.ParseInt(v, 10, 64)
+				case "torn":
+					p.TornBytes, err = strconv.ParseInt(v, 10, 64)
+				case "prob":
+					p.Prob, err = strconv.ParseFloat(v, 64)
+				case "seed":
+					p.Seed, err = strconv.ParseInt(v, 10, 64)
+				case "mode":
+					switch v {
+					case "error":
+						p.Mode = ModeError
+					case "panic":
+						p.Mode = ModePanic
+					case "exit":
+						p.Mode = ModeExit
+					default:
+						err = fmt.Errorf("unknown mode %q", v)
+					}
+				default:
+					err = fmt.Errorf("unknown key %q", k)
+				}
+				if err != nil {
+					return fmt.Errorf("faults: spec clause %q: %v", clause, err)
+				}
+			}
+		}
+		if err := Activate(name, p); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -147,6 +147,97 @@ func TestInjectModes(t *testing.T) {
 	}
 }
 
+func TestCrashModes(t *testing.T) {
+	defer Reset()
+
+	// Disarmed: free and nil.
+	Reset()
+	if ce := siteA.Crash(); ce != nil {
+		t.Fatalf("disarmed Crash = %v", ce)
+	}
+
+	// ModeError (the in-process simulation): a *CrashError carrying the
+	// plan's torn-byte budget, errors.Is-able against ErrInjected.
+	if err := Activate("test.a", Plan{Skip: 1, TornBytes: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if ce := siteA.Crash(); ce != nil {
+		t.Fatalf("skipped hit crashed: %v", ce)
+	}
+	ce := siteA.Crash()
+	if ce == nil {
+		t.Fatal("armed Crash did not trigger")
+	}
+	if ce.Site != "test.a" || ce.Torn != 9 {
+		t.Fatalf("CrashError = %+v, want site test.a torn 9", ce)
+	}
+	if !errors.Is(ce, dterr.ErrInjected) {
+		t.Fatalf("crash error %v is not errors.Is(ErrInjected)", ce)
+	}
+
+	// ModeExit goes through the exit seam instead of returning.
+	Reset()
+	if err := Activate("test.a", Plan{Mode: ModeExit}); err != nil {
+		t.Fatal(err)
+	}
+	exited := -1
+	restore := SetExitFunc(func(code int) { exited = code })
+	defer restore()
+	ce = siteA.Crash()
+	if exited != CrashExitCode {
+		t.Fatalf("ModeExit exited with %d, want %d", exited, CrashExitCode)
+	}
+	// The stub exit returns, so the simulated-crash error still comes back —
+	// matching what the caller would never observe under a real os.Exit.
+	if ce == nil {
+		t.Fatal("ModeExit with stubbed exit returned nil CrashError")
+	}
+}
+
+func TestActivateSpec(t *testing.T) {
+	defer Reset()
+	spec := "test.a:skip=2,count=1,torn=16,mode=exit; test.b:mode=panic"
+	if err := ActivateSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	restore := SetExitFunc(func(int) {})
+	defer restore()
+	if ce := siteA.Crash(); ce != nil {
+		t.Fatalf("hit 1 crashed: %v", ce)
+	}
+	if ce := siteA.Crash(); ce != nil {
+		t.Fatalf("hit 2 crashed: %v", ce)
+	}
+	ce := siteA.Crash()
+	if ce == nil || ce.Torn != 16 {
+		t.Fatalf("hit 3: CrashError = %+v, want torn 16", ce)
+	}
+	if ce := siteA.Crash(); ce != nil {
+		t.Fatalf("count=1 exhausted plan crashed again: %v", ce)
+	}
+	didPanic := func() (v any) {
+		defer func() { v = recover() }()
+		siteB.Inject()
+		return nil
+	}()
+	if _, ok := didPanic.(*InjectedError); !ok {
+		t.Fatalf("test.b mode=panic: Inject panicked with %v", didPanic)
+	}
+
+	for _, bad := range []string{
+		"no.such.site:skip=1",
+		"test.a:skip",
+		"test.a:skip=x",
+		"test.a:mode=vanish",
+		"test.a:zap=1",
+	} {
+		Reset()
+		if err := ActivateSpec(bad); err == nil {
+			t.Fatalf("ActivateSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
 func TestActivateUnknownSite(t *testing.T) {
 	defer Reset()
 	if err := Activate("no.such.site", Plan{}); err == nil {

@@ -1,0 +1,459 @@
+// Package journal is the durability substrate of dtuckerd: an append-only,
+// checksummed, schema-versioned write-ahead journal of job lifecycle events,
+// a compact snapshot format for bounded replay, and atomic spill-file writes
+// for the large artifacts (tensors, checkpoints, results) the journal only
+// references by name.
+//
+// # Journal format (.dtjl)
+//
+//	header  magic [4]byte "DTJL", version uint32 (currently 1)
+//	record  length uint32, crc uint32 (CRC32-Castagnoli of payload),
+//	        payload [length]byte (JSON-encoded Record)
+//	...     records repeat until EOF
+//
+// All integers little endian. Every Append is followed by an fsync before it
+// returns, so an acknowledged record survives a process kill. Replay reads
+// records until the first frame that is short, oversized, or fails its
+// checksum; everything from that point on is a torn tail — the residue of a
+// crash mid-write — and is truncated off, never interpreted. A record is
+// therefore committed exactly when replay can see it, and a crash can only
+// ever lose the single record being written at the moment of death.
+//
+// # Snapshot format (.dtjs)
+//
+// A snapshot is the compaction of a replayed record stream: the same framed
+// encoding under magic "DTJS", holding one record batch (sequence watermark
+// plus compacted records) in a single checksummed frame, written atomically
+// via WriteFileAtomic. Recovery reads the snapshot first, then replays only
+// journal records with sequence numbers above the watermark; after a
+// successful recovery the server writes a fresh snapshot and truncates the
+// journal, bounding replay work by live state instead of history length.
+//
+// # Crash simulation
+//
+// The write paths carry faults hook sites ("journal.append",
+// "journal.spill.write", "journal.spill.rename") whose Crash() hook models a
+// process death at that exact write: the journal persists the configured
+// torn prefix of the in-flight frame, then freezes — every later append or
+// spill becomes a silent no-op, exactly as if the process had died — and the
+// caller gets a *faults.CrashError. Tests then drain the still-running
+// server normally (its in-memory state no longer matters) and open a fresh
+// one on the same directory, which sees byte-for-byte the disk state a real
+// kill would have left. ModeExit plans skip the simulation and genuinely
+// exit, for subprocess e2e tests.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/dterr"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// Crash-injection hook sites on the durability write paths (no-ops unless a
+// test or DTUCKERD_FAULTS arms them).
+var (
+	siteAppend      = faults.NewSite("journal.append")
+	siteSpillWrite  = faults.NewSite("journal.spill.write")
+	siteSpillRename = faults.NewSite("journal.spill.rename")
+)
+
+var (
+	journalMagic  = [4]byte{'D', 'T', 'J', 'L'}
+	snapshotMagic = [4]byte{'D', 'T', 'J', 'S'}
+)
+
+// Version is the journal schema version this package writes. Readers reject
+// other versions: a downgraded binary must not misparse a future schema.
+const Version = 1
+
+// maxRecordBytes bounds one record frame. Journal records are small JSON
+// documents (large artifacts live in spill files), so anything past this is
+// a corrupt length field, not a real record.
+const maxRecordBytes = 1 << 20
+
+// crcTable is the Castagnoli polynomial, matching the "CRC32C per record"
+// format contract (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordType enumerates the job lifecycle events the journal captures.
+type RecordType string
+
+const (
+	// RecAccepted commits an admitted job: its identity, tenant, lane,
+	// config, and the name of its tensor spill file. Written after the spill
+	// so an accepted record always references a complete tensor.
+	RecAccepted RecordType = "accepted"
+	// RecStarted marks the job picked up by a runner. Informational — an
+	// accepted job with no terminal record is re-enqueued on recovery
+	// whether or not it had started.
+	RecStarted RecordType = "started"
+	// RecSweep commits one completed ALS sweep and names the checkpoint
+	// spill holding the iteration state at that boundary.
+	RecSweep RecordType = "sweep"
+	// RecFinished commits a terminal outcome: "done" (with the result spill
+	// name) or "failed" (with the error kind and message).
+	RecFinished RecordType = "finished"
+	// RecCancelled commits a client-requested cancellation. Drain-time
+	// cancellations are deliberately not journaled, so a graceful restart
+	// resumes the interrupted jobs instead of abandoning them.
+	RecCancelled RecordType = "cancelled"
+)
+
+// Record is one journal entry. A single struct covers every record type;
+// unused fields stay zero and are omitted from the JSON encoding.
+type Record struct {
+	// Seq is the journal-assigned sequence number, strictly increasing
+	// across the journal and its snapshots.
+	Seq  uint64     `json:"seq"`
+	Type RecordType `json:"type"`
+	// Job is the job id ("j-000042") every record belongs to.
+	Job string `json:"job"`
+	// AtMs is the wall-clock time the record was appended, Unix
+	// milliseconds — presentation metadata for restored job records.
+	AtMs int64 `json:"at_ms,omitempty"`
+
+	// Accepted fields.
+	Tenant       string          `json:"tenant,omitempty"`
+	Lane         string          `json:"lane,omitempty"`
+	Key          string          `json:"key,omitempty"` // result-cache key
+	Config       json.RawMessage `json:"config,omitempty"`
+	TensorFile   string          `json:"tensor_file,omitempty"`
+	TensorDigest string          `json:"tensor_digest,omitempty"`
+	// Fingerprint is the RNG-free config fingerprint checkpoints must match.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	TimeoutMs   int64  `json:"timeout_ms,omitempty"`
+	Trace       bool   `json:"trace,omitempty"`
+
+	// Sweep fields.
+	Sweep          int    `json:"sweep,omitempty"`
+	CheckpointFile string `json:"checkpoint_file,omitempty"`
+
+	// Terminal fields.
+	Outcome    string  `json:"outcome,omitempty"` // "done" or "failed"
+	ErrKind    string  `json:"err_kind,omitempty"`
+	ErrMessage string  `json:"err_message,omitempty"`
+	Fit        float64 `json:"fit,omitempty"`
+	Converged  bool    `json:"converged,omitempty"`
+	Iters      int     `json:"iters,omitempty"`
+	ResultFile string  `json:"result_file,omitempty"`
+	// ResultDigest is the sha256 (hex) of the result spill's bytes: the
+	// .dtd format carries no internal checksum, so the journal record is
+	// what lets a restart detect a bit-rotted result before serving it.
+	ResultDigest string `json:"result_digest,omitempty"`
+}
+
+// Replay is what Open recovered from an existing journal file.
+type Replay struct {
+	// Records are the committed records, in append order.
+	Records []Record
+	// TailError is non-nil when a torn or corrupt tail was found and
+	// truncated: a typed error wrapping dterr.ErrCorruptArtifact describing
+	// the first bad frame. The records before it are intact — a torn tail
+	// never aborts recovery, it only drops the uncommitted suffix.
+	TailError error
+	// TruncatedBytes is how many bytes of torn tail were cut off.
+	TruncatedBytes int64
+}
+
+// Journal is an open journal file positioned for appending. Methods are
+// safe for concurrent use.
+type Journal struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	frozen bool
+	reason error // why the journal froze (crash injection or a write error)
+}
+
+// ErrFrozen is returned by appends after the journal froze — an injected
+// crash or an earlier failed write. A frozen journal accepts no more
+// records: appending past a torn tail would strand them beyond the
+// corruption, acknowledged but unrecoverable.
+var ErrFrozen = errors.New("journal: frozen")
+
+// corrupt wraps a format violation as a typed dterr corrupt-artifact error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, dterr.ErrCorruptArtifact)...)
+}
+
+// Open opens (creating if absent) the journal at path, replays its committed
+// records, truncates any torn tail in place, and leaves the file positioned
+// for appending. The journal's next sequence number continues from the last
+// committed record; callers merging a snapshot bump it with BumpSeq.
+//
+// A header that is present but wrong (bad magic or unsupported version) is a
+// typed corrupt-artifact error: the file is not ours to append to, and the
+// operator must move it aside.
+func Open(path string) (*Journal, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	j := &Journal{path: path, f: f}
+	rep, endOff, err := j.replayLocked()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if rep.TruncatedBytes > 0 {
+		if err := f.Truncate(endOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(endOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	if len(rep.Records) > 0 {
+		j.seq = rep.Records[len(rep.Records)-1].Seq
+	}
+	return j, rep, nil
+}
+
+// replayLocked reads the header (writing one into an empty file) and every
+// committed record, returning the replay and the offset where the committed
+// prefix ends.
+func (j *Journal) replayLocked() (*Replay, int64, error) {
+	st, err := j.f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: stat %s: %w", j.path, err)
+	}
+	if st.Size() == 0 {
+		if err := j.writeHeaderLocked(); err != nil {
+			return nil, 0, err
+		}
+		return &Replay{}, int64(len(journalMagic) + 4), nil
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("journal: seeking %s: %w", j.path, err)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(j.f, magic[:]); err != nil {
+		return nil, 0, corrupt("journal: %s: short header", j.path)
+	}
+	if magic != journalMagic {
+		return nil, 0, corrupt("journal: %s: bad magic %q (not a .dtjl journal)", j.path, magic[:])
+	}
+	var version uint32
+	if err := binary.Read(j.f, binary.LittleEndian, &version); err != nil {
+		return nil, 0, corrupt("journal: %s: short header", j.path)
+	}
+	if version != Version {
+		return nil, 0, corrupt("journal: %s: schema version %d (this build reads %d)", j.path, version, Version)
+	}
+	rep := &Replay{}
+	off := int64(len(journalMagic) + 4)
+	for {
+		rec, n, err := readFrame(j.f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rep.TailError = fmt.Errorf("journal: %s: record after seq %d: %w", j.path, j.lastSeq(rep), err)
+			rep.TruncatedBytes = st.Size() - off
+			break
+		}
+		off += n
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep, off, nil
+}
+
+func (j *Journal) lastSeq(rep *Replay) uint64 {
+	if len(rep.Records) == 0 {
+		return 0
+	}
+	return rep.Records[len(rep.Records)-1].Seq
+}
+
+// readFrame reads one length+crc+payload frame. io.EOF means a clean end;
+// every other failure is a corrupt-artifact error describing the bad frame.
+func readFrame(r io.Reader) (Record, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, corrupt("short frame header")
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, corrupt("short frame header")
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > maxRecordBytes {
+		return Record{}, 0, corrupt("frame length %d out of range", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, 0, corrupt("short frame payload (%d bytes expected)", length)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return Record{}, 0, corrupt("frame checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, corrupt("frame payload is not a record: %v", err)
+	}
+	return rec, int64(len(hdr)) + int64(length), nil
+}
+
+// frame encodes one record as length+crc+payload.
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+func (j *Journal) writeHeaderLocked() error {
+	var hdr [8]byte
+	copy(hdr[:4], journalMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	if _, err := j.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("journal: writing header of %s: %w", j.path, err)
+	}
+	return j.f.Sync()
+}
+
+// Append assigns the record the next sequence number, writes its frame, and
+// fsyncs before returning: an Append that returned nil is committed. On any
+// write failure — including an injected crash — the journal freezes and
+// every later Append returns ErrFrozen.
+func (j *Journal) Append(rec Record) error {
+	t0 := metrics.HistStart()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return fmt.Errorf("%w: %v", ErrFrozen, j.reason)
+	}
+	j.seq++
+	rec.Seq = j.seq
+	buf, err := frame(rec)
+	if err != nil {
+		j.seq--
+		return err
+	}
+	if ce := siteAppend.Crash(); ce != nil {
+		// Simulated death mid-append: persist the torn prefix, then freeze.
+		torn := ce.Torn
+		if torn < 0 || torn > int64(len(buf)) {
+			torn = int64(len(buf))
+		}
+		if torn > 0 {
+			j.f.Write(buf[:torn])
+			j.f.Sync()
+		}
+		j.freezeLocked(ce)
+		return ce
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		j.freezeLocked(err)
+		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.freezeLocked(err)
+		return fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	}
+	metrics.ObserveSince(metrics.HistJournalAppend, t0)
+	return nil
+}
+
+func (j *Journal) freezeLocked(reason error) {
+	j.frozen = true
+	j.reason = reason
+}
+
+// Freeze wedges the journal: every later Append fails with ErrFrozen. The
+// durability layer calls it when a simulated crash fires at a spill site —
+// a dead process writes nothing more, so neither may the journal after any
+// injected death, or a crash test could commit records the real crash never
+// would have.
+func (j *Journal) Freeze(reason error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.frozen {
+		j.freezeLocked(reason)
+	}
+}
+
+// Frozen reports whether the journal stopped accepting writes (and why).
+func (j *Journal) Frozen() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.frozen, j.reason
+}
+
+// Seq returns the sequence number of the last assigned record.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// BumpSeq raises the next-sequence watermark to at least seq — called after
+// snapshot replay so journal records sort after snapshotted ones.
+func (j *Journal) BumpSeq(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.seq {
+		j.seq = seq
+	}
+}
+
+// Truncate discards every record, resetting the journal to an empty file
+// with a fresh header — called after a snapshot has captured the state the
+// records encode. The sequence watermark is kept, so later records still
+// sort after the snapshot.
+func (j *Journal) Truncate() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return fmt.Errorf("%w: %v", ErrFrozen, j.reason)
+	}
+	if err := j.f.Truncate(int64(len(journalMagic) + 4)); err != nil {
+		return fmt.Errorf("journal: truncating %s: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(int64(len(journalMagic)+4), io.SeekStart); err != nil {
+		return fmt.Errorf("journal: seeking %s: %w", j.path, err)
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if !j.frozen {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package journal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dterr"
+	"repro/internal/faults"
+)
+
+func openT(t *testing.T, path string) (*Journal, *Replay) {
+	t.Helper()
+	j, rep, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, rep
+}
+
+func appendT(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append(%+v): %v", rec, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.dtjl")
+	j, rep := openT(t, path)
+	if len(rep.Records) != 0 || rep.TailError != nil {
+		t.Fatalf("fresh journal replayed %+v", rep)
+	}
+	appendT(t, j,
+		Record{Type: RecAccepted, Job: "j-000001", Tenant: "a", Key: "k1", TensorFile: "j-000001.ten"},
+		Record{Type: RecStarted, Job: "j-000001"},
+		Record{Type: RecSweep, Job: "j-000001", Sweep: 3, CheckpointFile: "j-000001.ckpt"},
+		Record{Type: RecFinished, Job: "j-000001", Outcome: "done", Fit: 0.25, Iters: 7, ResultFile: "j-000001.dtd"},
+	)
+	j.Close()
+
+	j2, rep2 := openT(t, path)
+	if rep2.TailError != nil {
+		t.Fatalf("replay reported tail error: %v", rep2.TailError)
+	}
+	if len(rep2.Records) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(rep2.Records))
+	}
+	for i, rec := range rep2.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	got := rep2.Records[3]
+	if got.Type != RecFinished || got.Outcome != "done" || got.Fit != 0.25 || got.ResultFile != "j-000001.dtd" {
+		t.Fatalf("finished record roundtripped as %+v", got)
+	}
+	// Appends continue the sequence.
+	appendT(t, j2, Record{Type: RecAccepted, Job: "j-000002"})
+	if j2.Seq() != 5 {
+		t.Fatalf("Seq after append = %d, want 5", j2.Seq())
+	}
+}
+
+func TestTornTailTruncatedOnReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.dtjl")
+	j, _ := openT(t, path)
+	appendT(t, j,
+		Record{Type: RecAccepted, Job: "j-000001"},
+		Record{Type: RecStarted, Job: "j-000001"},
+	)
+	j.Close()
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(raw, 0x40, 0x00, 0x00, 0x00, 0xde, 0xad) // length=64, partial crc
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep := openT(t, path)
+	if len(rep.Records) != 2 {
+		t.Fatalf("replayed %d records, want the 2 committed ones", len(rep.Records))
+	}
+	if rep.TailError == nil || !errors.Is(rep.TailError, dterr.ErrCorruptArtifact) {
+		t.Fatalf("torn tail error = %v, want a dterr.ErrCorruptArtifact", rep.TailError)
+	}
+	if rep.TruncatedBytes != 6 {
+		t.Fatalf("TruncatedBytes = %d, want 6", rep.TruncatedBytes)
+	}
+	// The torn bytes are gone from disk and appending resumes cleanly.
+	appendT(t, j2, Record{Type: RecFinished, Job: "j-000001", Outcome: "done"})
+	j2.Close()
+	_, rep3 := openT(t, path)
+	if rep3.TailError != nil || len(rep3.Records) != 3 {
+		t.Fatalf("post-truncation journal replayed %d records (tail %v), want 3 clean", len(rep3.Records), rep3.TailError)
+	}
+}
+
+func TestFlippedChecksumByteStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.dtjl")
+	j, _ := openT(t, path)
+	appendT(t, j,
+		Record{Type: RecAccepted, Job: "j-000001"},
+		Record{Type: RecAccepted, Job: "j-000002"},
+		Record{Type: RecAccepted, Job: "j-000003"},
+	)
+	j.Close()
+
+	// Flip one byte in the last record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep := openT(t, path)
+	if len(rep.Records) != 2 {
+		t.Fatalf("replayed %d records, want 2 (the uncorrupted prefix)", len(rep.Records))
+	}
+	if rep.TailError == nil || !errors.Is(rep.TailError, dterr.ErrCorruptArtifact) {
+		t.Fatalf("checksum error = %v, want a dterr.ErrCorruptArtifact", rep.TailError)
+	}
+}
+
+func TestForeignJournalRejected(t *testing.T) {
+	dir := t.TempDir()
+
+	badMagic := filepath.Join(dir, "bad-magic.dtjl")
+	if err := os.WriteFile(badMagic, []byte("NOPE\x01\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(badMagic); !errors.Is(err, dterr.ErrCorruptArtifact) {
+		t.Fatalf("bad magic: Open err = %v, want ErrCorruptArtifact", err)
+	}
+
+	badVersion := filepath.Join(dir, "bad-version.dtjl")
+	if err := os.WriteFile(badVersion, []byte("DTJL\x63\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(badVersion); !errors.Is(err, dterr.ErrCorruptArtifact) {
+		t.Fatalf("bad version: Open err = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+func TestSnapshotRoundtripAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.dtjs")
+
+	// Missing file: clean zero state.
+	seq, recs, err := ReadSnapshot(path)
+	if err != nil || seq != 0 || recs != nil {
+		t.Fatalf("missing snapshot = (%d, %v, %v), want (0, nil, nil)", seq, recs, err)
+	}
+
+	in := []Record{
+		{Seq: 1, Type: RecAccepted, Job: "j-000001", Tenant: "a"},
+		{Seq: 4, Type: RecFinished, Job: "j-000001", Outcome: "done", ResultFile: "j-000001.dtd"},
+	}
+	if err := WriteSnapshot(path, 9, in); err != nil {
+		t.Fatal(err)
+	}
+	seq, recs, err = ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 || len(recs) != 2 || recs[1].ResultFile != "j-000001.dtd" {
+		t.Fatalf("snapshot roundtripped as (%d, %+v)", seq, recs)
+	}
+
+	// Flip a payload byte: typed corrupt error.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path); !errors.Is(err, dterr.ErrCorruptArtifact) {
+		t.Fatalf("corrupt snapshot err = %v, want ErrCorruptArtifact", err)
+	}
+
+	// Truncation: typed corrupt error.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path); !errors.Is(err, dterr.ErrCorruptArtifact) {
+		t.Fatalf("truncated snapshot err = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Type: RecAccepted, Job: "a"},
+		{Seq: 2, Type: RecAccepted, Job: "b"},
+		{Seq: 3, Type: RecStarted, Job: "a"},
+		{Seq: 4, Type: RecSweep, Job: "a", Sweep: 1, CheckpointFile: "a.ckpt"},
+		{Seq: 5, Type: RecSweep, Job: "a", Sweep: 2, CheckpointFile: "a.ckpt"},
+		{Seq: 6, Type: RecStarted, Job: "b"},
+		{Seq: 7, Type: RecSweep, Job: "b", Sweep: 1},
+		{Seq: 8, Type: RecFinished, Job: "b", Outcome: "done"},
+	}
+	got := Compact(recs)
+	// Job a (interrupted): accepted + latest sweep. Job b (done): accepted +
+	// terminal; its sweep record is compacted away.
+	want := []struct {
+		job  string
+		typ  RecordType
+		swep int
+	}{
+		{"a", RecAccepted, 0}, {"a", RecSweep, 2},
+		{"b", RecAccepted, 0}, {"b", RecFinished, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Compact returned %d records %+v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if got[i].Job != w.job || got[i].Type != w.typ || got[i].Sweep != w.swep {
+			t.Fatalf("Compact[%d] = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+func TestTruncateResetsRecordsKeepsSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.dtjl")
+	j, _ := openT(t, path)
+	appendT(t, j,
+		Record{Type: RecAccepted, Job: "j-000001"},
+		Record{Type: RecFinished, Job: "j-000001", Outcome: "done"},
+	)
+	if err := j.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, j, Record{Type: RecAccepted, Job: "j-000002"})
+	j.Close()
+	_, rep := openT(t, path)
+	if len(rep.Records) != 1 || rep.Records[0].Job != "j-000002" {
+		t.Fatalf("post-truncate replay = %+v, want only j-000002", rep.Records)
+	}
+	if rep.Records[0].Seq != 3 {
+		t.Fatalf("post-truncate seq = %d, want 3 (watermark kept)", rep.Records[0].Seq)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	write := func(b []byte) func(io.Writer) error {
+		return func(w io.Writer) error { _, err := w.Write(b); return err }
+	}
+	if err := WriteFileAtomic(path, write([]byte("first version"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, write([]byte("second version"))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "second version" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestCrashInjection sweeps the in-process crash modes: mid-append with a
+// torn prefix, mid-spill-write, and mid-rename. Each must leave the
+// previously committed state fully recoverable and freeze (append) or
+// abandon (spill) the in-flight write.
+func TestCrashInjection(t *testing.T) {
+	t.Run("append", func(t *testing.T) {
+		defer faults.Reset()
+		path := filepath.Join(t.TempDir(), "journal.dtjl")
+		j, _ := openT(t, path)
+		appendT(t, j, Record{Type: RecAccepted, Job: "j-000001"})
+		if err := faults.Activate("journal.append", faults.Plan{TornBytes: 5}); err != nil {
+			t.Fatal(err)
+		}
+		err := j.Append(Record{Type: RecStarted, Job: "j-000001"})
+		var ce *faults.CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Append under crash plan = %v, want *faults.CrashError", err)
+		}
+		// Frozen: later appends no-op with ErrFrozen.
+		if err := j.Append(Record{Type: RecFinished, Job: "j-000001"}); !errors.Is(err, ErrFrozen) {
+			t.Fatalf("post-crash Append = %v, want ErrFrozen", err)
+		}
+		j.Close()
+
+		// Reopen: the torn 5-byte prefix is truncated, the committed record
+		// survives.
+		_, rep := openT(t, path)
+		if len(rep.Records) != 1 || rep.Records[0].Type != RecAccepted {
+			t.Fatalf("post-crash replay = %+v, want the one committed record", rep.Records)
+		}
+		if rep.TailError == nil || rep.TruncatedBytes != 5 {
+			t.Fatalf("post-crash tail = (%v, %d bytes), want a 5-byte torn tail", rep.TailError, rep.TruncatedBytes)
+		}
+	})
+
+	for _, site := range []string{"journal.spill.write", "journal.spill.rename"} {
+		t.Run(site, func(t *testing.T) {
+			defer faults.Reset()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "artifact.bin")
+			write := func(b []byte) func(io.Writer) error {
+				return func(w io.Writer) error { _, err := w.Write(b); return err }
+			}
+			if err := WriteFileAtomic(path, write([]byte("committed"))); err != nil {
+				t.Fatal(err)
+			}
+			if err := faults.Activate(site, faults.Plan{TornBytes: 3}); err != nil {
+				t.Fatal(err)
+			}
+			err := WriteFileAtomic(path, write([]byte("replacement")))
+			var ce *faults.CrashError
+			if !errors.As(err, &ce) {
+				t.Fatalf("WriteFileAtomic under crash plan = %v, want *faults.CrashError", err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "committed" {
+				t.Fatalf("target after crashed replace = %q, %v; want previous content intact", got, rerr)
+			}
+		})
+	}
+}
+
+func TestFrozenJournalSurvivesConcurrentUse(t *testing.T) {
+	defer faults.Reset()
+	path := filepath.Join(t.TempDir(), "journal.dtjl")
+	j, _ := openT(t, path)
+	if err := faults.Activate("journal.append", faults.Plan{Skip: 2}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 8; i++ {
+				j.Append(Record{Type: RecStarted, Job: "j-000001"})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if frozen, _ := j.Frozen(); !frozen {
+		t.Fatal("journal did not freeze after the injected crash")
+	}
+	j.Close()
+	// Whatever was committed before the crash replays cleanly.
+	_, rep := openT(t, path)
+	if len(rep.Records) != 2 {
+		t.Fatalf("replayed %d records, want the 2 pre-crash ones", len(rep.Records))
+	}
+}

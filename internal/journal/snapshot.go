@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// snapshotBatch is the single JSON payload of a .dtjs snapshot.
+type snapshotBatch struct {
+	// Seq is the sequence watermark: every journal record with Seq at or
+	// below it is captured by (or compacted out of) this snapshot.
+	Seq     uint64   `json:"seq"`
+	Records []Record `json:"records"`
+}
+
+// WriteSnapshot atomically writes a snapshot of recs at watermark seq. The
+// write goes through WriteFileAtomic, so a crash mid-snapshot leaves the
+// previous snapshot (or none) intact.
+func WriteSnapshot(path string, seq uint64, recs []Record) error {
+	if recs == nil {
+		recs = []Record{}
+	}
+	payload, err := json.Marshal(snapshotBatch{Seq: seq, Records: recs})
+	if err != nil {
+		return fmt.Errorf("journal: encoding snapshot: %w", err)
+	}
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		var hdr [16]byte
+		copy(hdr[:4], snapshotMagic[:])
+		binary.LittleEndian.PutUint32(hdr[4:8], Version)
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, crcTable))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	})
+}
+
+// ReadSnapshot reads a snapshot, returning its watermark and records. A
+// missing file is not an error: it returns (0, nil, nil) — the state before
+// any snapshot was taken. Every malformed variant (bad magic, foreign
+// version, bad checksum, truncation) is a typed corrupt-artifact error; the
+// caller logs it and recovers from the journal alone.
+func ReadSnapshot(path string) (uint64, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("journal: reading snapshot %s: %w", path, err)
+	}
+	if len(raw) < 16 {
+		return 0, nil, corrupt("journal: snapshot %s: short header", path)
+	}
+	if !bytes.Equal(raw[:4], snapshotMagic[:]) {
+		return 0, nil, corrupt("journal: snapshot %s: bad magic %q", path, raw[:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != Version {
+		return 0, nil, corrupt("journal: snapshot %s: schema version %d (this build reads %d)", path, v, Version)
+	}
+	length := binary.LittleEndian.Uint32(raw[8:12])
+	sum := binary.LittleEndian.Uint32(raw[12:16])
+	if int64(length) != int64(len(raw)-16) {
+		return 0, nil, corrupt("journal: snapshot %s: payload length %d does not match file size", path, length)
+	}
+	payload := raw[16:]
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return 0, nil, corrupt("journal: snapshot %s: checksum mismatch (stored %08x, computed %08x)", path, sum, got)
+	}
+	var batch snapshotBatch
+	if err := json.Unmarshal(payload, &batch); err != nil {
+		return 0, nil, corrupt("journal: snapshot %s: payload is not a record batch: %v", path, err)
+	}
+	return batch.Seq, batch.Records, nil
+}
+
+// Compact reduces a replayed record stream to the minimal equivalent a
+// snapshot needs: per job, the accepted record, the latest sweep record (for
+// jobs still resumable), and the terminal record — started records and
+// superseded sweeps carry no recovery state and are dropped. Relative order
+// is preserved, so replaying a compacted stream reconstructs jobs in their
+// original admission order.
+func Compact(recs []Record) []Record {
+	type jobRecs struct {
+		accepted  *Record
+		lastSweep *Record
+		terminal  *Record
+	}
+	byJob := map[string]*jobRecs{}
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		jr := byJob[rec.Job]
+		if jr == nil {
+			jr = &jobRecs{}
+			byJob[rec.Job] = jr
+			order = append(order, rec.Job)
+		}
+		switch rec.Type {
+		case RecAccepted:
+			jr.accepted = rec
+		case RecSweep:
+			if jr.lastSweep == nil || rec.Sweep >= jr.lastSweep.Sweep {
+				jr.lastSweep = rec
+			}
+		case RecFinished, RecCancelled:
+			jr.terminal = rec
+		}
+	}
+	var out []Record
+	for _, id := range order {
+		jr := byJob[id]
+		if jr.accepted != nil {
+			out = append(out, *jr.accepted)
+		}
+		if jr.terminal != nil {
+			out = append(out, *jr.terminal)
+			continue
+		}
+		if jr.lastSweep != nil {
+			out = append(out, *jr.lastSweep)
+		}
+	}
+	return out
+}

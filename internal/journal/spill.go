@@ -1,0 +1,71 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the bytes produced by write to path with
+// all-or-nothing visibility: the payload goes to a same-directory temp file,
+// is fsynced, and is renamed over path. A reader (or a post-crash recovery)
+// sees either the complete previous content or the complete new content —
+// never a torn file. The payload is buffered in memory first, which the
+// spill artifacts (tensors, checkpoints, results) comfortably afford and
+// which lets crash injection persist an exact torn prefix.
+//
+// Crash hooks: "journal.spill.write" dies mid-write (the temp file is left
+// torn, the target untouched), "journal.spill.rename" dies after the temp
+// file is complete but before the rename (the target still untouched). Both
+// leave only droppings recovery GC removes.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return fmt.Errorf("journal: serializing %s: %w", filepath.Base(path), err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating %s: %w", tmp, err)
+	}
+	if ce := siteSpillWrite.Crash(); ce != nil {
+		torn := ce.Torn
+		if torn < 0 || torn > int64(buf.Len()) {
+			torn = int64(buf.Len())
+		}
+		f.Write(buf.Bytes()[:torn])
+		f.Sync()
+		f.Close()
+		return ce
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: closing %s: %w", tmp, err)
+	}
+	if ce := siteSpillRename.Crash(); ce != nil {
+		return ce
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: renaming %s: %w", tmp, err)
+	}
+	// Persist the rename itself. Directory fsync support varies by
+	// filesystem; failure here downgrades durability, not atomicity.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

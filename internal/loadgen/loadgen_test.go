@@ -185,7 +185,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 // exactly once, goodput matches the completion count, and the per-op and
 // per-tenant breakdowns partition the totals.
 func TestRunSmoke(t *testing.T) {
-	srv := server.New(server.Config{Workers: 2, Runners: 2, QueueDepth: 32})
+	srv, err := server.New(server.Config{Workers: 2, Runners: 2, QueueDepth: 32})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

@@ -58,6 +58,14 @@ const (
 	HistSliceSVDRand
 	HistSliceSVDExact
 	HistSliceSVDGram
+	// HistJournalAppend is the latency of one durable journal append
+	// (serialize, write, fsync). Its tail bounds the admission latency cost
+	// of running dtuckerd with -data-dir.
+	HistJournalAppend
+	// HistCheckpointWrite is the latency of one sweep-boundary checkpoint
+	// (serialize factors+core, atomic tmp+rename spill, journal record) —
+	// the per-sweep price of crash-safe iteration.
+	HistCheckpointWrite
 	numHistIDs
 )
 
@@ -92,6 +100,10 @@ func (h HistID) String() string {
 		return "slice-svd-exact"
 	case HistSliceSVDGram:
 		return "slice-svd-gram"
+	case HistJournalAppend:
+		return "journal-append"
+	case HistCheckpointWrite:
+		return "checkpoint-write"
 	}
 	return "hist(?)"
 }

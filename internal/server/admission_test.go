@@ -54,7 +54,7 @@ func waitJobState(t *testing.T, j *job, want string) {
 // submission is rejected with 429 + Retry-After, and admission reopens as
 // soon as the queue drains.
 func TestAdmissionControl(t *testing.T) {
-	s := New(Config{Runners: 1, QueueDepth: 1, Workers: 1, RetryAfter: 3 * time.Second})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 1, Workers: 1, RetryAfter: 3 * time.Second})
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	t.Cleanup(func() {
@@ -139,7 +139,7 @@ func TestAdmissionControl(t *testing.T) {
 // when the drain context expires, and Drain still returns with all runners
 // joined.
 func TestDrainCancelsBlockedJobs(t *testing.T) {
-	s := New(Config{Runners: 2, QueueDepth: 4, Workers: 1})
+	s := mustNew(t, Config{Runners: 2, QueueDepth: 4, Workers: 1})
 	never := make(chan struct{}) // intentionally never closed
 	j1 := blockingJob(s, never)
 	j2 := blockingJob(s, never)

@@ -1,0 +1,634 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// The durability acceptance suite: kill a durable server at every sweep
+// boundary (simulated in-process via crash-injection sites — the journal
+// freezes exactly as a dead process would stop writing), restart over the
+// same data directory, and require the recovered run to finish with the
+// exact bits an uninterrupted run produces. Corruption of each on-disk
+// artifact must degrade (skip, restart, or fail one job) — never abort
+// recovery.
+
+// durableConfig is a fixed-length run: Tol below any reachable fit delta
+// means exactly MaxIters sweeps execute, so crash points are deterministic.
+func durableConfig(iters int) repro.Config {
+	return repro.Config{Ranks: []int{4, 3, 3}, Seed: 17, Tol: 1e-300, MaxIters: iters}
+}
+
+// metriczDurability fetches the "durability" sub-map of /metricz.
+func metriczDurability(t *testing.T, hs *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := all["dtuckerd"].(map[string]any)
+	if !ok {
+		t.Fatalf("metricz has no dtuckerd map: %v", all["dtuckerd"])
+	}
+	dur, ok := srv["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("metricz has no durability map: %v", srv["durability"])
+	}
+	return dur
+}
+
+func counter(t *testing.T, m map[string]any, key string) float64 {
+	t.Helper()
+	v, ok := m[key].(float64)
+	if !ok {
+		t.Fatalf("durability counter %q missing or not numeric: %v", key, m[key])
+	}
+	return v
+}
+
+// corruptFile flips a byte in the middle of a file (headers stay plausible,
+// checksums break).
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatalf("%s is empty, nothing to corrupt", path)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitForFailedKind polls until the job fails with the wanted error kind.
+func waitForFailedKind(t *testing.T, cl *repro.Client, id, kind string) {
+	t.Helper()
+	waitForState(t, cl, id, server.StateFailed)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cl.Job(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Error == nil || st.Error.Kind != kind {
+		t.Fatalf("job %s failed with %+v, want kind %q", id, st.Error, kind)
+	}
+}
+
+// TestCrashResumeBitIdenticalEverySweep is the headline durability check:
+// for every sweep boundary of a 5-sweep run, and across worker counts, a
+// server killed at that boundary (journal append crash — the journal
+// freezes, simulating the process death) restarts over the same data
+// directory, resumes the job from its last intact checkpoint, and finishes
+// with bits identical to an uninterrupted in-process run. The restarted
+// server must also leak no goroutines.
+func TestCrashResumeBitIdenticalEverySweep(t *testing.T) {
+	const sweeps = 5
+	cfg := durableConfig(sweeps)
+	x := testTensor(21, 14, 12, 10)
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Iters != sweeps {
+		t.Fatalf("reference ran %d sweeps, want %d", want.Stats.Iters, sweeps)
+	}
+
+	for _, workers := range []int{1, 3} {
+		for kill := 1; kill <= sweeps; kill++ {
+			t.Run(fmt.Sprintf("%dworkers-killsweep%d", workers, kill), func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				dir := t.TempDir()
+				t.Cleanup(faults.Reset)
+
+				// Per-job append order is accepted(1), started(2), then one
+				// sweep record per checkpoint: Skip=kill+1 crashes the append
+				// of sweep `kill`'s record, with 5 torn bytes left behind.
+				if err := faults.Activate("journal.append", faults.Plan{Skip: int64(kill + 1), TornBytes: 5}); err != nil {
+					t.Fatal(err)
+				}
+				srv1, _, cl1 := newTestServer(t, server.Config{Workers: workers, DataDir: dir})
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				receipt, err := cl1.Submit(ctx, x, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitForFailedKind(t, cl1, receipt.JobID, server.KindInjected)
+				drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer dcancel()
+				srv1.Drain(drainCtx)
+				faults.Reset()
+
+				// Restart over the same directory: the interrupted job must be
+				// back in the queue and complete without a new submission.
+				srv2, hs2, cl2 := newTestServer(t, server.Config{Workers: workers, DataDir: dir})
+				waitForState(t, cl2, receipt.JobID, server.StateDone)
+				st, err := cl2.Job(ctx, receipt.JobID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.Recovered {
+					t.Fatalf("job %s not marked recovered: %+v", receipt.JobID, st)
+				}
+				got, err := cl2.Result(ctx, receipt.JobID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitIdentical(t, want, got)
+
+				dur := metriczDurability(t, hs2)
+				if counter(t, dur, "recovered_jobs") != 1 {
+					t.Fatalf("recovered_jobs = %v, want 1", dur["recovered_jobs"])
+				}
+				if counter(t, dur, "resumed_jobs") != 1 {
+					t.Fatalf("resumed_jobs = %v, want 1 (kill sweep %d)", dur["resumed_jobs"], kill)
+				}
+				if counter(t, dur, "torn_truncations") < 1 {
+					t.Fatalf("torn_truncations = %v, want >= 1 (5 torn bytes were written)", dur["torn_truncations"])
+				}
+
+				// Drain both servers (the cleanup drains are idempotent): no
+				// goroutines may survive the crash-restart cycle.
+				hs2.Close()
+				ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel2()
+				srv2.Drain(ctx2)
+				deadline := time.Now().Add(10 * time.Second)
+				for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+					time.Sleep(10 * time.Millisecond)
+				}
+				if after := runtime.NumGoroutine(); after > before+4 {
+					t.Fatalf("goroutines grew %d -> %d across crash-restart", before, after)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashBeforeFirstCheckpointRestartsFromScratch kills the very first
+// checkpoint spill (before any sweep record exists): recovery finds an
+// accepted job with no checkpoint and restarts it from sweep one,
+// bit-identical.
+func TestCrashBeforeFirstCheckpointRestartsFromScratch(t *testing.T) {
+	cfg := durableConfig(4)
+	x := testTensor(22, 12, 11, 10)
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	t.Cleanup(faults.Reset)
+
+	// Spill-site hits: the startup snapshot (1), this job's tensor spill
+	// (2), then the sweep-1 checkpoint (3) — crash there, torn mid-write.
+	if err := faults.Activate("journal.spill.write", faults.Plan{Skip: 2, TornBytes: 9}); err != nil {
+		t.Fatal(err)
+	}
+	srv1, _, cl1 := newTestServer(t, server.Config{Workers: 1, DataDir: dir})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	receipt, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForFailedKind(t, cl1, receipt.JobID, server.KindInjected)
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	srv1.Drain(drainCtx)
+	faults.Reset()
+
+	_, hs2, cl2 := newTestServer(t, server.Config{Workers: 1, DataDir: dir})
+	waitForState(t, cl2, receipt.JobID, server.StateDone)
+	got, err := cl2.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+	dur := metriczDurability(t, hs2)
+	if counter(t, dur, "resumed_jobs") != 0 {
+		t.Fatalf("resumed_jobs = %v, want 0 (no checkpoint survived)", dur["resumed_jobs"])
+	}
+	// The torn .tmp dropping must have been garbage-collected at startup.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "jobs", "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("torn spill droppings survived recovery: %v", tmps)
+	}
+}
+
+// TestRestartRestoresTerminalJobs: finished and client-cancelled jobs
+// survive a restart as queryable records; a done job's result is served
+// bit-identically from its spill and re-seeds the result cache.
+func TestRestartRestoresTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(4)
+	x := testTensor(23, 13, 12, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	srv1, _, cl1 := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	doneReceipt, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, doneReceipt.JobID, server.StateDone)
+	want, err := cl1.Result(ctx, doneReceipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second, never-finishing job cancelled by client DELETE: that — and
+	// only that — kind of cancellation must survive the restart.
+	slow, err := cl1.Submit(ctx, slowTensor(24), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, slow.JobID, server.StateRunning)
+	if err := cl1.Cancel(ctx, slow.JobID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, slow.JobID, server.StateCancelled)
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	srv1.Drain(drainCtx)
+
+	_, _, cl2 := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	st, err := cl2.Job(ctx, doneReceipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone || !st.Recovered {
+		t.Fatalf("done job restored as %+v", st)
+	}
+	if st.Fit != want.Fit {
+		t.Fatalf("restored fit %v, want %v", st.Fit, want.Fit)
+	}
+	got, err := cl2.Result(ctx, doneReceipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	// The lazy result load re-seeds the cache: an identical fresh
+	// submission is answered without executing.
+	re, err := cl2.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.CacheHit {
+		t.Fatal("identical submission after restore missed the re-seeded cache")
+	}
+
+	cst, err := cl2.Job(ctx, slow.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.State != server.StateCancelled || !cst.Recovered {
+		t.Fatalf("cancelled job restored as %+v", cst)
+	}
+}
+
+// TestDrainInterruptedJobResumesAfterRestart: drain-time cancellations are
+// deliberately not journaled — a job cancelled only because the server shut
+// down is re-enqueued on restart and completes. Coalesced duplicates
+// re-coalesce after the restart and share one execution.
+func TestDrainInterruptedJobResumesAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(5)
+	x := testTensor(25, 14, 12, 10)
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// One runner, parked on a never-finishing job; the real job (and an
+	// identical duplicate, which coalesces) queue behind it. An
+	// already-expired drain context cancels everything immediately; none of
+	// those cancellations may reach the journal.
+	srv1, _, cl1 := newTestServer(t, server.Config{Workers: 1, Runners: 1, DataDir: dir})
+	blocker, err := cl1.Submit(ctx, slowTensor(26), slowConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, blocker.JobID, server.StateRunning)
+	lead, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Coalesced {
+		t.Fatalf("duplicate did not coalesce: %+v", dup)
+	}
+	expired, ecancel := context.WithCancel(context.Background())
+	ecancel()
+	srv1.Drain(expired)
+
+	// Restart with two runners so the blocker cannot starve the queue.
+	srv2, hs2, cl2 := newTestServer(t, server.Config{Workers: 1, Runners: 2, DataDir: dir})
+	waitForState(t, cl2, lead.JobID, server.StateDone)
+	waitForState(t, cl2, dup.JobID, server.StateDone)
+	for _, id := range []string{lead.JobID, dup.JobID} {
+		got, err := cl2.Result(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, want, got)
+	}
+	bst, err := cl2.Job(ctx, blocker.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.State != server.StateQueued && bst.State != server.StateRunning {
+		t.Fatalf("drain-cancelled blocker was not resumed: %+v", bst)
+	}
+	dur := metriczDurability(t, hs2)
+	if got := counter(t, dur, "recovered_jobs"); got != 3 {
+		t.Fatalf("recovered_jobs = %v, want 3 (blocker + leader + duplicate)", got)
+	}
+
+	// The blocker never converges; cut it down before the cleanup drain.
+	expired2, ecancel2 := context.WithCancel(context.Background())
+	ecancel2()
+	srv2.Drain(expired2)
+}
+
+// interruptedJobWithCheckpoint crashes a durable job right after sweep 2's
+// checkpoint spill committed (the sweep-2 journal append dies), drains the
+// wedged server, and returns the data dir, job id, and submitted inputs.
+func interruptedJobWithCheckpoint(t *testing.T, cfg repro.Config, seed int64) (dir, jobID string) {
+	t.Helper()
+	dir = t.TempDir()
+	t.Cleanup(faults.Reset)
+	if err := faults.Activate("journal.append", faults.Plan{Skip: 3}); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, cl := newTestServer(t, server.Config{Workers: 1, DataDir: dir})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	receipt, err := cl.Submit(ctx, testTensor(seed, 14, 12, 10), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForFailedKind(t, cl, receipt.JobID, server.KindInjected)
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	srv.Drain(drainCtx)
+	faults.Reset()
+	return dir, receipt.JobID
+}
+
+// TestCorruptCheckpointRestartsFromScratch: a checkpoint whose bytes were
+// damaged on disk is skipped — the recovered job restarts from sweep one
+// and still finishes bit-identical. Same for a *valid* checkpoint that
+// belongs to a different computation (foreign config fingerprint).
+func TestCorruptCheckpointRestartsFromScratch(t *testing.T) {
+	cfg := durableConfig(5)
+	x := testTensor(27, 14, 12, 10)
+	want, err := core.Decompose(x, cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func(t *testing.T, ckpt string){
+		"flipped-byte": func(t *testing.T, ckpt string) {
+			corruptFile(t, ckpt)
+		},
+		"foreign-fingerprint": func(t *testing.T, ckpt string) {
+			// A perfectly valid checkpoint from a different config: reading
+			// succeeds, resume must reject the fingerprint. The checkpoint
+			// aliases live iteration state, so it is serialized inside the
+			// sink, at the sweep boundary it describes.
+			other := durableConfig(5)
+			other.Seed = 99
+			var foreign bytes.Buffer
+			opts := other.Options()
+			opts.CheckpointSink = func(cp *core.Checkpoint) error {
+				if foreign.Len() == 0 {
+					if _, err := cp.WriteTo(&foreign); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if _, err := core.Decompose(x, opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(ckpt, foreign.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, damageFn := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir, jobID := interruptedJobWithCheckpoint(t, cfg, 27)
+			ckpt := filepath.Join(dir, "jobs", jobID+".ckpt")
+			if _, err := os.Stat(ckpt); err != nil {
+				t.Fatalf("expected a committed checkpoint: %v", err)
+			}
+			damageFn(t, ckpt)
+
+			_, hs2, cl2 := newTestServer(t, server.Config{Workers: 1, DataDir: dir})
+			waitForState(t, cl2, jobID, server.StateDone)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			got, err := cl2.Result(ctx, jobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, want, got)
+			dur := metriczDurability(t, hs2)
+			if counter(t, dur, "corrupt_skipped") < 1 {
+				t.Fatalf("corrupt_skipped = %v, want >= 1", dur["corrupt_skipped"])
+			}
+			if counter(t, dur, "resumed_jobs") != 0 {
+				t.Fatalf("resumed_jobs = %v, want 0 (checkpoint was unusable)", dur["resumed_jobs"])
+			}
+		})
+	}
+}
+
+// TestCorruptTensorSpillFailsOneJob: the input tensor has no other copy, so
+// a damaged spill fails that one job with a typed corrupt_artifact error —
+// recovery itself proceeds.
+func TestCorruptTensorSpillFailsOneJob(t *testing.T) {
+	cfg := durableConfig(5)
+	dir, jobID := interruptedJobWithCheckpoint(t, cfg, 28)
+	corruptFile(t, filepath.Join(dir, "jobs", jobID+".ten"))
+
+	_, _, cl2 := newTestServer(t, server.Config{Workers: 1, DataDir: dir})
+	waitForFailedKind(t, cl2, jobID, server.KindCorruptData)
+}
+
+// TestCorruptSnapshotFallsBackToJournal: a damaged snapshot never aborts
+// startup — the journal alone reconstructs the state.
+func TestCorruptSnapshotFallsBackToJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(4)
+	x := testTensor(29, 13, 11, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	srv1, _, cl1 := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	receipt, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, receipt.JobID, server.StateDone)
+	want, err := cl1.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	srv1.Drain(drainCtx)
+
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.dtjs"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hs2, cl2 := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	st, err := cl2.Job(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone || !st.Recovered {
+		t.Fatalf("job not restored from journal alone: %+v", st)
+	}
+	got, err := cl2.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+	if dur := metriczDurability(t, hs2); counter(t, dur, "corrupt_skipped") < 1 {
+		t.Fatalf("corrupt_skipped = %v, want >= 1 (snapshot was garbage)", dur["corrupt_skipped"])
+	}
+}
+
+// TestCorruptResultSpillTypedError: a restored done job whose result spill
+// was damaged answers GET /result with a typed corrupt_artifact error
+// instead of a panic or a silent wrong payload.
+func TestCorruptResultSpillTypedError(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(4)
+	x := testTensor(31, 12, 11, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	srv1, _, cl1 := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	receipt, err := cl1.Submit(ctx, x, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cl1, receipt.JobID, server.StateDone)
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	srv1.Drain(drainCtx)
+
+	corruptFile(t, filepath.Join(dir, "jobs", receipt.JobID+".dtd"))
+	_, hs2, _ := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	resp, err := http.Get(hs2.URL + "/v1/jobs/" + receipt.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt result spill answered %d, want 500", resp.StatusCode)
+	}
+	var body struct {
+		Error *server.WireError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == nil || body.Error.Kind != server.KindCorruptData {
+		t.Fatalf("error = %+v, want kind %q", body.Error, server.KindCorruptData)
+	}
+}
+
+// TestForeignJournalHeaderFailsStartup: the one corruption that must abort —
+// a journal file that is not ours. Appending to it would destroy someone
+// else's data, so New refuses.
+func TestForeignJournalHeaderFailsStartup(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal.dtjl"), []byte("TOTALLY-NOT-A-JOURNAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := server.New(server.Config{Workers: 1, DataDir: dir})
+	if err == nil {
+		t.Fatal("New accepted a foreign journal file")
+	}
+	if !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("startup error does not name the journal: %v", err)
+	}
+}
+
+// TestDurabilityCountersOnMetricz pins the /metricz durability surface: a
+// durable server reports enabled with its checkpoint count, an ephemeral
+// one reports enabled=false.
+func TestDurabilityCountersOnMetricz(t *testing.T) {
+	dir := t.TempDir()
+	_, hs, cl := newTestServer(t, server.Config{Workers: 2, DataDir: dir})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := cl.Decompose(ctx, testTensor(32, 12, 11, 10), durableConfig(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	dur := metriczDurability(t, hs)
+	if dur["enabled"] != true {
+		t.Fatalf("durability.enabled = %v, want true", dur["enabled"])
+	}
+	if got := counter(t, dur, "checkpoints_written"); got != 3 {
+		t.Fatalf("checkpoints_written = %v, want 3 (one per sweep)", got)
+	}
+	if frozen := dur["frozen"]; frozen != false {
+		t.Fatalf("durability.frozen = %v, want false", frozen)
+	}
+
+	_, hsEphemeral, _ := newTestServer(t, server.Config{Workers: 1})
+	if durE := metriczDurability(t, hsEphemeral); durE["enabled"] != false {
+		t.Fatalf("ephemeral server durability.enabled = %v, want false", durE["enabled"])
+	}
+}
+
+// TestCheckpointEveryCadence: CheckpointEvery=2 commits sweeps 2 and 4, and
+// always the terminal sweep.
+func TestCheckpointEveryCadence(t *testing.T) {
+	dir := t.TempDir()
+	_, hs, cl := newTestServer(t, server.Config{Workers: 1, DataDir: dir, CheckpointEvery: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := cl.Decompose(ctx, testTensor(33, 12, 11, 10), durableConfig(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sweeps 2 and 4 by cadence, sweep 5 because it is terminal.
+	if got := counter(t, metriczDurability(t, hs), "checkpoints_written"); got != 3 {
+		t.Fatalf("checkpoints_written = %v, want 3 with CheckpointEvery=2 over 5 sweeps", got)
+	}
+}

@@ -84,7 +84,10 @@ func waitDone(t *testing.T, cl *repro.Client, ctx context.Context, id string) {
 // reports the coalescing, and draining the server leaks no goroutines.
 func TestCoalescedDuplicatesE2E(t *testing.T) {
 	before := runtime.NumGoroutine()
-	srv := server.New(server.Config{Workers: 2, Runners: 1, QueueDepth: 8})
+	srv, err := server.New(server.Config{Workers: 2, Runners: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	cl := repro.NewClient(hs.URL)
 	cl.PollInterval = 2 * time.Millisecond

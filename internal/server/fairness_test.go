@@ -61,7 +61,7 @@ func parkRunner(t *testing.T, s *Server) chan struct{} {
 // bound is shed with errTenantQuota while other tenants (and the same
 // tenant, once a job completes) keep being admitted.
 func TestTenantQuotaEnforced(t *testing.T) {
-	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, TenantQuota: 2})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 8, Workers: 1, TenantQuota: 2})
 	defer drainServer(t, s)
 	release := make(chan struct{})
 	defer close(release)
@@ -110,7 +110,7 @@ func TestTenantQuotaEnforced(t *testing.T) {
 // break by name), so the test asserts the exact interleaving: every window
 // of 4 dispatches serves a three times and b once.
 func TestWFQWeightedShares(t *testing.T) {
-	s := New(Config{
+	s := mustNew(t, Config{
 		Runners: 1, QueueDepth: 64, Workers: 1,
 		TenantWeights: map[string]int{"a": 3, "b": 1},
 	})
@@ -165,7 +165,7 @@ func TestWFQWeightedShares(t *testing.T) {
 // interactive job dispatches before any batch job, even when the batch
 // jobs were submitted first, across tenants.
 func TestPriorityLanePreemption(t *testing.T) {
-	s := New(Config{Runners: 1, QueueDepth: 16, Workers: 1})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 16, Workers: 1})
 	defer drainServer(t, s)
 	release := parkRunner(t, s)
 
@@ -222,7 +222,7 @@ func TestPriorityLanePreemption(t *testing.T) {
 func TestCoalesceSingleExecution(t *testing.T) {
 	// CacheSize -1 disables the result cache: the duplicates must be served
 	// through coalescing itself, not a cache fill.
-	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
 	defer drainServer(t, s)
 	release := parkRunner(t, s)
 	defer close(release)
@@ -287,7 +287,7 @@ func TestCoalesceSingleExecution(t *testing.T) {
 // TestCoalesceFollowerCancel: cancelling a follower detaches only that
 // record; the leader and the other followers are unaffected.
 func TestCoalesceFollowerCancel(t *testing.T) {
-	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 8, Workers: 1, CacheSize: -1})
 	defer drainServer(t, s)
 	release := parkRunner(t, s)
 	defer close(release)
@@ -323,7 +323,7 @@ func TestCoalesceFollowerCancel(t *testing.T) {
 // TestCoalesceDisabled: with DisableCoalesce identical submissions queue
 // (and execute) independently.
 func TestCoalesceDisabled(t *testing.T) {
-	s := New(Config{Runners: 1, QueueDepth: 8, Workers: 1, DisableCoalesce: true, CacheSize: -1})
+	s := mustNew(t, Config{Runners: 1, QueueDepth: 8, Workers: 1, DisableCoalesce: true, CacheSize: -1})
 	defer drainServer(t, s)
 	release := parkRunner(t, s)
 

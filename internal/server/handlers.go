@@ -138,21 +138,41 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cfg := req.Config
-	j := s.newJob(key, time.Duration(req.TimeoutMs)*time.Millisecond, req.Trace,
+	var j *job
+	j = s.newJob(key, time.Duration(req.TimeoutMs)*time.Millisecond, req.Trace,
 		func(ctx context.Context, pl *pool.Pool, col *metrics.Collector) (*core.Decomposition, error) {
 			opts := cfg.Options()
 			opts.Context = ctx
 			opts.Pool = pl
 			opts.Metrics = col
 			opts.Profile = s.cfg.KernelProfile
+			if s.dur != nil && j.persist.Load() {
+				opts.CheckpointSink = s.checkpointSink(j)
+			}
 			return core.Decompose(x, opts)
 		})
 	j.tenant = tenant
 	j.lane = lane
+	if s.dur != nil {
+		// Marked durable before admission so the runner (which may pick the
+		// job up the instant it is enqueued) sees both the flag and the
+		// barrier below.
+		j.persist.Store(true)
+		j.durableReady = make(chan struct{})
+	}
 	if _, err := s.admitOrCoalesce(j); err != nil {
 		j.cancel() // release the job context; it will never run
 		s.writeAdmissionError(w, err)
 		return
+	}
+	if s.dur != nil {
+		// The durability commit happens after admission but before the 202
+		// is written: an acknowledged durable job survives a process kill.
+		// Followers are journaled too — after a restart they coalesce back
+		// onto their (also journaled) leader. Closing the barrier releases
+		// the runner, so no later record can precede this one.
+		s.persistAccepted(j, x, cfg, digest)
+		close(j.durableReady)
 	}
 	s.respondSubmitted(w, j, http.StatusAccepted)
 }
@@ -190,6 +210,19 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dec := j.result()
+	if dec == nil && s.dur != nil {
+		// A job restored from the journal holds only its result summary; the
+		// payload comes from its spill file on first fetch.
+		if st := j.status(); st.State == StateDone && st.ResultURL != "" {
+			restored, err := s.loadRestoredResult(j)
+			if err != nil {
+				s.cfg.Logf("job %s: %v", j.id, err)
+				writeError(w, http.StatusInternalServerError, wireError(err))
+				return
+			}
+			dec = restored
+		}
+	}
 	if dec == nil {
 		st := j.status()
 		if st.Error != nil {
@@ -265,12 +298,16 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such job"})
 		return
 	}
+	j.markUserCancelled() // only client DELETEs journal a cancelled record
 	j.cancel()
 	if j.coalesced {
 		// Followers have no runner watching their context; finish them
 		// here. finish is idempotent, so racing with the leader's
 		// completion keeps whichever outcome landed first.
 		j.finish(nil, context.Canceled, false, time.Now())
+		if j.status().State == StateCancelled {
+			s.persistFinished(j, nil, "", "")
+		}
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }

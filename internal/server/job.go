@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -52,6 +53,27 @@ type job struct {
 	coalesced bool
 	followers []*job
 
+	// persist marks a durable job: its lifecycle is journaled and its
+	// artifacts spilled under the server's data directory (durability.go).
+	// Atomic because the submitting handler commits the accepted record
+	// concurrently with the runner potentially already executing the job.
+	// recovered marks a record reconstructed from the journal after a
+	// restart — either re-enqueued (interrupted) or restored (terminal).
+	persist   atomic.Bool
+	recovered bool
+	// durableReady is the ack-after-commit barrier: the submitting handler
+	// closes it once the accepted record has committed, and the runner
+	// waits on it before executing. Without it a fast job could journal a
+	// started/sweep record — or spill a checkpoint — before its own
+	// accepted record exists, leaving replay a lifecycle with no identity.
+	// Nil for non-durable and journal-restored jobs (their accepted record
+	// is already on disk).
+	durableReady chan struct{}
+	// terminalPersisted makes persistFinished exactly-once: a cancelled
+	// follower is finished both by its DELETE handler and by its leader's
+	// completion, and must not journal two terminal records.
+	terminalPersisted atomic.Bool
+
 	mu       sync.Mutex
 	state    string
 	cacheHit bool
@@ -60,12 +82,43 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// sweep is the latest durably checkpointed ALS sweep (0 until the first
+	// checkpoint commits).
+	sweep int
+	// userCancelled distinguishes a client-requested DELETE from a drain
+	// or timeout cancellation; only the former journals a cancelled record.
+	userCancelled bool
+	// Restored-terminal-job state: the result summary replayed from the
+	// journal, the spill file the payload is lazily loaded from, and the
+	// sha256 the spill's bytes must hash to (.dtd has no own checksum).
+	restoredFit       float64
+	restoredConverged bool
+	restoredIters     int
+	resultFile        string
+	resultDigest      string
 }
 
 func (j *job) setRunning(now time.Time) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = now
+	j.mu.Unlock()
+}
+
+// setSweep records the latest durably checkpointed sweep.
+func (j *job) setSweep(sweep int) {
+	j.mu.Lock()
+	if sweep > j.sweep {
+		j.sweep = sweep
+	}
+	j.mu.Unlock()
+}
+
+// markUserCancelled flags a client-requested cancellation (DELETE), the
+// only kind that commits a journal record — see persistFinished.
+func (j *job) markUserCancelled() {
+	j.mu.Lock()
+	j.userCancelled = true
 	j.mu.Unlock()
 }
 
@@ -114,6 +167,8 @@ func (j *job) status() JobStatus {
 		Priority:  j.lane.String(),
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
+		Recovered: j.recovered,
+		Sweep:     j.sweep,
 		Error:     wireError(j.err),
 		CreatedMs: j.created.UnixMilli(),
 	}
@@ -128,6 +183,13 @@ func (j *job) status() JobStatus {
 		st.Converged = j.dec.Converged
 		st.Iters = j.dec.Stats.Iters
 		st.Ranks = j.dec.Core.Shape()
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	} else if j.state == StateDone && j.resultFile != "" {
+		// Restored after a restart: the summary comes from the journal; the
+		// payload is loaded from its spill on the first result fetch.
+		st.Fit = j.restoredFit
+		st.Converged = j.restoredConverged
+		st.Iters = j.restoredIters
 		st.ResultURL = "/v1/jobs/" + j.id + "/result"
 	}
 	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {

@@ -9,9 +9,20 @@ import (
 	"repro/internal/kernelsel"
 )
 
+// mustNew builds a Server or fails the test; in-package tests never hit
+// New's only error path (durability recovery), which needs a DataDir.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func newDrainedServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

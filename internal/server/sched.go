@@ -223,6 +223,36 @@ func (sc *scheduler) submitLocked(j *job, now time.Time) (*job, error) {
 	return nil, nil
 }
 
+// restoreLocked re-enqueues a job recovered from the durability journal. It
+// is submitLocked minus the quota and capacity gates: the job was already
+// admitted by a previous process life, and shedding it now would turn an
+// acknowledged submission into a silent drop. Coalescing still applies, so
+// identical recovered jobs execute once. Returns the leader when j attached
+// as a follower, nil when it was enqueued.
+func (sc *scheduler) restoreLocked(j *job) *job {
+	ts := sc.tenantLocked(j.tenant)
+	if sc.coalesce && j.key != "" {
+		if leader := sc.inflight[j.key]; leader != nil {
+			j.coalesced = true
+			leader.followers = append(leader.followers, j)
+			ts.stats.Submitted++
+			ts.stats.Coalesced++
+			return leader
+		}
+	}
+	if !ts.backlogged() && ts.vtime < sc.vclock {
+		ts.vtime = sc.vclock
+	}
+	ts.queues[j.lane] = append(ts.queues[j.lane], j)
+	ts.outstanding++
+	ts.stats.Submitted++
+	sc.queued++
+	if j.key != "" {
+		sc.inflight[j.key] = j
+	}
+	return nil
+}
+
 // headAgeLocked returns the age of the oldest queued job — how far behind
 // the queue head is at the moment load is shed.
 func (sc *scheduler) headAgeLocked(now time.Time) time.Duration {

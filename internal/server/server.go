@@ -98,6 +98,20 @@ type Config struct {
 	// it instead of executing again.
 	DisableCoalesce bool
 
+	// DataDir, when set, makes decompose jobs durable: accepted work is
+	// journaled to DataDir/journal.dtjl and large artifacts (tensors,
+	// checkpoints, results) are spilled under DataDir/jobs/, and on startup
+	// the journal is replayed — finished jobs are restored, interrupted jobs
+	// re-enqueued and resumed from their last checkpoint. Empty (the
+	// default) keeps the server fully in-memory. See durability.go and
+	// docs/OPERATIONS.md, "Durability & recovery".
+	DataDir string
+	// CheckpointEvery is the sweep cadence of durable checkpoints: iteration
+	// state is persisted every N-th completed sweep (terminal sweeps are
+	// always persisted). Default 1 — every sweep is a resume point. Only
+	// meaningful with DataDir set.
+	CheckpointEvery int
+
 	// KernelProfile is the calibrated kernelsel profile that requests with
 	// SliceKernel "auto" resolve against. Its fingerprint is stamped into
 	// each auto request's Config before the cache key is computed, so
@@ -132,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTenantWeight <= 0 {
 		c.DefaultTenantWeight = 1
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	if c.KernelProfile == nil {
 		c.KernelProfile = kernelsel.Default()
 	}
@@ -148,6 +165,7 @@ type Server struct {
 	mux   *http.ServeMux
 	pl    *pool.Pool
 	cache *resultCache
+	dur   *durability // nil when Config.DataDir is unset
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -184,7 +202,14 @@ const maxJobRecords = 4096
 
 // New returns a ready Server. Start serving with an http.Server around
 // Handler(); call Drain before exit.
-func New(cfg Config) *Server {
+//
+// With Config.DataDir set, New replays the durability journal before any
+// runner starts: jobs interrupted by the previous process death are back in
+// the queue (resuming from their last checkpoint) by the time New returns.
+// New fails only when the data directory itself is unusable — an unwritable
+// path or a journal file that is not ours; corrupt records degrade per job
+// instead (see durability.go).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -198,6 +223,17 @@ func New(cfg Config) *Server {
 	s.schedCond = sync.NewCond(&s.schedMu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.routes()
+	if cfg.DataDir != "" {
+		dur, records, err := openDurability(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.dur = dur
+		if err := s.recoverJobs(records); err != nil {
+			dur.Close()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Runners; i++ {
 		s.runnersWG.Add(1)
 		go s.runner()
@@ -205,7 +241,7 @@ func New(cfg Config) *Server {
 	metrics.PublishExpvar()
 	publishServerExpvar()
 	activeServer.Store(s)
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -368,7 +404,15 @@ func (s *Server) run(j *job) {
 	} else {
 		metrics.Observe(metrics.HistJobQueueWaitBatch, wait)
 	}
+	if ch := j.durableReady; ch != nil {
+		// Ack-after-commit barrier: wait for the accepted record to commit
+		// before journaling anything else for this job. The submitting
+		// handler closes the channel right after persistAccepted, so the
+		// wait is bounded by one spill + one fsync.
+		<-ch
+	}
 	j.setRunning(start)
+	s.persistStarted(j)
 	s.cfg.Logf("job %s: running (tenant %s, %s, queued %v)",
 		j.id, j.tenant, j.lane, wait.Round(time.Millisecond))
 
@@ -406,6 +450,7 @@ func (s *Server) run(j *job) {
 	s.schedMu.Unlock()
 
 	j.finish(dec, err, cacheHit, end)
+	resultFile, resultDigest := s.persistFinished(j, dec, "", "")
 	state := s.tally(j, err)
 	switch state {
 	case StateDone:
@@ -424,6 +469,7 @@ func (s *Server) run(j *job) {
 		metrics.Observe(metrics.HistJobCoalesceWait, end.Sub(f.created))
 		f.finish(dec, err, false, end)
 		f.cancel()
+		s.persistFinished(f, dec, resultFile, resultDigest)
 		fstate := s.tally(f, err)
 		s.cfg.Logf("job %s: %s (coalesced into %s)", f.id, fstate, j.id)
 	}
@@ -494,6 +540,7 @@ func (s *Server) Drain(ctx context.Context) {
 			st.RejectedQueue+st.RejectedQuota, st.RejectedQueue, st.RejectedQuota)
 	}
 	s.schedMu.Unlock()
+	s.dur.Close()
 }
 
 // queueLen reports the number of jobs waiting to be dispatched.
@@ -532,7 +579,12 @@ func (s *Server) statsSnapshot() map[string]any {
 	queued := s.sched.queued
 	tenants := s.sched.snapshotLocked()
 	s.schedMu.Unlock()
+	durable := map[string]any{"enabled": false}
+	if s.dur != nil {
+		durable = s.dur.snapshot()
+	}
 	return map[string]any{
+		"durability":     durable,
 		"jobs_submitted": s.submitted.Load(),
 		"jobs_completed": s.completed.Load(),
 		"jobs_failed":    s.failed.Load(),

@@ -31,7 +31,10 @@ func testTensor(seed int64, shape ...int) *tensor.Dense {
 
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *repro.Client) {
 	t.Helper()
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -286,7 +289,10 @@ func waitForState(t *testing.T, cl *repro.Client, id, want string) {
 // goroutines leak.
 func TestDrainFinishesInFlight(t *testing.T) {
 	before := runtime.NumGoroutine()
-	srv := server.New(server.Config{Workers: 2, Runners: 2})
+	srv, err := server.New(server.Config{Workers: 2, Runners: 2})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	cl := repro.NewClient(hs.URL)
 	cl.PollInterval = 2 * time.Millisecond
@@ -335,7 +341,10 @@ func TestDrainFinishesInFlight(t *testing.T) {
 // every runner joined.
 func TestDrainDeadlineCancels(t *testing.T) {
 	before := runtime.NumGoroutine()
-	srv := server.New(server.Config{Workers: 1, Runners: 1})
+	srv, err := server.New(server.Config{Workers: 1, Runners: 1})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	cl := repro.NewClient(hs.URL)
 	cl.PollInterval = 2 * time.Millisecond
@@ -706,7 +715,10 @@ func TestResultBeforeDone(t *testing.T) {
 }
 
 func ExampleClient() {
-	srv := server.New(server.Config{Workers: 1})
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 

@@ -96,6 +96,11 @@ type JobStatus struct {
 	Priority  string     `json:"priority,omitempty"`
 	CacheHit  bool       `json:"cache_hit,omitempty"`
 	Coalesced bool       `json:"coalesced,omitempty"`
+	// Recovered marks a job reconstructed from the durability journal after
+	// a server restart; Sweep is its latest durably checkpointed ALS sweep
+	// (0 until the first checkpoint commits).
+	Recovered bool       `json:"recovered,omitempty"`
+	Sweep     int        `json:"sweep,omitempty"`
 	Error     *WireError `json:"error,omitempty"`
 
 	// CreatedMs/StartedMs/FinishedMs are Unix epoch milliseconds; zero
@@ -151,6 +156,7 @@ const (
 	KindPanic          = "panic"
 	KindCancelled      = "cancelled"
 	KindInjected       = "injected_fault"
+	KindCorruptData    = "corrupt_artifact"
 	KindQueueFull      = "queue_full"
 	KindTenantQuota    = "tenant_quota"
 	KindDraining       = "draining"
@@ -165,11 +171,17 @@ func wireError(err error) *WireError {
 	if err == nil {
 		return nil
 	}
+	var we *WireError
+	if errors.As(err, &we) {
+		return we // already typed (e.g. a restored job's replayed error)
+	}
 	var c *dterr.CancelledError
 	if errors.As(err, &c) {
 		return &WireError{Kind: KindCancelled, Message: err.Error(), Phase: c.Phase}
 	}
 	switch {
+	case errors.Is(err, dterr.ErrCorruptArtifact):
+		return &WireError{Kind: KindCorruptData, Message: err.Error()}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return &WireError{Kind: KindCancelled, Message: err.Error()}
 	case errors.Is(err, dterr.ErrInjected):
