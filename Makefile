@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults crashtest bench-json bench-compare serve load load-compare autotune
+.PHONY: build test verify bench overhead faults crashtest bench-json bench-compare serve load load-compare autotune obs
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,20 @@ verify:
 	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
 	$(GO) test -race ./internal/journal/ ./internal/faults/ -count 1
 	$(GO) test -race ./internal/kernelsel/ ./internal/mat/ -count 1
+	sh scripts/obslint.sh
 	$(GO) run ./cmd/dtucker -autotune .autotune-smoke.json -autotune-quick >/dev/null && rm -f .autotune-smoke.json
 	$(MAKE) load
+
+# obs is the observability suite under -race: the structured-log schema and
+# zero-alloc guarantees, the Prometheus exposition golden/linter pair, the
+# end-to-end request-correlation tests, and the loadgen↔event-log smoke —
+# plus the handler lint (every response must carry X-Request-ID).
+obs:
+	sh scripts/obslint.sh
+	$(GO) test -race ./internal/obs/ -count 1
+	$(GO) test -race ./internal/metrics/ -run 'TestProm|TestLint|TestWritePrometheus' -count 1
+	$(GO) test -race ./internal/server/ -run 'TestObs|TestMetricz' -count 1
+	$(GO) test -race ./internal/loadgen/ -run 'TestRunCorrelates' -count 1
 
 # autotune calibrates the kernel-selection cost model and matmul block
 # sizes on THIS machine, writing the profile to KERNEL_PROFILE (then pass

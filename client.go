@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -38,6 +39,10 @@ type APIError struct {
 	Message    string
 	Phase      string
 	RetryAfter time.Duration
+	// RequestID is the correlation ID echoed in the X-Request-ID response
+	// header; quote it when filing the failure against the daemon's
+	// structured log and flight recorder. Set even on 429/503 rejections.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
@@ -188,11 +193,18 @@ type SubmitOptions struct {
 	Timeout time.Duration
 	// Trace records a span trace, retrievable from the job record.
 	Trace bool
+	// RequestID is the correlation ID sent as the X-Request-ID header.
+	// Empty means the client generates one, so every submission is
+	// correlatable against the daemon's structured log; the ID used is
+	// echoed back in SubmitResponse.RequestID.
+	RequestID string
 }
 
 // do issues one JSON request and decodes a 2xx JSON response into out
-// (unless out is nil). Non-2xx responses decode into an *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// (unless out is nil). Non-2xx responses decode into an *APIError. A
+// non-empty reqID travels as the X-Request-ID header, correlating the
+// request with the daemon's structured log; empty lets the daemon mint one.
+func (c *Client) do(ctx context.Context, method, path, reqID string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -207,6 +219,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if reqID != "" {
+		req.Header.Set(server.HeaderRequestID, reqID)
 	}
 	c.setIdentity(req)
 	resp, err := c.httpClient().Do(req)
@@ -239,6 +254,7 @@ func decodeAPIError(resp *http.Response) error {
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		apiErr.RetryAfter = parseRetryAfter(ra, time.Now)
 	}
+	apiErr.RequestID = resp.Header.Get(server.HeaderRequestID)
 	return apiErr
 }
 
@@ -323,12 +339,17 @@ func (c *Client) Submit(ctx context.Context, x *Tensor, cfg Config, opts *Submit
 		Config:    cfg,
 		TensorB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
 	}
+	rid := ""
 	if opts != nil {
 		req.TimeoutMs = opts.Timeout.Milliseconds()
 		req.Trace = opts.Trace
+		rid = opts.RequestID
+	}
+	if rid == "" {
+		rid = obs.NewRequestID()
 	}
 	var resp SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/decompose", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/decompose", rid, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -336,8 +357,12 @@ func (c *Client) Submit(ctx context.Context, x *Tensor, cfg Config, opts *Submit
 
 // Job fetches the current job record.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	return c.job(ctx, id, "")
+}
+
+func (c *Client) job(ctx context.Context, id, reqID string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, reqID, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -346,15 +371,22 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 // Cancel requests cancellation of a queued or running job; the job
 // transitions to cancelled at its next phase or sweep boundary.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, "", nil, nil)
 }
 
 // Result fetches a finished job's decomposition (the .dtd binary payload,
 // decoded and validated). A job that is not done yet returns an *APIError.
 func (c *Client) Result(ctx context.Context, id string) (*Decomposition, error) {
+	return c.result(ctx, id, "")
+}
+
+func (c *Client) result(ctx context.Context, id, reqID string) (*Decomposition, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
+	}
+	if reqID != "" {
+		req.Header.Set(server.HeaderRequestID, reqID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -408,10 +440,22 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 	}
 	policy = policy.withDefaults()
 
+	// One request ID covers the whole interaction — submit retries, polls,
+	// and the result fetch — so the daemon's log tells a single story even
+	// when the first attempts are shed.
+	var o SubmitOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.RequestID == "" {
+		o.RequestID = obs.NewRequestID()
+	}
+	rid := o.RequestID
+
 	var receipt *SubmitResponse
 	for attempt := 1; ; attempt++ {
 		var err error
-		receipt, err = c.Submit(ctx, x, cfg, opts)
+		receipt, err = c.Submit(ctx, x, cfg, &o)
 		if err == nil {
 			break
 		}
@@ -434,7 +478,7 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 	maxInterval := 16 * interval
 	for {
 		st, err := retryTransient(ctx, policy, func() (*JobStatus, error) {
-			return c.Job(ctx, receipt.JobID)
+			return c.job(ctx, receipt.JobID, rid)
 		})
 		if err != nil {
 			return nil, err
@@ -442,7 +486,7 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 		switch st.State {
 		case server.StateDone:
 			return retryTransient(ctx, policy, func() (*Decomposition, error) {
-				return c.Result(ctx, receipt.JobID)
+				return c.result(ctx, receipt.JobID, rid)
 			})
 		case server.StateFailed, server.StateCancelled:
 			e := &APIError{StatusCode: http.StatusConflict, Kind: server.KindInternal, Message: "job " + st.State}

@@ -6,7 +6,17 @@
 // JSON. Streaming sessions live under /v1/streams. When the bounded queue
 // is full the daemon answers 429 with Retry-After instead of queueing
 // unboundedly; /healthz reports liveness and /metricz exports counters and
-// latency histograms through expvar.
+// latency histograms (JSON by default, Prometheus text with
+// ?format=prometheus).
+//
+// Observability: the daemon logs structured events (one line per admission
+// decision and job lifecycle transition) to stderr, as logfmt-style text by
+// default or JSONL with -log-format=json; -log-level sets the floor.
+// Every request carries an X-Request-ID (client-sent or minted) that
+// threads through events, job records, and traces. /debugz/requests serves
+// the flight recorder — the last requests plus pinned slowest/error
+// exemplars — and SIGQUIT dumps it to the event log. See docs/OPERATIONS.md
+// ("Request observability").
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
 // work, finishes (or after -drain-timeout cancels) in-flight jobs, flushes
@@ -39,6 +49,7 @@
 //
 //	dtuckerd [-addr :7171] [-queue 16] [-runners 1] [-workers N]
 //	         [-cache 64] [-drain-timeout 30s] [-quiet]
+//	         [-log-format text|json] [-log-level info] [-flight-recorder 256]
 //	         [-tenant-quota 0] [-tenant-weights a=4,b=1]
 //	         [-tenant-weight-default 1] [-coalesce=true]
 //	         [-kernel-profile prof.json] [-autotune]
@@ -51,7 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,6 +74,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/kernelsel"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -104,7 +116,11 @@ func run() int {
 		cache        = flag.Int("cache", 64, "result-cache entries (negative disables)")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs before cancelling them")
-		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+		quiet        = flag.Bool("quiet", false, "suppress per-job log lines (raises the log level to warn)")
+
+		logFormat = flag.String("log-format", obs.FormatText, "structured-log format: text (logfmt-style) or json (JSONL)")
+		logLevel  = flag.String("log-level", "info", "log level floor: debug, info, warn, or error")
+		flightRec = flag.Int("flight-recorder", 256, "flight-recorder ring size at /debugz/requests (0 = default, negative disables)")
 
 		tenantQuota   = flag.Int("tenant-quota", 0, "max outstanding jobs per tenant (0 = unlimited)")
 		tenantWeights = flag.String("tenant-weights", "", "per-tenant WFQ weights as name=weight,... (e.g. prod=4,adhoc=1)")
@@ -124,23 +140,32 @@ func run() int {
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtuckerd: -log-level: %v\n", err)
+		return 2
+	}
+	if *quiet && level < slog.LevelWarn {
+		level = slog.LevelWarn
+	}
+	lg, err := obs.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtuckerd: -log-format: %v\n", err)
+		return 2
+	}
+	logf := lg.Infof
+
 	// Crash-injection arming for the e2e harness; no-op when unset.
 	if spec := os.Getenv("DTUCKERD_FAULTS"); spec != "" {
 		if err := faults.ActivateSpec(spec); err != nil {
-			log.Printf("dtuckerd: DTUCKERD_FAULTS: %v", err)
+			lg.Errorf("DTUCKERD_FAULTS: %v", err)
 			return 2
 		}
 	}
 
-	logger := log.New(os.Stderr, "dtuckerd: ", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
-	}
-
 	weights, err := parseTenantWeights(*tenantWeights)
 	if err != nil {
-		logger.Printf("-tenant-weights: %v", err)
+		lg.Errorf("-tenant-weights: %v", err)
 		return 2
 	}
 
@@ -149,12 +174,12 @@ func run() int {
 	case *autotune:
 		profile, err = kernelsel.Calibrate(kernelsel.CalibrateOptions{Logf: logf})
 		if err != nil {
-			logger.Printf("-autotune: %v", err)
+			lg.Errorf("-autotune: %v", err)
 			return 1
 		}
 		if *kernelProfile != "" {
 			if err := kernelsel.Save(*kernelProfile, profile); err != nil {
-				logger.Printf("-autotune: %v", err)
+				lg.Errorf("-autotune: %v", err)
 				return 1
 			}
 			logf("wrote kernel profile %s", *kernelProfile)
@@ -162,7 +187,7 @@ func run() int {
 	case *kernelProfile != "":
 		profile, err = kernelsel.Load(*kernelProfile)
 		if err != nil {
-			logger.Printf("-kernel-profile: %v", err)
+			lg.Errorf("-kernel-profile: %v", err)
 			return 2
 		}
 	}
@@ -185,15 +210,17 @@ func run() int {
 		DataDir:             *dataDir,
 		CheckpointEvery:     *checkpointEvery,
 		Logf:                logf,
+		Obs:                 lg,
+		FlightRecorderSize:  *flightRec,
 	})
 	if err != nil {
-		logger.Printf("startup: %v", err)
+		lg.Errorf("startup: %v", err)
 		return 1
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Printf("listen: %v", err)
+		lg.Errorf("listen: %v", err)
 		return 1
 	}
 	// Server-side timeouts: without them one stalled client connection can
@@ -216,14 +243,26 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// SIGQUIT is the post-mortem trigger: dump the flight recorder to the
+	// event log and keep serving (the Go runtime's stack-dump-and-exit
+	// default is traded for this — use SIGABRT for goroutine dumps).
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			lg.Warnf("SIGQUIT received, dumping flight recorder")
+			srv.FlightRecorder().DumpTo(lg)
+		}
+	}()
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 
 	select {
 	case sig := <-sigc:
-		logger.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+		lg.Infof("received %v, draining (timeout %v)", sig, *drainTimeout)
 	case err := <-serveErr:
-		logger.Printf("serve: %v", err)
+		lg.Errorf("serve: %v", err)
 		return 1
 	}
 
@@ -236,9 +275,9 @@ func run() int {
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("shutdown: %v", err)
+		lg.Errorf("shutdown: %v", err)
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed
-	logger.Printf("drained, exiting")
+	lg.Infof("drained, exiting")
 	return 0
 }

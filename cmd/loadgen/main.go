@@ -150,6 +150,11 @@ func run() int {
 	fmt.Printf("wrote %s: offered %d, goodput %.2f qps, shed %.1f%%, p50 %.0fms p95 %.0fms p99 %.0fms\n",
 		path, rep.Totals.Offered, rep.GoodputQPS, rep.ShedRate*100,
 		rep.Totals.Latency.P50Ms, rep.Totals.Latency.P95Ms, rep.Totals.Latency.P99Ms)
+	// The slowest request IDs bridge a bad quantile to the daemon's
+	// structured log: grep the event log (or /debugz/requests) for them.
+	for _, ex := range rep.Totals.Slowest {
+		fmt.Printf("slowest: %s %.0fms\n", ex.RequestID, ex.LatencyMs)
+	}
 	return 0
 }
 

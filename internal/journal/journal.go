@@ -122,6 +122,10 @@ type Record struct {
 	AtMs int64 `json:"at_ms,omitempty"`
 
 	// Accepted fields.
+	// RequestID is the correlation ID of the submitting request, restored
+	// onto the recovered job so post-restart log events still correlate
+	// with the original client call.
+	RequestID    string          `json:"request_id,omitempty"`
 	Tenant       string          `json:"tenant,omitempty"`
 	Lane         string          `json:"lane,omitempty"`
 	Key          string          `json:"key,omitempty"` // result-cache key

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -279,6 +280,10 @@ type result struct {
 	lat     time.Duration
 	coal    bool
 	hit     bool
+	// rid is the request ID the harness stamped on the operation; the
+	// report's slowest exemplars carry it so an outlier quantile can be
+	// chased into the daemon's structured log by ID.
+	rid string
 }
 
 // Run executes the load against spec.BaseURL and aggregates the report.
@@ -394,7 +399,7 @@ func (e *engine) prepare(ctx context.Context, rng *rand.Rand) error {
 
 	mkStream := func(chunks int) (string, error) {
 		var sess server.StreamResponse
-		status, werr, err := e.postJSON(ctx, "/v1/streams", TenantSpec{},
+		status, werr, err := e.postJSON(ctx, "/v1/streams", "", TenantSpec{},
 			server.StreamRequest{Config: e.configs[0]}, &sess)
 		if err != nil {
 			return "", err
@@ -403,7 +408,7 @@ func (e *engine) prepare(ctx context.Context, rng *rand.Rand) error {
 			return "", fmt.Errorf("loadgen: stream create: HTTP %d (%v)", status, werr)
 		}
 		for i := 0; i < chunks; i++ {
-			status, werr, err := e.postJSON(ctx, "/v1/streams/"+sess.StreamID+"/append", TenantSpec{},
+			status, werr, err := e.postJSON(ctx, "/v1/streams/"+sess.StreamID+"/append", "", TenantSpec{},
 				server.AppendRequest{TensorB64: e.chunkB64[i%len(e.chunkB64)]}, nil)
 			if err != nil {
 				return "", err
@@ -441,8 +446,8 @@ func encodeTensor(x *tensor.Dense) (string, error) {
 
 // postJSON posts one JSON body with the tenant's admission headers and
 // decodes the response: a 2xx into out (when non-nil), an error status into
-// the returned WireError.
-func (e *engine) postJSON(ctx context.Context, path string, tenant TenantSpec,
+// the returned WireError. A non-empty reqID travels as X-Request-ID.
+func (e *engine) postJSON(ctx context.Context, path, reqID string, tenant TenantSpec,
 	body, out any) (int, *server.WireError, error) {
 	b, err := json.Marshal(body)
 	if err != nil {
@@ -453,6 +458,9 @@ func (e *engine) postJSON(ctx context.Context, path string, tenant TenantSpec,
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(server.HeaderRequestID, reqID)
+	}
 	if tenant.Name != "" {
 		req.Header.Set(server.HeaderTenant, tenant.Name)
 	}
@@ -478,11 +486,14 @@ func (e *engine) postJSON(ctx context.Context, path string, tenant TenantSpec,
 	return resp.StatusCode, env.Error, nil
 }
 
-// getJSON fetches one JSON document.
-func (e *engine) getJSON(ctx context.Context, path string, out any) (int, error) {
+// getJSON fetches one JSON document, stamping reqID when non-empty.
+func (e *engine) getJSON(ctx context.Context, path, reqID string, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.spec.BaseURL+path, nil)
 	if err != nil {
 		return 0, err
+	}
+	if reqID != "" {
+		req.Header.Set(server.HeaderRequestID, reqID)
 	}
 	resp, err := e.spec.HTTPClient.Do(req)
 	if err != nil {
@@ -502,7 +513,8 @@ func (e *engine) getJSON(ctx context.Context, path string, out any) (int, error)
 // same way a real user experiences it.
 func (e *engine) execute(ctx context.Context, a arrival, start time.Time) result {
 	tenant := e.spec.Tenants[a.tenant]
-	res := result{op: a.op, tenant: tenant.Name}
+	rid := obs.NewRequestID()
+	res := result{op: a.op, tenant: tenant.Name, rid: rid}
 	scheduled := start.Add(a.at)
 
 	var (
@@ -513,15 +525,15 @@ func (e *engine) execute(ctx context.Context, a arrival, start time.Time) result
 	)
 	switch a.op {
 	case OpDecompose:
-		status, werr, err = e.postJSON(ctx, "/v1/decompose", tenant, server.DecomposeRequest{
+		status, werr, err = e.postJSON(ctx, "/v1/decompose", rid, tenant, server.DecomposeRequest{
 			Config:    e.configs[a.size],
 			TensorB64: e.tensorB64[a.size][a.variant],
 		}, &receipt)
 	case OpRange:
-		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.queryStream+"/range", tenant,
+		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.queryStream+"/range", rid, tenant,
 			server.SolveRequest{T0: a.t0, T1: a.t1}, &receipt)
 	case OpAppend:
-		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.ingestStream+"/append", tenant,
+		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.ingestStream+"/append", rid, tenant,
 			server.AppendRequest{TensorB64: e.chunkB64[a.variant%len(e.chunkB64)]}, nil)
 		if err == nil && status == http.StatusOK {
 			res.outcome, res.lat = "ok", time.Since(scheduled)
@@ -547,7 +559,7 @@ func (e *engine) execute(ctx context.Context, a arrival, start time.Time) result
 	// the decomposition is in hand, not merely finished server-side.
 	for {
 		var st server.JobStatus
-		code, err := e.getJSON(ctx, "/v1/jobs/"+receipt.JobID, &st)
+		code, err := e.getJSON(ctx, "/v1/jobs/"+receipt.JobID, rid, &st)
 		if err != nil || code != http.StatusOK {
 			res.outcome = "failed"
 			return res
@@ -560,6 +572,7 @@ func (e *engine) execute(ctx context.Context, a arrival, start time.Time) result
 				res.outcome = "failed"
 				return res
 			}
+			req.Header.Set(server.HeaderRequestID, rid)
 			resp, err := e.spec.HTTPClient.Do(req)
 			if err != nil {
 				res.outcome = "failed"
@@ -592,6 +605,7 @@ func (e *engine) aggregate(results <-chan result, elapsed time.Duration) *Report
 	type tally struct {
 		stats OpStats
 		lat   []time.Duration
+		ex    []Exemplar
 	}
 	total := &tally{}
 	ops := map[string]*tally{}
@@ -610,6 +624,12 @@ func (e *engine) aggregate(results <-chan result, elapsed time.Duration) *Report
 		case "ok":
 			t.stats.Completed++
 			t.lat = append(t.lat, r.lat)
+			if r.rid != "" {
+				t.ex = append(t.ex, Exemplar{
+					RequestID: r.rid,
+					LatencyMs: float64(r.lat) / float64(time.Millisecond),
+				})
+			}
 		case "shed":
 			t.stats.Shed++
 		case "dropped":
@@ -632,6 +652,13 @@ func (e *engine) aggregate(results <-chan result, elapsed time.Duration) *Report
 
 	finish := func(t *tally) OpStats {
 		t.stats.Latency = summarize(t.lat)
+		// The slowest completions, by ID: the bridge from a bad quantile in
+		// this report to the matching story in the daemon's structured log.
+		sort.Slice(t.ex, func(i, j int) bool { return t.ex[i].LatencyMs > t.ex[j].LatencyMs })
+		if len(t.ex) > maxExemplars {
+			t.ex = t.ex[:maxExemplars]
+		}
+		t.stats.Slowest = t.ex
 		return t.stats
 	}
 	rep := &Report{

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// syncBuffer is a concurrency-safe event-log sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunCorrelatesWithEventLog is the harness↔daemon correlation smoke:
+// every arrival the generator puts on the wire must yield exactly one
+// admission event in the daemon's structured log, under the request ID the
+// harness stamped — and the report's slowest exemplars must resolve in
+// that log.
+func TestRunCorrelatesWithEventLog(t *testing.T) {
+	var buf syncBuffer
+	lg, err := obs.New(&buf, obs.FormatJSON, slog.LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 2, Runners: 2, QueueDepth: 64, Obs: lg})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Spec{
+		BaseURL:  hs.URL,
+		Duration: 400 * time.Millisecond,
+		QPS:      40,
+		Seed:     5,
+		Variants: 2,
+		Mix:      map[string]float64{OpDecompose: 1},
+		Sizes: []SizeClass{
+			{Name: "tiny", Shape: []int{8, 7, 6}, Ranks: []int{2, 2, 2}, Weight: 1},
+		},
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := rep.Totals.Offered - rep.Totals.DroppedClient
+	if offered == 0 {
+		t.Fatal("no arrivals reached the wire")
+	}
+
+	// One admission event per wire arrival, each under a distinct ID.
+	admissionIDs := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Event     string `json:"event"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		if ev.Event == "admission" {
+			admissionIDs[ev.RequestID]++
+		}
+	}
+	if int64(len(admissionIDs)) != offered {
+		t.Fatalf("%d distinct admission request IDs for %d wire arrivals", len(admissionIDs), offered)
+	}
+	for rid, n := range admissionIDs {
+		if n != 1 {
+			t.Fatalf("request %s has %d admission events, want 1", rid, n)
+		}
+	}
+
+	// The report's slowest exemplars must point into the same log.
+	if len(rep.Totals.Slowest) == 0 {
+		t.Fatal("report has no slowest exemplars despite completions")
+	}
+	for _, ex := range rep.Totals.Slowest {
+		if _, ok := admissionIDs[ex.RequestID]; !ok {
+			t.Fatalf("slowest exemplar %s is absent from the event log", ex.RequestID)
+		}
+	}
+}

@@ -59,6 +59,17 @@ func summarize(samples []time.Duration) LatencySummary {
 	return s
 }
 
+// maxExemplars bounds OpStats.Slowest.
+const maxExemplars = 3
+
+// Exemplar ties one recorded latency back to its request ID, so an outlier
+// quantile in a report can be chased into the daemon's structured log and
+// flight recorder (both index by X-Request-ID).
+type Exemplar struct {
+	RequestID string  `json:"request_id"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
 // OpStats is the outcome tally of one slice of the workload (an operation
 // kind, a tenant, or the whole run). Latency covers completed operations
 // only — a shed request fails fast and would flatter the quantiles.
@@ -83,6 +94,10 @@ type OpStats struct {
 	CacheHits int64 `json:"cache_hits,omitempty"`
 	// Latency is end-to-end: scheduled arrival to result in hand.
 	Latency LatencySummary `json:"latency"`
+	// Slowest is the slowest completed operations (at most maxExemplars),
+	// each carrying the request ID the harness sent, slowest first.
+	// Additive relative to schema 1 readers; Compare ignores it.
+	Slowest []Exemplar `json:"slowest,omitempty"`
 }
 
 // Report is one load-harness run: the configuration that produced it, the

@@ -173,6 +173,34 @@ func ObserveSince(id HistID, t0 time.Time) {
 	Observe(id, time.Since(t0))
 }
 
+// HistCounts returns histogram id's raw per-bucket observation counts
+// (length histBuckets), loaded atomically. Exposition renderers (the
+// Prometheus text writer) turn these into cumulative buckets; bucket b's
+// upper edge is HistBucketUpper(b).
+func HistCounts(id HistID) []int64 {
+	counts := make([]int64, histBuckets)
+	if id < 0 || id >= numHistIDs {
+		return counts
+	}
+	h := &histograms[id]
+	for b := range counts {
+		counts[b] = h.counts[b].Load()
+	}
+	return counts
+}
+
+// HistSum returns histogram id's total observed nanoseconds.
+func HistSum(id HistID) int64 {
+	if id < 0 || id >= numHistIDs {
+		return 0
+	}
+	return histograms[id].sum.Load()
+}
+
+// HistBucketUpper returns the exclusive upper latency bound of bucket b —
+// the le edge Prometheus exposition uses for that bucket.
+func HistBucketUpper(b int) time.Duration { return bucketUpper(b) }
+
 // ResetHists zeroes every histogram.
 func ResetHists() {
 	for i := range histograms {

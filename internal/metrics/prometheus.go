@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metric families in the Prometheus text exposition
+// format (version 0.0.4) without any dependency on a client library. It
+// tracks which families have had their # HELP / # TYPE header written, so
+// multiple samples of one family (different label sets) share one header —
+// a format requirement promtool enforces.
+type PromWriter struct {
+	w      io.Writer
+	headed map[string]struct{}
+	err    error
+}
+
+// NewPromWriter returns a writer rendering onto w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, headed: make(map[string]struct{})}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header writes the # HELP / # TYPE preamble for family name once.
+func (p *PromWriter) header(name, help, typ string) {
+	if _, ok := p.headed[name]; ok {
+		return
+	}
+	p.headed[name] = struct{}{}
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelString renders a label set from alternating key, value pairs:
+// `{k1="v1",k2="v2"}`, or "" for no labels.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter writes one counter sample. labels are alternating key, value
+// pairs.
+func (p *PromWriter) Counter(name, help string, v int64, labels ...string) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %d\n", name, labelString(labels), v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// HistogramNS writes one histogram in native cumulative form from raw
+// per-bucket counts of nanosecond observations (the log₂ layout of
+// HistCounts): bucket b covers latencies below HistBucketUpper(b), so its
+// cumulative count is exposed at le = upper(b) seconds. Buckets are
+// rendered up to the highest non-empty bucket, then +Inf; an empty
+// histogram renders just +Inf, _sum, and _count. sumNS is total observed
+// nanoseconds; the exposed _sum is in seconds to match the le edges.
+func (p *PromWriter) HistogramNS(name, help string, counts []int64, sumNS int64, labels ...string) {
+	p.header(name, help, "histogram")
+	highest := -1
+	var total int64
+	for b, c := range counts {
+		total += c
+		if c > 0 {
+			highest = b
+		}
+	}
+	var cum int64
+	for b := 0; b <= highest; b++ {
+		cum += counts[b]
+		le := formatFloat(float64(HistBucketUpper(b)) / 1e9)
+		p.printf("%s_bucket%s %d\n", name, labelString(append(labels, "le", le)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, labelString(append(labels, "le", "+Inf")), total)
+	p.printf("%s_sum%s %s\n", name, labelString(labels), formatFloat(float64(sumNS)/1e9))
+	p.printf("%s_count%s %d\n", name, labelString(labels), total)
+}
+
+// WritePrometheus renders this package's global state — the kernel
+// counters and every latency histogram — in Prometheus text format.
+// Callers with their own state (the server's admission and durability
+// stats) append to the same writer via a PromWriter.
+func WritePrometheus(w io.Writer) error {
+	p := NewPromWriter(w)
+	WriteCountersProm(p)
+	WriteHistogramsProm(p)
+	return p.Err()
+}
+
+// WriteCountersProm renders the kernel counters onto p.
+func WriteCountersProm(p *PromWriter) {
+	c := Snapshot()
+	p.Counter("dtucker_matmul_calls_total", "Dense multiply kernel invocations.", c.MatmulCalls)
+	p.Counter("dtucker_matmul_flops_total", "Estimated floating-point operations by multiply kernels.", c.MatmulFlops)
+	p.Counter("dtucker_qr_calls_total", "Householder QR factorizations.", c.QRCalls)
+	p.Counter("dtucker_qr_flops_total", "Estimated floating-point operations by QR.", c.QRFlops)
+	p.Counter("dtucker_svd_calls_total", "Exact dense SVD invocations.", c.SVDCalls)
+	p.Counter("dtucker_randsvd_calls_total", "Randomized SVD invocations.", c.RandSVDCalls)
+	p.Counter("dtucker_randsvd_retries_total", "Randomized SVDs re-run after numerical breakdown.", c.RandSVDRetries)
+	p.Counter("dtucker_randsvd_fallbacks_total", "Randomized SVDs completed via the dense-SVD fallback.", c.RandSVDFallbacks)
+	p.Counter("dtucker_slice_svds_total", "Frontal-slice compressions in the approximation phase.", c.SliceSVDs)
+	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelRand, "kernel", "randsvd")
+	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelExact, "kernel", "exact")
+	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelGram, "kernel", "gram")
+}
+
+// WriteHistogramsProm renders every latency histogram onto p as one
+// family, labeled by operation name.
+func WriteHistogramsProm(p *PromWriter) {
+	for id := HistID(0); id < numHistIDs; id++ {
+		p.HistogramNS("dtucker_latency_seconds", "Kernel and serving latency by operation.",
+			HistCounts(id), HistSum(id), "op", id.String())
+	}
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRender produces a fixed exposition payload covering every family
+// shape: unlabeled counter, labeled counter (shared header), gauge, and a
+// histogram with observations in known buckets so the le edges are exact.
+func goldenRender() []byte {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("dtuckerd_jobs_total", "Jobs by outcome.", 12, "outcome", "done")
+	p.Counter("dtuckerd_jobs_total", "Jobs by outcome.", 3, "outcome", "failed")
+	p.Counter("dtucker_svd_calls_total", "Exact dense SVD invocations.", 42)
+	p.Gauge("dtuckerd_queue_len", "Jobs waiting in the admission queue.", 7)
+	p.Gauge("dtuckerd_cache_hit_ratio", "Result cache hit ratio.", 0.25)
+	// counts: 2 sub-ns observations, 3 in [1024ns, 2048ns), 1 in [1.048ms, 2.097ms).
+	counts := make([]int64, 64)
+	counts[0], counts[11], counts[21] = 2, 3, 1
+	p.HistogramNS("dtucker_latency_seconds", "Kernel and serving latency by operation.",
+		counts, 2_100_000, "op", "matmul")
+	// An empty histogram still renders +Inf/_sum/_count under the same header.
+	p.HistogramNS("dtucker_latency_seconds", "Kernel and serving latency by operation.",
+		make([]int64, 64), 0, "op", "slice-svd")
+	return buf.Bytes()
+}
+
+// TestPromGolden pins the exposition byte-for-byte: header dedup, label
+// rendering, cumulative buckets, and the exact le edges of the log₂ layout
+// (1e-09, 2.048e-06, 0.002097152 for buckets 0, 11, 21).
+func TestPromGolden(t *testing.T) {
+	got := goldenRender()
+	path := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("rendering drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The golden payload must itself be a valid scrape.
+	if err := LintPrometheus(bytes.NewReader(got)); err != nil {
+		t.Errorf("golden payload fails lint: %v", err)
+	}
+	// Spot-check the exact le edges the issue pins.
+	for _, want := range []string{
+		`le="1e-09"`, `le="2.048e-06"`, `le="0.002097152"`, `le="+Inf"`,
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("payload missing %s", want)
+		}
+	}
+}
+
+// TestWritePrometheusValid exercises the full package renderer over live
+// global state and asserts scrape validity.
+func TestWritePrometheusValid(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	Reset()
+	ResetHists()
+	defer Reset()
+	defer ResetHists()
+	CountMatmul(8, 8, 8)
+	CountSVD()
+	Observe(HistMatmul, 1500*time.Nanosecond)
+	Observe(HistMatmul, 3*time.Millisecond)
+	Observe(HistSliceSVD, 2*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("live payload fails lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dtucker_matmul_calls_total 1",
+		"dtucker_svd_calls_total 1",
+		`dtucker_latency_seconds_count{op="matmul"} 2`,
+		`dtucker_latency_seconds_count{op="slice-svd"} 1`,
+		`dtucker_slice_kernel_total{kernel="randsvd"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("payload missing %q", want)
+		}
+	}
+}
+
+// TestLintRejectsInvalid proves the lint actually catches the format
+// violations it claims to.
+func TestLintRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE": "foo_total 3\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="0.2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 6\n",
+		"counter without _total": "# TYPE c counter\nc 3\n",
+		"bad name":               "# TYPE 9bad counter\n9bad_total 3\n",
+	}
+	for name, payload := range cases {
+		if err := LintPrometheus(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: lint accepted invalid payload:\n%s", name, payload)
+		}
+	}
+	valid := "# TYPE ok_total counter\nok_total{a=\"b\"} 1\n# TYPE g gauge\ng 0.5\n"
+	if err := LintPrometheus(strings.NewReader(valid)); err != nil {
+		t.Errorf("lint rejected valid payload: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-format payload the way
+// `promtool check metrics` does, scoped to what this package emits:
+//
+//   - every sample belongs to a family with a preceding # TYPE line;
+//   - metric and label names are legal;
+//   - histogram buckets are cumulative (monotonically non-decreasing in le
+//     order), end with le="+Inf", and the +Inf bucket equals _count;
+//   - counter and histogram family names end in _total / have _bucket,
+//     _sum, _count series consistent with their type.
+//
+// It returns the first violation found, or nil for a valid payload. Tests
+// use it to assert scrape validity without a prometheus dependency.
+func LintPrometheus(r io.Reader) error {
+	types := make(map[string]string) // family -> declared type
+	// Histogram accounting per family+labels (excluding le).
+	type histState struct {
+		lastLe  float64
+		lastCum int64
+		infSeen bool
+		infVal  int64
+		count   int64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					return fmt.Errorf("line %d: family %q re-typed %s -> %s", lineNo, name, prev, typ)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family, suffix := histFamily(name, types)
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter %q does not end in _total", lineNo, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %q is negative", lineNo, name)
+			}
+		case "histogram":
+			le, rest, hasLe := splitLe(labels)
+			key := family + "|" + rest
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: math.Inf(-1)}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if !hasLe {
+					return fmt.Errorf("line %d: %s_bucket sample without le label", lineNo, family)
+				}
+				leV := math.Inf(1)
+				if le != "+Inf" {
+					leV, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+				}
+				if leV <= st.lastLe {
+					return fmt.Errorf("line %d: %s le=%q out of order", lineNo, family, le)
+				}
+				cum := int64(value)
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative at le=%q (%d < %d)",
+						lineNo, family, le, cum, st.lastCum)
+				}
+				st.lastLe, st.lastCum = leV, cum
+				if le == "+Inf" {
+					st.infSeen, st.infVal = true, cum
+				}
+			case "_sum":
+			case "_count":
+				st.count, st.hasCnt = int64(value), true
+			default:
+				return fmt.Errorf("line %d: unexpected histogram series %q", lineNo, name)
+			}
+		case "gauge":
+		default:
+			return fmt.Errorf("line %d: unknown type %q for %q", lineNo, typ, family)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		family := key[:strings.IndexByte(key, '|')]
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s (%s) missing le=\"+Inf\" bucket", family, key)
+		}
+		if !st.hasCnt {
+			return fmt.Errorf("histogram %s (%s) missing _count", family, key)
+		}
+		if st.infVal != st.count {
+			return fmt.Errorf("histogram %s (%s): +Inf bucket %d != _count %d", family, key, st.infVal, st.count)
+		}
+	}
+	return nil
+}
+
+// histFamily strips a histogram series suffix when the base name is a
+// declared histogram family; otherwise the name is its own family.
+func histFamily(name string, types map[string]string) (family, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && types[base] == "histogram" {
+			return base, s
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// splitLe extracts the le label value from a rendered label body and
+// returns the remaining labels as a canonical grouping key.
+func splitLe(labels string) (le, rest string, ok bool) {
+	var keep []string
+	for _, part := range strings.Split(labels, ",") {
+		if part == "" {
+			continue
+		}
+		if v, found := strings.CutPrefix(part, `le="`); found {
+			le, ok = strings.TrimSuffix(v, `"`), true
+			continue
+		}
+		keep = append(keep, part)
+	}
+	return le, strings.Join(keep, ","), ok
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+// Package obs is the request-scoped observability layer of the serving
+// stack: a structured event logger over log/slog, request-ID generation and
+// propagation (X-Request-ID and W3C traceparent), and a flight recorder of
+// recent request summaries.
+//
+// The package follows the cost discipline of internal/metrics and
+// internal/trace: a nil *Logger and a nil *Recorder are valid, every method
+// on them is an allocation-free no-op, and an enabled logger pays for
+// attribute construction only after the level gate passes. This is asserted
+// by AllocsPerRun tests.
+//
+// # Events vs diagnostics
+//
+// Emit writes one schema'd event line: a fixed vocabulary of keys (event,
+// request_id, job_id, tenant, lane, outcome, queue_wait_ms, run_time_ms,
+// cache, profile, err, ...) on top of slog's ts/level/msg. Every event
+// carries a non-empty request_id and outcome — the schema contract tests
+// and dashboards rely on. Infof/Warnf/Errorf/Debugf are free-form
+// diagnostics (startup lines, drain summaries); they never carry an "event"
+// key, so log consumers can split the two streams with one filter.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Log formats accepted by New (and the dtuckerd -log-format flag).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// Event is one structured log event. Zero-valued fields are omitted from
+// the output except RequestID and Outcome, which are always written — the
+// stable part of the schema every consumer can key on.
+type Event struct {
+	// Level defaults to slog.LevelInfo when zero.
+	Level slog.Level
+	// Event names the event type: "admission", "job_start", "job_finish",
+	// "flight_recorder", ... It doubles as the slog message.
+	Event     string
+	RequestID string
+	JobID     string
+	Tenant    string
+	Lane      string
+	// Outcome is the event's result: "accept", "cache_hit", "coalesce",
+	// "shed_queue_full", "shed_tenant_quota", "shed_draining", "running",
+	// "done", "failed", "cancelled", ...
+	Outcome string
+	// Leader is the leader job a coalesced follower attached to.
+	Leader string
+	// Cache is the result provenance of a finished job: "hit", "miss", or
+	// "coalesced".
+	Cache string
+	// QueueWait and RunTime are the job's admission→dispatch and
+	// dispatch→finish durations, logged in milliseconds.
+	QueueWait time.Duration
+	RunTime   time.Duration
+	// Profile is the kernel-profile fingerprint the job resolves against.
+	Profile string
+	// Err is the error kind/message of a failed outcome.
+	Err string
+	// Route and Status describe the HTTP surface of flight-recorder dumps.
+	Route  string
+	Status int
+	// Section labels which flight-recorder bucket a dumped entry came from
+	// ("recent", "slowest", "last_error", "last_shed").
+	Section string
+}
+
+// Logger writes structured JSONL or logfmt-style text lines. A nil *Logger
+// is valid: every method is an allocation-free no-op. Create with New.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// New returns a Logger writing to w in the given format (FormatText or
+// FormatJSON), dropping records below level.
+func New(w io.Writer, format string, level slog.Level) (*Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case FormatJSON:
+		h = slog.NewJSONHandler(w, opts)
+	case FormatText, "":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+	}
+	return &Logger{sl: slog.New(h)}, nil
+}
+
+// ParseLevel maps a -log-level flag value onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// enabled is the common gate: false for a nil logger or a filtered level,
+// checked before any attribute is built so disabled paths stay
+// allocation-free.
+func (l *Logger) enabled(level slog.Level) bool {
+	return l != nil && l.sl.Enabled(context.Background(), level)
+}
+
+// Emit writes one structured event line. Every emitted event carries the
+// request_id and outcome keys; other fields appear only when set.
+func (l *Logger) Emit(e Event) {
+	if !l.enabled(e.Level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 16)
+	attrs = append(attrs,
+		slog.String("event", e.Event),
+		slog.String("request_id", e.RequestID),
+		slog.String("outcome", e.Outcome),
+	)
+	if e.JobID != "" {
+		attrs = append(attrs, slog.String("job_id", e.JobID))
+	}
+	if e.Tenant != "" {
+		attrs = append(attrs, slog.String("tenant", e.Tenant))
+	}
+	if e.Lane != "" {
+		attrs = append(attrs, slog.String("lane", e.Lane))
+	}
+	if e.Leader != "" {
+		attrs = append(attrs, slog.String("leader", e.Leader))
+	}
+	if e.Cache != "" {
+		attrs = append(attrs, slog.String("cache", e.Cache))
+	}
+	if e.QueueWait != 0 {
+		attrs = append(attrs, slog.Float64("queue_wait_ms", durMs(e.QueueWait)))
+	}
+	if e.RunTime != 0 {
+		attrs = append(attrs, slog.Float64("run_time_ms", durMs(e.RunTime)))
+	}
+	if e.Profile != "" {
+		attrs = append(attrs, slog.String("profile", e.Profile))
+	}
+	if e.Err != "" {
+		attrs = append(attrs, slog.String("err", e.Err))
+	}
+	if e.Route != "" {
+		attrs = append(attrs, slog.String("route", e.Route))
+	}
+	if e.Status != 0 {
+		attrs = append(attrs, slog.Int("status", e.Status))
+	}
+	if e.Section != "" {
+		attrs = append(attrs, slog.String("section", e.Section))
+	}
+	l.sl.LogAttrs(context.Background(), e.Level, e.Event, attrs...)
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// logf writes one free-form diagnostic line (no "event" key).
+func (l *Logger) logf(level slog.Level, format string, args ...any) {
+	if !l.enabled(level) {
+		return
+	}
+	l.sl.Log(context.Background(), level, fmt.Sprintf(format, args...))
+}
+
+// Debugf, Infof, Warnf, and Errorf write free-form diagnostic lines at the
+// corresponding level. On a nil logger they are allocation-free no-ops.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(slog.LevelDebug, format, args...) }
+func (l *Logger) Infof(format string, args ...any)  { l.logf(slog.LevelInfo, format, args...) }
+func (l *Logger) Warnf(format string, args ...any)  { l.logf(slog.LevelWarn, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) { l.logf(slog.LevelError, format, args...) }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeLines parses a JSONL buffer into one map per line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
+// TestEventSchema pins the JSONL event contract: every emitted event line
+// carries ts/level/msg plus the stable event, request_id, and outcome keys;
+// optional fields appear exactly when set; diagnostics carry no "event" key.
+func TestEventSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, FormatJSON, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(Event{
+		Event:     "job_finish",
+		RequestID: "req-1",
+		JobID:     "j-000001",
+		Tenant:    "prod",
+		Lane:      "batch",
+		Outcome:   "done",
+		Cache:     "miss",
+		QueueWait: 1500 * time.Microsecond,
+		RunTime:   2 * time.Millisecond,
+		Profile:   "fp-abc",
+	})
+	l.Emit(Event{Event: "admission", RequestID: "req-2", Outcome: "shed_queue_full"})
+	l.Infof("drain: %d jobs", 3)
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	// Event lines: the stable schema keys must all be present.
+	for _, m := range lines[:2] {
+		for _, key := range []string{"time", "level", "msg", "event", "request_id", "outcome"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("event line %v missing key %q", m, key)
+			}
+		}
+		if m["request_id"] == "" || m["outcome"] == "" {
+			t.Errorf("event line %v has empty request_id or outcome", m)
+		}
+	}
+	first := lines[0]
+	if first["event"] != "job_finish" || first["msg"] != "job_finish" {
+		t.Errorf("event/msg = %v/%v, want job_finish", first["event"], first["msg"])
+	}
+	if first["queue_wait_ms"] != 1.5 || first["run_time_ms"] != 2.0 {
+		t.Errorf("durations = %v / %v, want 1.5 / 2", first["queue_wait_ms"], first["run_time_ms"])
+	}
+	if first["cache"] != "miss" || first["profile"] != "fp-abc" {
+		t.Errorf("cache/profile = %v/%v", first["cache"], first["profile"])
+	}
+	// Unset optional fields must be absent, not empty.
+	if _, ok := lines[1]["job_id"]; ok {
+		t.Errorf("unset job_id leaked into %v", lines[1])
+	}
+	// The diagnostic line must not look like an event.
+	if _, ok := lines[2]["event"]; ok {
+		t.Errorf("diagnostic line %v carries an event key", lines[2])
+	}
+	if lines[2]["msg"] != "drain: 3 jobs" {
+		t.Errorf("diagnostic msg = %v", lines[2]["msg"])
+	}
+}
+
+// TestLevelGate proves the level filter drops events and diagnostics below
+// the configured level.
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, FormatJSON, slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(Event{Event: "admission", RequestID: "r", Outcome: "accept"}) // info: dropped
+	l.Infof("quiet")                                                     // dropped
+	l.Emit(Event{Level: slog.LevelWarn, Event: "job_finish", RequestID: "r", Outcome: "failed"})
+	l.Errorf("boom")
+	if lines := decodeLines(t, &buf); len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (info filtered): %s", len(lines), buf.String())
+	}
+}
+
+// TestTextFormat smoke-checks the human-readable handler.
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, FormatText, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(Event{Event: "admission", RequestID: "rid-9", Outcome: "accept", Tenant: "t"})
+	out := buf.String()
+	for _, want := range []string{"event=admission", "request_id=rid-9", "outcome=accept", "tenant=t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text line %q missing %q", out, want)
+		}
+	}
+	if _, err := New(&buf, "yaml", slog.LevelInfo); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+// TestDisabledPathsAllocationFree is the cost contract: a nil logger, a
+// level-gated emit on an enabled logger, and a nil recorder must all
+// allocate nothing — the serving hot paths call these unconditionally.
+func TestDisabledPathsAllocationFree(t *testing.T) {
+	var nilLogger *Logger
+	ev := Event{Event: "admission", RequestID: "r", JobID: "j", Outcome: "accept"}
+	if n := testing.AllocsPerRun(100, func() { nilLogger.Emit(ev) }); n != 0 {
+		t.Errorf("nil Logger.Emit allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { nilLogger.Infof("x") }); n != 0 {
+		t.Errorf("nil Logger.Infof allocates %v per call, want 0", n)
+	}
+
+	var buf bytes.Buffer
+	gated, err := New(&buf, FormatJSON, slog.LevelError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() { gated.Emit(ev) }); n != 0 {
+		t.Errorf("level-gated Emit allocates %v per call, want 0", n)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("gated logger wrote %q", buf.String())
+	}
+
+	var nilRec *Recorder
+	sum := RequestSummary{RequestID: "r", Route: "POST /v1/decompose", Status: 202, Outcome: "ok"}
+	if n := testing.AllocsPerRun(100, func() { nilRec.Record(sum) }); n != 0 {
+		t.Errorf("nil Recorder.Record allocates %v per call, want 0", n)
+	}
+}

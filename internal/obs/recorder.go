@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RequestSummary is one finished HTTP request as the flight recorder keeps
+// it: identity, route, status, and latency — enough to correlate a bad
+// quantile in a load report back to the exact request and its log events.
+type RequestSummary struct {
+	RequestID string `json:"request_id"`
+	// Route is the matched mux pattern ("POST /v1/decompose"), so exemplars
+	// group by endpoint shape, not by concrete job IDs in the path.
+	Route   string `json:"route"`
+	Status  int    `json:"status"`
+	Tenant  string `json:"tenant,omitempty"`
+	Lane    string `json:"lane,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+	Outcome string `json:"outcome"`
+	// ErrClass is the WireError kind of an error response ("queue_full",
+	// "invalid_input", ...), empty on success.
+	ErrClass  string  `json:"error_class,omitempty"`
+	StartMs   int64   `json:"start_ms"` // Unix epoch milliseconds
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// Recorder is a lock-cheap flight recorder: a fixed ring of the last N
+// request summaries plus pinned exemplars — the slowest request per route,
+// the most recent error per error class, and the last shed request. One
+// mutex guards a Record that only copies into pre-allocated storage (map
+// growth stops once every route and error class has been seen), so the
+// steady-state per-request cost is a short critical section and no
+// allocation. A nil *Recorder is valid and records nothing at zero cost.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []RequestSummary
+	next  int
+	total uint64
+	// Pinned exemplars.
+	slowest  map[string]RequestSummary // by route
+	lastErr  map[string]RequestSummary // by error class
+	lastShed RequestSummary
+	hasShed  bool
+}
+
+// NewRecorder returns a recorder keeping the last n requests (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{
+		ring:    make([]RequestSummary, n),
+		slowest: make(map[string]RequestSummary),
+		lastErr: make(map[string]RequestSummary),
+	}
+}
+
+// Record adds one finished request. Safe for concurrent use; a no-op on a
+// nil recorder.
+func (rec *Recorder) Record(s RequestSummary) {
+	if rec == nil {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.ring[rec.next] = s
+	rec.next = (rec.next + 1) % len(rec.ring)
+	rec.total++
+	if prev, ok := rec.slowest[s.Route]; !ok || s.LatencyMs > prev.LatencyMs {
+		rec.slowest[s.Route] = s
+	}
+	if s.ErrClass != "" {
+		rec.lastErr[s.ErrClass] = s
+	}
+	if s.Outcome == "shed" || (len(s.Outcome) > 5 && s.Outcome[:5] == "shed_") {
+		rec.lastShed = s
+		rec.hasShed = true
+	}
+}
+
+// Snapshot is the recorder's exported state: the retained requests (oldest
+// first) and every pinned exemplar.
+type Snapshot struct {
+	// Total counts every request ever recorded; Capacity is the ring size.
+	Total    uint64 `json:"total"`
+	Capacity int    `json:"capacity"`
+	// Recent holds the retained request summaries, oldest first.
+	Recent []RequestSummary `json:"recent"`
+	// SlowestByRoute pins the slowest request seen per route; LastErrorByClass
+	// pins the most recent error response per error class; LastShed pins the
+	// most recent load-shed request.
+	SlowestByRoute   map[string]RequestSummary `json:"slowest_by_route"`
+	LastErrorByClass map[string]RequestSummary `json:"last_error_by_class,omitempty"`
+	LastShed         *RequestSummary           `json:"last_shed,omitempty"`
+}
+
+// Snapshot copies the recorder's state. Nil recorders return an empty
+// snapshot with Capacity 0 (recorder disabled).
+func (rec *Recorder) Snapshot() Snapshot {
+	if rec == nil {
+		return Snapshot{}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	snap := Snapshot{
+		Total:            rec.total,
+		Capacity:         len(rec.ring),
+		SlowestByRoute:   make(map[string]RequestSummary, len(rec.slowest)),
+		LastErrorByClass: make(map[string]RequestSummary, len(rec.lastErr)),
+	}
+	n := int(rec.total)
+	if n > len(rec.ring) {
+		n = len(rec.ring)
+	}
+	snap.Recent = make([]RequestSummary, 0, n)
+	for i := 0; i < n; i++ {
+		// Oldest retained entry first: walk forward from next-n.
+		snap.Recent = append(snap.Recent, rec.ring[((rec.next-n+i)%len(rec.ring)+len(rec.ring))%len(rec.ring)])
+	}
+	for k, v := range rec.slowest {
+		snap.SlowestByRoute[k] = v
+	}
+	for k, v := range rec.lastErr {
+		snap.LastErrorByClass[k] = v
+	}
+	if rec.hasShed {
+		shed := rec.lastShed
+		snap.LastShed = &shed
+	}
+	return snap
+}
+
+// DumpTo writes the recorder's state to the event log as one
+// "flight_recorder" event per entry (sections: recent, slowest, last_error,
+// last_shed), the SIGQUIT post-mortem path. No-op when either side is nil.
+func (rec *Recorder) DumpTo(l *Logger) {
+	if rec == nil || l == nil {
+		return
+	}
+	snap := rec.Snapshot()
+	l.Infof("flight recorder: %d recorded, dumping %d recent + %d slowest + %d error exemplars",
+		snap.Total, len(snap.Recent), len(snap.SlowestByRoute), len(snap.LastErrorByClass))
+	emit := func(section string, s RequestSummary) {
+		l.Emit(Event{
+			Event:     "flight_recorder",
+			Section:   section,
+			RequestID: s.RequestID,
+			JobID:     s.JobID,
+			Tenant:    s.Tenant,
+			Lane:      s.Lane,
+			Outcome:   s.Outcome,
+			Err:       s.ErrClass,
+			Route:     s.Route,
+			Status:    s.Status,
+			RunTime:   msDur(s.LatencyMs),
+		})
+	}
+	for _, s := range snap.Recent {
+		emit("recent", s)
+	}
+	for _, route := range sortedKeys(snap.SlowestByRoute) {
+		emit("slowest", snap.SlowestByRoute[route])
+	}
+	for _, class := range sortedKeys(snap.LastErrorByClass) {
+		emit("last_error", snap.LastErrorByClass[class])
+	}
+	if snap.LastShed != nil {
+		emit("last_shed", *snap.LastShed)
+	}
+}
+
+func msDur(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }
+
+func sortedKeys(m map[string]RequestSummary) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

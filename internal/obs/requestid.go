@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"sync/atomic"
+)
+
+// HeaderRequestID is the request-correlation header: accepted on every
+// request, generated when absent, and echoed on every response (including
+// errors and shed 429s) so one ID ties the client call, the event log, the
+// job record, and the flight recorder together.
+const HeaderRequestID = "X-Request-ID"
+
+// headerTraceparent is the W3C Trace Context header. When a request carries
+// one (and no X-Request-ID), its trace-id becomes the request ID, so a
+// caller already inside a distributed trace keeps its correlation key.
+const headerTraceparent = "Traceparent"
+
+// ridFallback seeds request IDs when the system's entropy source fails —
+// still unique within the process, which is all correlation needs.
+var ridFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// FromHTTP resolves the request's correlation ID: a sanitized X-Request-ID
+// header wins, then the trace-id of a valid W3C traceparent header, then a
+// freshly generated ID. generated reports whether the ID was minted here
+// (no usable client-supplied identity).
+func FromHTTP(r *http.Request) (id string, generated bool) {
+	if id := SanitizeID(r.Header.Get(HeaderRequestID)); id != "" {
+		return id, false
+	}
+	if tid, ok := ParseTraceparent(r.Header.Get(headerTraceparent)); ok {
+		return tid, false
+	}
+	return NewRequestID(), true
+}
+
+// SanitizeID bounds and validates a client-supplied request ID: at most 128
+// characters of [0-9A-Za-z._-]. Anything else returns "" — an unbounded or
+// log-injectable attacker-chosen ID would otherwise flow verbatim into
+// every log line and response header.
+func SanitizeID(s string) string {
+	if s == "" || len(s) > 128 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// value: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". It
+// accepts future versions (any 2-hex version except the reserved "ff") and
+// rejects the all-zero trace-id, per the Trace Context spec.
+func ParseTraceparent(v string) (traceID string, ok bool) {
+	// version(2) - traceid(32) - parentid(16) - flags(2)
+	if len(v) < 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", false
+	}
+	if !isLowerHex(v[:2]) || v[:2] == "ff" {
+		return "", false
+	}
+	tid := v[3:35]
+	if !isLowerHex(tid) || tid == "00000000000000000000000000000000" {
+		return "", false
+	}
+	if !isLowerHex(v[36:52]) || !isLowerHex(v[53:55]) {
+		return "", false
+	}
+	return tid, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

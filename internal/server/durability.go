@@ -21,6 +21,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -333,6 +334,7 @@ func (s *Server) restoreTerminalJob(id string, fj *foldedJob) {
 	acc, term := fj.accepted, fj.terminal
 	j := &job{
 		id:        id,
+		requestID: recoveredRequestID(acc),
 		key:       acc.Key,
 		tenant:    acc.Tenant,
 		lane:      laneFromString(acc.Lane),
@@ -360,7 +362,21 @@ func (s *Server) restoreTerminalJob(id string, fj *foldedJob) {
 	}
 	s.register(j)
 	s.dur.restoredJobs.Add(1)
+	s.obs.Emit(obs.Event{
+		Event: "job_recovery", RequestID: j.requestID, JobID: j.id,
+		Tenant: j.tenant, Lane: j.lane.String(), Outcome: "restored_" + j.state,
+	})
 	s.cfg.Logf("job %s: restored (%s)", id, j.state)
+}
+
+// recoveredRequestID restores the submitting request's correlation ID from
+// the accepted record, minting a fresh one for journals written before the
+// field existed — every job record and log event carries one either way.
+func recoveredRequestID(acc *journal.Record) string {
+	if acc.RequestID != "" {
+		return acc.RequestID
+	}
+	return obs.NewRequestID()
 }
 
 // requeueInterruptedJob re-enqueues a job that was accepted but never
@@ -390,6 +406,10 @@ func (s *Server) requeueInterruptedJob(id string, fj *foldedJob) error {
 	s.register(j)
 	s.submitted.Add(1)
 	d.recoveredJobs.Add(1)
+	s.obs.Emit(obs.Event{
+		Event: "job_recovery", RequestID: j.requestID, JobID: j.id,
+		Tenant: j.tenant, Lane: j.lane.String(), Outcome: "requeued",
+	})
 	s.cfg.Logf("job %s: recovered (tenant %s, %s, checkpointed sweep %d)", id, j.tenant, j.lane, fj.sweepIndex())
 	return nil
 }
@@ -401,6 +421,7 @@ func (s *Server) newDurableJob(id string, acc *journal.Record, cfg core.Config) 
 	d := s.dur
 	j := &job{
 		id:        id,
+		requestID: recoveredRequestID(acc),
 		key:       acc.Key,
 		tenant:    acc.Tenant,
 		lane:      laneFromString(acc.Lane),
@@ -415,6 +436,7 @@ func (s *Server) newDurableJob(id string, acc *journal.Record, cfg core.Config) 
 	if acc.Trace {
 		j.tracer = trace.New()
 		j.col.SetTracer(j.tracer)
+		j.ownTracer = true
 	}
 	digest := acc.TensorDigest
 	j.exec = func(ctx context.Context, pl *pool.Pool, col *metrics.Collector) (*core.Decomposition, error) {
@@ -518,6 +540,7 @@ func (s *Server) persistAccepted(j *job, x *tensor.Dense, cfg core.Config, diges
 		Type:         journal.RecAccepted,
 		Job:          j.id,
 		AtMs:         nowMs(),
+		RequestID:    j.requestID,
 		Tenant:       j.tenant,
 		Lane:         j.lane.String(),
 		Key:          j.key,

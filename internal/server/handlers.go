@@ -116,10 +116,12 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey(digest, req.Config)
 	tenant := requestTenant(r)
+	rid := requestID(r)
 
 	// A cache hit needs no queue slot: the job record is born done.
 	if dec, ok := s.cache.Get(key); ok {
 		j := s.newJob(key, 0, false, nil)
+		j.requestID = rid
 		j.tenant = tenant
 		j.state = StateDone
 		j.dec = dec
@@ -132,7 +134,8 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		s.schedMu.Lock()
 		s.sched.cacheHitLocked(tenant)
 		s.schedMu.Unlock()
-		s.cfg.Logf("job %s: done (cache hit at submit)", j.id)
+		s.emitAdmission(j, "cache_hit", "")
+		annotateJob(r, j, "cache_hit")
 		s.respondSubmitted(w, j, http.StatusOK)
 		return
 	}
@@ -151,6 +154,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			}
 			return core.Decompose(x, opts)
 		})
+	j.requestID = rid
 	j.tenant = tenant
 	j.lane = lane
 	if s.dur != nil {
@@ -160,10 +164,18 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		j.persist.Store(true)
 		j.durableReady = make(chan struct{})
 	}
-	if _, err := s.admitOrCoalesce(j); err != nil {
+	leader, err := s.admitOrCoalesce(j)
+	if err != nil {
 		j.cancel() // release the job context; it will never run
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, j, err)
 		return
+	}
+	if leader != nil {
+		s.emitAdmission(j, "coalesce", leader.id)
+		annotateJob(r, j, "coalesce")
+	} else {
+		s.emitAdmission(j, "accept", "")
+		annotateJob(r, j, "accept")
 	}
 	if s.dur != nil {
 		// The durability commit happens after admission but before the 202
@@ -181,6 +193,7 @@ func (s *Server) respondSubmitted(w http.ResponseWriter, j *job, status int) {
 	j.mu.Lock()
 	resp := SubmitResponse{
 		JobID:     j.id,
+		RequestID: j.requestID,
 		State:     j.state,
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
@@ -238,7 +251,14 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Query().Get("format") {
 	case "", "binary", "dtd":
 		w.Header().Set("Content-Type", "application/octet-stream")
-		if _, err := dec.WriteTo(w); err != nil {
+		serStart := time.Now()
+		_, err := dec.WriteTo(w)
+		if j.ownTracer {
+			// The serialize phase joins the job's span tree retroactively —
+			// result fetches happen long after the compute spans closed.
+			j.tracer.Record(0, "server:serialize", trace.NoIdx, serStart, time.Since(serStart))
+		}
+		if err != nil {
 			s.cfg.Logf("job %s: writing result: %v", j.id, err)
 		}
 	case "json":

@@ -29,6 +29,11 @@ type job struct {
 	id  string
 	key string // result-cache key; "" disables caching and coalescing for this job
 
+	// requestID is the correlation ID of the submitting request (restored
+	// from the journal for recovered jobs): the key tying this record to the
+	// client call, the structured event log, and the flight recorder.
+	requestID string
+
 	// tenant and lane are the admission identity: tenant charges the quota
 	// and the WFQ share, lane decides dispatch priority. Both are fixed at
 	// submission (from the X-Tenant / X-Priority headers).
@@ -45,6 +50,14 @@ type job struct {
 
 	col    *metrics.Collector
 	tracer *trace.Tracer
+	// ownTracer marks a tracer created for this job alone (traced
+	// decompose submissions). Server-side spans are only recorded into own
+	// tracers: a stream job shares its session's tracer, whose control-lane
+	// stack belongs to the session operations.
+	ownTracer bool
+	// admitted is when the job passed admission control (zero for
+	// journal-recovered jobs); queue wait is measured from here.
+	admitted time.Time
 
 	// coalesced marks a follower: a submission attached to an identical
 	// in-flight leader. Followers never execute; the leader's completion
@@ -162,6 +175,7 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:        j.id,
+		RequestID: j.requestID,
 		State:     j.state,
 		Tenant:    j.tenant,
 		Priority:  j.lane.String(),

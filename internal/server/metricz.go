@@ -1,0 +1,145 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// handleMetricz is GET /metricz. The default (and ?format=expvar) payload
+// is curated JSON: the dtucker kernel counters and histograms, the
+// dtuckerd serving stats, and a small memstats subset — NOT the stock
+// expvar handler, which leaks cmdline and the full runtime.MemStats dump
+// (see docs/OPERATIONS.md for the breaking note). ?format=prometheus
+// renders the same state in the Prometheus text exposition format for
+// standard scrapers.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "expvar", "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dtucker_metrics": metrics.Snapshot(),
+			"dtucker_hists":   metrics.Histograms(),
+			"dtuckerd":        s.statsSnapshot(),
+			"memstats":        curatedMemstats(),
+		})
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		p := metrics.NewPromWriter(w)
+		s.writeServerProm(p)
+		metrics.WriteCountersProm(p)
+		metrics.WriteHistogramsProm(p)
+	default:
+		writeError(w, http.StatusBadRequest, &WireError{
+			Kind:    KindInvalidInput,
+			Message: "unknown format (want expvar or prometheus)",
+		})
+	}
+}
+
+// curatedMemstats is the deliberate subset of runtime.MemStats exported on
+// /metricz: enough to watch heap pressure and GC cadence, without the
+// ~30-field dump (and pause history arrays) the stock expvar handler
+// publishes.
+func curatedMemstats() map[string]any {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return map[string]any{
+		"alloc":          m.Alloc,
+		"total_alloc":    m.TotalAlloc,
+		"sys":            m.Sys,
+		"heap_alloc":     m.HeapAlloc,
+		"heap_inuse":     m.HeapInuse,
+		"heap_objects":   m.HeapObjects,
+		"stack_inuse":    m.StackInuse,
+		"num_gc":         m.NumGC,
+		"pause_total_ns": m.PauseTotalNs,
+		"last_gc":        m.LastGC,
+		"goroutines":     runtime.NumGoroutine(),
+	}
+}
+
+// writeServerProm renders the serving-layer state — job outcomes, queue
+// and cache gauges, per-tenant admission counters, durability counters —
+// onto p. Kernel counters and latency histograms follow from the metrics
+// package's own renderers.
+func (s *Server) writeServerProm(p *metrics.PromWriter) {
+	const jobsHelp = "Jobs by terminal outcome or admission decision."
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.submitted.Load(), "outcome", "submitted")
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.completed.Load(), "outcome", "done")
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.failed.Load(), "outcome", "failed")
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.cancelled.Load(), "outcome", "cancelled")
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.rejected.Load(), "outcome", "rejected")
+	p.Counter("dtuckerd_jobs_total", jobsHelp, s.coalesced.Load(), "outcome", "coalesced")
+
+	hits, misses := s.cache.Stats()
+	p.Counter("dtuckerd_cache_hits_total", "Result-cache hits.", hits)
+	p.Counter("dtuckerd_cache_misses_total", "Result-cache misses.", misses)
+
+	s.mu.Lock()
+	streams := len(s.streams)
+	s.mu.Unlock()
+	s.schedMu.Lock()
+	queued := s.sched.queued
+	tenants := s.sched.snapshotLocked()
+	s.schedMu.Unlock()
+
+	p.Gauge("dtuckerd_jobs_running", "Jobs currently executing.", float64(s.running.Load()))
+	p.Gauge("dtuckerd_queue_len", "Jobs waiting in the admission queue.", float64(queued))
+	p.Gauge("dtuckerd_queue_cap", "Admission queue capacity.", float64(s.cfg.QueueDepth))
+	p.Gauge("dtuckerd_cache_entries", "Result-cache entries.", float64(s.cache.Len()))
+	p.Gauge("dtuckerd_streams_open", "Open streaming sessions.", float64(streams))
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	p.Gauge("dtuckerd_draining", "1 while the server is draining.", draining)
+
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	const tenantHelp = "Per-tenant admission and completion counters."
+	for _, name := range names {
+		st := tenants[name]
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.Submitted, "tenant", name, "outcome", "submitted")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.Completed, "tenant", name, "outcome", "done")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.Failed, "tenant", name, "outcome", "failed")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.Cancelled, "tenant", name, "outcome", "cancelled")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.RejectedQueue, "tenant", name, "outcome", "rejected_queue")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.RejectedQuota, "tenant", name, "outcome", "rejected_quota")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.Coalesced, "tenant", name, "outcome", "coalesced")
+		p.Counter("dtuckerd_tenant_jobs_total", tenantHelp, st.CacheHits, "tenant", name, "outcome", "cache_hit")
+	}
+
+	if s.dur != nil {
+		const durHelp = "Durability layer counters."
+		snap := s.dur.snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v, ok := snap[k].(int64); ok {
+				p.Counter("dtuckerd_durability_"+k+"_total", durHelp, v)
+			}
+		}
+	}
+}
+
+// handleDebugzRequests is GET /debugz/requests: the flight recorder's
+// retained request summaries and pinned exemplars.
+func (s *Server) handleDebugzRequests(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, &WireError{
+			Kind:    KindNotFound,
+			Message: "flight recorder disabled (Config.FlightRecorderSize < 0)",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rec.Snapshot())
+}

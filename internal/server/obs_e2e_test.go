@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// eventLog is a concurrency-safe sink for the structured event log plus a
+// JSONL decoder over what has been written so far.
+type eventLog struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+// events decodes every line written so far. Lines are complete JSON
+// documents because slog writes each record with a single Write call.
+func (l *eventLog) events(t *testing.T) []map[string]any {
+	t.Helper()
+	l.mu.Lock()
+	raw := l.b.String()
+	l.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("event log line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// find returns the events matching event kind and request_id.
+func findEvents(evs []map[string]any, kind, rid string) []map[string]any {
+	var out []map[string]any
+	for _, e := range evs {
+		if e["event"] == kind && e["request_id"] == rid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// waitEvent polls the log until exactly want events of the kind exist for
+// rid (job events are emitted by the runner goroutine, which races with the
+// HTTP status flipping to done).
+func waitEvent(t *testing.T, l *eventLog, kind, rid string, want int) []map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		evs := findEvents(l.events(t), kind, rid)
+		if len(evs) >= want {
+			if len(evs) > want {
+				t.Fatalf("%d %q events for %s, want %d", len(evs), kind, rid, want)
+			}
+			return evs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q event for %s after 10s", kind, rid)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func obsTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *eventLog) {
+	t.Helper()
+	l := &eventLog{}
+	lg, err := obs.New(l, obs.FormatJSON, slog.LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = lg
+	if cfg.FlightRecorderSize == 0 {
+		cfg.FlightRecorderSize = 16
+	}
+	s := mustNew(t, cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, hs, l
+}
+
+func decomposeBody(t *testing.T, seed int64, traced bool) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	if _, err := tensor.RandN(rng, 6, 5, 4).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(DecomposeRequest{
+		Config:    core.Config{Ranks: []int{2, 2, 2}},
+		TensorB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Trace:     traced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postWithRID(t *testing.T, url, rid string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set(HeaderRequestID, rid)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestObsCorrelatedStory is the end-to-end acceptance path of the
+// observability layer: one traced request's ID must appear on the response
+// header, in the submit receipt, on every log event of the job's lifecycle,
+// in the flight recorder, and its server-side spans must land in the same
+// trace tree as the compute spans.
+func TestObsCorrelatedStory(t *testing.T) {
+	_, hs, l := obsTestServer(t, Config{Workers: 1, Runners: 1})
+	const rid = "story-rid-1"
+
+	resp := postWithRID(t, hs.URL+"/v1/decompose", rid, decomposeBody(t, 42, true))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderRequestID); got != rid {
+		t.Fatalf("response %s = %q, want %q", HeaderRequestID, got, rid)
+	}
+	var receipt SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if receipt.RequestID != rid {
+		t.Fatalf("receipt request_id = %q, want %q", receipt.RequestID, rid)
+	}
+
+	// Poll to done, then fetch the result so the serialize span is recorded.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := http.Get(hs.URL + "/v1/jobs/" + receipt.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js JobStatus
+		if err := json.NewDecoder(st.Body).Decode(&js); err != nil {
+			t.Fatal(err)
+		}
+		st.Body.Close()
+		if js.RequestID != rid {
+			t.Fatalf("job status request_id = %q, want %q", js.RequestID, rid)
+		}
+		if js.State == StateDone {
+			break
+		}
+		if js.State == StateFailed || js.State == StateCancelled {
+			t.Fatalf("job ended %s", js.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res, err := http.Get(hs.URL + "/v1/jobs/" + receipt.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", res.StatusCode)
+	}
+
+	// One admission, one job_start, one job_finish — all carrying the ID.
+	adm := waitEvent(t, l, "admission", rid, 1)
+	if adm[0]["outcome"] != "accept" {
+		t.Fatalf("admission outcome = %v, want accept", adm[0]["outcome"])
+	}
+	if adm[0]["job_id"] != receipt.JobID {
+		t.Fatalf("admission job_id = %v, want %s", adm[0]["job_id"], receipt.JobID)
+	}
+	waitEvent(t, l, "job_start", rid, 1)
+	fin := waitEvent(t, l, "job_finish", rid, 1)
+	if fin[0]["outcome"] != StateDone {
+		t.Fatalf("job_finish outcome = %v, want done", fin[0]["outcome"])
+	}
+	if fin[0]["job_id"] != receipt.JobID {
+		t.Fatalf("job_finish job_id = %v, want %s", fin[0]["job_id"], receipt.JobID)
+	}
+	if fin[0]["cache"] != "miss" {
+		t.Fatalf("job_finish cache = %v, want miss", fin[0]["cache"])
+	}
+
+	// The trace tree holds server-side and compute spans together.
+	tr, err := http.Get(hs.URL + "/v1/jobs/" + receipt.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, err := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(string(traceBody)), "\n") {
+		var span struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		names = append(names, span.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"server:admission", "server:queue-wait", "server:run", "server:serialize"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace spans %v missing %q", names, want)
+		}
+	}
+	compute := 0
+	for _, n := range names {
+		if !strings.HasPrefix(n, "server:") {
+			compute++
+		}
+	}
+	if compute == 0 {
+		t.Fatalf("trace spans %v hold no compute spans alongside the server spans", names)
+	}
+
+	// The flight recorder retains the request, keyed by the same ID.
+	dbg, err := http.Get(hs.URL + "/debugz/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(dbg.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dbg.Body.Close()
+	found := false
+	for _, s := range snap.Recent {
+		if s.RequestID == rid && s.Route == "POST /v1/decompose" && s.JobID == receipt.JobID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flight recorder %+v holds no entry for %s", snap.Recent, rid)
+	}
+}
+
+// TestObsGeneratedRequestID pins the no-header path: the daemon mints an ID
+// and still echoes it on the response.
+func TestObsGeneratedRequestID(t *testing.T) {
+	_, hs, l := obsTestServer(t, Config{Workers: 1, Runners: 1})
+	resp := postWithRID(t, hs.URL+"/v1/decompose", "", decomposeBody(t, 43, false))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	rid := resp.Header.Get(HeaderRequestID)
+	if rid == "" {
+		t.Fatal("no X-Request-ID on response to header-less request")
+	}
+	var receipt SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	if receipt.RequestID != rid {
+		t.Fatalf("receipt request_id %q != header %q", receipt.RequestID, rid)
+	}
+	waitEvent(t, l, "admission", rid, 1)
+}
+
+// TestObsShedCarriesRequestID pins the bugfix: a 429 emitted before any job
+// record exists still echoes the request ID and lands in the event log and
+// the flight recorder's last-shed pin.
+func TestObsShedCarriesRequestID(t *testing.T) {
+	s, hs, l := obsTestServer(t, Config{Runners: 1, QueueDepth: 1, Workers: 1, RetryAfter: time.Second})
+	release := make(chan struct{})
+	defer close(release)
+
+	running := blockingJob(s, release)
+	if err := s.admit(running); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, running, StateRunning)
+	queued := blockingJob(s, release)
+	if err := s.admit(queued); err != nil {
+		t.Fatal(err)
+	}
+
+	const rid = "shed-rid-1"
+	resp := postWithRID(t, hs.URL+"/v1/decompose", rid, decomposeBody(t, 44, false))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderRequestID); got != rid {
+		t.Fatalf("429 response %s = %q, want %q", HeaderRequestID, got, rid)
+	}
+
+	evs := waitEvent(t, l, "admission", rid, 1)
+	if evs[0]["outcome"] != "shed_queue_full" {
+		t.Fatalf("shed admission outcome = %v, want shed_queue_full", evs[0]["outcome"])
+	}
+	if evs[0]["level"] != "WARN" {
+		t.Fatalf("shed admission level = %v, want WARN", evs[0]["level"])
+	}
+
+	dbg, err := http.Get(hs.URL + "/debugz/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(dbg.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dbg.Body.Close()
+	if snap.LastShed == nil || snap.LastShed.RequestID != rid {
+		t.Fatalf("flight recorder last_shed = %+v, want request %s", snap.LastShed, rid)
+	}
+	if snap.LastShed.ErrClass != KindQueueFull {
+		t.Fatalf("last_shed error_class = %q, want %q", snap.LastShed.ErrClass, KindQueueFull)
+	}
+}
+
+// TestMetriczFormats pins the exposition surface: the JSON document carries
+// the curated namespaced state (no cmdline, no full memstats dump), and the
+// Prometheus rendering passes the repo's own format linter.
+func TestMetriczFormats(t *testing.T) {
+	metrics.SetEnabled(true)
+	t.Cleanup(func() { metrics.SetEnabled(false) })
+	_, hs, _ := obsTestServer(t, Config{Workers: 1, Runners: 1})
+
+	resp := postWithRID(t, hs.URL+"/v1/decompose", "", decomposeBody(t, 45, false))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	js, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(js.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	js.Body.Close()
+	if _, ok := doc["cmdline"]; ok {
+		t.Fatal("/metricz still exposes cmdline")
+	}
+	for _, want := range []string{"dtucker_metrics", "dtuckerd", "memstats"} {
+		if _, ok := doc[want]; !ok {
+			t.Fatalf("/metricz JSON missing %q key", want)
+		}
+	}
+	var mem map[string]any
+	if err := json.Unmarshal(doc["memstats"], &mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem["PauseNs"]; ok {
+		t.Fatal("/metricz memstats is the full runtime dump, want the curated subset")
+	}
+
+	prom, err := http.Get(hs.URL + "/metricz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := prom.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("prometheus content-type = %q", ct)
+	}
+	body, err := io.ReadAll(prom.Body)
+	prom.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.LintPrometheus(bytes.NewReader(body)); err != nil {
+		t.Fatalf("prometheus rendering invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{"dtuckerd_jobs_total{outcome=\"submitted\"}", "dtucker_latency_seconds_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("prometheus rendering missing %q", want)
+		}
+	}
+
+	bad, err := http.Get(hs.URL + "/metricz?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format status = %d, want 400", bad.StatusCode)
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// reqInfo is the per-request correlation state: the request ID resolved by
+// the instrument middleware plus whatever identity the handler learns along
+// the way (job, tenant, lane, outcome). It travels in the request context
+// so deep helpers — writeError, writeAdmissionError — can annotate the
+// in-flight request without new parameters at every call site.
+type reqInfo struct {
+	id       string
+	tenant   string
+	lane     string
+	jobID    string
+	outcome  string
+	errClass string
+}
+
+type reqInfoKey struct{}
+
+// statusWriter captures the response status code for the flight recorder
+// and carries the request's reqInfo so writeError can stash the error
+// class of a response written before any job record exists (shed 429s).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	info   *reqInfo
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps the mux with the request-scoped observability envelope:
+// it resolves the correlation ID (client X-Request-ID, then W3C
+// traceparent, then freshly minted), sets the X-Request-ID response header
+// before the handler runs — so every response, including errors and sheds,
+// carries it — and records a summary into the flight recorder when the
+// request finishes.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id, _ := obs.FromHTTP(r)
+		info := &reqInfo{id: id}
+		w.Header().Set(obs.HeaderRequestID, id)
+		sw := &statusWriter{ResponseWriter: w, info: info}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		if s.rec == nil {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcome := info.outcome
+		if outcome == "" {
+			switch {
+			case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+				outcome = "shed"
+			case status >= 500:
+				outcome = "error"
+			case status >= 400:
+				outcome = "client_error"
+			default:
+				outcome = "ok"
+			}
+		}
+		s.rec.Record(obs.RequestSummary{
+			RequestID: id,
+			Route:     routeLabel(r.Method, r.URL.Path),
+			Status:    status,
+			Tenant:    info.tenant,
+			Lane:      info.lane,
+			JobID:     info.jobID,
+			Outcome:   outcome,
+			ErrClass:  info.errClass,
+			StartMs:   start.UnixMilli(),
+			LatencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	})
+}
+
+// routeLabel normalizes a request path onto its route shape — the ID
+// segment of /v1/jobs/{id}... and /v1/streams/{id}... collapses to {id} —
+// so flight-recorder exemplars group per endpoint, not per job.
+func routeLabel(method, path string) string {
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(segs) >= 3 && segs[0] == "v1" && (segs[1] == "jobs" || segs[1] == "streams") {
+		segs[2] = "{id}"
+		path = "/" + strings.Join(segs, "/")
+	}
+	return method + " " + path
+}
+
+// requestID returns the correlation ID instrument resolved for this
+// request. Requests served outside the instrumented handler (direct mux
+// use in tests) mint a fresh ID so the event-log schema invariant — every
+// event carries a request ID — holds unconditionally.
+func requestID(r *http.Request) string {
+	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return info.id
+	}
+	return obs.NewRequestID()
+}
+
+func reqInfoFrom(r *http.Request) *reqInfo {
+	info, _ := r.Context().Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// annotateJob attributes the in-flight request to a job for the flight
+// recorder: identity plus the admission outcome ("accept", "cache_hit",
+// "coalesce").
+func annotateJob(r *http.Request, j *job, outcome string) {
+	info := reqInfoFrom(r)
+	if info == nil {
+		return
+	}
+	info.jobID = j.id
+	info.tenant = j.tenant
+	info.lane = j.lane.String()
+	info.outcome = outcome
+}

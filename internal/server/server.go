@@ -18,9 +18,15 @@
 // X-Tenant and X-Priority request headers.
 //
 // Every job carries its own metrics.Collector (phase breakdown in the job
-// record) and, on request, a span tracer (GET /v1/jobs/{id}/trace).
-// Process-wide counters and latency histograms are exported through expvar
-// at GET /metricz.
+// record) and, on request, a span tracer (GET /v1/jobs/{id}/trace) that
+// merges server-side spans (admission, queue wait, run, serialize) with the
+// core compute spans. Every request resolves a correlation ID (client
+// X-Request-ID, W3C traceparent, or freshly minted — see internal/obs),
+// echoed on every response; with Config.Obs set, each admission decision
+// and job lifecycle transition emits one structured log event carrying it.
+// Process-wide counters and latency histograms are exported at GET /metricz
+// as curated JSON or, with ?format=prometheus, in Prometheus text format;
+// GET /debugz/requests serves the flight recorder.
 //
 // Endpoints:
 //
@@ -36,7 +42,8 @@
 //	POST   /v1/streams/{id}/decompose submit a full-stream solve job
 //	POST   /v1/streams/{id}/range    submit a time-range solve job
 //	GET    /healthz                  liveness and queue state
-//	GET    /metricz                  expvar: counters + latency histograms
+//	GET    /metricz                  counters + histograms (?format=prometheus)
+//	GET    /debugz/requests          flight recorder: recent requests + exemplars
 package server
 
 import (
@@ -45,6 +52,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -55,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernelsel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/trace"
 )
@@ -119,8 +128,18 @@ type Config struct {
 	// fingerprint is rejected with 400. Nil selects kernelsel.Default().
 	KernelProfile *kernelsel.Profile
 
-	// Logf, when set, receives one line per lifecycle event (job start,
-	// finish, drain). Default: silent.
+	// Obs, when set, receives one structured event per admission decision
+	// and job lifecycle transition (see internal/obs for the schema). Nil —
+	// the default — disables event logging at zero per-request cost.
+	Obs *obs.Logger
+	// FlightRecorderSize is the number of recent request summaries the
+	// flight recorder retains for GET /debugz/requests. 0 means the default
+	// (256); negative disables the recorder.
+	FlightRecorderSize int
+
+	// Logf, when set, receives one line per diagnostic event (drain
+	// progress, recovery, result-write failures). Default: silent. Job
+	// lifecycle reporting goes through Obs instead.
 	Logf func(format string, args ...any)
 }
 
@@ -165,7 +184,9 @@ type Server struct {
 	mux   *http.ServeMux
 	pl    *pool.Pool
 	cache *resultCache
-	dur   *durability // nil when Config.DataDir is unset
+	dur   *durability   // nil when Config.DataDir is unset
+	obs   *obs.Logger   // nil-safe: nil disables structured events
+	rec   *obs.Recorder // nil when Config.FlightRecorderSize < 0
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -219,6 +240,14 @@ func New(cfg Config) (*Server, error) {
 		sched:   newScheduler(cfg),
 		jobs:    make(map[string]*job),
 		streams: make(map[string]*session),
+		obs:     cfg.Obs,
+	}
+	if cfg.FlightRecorderSize >= 0 {
+		n := cfg.FlightRecorderSize
+		if n == 0 {
+			n = 256
+		}
+		s.rec = obs.NewRecorder(n)
 	}
 	s.schedCond = sync.NewCond(&s.schedMu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -244,8 +273,14 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// request-ID / flight-recorder middleware, so every response — matched or
+// not, success or shed — carries an X-Request-ID header.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// FlightRecorder returns the server's flight recorder (nil when disabled),
+// for the daemon's SIGQUIT dump.
+func (s *Server) FlightRecorder() *obs.Recorder { return s.rec }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
@@ -260,7 +295,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/streams/{id}/decompose", s.handleStreamDecompose)
 	s.mux.HandleFunc("POST /v1/streams/{id}/range", s.handleStreamRange)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metricz", expvar.Handler())
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /debugz/requests", s.handleDebugzRequests)
 }
 
 // newJob allocates a job record with its own cancellable context (child of
@@ -284,6 +320,9 @@ func (s *Server) newJob(key string, timeout time.Duration, traced bool,
 	if traced {
 		j.tracer = trace.New()
 		j.col.SetTracer(j.tracer)
+		// The tracer is this job's own (not a shared stream-session tracer),
+		// so the runner may record server-side spans into it.
+		j.ownTracer = true
 	}
 	s.mu.Lock()
 	s.nextJob++
@@ -339,8 +378,9 @@ func (s *Server) admitOrCoalesce(j *job) (*job, error) {
 		return nil, errDraining
 	}
 	s.jobsWG.Add(1)
+	j.admitted = time.Now()
 	s.schedMu.Lock()
-	leader, err := s.sched.submitLocked(j, time.Now())
+	leader, err := s.sched.submitLocked(j, j.admitted)
 	if err == nil && leader == nil {
 		s.schedCond.Signal()
 	}
@@ -413,8 +453,23 @@ func (s *Server) run(j *job) {
 	}
 	j.setRunning(start)
 	s.persistStarted(j)
-	s.cfg.Logf("job %s: running (tenant %s, %s, queued %v)",
-		j.id, j.tenant, j.lane, wait.Round(time.Millisecond))
+	s.obs.Emit(obs.Event{
+		Event: "job_start", RequestID: j.requestID, JobID: j.id,
+		Tenant: j.tenant, Lane: j.lane.String(), Outcome: StateRunning,
+		QueueWait: wait,
+	})
+	if j.ownTracer {
+		// Retro-record the server-side phases so they land in the same tree
+		// as the compute spans: admission (handler work before the queue) and
+		// queue wait. admitted is zero for journal-recovered jobs, whose
+		// pre-crash admission was in another process's tracer.
+		adm := j.admitted
+		if adm.IsZero() {
+			adm = j.created
+		}
+		j.tracer.Record(0, "server:admission", trace.NoIdx, j.created, adm.Sub(j.created))
+		j.tracer.Record(0, "server:queue-wait", trace.NoIdx, adm, start.Sub(adm))
+	}
 
 	ctx := j.ctx
 	if j.timeout > 0 {
@@ -434,7 +489,12 @@ func (s *Server) run(j *job) {
 		dec, cacheHit = s.cache.Get(j.key)
 	}
 	if !cacheHit {
+		var runSpan trace.Ctx
+		if j.ownTracer {
+			runSpan = j.tracer.Begin("server:run")
+		}
 		dec, err = j.exec(ctx, s.pl, j.col)
+		runSpan.End()
 		metrics.ObserveSince(metrics.HistJobRun, start)
 		if err == nil && j.key != "" {
 			s.cache.Put(j.key, dec)
@@ -452,18 +512,7 @@ func (s *Server) run(j *job) {
 	j.finish(dec, err, cacheHit, end)
 	resultFile, resultDigest := s.persistFinished(j, dec, "", "")
 	state := s.tally(j, err)
-	switch state {
-	case StateDone:
-		if cacheHit {
-			s.cfg.Logf("job %s: done (cache hit after queue)", j.id)
-		} else {
-			s.cfg.Logf("job %s: done in %v (fit %.6f)", j.id, end.Sub(start).Round(time.Millisecond), dec.Fit)
-		}
-	case StateCancelled:
-		s.cfg.Logf("job %s: cancelled after %v", j.id, end.Sub(start).Round(time.Millisecond))
-	default:
-		s.cfg.Logf("job %s: failed: %v", j.id, err)
-	}
+	s.obs.Emit(s.finishEvent(j, state, err, wait, end.Sub(start), cacheKind(cacheHit)))
 
 	for _, f := range followers {
 		metrics.Observe(metrics.HistJobCoalesceWait, end.Sub(f.created))
@@ -471,8 +520,45 @@ func (s *Server) run(j *job) {
 		f.cancel()
 		s.persistFinished(f, dec, resultFile, resultDigest)
 		fstate := s.tally(f, err)
-		s.cfg.Logf("job %s: %s (coalesced into %s)", f.id, fstate, j.id)
+		ev := s.finishEvent(f, fstate, err, end.Sub(f.created), 0, "coalesced")
+		ev.Leader = j.id
+		s.obs.Emit(ev)
 	}
+}
+
+// emitAdmission logs one positive admission decision — accept, cache_hit,
+// or coalesce (with the leader attached). Shed decisions are logged by
+// writeAdmissionError, which is where the rejection is materialized.
+func (s *Server) emitAdmission(j *job, outcome, leader string) {
+	s.obs.Emit(obs.Event{
+		Event: "admission", RequestID: j.requestID, JobID: j.id,
+		Tenant: j.tenant, Lane: j.lane.String(), Outcome: outcome, Leader: leader,
+	})
+}
+
+// finishEvent builds the job_finish event for one terminal job. Failures
+// log at Warn so a level-filtered log still shows every bad outcome.
+func (s *Server) finishEvent(j *job, state string, err error, wait, run time.Duration, cache string) obs.Event {
+	ev := obs.Event{
+		Event: "job_finish", RequestID: j.requestID, JobID: j.id,
+		Tenant: j.tenant, Lane: j.lane.String(), Outcome: state,
+		Cache: cache, QueueWait: wait, RunTime: run,
+		Profile: s.cfg.KernelProfile.Fingerprint(),
+	}
+	if err != nil {
+		ev.Err = wireError(err).Kind
+	}
+	if state == StateFailed {
+		ev.Level = slog.LevelWarn
+	}
+	return ev
+}
+
+func cacheKind(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // tally records a finished job's terminal state in the global and per-tenant
@@ -634,13 +720,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, e *WireError) {
+	// Stash the error class for the flight recorder: shed 429s and other
+	// errors written before any job record exists are otherwise invisible.
+	if sw, ok := w.(*statusWriter); ok && sw.info != nil {
+		sw.info.errClass = e.Kind
+	}
 	writeJSON(w, status, map[string]*WireError{"error": e})
 }
 
 // writeAdmissionError maps admit() failures onto HTTP load-shedding
-// semantics: 429 + Retry-After for a full queue or exhausted tenant quota,
-// 503 while draining.
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+// semantics — 429 + Retry-After for a full queue or exhausted tenant
+// quota, 503 while draining — and emits the shed admission event. These
+// responses exist before any job record, so the event carries whatever
+// identity the request itself established (tenant, and job ID when a
+// record was allocated before admission failed).
+func (s *Server) writeAdmissionError(w http.ResponseWriter, r *http.Request, j *job, err error) {
 	retryAfter := func() {
 		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {
@@ -648,16 +742,32 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
+	ev := obs.Event{
+		Level: slog.LevelWarn, Event: "admission", RequestID: requestID(r),
+	}
+	if j != nil {
+		ev.JobID = j.id
+		ev.Tenant = j.tenant
+		ev.Lane = j.lane.String()
+	} else {
+		ev.Tenant = requestTenant(r)
+	}
 	switch {
 	case errors.Is(err, errQueueFull):
+		ev.Outcome = "shed_queue_full"
 		retryAfter()
 		writeError(w, http.StatusTooManyRequests, &WireError{Kind: KindQueueFull, Message: err.Error()})
 	case errors.Is(err, errTenantQuota):
+		ev.Outcome = "shed_tenant_quota"
 		retryAfter()
 		writeError(w, http.StatusTooManyRequests, &WireError{Kind: KindTenantQuota, Message: err.Error()})
 	case errors.Is(err, errDraining):
+		ev.Outcome = "shed_draining"
 		writeError(w, http.StatusServiceUnavailable, &WireError{Kind: KindDraining, Message: err.Error()})
 	default:
+		ev.Outcome = "error"
+		ev.Err = err.Error()
 		writeError(w, http.StatusInternalServerError, &WireError{Kind: KindInternal, Message: err.Error()})
 	}
+	s.obs.Emit(ev)
 }

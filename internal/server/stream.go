@@ -77,7 +77,7 @@ func (sess *session) statusLocked() StreamResponse {
 // temporal (last) rank applies to the growing mode.
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.writeAdmissionError(w, errDraining)
+		s.writeAdmissionError(w, r, nil, errDraining)
 		return
 	}
 	var req StreamRequest
@@ -135,7 +135,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		s.writeAdmissionError(w, errDraining)
+		s.writeAdmissionError(w, r, nil, errDraining)
 		return
 	}
 	var req AppendRequest
@@ -190,13 +190,16 @@ func (s *Server) handleStreamDecompose(w http.ResponseWriter, r *http.Request) {
 		func(ctx context.Context) (*core.Decomposition, error) {
 			return sess.st.DecomposeContext(ctx)
 		})
+	j.requestID = requestID(r)
 	j.tenant = requestTenant(r)
 	j.lane = lane
 	if err := s.admit(j); err != nil {
 		j.cancel()
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, j, err)
 		return
 	}
+	s.emitAdmission(j, "accept", "")
+	annotateJob(r, j, "accept")
 	s.respondSubmitted(w, j, http.StatusAccepted)
 }
 
@@ -227,6 +230,7 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("stream:%s|range:%d-%d|%s", digest, req.T0, req.T1, sess.cfg.Canonical())
 	if dec, ok := s.cache.Get(key); ok {
 		j := s.newJob(key, 0, false, nil)
+		j.requestID = requestID(r)
 		j.tenant = tenant
 		j.lane = laneInteractive
 		j.col = sess.col
@@ -242,6 +246,8 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 		s.schedMu.Lock()
 		s.sched.cacheHitLocked(tenant)
 		s.schedMu.Unlock()
+		s.emitAdmission(j, "cache_hit", "")
+		annotateJob(r, j, "cache_hit")
 		s.respondSubmitted(w, j, http.StatusOK)
 		return
 	}
@@ -254,15 +260,18 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 			}
 			return sess.st.DecomposeRangeContext(ctx, t0, t1)
 		})
+	j.requestID = requestID(r)
 	j.tenant = tenant
 	// Range queries are the interactive workload: they dispatch ahead of
 	// every queued batch solve unless the client explicitly demotes them.
 	j.lane = lane
 	if err := s.admit(j); err != nil {
 		j.cancel()
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, j, err)
 		return
 	}
+	s.emitAdmission(j, "accept", "")
+	annotateJob(r, j, "accept")
 	s.respondSubmitted(w, j, http.StatusAccepted)
 }
 

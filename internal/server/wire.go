@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dterr"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // This file defines the JSON wire surface of the dtuckerd API. Tensors
@@ -22,6 +23,10 @@ const (
 	HeaderTenant   = "X-Tenant"
 	HeaderPriority = "X-Priority"
 )
+
+// HeaderRequestID is the correlation header (see internal/obs): accepted
+// on every request, echoed on every response.
+const HeaderRequestID = obs.HeaderRequestID
 
 // DecomposeRequest is the body of POST /v1/decompose.
 type DecomposeRequest struct {
@@ -64,9 +69,13 @@ type SolveRequest struct {
 
 // SubmitResponse acknowledges an accepted (or cache-answered) job.
 type SubmitResponse struct {
-	JobID    string `json:"job_id"`
-	State    string `json:"state"`
-	CacheHit bool   `json:"cache_hit,omitempty"`
+	JobID string `json:"job_id"`
+	// RequestID is the correlation ID of the submitting request, also
+	// echoed in the X-Request-ID response header; it indexes this job's
+	// structured log events and flight-recorder entry.
+	RequestID string `json:"request_id,omitempty"`
+	State     string `json:"state"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
 	// Coalesced reports that the submission attached to an identical job
 	// already queued or running: this record finishes when that job does,
 	// with a bit-identical result, and no additional execution happens.
@@ -87,15 +96,18 @@ type StreamResponse struct {
 
 // JobStatus is the job record served at GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
+	ID string `json:"id"`
+	// RequestID is the correlation ID of the submitting request (restored
+	// from the journal for recovered jobs).
+	RequestID string `json:"request_id,omitempty"`
+	State     string `json:"state"`
 	// Tenant and Priority echo the admission identity the job was
 	// submitted under (X-Tenant / X-Priority headers; "default" and the
 	// endpoint's default lane when absent).
-	Tenant    string     `json:"tenant,omitempty"`
-	Priority  string     `json:"priority,omitempty"`
-	CacheHit  bool       `json:"cache_hit,omitempty"`
-	Coalesced bool       `json:"coalesced,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
+	Priority  string `json:"priority,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
 	// Recovered marks a job reconstructed from the durability journal after
 	// a server restart; Sweep is its latest durably checkpointed ALS sweep
 	// (0 until the first checkpoint commits).

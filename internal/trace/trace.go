@@ -197,6 +197,32 @@ func (c Ctx) End() {
 	t.stack = t.stack[:at]
 }
 
+// Record appends an already-closed span retroactively: a phase measured
+// with plain timestamps (queue wait, admission) that only becomes a span
+// once the job's tracer takes over. The span lands on the control lane
+// under the given parent (0 for a root), with start clamped to the
+// tracer's creation time when it predates it. Safe from any goroutine; a
+// nil tracer records nothing.
+func (t *Tracer) Record(parent SpanID, name string, idx int64, start time.Time, d time.Duration) SpanID {
+	if t == nil {
+		return 0
+	}
+	off := start.Sub(t.start)
+	if off < 0 {
+		off = 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.spans = append(t.spans, Span{
+		ID: t.nextID, Parent: parent, Name: name, Lane: 0, Idx: idx, Start: off, Dur: d,
+	})
+	return t.nextID
+}
+
 // CurrentID returns the ID of the innermost open control span, or 0.
 // Parallel regions capture it as the parent for their worker spans.
 func (t *Tracer) CurrentID() SpanID {

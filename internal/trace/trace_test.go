@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // spanByName returns the first recorded span with the given name.
@@ -243,5 +244,39 @@ func TestParseFormat(t *testing.T) {
 	}
 	if _, err := ParseFormat("protobuf"); err == nil || !strings.Contains(err.Error(), "protobuf") {
 		t.Fatalf("bad format accepted: %v", err)
+	}
+}
+
+// TestRecordRetroactive covers Record: retroactive closed spans land under
+// the given parent, pre-tracer starts clamp to offset 0, and a nil tracer
+// is a free no-op.
+func TestRecordRetroactive(t *testing.T) {
+	tr := New()
+	root := tr.Begin("job")
+	// A phase measured before the tracer existed clamps to offset zero.
+	early := time.Now().Add(-time.Hour)
+	id := tr.Record(root.ID(), "queue-wait", NoIdx, early, 5*time.Millisecond)
+	if id == 0 {
+		t.Fatal("Record returned no ID")
+	}
+	tr.Record(root.ID(), "admission", 3, time.Now(), -time.Second) // negative duration clamps
+	root.End()
+
+	spans := tr.Spans()
+	qw := spanByName(t, spans, "queue-wait")
+	if qw.Parent != root.ID() || qw.Start != 0 || qw.Dur != 5*time.Millisecond || qw.Lane != 0 {
+		t.Errorf("queue-wait span = %+v", qw)
+	}
+	adm := spanByName(t, spans, "admission")
+	if adm.Idx != 3 || adm.Dur != 0 {
+		t.Errorf("admission span = %+v", adm)
+	}
+	if tr.OpenSpans() != 0 {
+		t.Errorf("OpenSpans = %d after balanced run", tr.OpenSpans())
+	}
+
+	var nilT *Tracer
+	if got := nilT.Record(0, "x", NoIdx, time.Now(), time.Second); got != 0 {
+		t.Errorf("nil Record returned %d", got)
 	}
 }
