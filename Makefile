@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench overhead faults crashtest bench-json bench-compare serve load load-compare autotune obs
+.PHONY: build test verify bench overhead faults crashtest bench-json bench-compare serve load load-compare rangebench autotune obs
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(GO) test -race ./internal/trace/ ./internal/metrics/ ./internal/pool/ -count 1
 	$(GO) test -race ./internal/core/ -run 'TestDecomposeTraceShape|TestTraceBalanced|TestHistogramCounts' -count 1
 	$(GO) test -race ./internal/server/ ./cmd/dtuckerd/ -count 1
+	$(GO) test -race ./internal/rangeidx/ -count 1
 	$(GO) test -race ./internal/journal/ ./internal/faults/ -count 1
 	$(GO) test -race ./internal/kernelsel/ ./internal/mat/ -count 1
 	sh scripts/obslint.sh
@@ -111,6 +112,25 @@ load:
 	$(GO) run ./cmd/loadgen -self -self-queue 16 -self-runners 2 \
 	  -duration 5s -qps 10 -seed 1 -tenants prod=3,adhoc=1 \
 	  -out .load-head.json
+
+# rangebench measures what the per-stream range index buys on an
+# overlapping-range workload: two hermetic runs of the same offered
+# schedule — many distinct overlapping windows over a 32-step stream —
+# first with the index disabled (exact-range cache only, every distinct
+# window re-solves from scratch), then with it enabled (windows stitch
+# O(log T) cached node summaries). benchreport -compare gates the indexed
+# run against the baseline, so it fails if stitching ever becomes slower
+# than direct solves. The committed LOAD_<date>-range*.json pair records
+# this before/after (see EXPERIMENTS.md).
+RANGEMIX = -duration 8s -qps 6 -seed 7 -arrival uniform -mix range=1 \
+  -range-chunks 8 -range-windows 12 -self-range-block 4
+rangebench:
+	$(GO) run ./cmd/loadgen -self -self-runners 2 -self-range-index=false \
+	  $(RANGEMIX) -out .range-base.json
+	$(GO) run ./cmd/loadgen -self -self-runners 2 \
+	  $(RANGEMIX) -out .range-head.json
+	$(GO) run ./cmd/benchreport -compare -max-regress 25 .range-base.json .range-head.json; \
+	  status=$$?; rm -f .range-base.json .range-head.json; exit $$status
 
 # load-compare re-measures and gates against the newest committed
 # LOAD_*.json. The budget is deliberately wide (schema gate + catastrophic

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -25,6 +26,8 @@ type (
 	SubmitResponse = server.SubmitResponse
 	// JobStatus is the job record served at GET /v1/jobs/{id}.
 	JobStatus = server.JobStatus
+	// StreamResponse describes a stream session.
+	StreamResponse = server.StreamResponse
 	// Health is the body of GET /healthz.
 	Health = server.Health
 )
@@ -355,6 +358,103 @@ func (c *Client) Submit(ctx context.Context, x *Tensor, cfg Config, opts *Submit
 	return &resp, nil
 }
 
+// CreateStream opens a streaming-decomposition session. The config's ranks
+// must match the order of the chunks Append will feed it; the temporal
+// (last) rank applies to the growing mode.
+func (c *Client) CreateStream(ctx context.Context, cfg Config) (*StreamResponse, error) {
+	var resp StreamResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/streams", "", server.StreamRequest{Config: cfg}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Append compresses one chunk into a stream, synchronously: when Append
+// returns, the chunk is part of the stream's compressed state.
+func (c *Client) Append(ctx context.Context, streamID string, chunk *Tensor) (*StreamResponse, error) {
+	if chunk == nil {
+		return nil, fmt.Errorf("repro: Append: nil tensor")
+	}
+	var buf bytes.Buffer
+	if _, err := chunk.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("repro: serializing tensor: %w", err)
+	}
+	req := server.AppendRequest{TensorB64: base64.StdEncoding.EncodeToString(buf.Bytes())}
+	var resp StreamResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(streamID)+"/append", "", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Range submits a time-range query over steps [t0, t1) of a stream via
+// GET /v1/streams/{id}/range and returns the job receipt without waiting.
+// Invalid windows (t0 ≥ t1, out of bounds) fail fast with an *APIError of
+// kind invalid_input; an exact-cache or index hit is answered immediately
+// with SubmitResponse.CacheHit set. Tracing follows the stream session's
+// own trace flag, so SubmitOptions.Trace is ignored here.
+func (c *Client) Range(ctx context.Context, streamID string, t0, t1 int, opts *SubmitOptions) (*SubmitResponse, error) {
+	path := fmt.Sprintf("/v1/streams/%s/range?t0=%d&t1=%d", url.PathEscape(streamID), t0, t1)
+	rid := ""
+	if opts != nil {
+		if opts.Timeout > 0 {
+			path += fmt.Sprintf("&timeout_ms=%d", opts.Timeout.Milliseconds())
+		}
+		rid = opts.RequestID
+	}
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodGet, path, rid, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RangeResult is the blocking convenience path for range queries,
+// mirroring Decompose: submit via Range, retry 429 load-shed rejections
+// under the client's RetryPolicy, poll until the job finishes (riding
+// through transient transport failures), and fetch the result. One request
+// ID covers the whole interaction. The returned decomposition is
+// bit-identical to what the daemon's range engine produced for the first
+// query of this window — cache hits replay the identical payload.
+func (c *Client) RangeResult(ctx context.Context, streamID string, t0, t1 int, opts *SubmitOptions) (*Decomposition, error) {
+	policy := DefaultRetryPolicy
+	if c.Retry != nil {
+		policy = *c.Retry
+	}
+	policy = policy.withDefaults()
+
+	var o SubmitOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.RequestID == "" {
+		o.RequestID = obs.NewRequestID()
+	}
+
+	var receipt *SubmitResponse
+	for attempt := 1; ; attempt++ {
+		var err error
+		receipt, err = c.Range(ctx, streamID, t0, t1, &o)
+		if err == nil {
+			break
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+			return nil, err
+		}
+		if attempt >= policy.MaxAttempts {
+			return nil, err
+		}
+		if serr := policy.Sleep(ctx, policy.wait(attempt, apiErr.RetryAfter)); serr != nil {
+			return nil, serr
+		}
+	}
+	return c.awaitResult(ctx, policy, receipt.JobID, o.RequestID)
+}
+
 // Job fetches the current job record.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	return c.job(ctx, id, "")
@@ -471,6 +571,13 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 		}
 	}
 
+	return c.awaitResult(ctx, policy, receipt.JobID, rid)
+}
+
+// awaitResult polls one accepted job to a terminal state and fetches its
+// payload, retrying transient transport failures under policy. rid is the
+// request ID threaded through every poll and the final fetch.
+func (c *Client) awaitResult(ctx context.Context, policy RetryPolicy, jobID, rid string) (*Decomposition, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 25 * time.Millisecond
@@ -478,7 +585,7 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 	maxInterval := 16 * interval
 	for {
 		st, err := retryTransient(ctx, policy, func() (*JobStatus, error) {
-			return c.job(ctx, receipt.JobID, rid)
+			return c.job(ctx, jobID, rid)
 		})
 		if err != nil {
 			return nil, err
@@ -486,7 +593,7 @@ func (c *Client) Decompose(ctx context.Context, x *Tensor, cfg Config, opts *Sub
 		switch st.State {
 		case server.StateDone:
 			return retryTransient(ctx, policy, func() (*Decomposition, error) {
-				return c.result(ctx, receipt.JobID, rid)
+				return c.result(ctx, jobID, rid)
 			})
 		case server.StateFailed, server.StateCancelled:
 			e := &APIError{StatusCode: http.StatusConflict, Kind: server.KindInternal, Message: "job " + st.State}

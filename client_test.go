@@ -29,7 +29,7 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0", 0},
 		{"-3", 0}, // negative delta: retry now, not "never"
 		{"Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second},
-		{"Sat, 08 Aug 2026 11:59:00 GMT", 0}, // past date clamps to zero
+		{"Sat, 08 Aug 2026 11:59:00 GMT", 0},              // past date clamps to zero
 		{"Saturday, 08-Aug-26 12:01:00 GMT", time.Minute}, // RFC 850 form
 		{"not-a-date", 0},
 		{"1.5", 0}, // fractional seconds are not in the grammar
@@ -222,6 +222,110 @@ func TestDecomposeRidesThroughRestart(t *testing.T) {
 	// Three transient failures → three backoff waits through the Sleep seam.
 	if len(waits) != 3 {
 		t.Errorf("backoff waits = %v, want exactly 3", waits)
+	}
+}
+
+// TestRangeResultRetriesAndThreadsRequestID scripts a shed-then-served
+// range interaction: the first GET submission is shed with a Retry-After
+// hint, the retry is accepted, polling rides through one refused
+// connection, and the payload arrives — all under one request ID, on every
+// round-trip, so the daemon's log tells a single story.
+func TestRangeResultRetriesAndThreadsRequestID(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.RandN(rng, 6, 5, 4)
+	want, err := core.Decompose(x, Config{Ranks: []int{2, 2, 2}, Seed: 3}.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dtd bytes.Buffer
+	if _, err := want.WriteTo(&dtd); err != nil {
+		t.Fatal(err)
+	}
+
+	refused := errors.New("dial tcp 127.0.0.1:7171: connect: connection refused")
+	rids := map[string]bool{}
+	submits, polls := 0, 0
+	transport := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		rids[r.Header.Get(server.HeaderRequestID)] = true
+		switch {
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/streams/s1/range":
+			if r.URL.Query().Get("t0") != "2" || r.URL.Query().Get("t1") != "9" {
+				t.Errorf("range query params %q", r.URL.RawQuery)
+			}
+			submits++
+			if submits == 1 {
+				resp := jsonResponse(http.StatusTooManyRequests, map[string]any{
+					"error": server.WireError{Kind: server.KindQueueFull, Message: "queue is full"},
+				})
+				resp.Header.Set("Retry-After", "1")
+				return resp, nil
+			}
+			return jsonResponse(http.StatusAccepted, server.SubmitResponse{JobID: "j9", State: "queued"}), nil
+		case r.URL.Path == "/v1/jobs/j9":
+			polls++
+			if polls == 1 {
+				return nil, refused
+			}
+			return jsonResponse(http.StatusOK, server.JobStatus{ID: "j9", State: "done"}), nil
+		case r.URL.Path == "/v1/jobs/j9/result":
+			return &http.Response{
+				StatusCode: http.StatusOK,
+				Header:     http.Header{},
+				Body:       io.NopCloser(bytes.NewReader(dtd.Bytes())),
+			}, nil
+		}
+		t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		return nil, errors.New("unexpected request")
+	})
+
+	var waits []time.Duration
+	cl := NewClient("http://scripted")
+	cl.HTTPClient = &http.Client{Transport: transport}
+	cl.PollInterval = time.Nanosecond
+	cl.Retry = &RetryPolicy{
+		Jitter: -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}
+
+	got, err := cl.RangeResult(context.Background(), "s1", 2, 9, nil)
+	if err != nil {
+		t.Fatalf("RangeResult through shed + restart: %v", err)
+	}
+	if got.Fit != want.Fit {
+		t.Fatalf("fit %v differs from %v", got.Fit, want.Fit)
+	}
+	if submits != 2 || polls != 2 {
+		t.Errorf("submits = %d, polls = %d; want 2 and 2", submits, polls)
+	}
+	// The 429's Retry-After hint (1s) must have been honoured for the first
+	// wait; the refused poll adds the backoff wait.
+	if len(waits) != 2 || waits[0] != time.Second {
+		t.Errorf("waits = %v, want [1s, backoff]", waits)
+	}
+	delete(rids, "")
+	if len(rids) != 1 {
+		t.Errorf("request IDs seen across the interaction: %d distinct, want exactly 1", len(rids))
+	}
+	for rid := range rids {
+		if rid == "" {
+			t.Error("a round-trip carried no request ID")
+		}
+	}
+
+	// A typed validation failure is final: no retry, the *APIError surfaces.
+	final := NewClient("http://scripted")
+	final.HTTPClient = &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		return jsonResponse(http.StatusBadRequest, map[string]any{
+			"error": server.WireError{Kind: server.KindInvalidInput, Message: "range: [9, 2) is not a valid window"},
+		}), nil
+	})}
+	_, err = final.RangeResult(context.Background(), "s1", 9, 2, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Kind != server.KindInvalidInput {
+		t.Fatalf("inverted window returned %v, want typed invalid_input", err)
 	}
 }
 

@@ -53,12 +53,17 @@ func run() int {
 		out      = flag.String("out", "", "report path (default LOAD_<UTC-date>.json)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 
-		self        = flag.Bool("self", false, "spin up an in-process dtuckerd and load it (hermetic)")
-		selfQueue   = flag.Int("self-queue", 16, "with -self: job queue depth")
-		selfRunners = flag.Int("self-runners", 2, "with -self: concurrent job runners")
-		selfWorkers = flag.Int("self-workers", 0, "with -self: worker-pool size (0 = all CPUs)")
-		selfQuota   = flag.Int("self-quota", 0, "with -self: per-tenant outstanding quota (0 = unlimited)")
-		selfWeights = flag.String("self-weights", "", "with -self: server WFQ weights, name=weight,...")
+		rangeChunks  = flag.Int("range-chunks", 0, "chunks in the frozen range-query stream (0 = default 3); longer streams let the server's range index stitch")
+		rangeWindows = flag.Int("range-windows", 0, "distinct overlapping range windows to draw (0 = the legacy fixed four)")
+
+		self           = flag.Bool("self", false, "spin up an in-process dtuckerd and load it (hermetic)")
+		selfQueue      = flag.Int("self-queue", 16, "with -self: job queue depth")
+		selfRunners    = flag.Int("self-runners", 2, "with -self: concurrent job runners")
+		selfWorkers    = flag.Int("self-workers", 0, "with -self: worker-pool size (0 = all CPUs)")
+		selfQuota      = flag.Int("self-quota", 0, "with -self: per-tenant outstanding quota (0 = unlimited)")
+		selfWeights    = flag.String("self-weights", "", "with -self: server WFQ weights, name=weight,...")
+		selfRangeIndex = flag.Bool("self-range-index", true, "with -self: maintain per-stream range indexes (false measures the exact-range-cache baseline)")
+		selfRangeBlock = flag.Int("self-range-block", 0, "with -self: range-index block size in time steps (0 = default 8)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
@@ -68,14 +73,16 @@ func run() int {
 	}
 
 	spec := loadgen.Spec{
-		BaseURL:     *url,
-		Duration:    *duration,
-		QPS:         *qps,
-		Arrival:     *arrival,
-		Seed:        *seed,
-		Variants:    *variants,
-		MaxInFlight: *inflight,
-		Logf:        logf,
+		BaseURL:      *url,
+		Duration:     *duration,
+		QPS:          *qps,
+		Arrival:      *arrival,
+		Seed:         *seed,
+		Variants:     *variants,
+		MaxInFlight:  *inflight,
+		RangeChunks:  *rangeChunks,
+		RangeWindows: *rangeWindows,
+		Logf:         logf,
 	}
 	var err error
 	if spec.Mix, err = parseMix(*mixArg); err != nil {
@@ -97,11 +104,13 @@ func run() int {
 			return 2
 		}
 		srv, err := server.New(server.Config{
-			QueueDepth:    *selfQueue,
-			Runners:       *selfRunners,
-			Workers:       *selfWorkers,
-			TenantQuota:   *selfQuota,
-			TenantWeights: weights,
+			QueueDepth:        *selfQueue,
+			Runners:           *selfRunners,
+			Workers:           *selfWorkers,
+			TenantQuota:       *selfQuota,
+			TenantWeights:     weights,
+			DisableRangeIndex: !*selfRangeIndex,
+			RangeBlockSize:    *selfRangeBlock,
 		})
 		if err != nil {
 			logger.Printf("server: %v", err)

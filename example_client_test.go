@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -108,6 +109,55 @@ func ExampleClient_Cancel() {
 	// Output:
 	// state: cancelled
 	// kind: cancelled
+}
+
+// ExampleClient_RangeResult shows the streaming range-query path: open a
+// session, append chunks as they arrive, then ask for any time window with
+// one call. The daemon composes the answer from its range index when the
+// window is long enough to stitch, and answers repeats — even of windows
+// first asked before later appends — from its cache, bit-identically.
+func ExampleClient_RangeResult() {
+	url, shutdown := startDaemon(server.Config{Runners: 1})
+	defer shutdown()
+
+	cl := repro.NewClient(url)
+	ctx := context.Background()
+
+	sess, err := cl.CreateStream(ctx, repro.Config{Ranks: []int{3, 3, 3}, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Append(ctx, sess.StreamID, tensor.RandN(rng, 12, 10, 4)); err != nil {
+			panic(err)
+		}
+	}
+
+	dec, err := cl.RangeResult(ctx, sess.StreamID, 2, 9, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("window [2,9) core shape:", dec.Core.Shape())
+
+	// The same window again is answered from the range cache without
+	// re-solving; the receipt says so.
+	receipt, err := cl.Range(ctx, sess.StreamID, 2, 9, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("repeat cache hit:", receipt.CacheHit)
+
+	// An impossible window fails fast with a typed error.
+	_, err = cl.Range(ctx, sess.StreamID, 9, 2, nil)
+	var apiErr *repro.APIError
+	if errors.As(err, &apiErr) {
+		fmt.Println("inverted window:", apiErr.Kind)
+	}
+	// Output:
+	// window [2,9) core shape: [3 3 3]
+	// repeat cache hit: true
+	// inverted window: invalid_input
 }
 
 // ExampleClient_Decompose_backoff shows Decompose retrying 429 load-shed

@@ -22,6 +22,10 @@ type sweepPlan struct {
 	// chain (retry, then dense fallback) absorbs them, so their runs must
 	// complete with finite output.
 	surface bool
+	// stitch marks sites that sit on the range-engine merge path
+	// (SummarizeSpan / MergeSummaries / StitchRange) instead of the
+	// decompose paths; the sweep drives them through a stitched range solve.
+	stitch bool
 }
 
 // sweepPlans maps every registered site to its sweep configuration. The
@@ -35,6 +39,7 @@ func sweepPlans() map[string]sweepPlan {
 		"core.approx.slice": {plan: one, modes: both, surface: true},
 		"core.init.factor":  {plan: one, modes: both, surface: true},
 		"core.iter.sweep":   {plan: one, modes: both, surface: true},
+		"core.stitch.node":  {plan: one, modes: both, surface: true, stitch: true},
 		// The sketch site is keyed (slice identity), the SVD site
 		// hit-ordered; both ignore Mode.
 		"randsvd.sketch": {plan: faults.Plan{Keys: []int64{0}, Count: -1}, modes: []faults.Mode{faults.ModeError}},
@@ -101,6 +106,57 @@ func TestFaultSweep(t *testing.T) {
 		for _, mode := range sp.modes {
 			plan := sp.plan
 			plan.Mode = mode
+
+			if sp.stitch {
+				t.Run(fmt.Sprintf("%s/%s/stitch", site, mode), func(t *testing.T) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("injected fault escaped as a panic: %v", r)
+						}
+					}()
+					faults.Reset()
+					s := NewStream(Options{Config: Config{Ranks: []int{3, 3, 2}, Seed: 4, MaxIters: 8}, Workers: 2})
+					if err := s.Append(x); err != nil {
+						t.Fatal(err)
+					}
+					if err := faults.Activate(site, plan); err != nil {
+						t.Fatal(err)
+					}
+					defer faults.Reset()
+					runStitch := func() error {
+						a, err := s.SummarizeSpan(0, 3, 0)
+						if err != nil {
+							return err
+						}
+						b, err := s.SummarizeSpan(3, 6, 0)
+						if err != nil {
+							return err
+						}
+						m, err := MergeSummaries(a, b, 0)
+						if err != nil {
+							return err
+						}
+						dec, err := s.StitchRange(0, 6, []*RangeSummary{m})
+						if err != nil {
+							return err
+						}
+						checkModel(t, dec)
+						return nil
+					}
+					if err := runStitch(); err != nil {
+						wantInjected(t, err, site, mode)
+					} else {
+						t.Fatalf("fault at %q never surfaced from the stitch path", site)
+					}
+					// The contained failure must not poison the stream: a
+					// clean retry completes.
+					faults.Reset()
+					if err := runStitch(); err != nil {
+						t.Fatalf("stitch path unusable after contained fault: %v", err)
+					}
+				})
+				continue
+			}
 
 			t.Run(fmt.Sprintf("%s/%s/decompose", site, mode), func(t *testing.T) {
 				defer func() {

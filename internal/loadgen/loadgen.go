@@ -96,6 +96,19 @@ type Spec struct {
 	// smaller pools mean more duplicate submissions (more cache hits and
 	// coalescing). Default 3.
 	Variants int
+	// RangeChunks is how many chunks the frozen range-query stream holds;
+	// each chunk is the first size class's temporal rank thick, so the
+	// stream spans RangeChunks·r_t steps. Longer streams give the server's
+	// range index room to stitch (spans below its threshold fall back to
+	// direct solves). Default 3.
+	RangeChunks int
+	// RangeWindows, when positive, draws that many distinct overlapping
+	// range windows from the seeded PRNG instead of the legacy fixed set of
+	// four. More distinct windows mean more exact-cache misses, which is
+	// what separates a range index (misses stitch cached node summaries)
+	// from the exact-range cache alone (misses re-solve from scratch).
+	// Default 0: the legacy four windows, preserving old schedules.
+	RangeWindows int
 	// MaxInFlight caps concurrently outstanding operations; arrivals past
 	// the cap are counted as DroppedClient, never silently skipped.
 	// Default 256.
@@ -135,6 +148,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Variants <= 0 {
 		s.Variants = 3
+	}
+	if s.RangeChunks <= 0 {
+		s.RangeChunks = streamChunks
 	}
 	if s.MaxInFlight <= 0 {
 		s.MaxInFlight = 256
@@ -184,9 +200,9 @@ type arrival struct {
 	t0, t1  int // range window (OpRange only)
 }
 
-// streamChunks is the number of chunks appended to the range-query stream
-// during preparation; each chunk is ranks[last] steps thick, so the stream
-// holds streamChunks·r_t time steps.
+// streamChunks is the default number of chunks appended to the range-query
+// stream during preparation (see Spec.RangeChunks); each chunk is
+// ranks[last] steps thick, so the stream holds RangeChunks·r_t time steps.
 const streamChunks = 3
 
 // weightedPick returns an index drawn proportionally to weights (all-zero
@@ -239,12 +255,25 @@ func buildSchedule(spec Spec, rng *rand.Rand) []arrival {
 	}
 
 	rt := spec.Sizes[0].Ranks[len(spec.Sizes[0].Ranks)-1]
-	steps := streamChunks * rt
-	windows := [][2]int{
-		{0, steps},
-		{0, steps - rt/2},
-		{rt / 2, steps},
-		{rt, steps},
+	steps := spec.RangeChunks * rt
+	var windows [][2]int
+	if spec.RangeWindows > 0 {
+		// Distinct overlapping windows spread over the stream, drawn before
+		// the arrival loop so the arrival sequence itself is unchanged by
+		// the window count. Spans are at least half the stream so windows
+		// overlap heavily and share index nodes.
+		for i := 0; i < spec.RangeWindows; i++ {
+			t0 := rng.Intn(steps / 2)
+			t1 := t0 + steps/2 + rng.Intn(steps-t0-steps/2) + 1
+			windows = append(windows, [2]int{t0, t1})
+		}
+	} else {
+		windows = [][2]int{
+			{0, steps},
+			{0, steps - rt/2},
+			{rt / 2, steps},
+			{rt, steps},
+		}
 	}
 
 	sched := make([]arrival, n)
@@ -420,7 +449,7 @@ func (e *engine) prepare(ctx context.Context, rng *rand.Rand) error {
 		return sess.StreamID, nil
 	}
 	if needRange {
-		id, err := mkStream(streamChunks)
+		id, err := mkStream(spec.RangeChunks)
 		if err != nil {
 			return err
 		}
@@ -486,6 +515,39 @@ func (e *engine) postJSON(ctx context.Context, path, reqID string, tenant Tenant
 	return resp.StatusCode, env.Error, nil
 }
 
+// getRange submits one range query through the first-class GET endpoint,
+// carrying the same admission-identity headers a POST submission would.
+func (e *engine) getRange(ctx context.Context, stream string, t0, t1 int, reqID string,
+	tenant TenantSpec, out *server.SubmitResponse) (int, *server.WireError, error) {
+	path := fmt.Sprintf("/v1/streams/%s/range?t0=%d&t1=%d", stream, t0, t1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.spec.BaseURL+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if reqID != "" {
+		req.Header.Set(server.HeaderRequestID, reqID)
+	}
+	if tenant.Name != "" {
+		req.Header.Set(server.HeaderTenant, tenant.Name)
+	}
+	if tenant.Priority != "" {
+		req.Header.Set(server.HeaderPriority, tenant.Priority)
+	}
+	resp, err := e.spec.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		return resp.StatusCode, nil, json.NewDecoder(resp.Body).Decode(out)
+	}
+	var env struct {
+		Error *server.WireError `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp.StatusCode, env.Error, nil
+}
+
 // getJSON fetches one JSON document, stamping reqID when non-empty.
 func (e *engine) getJSON(ctx context.Context, path, reqID string, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.spec.BaseURL+path, nil)
@@ -530,8 +592,7 @@ func (e *engine) execute(ctx context.Context, a arrival, start time.Time) result
 			TensorB64: e.tensorB64[a.size][a.variant],
 		}, &receipt)
 	case OpRange:
-		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.queryStream+"/range", rid, tenant,
-			server.SolveRequest{T0: a.t0, T1: a.t1}, &receipt)
+		status, werr, err = e.getRange(ctx, e.queryStream, a.t0, a.t1, rid, tenant, &receipt)
 	case OpAppend:
 		status, werr, err = e.postJSON(ctx, "/v1/streams/"+e.ingestStream+"/append", rid, tenant,
 			server.AppendRequest{TensorB64: e.chunkB64[a.variant%len(e.chunkB64)]}, nil)
@@ -678,6 +739,8 @@ func (e *engine) aggregate(results <-chan result, elapsed time.Duration) *Report
 		Sizes:           spec.Sizes,
 		Variants:        spec.Variants,
 		MaxInFlight:     spec.MaxInFlight,
+		RangeChunks:     spec.RangeChunks,
+		RangeWindows:    spec.RangeWindows,
 		ElapsedSeconds:  elapsed.Seconds(),
 		Totals:          finish(total),
 		Ops:             map[string]OpStats{},

@@ -127,6 +127,10 @@ type Report struct {
 	Sizes           []SizeClass        `json:"sizes"`
 	Variants        int                `json:"variants"`
 	MaxInFlight     int                `json:"max_in_flight"`
+	// RangeChunks/RangeWindows echo the range-workload shape (additive
+	// relative to schema 1 readers; zero means the legacy defaults).
+	RangeChunks  int `json:"range_chunks,omitempty"`
+	RangeWindows int `json:"range_windows,omitempty"`
 
 	// Measurements.
 	ElapsedSeconds float64 `json:"elapsed_seconds"` // actual wall time, arrival 0 → last completion

@@ -66,8 +66,34 @@ const (
 	// (serialize factors+core, atomic tmp+rename spill, journal record) —
 	// the per-sweep price of crash-safe iteration.
 	HistCheckpointWrite
+	// HistRangeNodeBuild is the latency of building or merging one range-index
+	// node summary (exact truncated SVD of a span's stacked slice factors).
+	HistRangeNodeBuild
+	// HistRangeStitch* split stitched range-query latency by the number of
+	// segment-tree nodes the query decomposed into (≤2, ≤4, >4), so the
+	// O(log T) stitch-count scaling is visible directly in /metricz.
+	HistRangeStitchLe2
+	HistRangeStitchLe4
+	HistRangeStitchGt4
+	// HistRangeFallback is the latency of range queries that bypassed the
+	// stitch path (span below the size threshold, or stitch quality below
+	// the configured fit floor) and ran a direct DecomposeRange.
+	HistRangeFallback
 	numHistIDs
 )
+
+// HistRangeStitch returns the stitched-range latency histogram for a query
+// that decomposed into nodes segment-tree nodes.
+func HistRangeStitch(nodes int) HistID {
+	switch {
+	case nodes <= 2:
+		return HistRangeStitchLe2
+	case nodes <= 4:
+		return HistRangeStitchLe4
+	default:
+		return HistRangeStitchGt4
+	}
+}
 
 // String returns the histogram's presentation name.
 func (h HistID) String() string {
@@ -104,6 +130,16 @@ func (h HistID) String() string {
 		return "journal-append"
 	case HistCheckpointWrite:
 		return "checkpoint-write"
+	case HistRangeNodeBuild:
+		return "range-node-build"
+	case HistRangeStitchLe2:
+		return "range-stitch-le2"
+	case HistRangeStitchLe4:
+		return "range-stitch-le4"
+	case HistRangeStitchGt4:
+		return "range-stitch-gt4"
+	case HistRangeFallback:
+		return "range-fallback"
 	}
 	return "hist(?)"
 }

@@ -59,6 +59,16 @@ type Counters struct {
 	SliceKernelRand  int64 `json:"slice_kernel_randsvd"`
 	SliceKernelExact int64 `json:"slice_kernel_exact"`
 	SliceKernelGram  int64 `json:"slice_kernel_gram"`
+	// RangeNodeBuilds/RangeNodeHits count segment-tree node summaries built
+	// (including merges) versus served from the range index's node cache;
+	// RangeStitches counts range queries answered by stitching node
+	// summaries, RangeFallbacks those that ran a direct DecomposeRange
+	// instead (span below the size threshold or stitch quality below the
+	// fit floor).
+	RangeNodeBuilds int64 `json:"range_node_builds"`
+	RangeNodeHits   int64 `json:"range_node_hits"`
+	RangeStitches   int64 `json:"range_stitches"`
+	RangeFallbacks  int64 `json:"range_fallbacks"`
 }
 
 // Sub returns the component-wise difference c − o.
@@ -76,6 +86,10 @@ func (c Counters) Sub(o Counters) Counters {
 		SliceKernelRand:  c.SliceKernelRand - o.SliceKernelRand,
 		SliceKernelExact: c.SliceKernelExact - o.SliceKernelExact,
 		SliceKernelGram:  c.SliceKernelGram - o.SliceKernelGram,
+		RangeNodeBuilds:  c.RangeNodeBuilds - o.RangeNodeBuilds,
+		RangeNodeHits:    c.RangeNodeHits - o.RangeNodeHits,
+		RangeStitches:    c.RangeStitches - o.RangeStitches,
+		RangeFallbacks:   c.RangeFallbacks - o.RangeFallbacks,
 	}
 }
 
@@ -94,6 +108,10 @@ func (c Counters) Add(o Counters) Counters {
 		SliceKernelRand:  c.SliceKernelRand + o.SliceKernelRand,
 		SliceKernelExact: c.SliceKernelExact + o.SliceKernelExact,
 		SliceKernelGram:  c.SliceKernelGram + o.SliceKernelGram,
+		RangeNodeBuilds:  c.RangeNodeBuilds + o.RangeNodeBuilds,
+		RangeNodeHits:    c.RangeNodeHits + o.RangeNodeHits,
+		RangeStitches:    c.RangeStitches + o.RangeStitches,
+		RangeFallbacks:   c.RangeFallbacks + o.RangeFallbacks,
 	}
 }
 
@@ -112,6 +130,10 @@ var global struct {
 	sliceKernelRand  atomic.Int64
 	sliceKernelExact atomic.Int64
 	sliceKernelGram  atomic.Int64
+	rangeNodeBuilds  atomic.Int64
+	rangeNodeHits    atomic.Int64
+	rangeStitches    atomic.Int64
+	rangeFallbacks   atomic.Int64
 }
 
 // SetEnabled turns the global counters on or off and returns the previous
@@ -135,6 +157,10 @@ func Reset() {
 	global.sliceKernelRand.Store(0)
 	global.sliceKernelExact.Store(0)
 	global.sliceKernelGram.Store(0)
+	global.rangeNodeBuilds.Store(0)
+	global.rangeNodeHits.Store(0)
+	global.rangeStitches.Store(0)
+	global.rangeFallbacks.Store(0)
 }
 
 // Snapshot returns the current counter totals. When counting is disabled it
@@ -153,6 +179,10 @@ func Snapshot() Counters {
 		SliceKernelRand:  global.sliceKernelRand.Load(),
 		SliceKernelExact: global.sliceKernelExact.Load(),
 		SliceKernelGram:  global.sliceKernelGram.Load(),
+		RangeNodeBuilds:  global.rangeNodeBuilds.Load(),
+		RangeNodeHits:    global.rangeNodeHits.Load(),
+		RangeStitches:    global.rangeStitches.Load(),
+		RangeFallbacks:   global.rangeFallbacks.Load(),
 	}
 }
 
@@ -256,4 +286,39 @@ func CountSliceKernelGram() {
 		return
 	}
 	global.sliceKernelGram.Add(1)
+}
+
+// CountRangeNodeBuild records one segment-tree node summary built or merged.
+func CountRangeNodeBuild() {
+	if !enabled.Load() {
+		return
+	}
+	global.rangeNodeBuilds.Add(1)
+}
+
+// CountRangeNodeHit records one node summary served from the range index's
+// cache.
+func CountRangeNodeHit() {
+	if !enabled.Load() {
+		return
+	}
+	global.rangeNodeHits.Add(1)
+}
+
+// CountRangeStitch records one range query answered by stitching node
+// summaries.
+func CountRangeStitch() {
+	if !enabled.Load() {
+		return
+	}
+	global.rangeStitches.Add(1)
+}
+
+// CountRangeFallback records one range query that fell back to a direct
+// DecomposeRange.
+func CountRangeFallback() {
+	if !enabled.Load() {
+		return
+	}
+	global.rangeFallbacks.Add(1)
 }

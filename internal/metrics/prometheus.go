@@ -158,6 +158,10 @@ func WriteCountersProm(p *PromWriter) {
 	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelRand, "kernel", "randsvd")
 	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelExact, "kernel", "exact")
 	p.Counter("dtucker_slice_kernel_total", "Slice compressions by kernel.", c.SliceKernelGram, "kernel", "gram")
+	p.Counter("dtucker_range_node_builds_total", "Range-index node summaries built or merged.", c.RangeNodeBuilds)
+	p.Counter("dtucker_range_node_hits_total", "Range-index node summaries served from cache.", c.RangeNodeHits)
+	p.Counter("dtucker_range_queries_total", "Range queries by answer path.", c.RangeStitches, "path", "stitch")
+	p.Counter("dtucker_range_queries_total", "Range queries by answer path.", c.RangeFallbacks, "path", "fallback")
 }
 
 // WriteHistogramsProm renders every latency histogram onto p as one

@@ -1,0 +1,313 @@
+// Package rangeidx maintains a segment tree over a core.Stream's
+// preprocessed slice blocks, turning arbitrary time-range decompositions
+// into O(log T) stitches of cached node summaries — the TUCKET / Zoom-Tucker
+// workload (see PAPERS.md) built on D-Tucker's slice structure.
+//
+// The tree is laid out over fixed-size blocks of BlockSize time steps with
+// absolute dyadic alignment: a node covers blocks [b, b+2^k) only when
+// b % 2^k == 0. Because alignment is absolute — independent of the stream's
+// current length — a node's span never changes as the stream appends, and
+// because the stream is append-only, a node's summary is immutable once
+// built: the index never invalidates, it only grows. Advance maintains the
+// tree incrementally as the stream appends (amortized O(1) node builds per
+// completed block, O(log T) worst case), and Query lazily builds whatever a
+// range needs, so an index is correct even if Advance is never called.
+//
+// A query [t0, t1) decomposes into a canonical plan — a partial head up to
+// block alignment, a greedy sequence of maximal aligned dyadic runs, and a
+// partial tail — that is a pure function of (t0, t1, BlockSize). Node
+// summaries are deterministic pure functions of the slices they cover (see
+// core.RangeSummary), and the stitch itself is owner-computes, so the
+// stitched result is bit-identical no matter which nodes came from cache,
+// how the cache was warmed, or how many workers ran the solve.
+package rangeidx
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dterr"
+	"repro/internal/metrics"
+)
+
+// Config tunes one Index.
+type Config struct {
+	// BlockSize is the leaf span in time steps. Zero selects 8. Smaller
+	// blocks give finer-grained reuse and more nodes; larger blocks give
+	// cheaper trees and longer partial head/tail solves.
+	BlockSize int
+	// SummaryRank is the retained rank q of node summaries. Zero selects
+	// the core default (twice the larger leading target rank, capped at
+	// the slice dimensions).
+	SummaryRank int
+	// MinStitchSpan is the span (in time steps) below which Query skips the
+	// stitch path and runs a direct DecomposeRange — short ranges are
+	// cheap to solve exactly and would be dominated by partial-block
+	// summaries anyway. Zero selects 2·BlockSize; negative disables the
+	// size fallback entirely.
+	MinStitchSpan int
+	// MinFit, when positive, is the quality floor: a stitched result whose
+	// fit falls below it is discarded and the query re-answered by a direct
+	// DecomposeRange. Zero disables the quality fallback.
+	MinFit float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 8
+	}
+	if c.MinStitchSpan == 0 {
+		c.MinStitchSpan = 2 * c.BlockSize
+	}
+	return c
+}
+
+// Query answer paths, reported in QueryStats.Path.
+const (
+	PathStitch          = "stitch"
+	PathFallbackSize    = "fallback_size"
+	PathFallbackQuality = "fallback_quality"
+)
+
+// QueryStats describes how one Query was answered.
+type QueryStats struct {
+	// Path is one of the Path* constants.
+	Path string
+	// Nodes is the number of plan segments the range decomposed into
+	// (0 on the size-fallback path).
+	Nodes int
+	// Hits and Builds count node summaries served from the cache versus
+	// built (including recursive child builds) while answering this query.
+	Hits, Builds int
+	// Fit is the stitched fit when a stitch was attempted (also set on the
+	// quality-fallback path, where it is the rejected stitched fit).
+	Fit float64
+}
+
+type span struct{ t0, t1 int }
+
+// Index is the segment tree over one stream. Methods are safe for
+// concurrent use; long-running solves serialize on the index mutex, which
+// matches the per-session serialization of the serving layer.
+type Index struct {
+	cfg Config
+	st  *core.Stream
+
+	mu    sync.Mutex
+	nodes map[span]*core.RangeSummary
+	built int // blocks with eagerly maintained dyadic nodes
+}
+
+// New creates an index over st. The stream must outlive the index; the
+// index holds no slice data of its own, only span summaries.
+func New(st *core.Stream, cfg Config) *Index {
+	return &Index{cfg: cfg.withDefaults(), st: st, nodes: make(map[span]*core.RangeSummary)}
+}
+
+// Config returns the index's resolved configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// NodeCount returns the number of cached node summaries.
+func (ix *Index) NodeCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.nodes)
+}
+
+// StorageFloats returns the float64 storage held by cached summaries.
+func (ix *Index) StorageFloats() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	total := 0
+	for _, s := range ix.nodes {
+		total += s.StorageFloats()
+	}
+	return total
+}
+
+// node returns the summary for blocks [b, b+n) — n a power of two, b
+// n-aligned — serving it from the cache or building it (leaves from the
+// stream, internal nodes by merging their children, recursively). Caller
+// holds ix.mu.
+func (ix *Index) node(ctx context.Context, b, n int, st *QueryStats) (*core.RangeSummary, error) {
+	B := ix.cfg.BlockSize
+	sp := span{b * B, (b + n) * B}
+	if s, ok := ix.nodes[sp]; ok {
+		st.Hits++
+		metrics.CountRangeNodeHit()
+		return s, nil
+	}
+	var s *core.RangeSummary
+	var err error
+	if n == 1 {
+		s, err = ix.st.SummarizeSpanContext(ctx, sp.t0, sp.t1, ix.cfg.SummaryRank)
+	} else {
+		var left, right *core.RangeSummary
+		if left, err = ix.node(ctx, b, n/2, st); err != nil {
+			return nil, err
+		}
+		if right, err = ix.node(ctx, b+n/2, n/2, st); err != nil {
+			return nil, err
+		}
+		s, err = core.MergeSummaries(left, right, ix.cfg.SummaryRank)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.Builds++
+	ix.nodes[sp] = s
+	return s, nil
+}
+
+// partial returns the summary of an unaligned span, cached by its exact
+// bounds (overlapping dashboards re-ask the same window edges, so partials
+// hit too). Caller holds ix.mu.
+func (ix *Index) partial(ctx context.Context, t0, t1 int, st *QueryStats) (*core.RangeSummary, error) {
+	sp := span{t0, t1}
+	if s, ok := ix.nodes[sp]; ok {
+		st.Hits++
+		metrics.CountRangeNodeHit()
+		return s, nil
+	}
+	s, err := ix.st.SummarizeSpanContext(ctx, t0, t1, ix.cfg.SummaryRank)
+	if err != nil {
+		return nil, err
+	}
+	st.Builds++
+	ix.nodes[sp] = s
+	return s, nil
+}
+
+// planSeg is one segment of a canonical plan: block-aligned dyadic runs
+// carry (b, n); partial head/tail segments have n == 0.
+type planSeg struct {
+	t0, t1 int
+	b, n   int
+}
+
+// plan decomposes [t0, t1) into its canonical segments: partial head to
+// block alignment, maximal aligned dyadic runs, partial tail. It is a pure
+// function of (t0, t1, blockSize) — every query for the same range walks
+// the same nodes.
+func plan(t0, t1, blockSize int) []planSeg {
+	var segs []planSeg
+	b0 := (t0 + blockSize - 1) / blockSize
+	b1 := t1 / blockSize
+	if b0 >= b1 {
+		// The range does not cover one whole aligned block.
+		return []planSeg{{t0: t0, t1: t1}}
+	}
+	if t0 < b0*blockSize {
+		segs = append(segs, planSeg{t0: t0, t1: b0 * blockSize})
+	}
+	for b := b0; b < b1; {
+		// Largest power-of-two run that keeps b aligned and fits in [b, b1).
+		n := 1 << bits.Len(uint(b1-b)) >> 1
+		if b != 0 {
+			if a := b & -b; a < n {
+				n = a
+			}
+		}
+		segs = append(segs, planSeg{t0: b * blockSize, t1: (b + n) * blockSize, b: b, n: n})
+		b += n
+	}
+	if b1*blockSize < t1 {
+		segs = append(segs, planSeg{t0: b1 * blockSize, t1: t1})
+	}
+	return segs
+}
+
+// Advance eagerly builds the dyadic nodes completed by appends since the
+// last Advance: each newly whole block's leaf, plus every aligned parent
+// that block completes. Amortized O(1) node builds per block. Queries do
+// not require it — they build lazily — but calling it after each append
+// moves summary construction off the query path.
+func (ix *Index) Advance(ctx context.Context) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	blocks := ix.st.Len() / ix.cfg.BlockSize
+	var st QueryStats
+	for b := ix.built; b < blocks; b++ {
+		if _, err := ix.node(ctx, b, 1, &st); err != nil {
+			return err
+		}
+		for n := 2; (b+1)%n == 0 && b+1 >= n; n *= 2 {
+			if _, err := ix.node(ctx, b+1-n, n, &st); err != nil {
+				return err
+			}
+		}
+		ix.built = b + 1
+	}
+	return nil
+}
+
+// Query answers the range decomposition of [t0, t1): it gathers the
+// canonical plan's node summaries (cache-first, building lazily) and
+// stitches them via core.Stream.StitchRange, falling back to a direct
+// DecomposeRange for short spans (Config.MinStitchSpan) or when the
+// stitched fit lands below Config.MinFit. The returned stats say which
+// path answered and how many nodes it touched.
+func (ix *Index) Query(ctx context.Context, t0, t1 int) (*core.Decomposition, QueryStats, error) {
+	var st QueryStats
+	if t0 >= t1 {
+		return nil, st, fmt.Errorf("rangeidx: range [%d,%d) is empty: %w", t0, t1, dterr.ErrInvalidInput)
+	}
+	if ix.cfg.MinStitchSpan > 0 && t1-t0 < ix.cfg.MinStitchSpan {
+		st.Path = PathFallbackSize
+		dec, err := ix.fallback(ctx, t0, t1)
+		return dec, st, err
+	}
+
+	ix.mu.Lock()
+	segs := plan(t0, t1, ix.cfg.BlockSize)
+	st.Nodes = len(segs)
+	parts := make([]*core.RangeSummary, len(segs))
+	t0w := metrics.HistStart()
+	for i, sg := range segs {
+		var s *core.RangeSummary
+		var err error
+		if sg.n > 0 {
+			s, err = ix.node(ctx, sg.b, sg.n, &st)
+		} else {
+			s, err = ix.partial(ctx, sg.t0, sg.t1, &st)
+		}
+		if err != nil {
+			ix.mu.Unlock()
+			return nil, st, err
+		}
+		parts[i] = s
+	}
+	ix.mu.Unlock()
+
+	dec, err := ix.st.StitchRangeContext(ctx, t0, t1, parts)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Fit = dec.Fit
+	if ix.cfg.MinFit > 0 && dec.Fit < ix.cfg.MinFit {
+		st.Path = PathFallbackQuality
+		dec, err := ix.fallback(ctx, t0, t1)
+		return dec, st, err
+	}
+	st.Path = PathStitch
+	metrics.ObserveSince(metrics.HistRangeStitch(st.Nodes), t0w)
+	metrics.CountRangeStitch()
+	return dec, st, nil
+}
+
+// fallback runs the direct solve, instrumented as a range fallback. Its
+// result is exactly DecomposeRange's — byte-identical to calling the
+// stream directly.
+func (ix *Index) fallback(ctx context.Context, t0, t1 int) (*core.Decomposition, error) {
+	t0w := metrics.HistStart()
+	dec, err := ix.st.DecomposeRangeContext(ctx, t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	metrics.ObserveSince(metrics.HistRangeFallback, t0w)
+	metrics.CountRangeFallback()
+	return dec, nil
+}

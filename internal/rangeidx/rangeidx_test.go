@@ -1,0 +1,464 @@
+package rangeidx
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dterr"
+	"repro/internal/faults"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// lowRankTensor builds a noisy rank-r tensor, mirroring the core test
+// helper, so stitched fits have headroom above the quality floor.
+func lowRankTensor(rng *rand.Rand, noise float64, r int, shape ...int) *tensor.Dense {
+	ranks := make([]int, len(shape))
+	for i := range ranks {
+		ranks[i] = r
+	}
+	g := tensor.RandN(rng, ranks...)
+	x := g
+	for n, s := range shape {
+		x = x.ModeProduct(mat.RandOrthonormal(s, r, rng), n)
+	}
+	if noise > 0 {
+		e := tensor.RandN(rng, shape...)
+		scale := noise * x.Norm() / e.Norm()
+		e.ScaleInPlace(scale)
+		x.AddInPlace(e)
+	}
+	return x
+}
+
+// chunked splits x into pieces along its last mode.
+func chunked(x *tensor.Dense, sizes ...int) []*tensor.Dense {
+	order := x.Order()
+	shape := x.Shape()
+	area := 1
+	for _, d := range shape[:order-1] {
+		area *= d
+	}
+	var out []*tensor.Dense
+	off := 0
+	for _, sz := range sizes {
+		cs := append([]int(nil), shape[:order-1]...)
+		cs = append(cs, sz)
+		out = append(out, tensor.NewFromData(append([]float64(nil), x.Data()[off*area:(off+sz)*area]...), cs...))
+		off += sz
+	}
+	return out
+}
+
+// testStream builds a stream over a fixed 12×10×48 tensor (seeded, so every
+// call sees the same data) with the given worker count.
+func testStream(t *testing.T, workers int, chunkSizes ...int) *core.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	x := lowRankTensor(rng, 0.05, 3, 12, 10, 48)
+	st := core.NewStream(core.Options{
+		Config:  core.Config{Ranks: []int{3, 3, 3}, Seed: 9, NoReorder: true},
+		Workers: workers,
+	})
+	if len(chunkSizes) == 0 {
+		chunkSizes = []int{16, 16, 16}
+	}
+	for _, c := range chunked(x, chunkSizes...) {
+		if err := st.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// sameDec reports whether two decompositions are bitwise identical: core
+// data, every factor, and the fit.
+func sameDec(a, b *core.Decomposition) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if math.Float64bits(a.Fit) != math.Float64bits(b.Fit) {
+		return false
+	}
+	ad, bd := a.Core.Data(), b.Core.Data()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			return false
+		}
+	}
+	if len(a.Factors) != len(b.Factors) {
+		return false
+	}
+	for n := range a.Factors {
+		fa, fb := a.Factors[n].Data(), b.Factors[n].Data()
+		if len(fa) != len(fb) {
+			return false
+		}
+		for i := range fa {
+			if math.Float64bits(fa[i]) != math.Float64bits(fb[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPlanCanonical(t *testing.T) {
+	const B = 4
+	for _, tc := range []struct{ t0, t1 int }{
+		{0, 48}, {1, 47}, {3, 5}, {0, 3}, {4, 12}, {5, 44}, {8, 40}, {17, 23}, {0, 64}, {31, 33},
+	} {
+		segs := plan(tc.t0, tc.t1, B)
+		at := tc.t0
+		for _, sg := range segs {
+			if sg.t0 != at || sg.t1 <= sg.t0 {
+				t.Fatalf("plan(%d,%d): segment [%d,%d) does not continue from %d", tc.t0, tc.t1, sg.t0, sg.t1, at)
+			}
+			if sg.n > 0 {
+				if sg.n&(sg.n-1) != 0 || sg.b%sg.n != 0 {
+					t.Fatalf("plan(%d,%d): run b=%d n=%d not dyadically aligned", tc.t0, tc.t1, sg.b, sg.n)
+				}
+				if sg.t0 != sg.b*B || sg.t1 != (sg.b+sg.n)*B {
+					t.Fatalf("plan(%d,%d): run bounds disagree with blocks", tc.t0, tc.t1)
+				}
+			}
+			at = sg.t1
+		}
+		if at != tc.t1 {
+			t.Fatalf("plan(%d,%d): covers up to %d", tc.t0, tc.t1, at)
+		}
+		// O(log T): at most 2 partials plus 2·log₂(blocks) runs.
+		blocks := (tc.t1 - tc.t0) / B
+		limit := 2
+		for n := 1; n <= blocks; n *= 2 {
+			limit += 2
+		}
+		if len(segs) > limit {
+			t.Fatalf("plan(%d,%d): %d segments exceeds O(log T) bound %d", tc.t0, tc.t1, len(segs), limit)
+		}
+	}
+}
+
+// TestStitchDeterministicAcrossCacheStates is the tentpole property: the
+// stitched answer for a range is bit-identical no matter which nodes were
+// already cached — a cold index, an Advance-warmed index, and an index
+// warmed by different overlapping queries all produce the same bytes.
+func TestStitchDeterministicAcrossCacheStates(t *testing.T) {
+	ctx := context.Background()
+	ranges := [][2]int{{0, 48}, {0, 40}, {8, 48}, {3, 45}, {16, 48}, {4, 36}}
+
+	cold := func() *Index { return New(testStream(t, 1), Config{BlockSize: 4}) }
+
+	// Reference answers from a cold index per range.
+	want := make([]*core.Decomposition, len(ranges))
+	for i, r := range ranges {
+		dec, st, err := cold().Query(ctx, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Path != PathStitch {
+			t.Fatalf("range [%d,%d): path %s, want stitch", r[0], r[1], st.Path)
+		}
+		want[i] = dec
+	}
+
+	// Advance-warmed index.
+	warm := New(testStream(t, 1), Config{BlockSize: 4})
+	if err := warm.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One shared index answering all ranges in sequence, so later queries
+	// run against a cache the earlier ones populated.
+	shared := New(testStream(t, 1), Config{BlockSize: 4})
+	for i, r := range ranges {
+		for name, ix := range map[string]*Index{"warm": warm, "shared": shared} {
+			dec, _, err := ix.Query(ctx, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDec(dec, want[i]) {
+				t.Fatalf("%s index: range [%d,%d) differs from cold-index answer", name, r[0], r[1])
+			}
+		}
+	}
+
+	// Second query on the same index (all nodes now cached) — identical.
+	dec1, st1, err := shared.Query(ctx, 3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Builds != 0 || st1.Hits != st1.Nodes {
+		t.Fatalf("repeat query built %d nodes, hit %d of %d — want pure cache hits", st1.Builds, st1.Hits, st1.Nodes)
+	}
+	if !sameDec(dec1, want[3]) {
+		t.Fatal("all-hits answer differs from cold answer")
+	}
+}
+
+func TestStitchDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	ranges := [][2]int{{0, 48}, {2, 46}, {8, 40}}
+	base := New(testStream(t, 1), Config{BlockSize: 4})
+	for _, workers := range []int{2, 4} {
+		ix := New(testStream(t, workers), Config{BlockSize: 4})
+		for _, r := range ranges {
+			a, _, err := base.Query(ctx, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := ix.Query(ctx, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDec(a, b) {
+				t.Fatalf("workers=%d: range [%d,%d) differs from single-worker answer", workers, r[0], r[1])
+			}
+		}
+	}
+}
+
+// TestAppendStability: appending more data must not change the answer for
+// ranges inside the old prefix — node summaries are immutable, and the plan
+// is absolute, so the exact bytes come back.
+func TestAppendStability(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	x := lowRankTensor(rng, 0.05, 3, 12, 10, 48)
+	chunks := chunked(x, 16, 16, 16)
+
+	st := core.NewStream(core.Options{Config: core.Config{Ranks: []int{3, 3, 3}, Seed: 9, NoReorder: true}})
+	ix := New(st, Config{BlockSize: 4})
+	var before *core.Decomposition
+	for i, c := range chunks {
+		if err := st.Append(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Advance(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			dec, stat, err := ix.Query(ctx, 1, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stat.Path != PathStitch {
+				t.Fatalf("path %s, want stitch", stat.Path)
+			}
+			before = dec
+		}
+	}
+	after, _, err := ix.Query(ctx, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDec(before, after) {
+		t.Fatal("answer for [1,15) changed after later appends")
+	}
+	// And it matches a cold index over a stream that saw all appends first.
+	coldDec, _, err := New(testStream(t, 1), Config{BlockSize: 4}).Query(ctx, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDec(before, coldDec) {
+		t.Fatal("interleaved-append answer differs from all-appends-first answer")
+	}
+}
+
+// TestFallbackMatchesDecomposeRange: the size-fallback path must be exactly
+// the direct solve, byte for byte.
+func TestFallbackMatchesDecomposeRange(t *testing.T) {
+	ctx := context.Background()
+	st := testStream(t, 2)
+	ix := New(st, Config{BlockSize: 4}) // MinStitchSpan defaults to 8
+	dec, stat, err := ix.Query(ctx, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Path != PathFallbackSize {
+		t.Fatalf("path %s, want %s", stat.Path, PathFallbackSize)
+	}
+	want, err := st.DecomposeRange(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDec(dec, want) {
+		t.Fatal("size-fallback answer differs from DecomposeRange")
+	}
+}
+
+func TestQualityFallback(t *testing.T) {
+	ctx := context.Background()
+	st := testStream(t, 1)
+	// A fit floor no truncated stitch can reach forces the quality path.
+	ix := New(st, Config{BlockSize: 4, MinFit: 0.999999999})
+	dec, stat, err := ix.Query(ctx, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Path != PathFallbackQuality {
+		t.Fatalf("path %s, want %s", stat.Path, PathFallbackQuality)
+	}
+	if stat.Fit == 0 {
+		t.Fatal("quality fallback did not report the rejected stitched fit")
+	}
+	want, err := st.DecomposeRange(0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDec(dec, want) {
+		t.Fatal("quality-fallback answer differs from DecomposeRange")
+	}
+}
+
+// TestStitchQualityNearDirect: the stitched fit must land close to the full
+// ALS fit — the quality contract that makes the stitch path a usable
+// answer, not just a fast one.
+func TestStitchQualityNearDirect(t *testing.T) {
+	ctx := context.Background()
+	st := testStream(t, 1)
+	ix := New(st, Config{BlockSize: 4})
+	for _, r := range [][2]int{{0, 48}, {4, 44}, {8, 40}} {
+		dec, stat, err := ix.Query(ctx, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat.Path != PathStitch {
+			t.Fatalf("path %s, want stitch", stat.Path)
+		}
+		direct, err := st.DecomposeRange(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Fit < direct.Fit-0.02 {
+			t.Fatalf("range [%d,%d): stitched fit %.4f vs direct %.4f", r[0], r[1], dec.Fit, direct.Fit)
+		}
+	}
+}
+
+// TestFaultInjectionAtStitchBoundaries: an armed core.stitch.node site must
+// surface as a typed injected error, poison nothing, and leave the index
+// able to answer the same query bit-identically once the fault clears.
+func TestFaultInjectionAtStitchBoundaries(t *testing.T) {
+	ctx := context.Background()
+	want, _, err := New(testStream(t, 1), Config{BlockSize: 4}).Query(ctx, 3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix := New(testStream(t, 1), Config{BlockSize: 4})
+	// Fire on the 3rd summary build (a mid-plan boundary).
+	if err := faults.Activate("core.stitch.node", faults.Plan{Skip: 2, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, qerr := ix.Query(ctx, 3, 45)
+	faults.Reset()
+	if qerr == nil {
+		t.Fatal("query succeeded with an armed stitch-boundary fault")
+	}
+	if !errors.Is(qerr, dterr.ErrInjected) {
+		t.Fatalf("fault surfaced as %v, want ErrInjected", qerr)
+	}
+	dec, stat, err := ix.Query(ctx, 3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Path != PathStitch {
+		t.Fatalf("retry path %s, want stitch", stat.Path)
+	}
+	if !sameDec(dec, want) {
+		t.Fatal("post-fault retry differs from clean answer")
+	}
+}
+
+// TestAdvanceIncremental: after Advance, a full-stream aligned query is
+// answered purely from cache, and per-append node build work is bounded.
+func TestAdvanceIncremental(t *testing.T) {
+	ctx := context.Background()
+	st := testStream(t, 1)
+	ix := New(st, Config{BlockSize: 4})
+	if err := ix.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n := ix.NodeCount()
+	// 12 blocks: 12 leaves + 6 + 2(span-2 pairs at 8) + 1 = bounded by 2·blocks.
+	if n == 0 || n > 24 {
+		t.Fatalf("advance built %d nodes for 12 blocks", n)
+	}
+	if err := ix.Advance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NodeCount() != n {
+		t.Fatal("repeated Advance rebuilt nodes")
+	}
+	_, stat, err := ix.Query(ctx, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Builds != 0 {
+		t.Fatalf("aligned query after Advance built %d nodes", stat.Builds)
+	}
+}
+
+func TestQueryInvalidRanges(t *testing.T) {
+	ctx := context.Background()
+	ix := New(testStream(t, 1), Config{BlockSize: 4})
+	for _, r := range [][2]int{{5, 5}, {9, 3}, {-1, 10}, {0, 100}} {
+		_, _, err := ix.Query(ctx, r[0], r[1])
+		if !errors.Is(err, dterr.ErrInvalidInput) {
+			t.Fatalf("Query(%d,%d) = %v, want ErrInvalidInput", r[0], r[1], err)
+		}
+	}
+}
+
+// TestFallbackNoGoroutineLeak: the fallback path (including its metrics
+// bracketing) must leave no goroutines behind.
+func TestFallbackNoGoroutineLeak(t *testing.T) {
+	ctx := context.Background()
+	ix := New(testStream(t, 4), Config{BlockSize: 4})
+	if _, _, err := ix.Query(ctx, 10, 16); err != nil { // warm pool paths once
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, _, err := ix.Query(ctx, 10, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var after int
+	for i := 0; i < 50; i++ {
+		if after = runtime.NumGoroutine(); after <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before {
+		t.Fatalf("goroutines grew from %d to %d across fallback queries", before, after)
+	}
+}
+
+// TestQueryCancellation: a cancelled context aborts the stitch with a typed
+// cancellation, and the index remains usable.
+func TestQueryCancellation(t *testing.T) {
+	ix := New(testStream(t, 1), Config{BlockSize: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ix.Query(ctx, 0, 48)
+	if err == nil {
+		t.Fatal("query succeeded under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v", err)
+	}
+	if _, _, err := ix.Query(context.Background(), 0, 48); err != nil {
+		t.Fatalf("index unusable after cancellation: %v", err)
+	}
+}

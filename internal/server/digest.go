@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -33,4 +34,17 @@ func cacheKey(digest string, cfg core.Config) string {
 func chainDigest(prev, chunk string) string {
 	h := sha256.Sum256([]byte(prev + "+" + chunk))
 	return hex.EncodeToString(h[:])
+}
+
+// rangeKey is the single builder for range-query cache keys: a prefix
+// digest identifying the appended chunks that cover [0, t1), the range
+// bounds, and the canonical config — which includes the kernel-selection
+// profile fingerprint for "auto" requests, so results computed under
+// different profiles never collide (the same guarantee cacheKey gives
+// decompose jobs). Keying by the covering *prefix* digest rather than the
+// whole-stream rolling digest makes range results append-stable: a range
+// answered before later appends is a cache hit after them, because an
+// append-only stream never changes the slices a submitted range covers.
+func rangeKey(prefixDigest string, t0, t1 int, cfg core.Config) string {
+	return fmt.Sprintf("stream:%s|range:%d-%d|%s", prefixDigest, t0, t1, cfg.Canonical())
 }

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernelsel"
+)
+
+// TestRangeKeyProfileParticipation pins the range-cache analogue of the
+// decompose-cache invariant: every range key flows through the single
+// rangeKey builder, and the canonical config — including the kernel
+// profile fingerprint stamped on auto requests — participates, so two
+// servers with different profiles can never serve each other's entries.
+func TestRangeKeyProfileParticipation(t *testing.T) {
+	slow := kernelsel.Default()
+	slow.EigNsPerN3 *= 100
+	sA := newDrainedServer(t, Config{Workers: 1, Runners: 1})
+	sB := newDrainedServer(t, Config{Workers: 1, Runners: 1, KernelProfile: slow})
+
+	auto := core.Config{Ranks: []int{3, 3, 3}, SliceKernel: "auto"}
+	cfgA, cfgB := auto, auto
+	if werr := sA.stampKernelProfile(&cfgA); werr != nil {
+		t.Fatal(werr)
+	}
+	if werr := sB.stampKernelProfile(&cfgB); werr != nil {
+		t.Fatal(werr)
+	}
+	if rangeKey("d", 2, 9, cfgA) == rangeKey("d", 2, 9, cfgB) {
+		t.Fatal("different profiles produced the same range key — a profile change could serve stale range results")
+	}
+	if rangeKey("d", 2, 9, cfgA) != rangeKey("d", 2, 9, cfgA) {
+		t.Fatal("rangeKey is not deterministic")
+	}
+
+	// Distinct windows and distinct prefixes must key distinct entries.
+	if rangeKey("d", 2, 9, cfgA) == rangeKey("d", 2, 8, cfgA) {
+		t.Fatal("different windows share a range key")
+	}
+	if rangeKey("d1", 2, 9, cfgA) == rangeKey("d2", 2, 9, cfgA) {
+		t.Fatal("different stream prefixes share a range key")
+	}
+}
+
+// TestPrefixDigestAppendStable pins what makes range keys survive appends:
+// the covering-prefix digest for a window depends only on the chunks up to
+// the first mark covering it, so later appends change nothing.
+func TestPrefixDigestAppendStable(t *testing.T) {
+	sess := &session{}
+	digest := ""
+	for i, chunk := range []string{"c1", "c2", "c3"} {
+		digest = chainDigest(digest, chunk)
+		sess.digest = digest
+		sess.marks = append(sess.marks, streamMark{len: (i + 1) * 4, digest: digest})
+	}
+	before := sess.prefixDigestLocked(7) // covered by the first two chunks
+
+	digest = chainDigest(digest, "c4")
+	sess.digest = digest
+	sess.marks = append(sess.marks, streamMark{len: 16, digest: digest})
+
+	if after := sess.prefixDigestLocked(7); after != before {
+		t.Fatalf("prefix digest for a covered window changed after an append: %q → %q", before, after)
+	}
+	if sess.prefixDigestLocked(16) != digest {
+		t.Fatal("full-length window should be keyed by the whole-stream digest")
+	}
+	if sess.prefixDigestLocked(8) == sess.prefixDigestLocked(12) {
+		t.Fatal("windows needing different prefixes share a digest")
+	}
+}

@@ -40,7 +40,8 @@
 //	DELETE /v1/streams/{id}          close the session
 //	POST   /v1/streams/{id}/append   append a chunk (synchronous)
 //	POST   /v1/streams/{id}/decompose submit a full-stream solve job
-//	POST   /v1/streams/{id}/range    submit a time-range solve job
+//	GET    /v1/streams/{id}/range    submit a time-range query (?t0=&t1=)
+//	POST   /v1/streams/{id}/range    deprecated alias of the GET endpoint
 //	GET    /healthz                  liveness and queue state
 //	GET    /metricz                  counters + histograms (?format=prometheus)
 //	GET    /debugz/requests          flight recorder: recent requests + exemplars
@@ -120,6 +121,25 @@ type Config struct {
 	// always persisted). Default 1 — every sweep is a resume point. Only
 	// meaningful with DataDir set.
 	CheckpointEvery int
+
+	// Range-index tuning. Each stream session maintains a rangeidx segment
+	// tree over its appended blocks, so overlapping range queries stitch
+	// cached node summaries instead of re-solving (see internal/rangeidx and
+	// docs/OPERATIONS.md, "Range queries"). RangeBlockSize is the leaf span
+	// in time steps (0 selects 8); RangeSummaryRank the retained summary
+	// rank (0 selects the core default); RangeMinStitchSpan the span below
+	// which queries run a direct solve (0 selects 2·RangeBlockSize, negative
+	// disables the size fallback); RangeMinFit the stitched-fit floor below
+	// which a query is re-answered directly (0 disables).
+	RangeBlockSize     int
+	RangeSummaryRank   int
+	RangeMinStitchSpan int
+	RangeMinFit        float64
+	// DisableRangeIndex turns the segment tree off: range queries always run
+	// a direct DecomposeRange (the pre-index behavior, kept as the loadgen
+	// baseline and an operational escape hatch). Exact-range result caching
+	// still applies either way.
+	DisableRangeIndex bool
 
 	// KernelProfile is the calibrated kernelsel profile that requests with
 	// SliceKernel "auto" resolve against. Its fingerprint is stamped into
@@ -293,7 +313,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("POST /v1/streams/{id}/append", s.handleStreamAppend)
 	s.mux.HandleFunc("POST /v1/streams/{id}/decompose", s.handleStreamDecompose)
-	s.mux.HandleFunc("POST /v1/streams/{id}/range", s.handleStreamRange)
+	s.mux.HandleFunc("GET /v1/streams/{id}/range", s.handleStreamRangeGet)
+	s.mux.HandleFunc("POST /v1/streams/{id}/range", s.handleStreamRangePost)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /debugz/requests", s.handleDebugzRequests)

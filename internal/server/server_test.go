@@ -19,6 +19,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/rangeidx"
 	"repro/internal/server"
 	"repro/internal/tensor"
 )
@@ -626,15 +627,20 @@ func TestStreamSessions(t *testing.T) {
 	got := streamSolve(t, cl, base+"/decompose", server.SolveRequest{})
 	requireBitIdentical(t, want, got)
 
-	// Range query, twice: the second submission must be a cache hit.
+	// Range query via the deprecated POST alias, twice: the second
+	// submission must be a cache hit, and both responses must advertise the
+	// deprecation.
 	wantRange, err := ref.DecomposeRange(2, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotRange := streamSolve(t, cl, base+"/range", server.SolveRequest{T0: 2, T1: 9})
+	gotRange := streamSolve(t, cl, base+"/range", server.RangeRequest{T0: 2, T1: 9})
 	requireBitIdentical(t, wantRange, gotRange)
 
-	r := postJSON(t, base+"/range", server.SolveRequest{T0: 2, T1: 9})
+	r := postJSON(t, base+"/range", server.RangeRequest{T0: 2, T1: 9})
+	if r.Header.Get("Deprecation") == "" {
+		t.Fatal("POST /range alias did not send a Deprecation header")
+	}
 	var receipt server.SubmitResponse
 	if err := json.NewDecoder(r.Body).Decode(&receipt); err != nil {
 		t.Fatal(err)
@@ -648,6 +654,38 @@ func TestStreamSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireBitIdentical(t, wantRange, cached)
+
+	// The first-class GET endpoint shares the POST alias's cache key: the
+	// same window is a cache hit, answered bit-identically, and GET is not
+	// deprecated.
+	gr, err := http.Get(base + "/range?t0=2&t1=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Header.Get("Deprecation") != "" {
+		t.Fatal("GET /range sent a Deprecation header; it is the successor")
+	}
+	var greceipt server.SubmitResponse
+	if err := json.NewDecoder(gr.Body).Decode(&greceipt); err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if !greceipt.CacheHit {
+		t.Fatal("GET range for a POST-cached window missed the cache")
+	}
+	gcached, err := cl.Result(ctx, greceipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, wantRange, gcached)
+
+	// A decompose body carrying the retired t0/t1 fields is rejected: range
+	// parameters moved to the range endpoints.
+	br := postJSON(t, base+"/decompose", map[string]int{"t0": 2, "t1": 9})
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("decompose with t0/t1 body: status %d, want 400", br.StatusCode)
+	}
 
 	// Delete, then 404.
 	req, _ := http.NewRequest(http.MethodDelete, base, nil)
@@ -669,8 +707,180 @@ func TestStreamSessions(t *testing.T) {
 	}
 }
 
+// TestStreamRangeGetValidation: the GET range endpoint rejects malformed
+// and out-of-bounds windows up front with typed invalid_input errors — a
+// bad URL never consumes a queue slot.
+func TestStreamRangeGetValidation(t *testing.T) {
+	_, hs, _ := newTestServer(t, server.Config{Workers: 1})
+	resp := postJSON(t, hs.URL+"/v1/streams", server.StreamRequest{Config: repro.Config{Ranks: []int{3, 3, 3}, SliceRank: 4}})
+	var sess server.StreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	base := hs.URL + "/v1/streams/" + sess.StreamID
+	r := postJSON(t, base+"/append", server.AppendRequest{TensorB64: tensorB64(t, testTensor(31, 10, 9, 4))})
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d", r.StatusCode)
+	}
+
+	for _, q := range []string{
+		"t0=2&t1=2",   // empty window
+		"t0=9&t1=3",   // inverted
+		"t0=-1&t1=3",  // negative start
+		"t0=0&t1=100", // beyond the stream's 4 steps
+		"t0=abc&t1=3", // not an integer
+		"t0=0&t1=2&timeout_ms=soon",
+	} {
+		gr, err := http.Get(base + "/range?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET range?%s: status %d, want 400", q, gr.StatusCode)
+		}
+		if we := decodeWireError(t, gr); we.Kind != server.KindInvalidInput {
+			t.Fatalf("GET range?%s: kind %q, want %q", q, we.Kind, server.KindInvalidInput)
+		}
+	}
+
+	gr, err := http.Get(hs.URL + "/v1/streams/s-999999/range?t0=0&t1=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET range on missing stream: status %d, want 404", gr.StatusCode)
+	}
+	gr.Body.Close()
+
+	// A well-formed window is admitted, and the response carries the
+	// request-ID correlation header like every other submission endpoint.
+	ok, err := http.Get(base + "/range?t0=0&t1=4&timeout_ms=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusAccepted && ok.StatusCode != http.StatusOK {
+		t.Fatalf("valid GET range: status %d", ok.StatusCode)
+	}
+	if ok.Header.Get(server.HeaderRequestID) == "" {
+		t.Fatal("GET range response missing the X-Request-ID header")
+	}
+	var receipt server.SubmitResponse
+	if err := json.NewDecoder(ok.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	if receipt.JobID == "" || receipt.RequestID == "" {
+		t.Fatalf("GET range receipt incomplete: %+v", receipt)
+	}
+}
+
+// TestStreamRangeStitchE2E drives the range index over HTTP: with a small
+// block size the served window takes the stitch path, the result is
+// bit-identical to an in-process index over the same stream, and — because
+// range keys are prefix-digests — the same window is a cache hit even
+// after the stream has grown.
+func TestStreamRangeStitchE2E(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Workers: 2, RangeBlockSize: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	cfg := repro.Config{Ranks: []int{3, 3, 3}, SliceRank: 4}
+	chunks := []*tensor.Dense{
+		testTensor(41, 10, 9, 4),
+		testTensor(42, 10, 9, 4),
+		testTensor(43, 10, 9, 4),
+	}
+
+	// In-process reference index over an identical stream.
+	ref := core.NewStream(cfg.Options())
+	for _, c := range chunks {
+		if err := ref.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ridx := rangeidx.New(ref, rangeidx.Config{BlockSize: 2})
+	want, stat, err := ridx.Query(ctx, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Path != rangeidx.PathStitch {
+		t.Fatalf("reference query path %q, want stitch", stat.Path)
+	}
+
+	resp := postJSON(t, hs.URL+"/v1/streams", server.StreamRequest{Config: cfg})
+	var sess server.StreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	base := hs.URL + "/v1/streams/" + sess.StreamID
+	for _, c := range chunks {
+		r := postJSON(t, base+"/append", server.AppendRequest{TensorB64: tensorB64(t, c)})
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d", r.StatusCode)
+		}
+	}
+
+	got := streamRangeGet(t, cl, base, 0, 12)
+	requireBitIdentical(t, want, got)
+
+	// Grow the stream; the already-answered window must still hit the
+	// cache — its covering prefix is unchanged by the append.
+	r := postJSON(t, base+"/append", server.AppendRequest{TensorB64: tensorB64(t, testTensor(44, 10, 9, 4))})
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d", r.StatusCode)
+	}
+	gr, err := http.Get(base + "/range?t0=0&t1=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var receipt server.SubmitResponse
+	if err := json.NewDecoder(gr.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if !receipt.CacheHit {
+		t.Fatal("range re-query after append missed the cache; prefix keys should be append-stable")
+	}
+	cached, err := cl.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, cached)
+}
+
+// streamRangeGet submits GET /range and polls the job to completion.
+func streamRangeGet(t *testing.T, cl *repro.Client, base string, t0, t1 int) *core.Decomposition {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/range?t0=%d&t1=%d", base, t0, t1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var receipt server.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&receipt)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("range submit: status %d", resp.StatusCode)
+	}
+	waitForState(t, cl, receipt.JobID, server.StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dec, err := cl.Result(ctx, receipt.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
 // streamSolve submits a solve to url and polls it to completion.
-func streamSolve(t *testing.T, cl *repro.Client, url string, req server.SolveRequest) *core.Decomposition {
+func streamSolve(t *testing.T, cl *repro.Client, url string, req any) *core.Decomposition {
 	t.Helper()
 	resp := postJSON(t, url, req)
 	var receipt server.SubmitResponse

@@ -4,13 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dterr"
 	"repro/internal/metrics"
 	"repro/internal/pool"
+	"repro/internal/rangeidx"
 	"repro/internal/trace"
 )
 
@@ -19,12 +20,16 @@ import (
 // stream operation — appends are synchronous HTTP calls, solves run as
 // queued jobs, and both take the lock, so a solve sees a frozen stream.
 //
-// The rolling digest identifies the ordered sequence of appended chunks.
-// Range-query results are cached under (digest, range, canonical config):
-// DecomposeRange is a pure function of the compressed slices in range.
-// Full-stream solves are NOT cached — Decompose warm-starts from the
-// previous solve's factors, so its result depends on the session's solve
-// history, not only on the appended data.
+// The rolling digest identifies the ordered sequence of appended chunks;
+// marks additionally record the digest after every append, so a range
+// query is keyed by the shortest chunk prefix covering it (see rangeKey) —
+// append-stable, because an append-only stream never changes the slices an
+// already-covered range reads. Range-query results are cached under
+// rangeKey(prefix digest, range, canonical config): both the direct
+// DecomposeRange and the rangeidx stitch are pure functions of the covered
+// slices. Full-stream solves are NOT cached — Decompose warm-starts from
+// the previous solve's factors, so its result depends on the session's
+// solve history, not only on the appended data.
 type session struct {
 	id  string
 	cfg core.Config
@@ -33,7 +38,27 @@ type session struct {
 
 	mu     sync.Mutex
 	st     *core.Stream
+	idx    *rangeidx.Index // nil with Config.DisableRangeIndex
 	digest string
+	marks  []streamMark
+}
+
+// streamMark records the rolling digest after one successful append: the
+// identity of the chunk prefix holding the first len time steps.
+type streamMark struct {
+	len    int
+	digest string
+}
+
+// prefixDigestLocked returns the digest of the shortest appended-chunk
+// prefix covering [0, t1). Callers hold sess.mu and guarantee t1 ≤ Len().
+func (sess *session) prefixDigestLocked(t1 int) string {
+	for _, m := range sess.marks {
+		if m.len >= t1 {
+			return m.digest
+		}
+	}
+	return sess.digest
 }
 
 func (s *Server) newSession(cfg core.Config, traced bool) *session {
@@ -48,6 +73,14 @@ func (s *Server) newSession(cfg core.Config, traced bool) *session {
 	opts.Metrics = col
 	opts.Profile = s.cfg.KernelProfile
 	sess := &session{cfg: cfg, col: col, tr: tr, st: core.NewStream(opts)}
+	if !s.cfg.DisableRangeIndex {
+		sess.idx = rangeidx.New(sess.st, rangeidx.Config{
+			BlockSize:     s.cfg.RangeBlockSize,
+			SummaryRank:   s.cfg.RangeSummaryRank,
+			MinStitchSpan: s.cfg.RangeMinStitchSpan,
+			MinFit:        s.cfg.RangeMinFit,
+		})
+	}
 	s.mu.Lock()
 	s.nextStream++
 	sess.id = fmt.Sprintf("s-%06d", s.nextStream)
@@ -165,6 +198,16 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.digest = chainDigest(sess.digest, chunkDigest)
+	sess.marks = append(sess.marks, streamMark{len: sess.st.Len(), digest: sess.digest})
+	if sess.idx != nil {
+		// Best-effort eager indexing: fold the new steps into the range
+		// index's node cache so later range queries hit warm summaries. A
+		// failure here only loses the warm-up — queries rebuild nodes
+		// lazily — so it must not fail the append.
+		if err := sess.idx.Advance(r.Context()); err != nil {
+			s.cfg.Logf("stream %s: range-index advance: %v", sess.id, err)
+		}
+	}
 	writeJSON(w, http.StatusOK, sess.statusLocked())
 }
 
@@ -203,31 +246,87 @@ func (s *Server) handleStreamDecompose(w http.ResponseWriter, r *http.Request) {
 	s.respondSubmitted(w, j, http.StatusAccepted)
 }
 
-// handleStreamRange is POST /v1/streams/{id}/range: queue a time-range
-// query over steps [t0, t1). Range results are pure functions of the
-// compressed slices, so they are cached keyed by (stream digest at
-// submission, range, canonical config); the job re-checks under the
-// session lock that the stream has not grown past the submitted digest.
-func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
+// handleStreamRangeGet is GET /v1/streams/{id}/range?t0=&t1=: queue a
+// time-range query over steps [t0, t1). GET fits the operation — a range
+// query reads the stream, mutating nothing an idempotent retry could
+// observe — and makes range URLs addressable (curl, dashboards, HTTP
+// caches). Bounds are validated up front with typed invalid_input errors;
+// the optional timeout_ms parameter mirrors SolveRequest.TimeoutMs.
+func (s *Server) handleStreamRangeGet(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookupStream(r.PathValue("id"))
 	if sess == nil {
 		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
 		return
 	}
-	var req SolveRequest
+	q := r.URL.Query()
+	t0, err := strconv.Atoi(q.Get("t0"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput,
+			Message: fmt.Sprintf("range: t0 %q is not an integer", q.Get("t0"))})
+		return
+	}
+	t1, err := strconv.Atoi(q.Get("t1"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput,
+			Message: fmt.Sprintf("range: t1 %q is not an integer", q.Get("t1"))})
+		return
+	}
+	var timeoutMs int64
+	if v := q.Get("timeout_ms"); v != "" {
+		timeoutMs, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput,
+				Message: fmt.Sprintf("range: timeout_ms %q is not an integer", v)})
+			return
+		}
+	}
+	s.submitRange(w, r, sess, t0, t1, timeoutMs)
+}
+
+// handleStreamRangePost is POST /v1/streams/{id}/range, the deprecated
+// body-carried alias for handleStreamRangeGet. It accepts the historical
+// RangeRequest body unchanged and answers with a Deprecation header (RFC
+// 9745) pointing at the GET endpoint, so existing clients keep working
+// while new ones migrate.
+func (s *Server) handleStreamRangePost(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &WireError{Kind: KindNotFound, Message: "no such stream"})
+		return
+	}
+	var req RangeRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/streams/{id}/range?t0=&t1=>; rel="successor-version"`)
+	s.submitRange(w, r, sess, req.T0, req.T1, req.TimeoutMs)
+}
+
+// submitRange queues (or cache-answers) a range query on behalf of both
+// range endpoints. Results are cached under rangeKey — the covering chunk
+// prefix's digest plus bounds and canonical config — which stays valid
+// across later appends, so no submission-time staleness check is needed.
+// The job itself goes through the session's range index when one is
+// enabled, composing the answer from O(log T) cached node summaries, and
+// falls back to a direct DecomposeRange otherwise.
+func (s *Server) submitRange(w http.ResponseWriter, r *http.Request, sess *session, t0, t1 int, timeoutMs int64) {
 	lane, werr := requestLane(r, laneInteractive)
 	if werr != nil {
 		writeError(w, http.StatusBadRequest, werr)
 		return
 	}
 	sess.mu.Lock()
-	digest := sess.digest
+	n := sess.st.Len()
+	if t0 < 0 || t0 >= t1 || t1 > n {
+		sess.mu.Unlock()
+		writeError(w, http.StatusBadRequest, &WireError{Kind: KindInvalidInput,
+			Message: fmt.Sprintf("range: [%d, %d) is not a valid window into a stream of %d steps", t0, t1, n)})
+		return
+	}
+	key := rangeKey(sess.prefixDigestLocked(t1), t0, t1, sess.cfg)
 	sess.mu.Unlock()
 	tenant := requestTenant(r)
-	key := fmt.Sprintf("stream:%s|range:%d-%d|%s", digest, req.T0, req.T1, sess.cfg.Canonical())
 	if dec, ok := s.cache.Get(key); ok {
 		j := s.newJob(key, 0, false, nil)
 		j.requestID = requestID(r)
@@ -251,12 +350,11 @@ func (s *Server) handleStreamRange(w http.ResponseWriter, r *http.Request) {
 		s.respondSubmitted(w, j, http.StatusOK)
 		return
 	}
-	t0, t1 := req.T0, req.T1
-	j := s.newStreamJob(sess, time.Duration(req.TimeoutMs)*time.Millisecond, key,
+	j := s.newStreamJob(sess, time.Duration(timeoutMs)*time.Millisecond, key,
 		func(ctx context.Context) (*core.Decomposition, error) {
-			if sess.digest != digest {
-				return nil, fmt.Errorf("core: stream changed while the range query was queued (resubmit): %w",
-					dterr.ErrInvalidInput)
+			if sess.idx != nil {
+				dec, _, err := sess.idx.Query(ctx, t0, t1)
+				return dec, err
 			}
 			return sess.st.DecomposeRangeContext(ctx, t0, t1)
 		})

@@ -40,4 +40,16 @@ for f in $(grep -rl 'WriteHeader(' internal/server/ --include='*.go' | grep -v '
 	esac
 done
 
+# 4. The GET range route must be registered on s.mux inside routes(), where
+#    the instrument middleware (invariant 1) stamps X-Request-ID on it like
+#    every other submission endpoint — a GET handler mounted elsewhere
+#    would silently skip request-ID stamping and the flight recorder.
+grep -q 'HandleFunc("GET /v1/streams/{id}/range"' internal/server/server.go ||
+	fail "GET /v1/streams/{id}/range is not registered on the instrumented mux in routes()"
+
+# 5. The POST range alias is deprecated: it must advertise that with a
+#    Deprecation header so clients learn to migrate before it is removed.
+grep -q 'Header().Set("Deprecation"' internal/server/stream.go ||
+	fail "the POST /range alias no longer sets the Deprecation header"
+
 echo "obslint: ok"
